@@ -1,0 +1,80 @@
+//! Criterion ablations on design-choice primitives (DESIGN.md §6):
+//! bitmap representation, CNF conversion cost, and the end-to-end
+//! simulated-cluster query path (real time of the simulator itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feisu_core::engine::ClusterSpec;
+use feisu_index::bitvec::{BitVec, CompressedBits};
+use feisu_sql::cnf::to_cnf;
+use feisu_sql::parser::parse_expr;
+
+fn bench_ablations(c: &mut Criterion) {
+    // Bitmap representation: raw vs RLE at different clustering.
+    let clustered = BitVec::from_bools((0..65_536).map(|i| (20_000..30_000).contains(&i)));
+    let random = {
+        let mut rng = feisu_common::rng::DetRng::new(3);
+        BitVec::from_bools((0..65_536).map(|_| rng.chance(0.3)))
+    };
+    let mut g = c.benchmark_group("bitmap_repr");
+    g.bench_function("compress_clustered", |b| {
+        b.iter(|| CompressedBits::from_bitvec(&clustered))
+    });
+    g.bench_function("compress_random", |b| {
+        b.iter(|| CompressedBits::from_bitvec(&random))
+    });
+    let cc = CompressedBits::from_bitvec(&clustered);
+    g.bench_function("decode_clustered_rle", |b| b.iter(|| cc.to_bitvec()));
+    g.bench_function("bitand_64k", |b| {
+        b.iter(|| clustered.and(&random).unwrap())
+    });
+    g.finish();
+
+    // CNF conversion on workload-shaped predicates.
+    let exprs = [
+        parse_expr("a > 1 AND b <= 2").unwrap(),
+        parse_expr("NOT (a > 1 OR (b = 2 AND c < 3))").unwrap(),
+        parse_expr("(a > 1 AND b > 2) OR (c > 3 AND d > 4)").unwrap(),
+    ];
+    c.bench_function("cnf_convert_workload_preds", |b| {
+        b.iter(|| exprs.iter().map(to_cnf).count())
+    });
+
+    // Real-time cost of one simulated-cluster query (the simulator's own
+    // overhead, relevant for harness scaling).
+    let mut g = c.benchmark_group("cluster_sim");
+    g.sample_size(10);
+    g.bench_function("end_to_end_count_query", |b| {
+        let mut spec = ClusterSpec::small();
+        spec.rows_per_block = 1024;
+        // Criterion iterates far past the production daily quota.
+        spec.guard.daily_quota = u32::MAX;
+        let mut cluster = feisu_core::engine::FeisuCluster::new(spec).unwrap();
+        let u = cluster.register_user("bench");
+        cluster.grant_all(u);
+        let cred = cluster.login(u).unwrap();
+        let schema = feisu_format::Schema::new(vec![
+            feisu_format::Field::new("x", feisu_format::DataType::Int64, false),
+        ]);
+        cluster.create_table("t", schema, "/hdfs/b/t", &cred).unwrap();
+        cluster
+            .ingest_rows(
+                "t",
+                (0..4096).map(|i| vec![feisu_format::Value::from(i as i64)]).collect(),
+                &cred,
+            )
+            .unwrap();
+        b.iter(|| {
+            cluster
+                .query("SELECT COUNT(*) FROM t WHERE x > 100", &cred)
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion microbenches over the execution engine: predicate paths,
+//! aggregation, join, sort, and the end-to-end oracle executor.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use feisu_exec::batch::RecordBatch;
+use feisu_exec::executor::run_sql;
+use feisu_exec::expr::eval_predicate;
+use feisu_exec::MemProvider;
+use feisu_format::{Column, DataType, Field, Schema};
+use feisu_sql::parser::parse_expr;
+
+fn batch(rows: usize) -> RecordBatch {
+    let mut rng = feisu_common::rng::DetRng::new(7);
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int64, false),
+        Field::new("v", DataType::Int64, false),
+        Field::new("f", DataType::Float64, false),
+        Field::new("s", DataType::Utf8, false),
+    ]);
+    RecordBatch::new(
+        schema,
+        vec![
+            Column::from_i64((0..rows).map(|_| rng.range_i64(0, 99)).collect()),
+            Column::from_i64((0..rows).map(|_| rng.range_i64(-1000, 1000)).collect()),
+            Column::from_f64((0..rows).map(|_| rng.next_f64()).collect()),
+            Column::from_utf8((0..rows).map(|_| format!("tag{}", rng.next_below(64))).collect()),
+        ],
+    )
+    .unwrap()
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let b = batch(65_536);
+
+    let mut g = c.benchmark_group("predicate");
+    g.throughput(Throughput::Elements(65_536));
+    g.bench_function("fast_path_int_cmp", |bench| {
+        let e = parse_expr("v > 0").unwrap();
+        bench.iter(|| eval_predicate(&b, &e).unwrap());
+    });
+    g.bench_function("fast_path_conjunction", |bench| {
+        let e = parse_expr("v > 0 AND k <= 50 AND f < 0.5").unwrap();
+        bench.iter(|| eval_predicate(&b, &e).unwrap());
+    });
+    g.bench_function("fallback_contains", |bench| {
+        let e = parse_expr("s CONTAINS 'tag1'").unwrap();
+        bench.iter(|| eval_predicate(&b, &e).unwrap());
+    });
+    g.bench_function("fallback_arithmetic", |bench| {
+        let e = parse_expr("v + k > 40").unwrap();
+        bench.iter(|| eval_predicate(&b, &e).unwrap());
+    });
+    g.finish();
+
+    let mut provider = MemProvider::new();
+    provider.insert("t", batch(65_536));
+    let mut dim = MemProvider::new();
+    dim.insert("t", batch(65_536));
+    dim.insert("d", batch(256));
+
+    let mut g = c.benchmark_group("operators");
+    g.sample_size(10);
+    g.bench_function("hash_aggregate_group_by", |bench| {
+        bench.iter(|| {
+            run_sql(
+                "SELECT k, COUNT(*), SUM(v), AVG(f) FROM t GROUP BY k",
+                &mut provider,
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function("topn_sort_limit", |bench| {
+        bench.iter(|| {
+            run_sql(
+                "SELECT v FROM t ORDER BY v DESC LIMIT 100",
+                &mut provider,
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function("hash_join_64k_x_256", |bench| {
+        bench.iter(|| {
+            run_sql(
+                "SELECT COUNT(*) FROM t JOIN d ON t.k = d.k",
+                &mut dim,
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function("full_query_pipeline", |bench| {
+        bench.iter(|| {
+            run_sql(
+                "SELECT k, COUNT(*) AS n FROM t WHERE v > 0 AND f < 0.9 \
+                 GROUP BY k HAVING n > 10 ORDER BY n DESC LIMIT 10",
+                &mut provider,
+            )
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_exec
+);
+criterion_main!(benches);

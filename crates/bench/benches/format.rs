@@ -1,0 +1,95 @@
+//! Criterion microbenches over the columnar format layer: encodings,
+//! compression, block round-trips, JSON parsing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use feisu_format::encoding::{delta, dict, rle};
+use feisu_format::{compress, Block};
+use feisu_workload::datasets::{generate_chunk, DatasetSpec};
+
+fn bench_format(c: &mut Criterion) {
+    // A realistic 4096-row, 40-column chunk.
+    let mut spec = DatasetSpec::t1(4096);
+    spec.fields = 40;
+    let schema = spec.schema();
+    let cols = generate_chunk(&spec, 0, 4096);
+    let block = Block::new(feisu_common::BlockId(0), schema, cols).unwrap();
+    let serialized = block.serialize();
+
+    let mut g = c.benchmark_group("block");
+    g.throughput(Throughput::Bytes(block.footprint() as u64));
+    g.bench_function("serialize_4kx40", |b| b.iter(|| block.serialize()));
+    g.bench_function("deserialize_4kx40", |b| {
+        b.iter(|| Block::deserialize(&serialized).unwrap())
+    });
+    g.finish();
+
+    // Integer encodings.
+    let sorted: Vec<i64> = (0..65_536).map(|i| i * 3 + 100).collect();
+    let repetitive: Vec<i64> = (0..65_536).map(|i| (i / 1000) as i64).collect();
+    let mut g = c.benchmark_group("int_encodings");
+    g.throughput(Throughput::Bytes(65_536 * 8));
+    g.bench_function("delta_encode_sorted", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            delta::encode(&sorted, &mut out);
+            out
+        })
+    });
+    g.bench_function("delta_decode_sorted", |b| {
+        let mut buf = Vec::new();
+        delta::encode(&sorted, &mut buf);
+        b.iter(|| {
+            let mut pos = 0;
+            delta::decode(&buf, &mut pos).unwrap()
+        })
+    });
+    g.bench_function("rle_encode_runs", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            rle::encode(&repetitive, &mut out);
+            out
+        })
+    });
+    g.finish();
+
+    // String dictionary.
+    let urls: Vec<String> = (0..16_384)
+        .map(|i| format!("https://site{}.example/page{}", i % 500, i % 37))
+        .collect();
+    let refs: Vec<&str> = urls.iter().map(|s| s.as_str()).collect();
+    c.bench_function("dict_encode_16k_urls", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            dict::encode(&refs, &mut out);
+            out
+        })
+    });
+
+    // LZ codec on block-like bytes.
+    let mut g = c.benchmark_group("lz");
+    g.throughput(Throughput::Bytes(serialized.len() as u64));
+    g.bench_function("compress_adaptive_block", |b| {
+        b.iter(|| compress::compress_adaptive(&serialized))
+    });
+    let packed = compress::compress(compress::Codec::Lz, &serialized);
+    g.bench_function("decompress_block", |b| {
+        b.iter(|| compress::decompress(&packed).unwrap())
+    });
+    g.finish();
+
+    // JSON parsing + flattening.
+    let doc = r#"{"user":{"id":12345,"tags":["a","b","c"],"profile":{"age":30,"city":"Beijing"}},"query":"weather","results":[{"url":"https://x.example","rank":1.5},{"url":"https://y.example","rank":2.25}],"ok":true}"#;
+    c.bench_function("json_parse_flatten", |b| {
+        b.iter(|| {
+            let v = feisu_format::json::parse(doc).unwrap();
+            feisu_format::json::flatten(&v)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_format
+);
+criterion_main!(benches);

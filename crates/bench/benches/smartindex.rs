@@ -1,0 +1,107 @@
+//! Criterion microbenches: the SmartIndex fast path vs the work it
+//! replaces, in real (not simulated) time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use feisu_common::{BlockId, ByteSize, SimDuration, SimInstant};
+use feisu_format::{Block, Column, DataType, Field, Schema, Value};
+use feisu_index::btree::BTreeColumnIndex;
+use feisu_index::manager::IndexManager;
+use feisu_index::rewrite::probe_predicate;
+use feisu_index::smart::{scan_evaluate, SmartIndex};
+use feisu_sql::ast::BinaryOp;
+use feisu_sql::cnf::SimplePredicate;
+
+fn block(rows: usize) -> Block {
+    let mut rng = feisu_common::rng::DetRng::new(42);
+    let schema = Schema::new(vec![Field::new("x", DataType::Int64, true)]);
+    let values: Vec<Value> = (0..rows)
+        .map(|_| {
+            if rng.chance(0.05) {
+                Value::Null
+            } else {
+                Value::Int64(rng.range_i64(0, 999))
+            }
+        })
+        .collect();
+    let col = Column::from_values(DataType::Int64, &values).unwrap();
+    Block::new(BlockId(0), schema, vec![col]).unwrap()
+}
+
+fn pred(v: i64) -> SimplePredicate {
+    SimplePredicate {
+        column: "x".into(),
+        op: BinaryOp::Gt,
+        value: Value::Int64(v),
+    }
+}
+
+fn bench_smartindex(c: &mut Criterion) {
+    let b = block(65_536);
+    let p = pred(500);
+
+    c.bench_function("scan_evaluate_64k", |bench| {
+        let col = b.column_by_name("x").unwrap();
+        bench.iter(|| scan_evaluate(col, &p).unwrap());
+    });
+
+    c.bench_function("smartindex_build_64k", |bench| {
+        bench.iter(|| SmartIndex::build(&b, &p, SimInstant(0), false).unwrap());
+    });
+
+    c.bench_function("smartindex_probe_hit_64k", |bench| {
+        let mut m = IndexManager::new(ByteSize::mib(16), SimDuration::hours(72));
+        m.insert(
+            SmartIndex::build(&b, &p, SimInstant(0), false).unwrap(),
+            SimInstant(0),
+        );
+        bench.iter(|| probe_predicate(Some(&mut m), &b, &p, SimInstant(1)).unwrap());
+    });
+
+    c.bench_function("smartindex_negated_hit_64k", |bench| {
+        let mut m = IndexManager::new(ByteSize::mib(16), SimDuration::hours(72));
+        m.insert(
+            SmartIndex::build(&b, &p, SimInstant(0), false).unwrap(),
+            SimInstant(0),
+        );
+        let neg = SimplePredicate {
+            column: "x".into(),
+            op: BinaryOp::LtEq,
+            value: Value::Int64(500),
+        };
+        bench.iter(|| probe_predicate(Some(&mut m), &b, &neg, SimInstant(1)).unwrap());
+    });
+
+    c.bench_function("btree_build_64k", |bench| {
+        let col = b.column_by_name("x").unwrap();
+        bench.iter(|| BTreeColumnIndex::build(col));
+    });
+
+    c.bench_function("btree_lookup_64k", |bench| {
+        let col = b.column_by_name("x").unwrap();
+        let idx = BTreeColumnIndex::build(col);
+        bench.iter(|| idx.lookup(BinaryOp::Gt, &Value::Int64(500)).unwrap());
+    });
+
+    c.bench_function("manager_insert_evict_cycle", |bench| {
+        let idx = SmartIndex::build(&b, &p, SimInstant(0), false).unwrap();
+        let budget = ByteSize((idx.footprint() * 4) as u64);
+        bench.iter_batched(
+            || IndexManager::new(budget, SimDuration::hours(72)),
+            |mut m| {
+                for v in 0..16 {
+                    let i = SmartIndex::build(&b, &pred(v), SimInstant(0), false).unwrap();
+                    m.insert(i, SimInstant(0));
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_smartindex
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 12 — response time vs cluster size on a fixed workload.
+//!
+//! Paper shape: response time falls near-linearly as nodes are added
+//! (the scale-out design splits the same blocks over more leaves). The
+//! paper sweeps 1000–4000 production nodes; the simulation sweeps a
+//! proportional 8–64.
+
+use feisu_bench::{build_cluster, load_dataset, ScanWorkload};
+use feisu_common::SimDuration;
+use feisu_core::engine::ClusterSpec;
+use feisu_workload::datasets::DatasetSpec;
+
+fn main() -> feisu_common::Result<()> {
+    let node_counts = [8u32, 16, 32, 64];
+    let queries = 200usize;
+    let mut rows = Vec::new();
+    let mut first: Option<f64> = None;
+    for nodes in node_counts {
+        let mut spec = ClusterSpec::with_nodes(nodes);
+        spec.rows_per_block = 512;
+        spec.task_reuse = false;
+        spec.use_smartindex = false; // isolate pure scale-out
+        let mut bench = build_cluster(spec)?;
+        let mut t1 = DatasetSpec::t1(32_768);
+        t1.fields = 40;
+        load_dataset(&bench, &t1, "/hdfs/bench/t1")?;
+        let mut wl = ScanWorkload::new("t1", 12, 0.0, 0xF12);
+        let mut total = SimDuration::ZERO;
+        for _ in 0..queries {
+            let r = bench.cluster.query(&wl.next_query(), &bench.cred)?;
+            total += r.response_time;
+        }
+        let mean_ms = total.as_millis_f64() / queries as f64;
+        let speedup = first.get_or_insert(mean_ms);
+        rows.push(vec![
+            bench.cluster.node_count().to_string(),
+            format!("{mean_ms:.3}"),
+            format!("{:.2}x", *speedup / mean_ms),
+        ]);
+    }
+    feisu_bench::print_series(
+        "Fig. 12: mean response time vs node count (fixed workload)",
+        &["nodes", "mean response (ms)", "speedup vs smallest"],
+        &rows,
+    );
+    println!("\nexpected shape: near-linear improvement with node count (paper Fig. 12)");
+    Ok(())
+}

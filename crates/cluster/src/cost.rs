@@ -1,0 +1,165 @@
+//! Calibrated I/O, network and CPU cost model.
+//!
+//! The model is calibrated against the paper's experiment hardware
+//! (§VI-A): 4-core 2.4 GHz Xeon nodes with four 3 TB SATA disks
+//! (~100 MB/s sequential, ~5 ms seek), one 500 GB SSD (~400 MB/s, ~60 µs
+//! access), 64 GB of RAM (~10 GB/s streaming), and 1 Gbps full-duplex
+//! Ethernet (125 MB/s, ~100 µs per switch hop). Changing the constants
+//! changes absolute numbers but not the structural comparisons the
+//! benchmarks report (who wins, roughly by how much).
+
+use feisu_common::{ByteSize, SimDuration};
+
+/// Where a byte physically lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageMedium {
+    /// Rotational SATA disk.
+    Hdd,
+    /// SATA SSD (the per-node cache device).
+    Ssd,
+    /// DRAM (SmartIndex storage, hot buffers).
+    Memory,
+}
+
+/// All tunables of the simulation cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Fixed per-request latency for an HDD read (seek + rotation).
+    pub hdd_seek: SimDuration,
+    /// HDD streaming cost per byte.
+    pub hdd_ns_per_byte: f64,
+    /// Fixed per-request latency for an SSD read.
+    pub ssd_seek: SimDuration,
+    /// SSD streaming cost per byte.
+    pub ssd_ns_per_byte: f64,
+    /// Memory streaming cost per byte.
+    pub mem_ns_per_byte: f64,
+    /// Per-hop switch latency.
+    pub net_hop_latency: SimDuration,
+    /// Network cost per byte at full line rate (1 Gbps ⇒ 8 ns/B).
+    pub net_ns_per_byte: f64,
+    /// CPU cost to evaluate one predicate against one value.
+    pub cpu_ns_per_predicate_row: f64,
+    /// CPU cost to decompress one byte.
+    pub cpu_ns_per_decompress_byte: f64,
+    /// Fixed cost of dispatching one task over RPC.
+    pub rpc_overhead: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            hdd_seek: SimDuration::millis(5),
+            hdd_ns_per_byte: 10.0,  // 100 MB/s
+            ssd_seek: SimDuration::micros(60),
+            ssd_ns_per_byte: 2.5,   // 400 MB/s
+            mem_ns_per_byte: 0.1,   // 10 GB/s
+            net_hop_latency: SimDuration::micros(100),
+            net_ns_per_byte: 8.0,   // 1 Gbps
+            cpu_ns_per_predicate_row: 2.0,
+            cpu_ns_per_decompress_byte: 0.5,
+            rpc_overhead: SimDuration::micros(200),
+        }
+    }
+}
+
+impl CostModel {
+    /// Fixed per-request access latency of a medium. Columnar scans pay
+    /// one of these per column touched (each column is a separate extent).
+    pub fn seek(&self, medium: StorageMedium) -> SimDuration {
+        match medium {
+            StorageMedium::Hdd => self.hdd_seek,
+            StorageMedium::Ssd => self.ssd_seek,
+            StorageMedium::Memory => SimDuration::ZERO,
+        }
+    }
+
+    /// Cost of reading `size` bytes from `medium` in one sequential request.
+    pub fn read(&self, medium: StorageMedium, size: ByteSize) -> SimDuration {
+        let (seek, per_byte) = match medium {
+            StorageMedium::Hdd => (self.hdd_seek, self.hdd_ns_per_byte),
+            StorageMedium::Ssd => (self.ssd_seek, self.ssd_ns_per_byte),
+            StorageMedium::Memory => (SimDuration::ZERO, self.mem_ns_per_byte),
+        };
+        seek + SimDuration::nanos((size.as_u64() as f64 * per_byte) as u64)
+    }
+
+    /// Cost of moving `size` bytes across `hops` network hops (0 hops =
+    /// local, no cost).
+    pub fn network(&self, hops: u32, size: ByteSize) -> SimDuration {
+        if hops == 0 {
+            return SimDuration::ZERO;
+        }
+        self.net_hop_latency * hops as u64
+            + SimDuration::nanos((size.as_u64() as f64 * self.net_ns_per_byte) as u64)
+    }
+
+    /// CPU cost of evaluating one predicate over `rows` values.
+    pub fn predicate_eval(&self, rows: usize) -> SimDuration {
+        SimDuration::nanos((rows as f64 * self.cpu_ns_per_predicate_row) as u64)
+    }
+
+    /// CPU cost of decompressing `size` bytes.
+    pub fn decompress(&self, size: ByteSize) -> SimDuration {
+        SimDuration::nanos((size.as_u64() as f64 * self.cpu_ns_per_decompress_byte) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_read_dominated_by_seek_for_small_io() {
+        let m = CostModel::default();
+        let small = m.read(StorageMedium::Hdd, ByteSize::bytes(100));
+        assert!(small >= SimDuration::millis(5));
+        assert!(small < SimDuration::millis(6));
+    }
+
+    #[test]
+    fn media_ordering_memory_fastest() {
+        let m = CostModel::default();
+        let size = ByteSize::mib(4);
+        let hdd = m.read(StorageMedium::Hdd, size);
+        let ssd = m.read(StorageMedium::Ssd, size);
+        let mem = m.read(StorageMedium::Memory, size);
+        assert!(mem < ssd && ssd < hdd);
+    }
+
+    #[test]
+    fn hdd_throughput_calibration() {
+        // 100 MB at 100 MB/s ≈ 1 s (+5 ms seek).
+        let m = CostModel::default();
+        let t = m.read(StorageMedium::Hdd, ByteSize::mib(100));
+        let secs = t.as_secs_f64();
+        assert!((1.0..1.1).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn network_zero_hops_free() {
+        let m = CostModel::default();
+        assert_eq!(m.network(0, ByteSize::gib(1)), SimDuration::ZERO);
+        let one_hop = m.network(1, ByteSize::mib(1));
+        let three_hops = m.network(3, ByteSize::mib(1));
+        assert!(three_hops > one_hop);
+    }
+
+    #[test]
+    fn network_gbps_calibration() {
+        // 125 MB over 1 Gbps ≈ 1 s.
+        let m = CostModel::default();
+        let t = m.network(1, ByteSize::mib(125));
+        let secs = t.as_secs_f64();
+        assert!((1.0..1.1).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn cpu_costs_scale_linearly() {
+        let m = CostModel::default();
+        let a = m.predicate_eval(1000);
+        let b = m.predicate_eval(2000);
+        assert_eq!(b.as_nanos(), a.as_nanos() * 2);
+        assert!(m.decompress(ByteSize::kib(1)) > SimDuration::ZERO);
+    }
+}

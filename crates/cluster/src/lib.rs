@@ -1,0 +1,30 @@
+//! Simulated cluster substrate.
+//!
+//! The paper evaluates Feisu on a 4,000-node production cluster (§VI-A).
+//! This crate replaces that hardware with a deterministic simulation that
+//! preserves everything the evaluation measures:
+//!
+//! * [`simclock`] — a shared simulated clock; all performance accounting
+//!   is in simulated nanoseconds, making benchmarks machine-independent;
+//! * [`cost`] — a calibrated cost model for HDD/SSD/memory/network I/O and
+//!   CPU work, matching the paper's hardware (1 Gbps Ethernet, SATA
+//!   disks, one SSD per node);
+//! * [`topology`] — data centers, racks and nodes, with hop-distance
+//!   computation used by locality-aware scheduling;
+//! * [`heartbeat`] — the cluster-manager heartbeat table with failure
+//!   detection (Feisu deliberately avoids ZooKeeper at this scale,
+//!   §III-C);
+//! * [`resources`] — the per-node resource consumption agreement that
+//!   keeps Feisu from disturbing business-critical services (§V-A/B);
+//! * [`traffic`] — the three-class traffic priority scheme (§V-C).
+
+pub mod cost;
+pub mod heartbeat;
+pub mod resources;
+pub mod simclock;
+pub mod topology;
+pub mod traffic;
+
+pub use cost::{CostModel, StorageMedium};
+pub use simclock::SimClock;
+pub use topology::{NodeInfo, Topology};

@@ -1,0 +1,149 @@
+//! Cluster topology: data centers, racks, nodes and hop distances.
+//!
+//! The master "schedules a query based on data location, the cluster's
+//! network structure, and the load statistics on the leaf servers"
+//! (§III-B). The topology gives the scheduler the network-structure part:
+//! the hop distance between two nodes is 0 (same node), 2 (same rack,
+//! via the top-of-rack switch), 4 (same data center, via aggregation
+//! switches) or 6 (cross-data-center).
+
+use feisu_common::{FeisuError, NodeId, Result};
+use feisu_common::hash::FxHashMap;
+
+/// Static description of one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInfo {
+    pub id: NodeId,
+    pub datacenter: u32,
+    pub rack: u32,
+    /// CPU cores available in total (paper hardware: 4).
+    pub cores: u32,
+    /// Whether the node carries the per-node SSD cache device.
+    pub has_ssd: bool,
+}
+
+/// The whole cluster's static layout.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<NodeInfo>,
+    by_id: FxHashMap<NodeId, usize>,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience builder: `dcs` data centers, each with `racks_per_dc`
+    /// racks of `nodes_per_rack` nodes, ids assigned sequentially.
+    pub fn grid(dcs: u32, racks_per_dc: u32, nodes_per_rack: u32) -> Topology {
+        let mut t = Topology::new();
+        let mut id = 0u64;
+        for dc in 0..dcs {
+            for rack in 0..racks_per_dc {
+                for _ in 0..nodes_per_rack {
+                    t.add_node(NodeInfo {
+                        id: NodeId(id),
+                        datacenter: dc,
+                        rack: dc * racks_per_dc + rack,
+                        cores: 4,
+                        has_ssd: true,
+                    });
+                    id += 1;
+                }
+            }
+        }
+        t
+    }
+
+    pub fn add_node(&mut self, node: NodeInfo) {
+        self.by_id.insert(node.id, self.nodes.len());
+        self.nodes.push(node);
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    pub fn node(&self, id: NodeId) -> Result<&NodeInfo> {
+        self.by_id
+            .get(&id)
+            .map(|&i| &self.nodes[i])
+            .ok_or_else(|| FeisuError::NodeUnavailable(format!("{id} not in topology")))
+    }
+
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// Network hop distance between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> Result<u32> {
+        if a == b {
+            return Ok(0);
+        }
+        let na = self.node(a)?;
+        let nb = self.node(b)?;
+        Ok(if na.rack == nb.rack {
+            2
+        } else if na.datacenter == nb.datacenter {
+            4
+        } else {
+            6
+        })
+    }
+
+    /// All node ids in a given rack, used for replica placement.
+    pub fn rack_members(&self, rack: u32) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .filter(move |n| n.rack == rack)
+            .map(|n| n.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_builds_expected_count() {
+        let t = Topology::grid(2, 3, 4);
+        assert_eq!(t.len(), 24);
+        assert!(t.contains(NodeId(23)));
+        assert!(!t.contains(NodeId(24)));
+    }
+
+    #[test]
+    fn hop_distances() {
+        let t = Topology::grid(2, 2, 2);
+        // node 0,1 same rack; 0,2 same dc different rack; 0,4 cross-dc.
+        assert_eq!(t.hops(NodeId(0), NodeId(0)).unwrap(), 0);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)).unwrap(), 2);
+        assert_eq!(t.hops(NodeId(0), NodeId(2)).unwrap(), 4);
+        assert_eq!(t.hops(NodeId(0), NodeId(4)).unwrap(), 6);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let t = Topology::grid(1, 1, 1);
+        assert!(t.node(NodeId(99)).is_err());
+        assert!(t.hops(NodeId(0), NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn rack_members_listed() {
+        let t = Topology::grid(1, 2, 3);
+        let r0: Vec<_> = t.rack_members(0).collect();
+        assert_eq!(r0, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let r1: Vec<_> = t.rack_members(1).collect();
+        assert_eq!(r1.len(), 3);
+    }
+}

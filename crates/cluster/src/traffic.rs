@@ -1,0 +1,133 @@
+//! Traffic-flow classes and bandwidth arbitration.
+//!
+//! §V-C divides Feisu traffic into three classes with strict priority:
+//! control/state flow (cluster commands, heartbeats) highest, write data
+//! flow (temporaries, intermediate results, bypassed to global storage)
+//! next, and read data flow (result collection) lowest, because reads are
+//! cheap to retry against replicated persistent storage. This module
+//! models a link whose bandwidth is divided by strict priority: a class
+//! only sees what the higher classes left over.
+
+use feisu_common::{ByteSize, SimDuration};
+
+/// Traffic classes in descending priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficClass {
+    /// Cluster-level operation commands and heartbeats.
+    ControlState,
+    /// Temporary data / intermediate results written during execution.
+    WriteData,
+    /// Result collection back to clients.
+    ReadData,
+}
+
+impl TrafficClass {
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::ControlState,
+        TrafficClass::WriteData,
+        TrafficClass::ReadData,
+    ];
+}
+
+/// A link with strict-priority bandwidth sharing.
+#[derive(Debug, Clone)]
+pub struct PriorityLink {
+    /// Line rate in bytes per simulated second.
+    line_rate: u64,
+    /// Currently active demand per class, bytes per second.
+    demand: [u64; 3],
+}
+
+impl PriorityLink {
+    /// `line_rate` in bytes/second (1 Gbps ⇒ 125_000_000).
+    pub fn new(line_rate: u64) -> Self {
+        assert!(line_rate > 0);
+        PriorityLink {
+            line_rate,
+            demand: [0; 3],
+        }
+    }
+
+    fn idx(class: TrafficClass) -> usize {
+        match class {
+            TrafficClass::ControlState => 0,
+            TrafficClass::WriteData => 1,
+            TrafficClass::ReadData => 2,
+        }
+    }
+
+    /// Registers sustained demand (bytes/second) for a class.
+    pub fn set_demand(&mut self, class: TrafficClass, bytes_per_sec: u64) {
+        self.demand[Self::idx(class)] = bytes_per_sec;
+    }
+
+    /// Bandwidth actually granted to `class` under strict priority.
+    pub fn granted(&self, class: TrafficClass) -> u64 {
+        let i = Self::idx(class);
+        let higher: u64 = self.demand[..i]
+            .iter()
+            .map(|&d| d.min(self.line_rate))
+            .sum();
+        let remaining = self.line_rate.saturating_sub(higher.min(self.line_rate));
+        self.demand[i].min(remaining)
+    }
+
+    /// Time to transfer `size` for `class` at its currently granted rate.
+    /// Returns `None` when the class is fully starved.
+    pub fn transfer_time(&self, class: TrafficClass, size: ByteSize) -> Option<SimDuration> {
+        let rate = self.granted(class);
+        if rate == 0 {
+            return None;
+        }
+        let ns = size.as_u64() as f64 / rate as f64 * 1e9;
+        Some(SimDuration::nanos(ns as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS: u64 = 125_000_000;
+
+    #[test]
+    fn control_always_gets_its_demand() {
+        let mut l = PriorityLink::new(GBPS);
+        l.set_demand(TrafficClass::ControlState, 1_000_000);
+        l.set_demand(TrafficClass::ReadData, GBPS * 10);
+        assert_eq!(l.granted(TrafficClass::ControlState), 1_000_000);
+    }
+
+    #[test]
+    fn lower_classes_get_leftovers_in_order() {
+        let mut l = PriorityLink::new(GBPS);
+        l.set_demand(TrafficClass::ControlState, 25_000_000);
+        l.set_demand(TrafficClass::WriteData, 80_000_000);
+        l.set_demand(TrafficClass::ReadData, 50_000_000);
+        assert_eq!(l.granted(TrafficClass::WriteData), 80_000_000);
+        // Read sees 125 - 25 - 80 = 20 MB/s.
+        assert_eq!(l.granted(TrafficClass::ReadData), 20_000_000);
+    }
+
+    #[test]
+    fn saturated_link_starves_reads() {
+        let mut l = PriorityLink::new(GBPS);
+        l.set_demand(TrafficClass::WriteData, GBPS);
+        l.set_demand(TrafficClass::ReadData, 1);
+        assert_eq!(l.granted(TrafficClass::ReadData), 0);
+        assert!(l
+            .transfer_time(TrafficClass::ReadData, ByteSize::kib(1))
+            .is_none());
+    }
+
+    #[test]
+    fn transfer_time_matches_rate() {
+        let mut l = PriorityLink::new(GBPS);
+        l.set_demand(TrafficClass::ReadData, GBPS);
+        let t = l
+            .transfer_time(TrafficClass::ReadData, ByteSize(GBPS))
+            .unwrap();
+        let secs = t.as_secs_f64();
+        assert!((0.99..1.01).contains(&secs), "got {secs}");
+    }
+}

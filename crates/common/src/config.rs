@@ -1,0 +1,122 @@
+//! Cluster-wide configuration knobs.
+//!
+//! These defaults mirror the paper's experiment setup (§VI-A): 4-core
+//! 2.4 GHz nodes, 64 GB RAM, four 3 TB SATA disks, one 500 GB SSD, 1 Gbps
+//! full-duplex Ethernet, 512 MB of SmartIndex memory per leaf, three
+//! replicas per block, and the 72-hour index TTL from §IV-C-2.
+
+use crate::units::{ByteSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Top-level configuration for a Feisu deployment/simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeisuConfig {
+    /// Memory budget per leaf server for SmartIndex storage.
+    pub index_memory_per_leaf: ByteSize,
+    /// Time-to-live for a SmartIndex entry (paper: 72 hours).
+    pub index_ttl: SimDuration,
+    /// Block replica count in distributed storage systems.
+    pub replication_factor: usize,
+    /// Target (uncompressed) size of a columnar data block.
+    pub block_size: ByteSize,
+    /// Heartbeat period between workers and the cluster manager.
+    pub heartbeat_interval: SimDuration,
+    /// Heartbeats missed before a worker is declared dead.
+    pub heartbeat_miss_limit: u32,
+    /// Delay after which the scheduler launches a backup (speculative) task
+    /// for a straggler.
+    pub backup_task_delay: SimDuration,
+    /// Fraction of tasks that must finish before a job may return partial
+    /// results (1.0 = all). Users may lower it per query.
+    pub default_processed_ratio: f64,
+    /// Optional global response-time limit per query; `None` = unlimited.
+    pub default_time_limit: Option<SimDuration>,
+    /// Maximum share of a storage node's resources Feisu may consume
+    /// (the resource consumption agreement of §V-A).
+    pub resource_agreement_share: f64,
+    /// SSD cache capacity per node.
+    pub ssd_cache_capacity: ByteSize,
+    /// Fan-out of the execution tree: leaves per stem server.
+    pub leaves_per_stem: usize,
+    /// Results larger than this are dumped to global storage and only
+    /// their location travels the read-data flow (§V-C: "If the data are
+    /// too big, it will be dumped to global storage and only the location
+    /// information is passed").
+    pub result_spill_threshold: ByteSize,
+}
+
+impl Default for FeisuConfig {
+    fn default() -> Self {
+        FeisuConfig {
+            index_memory_per_leaf: ByteSize::mib(512),
+            index_ttl: SimDuration::hours(72),
+            replication_factor: 3,
+            block_size: ByteSize::mib(4),
+            heartbeat_interval: SimDuration::secs(3),
+            heartbeat_miss_limit: 3,
+            backup_task_delay: SimDuration::secs(5),
+            default_processed_ratio: 1.0,
+            default_time_limit: None,
+            resource_agreement_share: 0.25,
+            ssd_cache_capacity: ByteSize::gib(16),
+            leaves_per_stem: 64,
+            result_spill_threshold: ByteSize::mib(64),
+        }
+    }
+}
+
+impl FeisuConfig {
+    /// Validates invariants; returns a message describing the first
+    /// violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replication_factor == 0 {
+            return Err("replication_factor must be >= 1".into());
+        }
+        if self.block_size.as_u64() == 0 {
+            return Err("block_size must be nonzero".into());
+        }
+        if !(0.0..=1.0).contains(&self.default_processed_ratio) {
+            return Err("default_processed_ratio must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.resource_agreement_share) {
+            return Err("resource_agreement_share must be in [0,1]".into());
+        }
+        if self.leaves_per_stem == 0 {
+            return Err("leaves_per_stem must be >= 1".into());
+        }
+        if self.heartbeat_miss_limit == 0 {
+            return Err("heartbeat_miss_limit must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = FeisuConfig::default();
+        assert_eq!(c.index_memory_per_leaf, ByteSize::mib(512));
+        assert_eq!(c.index_ttl, SimDuration::hours(72));
+        assert_eq!(c.replication_factor, 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn validate_rejects_bad_values() {
+        let mut c = FeisuConfig::default();
+        c.replication_factor = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = FeisuConfig::default();
+        c.default_processed_ratio = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = FeisuConfig::default();
+        c.leaves_per_stem = 0;
+        assert!(c.validate().is_err());
+    }
+}

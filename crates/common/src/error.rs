@@ -1,0 +1,136 @@
+//! Workspace-wide error type.
+//!
+//! Feisu spans many subsystems (SQL front end, storage domains, the
+//! scheduler, index management). A single error enum keeps cross-crate
+//! signatures simple while still carrying enough structure for callers to
+//! branch on the failure class (e.g. the entry guard rejecting a query vs.
+//! a storage domain being unavailable).
+
+use std::fmt;
+
+/// Convenience alias used across all Feisu crates.
+pub type Result<T> = std::result::Result<T, FeisuError>;
+
+/// The unified error type for all Feisu subsystems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeisuError {
+    /// SQL text failed to lex or parse. Carries position info in the message.
+    Parse(String),
+    /// The query parsed but referenced unknown tables/columns or was
+    /// otherwise semantically invalid.
+    Analysis(String),
+    /// Query planning or optimization failed.
+    Plan(String),
+    /// A runtime error during operator execution (type mismatch at runtime,
+    /// overflow, …).
+    Execution(String),
+    /// A storage domain rejected or failed an operation.
+    Storage(String),
+    /// Path routing could not resolve a storage domain for a path prefix.
+    UnknownDomain(String),
+    /// Authentication failed (bad or expired credential).
+    Unauthenticated(String),
+    /// Authenticated but not allowed (missing grant, quota exceeded,
+    /// capability check failed by the entry guard).
+    PermissionDenied(String),
+    /// A cluster node was unavailable (crashed, heartbeat lost).
+    NodeUnavailable(String),
+    /// The job was abandoned because its response-time limit elapsed before
+    /// the configured processed-data ratio was reached.
+    Deadline(String),
+    /// Index storage/decoding problems.
+    Index(String),
+    /// Corrupt or unsupported on-disk data (bad magic, truncated block…).
+    Corrupt(String),
+    /// Invalid configuration supplied by the embedder.
+    Config(String),
+    /// Scheduling failed (no candidate workers, resource agreement refused).
+    Scheduling(String),
+    /// Internal invariant violation; indicates a Feisu bug.
+    Internal(String),
+}
+
+impl FeisuError {
+    /// Short machine-friendly class name, handy for metrics and tests.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FeisuError::Parse(_) => "parse",
+            FeisuError::Analysis(_) => "analysis",
+            FeisuError::Plan(_) => "plan",
+            FeisuError::Execution(_) => "execution",
+            FeisuError::Storage(_) => "storage",
+            FeisuError::UnknownDomain(_) => "unknown_domain",
+            FeisuError::Unauthenticated(_) => "unauthenticated",
+            FeisuError::PermissionDenied(_) => "permission_denied",
+            FeisuError::NodeUnavailable(_) => "node_unavailable",
+            FeisuError::Deadline(_) => "deadline",
+            FeisuError::Index(_) => "index",
+            FeisuError::Corrupt(_) => "corrupt",
+            FeisuError::Config(_) => "config",
+            FeisuError::Scheduling(_) => "scheduling",
+            FeisuError::Internal(_) => "internal",
+        }
+    }
+
+    /// Whether the failure is transient and a retry (possibly on a backup
+    /// task) could succeed. The job scheduler uses this to decide between
+    /// re-dispatching a task and failing the whole job.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            FeisuError::NodeUnavailable(_) | FeisuError::Storage(_) | FeisuError::Scheduling(_)
+        )
+    }
+}
+
+impl fmt::Display for FeisuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (class, msg) = match self {
+            FeisuError::Parse(m) => ("parse error", m),
+            FeisuError::Analysis(m) => ("analysis error", m),
+            FeisuError::Plan(m) => ("plan error", m),
+            FeisuError::Execution(m) => ("execution error", m),
+            FeisuError::Storage(m) => ("storage error", m),
+            FeisuError::UnknownDomain(m) => ("unknown storage domain", m),
+            FeisuError::Unauthenticated(m) => ("unauthenticated", m),
+            FeisuError::PermissionDenied(m) => ("permission denied", m),
+            FeisuError::NodeUnavailable(m) => ("node unavailable", m),
+            FeisuError::Deadline(m) => ("deadline exceeded", m),
+            FeisuError::Index(m) => ("index error", m),
+            FeisuError::Corrupt(m) => ("corrupt data", m),
+            FeisuError::Config(m) => ("config error", m),
+            FeisuError::Scheduling(m) => ("scheduling error", m),
+            FeisuError::Internal(m) => ("internal error", m),
+        };
+        write!(f, "{class}: {msg}")
+    }
+}
+
+impl std::error::Error for FeisuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_class_and_message() {
+        let e = FeisuError::Parse("unexpected token `FROM` at offset 3".into());
+        let s = e.to_string();
+        assert!(s.contains("parse error"));
+        assert!(s.contains("offset 3"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(FeisuError::NodeUnavailable("n1".into()).is_retryable());
+        assert!(FeisuError::Storage("io".into()).is_retryable());
+        assert!(!FeisuError::Parse("x".into()).is_retryable());
+        assert!(!FeisuError::PermissionDenied("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(FeisuError::Deadline("t".into()).class(), "deadline");
+        assert_eq!(FeisuError::Internal("t".into()).class(), "internal");
+    }
+}

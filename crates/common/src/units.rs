@@ -1,0 +1,279 @@
+//! Byte-size and simulated-time units.
+//!
+//! All of Feisu's performance accounting runs on a *simulated* clock (see
+//! `feisu-cluster::simclock`): costs are expressed in nanoseconds of
+//! simulated time, which keeps every benchmark deterministic and
+//! independent of the host machine. These units are plain integers with
+//! human-friendly constructors and formatting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A number of bytes. Used for I/O accounting and cache budgets.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    pub const fn bytes(n: u64) -> Self {
+        ByteSize(n)
+    }
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n * 1024)
+    }
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024)
+    }
+    pub const fn gib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024 * 1024)
+    }
+
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction, used by cache budget accounting.
+    pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        ByteSize(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1 << 30 {
+            write!(f, "{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+        } else if b >= 1 << 20 {
+            write!(f, "{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+        } else if b >= 1 << 10 {
+            write!(f, "{:.2} KiB", b as f64 / (1u64 << 10) as f64)
+        } else {
+            write!(f, "{b} B")
+        }
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn nanos(n: u64) -> Self {
+        SimDuration(n)
+    }
+    pub const fn micros(n: u64) -> Self {
+        SimDuration(n * 1_000)
+    }
+    pub const fn millis(n: u64) -> Self {
+        SimDuration(n * 1_000_000)
+    }
+    pub const fn secs(n: u64) -> Self {
+        SimDuration(n * 1_000_000_000)
+    }
+    pub const fn minutes(n: u64) -> Self {
+        SimDuration(n * 60 * 1_000_000_000)
+    }
+    pub const fn hours(n: u64) -> Self {
+        SimDuration(n * 3600 * 1_000_000_000)
+    }
+
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.0;
+        if n >= 60 * 1_000_000_000 {
+            write!(f, "{:.2} min", n as f64 / 60e9)
+        } else if n >= 1_000_000_000 {
+            write!(f, "{:.3} s", n as f64 / 1e9)
+        } else if n >= 1_000_000 {
+            write!(f, "{:.3} ms", n as f64 / 1e6)
+        } else if n >= 1_000 {
+            write!(f, "{:.3} us", n as f64 / 1e3)
+        } else {
+            write!(f, "{n} ns")
+        }
+    }
+}
+
+/// A point on the simulated timeline, in nanoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant(pub u64);
+
+impl SimInstant {
+    pub const EPOCH: SimInstant = SimInstant(0);
+
+    /// Elapsed time from `earlier` to `self` (saturating at zero).
+    pub fn since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 + rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn sub(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytesize_constructors_and_display() {
+        assert_eq!(ByteSize::kib(2).as_u64(), 2048);
+        assert_eq!(ByteSize::mib(1).as_u64(), 1 << 20);
+        assert_eq!(ByteSize::gib(1).as_u64(), 1 << 30);
+        assert_eq!(ByteSize::bytes(5).to_string(), "5 B");
+        assert_eq!(ByteSize::mib(3).to_string(), "3.00 MiB");
+    }
+
+    #[test]
+    fn bytesize_arithmetic() {
+        let a = ByteSize::kib(1) + ByteSize::kib(1);
+        assert_eq!(a, ByteSize::kib(2));
+        assert_eq!(ByteSize::kib(1).saturating_sub(ByteSize::mib(1)), ByteSize::ZERO);
+        let total: ByteSize = [ByteSize(1), ByteSize(2), ByteSize(3)].into_iter().sum();
+        assert_eq!(total, ByteSize(6));
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::hours(72), SimDuration::minutes(72 * 60));
+        assert_eq!(SimDuration::millis(1500).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn duration_display_scales() {
+        assert_eq!(SimDuration::nanos(12).to_string(), "12 ns");
+        assert_eq!(SimDuration::micros(2).to_string(), "2.000 us");
+        assert_eq!(SimDuration::millis(2).to_string(), "2.000 ms");
+        assert_eq!(SimDuration::secs(2).to_string(), "2.000 s");
+        assert_eq!(SimDuration::minutes(2).to_string(), "2.00 min");
+    }
+
+    #[test]
+    fn instant_since_saturates() {
+        let a = SimInstant(100);
+        let b = SimInstant(40);
+        assert_eq!(a.since(b), SimDuration(60));
+        assert_eq!(b.since(a), SimDuration::ZERO);
+        assert_eq!(b + SimDuration(10), SimInstant(50));
+    }
+}

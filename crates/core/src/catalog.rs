@@ -1,0 +1,361 @@
+//! The table catalog and the ingest path.
+//!
+//! The catalog is the master-side registry mapping table names to their
+//! schemas and block descriptors (which carry unified storage paths with
+//! domain prefixes, §III-C). Ingest converts row data into the columnar
+//! block format — "a light-weight process … monitors the storage for
+//! newly generated data and converts the data into Feisu in columnar
+//! format when new data arrive" (§III-B) — and registers the resulting
+//! blocks with their zone statistics.
+
+use feisu_common::hash::FxHashMap;
+use feisu_common::ids::IdGen;
+use feisu_common::{BlockId, ByteSize, FeisuError, NodeId, Result, SimInstant};
+use feisu_format::table::{BlockDesc, BlockZone, PartitionDesc, TableDesc};
+use feisu_format::{Block, Column, Schema, Value};
+use feisu_storage::auth::Credential;
+use feisu_storage::StorageRouter;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Master-side table registry.
+pub struct Catalog {
+    tables: RwLock<FxHashMap<String, TableEntry>>,
+    block_ids: IdGen,
+}
+
+struct TableEntry {
+    desc: TableDesc,
+    /// Unified path prefix the table's blocks are written under.
+    location: String,
+    /// Rows per block used by the ingest splitter.
+    rows_per_block: usize,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog {
+            tables: RwLock::new(FxHashMap::default()),
+            block_ids: IdGen::new(),
+        }
+    }
+
+    /// Registers a new, empty table stored under `location` (a unified
+    /// path like `/hdfs/warehouse/t1`).
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        location: &str,
+        rows_per_block: usize,
+    ) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(FeisuError::Analysis(format!(
+                "table `{name}` already exists"
+            )));
+        }
+        let mut desc = TableDesc::new(name, schema);
+        desc.partitions.push(PartitionDesc {
+            name: "p0".into(),
+            blocks: Vec::new(),
+        });
+        tables.insert(
+            name.to_string(),
+            TableEntry {
+                desc,
+                location: location.trim_end_matches('/').to_string(),
+                rows_per_block: rows_per_block.max(1),
+            },
+        );
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<TableDesc> {
+        self.tables
+            .read()
+            .get(name)
+            .map(|e| e.desc.clone())
+            .ok_or_else(|| FeisuError::Analysis(format!("unknown table `{name}`")))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    pub fn schema(&self, name: &str) -> Option<Schema> {
+        self.tables.read().get(name).map(|e| e.desc.schema.clone())
+    }
+
+    /// The storage location prefix of a table (for domain authorization).
+    pub fn location(&self, name: &str) -> Result<String> {
+        self.tables
+            .read()
+            .get(name)
+            .map(|e| e.location.clone())
+            .ok_or_else(|| FeisuError::Analysis(format!("unknown table `{name}`")))
+    }
+
+    /// Ingests rows into a table: splits into blocks, serializes, writes
+    /// through the router, records descriptors with zone stats.
+    ///
+    /// `near` pins block placement (used to emulate log data that must
+    /// stay on its producing node).
+    pub fn ingest(
+        &self,
+        name: &str,
+        columns: Vec<Column>,
+        router: &StorageRouter,
+        cred: &Credential,
+        near: Option<NodeId>,
+        now: SimInstant,
+    ) -> Result<Vec<BlockId>> {
+        let (schema, location, rows_per_block) = {
+            let tables = self.tables.read();
+            let e = tables
+                .get(name)
+                .ok_or_else(|| FeisuError::Analysis(format!("unknown table `{name}`")))?;
+            (
+                e.desc.schema.clone(),
+                e.location.clone(),
+                e.rows_per_block,
+            )
+        };
+        if columns.len() != schema.len() {
+            return Err(FeisuError::Execution(format!(
+                "ingest into `{name}`: {} columns supplied, schema has {}",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, |c| c.len());
+        for c in &columns {
+            if c.len() != rows {
+                return Err(FeisuError::Execution("ingest: ragged columns".into()));
+            }
+        }
+        let mut created = Vec::new();
+        let mut start = 0usize;
+        while start < rows {
+            let end = (start + rows_per_block).min(rows);
+            let indices: Vec<usize> = (start..end).collect();
+            let slice: Vec<Column> = columns.iter().map(|c| c.take(&indices)).collect();
+            let id = BlockId(self.block_ids.next_u64());
+            let block = Block::new(id, schema.clone(), slice)?;
+            let bytes = block.serialize();
+            let stored_size = ByteSize(bytes.len() as u64);
+            let raw_size = ByteSize(block.footprint() as u64);
+            let path = format!("{location}/b{}", id.raw());
+            router.write(&path, bytes.into(), near, cred, now)?;
+            let zones: Vec<BlockZone> = schema
+                .fields()
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let stats = block.stats(i);
+                    BlockZone {
+                        column: f.name.clone(),
+                        min: stats.min,
+                        max: stats.max,
+                        null_count: stats.null_count,
+                    }
+                })
+                .collect();
+            let desc = BlockDesc {
+                id,
+                path,
+                rows: block.rows(),
+                stored_size,
+                raw_size,
+                zones,
+            };
+            let mut tables = self.tables.write();
+            let entry = tables.get_mut(name).expect("table exists");
+            entry.desc.partitions[0].blocks.push(desc);
+            created.push(id);
+            start = end;
+        }
+        Ok(created)
+    }
+
+    /// Convenience for row-oriented ingest.
+    pub fn ingest_rows(
+        &self,
+        name: &str,
+        rows: Vec<Vec<Value>>,
+        router: &StorageRouter,
+        cred: &Credential,
+        near: Option<NodeId>,
+        now: SimInstant,
+    ) -> Result<Vec<BlockId>> {
+        let schema = self
+            .schema(name)
+            .ok_or_else(|| FeisuError::Analysis(format!("unknown table `{name}`")))?;
+        let mut builders: Vec<feisu_format::ColumnBuilder> = schema
+            .fields()
+            .iter()
+            .map(|f| feisu_format::ColumnBuilder::new(f.data_type))
+            .collect();
+        for row in rows {
+            if row.len() != schema.len() {
+                return Err(FeisuError::Execution(format!(
+                    "row has {} values for {} fields",
+                    row.len(),
+                    schema.len()
+                )));
+            }
+            for ((b, v), f) in builders.iter_mut().zip(row).zip(schema.fields()) {
+                let compatible = match v.data_type() {
+                    None => true, // NULL fits any nullable slot
+                    Some(t) if t == f.data_type => true,
+                    // Ints widen into float columns at ingest.
+                    Some(feisu_format::DataType::Int64)
+                        if f.data_type == feisu_format::DataType::Float64 =>
+                    {
+                        true
+                    }
+                    _ => false,
+                };
+                if !compatible {
+                    return Err(FeisuError::Execution(format!(
+                        "value {v} does not fit column `{}` of type {}",
+                        f.name, f.data_type
+                    )));
+                }
+                b.push(v);
+            }
+        }
+        let columns: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
+        self.ingest(name, columns, router, cred, near, now)
+    }
+}
+
+/// Adapter exposing the catalog to the SQL analyzer.
+pub struct CatalogView<'a>(pub &'a Catalog);
+
+impl feisu_sql::analyze::Catalog for CatalogView<'_> {
+    fn table_schema(&self, name: &str) -> Option<Schema> {
+        self.0.schema(name)
+    }
+}
+
+/// Shared handle.
+pub type CatalogRef = Arc<Catalog>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feisu_cluster::{CostModel, Topology};
+    use feisu_format::{DataType, Field};
+    use feisu_storage::auth::{AuthService, Grant};
+    use feisu_storage::hdfs::HdfsDomain;
+    use feisu_storage::localfs::LocalFsDomain;
+    use feisu_common::{SimDuration, UserId};
+
+    fn setup() -> (Catalog, StorageRouter, Credential) {
+        let topo = Arc::new(Topology::grid(1, 2, 2));
+        let cost = CostModel::default();
+        let local = Arc::new(LocalFsDomain::new(
+            feisu_common::DomainId(0),
+            "local",
+            topo.clone(),
+            cost.clone(),
+        ));
+        let hdfs = Arc::new(HdfsDomain::new(
+            feisu_common::DomainId(1),
+            "hdfs",
+            topo,
+            cost.clone(),
+            2,
+            1,
+        ));
+        let auth = Arc::new(AuthService::new(1));
+        auth.register(UserId(1));
+        auth.grant(UserId(1), feisu_common::DomainId(0), Grant::ReadWrite);
+        auth.grant(UserId(1), feisu_common::DomainId(1), Grant::ReadWrite);
+        let cred = auth
+            .issue(UserId(1), SimInstant(0), SimDuration::hours(8))
+            .unwrap();
+        let router = StorageRouter::new(vec![local, hdfs], 0, auth, None, cost);
+        (Catalog::new(), router, cred)
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64, false),
+            Field::new("b", DataType::Utf8, false),
+        ])
+    }
+
+    #[test]
+    fn create_rejects_duplicates() {
+        let (cat, _, _) = setup();
+        cat.create_table("t", schema(), "/hdfs/t", 10).unwrap();
+        assert!(cat.create_table("t", schema(), "/hdfs/t2", 10).is_err());
+        assert_eq!(cat.table_names(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn ingest_splits_into_blocks_with_zones() {
+        let (cat, router, cred) = setup();
+        cat.create_table("t", schema(), "/hdfs/t", 10).unwrap();
+        let rows: Vec<Vec<Value>> = (0..25)
+            .map(|i| vec![Value::from(i as i64), Value::from(format!("s{i}"))])
+            .collect();
+        let ids = cat
+            .ingest_rows("t", rows, &router, &cred, None, SimInstant(0))
+            .unwrap();
+        assert_eq!(ids.len(), 3, "25 rows at 10/block = 3 blocks");
+        let desc = cat.table("t").unwrap();
+        assert_eq!(desc.rows(), 25);
+        let b0 = &desc.partitions[0].blocks[0];
+        assert_eq!(b0.rows, 10);
+        assert_eq!(b0.zone("a").unwrap().min, Some(Value::Int64(0)));
+        assert_eq!(b0.zone("a").unwrap().max, Some(Value::Int64(9)));
+        // Blocks are actually in storage.
+        assert!(router.exists(&b0.path));
+    }
+
+    #[test]
+    fn ingest_validates_shape_and_types() {
+        let (cat, router, cred) = setup();
+        cat.create_table("t", schema(), "/hdfs/t", 10).unwrap();
+        // Wrong arity.
+        assert!(cat
+            .ingest_rows("t", vec![vec![Value::from(1i64)]], &router, &cred, None, SimInstant(0))
+            .is_err());
+        // Wrong type.
+        assert!(cat
+            .ingest_rows(
+                "t",
+                vec![vec![Value::from("oops"), Value::from("b")]],
+                &router,
+                &cred,
+                None,
+                SimInstant(0)
+            )
+            .is_err());
+        // Unknown table.
+        assert!(cat
+            .ingest_rows("ghost", vec![], &router, &cred, None, SimInstant(0))
+            .is_err());
+    }
+
+    #[test]
+    fn catalog_view_serves_analyzer() {
+        use feisu_sql::analyze::Catalog as _;
+        let (cat, _, _) = setup();
+        cat.create_table("t", schema(), "/hdfs/t", 10).unwrap();
+        let view = CatalogView(&cat);
+        assert!(view.table_schema("t").is_some());
+        assert!(view.table_schema("nope").is_none());
+    }
+}

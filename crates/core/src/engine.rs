@@ -1,0 +1,1217 @@
+//! `FeisuCluster` — the assembled system and its public API.
+//!
+//! One `FeisuCluster` is a whole simulated deployment: topology, storage
+//! domains behind the common storage layer, the master services, and one
+//! leaf server (with its SmartIndex cache) per node. Queries run through
+//! the paper's pipeline (Fig. 3): client checks → entry guard → job
+//! manager (with identical-task reuse) → cost-based planning → dissection
+//! into per-block scan tasks → locality-aware scheduling → leaf execution
+//! with SmartIndex rewrite → bottom-up merging through stem servers →
+//! master finalization. All timing is simulated and deterministic.
+
+use crate::catalog::{Catalog, CatalogView};
+use crate::client::QueryHistory;
+use crate::leaf::{AggStage, LeafOutput, LeafServer, LeafTaskStats, ScanTask};
+use crate::master::guard::GuardLimits;
+use crate::master::job_manager::task_signature;
+use crate::master::scheduler::Policy;
+use crate::master::{EntryGuard, JobManager, JobState, Scheduler};
+use crate::stem;
+use feisu_cluster::heartbeat::{HeartbeatTable, LoadStats};
+use feisu_cluster::simclock::TimeTally;
+use feisu_cluster::{CostModel, SimClock, Topology};
+use feisu_common::config::FeisuConfig;
+use feisu_common::hash::{FxHashMap, FxHashSet};
+use feisu_common::ids::IdGen;
+use feisu_common::{
+    ByteSize, FeisuError, NodeId, QueryId, Result, SimDuration, SimInstant, UserId,
+};
+use feisu_exec::aggregate::AggTable;
+use feisu_exec::batch::RecordBatch;
+use feisu_format::{Column, Schema, Value};
+use feisu_index::manager::IndexManager;
+use feisu_sql::analyze::analyze;
+use feisu_sql::ast::Expr;
+use feisu_sql::cnf::{to_cnf, Cnf, Disjunct};
+use feisu_sql::optimizer::optimize;
+use feisu_sql::plan::{build_plan, LogicalPlan};
+use feisu_storage::auth::{AuthService, Credential, Grant};
+use feisu_storage::fatman::FatmanDomain;
+use feisu_storage::hdfs::HdfsDomain;
+use feisu_storage::kv::KvDomain;
+use feisu_storage::localfs::LocalFsDomain;
+use feisu_storage::ssd_cache::{CachePreference, SsdCache};
+use feisu_storage::{StorageDomain, StorageRouter};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    pub datacenters: u32,
+    pub racks_per_dc: u32,
+    pub nodes_per_rack: u32,
+    pub config: FeisuConfig,
+    pub cost: CostModel,
+    /// Disable to get the paper's "without SmartIndex" baseline.
+    pub use_smartindex: bool,
+    /// Identical-task result reuse in the job manager.
+    pub task_reuse: bool,
+    pub scheduling: Policy,
+    /// Rows per ingested block.
+    pub rows_per_block: usize,
+    /// SSD-cache admission prefixes (§IV-B manual preferences); empty =
+    /// no SSD data cache.
+    pub ssd_cache_prefixes: Vec<String>,
+    /// Entry-guard capability limits (quotas, statement size).
+    pub guard: GuardLimits,
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// A 4-node single-DC cluster for examples and tests.
+    pub fn small() -> ClusterSpec {
+        ClusterSpec {
+            datacenters: 1,
+            racks_per_dc: 2,
+            nodes_per_rack: 2,
+            config: FeisuConfig::default(),
+            cost: CostModel::default(),
+            use_smartindex: true,
+            task_reuse: true,
+            scheduling: Policy::LocalityAware,
+            rows_per_block: 4096,
+            ssd_cache_prefixes: Vec::new(),
+            guard: GuardLimits::default(),
+            seed: 0xFE15,
+        }
+    }
+
+    /// `n` nodes spread over two data centers (evaluation-scale shape).
+    pub fn with_nodes(n: u32) -> ClusterSpec {
+        let nodes_per_rack = 4u32;
+        let racks = n.div_ceil(nodes_per_rack).max(2);
+        ClusterSpec {
+            datacenters: 2,
+            racks_per_dc: racks.div_ceil(2),
+            nodes_per_rack,
+            ..ClusterSpec::small()
+        }
+    }
+
+    pub fn node_count(&self) -> u32 {
+        self.datacenters * self.racks_per_dc * self.nodes_per_rack
+    }
+}
+
+/// Per-query execution options (§III-B: "user can optionally configure
+/// the processed ratio of total data sets to avoid long-tail influence,
+/// or directly limit the total elapse time").
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Fraction of tasks that must complete before returning (≤ 1.0).
+    pub processed_ratio: f64,
+    /// Hard response-time limit.
+    pub time_limit: Option<SimDuration>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            processed_ratio: 1.0,
+            time_limit: None,
+        }
+    }
+}
+
+/// Counters for one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    pub tasks: usize,
+    pub reused_tasks: usize,
+    pub backup_tasks: usize,
+    pub pruned_blocks: usize,
+    pub index_hits: usize,
+    pub index_built: usize,
+    pub scanned_predicates: usize,
+    pub bytes_read: ByteSize,
+    pub memory_served_tasks: usize,
+    /// Results too large for the read-data flow, dumped to global storage
+    /// with only the location shipped (§V-C).
+    pub spilled_results: usize,
+    /// Fraction of tasks whose results made it into the answer.
+    pub processed_ratio: f64,
+}
+
+/// A finished query.
+#[derive(Debug)]
+pub struct QueryResult {
+    pub query_id: QueryId,
+    pub batch: RecordBatch,
+    pub response_time: SimDuration,
+    pub stats: QueryStats,
+    /// True when the answer covers only a fraction of the data (time
+    /// limit hit with `processed_ratio` satisfied).
+    pub partial: bool,
+}
+
+/// The assembled Feisu deployment.
+pub struct FeisuCluster {
+    spec: ClusterSpec,
+    clock: SimClock,
+    topology: Arc<Topology>,
+    router: Arc<StorageRouter>,
+    auth: Arc<AuthService>,
+    catalog: Catalog,
+    leaves: FxHashMap<NodeId, LeafServer>,
+    heartbeats: Mutex<HeartbeatTable>,
+    scheduler: Scheduler,
+    guard: EntryGuard,
+    jobs: JobManager,
+    history: QueryHistory,
+    failed_nodes: FxHashSet<NodeId>,
+    slow_nodes: FxHashMap<NodeId, f64>,
+    /// Per-node resource consumption agreements (§V-A): business-critical
+    /// load shrinks the slots Feisu may use.
+    resources: Mutex<FxHashMap<NodeId, feisu_cluster::resources::ResourceAgreement>>,
+    user_names: FxHashMap<String, UserId>,
+    user_ids: IdGen,
+    query_ids: IdGen,
+    system_cred: Credential,
+}
+
+const SYSTEM_USER: UserId = UserId(0);
+
+impl FeisuCluster {
+    /// Builds a deployment: topology, the four storage domains, auth,
+    /// SSD cache, leaf servers.
+    pub fn new(spec: ClusterSpec) -> Result<FeisuCluster> {
+        spec.config
+            .validate()
+            .map_err(FeisuError::Config)?;
+        let clock = SimClock::new();
+        let topology = Arc::new(Topology::grid(
+            spec.datacenters,
+            spec.racks_per_dc,
+            spec.nodes_per_rack,
+        ));
+        let cost = spec.cost.clone();
+        let local = Arc::new(LocalFsDomain::new(
+            feisu_common::DomainId(0),
+            "local",
+            topology.clone(),
+            cost.clone(),
+        ));
+        let hdfs = Arc::new(HdfsDomain::new(
+            feisu_common::DomainId(1),
+            "hdfs",
+            topology.clone(),
+            cost.clone(),
+            spec.config.replication_factor,
+            spec.seed ^ 0x11,
+        ));
+        let ffs = Arc::new(FatmanDomain::new(
+            feisu_common::DomainId(2),
+            "ffs",
+            topology.clone(),
+            cost.clone(),
+            spec.config.replication_factor,
+            spec.seed ^ 0x22,
+        ));
+        let kv = Arc::new(KvDomain::new(
+            feisu_common::DomainId(3),
+            "kv",
+            topology.clone(),
+            cost.clone(),
+        ));
+        let auth = Arc::new(AuthService::new(spec.seed ^ 0xA0A0));
+        auth.register(SYSTEM_USER);
+        for d in 0..4u64 {
+            auth.grant(SYSTEM_USER, feisu_common::DomainId(d), Grant::ReadWrite);
+        }
+        let system_cred = auth.issue(SYSTEM_USER, clock.now(), SimDuration::hours(24 * 365 * 10))?;
+        let cache = (!spec.ssd_cache_prefixes.is_empty()).then(|| {
+            Arc::new(SsdCache::new(
+                spec.config.ssd_cache_capacity,
+                spec.ssd_cache_prefixes
+                    .iter()
+                    .map(|p| CachePreference {
+                        path_prefix: p.clone(),
+                    })
+                    .collect(),
+            ))
+        });
+        let domains: Vec<Arc<dyn StorageDomain>> = vec![local, hdfs, ffs, kv];
+        let router = Arc::new(StorageRouter::new(
+            domains,
+            0,
+            auth.clone(),
+            cache,
+            cost.clone(),
+        ));
+        let mut leaves = FxHashMap::default();
+        let mut heartbeats = HeartbeatTable::new(
+            spec.config.heartbeat_interval,
+            spec.config.heartbeat_miss_limit,
+        );
+        for n in topology.nodes() {
+            heartbeats.register(n.id, clock.now());
+            leaves.insert(
+                n.id,
+                LeafServer::new(
+                    n.id,
+                    IndexManager::new(spec.config.index_memory_per_leaf, spec.config.index_ttl),
+                    topology.clone(),
+                    cost.clone(),
+                ),
+            );
+        }
+        let mut resources = FxHashMap::default();
+        for n in topology.nodes() {
+            resources.insert(
+                n.id,
+                feisu_cluster::resources::ResourceAgreement::new(
+                    n.cores * 4, // task slots per node
+                    spec.config.resource_agreement_share,
+                ),
+            );
+        }
+        let scheduler = Scheduler::new(spec.scheduling);
+        let guard = EntryGuard::new(spec.guard.clone());
+        let jobs = JobManager::new(
+            SimDuration::minutes(10),
+            if spec.task_reuse { 4096 } else { 0 },
+        );
+        let user_ids = IdGen::new();
+        user_ids.next_u64(); // reserve 0 for the system user
+        Ok(FeisuCluster {
+            spec,
+            clock,
+            topology,
+            router,
+            auth,
+            catalog: Catalog::new(),
+            leaves,
+            heartbeats: Mutex::new(heartbeats),
+            scheduler,
+            guard,
+            jobs,
+            history: QueryHistory::new(),
+            failed_nodes: FxHashSet::default(),
+            slow_nodes: FxHashMap::default(),
+            resources: Mutex::new(resources),
+            user_names: FxHashMap::default(),
+            user_ids,
+            query_ids: IdGen::new(),
+            system_cred,
+        })
+    }
+
+    // ------------------------------------------------------------ admin
+
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// Advances the simulated clock (inter-query idle time, TTL tests).
+    pub fn advance_time(&self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.topology.len()
+    }
+
+    pub fn register_user(&mut self, name: &str) -> UserId {
+        if let Some(&id) = self.user_names.get(name) {
+            return id;
+        }
+        let id = UserId(self.user_ids.next_u64());
+        self.auth.register(id);
+        self.user_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Grants ReadWrite on every storage domain.
+    pub fn grant_all(&self, user: UserId) {
+        for d in self.router.domains() {
+            self.auth.grant(user, d.id(), Grant::ReadWrite);
+        }
+    }
+
+    /// Grants on one domain by prefix (`"hdfs"`, `"local"`, …).
+    pub fn grant(&self, user: UserId, domain_prefix: &str, level: Grant) -> Result<()> {
+        for d in self.router.domains() {
+            if d.prefix() == domain_prefix {
+                self.auth.grant(user, d.id(), level);
+                return Ok(());
+            }
+        }
+        Err(FeisuError::UnknownDomain(domain_prefix.to_string()))
+    }
+
+    /// Issues an 8-hour SSO credential.
+    pub fn login(&self, user: UserId) -> Result<Credential> {
+        self.auth.issue(user, self.clock.now(), SimDuration::hours(8))
+    }
+
+    pub fn auth(&self) -> &Arc<AuthService> {
+        &self.auth
+    }
+
+    pub fn router(&self) -> &Arc<StorageRouter> {
+        &self.router
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn history(&self) -> &QueryHistory {
+        &self.history
+    }
+
+    pub fn jobs(&self) -> &JobManager {
+        &self.jobs
+    }
+
+    /// Kills a node: heartbeats stop, its replicas become unavailable.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.failed_nodes.insert(node);
+        for d in self.router.domains() {
+            d.set_node_available(node, false);
+        }
+    }
+
+    /// Brings a node back.
+    pub fn recover_node(&mut self, node: NodeId) {
+        self.failed_nodes.remove(&node);
+        for d in self.router.domains() {
+            d.set_node_available(node, true);
+        }
+    }
+
+    /// Marks a node as a straggler: its task times are multiplied.
+    pub fn slow_node(&mut self, node: NodeId, factor: f64) {
+        self.slow_nodes.insert(node, factor.max(1.0));
+    }
+
+    /// Reports business-critical load on a node (§V-A resource
+    /// agreement): Feisu's usable task slots shrink accordingly, and the
+    /// count of Feisu tasks that must be preempted is returned.
+    pub fn set_business_load(&self, node: NodeId, slots: u32) -> u32 {
+        let mut res = self.resources.lock();
+        res.get_mut(&node).map_or(0, |a| a.set_business_load(slots))
+    }
+
+    /// Slots Feisu may currently use on a node under its agreement.
+    pub fn feisu_slot_limit(&self, node: NodeId) -> u32 {
+        self.resources.lock().get(&node).map_or(0, |a| a.feisu_limit())
+    }
+
+    /// Per-node SmartIndex statistics (summed).
+    pub fn index_stats(&self) -> feisu_index::IndexStats {
+        let mut total = feisu_index::IndexStats::default();
+        for leaf in self.leaves.values() {
+            let s = leaf.index().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.inserts += s.inserts;
+            total.lru_evictions += s.lru_evictions;
+            total.ttl_evictions += s.ttl_evictions;
+        }
+        total
+    }
+
+    pub fn reset_index_stats(&mut self) {
+        for leaf in self.leaves.values_mut() {
+            leaf.index_mut().reset_stats();
+        }
+    }
+
+    // ------------------------------------------------------------ tables
+
+    /// Registers a table stored under `location`; requires write grant on
+    /// the location's domain.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        location: &str,
+        cred: &Credential,
+    ) -> Result<()> {
+        self.router.validate_path(location)?;
+        let domain = self.router.domain_of(location);
+        self.auth
+            .authorize(cred, domain.id(), Grant::ReadWrite, self.clock.now())?;
+        self.catalog
+            .create_table(name, schema, location, self.spec.rows_per_block)
+    }
+
+    /// Ingests whole columns.
+    pub fn ingest_columns(
+        &self,
+        table: &str,
+        columns: Vec<Column>,
+        cred: &Credential,
+    ) -> Result<usize> {
+        let ids = self.catalog.ingest(
+            table,
+            columns,
+            &self.router,
+            cred,
+            None,
+            self.clock.now(),
+        )?;
+        Ok(ids.len())
+    }
+
+    /// Ingests rows (convenience).
+    pub fn ingest_rows(
+        &self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+        cred: &Credential,
+    ) -> Result<usize> {
+        let ids = self.catalog.ingest_rows(
+            table,
+            rows,
+            &self.router,
+            cred,
+            None,
+            self.clock.now(),
+        )?;
+        Ok(ids.len())
+    }
+
+    /// Ingests rows pinned to one node (log data on its producer).
+    pub fn ingest_rows_at(
+        &self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+        node: NodeId,
+        cred: &Credential,
+    ) -> Result<usize> {
+        let ids = self.catalog.ingest_rows(
+            table,
+            rows,
+            &self.router,
+            cred,
+            Some(node),
+            self.clock.now(),
+        )?;
+        Ok(ids.len())
+    }
+
+    // ------------------------------------------------------------ query
+
+    /// Returns the optimized logical plan for a statement without
+    /// executing it (EXPLAIN).
+    pub fn explain(&self, sql: &str, cred: &Credential) -> Result<String> {
+        let query = QueryHistory::syntax_check(sql)?;
+        for tref in query.all_tables() {
+            let location = self.catalog.location(&tref.name)?;
+            let domain = self.router.domain_of(&location);
+            self.auth
+                .authorize(cred, domain.id(), Grant::Read, self.clock.now())?;
+        }
+        let resolved = analyze(&query, &CatalogView(&self.catalog))?;
+        let plan = optimize(build_plan(&resolved)?)?;
+        Ok(plan.display_indent())
+    }
+
+    /// Ingests nested JSON documents (paper §III-A: "nested data format
+    /// such as json … will be flatten into columns"). The table is
+    /// created on first ingest with the union schema of the batch; later
+    /// batches must carry the same flattened schema.
+    pub fn ingest_json(
+        &self,
+        table: &str,
+        location: &str,
+        documents: &[&str],
+        cred: &Credential,
+    ) -> Result<usize> {
+        let parsed: Vec<feisu_format::json::Json> = documents
+            .iter()
+            .map(|d| feisu_format::json::parse(d))
+            .collect::<Result<_>>()?;
+        let (schema, columns) = feisu_format::json::documents_to_columns(&parsed)?;
+        if self.catalog.schema(table).is_none() {
+            self.create_table(table, schema.clone(), location, cred)?;
+        } else {
+            let existing = self.catalog.schema(table).expect("checked");
+            if existing != schema {
+                return Err(FeisuError::Analysis(format!(
+                    "json batch schema does not match table `{table}`"
+                )));
+            }
+        }
+        let ids =
+            self.catalog
+                .ingest(table, columns, &self.router, cred, None, self.clock.now())?;
+        Ok(ids.len())
+    }
+
+    /// Runs one SQL query with default options.
+    pub fn query(&mut self, sql: &str, cred: &Credential) -> Result<QueryResult> {
+        self.query_with(sql, cred, &QueryOptions::default())
+    }
+
+    /// Runs one SQL query with explicit partial-result options.
+    pub fn query_with(
+        &mut self,
+        sql: &str,
+        cred: &Credential,
+        options: &QueryOptions,
+    ) -> Result<QueryResult> {
+        let now = self.clock.now();
+        let query_id = QueryId(self.query_ids.next_u64());
+
+        // Client layer: syntax check + history collection.
+        let query = QueryHistory::syntax_check(sql)?;
+        self.history.record(cred.user, sql, &query, now);
+
+        // Entry guard: capability protection + quotas.
+        let table_count = query.all_tables().count();
+        self.guard.admit(cred.user, sql, table_count, now)?;
+        let outcome = self.run_admitted(sql, &query, cred, options, now, query_id);
+        self.guard.finish(cred.user);
+        outcome
+    }
+
+    fn run_admitted(
+        &mut self,
+        sql: &str,
+        query: &feisu_sql::ast::Query,
+        cred: &Credential,
+        options: &QueryOptions,
+        now: SimInstant,
+        query_id: QueryId,
+    ) -> Result<QueryResult> {
+        // Access verification: read grant on every touched table's domain.
+        for tref in query.all_tables() {
+            let location = self.catalog.location(&tref.name)?;
+            let domain = self.router.domain_of(&location);
+            self.auth
+                .authorize(cred, domain.id(), Grant::Read, now)?;
+        }
+
+        // Analyze, plan, optimize.
+        let resolved = analyze(query, &CatalogView(&self.catalog))?;
+        let plan = optimize(build_plan(&resolved)?)?;
+
+        // Beat the heartbeat table for all live nodes.
+        self.tick_heartbeats(now);
+
+        let total_blocks: usize = resolved
+            .tables
+            .iter()
+            .map(|t| self.catalog.table(&t.table).map(|d| d.block_count()).unwrap_or(0))
+            .sum();
+        let job = self
+            .jobs
+            .create_job(query_id, cred.user, sql, total_blocks, now);
+        self.jobs.set_state(job, JobState::Running);
+
+        let mut ctx = ExecCtx {
+            cred: cred.clone(),
+            now,
+            options: options.clone(),
+            stats: QueryStats::default(),
+            tally: TimeTally::new(),
+            partial: false,
+        };
+        // Master overhead: parsing/planning/dispatch RPC.
+        ctx.tally.add_cpu(self.spec.cost.rpc_overhead);
+
+        let result = self.exec_plan(&plan, &mut ctx);
+        match &result {
+            Ok(_) => self.jobs.set_state(
+                job,
+                if ctx.partial {
+                    JobState::Abandoned
+                } else {
+                    JobState::Succeeded
+                },
+            ),
+            Err(_) => self.jobs.set_state(job, JobState::Failed),
+        }
+        self.jobs.note_reused(job, ctx.stats.reused_tasks);
+        let batch = result?;
+
+        let response_time = ctx.tally.total();
+        // The cluster's wall clock moves by the query's duration.
+        self.clock.advance(response_time);
+        if ctx.stats.tasks > 0 && ctx.stats.processed_ratio == 0.0 {
+            ctx.stats.processed_ratio = 1.0;
+        }
+        Ok(QueryResult {
+            query_id,
+            batch,
+            response_time,
+            stats: ctx.stats,
+            partial: ctx.partial,
+        })
+    }
+
+    fn tick_heartbeats(&self, now: SimInstant) {
+        let mut hb = self.heartbeats.lock();
+        for n in self.topology.nodes() {
+            if !self.failed_nodes.contains(&n.id) {
+                hb.beat(n.id, now, LoadStats::default());
+            }
+        }
+    }
+
+    // ----------------------------------------------------- plan walking
+
+    fn exec_plan(&mut self, plan: &LogicalPlan, ctx: &mut ExecCtx) -> Result<RecordBatch> {
+        match plan {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+                output_schema,
+            } => {
+                // Push partial aggregation to the leaves when the input is
+                // a bare scan (the dominant shape, Fig. 8).
+                if let LogicalPlan::Scan {
+                    table,
+                    projection,
+                    predicate,
+                    output_schema: scan_schema,
+                    ..
+                } = input.as_ref()
+                {
+                    let stage = AggStage {
+                        group_by: group_by.clone(),
+                        aggregates: aggregates.clone(),
+                    };
+                    let merged = self.distributed_scan(
+                        table,
+                        projection,
+                        predicate.as_ref(),
+                        scan_schema,
+                        Some(stage),
+                        ctx,
+                    )?;
+                    let table = AggTable::from_transport(
+                        group_by.clone(),
+                        aggregates.clone(),
+                        &merged,
+                    )?;
+                    ctx.tally
+                        .add_cpu(self.spec.cost.predicate_eval(merged.rows().max(1)));
+                    return table.finish(output_schema);
+                }
+                let batch = self.exec_plan(input, ctx)?;
+                let mut agg = AggTable::new(group_by.clone(), aggregates.clone());
+                agg.update(&batch)?;
+                ctx.tally
+                    .add_cpu(self.spec.cost.predicate_eval(batch.rows().max(1)));
+                agg.finish(output_schema)
+            }
+            LogicalPlan::Scan {
+                table,
+                projection,
+                predicate,
+                output_schema,
+                ..
+            } => self.distributed_scan(
+                table,
+                projection,
+                predicate.as_ref(),
+                output_schema,
+                None,
+                ctx,
+            ),
+            LogicalPlan::Filter { input, predicate } => {
+                let batch = self.exec_plan(input, ctx)?;
+                ctx.tally
+                    .add_cpu(self.spec.cost.predicate_eval(batch.rows().max(1)));
+                feisu_exec::ops::filter(&batch, predicate)
+            }
+            LogicalPlan::Project {
+                input,
+                exprs,
+                output_schema,
+            } => {
+                let batch = self.exec_plan(input, ctx)?;
+                ctx.tally
+                    .add_cpu(self.spec.cost.predicate_eval(batch.rows().max(1)));
+                feisu_exec::ops::project(&batch, exprs, output_schema)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on,
+                output_schema,
+            } => {
+                let l = self.exec_plan(left, ctx)?;
+                let r = self.exec_plan(right, ctx)?;
+                ctx.tally.add_cpu(
+                    self.spec
+                        .cost
+                        .predicate_eval((l.rows() + r.rows()).max(1)),
+                );
+                feisu_exec::join::join(&l, &r, *kind, on, output_schema)
+            }
+            LogicalPlan::Sort { input, keys, fetch } => {
+                let batch = self.exec_plan(input, ctx)?;
+                let n = batch.rows().max(2);
+                ctx.tally.add_cpu(
+                    self.spec
+                        .cost
+                        .predicate_eval(n * (usize::BITS - n.leading_zeros()) as usize),
+                );
+                feisu_exec::sort::sort(&batch, keys, *fetch)
+            }
+            LogicalPlan::Limit { input, fetch } => {
+                let batch = self.exec_plan(input, ctx)?;
+                feisu_exec::ops::limit(&batch, *fetch)
+            }
+        }
+    }
+
+    // ----------------------------------------------- distributed scans
+
+    #[allow(clippy::too_many_arguments)]
+    fn distributed_scan(
+        &mut self,
+        table: &str,
+        projection: &[String],
+        predicate: Option<&Expr>,
+        output_schema: &Schema,
+        agg: Option<AggStage>,
+        ctx: &mut ExecCtx,
+    ) -> Result<RecordBatch> {
+        let desc = self.catalog.table(table)?;
+        // Canonical → storage name map covers the whole table schema.
+        let mut name_map: FxHashMap<String, String> = FxHashMap::default();
+        for (canon, storage) in output_schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .zip(projection.iter().cloned())
+        {
+            name_map.insert(canon, storage);
+        }
+        // Predicate columns outside the projection also need mapping: a
+        // canonical name is `binding.col` or bare `col`; strip qualifier.
+        if let Some(p) = predicate {
+            let mut cols = Vec::new();
+            p.columns(&mut cols);
+            for c in cols {
+                // Dotted names may be real storage columns (flattened
+                // JSON paths); strip the table qualifier only when the
+                // full name is not a column of the table itself.
+                let storage = if desc.schema.index_of(&c).is_some() {
+                    c.clone()
+                } else {
+                    c.rsplit('.').next().unwrap_or(&c).to_string()
+                };
+                name_map.entry(c.clone()).or_insert(storage);
+            }
+        }
+
+        // Split the predicate into indexable CNF clauses and residuals.
+        let (cnf, residual) = match predicate {
+            None => (Cnf::default(), Vec::new()),
+            Some(p) => {
+                let full = to_cnf(p);
+                let mut indexable = Vec::new();
+                let mut residual = Vec::new();
+                for clause in full.clauses {
+                    let all_simple = clause
+                        .disjuncts
+                        .iter()
+                        .all(|d| matches!(d, Disjunct::Simple(_)));
+                    if all_simple {
+                        indexable.push(clause);
+                    } else {
+                        residual.push(clause.to_expr());
+                    }
+                }
+                (Cnf { clauses: indexable }, residual)
+            }
+        };
+
+        // One task per block.
+        let blocks: Vec<_> = desc.blocks().cloned().collect();
+        let agg_shape = agg.clone();
+        let mut tasks: Vec<ScanTask> = Vec::with_capacity(blocks.len());
+        let mut replica_sets: Vec<Vec<NodeId>> = Vec::with_capacity(blocks.len());
+        for block in blocks {
+            replica_sets.push(self.router.replicas(&block.path)?);
+            tasks.push(ScanTask {
+                table: table.to_string(),
+                block,
+                projection: projection.to_vec(),
+                output_schema: output_schema.clone(),
+                cnf: cnf.clone(),
+                residual: residual.clone(),
+                agg: agg.clone(),
+                name_map: name_map.clone(),
+            });
+        }
+        ctx.stats.tasks += tasks.len();
+        if tasks.is_empty() {
+            // Empty table: aggregate stages still need a zero-state.
+            if let Some(stage) = &agg_shape {
+                let t = AggTable::new(stage.group_by.clone(), stage.aggregates.clone());
+                return t.to_transport();
+            }
+            return Ok(RecordBatch::empty(output_schema.clone()));
+        }
+
+        // Schedule.
+        let assignments = {
+            let hb = self.heartbeats.lock();
+            self.scheduler
+                .assign_all(&replica_sets, &self.topology, &hb, ctx.now)?
+        };
+
+        // Execute, tracking per-node serialized time.
+        // The signature must cover the FULL predicate — indexable clauses
+        // AND residual ones — or queries differing only in a residual
+        // clause would wrongly share cached task results.
+        let cnf_display = cnf
+            .clauses
+            .iter()
+            .map(|c| c.to_expr().to_string())
+            .chain(residual.iter().map(|e| e.to_string()))
+            .collect::<Vec<_>>()
+            .join("&");
+        let agg_display = agg_shape
+            .as_ref()
+            .map(|s| {
+                s.aggregates
+                    .iter()
+                    .map(|a| a.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .unwrap_or_default();
+        let mut node_time: FxHashMap<NodeId, SimDuration> = FxHashMap::default();
+        let mut outputs: Vec<(NodeId, SimDuration, LeafOutput)> = Vec::new();
+        for (task, assignment) in tasks.iter().zip(&assignments) {
+            let signature = task_signature(
+                table,
+                task.block.id,
+                &cnf_display,
+                projection,
+                &agg_display,
+            );
+            if let Some((batch, is_agg)) = self.jobs.lookup_task(&signature, ctx.now) {
+                ctx.stats.reused_tasks += 1;
+                // Reuse is a master-side cache hit: negligible leaf time.
+                let out = LeafOutput {
+                    batch,
+                    is_agg_transport: is_agg,
+                    tally: TimeTally::new(),
+                    stats: LeafTaskStats::default(),
+                };
+                let done = *node_time.entry(assignment.node).or_default();
+                outputs.push((assignment.node, done, out));
+                continue;
+            }
+            let (node, output) = self.execute_with_backup(task, *assignment, ctx)?;
+            ctx.stats.index_hits += output.stats.index_hits;
+            ctx.stats.index_built += output.stats.index_built;
+            ctx.stats.scanned_predicates += output.stats.scanned_predicates;
+            ctx.stats.bytes_read += output.stats.bytes_read;
+            if output.stats.pruned_by_zone {
+                ctx.stats.pruned_blocks += 1;
+            }
+            if output.stats.served_from_memory {
+                ctx.stats.memory_served_tasks += 1;
+            }
+            self.jobs.store_task(
+                signature,
+                output.batch.clone(),
+                output.is_agg_transport,
+                ctx.now,
+            );
+            let t = node_time.entry(node).or_default();
+            *t += output.tally.total();
+            let done = *t;
+            outputs.push((node, done, output));
+        }
+
+        // Partial-result handling: tasks finishing after the limit are
+        // abandoned if the processed ratio is already satisfied.
+        let total_tasks = outputs.len();
+        let mut kept: Vec<LeafOutput> = Vec::with_capacity(total_tasks);
+        let mut abandoned = 0usize;
+        if let Some(limit) = ctx.options.time_limit {
+            for (_, done, out) in outputs {
+                if done <= limit {
+                    kept.push(out);
+                } else {
+                    abandoned += 1;
+                }
+            }
+            let achieved = kept.len() as f64 / total_tasks as f64;
+            if abandoned > 0 {
+                if achieved + 1e-12 < ctx.options.processed_ratio {
+                    return Err(FeisuError::Deadline(format!(
+                        "only {:.0}% of tasks finished within {limit}, {:.0}% required",
+                        achieved * 100.0,
+                        ctx.options.processed_ratio * 100.0
+                    )));
+                }
+                ctx.partial = true;
+            }
+            ctx.stats.processed_ratio = achieved;
+        } else {
+            kept = outputs.into_iter().map(|(_, _, o)| o).collect();
+            ctx.stats.processed_ratio = 1.0;
+        }
+        if kept.is_empty() {
+            if let Some(stage) = &agg_shape {
+                let t = AggTable::new(stage.group_by.clone(), stage.aggregates.clone());
+                return t.to_transport();
+            }
+            return Ok(RecordBatch::empty(output_schema.clone()));
+        }
+
+        // Critical path: slowest node, capped by the time limit when
+        // partial results were returned.
+        let mut critical = node_time.values().copied().fold(SimDuration::ZERO, |a, b| a.max(b));
+        if let Some(limit) = ctx.options.time_limit {
+            if ctx.partial {
+                critical = critical.max(limit).min(limit);
+            }
+        }
+        let mut scan_tally = TimeTally::new();
+        scan_tally.add_io(critical); // critical path of leaf work
+
+        // Merge bottom-up through the stem tree.
+        let agg_ref = agg_shape
+            .as_ref()
+            .map(|s| (s.group_by.as_slice(), s.aggregates.as_slice()));
+        let per_stem = self.spec.config.leaves_per_stem.max(1);
+        let mut stem_outputs = Vec::new();
+        let mut group = Vec::new();
+        for out in kept {
+            group.push(out);
+            if group.len() == per_stem {
+                stem_outputs.push(stem::merge_leaf_outputs(
+                    std::mem::take(&mut group),
+                    agg_ref,
+                    &self.spec.cost,
+                    2,
+                )?);
+            }
+        }
+        if !group.is_empty() {
+            stem_outputs.push(stem::merge_leaf_outputs(group, agg_ref, &self.spec.cost, 2)?);
+        }
+        let root = stem::merge_stem_outputs(stem_outputs, agg_ref, &self.spec.cost, 4)?;
+        // The stem/master merge happens after the slowest leaf: charge its
+        // cpu+network on top of the leaf critical path.
+        scan_tally.add_cpu(root.tally.cpu);
+        scan_tally.add_network(root.tally.network);
+        ctx.tally = ctx.tally.then(&scan_tally);
+
+        // §V-C read-data flow: an oversized result is dumped to global
+        // storage and only its location travels to the master, which
+        // fetches it through the bulk path.
+        let payload = ByteSize(root.batch.footprint() as u64);
+        if payload > self.spec.config.result_spill_threshold {
+            ctx.stats.spilled_results += 1;
+            let spill_path = format!("/hdfs/.feisu/tmp/q{}", ctx.now.as_nanos());
+            // The spill is a round trip through the global store: one
+            // write from the stem, one read at the master.
+            self.router.write(
+                &spill_path,
+                bytes::Bytes::from(vec![0u8; 0]), // marker object; data stays in memory
+                None,
+                &self.system_cred,
+                ctx.now,
+            )?;
+            let mut spill_tally = TimeTally::new();
+            spill_tally.add_io(
+                self.spec.cost.read(feisu_cluster::StorageMedium::Hdd, payload) * 2,
+            );
+            ctx.tally = ctx.tally.then(&spill_tally);
+        }
+        Ok(root.batch)
+    }
+
+    /// Runs a task on its assigned node, launching a backup task when the
+    /// node is dead or pathologically slow (§III-B fault tolerance).
+    fn execute_with_backup(
+        &mut self,
+        task: &ScanTask,
+        assignment: crate::master::Assignment,
+        ctx: &mut ExecCtx,
+    ) -> Result<(NodeId, LeafOutput)> {
+        let node = assignment.node;
+        let slow = self.slow_nodes.get(&node).copied().unwrap_or(1.0);
+        let primary = self.run_on_leaf(task, node, ctx);
+        match primary {
+            Ok(mut out) => {
+                if slow > 1.0 {
+                    out.tally = scale_tally(&out.tally, slow);
+                    // Straggler mitigation: a backup on a healthy node
+                    // bounds the effective time at delay + normal time.
+                    let normal_total = scale_tally(&out.tally, 1.0 / slow).total();
+                    let backup_total = self.spec.config.backup_task_delay + normal_total;
+                    if backup_total < out.tally.total() {
+                        ctx.stats.backup_tasks += 1;
+                        let mut t = TimeTally::new();
+                        t.add_io(backup_total);
+                        out.tally = t;
+                    }
+                }
+                Ok((node, out))
+            }
+            Err(e) if e.is_retryable() => {
+                // Backup task on the next-best node.
+                ctx.stats.backup_tasks += 1;
+                let replicas = self.router.replicas(&task.block.path)?;
+                let alive: Vec<NodeId> = {
+                    let hb = self.heartbeats.lock();
+                    hb.alive_nodes(ctx.now)
+                        .into_iter()
+                        .filter(|n| *n != node && !self.failed_nodes.contains(n))
+                        .collect()
+                };
+                let backup_node = alive
+                    .iter()
+                    .copied()
+                    .find(|n| replicas.contains(n))
+                    .or_else(|| alive.first().copied())
+                    .ok_or_else(|| {
+                        FeisuError::Scheduling("no backup worker available".into())
+                    })?;
+                let mut out = self.run_on_leaf(task, backup_node, ctx)?;
+                // The backup started after the detection delay.
+                let mut t = TimeTally::new();
+                t.add_io(self.spec.config.backup_task_delay + out.tally.total());
+                out.tally = t;
+                Ok((backup_node, out))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn run_on_leaf(
+        &mut self,
+        task: &ScanTask,
+        node: NodeId,
+        ctx: &mut ExecCtx,
+    ) -> Result<LeafOutput> {
+        if self.failed_nodes.contains(&node) {
+            return Err(FeisuError::NodeUnavailable(format!("{node} is down")));
+        }
+        // Resource agreement: a saturated node refuses the task (the
+        // caller reroutes it as a backup task on another node).
+        {
+            let mut res = self.resources.lock();
+            if let Some(a) = res.get_mut(&node) {
+                a.acquire()?;
+            }
+        }
+        let leaf = match self.leaves.get_mut(&node) {
+            Some(l) => l,
+            None => {
+                if let Some(a) = self.resources.lock().get_mut(&node) {
+                    a.release();
+                }
+                return Err(FeisuError::NodeUnavailable(format!(
+                    "{node} has no leaf server"
+                )));
+            }
+        };
+        let out = leaf.execute(
+            task,
+            &self.router,
+            &ctx.cred,
+            ctx.now,
+            self.spec.use_smartindex,
+        );
+        if let Some(a) = self.resources.lock().get_mut(&node) {
+            a.release();
+        }
+        out
+    }
+
+    // --------------------------------------------------- personalization
+
+    /// Pre-builds *pinned* private indices for a user's most frequent
+    /// predicates (client-side history, §III-C) on every replica holder.
+    pub fn personalize(&mut self, user: UserId, top_n: usize) -> Result<usize> {
+        let now = self.clock.now();
+        let frequent =
+            self.history
+                .frequent_predicates(user, now, SimDuration::hours(24), top_n);
+        let mut built = 0usize;
+        for (pred, _) in frequent {
+            // Find tables whose schema carries the predicate column.
+            for table in self.catalog.table_names() {
+                let Some(schema) = self.catalog.schema(&table) else {
+                    continue;
+                };
+                let storage_col = if schema.index_of(&pred.column).is_some() {
+                    pred.column.as_str()
+                } else {
+                    pred.column.rsplit('.').next().unwrap_or(&pred.column)
+                };
+                if schema.index_of(storage_col).is_none() {
+                    continue;
+                }
+                let desc = self.catalog.table(&table)?;
+                let storage_pred = feisu_sql::cnf::SimplePredicate {
+                    column: storage_col.to_string(),
+                    op: pred.op,
+                    value: pred.value.clone(),
+                };
+                for block in desc.blocks() {
+                    let replicas = self.router.replicas(&block.path)?;
+                    let read = self
+                        .router
+                        .read(&block.path, replicas[0], &self.system_cred, now)?;
+                    let parsed = feisu_format::Block::deserialize(&read.data)?;
+                    for node in replicas {
+                        if let Some(leaf) = self.leaves.get_mut(&node) {
+                            leaf.pin_index(&parsed, &storage_pred, now)?;
+                            built += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(built)
+    }
+
+    /// Access to a node's leaf server (tests and benches).
+    pub fn leaf(&self, node: NodeId) -> Option<&LeafServer> {
+        self.leaves.get(&node)
+    }
+}
+
+/// Mutable per-query execution context threaded through the plan walk.
+struct ExecCtx {
+    cred: Credential,
+    now: SimInstant,
+    options: QueryOptions,
+    stats: QueryStats,
+    tally: TimeTally,
+    partial: bool,
+}
+
+fn scale_tally(t: &TimeTally, f: f64) -> TimeTally {
+    let s = |d: SimDuration| SimDuration::nanos((d.as_nanos() as f64 * f) as u64);
+    TimeTally {
+        io: s(t.io),
+        cpu: s(t.cpu),
+        network: s(t.network),
+    }
+}

@@ -1,0 +1,190 @@
+//! The entry guard (paper §III-C).
+//!
+//! "It is the entry point of whole system, executing the security
+//! checking of access flows and dispatching the incoming traffics. It is
+//! also responsible for capability protection to avoid malicious
+//! attacks." Concretely: per-user admission (daily query quota,
+//! concurrent-job cap) and capability limits on the query itself
+//! (statement length, table fan-out) so one user cannot monopolize the
+//! master.
+
+use feisu_common::hash::FxHashMap;
+use feisu_common::{FeisuError, Result, SimDuration, SimInstant, UserId};
+use parking_lot::Mutex;
+
+/// Tunable capability limits.
+#[derive(Debug, Clone)]
+pub struct GuardLimits {
+    /// Maximum SQL statement length in bytes.
+    pub max_query_len: usize,
+    /// Maximum tables one query may touch.
+    pub max_tables: usize,
+    /// Queries admitted per user per rolling day.
+    pub daily_quota: u32,
+    /// Concurrently running jobs per user.
+    pub max_concurrent: u32,
+}
+
+impl Default for GuardLimits {
+    fn default() -> Self {
+        GuardLimits {
+            max_query_len: 64 * 1024,
+            max_tables: 8,
+            daily_quota: 10_000,
+            max_concurrent: 16,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct UserWindow {
+    /// Admission timestamps within the rolling day.
+    admissions: Vec<SimInstant>,
+    running: u32,
+}
+
+/// Admission control at the system entry point.
+pub struct EntryGuard {
+    limits: GuardLimits,
+    users: Mutex<FxHashMap<UserId, UserWindow>>,
+}
+
+impl EntryGuard {
+    pub fn new(limits: GuardLimits) -> Self {
+        EntryGuard {
+            limits,
+            users: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Checks all capability limits and reserves a running-job slot.
+    /// Call [`EntryGuard::finish`] when the job completes.
+    pub fn admit(
+        &self,
+        user: UserId,
+        sql: &str,
+        table_count: usize,
+        now: SimInstant,
+    ) -> Result<()> {
+        if sql.len() > self.limits.max_query_len {
+            return Err(FeisuError::PermissionDenied(format!(
+                "query of {} bytes exceeds the {}-byte capability limit",
+                sql.len(),
+                self.limits.max_query_len
+            )));
+        }
+        if table_count > self.limits.max_tables {
+            return Err(FeisuError::PermissionDenied(format!(
+                "query touches {table_count} tables, capability limit is {}",
+                self.limits.max_tables
+            )));
+        }
+        let mut users = self.users.lock();
+        let w = users.entry(user).or_default();
+        let day = SimDuration::hours(24);
+        // Compact the rolling window only when it could matter — keeps
+        // admit O(1) amortized for users far below quota.
+        if w.admissions.len() as u32 >= self.limits.daily_quota
+            || w.admissions.len() > 2 * self.limits.daily_quota.min(100_000) as usize
+        {
+            w.admissions.retain(|t| now.since(*t) <= day);
+        }
+        if w.admissions.len() as u32 >= self.limits.daily_quota {
+            return Err(FeisuError::PermissionDenied(format!(
+                "{user} exhausted the daily quota of {}",
+                self.limits.daily_quota
+            )));
+        }
+        if w.running >= self.limits.max_concurrent {
+            return Err(FeisuError::PermissionDenied(format!(
+                "{user} already has {} running jobs (limit {})",
+                w.running, self.limits.max_concurrent
+            )));
+        }
+        w.admissions.push(now);
+        w.running += 1;
+        Ok(())
+    }
+
+    /// Releases the running-job slot.
+    pub fn finish(&self, user: UserId) {
+        let mut users = self.users.lock();
+        if let Some(w) = users.get_mut(&user) {
+            w.running = w.running.saturating_sub(1);
+        }
+    }
+
+    /// Queries admitted for a user in the current rolling day.
+    pub fn admitted_today(&self, user: UserId, now: SimInstant) -> u32 {
+        let mut users = self.users.lock();
+        match users.get_mut(&user) {
+            None => 0,
+            Some(w) => {
+                let day = SimDuration::hours(24);
+                w.admissions.retain(|t| now.since(*t) <= day);
+                w.admissions.len() as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard(quota: u32, concurrent: u32) -> EntryGuard {
+        EntryGuard::new(GuardLimits {
+            daily_quota: quota,
+            max_concurrent: concurrent,
+            ..GuardLimits::default()
+        })
+    }
+
+    #[test]
+    fn oversized_query_rejected() {
+        let g = EntryGuard::new(GuardLimits {
+            max_query_len: 10,
+            ..GuardLimits::default()
+        });
+        assert!(g
+            .admit(UserId(1), "SELECT * FROM a_very_long_table", 1, SimInstant(0))
+            .is_err());
+    }
+
+    #[test]
+    fn table_fanout_capped() {
+        let g = guard(10, 10);
+        assert!(g.admit(UserId(1), "q", 9, SimInstant(0)).is_err());
+        assert!(g.admit(UserId(1), "q", 8, SimInstant(0)).is_ok());
+    }
+
+    #[test]
+    fn daily_quota_rolls_over() {
+        let g = guard(2, 10);
+        let t0 = SimInstant(0);
+        assert!(g.admit(UserId(1), "q", 1, t0).is_ok());
+        assert!(g.admit(UserId(1), "q", 1, t0).is_ok());
+        assert!(g.admit(UserId(1), "q", 1, t0).is_err());
+        assert_eq!(g.admitted_today(UserId(1), t0), 2);
+        // 25 hours later the window has rolled.
+        let t1 = t0 + SimDuration::hours(25);
+        assert!(g.admit(UserId(1), "q", 1, t1).is_ok());
+    }
+
+    #[test]
+    fn concurrency_limit_released_by_finish() {
+        let g = guard(100, 1);
+        assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_ok());
+        assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_err());
+        g.finish(UserId(1));
+        assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_ok());
+    }
+
+    #[test]
+    fn quotas_are_per_user() {
+        let g = guard(1, 10);
+        assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_ok());
+        assert!(g.admit(UserId(2), "q", 1, SimInstant(0)).is_ok());
+        assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! The job manager (paper §III-C).
+//!
+//! "Job manager maintains the running information of user query jobs…
+//! Before the new job is put into a candidate job queue, job manager
+//! tries to reuse other running job's task result if tasks are
+//! identical." Identical = same block, same predicate CNF, same
+//! projection, same aggregation stage — captured in a task signature.
+//! The result cache holds recent task outputs for a short window (the
+//! overlap window of concurrently running / back-to-back jobs).
+
+use feisu_common::hash::FxHashMap;
+use feisu_common::ids::IdGen;
+use feisu_common::{JobId, QueryId, SimDuration, SimInstant, UserId};
+use feisu_exec::batch::RecordBatch;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Succeeded,
+    Failed,
+    /// Returned partial results after hitting its time limit (§III-B).
+    Abandoned,
+}
+
+/// Bookkeeping record for one job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    pub job: JobId,
+    pub query: QueryId,
+    pub user: UserId,
+    pub sql: String,
+    pub state: JobState,
+    pub submitted_at: SimInstant,
+    pub tasks_total: usize,
+    pub tasks_reused: usize,
+}
+
+/// A cached task result.
+#[derive(Debug, Clone)]
+struct CachedResult {
+    batch: RecordBatch,
+    is_agg_transport: bool,
+    stored_at: SimInstant,
+}
+
+/// The job manager: job table + identical-task result cache.
+pub struct JobManager {
+    job_ids: IdGen,
+    jobs: Mutex<FxHashMap<JobId, JobRecord>>,
+    cache: Mutex<TaskResultCache>,
+}
+
+struct TaskResultCache {
+    ttl: SimDuration,
+    capacity: usize,
+    entries: FxHashMap<String, CachedResult>,
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl JobManager {
+    /// `reuse_ttl` bounds how stale a reused task result may be;
+    /// `reuse_capacity` bounds cache entries (0 disables reuse).
+    pub fn new(reuse_ttl: SimDuration, reuse_capacity: usize) -> Self {
+        JobManager {
+            job_ids: IdGen::new(),
+            jobs: Mutex::new(FxHashMap::default()),
+            cache: Mutex::new(TaskResultCache {
+                ttl: reuse_ttl,
+                capacity: reuse_capacity,
+                entries: FxHashMap::default(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Creates a job record in `Queued` state.
+    pub fn create_job(
+        &self,
+        query: QueryId,
+        user: UserId,
+        sql: &str,
+        tasks_total: usize,
+        now: SimInstant,
+    ) -> JobId {
+        let job = JobId(self.job_ids.next_u64());
+        self.jobs.lock().insert(
+            job,
+            JobRecord {
+                job,
+                query,
+                user,
+                sql: sql.to_string(),
+                state: JobState::Queued,
+                submitted_at: now,
+                tasks_total,
+                tasks_reused: 0,
+            },
+        );
+        job
+    }
+
+    pub fn set_state(&self, job: JobId, state: JobState) {
+        if let Some(rec) = self.jobs.lock().get_mut(&job) {
+            rec.state = state;
+        }
+    }
+
+    pub fn note_reused(&self, job: JobId, n: usize) {
+        if let Some(rec) = self.jobs.lock().get_mut(&job) {
+            rec.tasks_reused += n;
+        }
+    }
+
+    pub fn job(&self, job: JobId) -> Option<JobRecord> {
+        self.jobs.lock().get(&job).cloned()
+    }
+
+    pub fn jobs_of(&self, user: UserId) -> Vec<JobRecord> {
+        let mut v: Vec<JobRecord> = self
+            .jobs
+            .lock()
+            .values()
+            .filter(|r| r.user == user)
+            .cloned()
+            .collect();
+        v.sort_by_key(|r| r.job);
+        v
+    }
+
+    /// Tries to reuse a previous identical task's result.
+    pub fn lookup_task(
+        &self,
+        signature: &str,
+        now: SimInstant,
+    ) -> Option<(RecordBatch, bool)> {
+        let mut cache = self.cache.lock();
+        let fresh = match cache.entries.get(signature) {
+            Some(c) => now.since(c.stored_at) <= cache.ttl,
+            None => false,
+        };
+        if fresh {
+            cache.hits += 1;
+            let c = &cache.entries[signature];
+            Some((c.batch.clone(), c.is_agg_transport))
+        } else {
+            cache.entries.remove(signature);
+            cache.misses += 1;
+            None
+        }
+    }
+
+    /// Stores a finished task's result for reuse by identical tasks.
+    pub fn store_task(
+        &self,
+        signature: String,
+        batch: RecordBatch,
+        is_agg_transport: bool,
+        now: SimInstant,
+    ) {
+        let mut cache = self.cache.lock();
+        if cache.capacity == 0 {
+            return;
+        }
+        while cache.entries.len() >= cache.capacity {
+            match cache.order.pop_front() {
+                Some(old) => {
+                    cache.entries.remove(&old);
+                }
+                None => break,
+            }
+        }
+        cache.order.push_back(signature.clone());
+        cache.entries.insert(
+            signature,
+            CachedResult {
+                batch,
+                is_agg_transport,
+                stored_at: now,
+            },
+        );
+    }
+
+    /// (hits, misses) of the reuse cache.
+    pub fn reuse_stats(&self) -> (u64, u64) {
+        let c = self.cache.lock();
+        (c.hits, c.misses)
+    }
+}
+
+/// Builds the canonical signature for a scan task.
+pub fn task_signature(
+    table: &str,
+    block: feisu_common::BlockId,
+    cnf_display: &str,
+    projection: &[String],
+    agg_display: &str,
+) -> String {
+    format!(
+        "{table}\u{1}{block}\u{1}{cnf_display}\u{1}{}\u{1}{agg_display}",
+        projection.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feisu_common::BlockId;
+    use feisu_format::{Column, DataType, Field, Schema};
+
+    fn batch() -> RecordBatch {
+        RecordBatch::new(
+            Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+            vec![Column::from_i64(vec![1, 2, 3])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn job_lifecycle() {
+        let jm = JobManager::new(SimDuration::minutes(5), 16);
+        let job = jm.create_job(QueryId(1), UserId(1), "SELECT 1 FROM t", 4, SimInstant(0));
+        assert_eq!(jm.job(job).unwrap().state, JobState::Queued);
+        jm.set_state(job, JobState::Running);
+        jm.note_reused(job, 2);
+        jm.set_state(job, JobState::Succeeded);
+        let rec = jm.job(job).unwrap();
+        assert_eq!(rec.state, JobState::Succeeded);
+        assert_eq!(rec.tasks_reused, 2);
+        assert_eq!(jm.jobs_of(UserId(1)).len(), 1);
+        assert!(jm.jobs_of(UserId(9)).is_empty());
+    }
+
+    #[test]
+    fn task_reuse_within_ttl() {
+        let jm = JobManager::new(SimDuration::minutes(5), 16);
+        let sig = task_signature("t", BlockId(1), "(c>1)", &["a".into()], "");
+        assert!(jm.lookup_task(&sig, SimInstant(0)).is_none());
+        jm.store_task(sig.clone(), batch(), false, SimInstant(0));
+        let hit = jm.lookup_task(&sig, SimInstant(0)).unwrap();
+        assert_eq!(hit.0.rows(), 3);
+        // Expired after TTL.
+        let late = SimInstant::EPOCH + SimDuration::minutes(6);
+        assert!(jm.lookup_task(&sig, late).is_none());
+        assert_eq!(jm.reuse_stats(), (1, 2));
+    }
+
+    #[test]
+    fn distinct_signatures_do_not_collide() {
+        let a = task_signature("t", BlockId(1), "(c>1)", &["a".into()], "");
+        let b = task_signature("t", BlockId(2), "(c>1)", &["a".into()], "");
+        let c = task_signature("t", BlockId(1), "(c>2)", &["a".into()], "");
+        let d = task_signature("t", BlockId(1), "(c>1)", &["b".into()], "");
+        let set: std::collections::HashSet<_> = [a, b, c, d].into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let jm = JobManager::new(SimDuration::hours(1), 2);
+        for i in 0..3u64 {
+            jm.store_task(format!("sig{i}"), batch(), false, SimInstant(0));
+        }
+        assert!(jm.lookup_task("sig0", SimInstant(0)).is_none());
+        assert!(jm.lookup_task("sig2", SimInstant(0)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_reuse() {
+        let jm = JobManager::new(SimDuration::hours(1), 0);
+        jm.store_task("sig".into(), batch(), false, SimInstant(0));
+        assert!(jm.lookup_task("sig", SimInstant(0)).is_none());
+    }
+}

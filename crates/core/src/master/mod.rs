@@ -1,0 +1,20 @@
+//! The master services (paper §III-C).
+//!
+//! "The Feisu's master is a key service and is built with the following
+//! main components": the [`job_manager`] (query jobs, identical-task
+//! result reuse), the cluster manager (heartbeats — lives in
+//! `feisu-cluster::heartbeat`, wired up by the engine), the
+//! [`scheduler`] (locality/network/load-aware task placement) and the
+//! [`guard`] (entry point: access-flow security checks and capability
+//! protection). They are separate modules exactly because the production
+//! system had to split them into independently scalable services (§VII).
+
+pub mod failover;
+pub mod guard;
+pub mod job_manager;
+pub mod scheduler;
+
+pub use failover::PrimaryBackup;
+pub use guard::EntryGuard;
+pub use job_manager::{JobManager, JobState};
+pub use scheduler::{Assignment, Scheduler};

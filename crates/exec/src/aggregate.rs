@@ -1,0 +1,653 @@
+//! Hash aggregation with mergeable partial states.
+//!
+//! Feisu aggregates bottom-up: each leaf computes partial states over its
+//! blocks, stem servers merge children, the master finalizes (§III-B).
+//! `AggTable` is that partial state; it serializes to/from a
+//! `RecordBatch` so it can travel the execution tree like any other data.
+
+use crate::batch::{BatchRow, RecordBatch};
+use crate::expr::coerce;
+use feisu_common::hash::FxHashMap;
+use feisu_common::{FeisuError, Result};
+use feisu_format::{Column, ColumnBuilder, DataType, Field, Schema, Value};
+use feisu_sql::ast::AggFunc;
+use feisu_sql::eval::eval;
+use feisu_sql::plan::AggExpr;
+
+/// Partial state of one aggregate over one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    Count(i64),
+    /// SUM: running total (int precision kept when possible) + whether
+    /// any non-null input was seen (SUM of all-null is NULL).
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+    /// AVG: (sum, count).
+    Avg(f64, i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc, out_type: DataType) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => match out_type {
+                DataType::Int64 => AggState::SumInt(0, false),
+                _ => AggState::SumFloat(0.0, false),
+            },
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            AggState::SumInt(s, seen) => {
+                if let Some(i) = v.as_i64() {
+                    *s = s.wrapping_add(i);
+                    *seen = true;
+                } else if !v.is_null() {
+                    return Err(FeisuError::Execution(format!("SUM over non-numeric {v}")));
+                }
+            }
+            AggState::SumFloat(s, seen) => {
+                if let Some(f) = v.as_f64() {
+                    *s += f;
+                    *seen = true;
+                } else if !v.is_null() {
+                    return Err(FeisuError::Execution(format!("SUM over non-numeric {v}")));
+                }
+            }
+            AggState::Avg(s, n) => {
+                if let Some(f) = v.as_f64() {
+                    *s += f;
+                    *n += 1;
+                } else if !v.is_null() {
+                    return Err(FeisuError::Execution(format!("AVG over non-numeric {v}")));
+                }
+            }
+            AggState::Min(cur) => {
+                if !v.is_null() {
+                    let replace = cur
+                        .as_ref()
+                        .is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Less);
+                    if replace {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if !v.is_null() {
+                    let replace = cur
+                        .as_ref()
+                        .is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Greater);
+                    if replace {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts a row for `COUNT(*)` (argument-less).
+    fn count_row(&mut self) {
+        if let AggState::Count(n) = self {
+            *n += 1;
+        }
+    }
+
+    fn merge(&mut self, other: &AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::SumInt(a, sa), AggState::SumInt(b, sb)) => {
+                *a = a.wrapping_add(*b);
+                *sa |= sb;
+            }
+            (AggState::SumFloat(a, sa), AggState::SumFloat(b, sb)) => {
+                *a += b;
+                *sa |= sb;
+            }
+            (AggState::Avg(s1, n1), AggState::Avg(s2, n2)) => {
+                *s1 += s2;
+                *n1 += n2;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(bv) = b {
+                    let replace = a
+                        .as_ref()
+                        .is_none_or(|av| bv.total_cmp(av) == std::cmp::Ordering::Less);
+                    if replace {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(bv) = b {
+                    let replace = a
+                        .as_ref()
+                        .is_none_or(|bv2| bv.total_cmp(bv2) == std::cmp::Ordering::Greater);
+                    if replace {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            _ => {
+                return Err(FeisuError::Internal(
+                    "merging incompatible aggregate states".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value.
+    fn finish(&self, out_type: DataType) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int64(*n),
+            AggState::SumInt(s, seen) => {
+                if *seen {
+                    Value::Int64(*s)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumFloat(s, seen) => {
+                if *seen {
+                    Value::Float64(*s)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg(s, n) => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(s / *n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => match v {
+                None => Value::Null,
+                Some(v) => coerce(v.clone(), out_type).unwrap_or_else(|_| v.clone()),
+            },
+        }
+    }
+}
+
+/// Partial aggregation table: group key → per-aggregate states.
+#[derive(Debug, Clone)]
+pub struct AggTable {
+    group_by: Vec<(feisu_sql::ast::Expr, String, DataType)>,
+    aggregates: Vec<AggExpr>,
+    groups: FxHashMap<Vec<Value>, Vec<AggState>>,
+    /// Global aggregation (no GROUP BY) must produce one row even over
+    /// zero input rows.
+    global: bool,
+}
+
+impl AggTable {
+    pub fn new(
+        group_by: Vec<(feisu_sql::ast::Expr, String, DataType)>,
+        aggregates: Vec<AggExpr>,
+    ) -> AggTable {
+        let global = group_by.is_empty();
+        let mut t = AggTable {
+            group_by,
+            aggregates,
+            groups: FxHashMap::default(),
+            global,
+        };
+        if t.global {
+            t.groups.insert(Vec::new(), t.fresh_states());
+        }
+        t
+    }
+
+    fn fresh_states(&self) -> Vec<AggState> {
+        self.aggregates
+            .iter()
+            .map(|a| AggState::new(a.func, a.output_type))
+            .collect()
+    }
+
+    /// Folds one batch into the table.
+    pub fn update(&mut self, batch: &RecordBatch) -> Result<()> {
+        for i in 0..batch.rows() {
+            let row = BatchRow { batch, row: i };
+            let key: Vec<Value> = self
+                .group_by
+                .iter()
+                .map(|(e, _, _)| eval(e, &row))
+                .collect::<Result<_>>()?;
+            let states = match self.groups.get_mut(&key) {
+                Some(s) => s,
+                None => {
+                    let fresh = self.fresh_states();
+                    self.groups.entry(key).or_insert(fresh)
+                }
+            };
+            for (state, agg) in states.iter_mut().zip(&self.aggregates) {
+                match &agg.arg {
+                    None => state.count_row(),
+                    Some(arg) => {
+                        let v = eval(arg, &row)?;
+                        state.update(&v)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges another partial table (same shape) into this one.
+    pub fn merge(&mut self, other: &AggTable) -> Result<()> {
+        for (key, states) in &other.groups {
+            match self.groups.get_mut(key) {
+                Some(mine) => {
+                    for (a, b) in mine.iter_mut().zip(states) {
+                        a.merge(b)?;
+                    }
+                }
+                None => {
+                    self.groups.insert(key.clone(), states.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Finalizes into the aggregate operator's output batch.
+    pub fn finish(&self, output_schema: &Schema) -> Result<RecordBatch> {
+        let mut builders: Vec<ColumnBuilder> = output_schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.data_type))
+            .collect();
+        // Deterministic output order: sort groups by key.
+        let mut keys: Vec<&Vec<Value>> = self.groups.keys().collect();
+        keys.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let o = x.total_cmp(y);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let ngroup = self.group_by.len();
+        for key in keys {
+            let states = &self.groups[key];
+            for (i, v) in key.iter().enumerate() {
+                let target = output_schema.field(i).data_type;
+                builders[i].push(coerce(v.clone(), target)?);
+            }
+            for (j, (state, agg)) in states.iter().zip(&self.aggregates).enumerate() {
+                let target = output_schema.field(ngroup + j).data_type;
+                builders[ngroup + j].push(coerce(state.finish(agg.output_type), target)?);
+            }
+        }
+        let columns: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
+        RecordBatch::new(output_schema.clone(), columns)
+    }
+
+    // ---- shipping: partial tables travel the tree as record batches ----
+
+    /// Schema of the shipped partial-state batch.
+    pub fn transport_schema(&self) -> Schema {
+        let mut fields: Vec<Field> = self
+            .group_by
+            .iter()
+            .map(|(_, name, dt)| Field::new(format!("k:{name}"), *dt, true))
+            .collect();
+        for (i, a) in self.aggregates.iter().enumerate() {
+            match a.func {
+                AggFunc::Count => {
+                    fields.push(Field::new(format!("s{i}:count"), DataType::Int64, true))
+                }
+                AggFunc::Sum => {
+                    fields.push(Field::new(format!("s{i}:sum"), DataType::Float64, true));
+                    fields.push(Field::new(format!("s{i}:seen"), DataType::Bool, true));
+                }
+                AggFunc::Avg => {
+                    fields.push(Field::new(format!("s{i}:sum"), DataType::Float64, true));
+                    fields.push(Field::new(format!("s{i}:count"), DataType::Int64, true));
+                }
+                AggFunc::Min | AggFunc::Max => fields.push(Field::new(
+                    format!("s{i}:extreme"),
+                    a.output_type,
+                    true,
+                )),
+            }
+        }
+        Schema::new(fields)
+    }
+
+    /// Serializes the table to its transport batch.
+    pub fn to_transport(&self) -> Result<RecordBatch> {
+        let schema = self.transport_schema();
+        let mut builders: Vec<ColumnBuilder> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.data_type))
+            .collect();
+        for (key, states) in &self.groups {
+            let mut col = 0usize;
+            for (i, v) in key.iter().enumerate() {
+                builders[i].push(coerce(v.clone(), schema.field(i).data_type)?);
+            }
+            col += key.len();
+            for state in states {
+                match state {
+                    AggState::Count(n) => {
+                        builders[col].push(Value::Int64(*n));
+                        col += 1;
+                    }
+                    AggState::SumInt(s, seen) => {
+                        builders[col].push(Value::Float64(*s as f64));
+                        builders[col + 1].push(Value::Bool(*seen));
+                        col += 2;
+                    }
+                    AggState::SumFloat(s, seen) => {
+                        builders[col].push(Value::Float64(*s));
+                        builders[col + 1].push(Value::Bool(*seen));
+                        col += 2;
+                    }
+                    AggState::Avg(s, n) => {
+                        builders[col].push(Value::Float64(*s));
+                        builders[col + 1].push(Value::Int64(*n));
+                        col += 2;
+                    }
+                    AggState::Min(v) | AggState::Max(v) => {
+                        builders[col].push(match v {
+                            None => Value::Null,
+                            Some(v) => coerce(v.clone(), schema.field(col).data_type)?,
+                        });
+                        col += 1;
+                    }
+                }
+            }
+        }
+        let columns: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
+        RecordBatch::new(schema, columns)
+    }
+
+    /// Rebuilds a table from a transport batch produced by a peer with the
+    /// same plan shape.
+    pub fn from_transport(
+        group_by: Vec<(feisu_sql::ast::Expr, String, DataType)>,
+        aggregates: Vec<AggExpr>,
+        batch: &RecordBatch,
+    ) -> Result<AggTable> {
+        let mut t = AggTable::new(group_by, aggregates);
+        if t.global && batch.rows() > 0 {
+            // Replace the implicit empty state with shipped states.
+            t.groups.clear();
+        }
+        let ngroup = t.group_by.len();
+        for row in 0..batch.rows() {
+            let key: Vec<Value> = (0..ngroup).map(|c| batch.column(c).value(row)).collect();
+            let mut col = ngroup;
+            let mut states = Vec::with_capacity(t.aggregates.len());
+            for a in &t.aggregates {
+                let state = match a.func {
+                    AggFunc::Count => {
+                        let n = batch.column(col).value(row).as_i64().ok_or_else(|| {
+                            FeisuError::Corrupt("transport: count not int".into())
+                        })?;
+                        col += 1;
+                        AggState::Count(n)
+                    }
+                    AggFunc::Sum => {
+                        let s = batch.column(col).value(row).as_f64().unwrap_or(0.0);
+                        let seen = batch
+                            .column(col + 1)
+                            .value(row)
+                            .as_bool()
+                            .unwrap_or(false);
+                        col += 2;
+                        if a.output_type == DataType::Int64 {
+                            AggState::SumInt(s as i64, seen)
+                        } else {
+                            AggState::SumFloat(s, seen)
+                        }
+                    }
+                    AggFunc::Avg => {
+                        let s = batch.column(col).value(row).as_f64().unwrap_or(0.0);
+                        let n = batch.column(col + 1).value(row).as_i64().unwrap_or(0);
+                        col += 2;
+                        AggState::Avg(s, n)
+                    }
+                    AggFunc::Min => {
+                        let v = batch.column(col).value(row);
+                        col += 1;
+                        AggState::Min((!v.is_null()).then_some(v))
+                    }
+                    AggFunc::Max => {
+                        let v = batch.column(col).value(row);
+                        col += 1;
+                        AggState::Max((!v.is_null()).then_some(v))
+                    }
+                };
+                states.push(state);
+            }
+            t.groups.insert(key, states);
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feisu_sql::ast::Expr;
+
+    fn input() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Utf8, false),
+            Field::new("v", DataType::Int64, true),
+        ]);
+        RecordBatch::new(
+            schema,
+            vec![
+                Column::from_utf8(vec![
+                    "a".into(),
+                    "b".into(),
+                    "a".into(),
+                    "b".into(),
+                    "a".into(),
+                ]),
+                Column::from_values(
+                    DataType::Int64,
+                    &[
+                        Value::Int64(1),
+                        Value::Int64(10),
+                        Value::Int64(2),
+                        Value::Null,
+                        Value::Int64(3),
+                    ],
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn aggs() -> Vec<AggExpr> {
+        vec![
+            AggExpr {
+                func: AggFunc::Count,
+                arg: None,
+                name: "COUNT(*)".into(),
+                output_type: DataType::Int64,
+            },
+            AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(Expr::col("v")),
+                name: "SUM(v)".into(),
+                output_type: DataType::Int64,
+            },
+            AggExpr {
+                func: AggFunc::Avg,
+                arg: Some(Expr::col("v")),
+                name: "AVG(v)".into(),
+                output_type: DataType::Float64,
+            },
+            AggExpr {
+                func: AggFunc::Min,
+                arg: Some(Expr::col("v")),
+                name: "MIN(v)".into(),
+                output_type: DataType::Int64,
+            },
+            AggExpr {
+                func: AggFunc::Max,
+                arg: Some(Expr::col("v")),
+                name: "MAX(v)".into(),
+                output_type: DataType::Int64,
+            },
+        ]
+    }
+
+    fn group_by() -> Vec<(Expr, String, DataType)> {
+        vec![(Expr::col("g"), "g".into(), DataType::Utf8)]
+    }
+
+    fn out_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("g", DataType::Utf8, true),
+            Field::new("COUNT(*)", DataType::Int64, true),
+            Field::new("SUM(v)", DataType::Int64, true),
+            Field::new("AVG(v)", DataType::Float64, true),
+            Field::new("MIN(v)", DataType::Int64, true),
+            Field::new("MAX(v)", DataType::Int64, true),
+        ])
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let mut t = AggTable::new(group_by(), aggs());
+        t.update(&input()).unwrap();
+        let out = t.finish(&out_schema()).unwrap();
+        assert_eq!(out.rows(), 2);
+        // Group "a": count 3, sum 6, avg 2, min 1, max 3.
+        assert_eq!(out.value_at(0, "g"), Some(Value::Utf8("a".into())));
+        assert_eq!(out.value_at(0, "COUNT(*)"), Some(Value::Int64(3)));
+        assert_eq!(out.value_at(0, "SUM(v)"), Some(Value::Int64(6)));
+        assert_eq!(out.value_at(0, "AVG(v)"), Some(Value::Float64(2.0)));
+        // Group "b": count 2 (COUNT(*) counts null rows), sum 10, avg 10.
+        assert_eq!(out.value_at(1, "COUNT(*)"), Some(Value::Int64(2)));
+        assert_eq!(out.value_at(1, "SUM(v)"), Some(Value::Int64(10)));
+        assert_eq!(out.value_at(1, "AVG(v)"), Some(Value::Float64(10.0)));
+        assert_eq!(out.value_at(1, "MIN(v)"), Some(Value::Int64(10)));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_one_row() {
+        let t = AggTable::new(Vec::new(), aggs());
+        let schema = Schema::new(
+            out_schema().fields()[1..].to_vec(),
+        );
+        let out = t.finish(&schema).unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.value_at(0, "COUNT(*)"), Some(Value::Int64(0)));
+        assert_eq!(out.value_at(0, "SUM(v)"), Some(Value::Null));
+        assert_eq!(out.value_at(0, "AVG(v)"), Some(Value::Null));
+        assert_eq!(out.value_at(0, "MIN(v)"), Some(Value::Null));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let batch = input();
+        let mut whole = AggTable::new(group_by(), aggs());
+        whole.update(&batch).unwrap();
+
+        let first = batch.take(&[0, 1]).unwrap();
+        let second = batch.take(&[2, 3, 4]).unwrap();
+        let mut a = AggTable::new(group_by(), aggs());
+        a.update(&first).unwrap();
+        let mut b = AggTable::new(group_by(), aggs());
+        b.update(&second).unwrap();
+        a.merge(&b).unwrap();
+
+        assert_eq!(
+            a.finish(&out_schema()).unwrap(),
+            whole.finish(&out_schema()).unwrap()
+        );
+    }
+
+    #[test]
+    fn transport_roundtrip_preserves_merge_semantics() {
+        let batch = input();
+        let mut t = AggTable::new(group_by(), aggs());
+        t.update(&batch).unwrap();
+        let shipped = t.to_transport().unwrap();
+        let back = AggTable::from_transport(group_by(), aggs(), &shipped).unwrap();
+        assert_eq!(
+            back.finish(&out_schema()).unwrap(),
+            t.finish(&out_schema()).unwrap()
+        );
+        // And merging two shipped halves equals the whole.
+        let mut a = AggTable::new(group_by(), aggs());
+        a.update(&batch.take(&[0, 1]).unwrap()).unwrap();
+        let mut b = AggTable::new(group_by(), aggs());
+        b.update(&batch.take(&[2, 3, 4]).unwrap()).unwrap();
+        let mut merged = AggTable::from_transport(
+            group_by(),
+            aggs(),
+            &a.to_transport().unwrap(),
+        )
+        .unwrap();
+        let b2 = AggTable::from_transport(group_by(), aggs(), &b.to_transport().unwrap()).unwrap();
+        merged.merge(&b2).unwrap();
+        let mut whole = AggTable::new(group_by(), aggs());
+        whole.update(&batch).unwrap();
+        assert_eq!(
+            merged.finish(&out_schema()).unwrap(),
+            whole.finish(&out_schema()).unwrap()
+        );
+    }
+
+    #[test]
+    fn global_transport_roundtrip_empty() {
+        // A leaf that saw zero rows ships a one-row zero state; merging N
+        // of them still yields COUNT(*)=0.
+        let t = AggTable::new(Vec::new(), aggs());
+        let shipped = t.to_transport().unwrap();
+        let back = AggTable::from_transport(Vec::new(), aggs(), &shipped).unwrap();
+        let schema = Schema::new(out_schema().fields()[1..].to_vec());
+        assert_eq!(
+            back.finish(&schema).unwrap().value_at(0, "COUNT(*)"),
+            Some(Value::Int64(0))
+        );
+    }
+
+    #[test]
+    fn sum_type_error_detected() {
+        let schema = Schema::new(vec![Field::new("s", DataType::Utf8, false)]);
+        let batch = RecordBatch::new(
+            schema,
+            vec![Column::from_utf8(vec!["x".into()])],
+        )
+        .unwrap();
+        let mut t = AggTable::new(
+            Vec::new(),
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(Expr::col("s")),
+                name: "SUM(s)".into(),
+                output_type: DataType::Utf8,
+            }],
+        );
+        assert!(t.update(&batch).is_err());
+    }
+}

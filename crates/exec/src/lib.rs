@@ -1,0 +1,27 @@
+//! Feisu's query execution engine.
+//!
+//! Physical operators over columnar [`batch::RecordBatch`]es:
+//!
+//! * [`expr`] — expression evaluation against batches, with typed fast
+//!   paths for the comparison predicates that dominate the workload;
+//! * [`ops`] — filter / project / limit and bitmap-selected scans;
+//! * [`aggregate`] — hash aggregation with *mergeable partial states*,
+//!   the mechanism leaf servers use to pre-aggregate and stem servers to
+//!   combine ("results are summarized in a bottom-up way", §III-B);
+//! * [`join`] — hash equi-joins (inner/left/right) and cross join;
+//! * [`sort`] — multi-key sort with top-N (fetch) support;
+//! * [`executor`] — drives a `feisu-sql` logical plan over a pluggable
+//!   [`executor::ScanProvider`], used both by the distributed engine in
+//!   `feisu-core` and standalone by tests (with [`executor::MemProvider`]
+//!   as the in-memory oracle backend).
+
+pub mod aggregate;
+pub mod batch;
+pub mod executor;
+pub mod expr;
+pub mod join;
+pub mod ops;
+pub mod sort;
+
+pub use batch::RecordBatch;
+pub use executor::{execute, MemProvider, ScanProvider};

@@ -1,0 +1,91 @@
+//! Simple row-set operators: filter, project, limit.
+
+use crate::batch::RecordBatch;
+use crate::expr::{eval_predicate, eval_to_column};
+use feisu_common::Result;
+use feisu_format::{Column, Schema};
+use feisu_sql::ast::Expr;
+
+/// Keeps the rows passing `predicate`.
+pub fn filter(batch: &RecordBatch, predicate: &Expr) -> Result<RecordBatch> {
+    let bits = eval_predicate(batch, predicate)?;
+    batch.select(&bits)
+}
+
+/// Computes the projection expressions into a new batch with
+/// `output_schema`.
+pub fn project(
+    batch: &RecordBatch,
+    exprs: &[(Expr, String)],
+    output_schema: &Schema,
+) -> Result<RecordBatch> {
+    let columns: Vec<Column> = exprs
+        .iter()
+        .enumerate()
+        .map(|(i, (e, _))| eval_to_column(batch, e, output_schema.field(i).data_type))
+        .collect::<Result<_>>()?;
+    RecordBatch::new(output_schema.clone(), columns)
+}
+
+/// Keeps the first `fetch` rows.
+pub fn limit(batch: &RecordBatch, fetch: u64) -> Result<RecordBatch> {
+    if batch.rows() as u64 <= fetch {
+        return Ok(batch.clone());
+    }
+    let indices: Vec<usize> = (0..fetch as usize).collect();
+    batch.take(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feisu_format::{DataType, Field, Value};
+    use feisu_sql::parser::parse_expr;
+
+    fn batch() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64, false),
+            Field::new("b", DataType::Int64, false),
+        ]);
+        RecordBatch::new(
+            schema,
+            vec![
+                Column::from_i64(vec![1, 2, 3, 4, 5]),
+                Column::from_i64(vec![10, 20, 30, 40, 50]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_keeps_passing_rows() {
+        let out = filter(&batch(), &parse_expr("a > 2 AND b < 50").unwrap()).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.value_at(0, "a"), Some(Value::Int64(3)));
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let schema = Schema::new(vec![
+            Field::new("sum", DataType::Int64, true),
+            Field::new("a", DataType::Int64, true),
+        ]);
+        let exprs = vec![
+            (parse_expr("a + b").unwrap(), "sum".to_string()),
+            (parse_expr("a").unwrap(), "a".to_string()),
+        ];
+        let out = project(&batch(), &exprs, &schema).unwrap();
+        assert_eq!(out.value_at(0, "sum"), Some(Value::Int64(11)));
+        assert_eq!(out.value_at(4, "sum"), Some(Value::Int64(55)));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let out = limit(&batch(), 2).unwrap();
+        assert_eq!(out.rows(), 2);
+        let out = limit(&batch(), 99).unwrap();
+        assert_eq!(out.rows(), 5);
+        let out = limit(&batch(), 0).unwrap();
+        assert_eq!(out.rows(), 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Multi-key sort with optional top-N (fetch).
+//!
+//! ORDER BY keys are arbitrary expressions; DESC flips the comparison.
+//! When the optimizer pushed a LIMIT into the sort (`fetch`), a bounded
+//! binary heap keeps memory and comparisons at O(n log k).
+
+use crate::batch::{BatchRow, RecordBatch};
+use feisu_common::Result;
+use feisu_format::Value;
+use feisu_sql::ast::Expr;
+use feisu_sql::eval::eval;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Sorts a batch by `keys`; `fetch` keeps only the first N rows.
+pub fn sort(
+    batch: &RecordBatch,
+    keys: &[(Expr, bool)],
+    fetch: Option<u64>,
+) -> Result<RecordBatch> {
+    // Materialize key values once per row.
+    let mut key_rows: Vec<(Vec<Value>, usize)> = Vec::with_capacity(batch.rows());
+    for i in 0..batch.rows() {
+        let row = BatchRow { batch, row: i };
+        let kv: Vec<Value> = keys
+            .iter()
+            .map(|(e, _)| eval(e, &row))
+            .collect::<Result<_>>()?;
+        key_rows.push((kv, i));
+    }
+    let descending: Vec<bool> = keys.iter().map(|(_, d)| *d).collect();
+    let cmp = |a: &(Vec<Value>, usize), b: &(Vec<Value>, usize)| -> Ordering {
+        for ((x, y), desc) in a.0.iter().zip(b.0.iter()).zip(&descending) {
+            let o = x.total_cmp(y);
+            let o = if *desc { o.reverse() } else { o };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        // Stable tie-break on original position.
+        a.1.cmp(&b.1)
+    };
+
+    let indices: Vec<usize> = match fetch {
+        Some(k) if (k as usize) < key_rows.len() => {
+            // Max-heap of the current top-k (worst at the top).
+            // Sort + truncate when k is large relative to n; bounded
+            // heap otherwise.
+            let k = k as usize;
+            if k * 4 >= key_rows.len() {
+                key_rows.sort_by(cmp);
+                key_rows.truncate(k);
+                key_rows.into_iter().map(|(_, i)| i).collect()
+            } else {
+                // Manual bounded selection: keep a Vec as a binary heap
+                // ordered by `cmp` descending (worst first).
+                let mut heap: BinaryHeap<OrdBy> = BinaryHeap::with_capacity(k + 1);
+                for item in key_rows {
+                    heap.push(OrdBy {
+                        item,
+                        desc_mask: descending.clone(),
+                    });
+                    if heap.len() > k {
+                        heap.pop();
+                    }
+                }
+                let mut top: Vec<(Vec<Value>, usize)> =
+                    heap.into_iter().map(|o| o.item).collect();
+                top.sort_by(cmp);
+                top.into_iter().map(|(_, i)| i).collect()
+            }
+        }
+        _ => {
+            key_rows.sort_by(cmp);
+            let mut v: Vec<usize> = key_rows.into_iter().map(|(_, i)| i).collect();
+            if let Some(k) = fetch {
+                v.truncate(k as usize);
+            }
+            v
+        }
+    };
+    batch.take(&indices)
+}
+
+/// Heap adapter: orders items so the heap's top is the *worst* row under
+/// the sort order, making it a bounded top-k structure.
+struct OrdBy {
+    item: (Vec<Value>, usize),
+    desc_mask: Vec<bool>,
+}
+
+impl OrdBy {
+    fn order(&self, other: &Self) -> Ordering {
+        for ((x, y), desc) in self
+            .item
+            .0
+            .iter()
+            .zip(other.item.0.iter())
+            .zip(&self.desc_mask)
+        {
+            let o = x.total_cmp(y);
+            let o = if *desc { o.reverse() } else { o };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        self.item.1.cmp(&other.item.1)
+    }
+}
+
+impl PartialEq for OrdBy {
+    fn eq(&self, other: &Self) -> bool {
+        self.order(other) == Ordering::Equal
+    }
+}
+impl Eq for OrdBy {}
+impl PartialOrd for OrdBy {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdBy {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feisu_format::{Column, DataType, Field, Schema};
+    use feisu_sql::parser::parse_expr;
+
+    fn batch() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("n", DataType::Int64, true),
+            Field::new("s", DataType::Utf8, false),
+        ]);
+        RecordBatch::new(
+            schema,
+            vec![
+                Column::from_values(
+                    DataType::Int64,
+                    &[
+                        Value::Int64(3),
+                        Value::Int64(1),
+                        Value::Null,
+                        Value::Int64(2),
+                        Value::Int64(1),
+                    ],
+                )
+                .unwrap(),
+                Column::from_utf8(vec![
+                    "c".into(),
+                    "b".into(),
+                    "e".into(),
+                    "d".into(),
+                    "a".into(),
+                ]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn keys(src: &str, desc: bool) -> Vec<(Expr, bool)> {
+        vec![(parse_expr(src).unwrap(), desc)]
+    }
+
+    #[test]
+    fn ascending_nulls_first() {
+        let out = sort(&batch(), &keys("n", false), None).unwrap();
+        let ns: Vec<Value> = (0..5).map(|i| out.value_at(i, "n").unwrap()).collect();
+        assert_eq!(
+            ns,
+            vec![
+                Value::Null,
+                Value::Int64(1),
+                Value::Int64(1),
+                Value::Int64(2),
+                Value::Int64(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn descending() {
+        let out = sort(&batch(), &keys("n", true), None).unwrap();
+        assert_eq!(out.value_at(0, "n"), Some(Value::Int64(3)));
+        assert_eq!(out.value_at(4, "n"), Some(Value::Null));
+    }
+
+    #[test]
+    fn multi_key_tiebreak() {
+        let ks = vec![
+            (parse_expr("n").unwrap(), false),
+            (parse_expr("s").unwrap(), false),
+        ];
+        let out = sort(&batch(), &ks, None).unwrap();
+        // The two n=1 rows order by s: 'a' before 'b'.
+        assert_eq!(out.value_at(1, "s"), Some(Value::Utf8("a".into())));
+        assert_eq!(out.value_at(2, "s"), Some(Value::Utf8("b".into())));
+    }
+
+    #[test]
+    fn stability_on_equal_keys() {
+        let ks = vec![(parse_expr("1").unwrap(), false)]; // constant key
+        let out = sort(&batch(), &ks, None).unwrap();
+        assert_eq!(out, batch(), "equal keys keep original order");
+    }
+
+    #[test]
+    fn fetch_truncates_and_matches_full_sort() {
+        let full = sort(&batch(), &keys("n", true), None).unwrap();
+        for k in [1u64, 2, 3, 10] {
+            let top = sort(&batch(), &keys("n", true), Some(k)).unwrap();
+            assert_eq!(top.rows(), (k as usize).min(5));
+            for i in 0..top.rows() {
+                assert_eq!(top.row(i), full.row(i), "k={k} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn heap_path_matches_sort_path_on_larger_input() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64, false)]);
+        let vals: Vec<i64> = (0..1000).map(|i| (i * 2654435761u64 as i64) % 997).collect();
+        let b = RecordBatch::new(schema, vec![Column::from_i64(vals)]).unwrap();
+        let full = sort(&b, &keys("x", false), None).unwrap();
+        let top = sort(&b, &keys("x", false), Some(10)).unwrap(); // heap path
+        for i in 0..10 {
+            assert_eq!(top.row(i), full.row(i));
+        }
+    }
+
+    #[test]
+    fn sort_expression_keys() {
+        let out = sort(&batch(), &keys("n * -1", false), None).unwrap();
+        // -3 < -2 < -1 = -1 < null? No: null expression results sort first.
+        assert_eq!(out.value_at(0, "n"), Some(Value::Null));
+        assert_eq!(out.value_at(1, "n"), Some(Value::Int64(3)));
+    }
+}

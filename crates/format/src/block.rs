@@ -1,0 +1,445 @@
+//! Data blocks — the unit of storage, scheduling and SmartIndexing.
+//!
+//! A block holds a horizontal slice of one table partition in columnar
+//! layout, together with per-column zone statistics (min/max/null-count)
+//! used by the optimizer and the SmartIndex header. Blocks serialize to a
+//! self-describing binary format: magic, version, schema, then one encoded
+//! chunk per column, with the whole payload run through the adaptive
+//! compressor.
+
+use crate::column::{Column, ColumnData, Validity};
+use crate::compress;
+use crate::encoding::{bitpack, delta, dict, rle, varint};
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
+use feisu_common::{BlockId, FeisuError, Result};
+
+/// Magic bytes opening every serialized block.
+pub const BLOCK_MAGIC: &[u8; 8] = b"FEISUBLK";
+/// Current on-disk format version.
+pub const BLOCK_VERSION: u8 = 1;
+
+/// Zone statistics for one column of one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    pub null_count: usize,
+}
+
+/// A columnar slice of a table partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    id: BlockId,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Block {
+    /// Builds a block; all columns must share the same length and match the
+    /// schema's types.
+    pub fn new(id: BlockId, schema: Schema, columns: Vec<Column>) -> Result<Block> {
+        if schema.len() != columns.len() {
+            return Err(FeisuError::Internal(format!(
+                "block {id}: schema has {} fields but {} columns supplied",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, |c| c.len());
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if c.len() != rows {
+                return Err(FeisuError::Internal(format!(
+                    "block {id}: ragged columns ({} vs {rows} rows)",
+                    c.len()
+                )));
+            }
+            if c.data_type() != f.data_type {
+                return Err(FeisuError::Internal(format!(
+                    "block {id}: column `{}` is {} but schema says {}",
+                    f.name,
+                    c.data_type(),
+                    f.data_type
+                )));
+            }
+        }
+        Ok(Block {
+            id,
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Zone statistics for column `i`.
+    pub fn stats(&self, i: usize) -> ColumnStats {
+        let c = &self.columns[i];
+        let (min, max) = match c.min_max() {
+            Some((lo, hi)) => (Some(lo), Some(hi)),
+            None => (None, None),
+        };
+        ColumnStats {
+            min,
+            max,
+            null_count: c.null_count(),
+        }
+    }
+
+    /// Approximate uncompressed in-memory footprint.
+    pub fn footprint(&self) -> usize {
+        self.columns.iter().map(|c| c.footprint()).sum()
+    }
+
+    /// Serializes the block to the Feisu binary format.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(self.footprint() / 2 + 64);
+        varint::encode(self.rows as u64, &mut body);
+        varint::encode(self.schema.len() as u64, &mut body);
+        for f in self.schema.fields() {
+            varint::encode(f.name.len() as u64, &mut body);
+            body.extend_from_slice(f.name.as_bytes());
+            body.push(type_tag(f.data_type));
+            body.push(f.nullable as u8);
+        }
+        for c in &self.columns {
+            encode_column(c, &mut body);
+        }
+        let compressed = compress::compress_adaptive(&body);
+        let mut out = Vec::with_capacity(compressed.len() + 16);
+        out.extend_from_slice(BLOCK_MAGIC);
+        out.push(BLOCK_VERSION);
+        varint::encode(self.id.raw(), &mut out);
+        out.extend_from_slice(&compressed);
+        out
+    }
+
+    /// Parses a serialized block, validating magic and version.
+    pub fn deserialize(buf: &[u8]) -> Result<Block> {
+        if buf.len() < 9 || &buf[..8] != BLOCK_MAGIC {
+            return Err(FeisuError::Corrupt("bad block magic".into()));
+        }
+        if buf[8] != BLOCK_VERSION {
+            return Err(FeisuError::Corrupt(format!(
+                "unsupported block version {}",
+                buf[8]
+            )));
+        }
+        let mut pos = 9usize;
+        let id = BlockId(varint::decode(buf, &mut pos)?);
+        let body = compress::decompress(&buf[pos..])?;
+        let mut pos = 0usize;
+        let rows = varint::decode(&body, &mut pos)? as usize;
+        let nfields = varint::decode(&body, &mut pos)? as usize;
+        let mut fields = Vec::with_capacity(nfields);
+        for _ in 0..nfields {
+            let name_len = varint::decode(&body, &mut pos)? as usize;
+            let end = pos + name_len;
+            if end > body.len() {
+                return Err(FeisuError::Corrupt("truncated field name".into()));
+            }
+            let name = std::str::from_utf8(&body[pos..end])
+                .map_err(|_| FeisuError::Corrupt("field name not utf8".into()))?
+                .to_string();
+            pos = end;
+            let dt = type_from_tag(
+                *body
+                    .get(pos)
+                    .ok_or_else(|| FeisuError::Corrupt("missing type tag".into()))?,
+            )?;
+            let nullable = *body
+                .get(pos + 1)
+                .ok_or_else(|| FeisuError::Corrupt("missing nullable flag".into()))?
+                != 0;
+            pos += 2;
+            fields.push(Field::new(name, dt, nullable));
+        }
+        let schema = Schema::new(fields);
+        let mut columns = Vec::with_capacity(nfields);
+        for f in schema.fields() {
+            columns.push(decode_column(f.data_type, rows, &body, &mut pos)?);
+        }
+        Block::new(id, schema, columns)
+    }
+}
+
+fn type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Bool => 0,
+        DataType::Int64 => 1,
+        DataType::Float64 => 2,
+        DataType::Utf8 => 3,
+    }
+}
+
+fn type_from_tag(tag: u8) -> Result<DataType> {
+    match tag {
+        0 => Ok(DataType::Bool),
+        1 => Ok(DataType::Int64),
+        2 => Ok(DataType::Float64),
+        3 => Ok(DataType::Utf8),
+        other => Err(FeisuError::Corrupt(format!("unknown type tag {other}"))),
+    }
+}
+
+/// Per-column encoding tags.
+const ENC_RLE: u8 = 0;
+const ENC_DELTA: u8 = 1;
+const ENC_FLOAT_RAW: u8 = 2;
+const ENC_BOOL_PACK: u8 = 3;
+const ENC_DICT: u8 = 4;
+
+fn encode_column(c: &Column, out: &mut Vec<u8>) {
+    // Validity first (word-aligned bitmap).
+    let words = c.validity().words();
+    varint::encode(words.len() as u64, out);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    match c.data() {
+        ColumnData::Int64(v) => {
+            // RLE wins when runs are long; delta otherwise.
+            if rle::run_count(v) * 4 <= v.len().max(1) {
+                out.push(ENC_RLE);
+                rle::encode(v, out);
+            } else {
+                out.push(ENC_DELTA);
+                delta::encode(v, out);
+            }
+        }
+        ColumnData::Float64(v) => {
+            out.push(ENC_FLOAT_RAW);
+            varint::encode(v.len() as u64, out);
+            for f in v {
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+        }
+        ColumnData::Bool(v) => {
+            out.push(ENC_BOOL_PACK);
+            if v.is_empty() {
+                varint::encode(0, out);
+                out.push(1);
+            } else {
+                let bits: Vec<u64> = v.iter().map(|&b| b as u64).collect();
+                bitpack::encode(&bits, 1, out);
+            }
+        }
+        ColumnData::Utf8(v) => {
+            out.push(ENC_DICT);
+            let refs: Vec<&str> = v.iter().map(|s| s.as_str()).collect();
+            dict::encode(&refs, out);
+        }
+    }
+}
+
+fn decode_column(dt: DataType, rows: usize, buf: &[u8], pos: &mut usize) -> Result<Column> {
+    let nwords = varint::decode(buf, pos)? as usize;
+    if buf.len().saturating_sub(*pos) < nwords * 8 {
+        return Err(FeisuError::Corrupt("truncated validity bitmap".into()));
+    }
+    let mut words = Vec::with_capacity(nwords);
+    for _ in 0..nwords {
+        words.push(u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap()));
+        *pos += 8;
+    }
+    let validity = Validity::from_words(words, rows);
+    let enc = *buf
+        .get(*pos)
+        .ok_or_else(|| FeisuError::Corrupt("missing column encoding tag".into()))?;
+    *pos += 1;
+    let data = match (dt, enc) {
+        (DataType::Int64, ENC_RLE) => ColumnData::Int64(rle::decode(buf, pos)?),
+        (DataType::Int64, ENC_DELTA) => ColumnData::Int64(delta::decode(buf, pos)?),
+        (DataType::Float64, ENC_FLOAT_RAW) => {
+            let n = varint::decode(buf, pos)? as usize;
+            if buf.len().saturating_sub(*pos) < n * 8 {
+                return Err(FeisuError::Corrupt("truncated float column".into()));
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(f64::from_bits(u64::from_le_bytes(
+                    buf[*pos..*pos + 8].try_into().unwrap(),
+                )));
+                *pos += 8;
+            }
+            ColumnData::Float64(v)
+        }
+        (DataType::Bool, ENC_BOOL_PACK) => {
+            let bits = bitpack::decode(buf, pos)?;
+            ColumnData::Bool(bits.into_iter().map(|b| b != 0).collect())
+        }
+        (DataType::Utf8, ENC_DICT) => ColumnData::Utf8(dict::decode(buf, pos)?),
+        (dt, enc) => {
+            return Err(FeisuError::Corrupt(format!(
+                "encoding tag {enc} invalid for type {dt}"
+            )))
+        }
+    };
+    let len = match &data {
+        ColumnData::Bool(v) => v.len(),
+        ColumnData::Int64(v) => v.len(),
+        ColumnData::Float64(v) => v.len(),
+        ColumnData::Utf8(v) => v.len(),
+    };
+    if len != rows {
+        return Err(FeisuError::Corrupt(format!(
+            "column decoded {len} rows, block declares {rows}"
+        )));
+    }
+    Ok(Column::new(data, validity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Block {
+        let schema = Schema::new(vec![
+            Field::new("url", DataType::Utf8, false),
+            Field::new("clicks", DataType::Int64, true),
+            Field::new("ctr", DataType::Float64, false),
+            Field::new("spam", DataType::Bool, false),
+        ]);
+        let columns = vec![
+            Column::from_utf8(
+                (0..100)
+                    .map(|i| format!("https://example.com/page/{}", i % 7))
+                    .collect(),
+            ),
+            Column::from_values(
+                DataType::Int64,
+                &(0..100)
+                    .map(|i| {
+                        if i % 10 == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int64(i * 3)
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+            Column::from_f64((0..100).map(|i| i as f64 / 100.0).collect()),
+            Column::from_bool((0..100).map(|i| i % 13 == 0).collect()),
+        ];
+        Block::new(BlockId(42), schema, columns).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int64, false)]);
+        // Wrong column count.
+        assert!(Block::new(BlockId(0), schema.clone(), vec![]).is_err());
+        // Wrong type.
+        assert!(Block::new(BlockId(0), schema.clone(), vec![Column::from_bool(vec![true])]).is_err());
+        // Ragged lengths.
+        let schema2 = Schema::new(vec![
+            Field::new("a", DataType::Int64, false),
+            Field::new("b", DataType::Int64, false),
+        ]);
+        assert!(Block::new(
+            BlockId(0),
+            schema2,
+            vec![Column::from_i64(vec![1]), Column::from_i64(vec![1, 2])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let b = sample_block();
+        let bytes = b.serialize();
+        let back = Block::deserialize(&bytes).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.id(), BlockId(42));
+        assert_eq!(back.rows(), 100);
+    }
+
+    #[test]
+    fn serialized_form_compresses_repetitive_data() {
+        let b = sample_block();
+        let bytes = b.serialize();
+        assert!(
+            bytes.len() < b.footprint(),
+            "serialized {} >= footprint {}",
+            bytes.len(),
+            b.footprint()
+        );
+    }
+
+    #[test]
+    fn empty_block_roundtrip() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64, false)]);
+        let b = Block::new(BlockId(1), schema, vec![Column::from_i64(vec![])]).unwrap();
+        let back = Block::deserialize(&b.serialize()).unwrap();
+        assert_eq!(back.rows(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_block().serialize();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Block::deserialize(&bytes),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample_block().serialize();
+        bytes[8] = 99;
+        assert!(Block::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample_block().serialize();
+        for cut in [bytes.len() / 2, bytes.len() - 1, 10] {
+            assert!(
+                Block::deserialize(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_reflect_column_contents() {
+        let b = sample_block();
+        let clicks = b.stats(1);
+        assert_eq!(clicks.null_count, 10);
+        assert_eq!(clicks.min, Some(Value::Int64(3)));
+        assert_eq!(clicks.max, Some(Value::Int64(297)));
+    }
+
+    #[test]
+    fn column_by_name() {
+        let b = sample_block();
+        assert!(b.column_by_name("ctr").is_some());
+        assert!(b.column_by_name("missing").is_none());
+    }
+}

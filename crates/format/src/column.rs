@@ -1,0 +1,558 @@
+//! Typed, nullable column vectors.
+//!
+//! A `Column` is the in-memory representation of one attribute over a run
+//! of rows. Values are stored unboxed in type-specific vectors with a
+//! separate validity (null) bitmap, so scans and predicate evaluation run
+//! over contiguous memory.
+
+use crate::value::{DataType, Value};
+
+/// Validity bitmap: bit i set ⇔ row i is non-null.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Validity {
+    bits: Vec<u64>,
+    len: usize,
+    null_count: usize,
+}
+
+impl Validity {
+    pub fn new_all_valid(len: usize) -> Self {
+        let words = len.div_ceil(64);
+        let mut bits = vec![u64::MAX; words];
+        if !len.is_multiple_of(64) {
+            if let Some(last) = bits.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        Validity {
+            bits,
+            len,
+            null_count: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Validity {
+            bits: Vec::with_capacity(cap.div_ceil(64)),
+            len: 0,
+            null_count: 0,
+        }
+    }
+
+    pub fn push(&mut self, valid: bool) {
+        let word = self.len / 64;
+        if word == self.bits.len() {
+            self.bits.push(0);
+        }
+        if valid {
+            self.bits[word] |= 1u64 << (self.len % 64);
+        } else {
+            self.null_count += 1;
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Raw words, for serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds from raw words (trailing bits beyond `len` are ignored).
+    pub fn from_words(bits: Vec<u64>, len: usize) -> Self {
+        let mut v = Validity {
+            bits,
+            len,
+            null_count: 0,
+        };
+        v.bits.resize(len.div_ceil(64), 0);
+        let mut nulls = 0;
+        for i in 0..len {
+            if !v.is_valid(i) {
+                nulls += 1;
+            }
+        }
+        v.null_count = nulls;
+        v
+    }
+}
+
+/// A typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Bool(Vec<bool>),
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    Utf8(Vec<String>),
+}
+
+/// One attribute over a run of rows: typed data plus a validity bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    validity: Validity,
+}
+
+impl Column {
+    /// Builds a column from dynamic values; `data_type` governs storage.
+    /// Nulls become default slots masked out by the validity bitmap.
+    /// Returns `None` if any non-null value has the wrong type.
+    pub fn from_values(data_type: DataType, values: &[Value]) -> Option<Column> {
+        let mut validity = Validity::with_capacity(values.len());
+        let data = match data_type {
+            DataType::Bool => {
+                let mut v = Vec::with_capacity(values.len());
+                for val in values {
+                    match val {
+                        Value::Null => {
+                            v.push(false);
+                            validity.push(false);
+                        }
+                        Value::Bool(b) => {
+                            v.push(*b);
+                            validity.push(true);
+                        }
+                        _ => return None,
+                    }
+                }
+                ColumnData::Bool(v)
+            }
+            DataType::Int64 => {
+                let mut v = Vec::with_capacity(values.len());
+                for val in values {
+                    match val {
+                        Value::Null => {
+                            v.push(0);
+                            validity.push(false);
+                        }
+                        Value::Int64(i) => {
+                            v.push(*i);
+                            validity.push(true);
+                        }
+                        _ => return None,
+                    }
+                }
+                ColumnData::Int64(v)
+            }
+            DataType::Float64 => {
+                let mut v = Vec::with_capacity(values.len());
+                for val in values {
+                    match val {
+                        Value::Null => {
+                            v.push(0.0);
+                            validity.push(false);
+                        }
+                        Value::Float64(f) => {
+                            v.push(*f);
+                            validity.push(true);
+                        }
+                        Value::Int64(i) => {
+                            // Implicit widening keeps generators ergonomic.
+                            v.push(*i as f64);
+                            validity.push(true);
+                        }
+                        _ => return None,
+                    }
+                }
+                ColumnData::Float64(v)
+            }
+            DataType::Utf8 => {
+                let mut v = Vec::with_capacity(values.len());
+                for val in values {
+                    match val {
+                        Value::Null => {
+                            v.push(String::new());
+                            validity.push(false);
+                        }
+                        Value::Utf8(s) => {
+                            v.push(s.clone());
+                            validity.push(true);
+                        }
+                        _ => return None,
+                    }
+                }
+                ColumnData::Utf8(v)
+            }
+        };
+        Some(Column { data, validity })
+    }
+
+    pub fn from_i64(values: Vec<i64>) -> Column {
+        let validity = Validity::new_all_valid(values.len());
+        Column {
+            data: ColumnData::Int64(values),
+            validity,
+        }
+    }
+
+    pub fn from_f64(values: Vec<f64>) -> Column {
+        let validity = Validity::new_all_valid(values.len());
+        Column {
+            data: ColumnData::Float64(values),
+            validity,
+        }
+    }
+
+    pub fn from_bool(values: Vec<bool>) -> Column {
+        let validity = Validity::new_all_valid(values.len());
+        Column {
+            data: ColumnData::Bool(values),
+            validity,
+        }
+    }
+
+    pub fn from_utf8(values: Vec<String>) -> Column {
+        let validity = Validity::new_all_valid(values.len());
+        Column {
+            data: ColumnData::Utf8(values),
+            validity,
+        }
+    }
+
+    /// Builds with explicit validity (for decoders).
+    pub fn new(data: ColumnData, validity: Validity) -> Column {
+        debug_assert_eq!(data_len(&data), validity.len());
+        Column { data, validity }
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    pub fn validity(&self) -> &Validity {
+        &self.validity
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self.data {
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Float64(_) => DataType::Float64,
+            ColumnData::Utf8(_) => DataType::Utf8,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.validity.null_count()
+    }
+
+    /// Dynamically-typed view of row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        if !self.validity.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int64(v) => Value::Int64(v[i]),
+            ColumnData::Float64(v) => Value::Float64(v[i]),
+            ColumnData::Utf8(v) => Value::Utf8(v[i].clone()),
+        }
+    }
+
+    /// Typed accessors for hot paths (panic on type mismatch — used only
+    /// after planning has fixed the types).
+    pub fn i64_slice(&self) -> &[i64] {
+        match &self.data {
+            ColumnData::Int64(v) => v,
+            other => panic!("expected Int64 column, got {:?}", column_type(other)),
+        }
+    }
+
+    pub fn f64_slice(&self) -> &[f64] {
+        match &self.data {
+            ColumnData::Float64(v) => v,
+            other => panic!("expected Float64 column, got {:?}", column_type(other)),
+        }
+    }
+
+    pub fn bool_slice(&self) -> &[bool] {
+        match &self.data {
+            ColumnData::Bool(v) => v,
+            other => panic!("expected Bool column, got {:?}", column_type(other)),
+        }
+    }
+
+    pub fn utf8_slice(&self) -> &[String] {
+        match &self.data {
+            ColumnData::Utf8(v) => v,
+            other => panic!("expected Utf8 column, got {:?}", column_type(other)),
+        }
+    }
+
+    /// Gathers the rows selected by `indices` into a new column.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let mut validity = Validity::with_capacity(indices.len());
+        for &i in indices {
+            validity.push(self.validity.is_valid(i));
+        }
+        let data = match &self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Int64(v) => ColumnData::Int64(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float64(v) => {
+                ColumnData::Float64(indices.iter().map(|&i| v[i]).collect())
+            }
+            ColumnData::Utf8(v) => {
+                ColumnData::Utf8(indices.iter().map(|&i| v[i].clone()).collect())
+            }
+        };
+        Column { data, validity }
+    }
+
+    /// Appends another column of the same type.
+    pub fn append(&mut self, other: &Column) {
+        assert_eq!(self.data_type(), other.data_type(), "append type mismatch");
+        for i in 0..other.len() {
+            self.validity.push(other.validity.is_valid(i));
+        }
+        match (&mut self.data, &other.data) {
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(b),
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => a.extend_from_slice(b),
+            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => a.extend_from_slice(b),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn footprint(&self) -> usize {
+        let data = match &self.data {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int64(v) => v.len() * 8,
+            ColumnData::Float64(v) => v.len() * 8,
+            ColumnData::Utf8(v) => v.iter().map(|s| s.len() + 24).sum(),
+        };
+        data + self.validity.words().len() * 8
+    }
+
+    /// Min and max of non-null values (zone statistics). `None` when the
+    /// column is all-null or empty.
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for i in 0..self.len() {
+            if !self.validity.is_valid(i) {
+                continue;
+            }
+            let v = self.value(i);
+            match &min {
+                None => {
+                    min = Some(v.clone());
+                    max = Some(v);
+                }
+                Some(m) => {
+                    if v.total_cmp(m) == std::cmp::Ordering::Less {
+                        min = Some(v.clone());
+                    }
+                    if v.total_cmp(max.as_ref().unwrap()) == std::cmp::Ordering::Greater {
+                        max = Some(v);
+                    }
+                }
+            }
+        }
+        min.zip(max)
+    }
+}
+
+fn data_len(d: &ColumnData) -> usize {
+    match d {
+        ColumnData::Bool(v) => v.len(),
+        ColumnData::Int64(v) => v.len(),
+        ColumnData::Float64(v) => v.len(),
+        ColumnData::Utf8(v) => v.len(),
+    }
+}
+
+fn column_type(d: &ColumnData) -> DataType {
+    match d {
+        ColumnData::Bool(_) => DataType::Bool,
+        ColumnData::Int64(_) => DataType::Int64,
+        ColumnData::Float64(_) => DataType::Float64,
+        ColumnData::Utf8(_) => DataType::Utf8,
+    }
+}
+
+/// Incremental builder collecting dynamic values into a typed column.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    data_type: DataType,
+    values: Vec<Value>,
+}
+
+impl ColumnBuilder {
+    pub fn new(data_type: DataType) -> Self {
+        ColumnBuilder {
+            data_type,
+            values: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, v: Value) {
+        self.values.push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Finishes the column; panics if a value had the wrong type (builder
+    /// callers validate beforehand).
+    pub fn finish(self) -> Column {
+        Column::from_values(self.data_type, &self.values)
+            .expect("ColumnBuilder received ill-typed value")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_push_and_query() {
+        let mut v = Validity::with_capacity(4);
+        v.push(true);
+        v.push(false);
+        v.push(true);
+        assert!(v.is_valid(0));
+        assert!(!v.is_valid(1));
+        assert!(v.is_valid(2));
+        assert_eq!(v.null_count(), 1);
+    }
+
+    #[test]
+    fn validity_all_valid_partial_word() {
+        let v = Validity::new_all_valid(70);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.null_count(), 0);
+        assert!(v.is_valid(69));
+    }
+
+    #[test]
+    fn validity_words_roundtrip() {
+        let mut v = Validity::with_capacity(0);
+        for i in 0..130 {
+            v.push(i % 3 != 0);
+        }
+        let rebuilt = Validity::from_words(v.words().to_vec(), v.len());
+        assert_eq!(rebuilt, v);
+    }
+
+    #[test]
+    fn from_values_with_nulls() {
+        let c = Column::from_values(
+            DataType::Int64,
+            &[Value::Int64(1), Value::Null, Value::Int64(3)],
+        )
+        .unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(0), Value::Int64(1));
+        assert_eq!(c.value(1), Value::Null);
+    }
+
+    #[test]
+    fn from_values_type_mismatch() {
+        assert!(Column::from_values(DataType::Int64, &[Value::Utf8("x".into())]).is_none());
+        assert!(Column::from_values(DataType::Bool, &[Value::Int64(0)]).is_none());
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let c = Column::from_values(DataType::Float64, &[Value::Int64(2)]).unwrap();
+        assert_eq!(c.value(0), Value::Float64(2.0));
+    }
+
+    #[test]
+    fn take_gathers_rows() {
+        let c = Column::from_values(
+            DataType::Utf8,
+            &[Value::Utf8("a".into()), Value::Null, Value::Utf8("c".into())],
+        )
+        .unwrap();
+        let t = c.take(&[2, 0, 1]);
+        assert_eq!(t.value(0), Value::Utf8("c".into()));
+        assert_eq!(t.value(1), Value::Utf8("a".into()));
+        assert_eq!(t.value(2), Value::Null);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Column::from_i64(vec![1, 2]);
+        let b = Column::from_values(DataType::Int64, &[Value::Null, Value::Int64(4)]).unwrap();
+        a.append(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.value(2), Value::Null);
+        assert_eq!(a.value(3), Value::Int64(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "append type mismatch")]
+    fn append_type_mismatch_panics() {
+        let mut a = Column::from_i64(vec![1]);
+        let b = Column::from_bool(vec![true]);
+        a.append(&b);
+    }
+
+    #[test]
+    fn min_max_skips_nulls() {
+        let c = Column::from_values(
+            DataType::Int64,
+            &[Value::Null, Value::Int64(5), Value::Int64(-3), Value::Null],
+        )
+        .unwrap();
+        let (min, max) = c.min_max().unwrap();
+        assert_eq!(min, Value::Int64(-3));
+        assert_eq!(max, Value::Int64(5));
+    }
+
+    #[test]
+    fn min_max_all_null_is_none() {
+        let c = Column::from_values(DataType::Int64, &[Value::Null, Value::Null]).unwrap();
+        assert!(c.min_max().is_none());
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = ColumnBuilder::new(DataType::Utf8);
+        b.push(Value::Utf8("x".into()));
+        b.push(Value::Null);
+        let c = b.finish();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.data_type(), DataType::Utf8);
+    }
+
+    #[test]
+    fn footprint_is_positive_and_scales() {
+        let small = Column::from_i64(vec![1, 2, 3]).footprint();
+        let large = Column::from_i64((0..1000).collect()).footprint();
+        assert!(large > small * 100);
+    }
+}

@@ -1,0 +1,437 @@
+//! Lightweight, compression-friendly column encodings (paper §III-A).
+//!
+//! Feisu's block writer picks one of these per column chunk based on the
+//! data's shape; all of them are implemented from scratch:
+//!
+//! * [`varint`] — LEB128 variable-length unsigned integers, the base layer
+//!   every other codec writes its lengths and values with;
+//! * [`zigzag`] — signed→unsigned mapping so small negatives stay small;
+//! * [`delta`] — delta + zigzag + varint for sorted/clustered integers
+//!   (timestamps, ids);
+//! * [`rle`] — run-length encoding for low-cardinality or constant runs;
+//! * [`bitpack`] — fixed-width bit packing for small-domain integers;
+//! * [`dict`] — dictionary encoding for repetitive strings (URLs, query
+//!   keywords).
+
+use feisu_common::{FeisuError, Result};
+
+/// LEB128 unsigned varints.
+pub mod varint {
+    use super::*;
+
+    /// Appends `v` to `out` in LEB128.
+    pub fn encode(mut v: u64, out: &mut Vec<u8>) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                return;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+
+    /// Decodes one varint from `buf[*pos..]`, advancing `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<u64> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = *buf
+                .get(*pos)
+                .ok_or_else(|| FeisuError::Corrupt("varint: unexpected end of buffer".into()))?;
+            *pos += 1;
+            if shift >= 64 {
+                return Err(FeisuError::Corrupt("varint: overflow (>10 bytes)".into()));
+            }
+            result |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Zigzag mapping for signed integers.
+pub mod zigzag {
+    #[inline]
+    pub fn encode(v: i64) -> u64 {
+        ((v << 1) ^ (v >> 63)) as u64
+    }
+
+    #[inline]
+    pub fn decode(v: u64) -> i64 {
+        ((v >> 1) as i64) ^ -((v & 1) as i64)
+    }
+}
+
+/// Delta + zigzag + varint codec for i64 sequences.
+pub mod delta {
+    use super::*;
+
+    /// Encodes the sequence as first value + zigzag deltas.
+    pub fn encode(values: &[i64], out: &mut Vec<u8>) {
+        varint::encode(values.len() as u64, out);
+        let mut prev = 0i64;
+        for &v in values {
+            varint::encode(zigzag::encode(v.wrapping_sub(prev)), out);
+            prev = v;
+        }
+    }
+
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Vec<i64>> {
+        let n = varint::decode(buf, pos)? as usize;
+        // Each value takes at least 1 byte; a length beyond the remaining
+        // buffer is corruption, not an allocation request.
+        if n > buf.len().saturating_sub(*pos) {
+            return Err(FeisuError::Corrupt("delta: implausible length".into()));
+        }
+        let mut values = Vec::with_capacity(n);
+        let mut prev = 0i64;
+        for _ in 0..n {
+            let d = zigzag::decode(varint::decode(buf, pos)?);
+            prev = prev.wrapping_add(d);
+            values.push(prev);
+        }
+        Ok(values)
+    }
+}
+
+/// Run-length encoding over i64 values.
+pub mod rle {
+    use super::*;
+
+    /// Encodes as a list of (run-length, value) pairs.
+    pub fn encode(values: &[i64], out: &mut Vec<u8>) {
+        // Count runs first so the decoder can preallocate.
+        let mut runs = 0usize;
+        let mut i = 0;
+        while i < values.len() {
+            let mut j = i + 1;
+            while j < values.len() && values[j] == values[i] {
+                j += 1;
+            }
+            runs += 1;
+            i = j;
+        }
+        varint::encode(values.len() as u64, out);
+        varint::encode(runs as u64, out);
+        let mut i = 0;
+        while i < values.len() {
+            let mut j = i + 1;
+            while j < values.len() && values[j] == values[i] {
+                j += 1;
+            }
+            varint::encode((j - i) as u64, out);
+            varint::encode(zigzag::encode(values[i]), out);
+            i = j;
+        }
+    }
+
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Vec<i64>> {
+        let total = varint::decode(buf, pos)? as usize;
+        let runs = varint::decode(buf, pos)? as usize;
+        let mut values = Vec::with_capacity(total.min(1 << 24));
+        for _ in 0..runs {
+            let len = varint::decode(buf, pos)? as usize;
+            let v = zigzag::decode(varint::decode(buf, pos)?);
+            if values.len() + len > total {
+                return Err(FeisuError::Corrupt("rle: runs exceed declared total".into()));
+            }
+            values.extend(std::iter::repeat_n(v, len));
+        }
+        if values.len() != total {
+            return Err(FeisuError::Corrupt(format!(
+                "rle: decoded {} values, expected {total}",
+                values.len()
+            )));
+        }
+        Ok(values)
+    }
+
+    /// Number of runs; the writer uses this to decide whether RLE pays off.
+    pub fn run_count(values: &[i64]) -> usize {
+        let mut runs = 0;
+        let mut i = 0;
+        while i < values.len() {
+            let mut j = i + 1;
+            while j < values.len() && values[j] == values[i] {
+                j += 1;
+            }
+            runs += 1;
+            i = j;
+        }
+        runs
+    }
+}
+
+/// Fixed-width bit packing for unsigned integers.
+pub mod bitpack {
+    use super::*;
+
+    /// Minimum bits needed to represent `v`.
+    pub fn bits_needed(v: u64) -> u32 {
+        64 - v.leading_zeros().min(63)
+    }
+
+    /// Packs `values` using `width` bits each (width must fit all values).
+    pub fn encode(values: &[u64], width: u32, out: &mut Vec<u8>) {
+        debug_assert!((1..=64).contains(&width));
+        varint::encode(values.len() as u64, out);
+        out.push(width as u8);
+        let mut acc: u128 = 0;
+        let mut acc_bits: u32 = 0;
+        for &v in values {
+            debug_assert!(width == 64 || v < (1u64 << width));
+            acc |= (v as u128) << acc_bits;
+            acc_bits += width;
+            while acc_bits >= 8 {
+                out.push((acc & 0xff) as u8);
+                acc >>= 8;
+                acc_bits -= 8;
+            }
+        }
+        if acc_bits > 0 {
+            out.push((acc & 0xff) as u8);
+        }
+    }
+
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>> {
+        let n = varint::decode(buf, pos)? as usize;
+        let width = *buf
+            .get(*pos)
+            .ok_or_else(|| FeisuError::Corrupt("bitpack: missing width".into()))?
+            as u32;
+        *pos += 1;
+        if width == 0 || width > 64 {
+            return Err(FeisuError::Corrupt(format!("bitpack: bad width {width}")));
+        }
+        let needed_bytes = (n as u64 * width as u64).div_ceil(8) as usize;
+        if buf.len() - *pos < needed_bytes {
+            return Err(FeisuError::Corrupt("bitpack: truncated payload".into()));
+        }
+        let mut values = Vec::with_capacity(n);
+        let mut acc: u128 = 0;
+        let mut acc_bits: u32 = 0;
+        let mask: u128 = if width == 64 {
+            u64::MAX as u128
+        } else {
+            (1u128 << width) - 1
+        };
+        for _ in 0..n {
+            while acc_bits < width {
+                acc |= (buf[*pos] as u128) << acc_bits;
+                *pos += 1;
+                acc_bits += 8;
+            }
+            values.push((acc & mask) as u64);
+            acc >>= width;
+            acc_bits -= width;
+        }
+        Ok(values)
+    }
+}
+
+/// Dictionary encoding for strings.
+pub mod dict {
+    use super::*;
+    use feisu_common::hash::FxHashMap;
+
+    /// Encodes strings as a deduplicated dictionary plus bit-packed codes.
+    pub fn encode(values: &[&str], out: &mut Vec<u8>) {
+        let mut dict: Vec<&str> = Vec::new();
+        let mut lookup: FxHashMap<&str, u64> = FxHashMap::default();
+        let mut codes: Vec<u64> = Vec::with_capacity(values.len());
+        for &s in values {
+            let code = *lookup.entry(s).or_insert_with(|| {
+                dict.push(s);
+                (dict.len() - 1) as u64
+            });
+            codes.push(code);
+        }
+        varint::encode(dict.len() as u64, out);
+        for s in &dict {
+            varint::encode(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        if codes.is_empty() {
+            // Match bitpack's framing: zero count, then a width byte.
+            varint::encode(0, out);
+            out.push(1);
+        } else {
+            let width = bitpack::bits_needed(dict.len().saturating_sub(1) as u64).max(1);
+            bitpack::encode(&codes, width, out);
+        }
+    }
+
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Vec<String>> {
+        let dict_len = varint::decode(buf, pos)? as usize;
+        let mut dict = Vec::with_capacity(dict_len.min(1 << 20));
+        for _ in 0..dict_len {
+            let len = varint::decode(buf, pos)? as usize;
+            let end = pos
+                .checked_add(len)
+                .ok_or_else(|| FeisuError::Corrupt("dict: length overflow".into()))?;
+            if end > buf.len() {
+                return Err(FeisuError::Corrupt("dict: truncated string".into()));
+            }
+            let s = std::str::from_utf8(&buf[*pos..end])
+                .map_err(|_| FeisuError::Corrupt("dict: invalid utf8".into()))?;
+            dict.push(s.to_string());
+            *pos = end;
+        }
+        let codes = bitpack::decode(buf, pos)?;
+        let mut values = Vec::with_capacity(codes.len());
+        for code in codes {
+            let s = dict
+                .get(code as usize)
+                .ok_or_else(|| FeisuError::Corrupt("dict: code out of range".into()))?;
+            values.push(s.clone());
+        }
+        Ok(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            varint::encode(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(varint::decode(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_errors() {
+        let mut buf = Vec::new();
+        varint::encode(u64::MAX, &mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(varint::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn zigzag_maps_small_negatives_small() {
+        assert_eq!(zigzag::encode(0), 0);
+        assert_eq!(zigzag::encode(-1), 1);
+        assert_eq!(zigzag::encode(1), 2);
+        assert_eq!(zigzag::encode(-2), 3);
+        for v in [-5i64, 0, 7, i64::MIN, i64::MAX] {
+            assert_eq!(zigzag::decode(zigzag::encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn delta_roundtrip_sorted_and_random() {
+        let sorted: Vec<i64> = (0..1000).map(|i| i * 3 + 100).collect();
+        let mut buf = Vec::new();
+        delta::encode(&sorted, &mut buf);
+        // Sorted data should compress far below 8 bytes/value.
+        assert!(buf.len() < sorted.len() * 2 + 16);
+        let mut pos = 0;
+        assert_eq!(delta::decode(&buf, &mut pos).unwrap(), sorted);
+
+        let random = vec![i64::MIN, i64::MAX, 0, -17, 42];
+        let mut buf = Vec::new();
+        delta::encode(&random, &mut buf);
+        let mut pos = 0;
+        assert_eq!(delta::decode(&buf, &mut pos).unwrap(), random);
+    }
+
+    #[test]
+    fn rle_roundtrip_and_run_count() {
+        let values = vec![7i64, 7, 7, 1, 1, 9, 9, 9, 9];
+        assert_eq!(rle::run_count(&values), 3);
+        let mut buf = Vec::new();
+        rle::encode(&values, &mut buf);
+        let mut pos = 0;
+        assert_eq!(rle::decode(&buf, &mut pos).unwrap(), values);
+    }
+
+    #[test]
+    fn rle_empty() {
+        let mut buf = Vec::new();
+        rle::encode(&[], &mut buf);
+        let mut pos = 0;
+        assert_eq!(rle::decode(&buf, &mut pos).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn rle_compresses_constant_column() {
+        let values = vec![5i64; 10_000];
+        let mut buf = Vec::new();
+        rle::encode(&values, &mut buf);
+        assert!(buf.len() < 16, "constant column should encode tiny: {}", buf.len());
+    }
+
+    #[test]
+    fn bitpack_roundtrip_various_widths() {
+        for width in [1u32, 3, 7, 8, 13, 32, 64] {
+            let max = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let values: Vec<u64> = (0..257).map(|i| (i * 2654435761u64) % (max.max(1)) ).collect();
+            let mut buf = Vec::new();
+            bitpack::encode(&values, width, &mut buf);
+            let mut pos = 0;
+            assert_eq!(bitpack::decode(&buf, &mut pos).unwrap(), values, "width {width}");
+        }
+    }
+
+    #[test]
+    fn bitpack_bits_needed() {
+        assert_eq!(bitpack::bits_needed(0), 1);
+        assert_eq!(bitpack::bits_needed(1), 1);
+        assert_eq!(bitpack::bits_needed(2), 2);
+        assert_eq!(bitpack::bits_needed(255), 8);
+        assert_eq!(bitpack::bits_needed(256), 9);
+    }
+
+    #[test]
+    fn bitpack_rejects_truncation() {
+        let mut buf = Vec::new();
+        bitpack::encode(&[1, 2, 3, 4, 5], 3, &mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(bitpack::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn dict_roundtrip_and_dedup() {
+        let values = ["url_a", "url_b", "url_a", "url_a", "url_c", "url_b"];
+        let mut buf = Vec::new();
+        dict::encode(&values, &mut buf);
+        let mut pos = 0;
+        let decoded = dict::decode(&buf, &mut pos).unwrap();
+        assert_eq!(decoded, values.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        // Dictionary stores each distinct string once: encoding 6 strings
+        // with 3 distinct values must be smaller than raw concatenation.
+        let raw: usize = values.iter().map(|s| s.len() + 1).sum();
+        assert!(buf.len() < raw);
+    }
+
+    #[test]
+    fn dict_empty() {
+        let mut buf = Vec::new();
+        dict::encode(&[], &mut buf);
+        let mut pos = 0;
+        assert_eq!(dict::decode(&buf, &mut pos).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn dict_rejects_bad_code() {
+        // Hand-craft: dictionary of 1 entry, then codes referencing entry 5.
+        let mut buf = Vec::new();
+        varint::encode(1, &mut buf); // dict len
+        varint::encode(1, &mut buf); // strlen
+        buf.push(b'x');
+        bitpack::encode(&[5], 3, &mut buf);
+        let mut pos = 0;
+        assert!(dict::decode(&buf, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! From-scratch JSON parsing and nested-document flattening.
+//!
+//! The paper (§III-A): "Feisu also supports nested data format such as
+//! json, which will be flatten into columns when the data are processed."
+//! This module implements a recursive-descent JSON parser (no external
+//! crates) and the flattening rule: nested object keys join with `.`,
+//! array elements with `[i]`, producing one scalar column per leaf path.
+
+use crate::column::ColumnBuilder;
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
+use feisu_common::{FeisuError, Result};
+use std::collections::BTreeMap;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a top-level object key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document from `input`, requiring it to be fully consumed.
+pub fn parse(input: &str) -> Result<Json> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> FeisuError {
+        FeisuError::Parse(format!("json: {msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        let v = match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(&format!("unexpected byte `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        };
+        self.depth -= 1;
+        v
+    }
+
+    fn parse_literal(&mut self, lit: &str, v: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Object(pairs)),
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Array(items)),
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'b') => s.push('\u{0008}'),
+                    Some(b'f') => s.push('\u{000C}'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let cp = self.parse_hex4()?;
+                        // Surrogate pairs: a high surrogate must be followed
+                        // by `\uXXXX` with a low surrogate.
+                        let ch = if (0xD800..0xDC00).contains(&cp) {
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("lone high surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                        } else if (0xDC00..0xE000).contains(&cp) {
+                            return Err(self.err("lone low surrogate"));
+                        } else {
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                        };
+                        s.push(ch);
+                    }
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(c) => {
+                    // Re-assemble multi-byte UTF-8 sequences: the input was
+                    // a &str so bytes are valid UTF-8 already.
+                    let start = self.pos - 1;
+                    let width = utf8_width(c);
+                    let end = start + width;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated utf8"));
+                    }
+                    s.push_str(std::str::from_utf8(&self.bytes[start..end]).unwrap());
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first < 0xE0 {
+        2
+    } else if first < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Flattens a document into `path → scalar` pairs. Nested keys join with
+/// `.`; array elements get `[i]`. Scalars keep their JSON types: numbers
+/// that are integral become `Int64`, others `Float64`.
+pub fn flatten(doc: &Json) -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    flatten_into("", doc, &mut out);
+    out
+}
+
+fn flatten_into(prefix: &str, v: &Json, out: &mut Vec<(String, Value)>) {
+    match v {
+        Json::Object(pairs) => {
+            for (k, child) in pairs {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_into(&path, child, out);
+            }
+        }
+        Json::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                flatten_into(&format!("{prefix}[{i}]"), child, out);
+            }
+        }
+        Json::Null => out.push((prefix.to_string(), Value::Null)),
+        Json::Bool(b) => out.push((prefix.to_string(), Value::Bool(*b))),
+        Json::Number(n) => {
+            let val = if n.fract() == 0.0 && n.abs() < 9e15 {
+                Value::Int64(*n as i64)
+            } else {
+                Value::Float64(*n)
+            };
+            out.push((prefix.to_string(), val));
+        }
+        Json::String(s) => out.push((prefix.to_string(), Value::Utf8(s.clone()))),
+    }
+}
+
+/// Converts a batch of JSON documents into columns: the union of all leaf
+/// paths becomes the schema (alphabetical); missing paths are null. Type
+/// per column is the widest type observed (Int64 ⊂ Float64; anything mixed
+/// with strings becomes Utf8).
+pub fn documents_to_columns(docs: &[Json]) -> Result<(Schema, Vec<crate::column::Column>)> {
+    let mut rows: Vec<BTreeMap<String, Value>> = Vec::with_capacity(docs.len());
+    let mut types: BTreeMap<String, DataType> = BTreeMap::new();
+    for doc in docs {
+        let mut row = BTreeMap::new();
+        for (path, value) in flatten(doc) {
+            if let Some(dt) = value.data_type() {
+                types
+                    .entry(path.clone())
+                    .and_modify(|t| *t = widen(*t, dt))
+                    .or_insert(dt);
+            }
+            row.insert(path, value);
+        }
+        rows.push(row);
+    }
+    let fields: Vec<Field> = types
+        .iter()
+        .map(|(name, dt)| Field::new(name.clone(), *dt, true))
+        .collect();
+    let schema = Schema::new(fields);
+    let mut builders: Vec<ColumnBuilder> = schema
+        .fields()
+        .iter()
+        .map(|f| ColumnBuilder::new(f.data_type))
+        .collect();
+    for row in &rows {
+        for (i, f) in schema.fields().iter().enumerate() {
+            let v = row.get(&f.name).cloned().unwrap_or(Value::Null);
+            builders[i].push(coerce(v, f.data_type)?);
+        }
+    }
+    let columns = builders.into_iter().map(|b| b.finish()).collect();
+    Ok((schema, columns))
+}
+
+fn widen(a: DataType, b: DataType) -> DataType {
+    use DataType::*;
+    match (a, b) {
+        (x, y) if x == y => x,
+        (Int64, Float64) | (Float64, Int64) => Float64,
+        _ => Utf8,
+    }
+}
+
+fn coerce(v: Value, target: DataType) -> Result<Value> {
+    Ok(match (v, target) {
+        (Value::Null, _) => Value::Null,
+        (Value::Int64(i), DataType::Float64) => Value::Float64(i as f64),
+        (v, DataType::Utf8) if v.data_type() != Some(DataType::Utf8) => {
+            Value::Utf8(v.to_string())
+        }
+        (v, t) if v.data_type() == Some(t) => v,
+        (v, t) => {
+            return Err(FeisuError::Execution(format!(
+                "cannot coerce {v} to {t}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Number(42.0));
+        assert_eq!(parse("-3.5e2").unwrap(), Json::Number(-350.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::String("hi".into()));
+    }
+
+    #[test]
+    fn parse_nested_structure() {
+        let doc = parse(r#"{"a": [1, {"b": null}], "c": {"d": "x"}}"#).unwrap();
+        assert_eq!(
+            doc.get("c").unwrap().get("d"),
+            Some(&Json::String("x".into()))
+        );
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let doc = parse(r#""a\n\t\"\\Aé""#).unwrap();
+        assert_eq!(doc, Json::String("a\n\t\"\\Aé".into()));
+    }
+
+    #[test]
+    fn parse_surrogate_pair() {
+        let doc = parse(r#""😀""#).unwrap();
+        assert_eq!(doc, Json::String("😀".into()));
+    }
+
+    #[test]
+    fn parse_rejects_lone_surrogate() {
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn parse_unicode_passthrough() {
+        let doc = parse("\"百度搜索\"").unwrap();
+        assert_eq!(doc, Json::String("百度搜索".into()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "{\"a\" 1}", "\"\x01\""] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_deep_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn flatten_paths() {
+        let doc = parse(r#"{"user": {"id": 7, "tags": ["a", "b"]}, "ok": true}"#).unwrap();
+        let flat = flatten(&doc);
+        assert_eq!(
+            flat,
+            vec![
+                ("user.id".to_string(), Value::Int64(7)),
+                ("user.tags[0]".to_string(), Value::Utf8("a".into())),
+                ("user.tags[1]".to_string(), Value::Utf8("b".into())),
+                ("ok".to_string(), Value::Bool(true)),
+            ]
+        );
+    }
+
+    #[test]
+    fn flatten_number_typing() {
+        let doc = parse(r#"{"i": 5, "f": 5.5}"#).unwrap();
+        let flat = flatten(&doc);
+        assert_eq!(flat[0].1, Value::Int64(5));
+        assert_eq!(flat[1].1, Value::Float64(5.5));
+    }
+
+    #[test]
+    fn documents_to_columns_union_schema() {
+        let docs = vec![
+            parse(r#"{"a": 1, "b": "x"}"#).unwrap(),
+            parse(r#"{"a": 2.5, "c": true}"#).unwrap(),
+        ];
+        let (schema, columns) = documents_to_columns(&docs).unwrap();
+        assert_eq!(schema.len(), 3);
+        // `a` saw both Int64 and Float64 → widened to Float64.
+        assert_eq!(schema.field_by_name("a").unwrap().data_type, DataType::Float64);
+        let a = &columns[schema.index_of("a").unwrap()];
+        assert_eq!(a.value(0), Value::Float64(1.0));
+        assert_eq!(a.value(1), Value::Float64(2.5));
+        // Missing paths are null.
+        let b = &columns[schema.index_of("b").unwrap()];
+        assert_eq!(b.value(1), Value::Null);
+    }
+
+    #[test]
+    fn documents_to_columns_mixed_becomes_utf8() {
+        let docs = vec![
+            parse(r#"{"v": 1}"#).unwrap(),
+            parse(r#"{"v": "one"}"#).unwrap(),
+        ];
+        let (schema, columns) = documents_to_columns(&docs).unwrap();
+        assert_eq!(schema.field_by_name("v").unwrap().data_type, DataType::Utf8);
+        assert_eq!(columns[0].value(0), Value::Utf8("1".into()));
+    }
+}

@@ -1,0 +1,390 @@
+//! Per-leaf SmartIndex cache management (paper §IV-C-2).
+//!
+//! "Feisu manages the indices based on the size of the cache memory in
+//! the leaf servers and the time the index has been in the cache since
+//! creation. An index will be deleted from the cache if: (1) the cache
+//! memory is full (by a LRU based approach); or (2) the index has been in
+//! the cache for too long [TTL, 72 hours]." Users may also set
+//! *preferences*: preferred indices survive TTL expiry while memory is
+//! not under pressure.
+//!
+//! LRU is implemented with a lazy queue: each touch appends a
+//! `(key, stamp)` pair; eviction pops until it finds a pair whose stamp
+//! still matches the entry (amortized O(1)).
+
+use crate::smart::SmartIndex;
+use feisu_common::hash::FxHashMap;
+use feisu_common::{BlockId, ByteSize, SimDuration, SimInstant};
+use feisu_sql::cnf::SimplePredicate;
+use std::collections::VecDeque;
+
+/// Cache key: one predicate over one block.
+pub type IndexKey = (BlockId, String);
+
+#[derive(Debug)]
+struct Entry {
+    index: SmartIndex,
+    stamp: u64,
+    pinned: bool,
+    footprint: ByteSize,
+}
+
+/// Counters exposed to the evaluation harness (Fig. 11a plots the miss
+/// ratio these feed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub lru_evictions: u64,
+    pub ttl_evictions: u64,
+}
+
+impl IndexStats {
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// The per-leaf index cache.
+#[derive(Debug)]
+pub struct IndexManager {
+    budget: ByteSize,
+    ttl: SimDuration,
+    used: ByteSize,
+    entries: FxHashMap<IndexKey, Entry>,
+    lru: VecDeque<(IndexKey, u64)>,
+    next_stamp: u64,
+    stats: IndexStats,
+}
+
+impl IndexManager {
+    /// `budget` is the leaf's SmartIndex memory (512 MB in the paper's
+    /// default setup); `ttl` the retirement age (72 h).
+    pub fn new(budget: ByteSize, ttl: SimDuration) -> Self {
+        IndexManager {
+            budget,
+            ttl,
+            used: ByteSize::ZERO,
+            entries: FxHashMap::default(),
+            lru: VecDeque::new(),
+            next_stamp: 0,
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// Looks up an index, counting a hit/miss and refreshing LRU order.
+    /// TTL-expired unpinned entries are treated as misses and dropped.
+    pub fn get(
+        &mut self,
+        block: BlockId,
+        predicate: &SimplePredicate,
+        now: SimInstant,
+    ) -> Option<&SmartIndex> {
+        let key = (block, predicate.key());
+        let expired = match self.entries.get(&key) {
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
+            Some(e) => {
+                !e.pinned && now.since(e.index.created_at) > self.ttl
+            }
+        };
+        if expired {
+            self.remove(&key);
+            self.stats.ttl_evictions += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        self.stats.hits += 1;
+        let stamp = self.bump_stamp();
+        let e = self.entries.get_mut(&key).expect("checked above");
+        e.stamp = stamp;
+        self.lru.push_back((key, stamp));
+        Some(&self.entries[&(block, predicate.key())].index)
+    }
+
+    /// Peeks without touching statistics or LRU order (used by tests and
+    /// monitoring).
+    pub fn peek(&self, block: BlockId, predicate: &SimplePredicate) -> Option<&SmartIndex> {
+        self.entries.get(&(block, predicate.key())).map(|e| &e.index)
+    }
+
+    /// Inserts a freshly built index, evicting LRU entries as needed. An
+    /// index larger than the whole budget is simply not cached.
+    pub fn insert(&mut self, index: SmartIndex, now: SimInstant) {
+        self.insert_inner(index, now, false)
+    }
+
+    /// Inserts with a user preference: the entry survives TTL expiry while
+    /// memory is not full (§IV-C-2 "indices with preferences can remain").
+    pub fn insert_pinned(&mut self, index: SmartIndex, now: SimInstant) {
+        self.insert_inner(index, now, true)
+    }
+
+    fn insert_inner(&mut self, index: SmartIndex, now: SimInstant, pinned: bool) {
+        let footprint = ByteSize(index.footprint() as u64);
+        if footprint > self.budget {
+            return;
+        }
+        let key = (index.block_id, index.key());
+        self.remove(&key);
+        // Evict expired entries first, then LRU until the new one fits.
+        self.evict_expired(now);
+        while self.used + footprint > self.budget {
+            if !self.evict_lru_one() {
+                // Everything left is pinned; drop pins' protection under
+                // memory pressure (paper: preferences only hold while the
+                // cache is not full).
+                if !self.force_evict_one() {
+                    return; // cache empty yet doesn't fit: give up
+                }
+            }
+        }
+        let stamp = self.bump_stamp();
+        self.lru.push_back((key.clone(), stamp));
+        self.used += footprint;
+        self.entries.insert(
+            key,
+            Entry {
+                index,
+                stamp,
+                pinned,
+                footprint,
+            },
+        );
+        self.stats.inserts += 1;
+    }
+
+    /// Drops all TTL-expired, unpinned entries.
+    pub fn evict_expired(&mut self, now: SimInstant) {
+        let expired: Vec<IndexKey> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.pinned && now.since(e.index.created_at) > self.ttl)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in expired {
+            self.remove(&key);
+            self.stats.ttl_evictions += 1;
+        }
+    }
+
+    /// Evicts the least-recently-used unpinned entry. Returns false when
+    /// nothing evictable remains.
+    fn evict_lru_one(&mut self) -> bool {
+        // Each call scans every queue record at most once; pinned live
+        // records are re-queued, stale records dropped.
+        let max_scan = self.lru.len();
+        for _ in 0..max_scan {
+            let (key, stamp) = match self.lru.pop_front() {
+                Some(x) => x,
+                None => return false,
+            };
+            match self.entries.get(&key) {
+                Some(e) if e.stamp == stamp => {
+                    if e.pinned {
+                        self.lru.push_back((key, stamp));
+                    } else {
+                        self.remove(&key);
+                        self.stats.lru_evictions += 1;
+                        return true;
+                    }
+                }
+                _ => {} // stale record: drop
+            }
+        }
+        false
+    }
+
+    /// Evicts any one entry, pinned or not (memory pressure trumps pins).
+    fn force_evict_one(&mut self) -> bool {
+        if let Some(key) = self.entries.keys().next().cloned() {
+            self.remove(&key);
+            self.stats.lru_evictions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove(&mut self, key: &IndexKey) {
+        if let Some(e) = self.entries.remove(key) {
+            self.used = self.used.saturating_sub(e.footprint);
+        }
+    }
+
+    fn bump_stamp(&mut self) -> u64 {
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn memory_used(&self) -> ByteSize {
+        self.used
+    }
+
+    pub fn budget(&self) -> ByteSize {
+        self.budget
+    }
+
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = IndexStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feisu_format::{Block, Column, DataType, Field, Schema, Value};
+    use feisu_sql::ast::BinaryOp;
+
+    fn block(id: u64, rows: usize) -> Block {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64, false)]);
+        let col = Column::from_i64((0..rows as i64).collect());
+        Block::new(BlockId(id), schema, vec![col]).unwrap()
+    }
+
+    fn pred(v: i64) -> SimplePredicate {
+        SimplePredicate {
+            column: "x".into(),
+            op: BinaryOp::Gt,
+            value: Value::Int64(v),
+        }
+    }
+
+    fn idx(block_id: u64, v: i64, created: SimInstant) -> SmartIndex {
+        SmartIndex::build(&block(block_id, 1000), &pred(v), created, false).unwrap()
+    }
+
+    fn manager(kb: u64) -> IndexManager {
+        IndexManager::new(ByteSize::kib(kb), SimDuration::hours(72))
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut m = manager(64);
+        m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
+        assert!(m.get(BlockId(1), &pred(5), SimInstant(1)).is_some());
+        assert!(m.get(BlockId(1), &pred(6), SimInstant(1)).is_none());
+        assert!(m.get(BlockId(2), &pred(5), SimInstant(1)).is_none());
+        let s = m.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+    }
+
+    #[test]
+    fn ttl_expiry_is_a_miss() {
+        let mut m = manager(64);
+        m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
+        let later = SimInstant::EPOCH + SimDuration::hours(73);
+        assert!(m.get(BlockId(1), &pred(5), later).is_none());
+        assert_eq!(m.stats().ttl_evictions, 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn within_ttl_still_hit() {
+        let mut m = manager(64);
+        m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
+        let later = SimInstant::EPOCH + SimDuration::hours(71);
+        assert!(m.get(BlockId(1), &pred(5), later).is_some());
+    }
+
+    #[test]
+    fn pinned_survives_ttl() {
+        let mut m = manager(64);
+        m.insert_pinned(idx(1, 5, SimInstant(0)), SimInstant(0));
+        let later = SimInstant::EPOCH + SimDuration::hours(1000);
+        assert!(m.get(BlockId(1), &pred(5), later).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Each 1000-row index ≈ 125 B bits + overhead; a tight budget of
+        // ~3 entries forces eviction on the 4th insert.
+        let one = idx(1, 1, SimInstant(0));
+        let budget = ByteSize((one.footprint() * 3) as u64 + 10);
+        let mut m = IndexManager::new(budget, SimDuration::hours(72));
+        m.insert(idx(1, 1, SimInstant(0)), SimInstant(0));
+        m.insert(idx(2, 2, SimInstant(0)), SimInstant(0));
+        m.insert(idx(3, 3, SimInstant(0)), SimInstant(0));
+        // Touch 1 so 2 becomes LRU.
+        assert!(m.get(BlockId(1), &pred(1), SimInstant(1)).is_some());
+        m.insert(idx(4, 4, SimInstant(0)), SimInstant(0));
+        assert!(m.peek(BlockId(2), &pred(2)).is_none(), "2 was LRU");
+        assert!(m.peek(BlockId(1), &pred(1)).is_some());
+        assert!(m.peek(BlockId(4), &pred(4)).is_some());
+        assert!(m.stats().lru_evictions >= 1);
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces() {
+        let mut m = manager(64);
+        m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
+        let used_before = m.memory_used();
+        m.insert(idx(1, 5, SimInstant(10)), SimInstant(10));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.memory_used(), used_before);
+    }
+
+    #[test]
+    fn oversized_index_not_cached() {
+        let mut m = IndexManager::new(ByteSize::bytes(16), SimDuration::hours(72));
+        m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn memory_accounting_balances() {
+        let mut m = manager(1024);
+        for b in 0..10 {
+            m.insert(idx(b, b as i64, SimInstant(0)), SimInstant(0));
+        }
+        let total: u64 = (0..10)
+            .filter_map(|b| m.peek(BlockId(b), &pred(b as i64)))
+            .map(|i| i.footprint() as u64)
+            .sum();
+        assert_eq!(m.memory_used().as_u64(), total);
+    }
+
+    #[test]
+    fn force_eviction_under_all_pinned_pressure() {
+        let one = idx(1, 1, SimInstant(0));
+        let budget = ByteSize((one.footprint() * 2) as u64 + 10);
+        let mut m = IndexManager::new(budget, SimDuration::hours(72));
+        m.insert_pinned(idx(1, 1, SimInstant(0)), SimInstant(0));
+        m.insert_pinned(idx(2, 2, SimInstant(0)), SimInstant(0));
+        // Third pinned insert must force out a pinned entry, not spin.
+        m.insert_pinned(idx(3, 3, SimInstant(0)), SimInstant(0));
+        assert!(m.len() <= 2);
+        assert!(m.peek(BlockId(3), &pred(3)).is_some());
+    }
+
+    #[test]
+    fn miss_ratio_computation() {
+        let mut m = manager(64);
+        m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
+        m.get(BlockId(1), &pred(5), SimInstant(0));
+        m.get(BlockId(1), &pred(9), SimInstant(0));
+        m.get(BlockId(1), &pred(9), SimInstant(0));
+        let s = m.stats();
+        assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Plan rewrite: serving conjunctive predicates from SmartIndex.
+//!
+//! This implements step 3 of Fig. 3 ("rewrite subplan equivalently based
+//! on SmartIndex") and step 5 ("update existing indexes"), plus the Fig. 7
+//! transformation: a probe for `c2 <= 5` is also served by an existing
+//! index for `c2 > 5` through bit-NOT, and conjuncts/disjuncts combine
+//! with bit-AND / bit-OR.
+//!
+//! For each CNF clause over a block:
+//! * a clause whose disjuncts are all simple predicates is answered as the
+//!   bit-OR of per-predicate vectors, each served by (in order) a direct
+//!   index hit, a negated-index hit, or a fresh evaluation (which is then
+//!   inserted into the cache — "Feisu creates a SmartIndex each time a
+//!   query predicate is evaluated in a leaf server");
+//! * any other clause is returned as *residual* for row-wise evaluation
+//!   by the scan operator.
+
+use crate::bitvec::BitVec;
+use crate::manager::IndexManager;
+use crate::smart::{scan_evaluate, SmartIndex};
+use feisu_common::{Result, SimInstant};
+use feisu_format::Block;
+use feisu_sql::ast::Expr;
+use feisu_sql::cnf::{Cnf, Disjunct, SimplePredicate};
+
+/// How one simple predicate was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Direct index hit — no scan, no evaluation.
+    Hit,
+    /// Served by negating an existing index (Fig. 7 bit-NOT reuse).
+    NegatedHit,
+    /// Evaluated against the block; a new index was created.
+    BuiltFresh,
+    /// Evaluated against the block without caching (cache disabled).
+    Scanned,
+}
+
+/// Result of serving a CNF over one block.
+#[derive(Debug)]
+pub struct CnfOutcome {
+    /// Conjunction of all index-servable clauses (rows that may pass).
+    pub bits: BitVec,
+    /// Clauses that must still be evaluated row-wise.
+    pub residual: Vec<Expr>,
+    /// Per-predicate accounting, in probe order.
+    pub probes: Vec<(SimplePredicate, ProbeKind)>,
+}
+
+impl CnfOutcome {
+    /// Bytes of data-column reading avoided thanks to index service: the
+    /// caller multiplies by column width. Here: count of predicates that
+    /// did not touch the block.
+    pub fn served_count(&self) -> usize {
+        self.probes
+            .iter()
+            .filter(|(_, k)| matches!(k, ProbeKind::Hit | ProbeKind::NegatedHit))
+            .count()
+    }
+
+    pub fn evaluated_count(&self) -> usize {
+        self.probes.len() - self.served_count()
+    }
+}
+
+/// Serves one simple predicate for a block. `cache` = None disables the
+/// index entirely (the paper's "without SmartIndex" baseline).
+pub fn probe_predicate(
+    cache: Option<&mut IndexManager>,
+    block: &Block,
+    predicate: &SimplePredicate,
+    now: SimInstant,
+) -> Result<(BitVec, ProbeKind)> {
+    let Some(manager) = cache else {
+        let col = block.column_by_name(&predicate.column).ok_or_else(|| {
+            feisu_common::FeisuError::Index(format!(
+                "block {} has no column `{}`",
+                block.id(),
+                predicate.column
+            ))
+        })?;
+        return Ok((scan_evaluate(col, predicate)?, ProbeKind::Scanned));
+    };
+
+    // 1. Direct hit.
+    if let Some(idx) = manager.get(block.id(), predicate, now) {
+        return Ok((idx.bits(), ProbeKind::Hit));
+    }
+    // 2. Negated hit: an index for the complementary operator answers us
+    //    through bit-NOT (nulls handled inside `negated_bits`).
+    if let Some(neg_op) = predicate.op.negate() {
+        let negated = SimplePredicate {
+            column: predicate.column.clone(),
+            op: neg_op,
+            value: predicate.value.clone(),
+        };
+        if let Some(idx) = manager.get(block.id(), &negated, now) {
+            return Ok((idx.negated_bits(), ProbeKind::NegatedHit));
+        }
+    }
+    // 3. Miss: evaluate and cache.
+    let idx = SmartIndex::build(block, predicate, now, false)?;
+    let bits = idx.bits();
+    manager.insert(idx, now);
+    Ok((bits, ProbeKind::BuiltFresh))
+}
+
+/// Serves a whole CNF over one block.
+pub fn evaluate_cnf(
+    mut cache: Option<&mut IndexManager>,
+    block: &Block,
+    cnf: &Cnf,
+    now: SimInstant,
+) -> Result<CnfOutcome> {
+    let rows = block.rows();
+    let mut bits = BitVec::ones(rows);
+    let mut residual = Vec::new();
+    let mut probes = Vec::new();
+    for clause in &cnf.clauses {
+        let all_simple = clause
+            .disjuncts
+            .iter()
+            .all(|d| matches!(d, Disjunct::Simple(_)));
+        if !all_simple {
+            residual.push(clause.to_expr());
+            continue;
+        }
+        let mut clause_bits = BitVec::zeros(rows);
+        for d in &clause.disjuncts {
+            let Disjunct::Simple(p) = d else { unreachable!() };
+            let (pbits, kind) = probe_predicate(cache.as_deref_mut(), block, p, now)?;
+            clause_bits = clause_bits.or(&pbits)?;
+            probes.push((p.clone(), kind));
+        }
+        bits = bits.and(&clause_bits)?;
+    }
+    Ok(CnfOutcome {
+        bits,
+        residual,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feisu_common::{BlockId, ByteSize, SimDuration};
+    use feisu_format::{Column, DataType, Field, Schema, Value};
+    use feisu_sql::cnf::to_cnf;
+    use feisu_sql::eval::eval_truth;
+    use feisu_sql::parser::parse_expr;
+    use std::collections::HashMap;
+
+    fn test_block() -> Block {
+        let schema = Schema::new(vec![
+            Field::new("c2", DataType::Int64, true),
+            Field::new("c3", DataType::Int64, false),
+        ]);
+        let c2 = Column::from_values(
+            DataType::Int64,
+            &(0..200)
+                .map(|i| {
+                    if i % 17 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int64(i % 13)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let c3 = Column::from_i64((0..200).map(|i| i % 7).collect());
+        Block::new(BlockId(3), schema, vec![c2, c3]).unwrap()
+    }
+
+    fn manager() -> IndexManager {
+        IndexManager::new(ByteSize::mib(8), SimDuration::hours(72))
+    }
+
+    /// Oracle: evaluate an expression row-wise over the block.
+    fn oracle(block: &Block, expr: &Expr) -> BitVec {
+        let mut bits = BitVec::zeros(block.rows());
+        for i in 0..block.rows() {
+            let mut row = HashMap::new();
+            for (fi, f) in block.schema().fields().iter().enumerate() {
+                row.insert(f.name.clone(), block.column(fi).value(i));
+            }
+            if eval_truth(expr, &row).unwrap().passes() {
+                bits.set(i, true);
+            }
+        }
+        bits
+    }
+
+    #[test]
+    fn first_probe_builds_second_hits() {
+        let block = test_block();
+        let mut m = manager();
+        let cnf = to_cnf(&parse_expr("c2 > 5").unwrap());
+        let r1 = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(0)).unwrap();
+        assert_eq!(r1.probes[0].1, ProbeKind::BuiltFresh);
+        let r2 = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(1)).unwrap();
+        assert_eq!(r2.probes[0].1, ProbeKind::Hit);
+        assert_eq!(r1.bits, r2.bits);
+        assert_eq!(r2.served_count(), 1);
+    }
+
+    #[test]
+    fn negated_index_served_via_bitnot() {
+        // Paper Fig. 7: after indexing c2 > 5, the query !(c2 > 5) i.e.
+        // c2 <= 5 is served by NOT.
+        let block = test_block();
+        let mut m = manager();
+        let warm = to_cnf(&parse_expr("c2 > 5").unwrap());
+        evaluate_cnf(Some(&mut m), &block, &warm, SimInstant(0)).unwrap();
+        let probe = to_cnf(&parse_expr("c2 <= 5").unwrap());
+        let r = evaluate_cnf(Some(&mut m), &block, &probe, SimInstant(1)).unwrap();
+        assert_eq!(r.probes[0].1, ProbeKind::NegatedHit);
+        assert_eq!(r.bits, oracle(&block, &parse_expr("c2 <= 5").unwrap()));
+    }
+
+    #[test]
+    fn q10_q11_q12_equivalence() {
+        // The paper's running example: all three forms produce identical
+        // result vectors and the later ones are fully index-served.
+        let block = test_block();
+        let mut m = manager();
+        let q10 = to_cnf(&parse_expr("c2 > 0 AND c2 <= 5").unwrap());
+        let r10 = evaluate_cnf(Some(&mut m), &block, &q10, SimInstant(0)).unwrap();
+        let q11 = to_cnf(&parse_expr("c2 > 0 AND !(c2 > 5)").unwrap());
+        let r11 = evaluate_cnf(Some(&mut m), &block, &q11, SimInstant(1)).unwrap();
+        assert_eq!(r10.bits, r11.bits);
+        // Q11's conjuncts: c2 > 0 direct hit; !(c2 > 5) = c2 <= 5 — the
+        // CNF absorbed the NOT, and c2 <= 5 index now exists from Q10.
+        assert!(r11.probes.iter().all(|(_, k)| matches!(
+            k,
+            ProbeKind::Hit | ProbeKind::NegatedHit
+        )));
+    }
+
+    #[test]
+    fn or_clause_combines_with_bitor() {
+        let block = test_block();
+        let mut m = manager();
+        let cnf = to_cnf(&parse_expr("c2 > 10 OR c3 = 0").unwrap());
+        let r = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(0)).unwrap();
+        assert_eq!(r.probes.len(), 2);
+        assert_eq!(
+            r.bits,
+            oracle(&block, &parse_expr("c2 > 10 OR c3 = 0").unwrap())
+        );
+        assert!(r.residual.is_empty());
+    }
+
+    #[test]
+    fn multi_clause_conjunction_with_nulls_matches_oracle() {
+        let block = test_block();
+        let mut m = manager();
+        for src in [
+            "c2 > 3 AND c3 < 5",
+            "c2 >= 0 AND c2 != 7",
+            "(c2 = 1 OR c2 = 2) AND c3 > 1",
+            "NOT (c2 > 3) AND c3 <= 6",
+        ] {
+            let expr = parse_expr(src).unwrap();
+            let cnf = to_cnf(&expr);
+            let r = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(0)).unwrap();
+            assert!(r.residual.is_empty(), "{src} should be fully indexable");
+            assert_eq!(r.bits, oracle(&block, &expr), "mismatch for {src}");
+        }
+    }
+
+    #[test]
+    fn residual_clause_passes_through() {
+        let block = test_block();
+        let mut m = manager();
+        // c2 > c3 is column-column: not indexable.
+        let cnf = to_cnf(&parse_expr("c2 > c3 AND c3 < 5").unwrap());
+        let r = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(0)).unwrap();
+        assert_eq!(r.residual.len(), 1);
+        assert_eq!(r.probes.len(), 1);
+        // bits covers only the indexable clause.
+        assert_eq!(r.bits, oracle(&block, &parse_expr("c3 < 5").unwrap()));
+    }
+
+    #[test]
+    fn disabled_cache_scans_everything() {
+        let block = test_block();
+        let cnf = to_cnf(&parse_expr("c2 > 5 AND c3 = 2").unwrap());
+        let r1 = evaluate_cnf(None, &block, &cnf, SimInstant(0)).unwrap();
+        let r2 = evaluate_cnf(None, &block, &cnf, SimInstant(1)).unwrap();
+        assert!(r1.probes.iter().all(|(_, k)| *k == ProbeKind::Scanned));
+        assert!(r2.probes.iter().all(|(_, k)| *k == ProbeKind::Scanned));
+        assert_eq!(r1.bits, r2.bits);
+    }
+
+    #[test]
+    fn count_star_served_from_index_only() {
+        // An aggregation like the paper's Q1 needs only the bit count.
+        let block = test_block();
+        let mut m = manager();
+        let expr = parse_expr("c2 > 0 AND c2 <= 5").unwrap();
+        let cnf = to_cnf(&expr);
+        evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(0)).unwrap();
+        let r = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(1)).unwrap();
+        assert_eq!(
+            r.bits.count_ones(),
+            oracle(&block, &expr).count_ones()
+        );
+        assert_eq!(r.evaluated_count(), 0, "all in-memory");
+    }
+}

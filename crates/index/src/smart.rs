@@ -1,0 +1,436 @@
+//! The SmartIndex record (paper Fig. 6).
+//!
+//! Header: magic, block id, the predicate key (`op/colname/colvalue`),
+//! compress type, plus the auxiliary `range` (zone map) and `bloom`
+//! fields. Payload: the compressed 0-1 vector of the predicate's
+//! evaluation result, and — required for correct negation reuse under
+//! SQL's three-valued logic — the block column's null positions. A NOT
+//! served from an index must exclude null rows: `!(c > 5)` is *unknown*
+//! for a null `c`, and unknown rows do not pass filters, so
+//! `bits(NOT p) = !(bits(p) | nulls)`.
+
+use crate::bitvec::{BitVec, CompressedBits};
+use crate::bloom::BloomFilter;
+use crate::zonemap::ZoneMap;
+use feisu_common::{BlockId, FeisuError, Result, SimInstant};
+use feisu_format::{Block, Column};
+use feisu_sql::ast::BinaryOp;
+use feisu_sql::cnf::SimplePredicate;
+use feisu_sql::eval::{compare, Truth};
+
+/// Magic value opening a serialized SmartIndex (Fig. 6 `magic`).
+pub const SMARTINDEX_MAGIC: u32 = 0xFE15_0D01;
+
+/// One SmartIndex: the cached evaluation of one simple predicate over one
+/// block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmartIndex {
+    /// Which block the result covers.
+    pub block_id: BlockId,
+    /// The predicate this index answers.
+    pub predicate: SimplePredicate,
+    /// Rows in the block (= bit length).
+    pub rows: usize,
+    /// Compressed evaluation result: bit i set ⇔ row i satisfies the
+    /// predicate (nulls are never set).
+    bits: CompressedBits,
+    /// Null positions of the predicate column, present only when the
+    /// column actually contains nulls.
+    nulls: Option<CompressedBits>,
+    /// Min/max of the indexed column over this block.
+    pub range: Option<ZoneMap>,
+    /// Bloom filter over the column values (built only for small blocks /
+    /// equality-friendly columns; optional per Fig. 6).
+    pub bloom: Option<BloomFilter>,
+    /// When the index was created (TTL bookkeeping).
+    pub created_at: SimInstant,
+}
+
+impl SmartIndex {
+    /// Builds an index by actually evaluating `predicate` against the
+    /// block. This is the slow path whose result later queries reuse.
+    pub fn build(
+        block: &Block,
+        predicate: &SimplePredicate,
+        now: SimInstant,
+        with_bloom: bool,
+    ) -> Result<SmartIndex> {
+        let column = block.column_by_name(&predicate.column).ok_or_else(|| {
+            FeisuError::Index(format!(
+                "block {} has no column `{}`",
+                block.id(),
+                predicate.column
+            ))
+        })?;
+        let rows = block.rows();
+        let mut bits = BitVec::zeros(rows);
+        let mut nulls = BitVec::zeros(rows);
+        let mut has_nulls = false;
+        for i in 0..rows {
+            let v = column.value(i);
+            if v.is_null() {
+                nulls.set(i, true);
+                has_nulls = true;
+                continue;
+            }
+            match compare(predicate.op, &v, &predicate.value)? {
+                Truth::True => bits.set(i, true),
+                Truth::False => {}
+                // Non-null vs non-null comparison can't be unknown, but a
+                // type-mismatched comparison errors above.
+                Truth::Unknown => {}
+            }
+        }
+        let range = column
+            .min_max()
+            .map(|(min, max)| ZoneMap::new(min, max));
+        let bloom = if with_bloom {
+            let mut f = BloomFilter::with_capacity(rows, 0.01);
+            for i in 0..rows {
+                let v = column.value(i);
+                if !v.is_null() {
+                    f.insert(&v);
+                }
+            }
+            Some(f)
+        } else {
+            None
+        };
+        Ok(SmartIndex {
+            block_id: block.id(),
+            predicate: predicate.clone(),
+            rows,
+            bits: CompressedBits::from_bitvec(&bits),
+            nulls: has_nulls.then(|| CompressedBits::from_bitvec(&nulls)),
+            range,
+            bloom,
+            created_at: now,
+        })
+    }
+
+    /// The positive evaluation result.
+    pub fn bits(&self) -> BitVec {
+        self.bits.to_bitvec()
+    }
+
+    /// The result for the *negated* predicate under 3VL: set rows are
+    /// those where `NOT predicate` is true (nulls excluded). This is the
+    /// Fig. 7 bit-NOT reuse.
+    pub fn negated_bits(&self) -> BitVec {
+        let positive = self.bits.to_bitvec();
+        match &self.nulls {
+            None => positive.not(),
+            Some(n) => positive
+                .not()
+                .and_not(&n.to_bitvec())
+                .expect("null mask has index length"),
+        }
+    }
+
+    /// Rows matching the predicate.
+    pub fn selectivity(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.bits.count_ones() as f64 / self.rows as f64
+        }
+    }
+
+    /// Count of matching rows (serves `COUNT(*)` without materializing).
+    pub fn count(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// In-memory footprint used by the manager's budget accounting.
+    pub fn footprint(&self) -> usize {
+        let mut f = self.bits.footprint() + 96 + self.predicate.key().len();
+        if let Some(n) = &self.nulls {
+            f += n.footprint();
+        }
+        if let Some(b) = &self.bloom {
+            f += b.footprint();
+        }
+        f
+    }
+
+    /// The cache key this index answers (op/colname/colvalue of Fig. 6).
+    pub fn key(&self) -> String {
+        self.predicate.key()
+    }
+
+    /// Serializes header + payload with the Fig. 6 magic. (Bloom and zone
+    /// map are rebuildable and not persisted.)
+    pub fn serialize(&self) -> Vec<u8> {
+        use feisu_format::encoding::varint;
+        let mut out = Vec::new();
+        out.extend_from_slice(&SMARTINDEX_MAGIC.to_le_bytes());
+        varint::encode(self.block_id.raw(), &mut out);
+        let key = self.predicate.key();
+        varint::encode(key.len() as u64, &mut out);
+        out.extend_from_slice(key.as_bytes());
+        varint::encode(self.rows as u64, &mut out);
+        let bits = self.bits.to_bitvec();
+        varint::encode(bits.words().len() as u64, &mut out);
+        for w in bits.words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        match &self.nulls {
+            None => out.push(0),
+            Some(n) => {
+                out.push(1);
+                let nb = n.to_bitvec();
+                varint::encode(nb.words().len() as u64, &mut out);
+                for w in nb.words() {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a serialized index. The predicate is reconstructed from its
+    /// key string only for identification; callers match on [`SmartIndex::key`].
+    pub fn deserialize(buf: &[u8], predicate: SimplePredicate, now: SimInstant) -> Result<SmartIndex> {
+        use feisu_format::encoding::varint;
+        if buf.len() < 4 || buf[..4] != SMARTINDEX_MAGIC.to_le_bytes() {
+            return Err(FeisuError::Corrupt("bad SmartIndex magic".into()));
+        }
+        let mut pos = 4usize;
+        let block_id = BlockId(varint::decode(buf, &mut pos)?);
+        let key_len = varint::decode(buf, &mut pos)? as usize;
+        let end = pos + key_len;
+        if end > buf.len() {
+            return Err(FeisuError::Corrupt("truncated SmartIndex key".into()));
+        }
+        let stored_key = std::str::from_utf8(&buf[pos..end])
+            .map_err(|_| FeisuError::Corrupt("SmartIndex key not utf8".into()))?;
+        if stored_key != predicate.key() {
+            return Err(FeisuError::Corrupt(format!(
+                "SmartIndex key mismatch: stored `{stored_key}`"
+            )));
+        }
+        pos = end;
+        let rows = varint::decode(buf, &mut pos)? as usize;
+        let read_bits = |pos: &mut usize| -> Result<BitVec> {
+            let nwords = varint::decode(buf, pos)? as usize;
+            if buf.len().saturating_sub(*pos) < nwords * 8 {
+                return Err(FeisuError::Corrupt("truncated SmartIndex bits".into()));
+            }
+            let mut words = Vec::with_capacity(nwords);
+            for _ in 0..nwords {
+                words.push(u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap()));
+                *pos += 8;
+            }
+            BitVec::from_words(words, rows)
+        };
+        let bits = read_bits(&mut pos)?;
+        let has_nulls = *buf
+            .get(pos)
+            .ok_or_else(|| FeisuError::Corrupt("missing null flag".into()))?;
+        pos += 1;
+        let nulls = if has_nulls == 1 {
+            Some(CompressedBits::from_bitvec(&read_bits(&mut pos)?))
+        } else {
+            None
+        };
+        Ok(SmartIndex {
+            block_id,
+            predicate,
+            rows,
+            bits: CompressedBits::from_bitvec(&bits),
+            nulls,
+            range: None,
+            bloom: None,
+            created_at: now,
+        })
+    }
+}
+
+/// Evaluates a simple predicate over a column the slow way — the oracle
+/// the index is tested against, and the fallback when no index exists.
+pub fn scan_evaluate(column: &Column, predicate: &SimplePredicate) -> Result<BitVec> {
+    let mut bits = BitVec::zeros(column.len());
+    for i in 0..column.len() {
+        let v = column.value(i);
+        if v.is_null() {
+            continue;
+        }
+        if compare(predicate.op, &v, &predicate.value)? == Truth::True {
+            bits.set(i, true);
+        }
+    }
+    Ok(bits)
+}
+
+/// Can the zone map / bloom of this block prove the predicate matches
+/// nothing? Used to short-circuit index construction.
+pub fn provably_empty(
+    range: Option<&ZoneMap>,
+    bloom: Option<&BloomFilter>,
+    predicate: &SimplePredicate,
+) -> bool {
+    if let Some(z) = range {
+        if !z.may_match(predicate.op, &predicate.value) {
+            return true;
+        }
+    }
+    if predicate.op == BinaryOp::Eq {
+        if let Some(b) = bloom {
+            if !b.may_contain(&predicate.value) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feisu_format::{DataType, Field, Schema, Value};
+
+    fn test_block() -> Block {
+        let schema = Schema::new(vec![
+            Field::new("c2", DataType::Int64, true),
+            Field::new("url", DataType::Utf8, false),
+        ]);
+        let c2 = Column::from_values(
+            DataType::Int64,
+            &(0..100)
+                .map(|i| {
+                    if i % 10 == 9 {
+                        Value::Null
+                    } else {
+                        Value::Int64(i % 20)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let url = Column::from_utf8((0..100).map(|i| format!("page{}", i % 5)).collect());
+        Block::new(BlockId(7), schema, vec![c2, url]).unwrap()
+    }
+
+    fn pred(col: &str, op: BinaryOp, v: Value) -> SimplePredicate {
+        SimplePredicate {
+            column: col.into(),
+            op,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn build_matches_scan_oracle() {
+        let block = test_block();
+        for (op, v) in [
+            (BinaryOp::Gt, Value::Int64(5)),
+            (BinaryOp::LtEq, Value::Int64(10)),
+            (BinaryOp::Eq, Value::Int64(3)),
+            (BinaryOp::NotEq, Value::Int64(0)),
+        ] {
+            let p = pred("c2", op, v);
+            let idx = SmartIndex::build(&block, &p, SimInstant(0), false).unwrap();
+            let oracle = scan_evaluate(block.column_by_name("c2").unwrap(), &p).unwrap();
+            assert_eq!(idx.bits(), oracle, "op {op}");
+        }
+    }
+
+    #[test]
+    fn contains_predicate_indexable() {
+        let block = test_block();
+        let p = pred("url", BinaryOp::Contains, Value::Utf8("page1".into()));
+        let idx = SmartIndex::build(&block, &p, SimInstant(0), false).unwrap();
+        assert_eq!(idx.count(), 20);
+    }
+
+    #[test]
+    fn negated_bits_exclude_nulls() {
+        let block = test_block();
+        let p = pred("c2", BinaryOp::Gt, Value::Int64(5));
+        let idx = SmartIndex::build(&block, &p, SimInstant(0), false).unwrap();
+        let neg = idx.negated_bits();
+        // Oracle: NOT (c2 > 5) ⇔ c2 <= 5 for non-null rows.
+        let oracle = scan_evaluate(
+            block.column_by_name("c2").unwrap(),
+            &pred("c2", BinaryOp::LtEq, Value::Int64(5)),
+        )
+        .unwrap();
+        assert_eq!(neg, oracle);
+        // And positive + negative never cover a null row.
+        let col = block.column_by_name("c2").unwrap();
+        for i in 0..block.rows() {
+            if col.value(i).is_null() {
+                assert!(!idx.bits().get(i) && !neg.get(i), "null row {i} leaked");
+            }
+        }
+    }
+
+    #[test]
+    fn selectivity_and_count() {
+        let block = test_block();
+        let p = pred("c2", BinaryOp::Lt, Value::Int64(0));
+        let idx = SmartIndex::build(&block, &p, SimInstant(0), false).unwrap();
+        assert_eq!(idx.count(), 0);
+        assert_eq!(idx.selectivity(), 0.0);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let block = test_block();
+        let p = pred("ghost", BinaryOp::Eq, Value::Int64(1));
+        assert!(SmartIndex::build(&block, &p, SimInstant(0), false).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let block = test_block();
+        let p = pred("c2", BinaryOp::Contains, Value::Utf8("x".into()));
+        assert!(SmartIndex::build(&block, &p, SimInstant(0), false).is_err());
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let block = test_block();
+        let p = pred("c2", BinaryOp::Gt, Value::Int64(5));
+        let idx = SmartIndex::build(&block, &p, SimInstant(0), false).unwrap();
+        let bytes = idx.serialize();
+        let back = SmartIndex::deserialize(&bytes, p, SimInstant(1)).unwrap();
+        assert_eq!(back.bits(), idx.bits());
+        assert_eq!(back.negated_bits(), idx.negated_bits());
+        assert_eq!(back.block_id, BlockId(7));
+    }
+
+    #[test]
+    fn serialize_rejects_wrong_key_or_magic() {
+        let block = test_block();
+        let p = pred("c2", BinaryOp::Gt, Value::Int64(5));
+        let idx = SmartIndex::build(&block, &p, SimInstant(0), false).unwrap();
+        let mut bytes = idx.serialize();
+        let wrong = pred("c2", BinaryOp::Gt, Value::Int64(6));
+        assert!(SmartIndex::deserialize(&bytes, wrong, SimInstant(0)).is_err());
+        bytes[0] ^= 0xff;
+        assert!(SmartIndex::deserialize(&bytes, pred("c2", BinaryOp::Gt, Value::Int64(5)), SimInstant(0)).is_err());
+    }
+
+    #[test]
+    fn provably_empty_via_range_and_bloom() {
+        let block = test_block();
+        let p_absent = pred("c2", BinaryOp::Gt, Value::Int64(100));
+        let idx = SmartIndex::build(&block, &pred("c2", BinaryOp::Gt, Value::Int64(0)), SimInstant(0), true)
+            .unwrap();
+        assert!(provably_empty(idx.range.as_ref(), idx.bloom.as_ref(), &p_absent));
+        let p_eq_absent = pred("c2", BinaryOp::Eq, Value::Int64(12345));
+        assert!(provably_empty(idx.range.as_ref(), idx.bloom.as_ref(), &p_eq_absent));
+        let p_present = pred("c2", BinaryOp::Eq, Value::Int64(3));
+        assert!(!provably_empty(idx.range.as_ref(), idx.bloom.as_ref(), &p_present));
+    }
+
+    #[test]
+    fn footprint_accounts_payload() {
+        let block = test_block();
+        let p = pred("c2", BinaryOp::Gt, Value::Int64(5));
+        let plain = SmartIndex::build(&block, &p, SimInstant(0), false).unwrap();
+        let with_bloom = SmartIndex::build(&block, &p, SimInstant(0), true).unwrap();
+        assert!(with_bloom.footprint() > plain.footprint());
+    }
+}

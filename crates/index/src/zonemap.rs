@@ -1,0 +1,115 @@
+//! Zone maps — the `range` auxiliary field of the SmartIndex header
+//! (Fig. 6) and the block-pruning statistic kept in the catalog.
+//!
+//! A zone map records a column's min/max over one block. Before touching
+//! a block (or building an index over it), the leaf asks whether a
+//! predicate can possibly match anything inside the range; if not, the
+//! whole block produces an all-zeros result for free.
+
+use feisu_sql::ast::BinaryOp;
+use feisu_format::Value;
+use std::cmp::Ordering;
+
+/// Min/max envelope for one column of one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMap {
+    pub min: Value,
+    pub max: Value,
+}
+
+impl ZoneMap {
+    /// Builds from min/max statistics; `None` when the column is all-null
+    /// (no envelope — predicates on it can never be true).
+    pub fn new(min: Value, max: Value) -> ZoneMap {
+        ZoneMap { min, max }
+    }
+
+    /// Whether `column OP value` can be true for *any* row in the block.
+    /// `true` = must scan; `false` = skip entirely. Conservative: unknown
+    /// comparisons return `true`.
+    pub fn may_match(&self, op: BinaryOp, value: &Value) -> bool {
+        let lo = match self.min.sql_cmp(value) {
+            Some(o) => o,
+            None => return true,
+        };
+        let hi = match self.max.sql_cmp(value) {
+            Some(o) => o,
+            None => return true,
+        };
+        match op {
+            // Some row == value requires min <= value <= max.
+            BinaryOp::Eq => lo != Ordering::Greater && hi != Ordering::Less,
+            // Some row != value fails only when min == max == value.
+            BinaryOp::NotEq => !(lo == Ordering::Equal && hi == Ordering::Equal),
+            // Some row < value requires min < value.
+            BinaryOp::Lt => lo == Ordering::Less,
+            BinaryOp::LtEq => lo != Ordering::Greater,
+            // Some row > value requires max > value.
+            BinaryOp::Gt => hi == Ordering::Greater,
+            BinaryOp::GtEq => hi != Ordering::Less,
+            // CONTAINS and anything else: cannot prune by range.
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zm(lo: i64, hi: i64) -> ZoneMap {
+        ZoneMap::new(Value::Int64(lo), Value::Int64(hi))
+    }
+
+    #[test]
+    fn eq_pruning() {
+        let z = zm(10, 20);
+        assert!(z.may_match(BinaryOp::Eq, &Value::Int64(10)));
+        assert!(z.may_match(BinaryOp::Eq, &Value::Int64(15)));
+        assert!(!z.may_match(BinaryOp::Eq, &Value::Int64(9)));
+        assert!(!z.may_match(BinaryOp::Eq, &Value::Int64(21)));
+    }
+
+    #[test]
+    fn range_pruning() {
+        let z = zm(10, 20);
+        assert!(!z.may_match(BinaryOp::Lt, &Value::Int64(10)));
+        assert!(z.may_match(BinaryOp::Lt, &Value::Int64(11)));
+        assert!(z.may_match(BinaryOp::LtEq, &Value::Int64(10)));
+        assert!(!z.may_match(BinaryOp::LtEq, &Value::Int64(9)));
+        assert!(!z.may_match(BinaryOp::Gt, &Value::Int64(20)));
+        assert!(z.may_match(BinaryOp::Gt, &Value::Int64(19)));
+        assert!(z.may_match(BinaryOp::GtEq, &Value::Int64(20)));
+        assert!(!z.may_match(BinaryOp::GtEq, &Value::Int64(21)));
+    }
+
+    #[test]
+    fn noteq_prunes_only_constant_blocks() {
+        let constant = zm(7, 7);
+        assert!(!constant.may_match(BinaryOp::NotEq, &Value::Int64(7)));
+        assert!(constant.may_match(BinaryOp::NotEq, &Value::Int64(8)));
+        let varied = zm(1, 9);
+        assert!(varied.may_match(BinaryOp::NotEq, &Value::Int64(5)));
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        let z = zm(10, 20);
+        assert!(z.may_match(BinaryOp::Gt, &Value::Float64(19.5)));
+        assert!(!z.may_match(BinaryOp::Gt, &Value::Float64(20.5)));
+    }
+
+    #[test]
+    fn incomparable_types_never_prune() {
+        let z = zm(10, 20);
+        assert!(z.may_match(BinaryOp::Eq, &Value::Utf8("x".into())));
+        assert!(z.may_match(BinaryOp::Contains, &Value::Utf8("x".into())));
+    }
+
+    #[test]
+    fn string_zonemap() {
+        let z = ZoneMap::new(Value::Utf8("apple".into()), Value::Utf8("mango".into()));
+        assert!(z.may_match(BinaryOp::Eq, &Value::Utf8("banana".into())));
+        assert!(!z.may_match(BinaryOp::Eq, &Value::Utf8("zebra".into())));
+    }
+}

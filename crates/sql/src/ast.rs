@@ -1,0 +1,371 @@
+//! Abstract syntax tree for the Feisu SQL dialect.
+
+use feisu_format::Value;
+use std::fmt;
+
+/// Binary operators, comparison and arithmetic plus the workload's
+/// `CONTAINS` substring operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Plus,
+    Minus,
+    Multiply,
+    Divide,
+    Modulo,
+    /// `a CONTAINS 'needle'` — substring match on strings.
+    Contains,
+}
+
+impl BinaryOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+                | BinaryOp::Contains
+        )
+    }
+
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`), used to
+    /// normalize predicates to `column OP literal` form for SmartIndex.
+    pub fn flip(self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::Eq,
+            BinaryOp::NotEq => BinaryOp::NotEq,
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            _ => return None,
+        })
+    }
+
+    /// The negated comparison (`NOT (a < b)` ⇔ `a >= b`), used by the
+    /// SmartIndex rewriter (paper Fig. 7 computes `!(c2 > 5)` via bit-NOT).
+    pub fn negate(self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::NotEq,
+            BinaryOp::NotEq => BinaryOp::Eq,
+            BinaryOp::Lt => BinaryOp::GtEq,
+            BinaryOp::LtEq => BinaryOp::Gt,
+            BinaryOp::Gt => BinaryOp::LtEq,
+            BinaryOp::GtEq => BinaryOp::Lt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Multiply => "*",
+            BinaryOp::Divide => "/",
+            BinaryOp::Modulo => "%",
+            BinaryOp::Contains => "CONTAINS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// Aggregate functions of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Possibly-qualified column reference (`t.c` keeps the qualifier).
+    Column(String),
+    Literal(Value),
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        operand: Box<Expr>,
+        negated: bool,
+    },
+    /// Aggregate call. `within` carries the paper's `WITHIN expr` scope
+    /// annotation (kept for fidelity; treated as a grouping hint).
+    Aggregate {
+        func: AggFunc,
+        /// `None` = `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+        within: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinaryOp::And, left, right)
+    }
+
+    pub fn or(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinaryOp::Or, left, right)
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Expr {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            operand: Box::new(e),
+        }
+    }
+
+    /// Whether this subtree contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Binary { left, right, .. } => left.has_aggregate() || right.has_aggregate(),
+            Expr::Unary { operand, .. } => operand.has_aggregate(),
+            Expr::IsNull { operand, .. } => operand.has_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// Collects every column name referenced in the subtree.
+    pub fn columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(c) => {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+            Expr::Binary { left, right, .. } => {
+                left.columns(out);
+                right.columns(out);
+            }
+            Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => operand.columns(out),
+            Expr::Aggregate { arg, within, .. } => {
+                if let Some(a) = arg {
+                    a.columns(out);
+                }
+                if let Some(w) = within {
+                    w.columns(out);
+                }
+            }
+            Expr::Literal(_) => {}
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => f.write_str(c),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Unary { op: UnaryOp::Not, operand } => write!(f, "(NOT {operand})"),
+            Expr::Unary { op: UnaryOp::Neg, operand } => write!(f, "(-{operand})"),
+            Expr::IsNull { operand, negated: false } => write!(f, "({operand} IS NULL)"),
+            Expr::IsNull { operand, negated: true } => write!(f, "({operand} IS NOT NULL)"),
+            Expr::Aggregate { func, arg, within } => {
+                match arg {
+                    Some(a) => write!(f, "{func}({a})")?,
+                    None => write!(f, "{func}(*)")?,
+                }
+                if let Some(w) = within {
+                    write!(f, " WITHIN {w}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Join kinds of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    RightOuter,
+    Cross,
+}
+
+/// One `SELECT` list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is known by in the query scope.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// An explicit `JOIN ... ON ...` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    /// Conjunction of equality (or general) conditions.
+    pub on: Vec<Expr>,
+}
+
+/// One parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub joins: Vec<JoinClause>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<(Expr, /*descending=*/ bool)>,
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// All tables referenced (FROM list plus JOINed tables).
+    pub fn all_tables(&self) -> impl Iterator<Item = &TableRef> {
+        self.from.iter().chain(self.joins.iter().map(|j| &j.table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_flip_and_negate() {
+        assert_eq!(BinaryOp::Lt.flip(), Some(BinaryOp::Gt));
+        assert_eq!(BinaryOp::GtEq.flip(), Some(BinaryOp::LtEq));
+        assert_eq!(BinaryOp::Gt.negate(), Some(BinaryOp::LtEq));
+        assert_eq!(BinaryOp::Eq.negate(), Some(BinaryOp::NotEq));
+        assert_eq!(BinaryOp::Contains.negate(), None);
+        assert_eq!(BinaryOp::Plus.flip(), None);
+    }
+
+    #[test]
+    fn has_aggregate_detects_nesting() {
+        let agg = Expr::Aggregate {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(Expr::col("x"))),
+            within: None,
+        };
+        let wrapped = Expr::binary(BinaryOp::Plus, agg, Expr::lit(1i64));
+        assert!(wrapped.has_aggregate());
+        assert!(!Expr::col("x").has_aggregate());
+    }
+
+    #[test]
+    fn columns_collects_unique() {
+        let e = Expr::and(
+            Expr::binary(BinaryOp::Gt, Expr::col("a"), Expr::lit(1i64)),
+            Expr::binary(BinaryOp::Lt, Expr::col("a"), Expr::col("b")),
+        );
+        let mut cols = Vec::new();
+        e.columns(&mut cols);
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn display_roundtrippable_shape() {
+        let e = Expr::and(
+            Expr::binary(BinaryOp::Gt, Expr::col("c2"), Expr::lit(0i64)),
+            Expr::not(Expr::binary(BinaryOp::Gt, Expr::col("c2"), Expr::lit(5i64))),
+        );
+        assert_eq!(e.to_string(), "((c2 > 0) AND (NOT (c2 > 5)))");
+    }
+
+    #[test]
+    fn table_effective_name() {
+        let t = TableRef { name: "t1".into(), alias: Some("a".into()) };
+        assert_eq!(t.effective_name(), "a");
+        let t = TableRef { name: "t1".into(), alias: None };
+        assert_eq!(t.effective_name(), "t1");
+    }
+}

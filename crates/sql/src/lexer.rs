@@ -1,0 +1,437 @@
+//! SQL tokenizer.
+//!
+//! Hand-written single-pass lexer producing a token stream with byte
+//! offsets for error messages. Keywords are case-insensitive; identifiers
+//! preserve case. String literals use single quotes with `''` escaping.
+
+use feisu_common::{FeisuError, Result};
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Keyword(Keyword),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // Operators / punctuation.
+    Eq,        // =
+    NotEq,     // != or <>
+    Lt,        // <
+    LtEq,      // <=
+    Gt,        // >
+    GtEq,      // >=
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Bang, // ! (logical not, used by the paper's Q11/Q12 examples)
+}
+
+/// Reserved words of the Feisu dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    As,
+    And,
+    Or,
+    Not,
+    Join,
+    Inner,
+    Left,
+    Right,
+    Outer,
+    Cross,
+    On,
+    Contains,
+    Within,
+    Desc,
+    Asc,
+    True,
+    False,
+    Null,
+    Is,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "HAVING" => Keyword::Having,
+            "ORDER" => Keyword::Order,
+            "LIMIT" => Keyword::Limit,
+            "AS" => Keyword::As,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "JOIN" => Keyword::Join,
+            "INNER" => Keyword::Inner,
+            "LEFT" => Keyword::Left,
+            "RIGHT" => Keyword::Right,
+            "OUTER" => Keyword::Outer,
+            "CROSS" => Keyword::Cross,
+            "ON" => Keyword::On,
+            "CONTAINS" => Keyword::Contains,
+            "WITHIN" => Keyword::Within,
+            "DESC" => Keyword::Desc,
+            "ASC" => Keyword::Asc,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "NULL" => Keyword::Null,
+            "IS" => Keyword::Is,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            Token::Int(v) => write!(f, "integer `{v}`"),
+            Token::Float(v) => write!(f, "float `{v}`"),
+            Token::Str(s) => write!(f, "string '{s}'"),
+            Token::Eq => f.write_str("`=`"),
+            Token::NotEq => f.write_str("`!=`"),
+            Token::Lt => f.write_str("`<`"),
+            Token::LtEq => f.write_str("`<=`"),
+            Token::Gt => f.write_str("`>`"),
+            Token::GtEq => f.write_str("`>=`"),
+            Token::Plus => f.write_str("`+`"),
+            Token::Minus => f.write_str("`-`"),
+            Token::Star => f.write_str("`*`"),
+            Token::Slash => f.write_str("`/`"),
+            Token::Percent => f.write_str("`%`"),
+            Token::LParen => f.write_str("`(`"),
+            Token::RParen => f.write_str("`)`"),
+            Token::Comma => f.write_str("`,`"),
+            Token::Dot => f.write_str("`.`"),
+            Token::Semicolon => f.write_str("`;`"),
+            Token::Bang => f.write_str("`!`"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// Tokenizes `input`; errors carry byte offsets.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Spanned { token: Token::LParen, offset: start });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Spanned { token: Token::RParen, offset: start });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Spanned { token: Token::Comma, offset: start });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Spanned { token: Token::Semicolon, offset: start });
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Spanned { token: Token::Dot, offset: start });
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Spanned { token: Token::Plus, offset: start });
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Spanned { token: Token::Minus, offset: start });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Spanned { token: Token::Star, offset: start });
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Spanned { token: Token::Slash, offset: start });
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Spanned { token: Token::Percent, offset: start });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Spanned { token: Token::Eq, offset: start });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::NotEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Bang, offset: start });
+                    i += 1;
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Spanned { token: Token::LtEq, offset: start });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Spanned { token: Token::NotEq, offset: start });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Spanned { token: Token::Lt, offset: start });
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::GtEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(FeisuError::Parse(format!(
+                                "unterminated string starting at offset {start}"
+                            )))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Copy the full UTF-8 character.
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                                    FeisuError::Parse(format!("invalid utf8 at offset {i}"))
+                                })?,
+                            );
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Spanned { token: Token::Str(s), offset: start });
+            }
+            b'0'..=b'9' => {
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| {
+                        FeisuError::Parse(format!("bad float `{text}` at offset {start}"))
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| {
+                        FeisuError::Parse(format!("bad integer `{text}` at offset {start}"))
+                    })?)
+                };
+                tokens.push(Spanned { token, offset: start });
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let token = match Keyword::from_str(word) {
+                    Some(k) => Token::Keyword(k),
+                    None => Token::Ident(word.to_string()),
+                };
+                tokens.push(Spanned { token, offset: start });
+            }
+            other => {
+                return Err(FeisuError::Parse(format!(
+                    "unexpected character `{}` at offset {start}",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first < 0xE0 {
+        2
+    } else if first < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("select FROM Where"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::From),
+                Token::Keyword(Keyword::Where),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_preserve_case() {
+        assert_eq!(toks("myCol _x c2"), vec![
+            Token::Ident("myCol".into()),
+            Token::Ident("_x".into()),
+            Token::Ident("c2".into()),
+        ]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 3.5 1e3 2.5e-2"), vec![
+            Token::Int(42),
+            Token::Float(3.5),
+            Token::Float(1000.0),
+            Token::Float(0.025),
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'abc' 'it''s'"), vec![
+            Token::Str("abc".into()),
+            Token::Str("it's".into()),
+        ]);
+        assert_eq!(toks("'百度'"), vec![Token::Str("百度".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(toks("= != <> < <= > >= ! + - * / %"), vec![
+            Token::Eq,
+            Token::NotEq,
+            Token::NotEq,
+            Token::Lt,
+            Token::LtEq,
+            Token::Gt,
+            Token::GtEq,
+            Token::Bang,
+            Token::Plus,
+            Token::Minus,
+            Token::Star,
+            Token::Slash,
+            Token::Percent,
+        ]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("a -- comment\n b"), vec![
+            Token::Ident("a".into()),
+            Token::Ident("b".into()),
+        ]);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = tokenize("ab  cd").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("a @ b").is_err());
+    }
+
+    #[test]
+    fn paper_query_q1_lexes() {
+        let q = "SELECT COUNT(*) FROM T WHERE (c2 > 0) AND (c2 <= 5)";
+        assert!(tokenize(q).is_ok());
+    }
+}

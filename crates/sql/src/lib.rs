@@ -1,0 +1,61 @@
+//! Feisu's SQL front end.
+//!
+//! Implements the star-schema query language of paper §III-A:
+//!
+//! ```sql
+//! SELECT expr [[AS] alias] [...] [aggr_func(expr) WITHIN expr]
+//! FROM table1 [, table2, ...]
+//!   [[INNER|[RIGHT|LEFT] OUTER|CROSS] JOIN table3 [[AS] alias]
+//!     ON cond [AND cond ...]]
+//! [WHERE cond] [GROUP BY f [...]] [HAVING cond]
+//! [ORDER BY f [DESC|ASC] [...]] [LIMIT n];
+//! ```
+//!
+//! plus the `CONTAINS` string operator used by the evaluation workload.
+//! The pipeline is: [`lexer`] → [`parser`] (AST in [`ast`]) → [`analyze`]
+//! (name/type resolution against a catalog) → [`plan`] (logical plan) →
+//! [`optimizer`] (pushdown, pruning, folding). [`cnf`] converts predicates
+//! to conjunctive form — the representation SmartIndex keys on (§IV-C) —
+//! and [`eval`] is the row-wise reference interpreter used as the test
+//! oracle and for scalar contexts (HAVING, constant folding).
+
+//! # Example
+//!
+//! ```
+//! use feisu_format::{DataType, Field, Schema};
+//! use std::collections::HashMap;
+//!
+//! let mut catalog: HashMap<String, Schema> = HashMap::new();
+//! catalog.insert(
+//!     "t1".into(),
+//!     Schema::new(vec![
+//!         Field::new("url", DataType::Utf8, false),
+//!         Field::new("clicks", DataType::Int64, false),
+//!     ]),
+//! );
+//! let query = feisu_sql::parse_query(
+//!     "SELECT url, COUNT(*) AS n FROM t1 WHERE clicks > 5 GROUP BY url ORDER BY n DESC LIMIT 3",
+//! )
+//! .unwrap();
+//! let resolved = feisu_sql::analyze::analyze(&query, &catalog).unwrap();
+//! let plan = feisu_sql::optimizer::optimize(
+//!     feisu_sql::plan::build_plan(&resolved).unwrap(),
+//! )
+//! .unwrap();
+//! let rendered = plan.display_indent();
+//! assert!(rendered.contains("Scan: t1"));
+//! assert!(rendered.contains("filter=(clicks > 5)"), "{rendered}");
+//! ```
+
+pub mod analyze;
+pub mod ast;
+pub mod cnf;
+pub mod eval;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{BinaryOp, Expr, Query, UnaryOp};
+pub use parser::parse_query;
+pub use plan::LogicalPlan;

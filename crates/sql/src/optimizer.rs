@@ -1,0 +1,676 @@
+//! Logical plan optimizer.
+//!
+//! A small, rule-based optimizer in the cost-based spirit of the paper's
+//! master ("generates optimized query execution plans using a cost-based
+//! approach", §III-B). Rules, applied in order:
+//!
+//! 1. **Constant folding** — literal-only subtrees are evaluated once.
+//! 2. **Predicate pushdown** — WHERE conjuncts that reference a single
+//!    scan's columns move into that scan, where SmartIndex can serve them.
+//! 3. **Projection pruning** — scans read only the columns the rest of
+//!    the plan actually needs (the core of the columnar I/O saving).
+//! 4. **Limit-into-sort** — `Limit(Sort)` becomes a top-N sort.
+
+use crate::ast::{Expr, UnaryOp};
+use crate::cnf::to_cnf;
+use crate::eval::eval;
+use crate::plan::LogicalPlan;
+use feisu_common::Result;
+use feisu_format::{Schema, Value};
+
+/// Applies all rules and returns the optimized plan.
+pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let plan = fold_constants_plan(plan)?;
+    let plan = push_down_predicates(plan)?;
+    let plan = prune_projections(plan)?;
+    let plan = limit_into_sort(plan);
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------- folding
+
+fn fold_constants_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(fold_constants_plan(*input)?),
+            predicate: fold_expr(predicate),
+        },
+        LogicalPlan::Project { input, exprs, output_schema } => LogicalPlan::Project {
+            input: Box::new(fold_constants_plan(*input)?),
+            exprs: exprs.into_iter().map(|(e, n)| (fold_expr(e), n)).collect(),
+            output_schema,
+        },
+        LogicalPlan::Join { left, right, kind, on, output_schema } => LogicalPlan::Join {
+            left: Box::new(fold_constants_plan(*left)?),
+            right: Box::new(fold_constants_plan(*right)?),
+            kind,
+            on: on.into_iter().map(fold_expr).collect(),
+            output_schema,
+        },
+        LogicalPlan::Aggregate { input, group_by, aggregates, output_schema } => {
+            LogicalPlan::Aggregate {
+                input: Box::new(fold_constants_plan(*input)?),
+                group_by,
+                aggregates,
+                output_schema,
+            }
+        }
+        LogicalPlan::Sort { input, keys, fetch } => LogicalPlan::Sort {
+            input: Box::new(fold_constants_plan(*input)?),
+            keys,
+            fetch,
+        },
+        LogicalPlan::Limit { input, fetch } => LogicalPlan::Limit {
+            input: Box::new(fold_constants_plan(*input)?),
+            fetch,
+        },
+        scan @ LogicalPlan::Scan { .. } => scan,
+    })
+}
+
+/// Folds literal-only subtrees bottom-up. Errors (e.g. division by zero)
+/// leave the subtree unfolded so they surface at execution time with row
+/// context.
+pub fn fold_expr(e: Expr) -> Expr {
+    let folded = match e {
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op,
+            left: Box::new(fold_expr(*left)),
+            right: Box::new(fold_expr(*right)),
+        },
+        Expr::Unary { op, operand } => Expr::Unary {
+            op,
+            operand: Box::new(fold_expr(*operand)),
+        },
+        Expr::IsNull { operand, negated } => Expr::IsNull {
+            operand: Box::new(fold_expr(*operand)),
+            negated,
+        },
+        other => other,
+    };
+    if is_foldable(&folded) {
+        let empty = |_: &str| -> Option<Value> { None };
+        if let Ok(v) = eval(&folded, &empty) {
+            return Expr::Literal(v);
+        }
+    }
+    folded
+}
+
+fn is_foldable(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) => false, // already a literal, nothing to do
+        Expr::Binary { left, right, .. } => literal_only(left) && literal_only(right),
+        Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => literal_only(operand),
+        _ => false,
+    }
+}
+
+fn literal_only(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) => true,
+        Expr::Binary { left, right, .. } => literal_only(left) && literal_only(right),
+        Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => literal_only(operand),
+        _ => false,
+    }
+}
+
+// --------------------------------------------------------------- pushdown
+
+fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = push_down_predicates(*input)?;
+            // Split into conjuncts and try to sink each one.
+            let cnf = to_cnf(&predicate);
+            let mut remaining: Vec<Expr> = Vec::new();
+            let mut target = input;
+            for clause in cnf.clauses {
+                let e = clause.to_expr();
+                match sink(target, &e) {
+                    (t, true) => target = t,
+                    (t, false) => {
+                        target = t;
+                        remaining.push(e);
+                    }
+                }
+            }
+            match combine(remaining) {
+                Some(pred) => LogicalPlan::Filter {
+                    input: Box::new(target),
+                    predicate: pred,
+                },
+                None => target,
+            }
+        }
+        LogicalPlan::Project { input, exprs, output_schema } => LogicalPlan::Project {
+            input: Box::new(push_down_predicates(*input)?),
+            exprs,
+            output_schema,
+        },
+        LogicalPlan::Join { left, right, kind, on, output_schema } => LogicalPlan::Join {
+            left: Box::new(push_down_predicates(*left)?),
+            right: Box::new(push_down_predicates(*right)?),
+            kind,
+            on,
+            output_schema,
+        },
+        LogicalPlan::Aggregate { input, group_by, aggregates, output_schema } => {
+            LogicalPlan::Aggregate {
+                input: Box::new(push_down_predicates(*input)?),
+                group_by,
+                aggregates,
+                output_schema,
+            }
+        }
+        LogicalPlan::Sort { input, keys, fetch } => LogicalPlan::Sort {
+            input: Box::new(push_down_predicates(*input)?),
+            keys,
+            fetch,
+        },
+        LogicalPlan::Limit { input, fetch } => LogicalPlan::Limit {
+            input: Box::new(push_down_predicates(*input)?),
+            fetch,
+        },
+        scan @ LogicalPlan::Scan { .. } => scan,
+    })
+}
+
+/// Tries to sink one conjunct into the subtree. Returns the (possibly
+/// modified) subtree and whether the conjunct was absorbed.
+fn sink(plan: LogicalPlan, conjunct: &Expr) -> (LogicalPlan, bool) {
+    match plan {
+        LogicalPlan::Scan { table, binding, projection, predicate, output_schema } => {
+            if refs_within(conjunct, &output_schema) {
+                let predicate = Some(match predicate {
+                    Some(p) => Expr::and(p, conjunct.clone()),
+                    None => conjunct.clone(),
+                });
+                (
+                    LogicalPlan::Scan { table, binding, projection, predicate, output_schema },
+                    true,
+                )
+            } else {
+                (
+                    LogicalPlan::Scan { table, binding, projection, predicate, output_schema },
+                    false,
+                )
+            }
+        }
+        LogicalPlan::Join { left, right, kind, on, output_schema } => {
+            use crate::ast::JoinKind;
+            // Only inner/cross joins accept pushdown on both sides; outer
+            // joins would change null-extension semantics.
+            let (push_left, push_right) = match kind {
+                JoinKind::Inner | JoinKind::Cross => (true, true),
+                JoinKind::LeftOuter => (true, false),
+                JoinKind::RightOuter => (false, true),
+            };
+            if push_left {
+                let (l, absorbed) = sink(*left, conjunct);
+                if absorbed {
+                    return (
+                        LogicalPlan::Join { left: Box::new(l), right, kind, on, output_schema },
+                        true,
+                    );
+                }
+                let (r, absorbed) = if push_right {
+                    sink(*right, conjunct)
+                } else {
+                    (*right, false)
+                };
+                return (
+                    LogicalPlan::Join {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        kind,
+                        on,
+                        output_schema,
+                    },
+                    absorbed,
+                );
+            }
+            if push_right {
+                let (r, absorbed) = sink(*right, conjunct);
+                return (
+                    LogicalPlan::Join { left, right: Box::new(r), kind, on, output_schema },
+                    absorbed,
+                );
+            }
+            (LogicalPlan::Join { left, right, kind, on, output_schema }, false)
+        }
+        // Filters/sorts/limits are transparent for pushdown purposes.
+        LogicalPlan::Filter { input, predicate } => {
+            let (i, absorbed) = sink(*input, conjunct);
+            (LogicalPlan::Filter { input: Box::new(i), predicate }, absorbed)
+        }
+        other => (other, false),
+    }
+}
+
+fn refs_within(e: &Expr, schema: &Schema) -> bool {
+    let mut cols = Vec::new();
+    e.columns(&mut cols);
+    !cols.is_empty() && cols.iter().all(|c| schema.index_of(c).is_some())
+}
+
+fn combine(conjuncts: Vec<Expr>) -> Option<Expr> {
+    let mut it = conjuncts.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, Expr::and))
+}
+
+// ---------------------------------------------------------------- pruning
+
+fn prune_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
+    // Top-down: compute the set of columns each operator requires of its
+    // input, then rebuild scans with minimal projections.
+    Ok(prune(plan, None))
+}
+
+/// `needed`: columns the parent requires, `None` = everything.
+fn prune(plan: LogicalPlan, needed: Option<Vec<String>>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { table, binding, projection, predicate, output_schema } => {
+            // NOTE: predicate columns are deliberately NOT added to the
+            // projection — a Scan node evaluates its own predicate (leaf
+            // servers serve it from SmartIndex without touching the
+            // column at all), so only parent-needed columns are output.
+            let required: Vec<String> = match &needed {
+                None => output_schema.fields().iter().map(|f| f.name.clone()).collect(),
+                Some(cols) => cols.clone(),
+            };
+            // Keep schema order; map canonical names back to storage names.
+            let mut new_proj = Vec::new();
+            let mut new_fields = Vec::new();
+            for (i, f) in output_schema.fields().iter().enumerate() {
+                if required.iter().any(|c| c == &f.name) {
+                    new_proj.push(projection[i].clone());
+                    new_fields.push(f.clone());
+                }
+            }
+            // A zero-column batch cannot carry a row count: keep the
+            // narrowest column when nothing is required (COUNT(*) shapes).
+            if new_proj.is_empty() && !projection.is_empty() {
+                let narrowest = output_schema
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, f)| f.data_type.estimated_width())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                new_proj.push(projection[narrowest].clone());
+                new_fields.push(output_schema.field(narrowest).clone());
+            }
+            LogicalPlan::Scan {
+                table,
+                binding,
+                projection: new_proj,
+                predicate,
+                output_schema: Schema::new(new_fields),
+            }
+        }
+        LogicalPlan::Project { input, exprs, output_schema } => {
+            let mut required = Vec::new();
+            for (e, _) in &exprs {
+                e.columns(&mut required);
+            }
+            LogicalPlan::Project {
+                input: Box::new(prune(*input, Some(required))),
+                exprs,
+                output_schema,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut required = needed.unwrap_or_else(|| {
+                input
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect()
+            });
+            predicate.columns(&mut required);
+            dedup(&mut required);
+            LogicalPlan::Filter {
+                input: Box::new(prune(*input, Some(required))),
+                predicate,
+            }
+        }
+        LogicalPlan::Aggregate { input, group_by, aggregates, output_schema } => {
+            let mut required = Vec::new();
+            for (g, _, _) in &group_by {
+                g.columns(&mut required);
+            }
+            for a in &aggregates {
+                if let Some(arg) = &a.arg {
+                    arg.columns(&mut required);
+                }
+            }
+            // COUNT(*) over a zero-column input still needs row counts:
+            // keep at least one input column if nothing else is required.
+            if required.is_empty() {
+                if let Some(f) = input.schema().fields().first() {
+                    required.push(f.name.clone());
+                }
+            }
+            LogicalPlan::Aggregate {
+                input: Box::new(prune(*input, Some(required))),
+                group_by,
+                aggregates,
+                output_schema,
+            }
+        }
+        LogicalPlan::Sort { input, keys, fetch } => {
+            let mut required = needed.unwrap_or_else(|| {
+                input
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect()
+            });
+            for (e, _) in &keys {
+                e.columns(&mut required);
+            }
+            dedup(&mut required);
+            LogicalPlan::Sort {
+                input: Box::new(prune(*input, Some(required))),
+                keys,
+                fetch,
+            }
+        }
+        LogicalPlan::Limit { input, fetch } => LogicalPlan::Limit {
+            input: Box::new(prune(*input, needed)),
+            fetch,
+        },
+        LogicalPlan::Join { left, right, kind, on, output_schema } => {
+            let mut required = needed.unwrap_or_else(|| {
+                output_schema.fields().iter().map(|f| f.name.clone()).collect()
+            });
+            for cond in &on {
+                cond.columns(&mut required);
+            }
+            dedup(&mut required);
+            let left_schema = left.schema();
+            let right_schema = right.schema();
+            let left_needed: Vec<String> = required
+                .iter()
+                .filter(|c| left_schema.index_of(c).is_some())
+                .cloned()
+                .collect();
+            let right_needed: Vec<String> = required
+                .iter()
+                .filter(|c| right_schema.index_of(c).is_some())
+                .cloned()
+                .collect();
+            let new_left = prune(*left, Some(left_needed));
+            let new_right = prune(*right, Some(right_needed));
+            let output_schema = new_left.schema().join(&new_right.schema());
+            LogicalPlan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                kind,
+                on,
+                output_schema,
+            }
+        }
+    }
+}
+
+fn dedup(v: &mut Vec<String>) {
+    let mut seen = std::collections::HashSet::new();
+    v.retain(|c| seen.insert(c.clone()));
+}
+
+// ----------------------------------------------------------- limit + sort
+
+fn limit_into_sort(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Limit { input, fetch } => {
+            match limit_into_sort(*input) {
+                // Limit(Project(Sort)) and Limit(Sort): push the fetch into
+                // the sort so execution can keep a bounded heap.
+                LogicalPlan::Project { input: pin, exprs, output_schema } => {
+                    if let LogicalPlan::Sort { input: sin, keys, .. } = *pin {
+                        LogicalPlan::Limit {
+                            input: Box::new(LogicalPlan::Project {
+                                input: Box::new(LogicalPlan::Sort {
+                                    input: sin,
+                                    keys,
+                                    fetch: Some(fetch),
+                                }),
+                                exprs,
+                                output_schema,
+                            }),
+                            fetch,
+                        }
+                    } else {
+                        LogicalPlan::Limit {
+                            input: Box::new(LogicalPlan::Project {
+                                input: pin,
+                                exprs,
+                                output_schema,
+                            }),
+                            fetch,
+                        }
+                    }
+                }
+                LogicalPlan::Sort { input: sin, keys, .. } => LogicalPlan::Limit {
+                    input: Box::new(LogicalPlan::Sort {
+                        input: sin,
+                        keys,
+                        fetch: Some(fetch),
+                    }),
+                    fetch,
+                },
+                other => LogicalPlan::Limit {
+                    input: Box::new(other),
+                    fetch,
+                },
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(limit_into_sort(*input)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs, output_schema } => LogicalPlan::Project {
+            input: Box::new(limit_into_sort(*input)),
+            exprs,
+            output_schema,
+        },
+        LogicalPlan::Join { left, right, kind, on, output_schema } => LogicalPlan::Join {
+            left: Box::new(limit_into_sort(*left)),
+            right: Box::new(limit_into_sort(*right)),
+            kind,
+            on,
+            output_schema,
+        },
+        LogicalPlan::Aggregate { input, group_by, aggregates, output_schema } => {
+            LogicalPlan::Aggregate {
+                input: Box::new(limit_into_sort(*input)),
+                group_by,
+                aggregates,
+                output_schema,
+            }
+        }
+        LogicalPlan::Sort { input, keys, fetch } => LogicalPlan::Sort {
+            input: Box::new(limit_into_sort(*input)),
+            keys,
+            fetch,
+        },
+        scan @ LogicalPlan::Scan { .. } => scan,
+    }
+}
+
+/// Detects trivially-false predicates (`literal false`), letting the
+/// engine skip whole scans. Conservative: only a literal `false`.
+pub fn predicate_is_false(e: &Expr) -> bool {
+    matches!(e, Expr::Literal(Value::Bool(false)))
+}
+
+/// Detects trivially-true predicates so filters can be dropped.
+pub fn predicate_is_true(e: &Expr) -> bool {
+    matches!(e, Expr::Literal(Value::Bool(true)))
+}
+
+/// Strips double negation (`NOT NOT x` → `x`); cheap clean-up used by the
+/// index rewriter.
+pub fn simplify_not(e: &Expr) -> Expr {
+    match e {
+        Expr::Unary { op: UnaryOp::Not, operand } => match operand.as_ref() {
+            Expr::Unary { op: UnaryOp::Not, operand: inner } => simplify_not(inner),
+            _ => Expr::not(simplify_not(operand)),
+        },
+        Expr::Binary { op, left, right } => {
+            Expr::binary(*op, simplify_not(left), simplify_not(right))
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::parser::{parse_expr, parse_query};
+    use crate::plan::build_plan;
+    use feisu_format::{DataType, Field};
+    use std::collections::HashMap;
+
+    fn catalog() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(
+            "t1".to_string(),
+            Schema::new(vec![
+                Field::new("url", DataType::Utf8, false),
+                Field::new("clicks", DataType::Int64, true),
+                Field::new("score", DataType::Float64, false),
+                Field::new("day", DataType::Int64, false),
+            ]),
+        );
+        m.insert(
+            "t2".to_string(),
+            Schema::new(vec![
+                Field::new("url", DataType::Utf8, false),
+                Field::new("rank", DataType::Int64, false),
+            ]),
+        );
+        m
+    }
+
+    fn optimized(sql: &str) -> LogicalPlan {
+        let q = parse_query(sql).unwrap();
+        let r = analyze(&q, &catalog()).unwrap();
+        optimize(build_plan(&r).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(
+            fold_expr(parse_expr("1 + 2 * 3").unwrap()),
+            Expr::Literal(Value::Int64(7))
+        );
+        assert_eq!(
+            fold_expr(parse_expr("x + (1 + 2)").unwrap()).to_string(),
+            "(x + 3)"
+        );
+        // Errors stay unfolded.
+        assert_eq!(
+            fold_expr(parse_expr("1 / 0").unwrap()).to_string(),
+            "(1 / 0)"
+        );
+    }
+
+    #[test]
+    fn predicate_pushes_into_scan() {
+        let p = optimized("SELECT url FROM t1 WHERE clicks > 5 AND score < 0.5");
+        let s = p.display_indent();
+        // No residual filter; both conjuncts inside the scan.
+        assert!(!s.contains("Filter"), "{s}");
+        assert!(s.contains("Scan: t1"), "{s}");
+        assert!(s.contains("clicks > 5"), "{s}");
+        assert!(s.contains("score < 0.5"), "{s}");
+    }
+
+    #[test]
+    fn pushdown_splits_across_join_sides() {
+        let p = optimized(
+            "SELECT clicks, rank FROM t1 JOIN t2 ON t1.url = t2.url \
+             WHERE t1.clicks > 5 AND t2.rank < 10",
+        );
+        let s = p.display_indent();
+        assert!(!s.contains("Filter"), "{s}");
+        // Each side's scan carries its own conjunct.
+        assert!(s.contains("filter=(t1.clicks > 5)"), "{s}");
+        assert!(s.contains("filter=(t2.rank < 10)"), "{s}");
+    }
+
+    #[test]
+    fn cross_table_conjunct_stays_in_filter() {
+        let p = optimized(
+            "SELECT clicks, rank FROM t1 JOIN t2 ON t1.url = t2.url \
+             WHERE t1.clicks > t2.rank",
+        );
+        let s = p.display_indent();
+        assert!(s.contains("Filter: (t1.clicks > t2.rank)"), "{s}");
+    }
+
+    #[test]
+    fn outer_join_blocks_null_side_pushdown() {
+        let p = optimized(
+            "SELECT t1.clicks FROM t1 LEFT JOIN t2 ON t1.url = t2.url \
+             WHERE t2.rank > 0",
+        );
+        let s = p.display_indent();
+        // Pushing into the right side of a LEFT JOIN would be wrong.
+        assert!(s.contains("Filter: (t2.rank > 0)"), "{s}");
+    }
+
+    #[test]
+    fn projection_pruned_to_needed_columns() {
+        let p = optimized("SELECT url FROM t1 WHERE clicks > 5");
+        fn find_scan(p: &LogicalPlan) -> Option<&LogicalPlan> {
+            match p {
+                s @ LogicalPlan::Scan { .. } => Some(s),
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Aggregate { input, .. }
+                | LogicalPlan::Limit { input, .. } => find_scan(input),
+                LogicalPlan::Join { left, .. } => find_scan(left),
+            }
+        }
+        match find_scan(&p).unwrap() {
+            LogicalPlan::Scan { projection, .. } => {
+                // Only url (selected) survives: the scan evaluates its own
+                // predicate, so `clicks` is not projected, and day/score
+                // are pruned away.
+                assert_eq!(projection, &vec!["url".to_string()]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn limit_pushes_fetch_into_sort() {
+        let p = optimized("SELECT url FROM t1 ORDER BY clicks DESC LIMIT 7");
+        let s = p.display_indent();
+        assert!(s.contains("fetch=Some(7)"), "{s}");
+    }
+
+    #[test]
+    fn trivial_predicates_detected() {
+        assert!(predicate_is_false(&fold_expr(parse_expr("1 > 2").unwrap())));
+        assert!(predicate_is_true(&fold_expr(parse_expr("2 > 1").unwrap())));
+        assert!(!predicate_is_false(&parse_expr("x > 2").unwrap()));
+    }
+
+    #[test]
+    fn double_negation_stripped() {
+        let e = parse_expr("NOT NOT (x > 1)").unwrap();
+        assert_eq!(simplify_not(&e).to_string(), "(x > 1)");
+        let e = parse_expr("NOT NOT NOT (x > 1)").unwrap();
+        assert_eq!(simplify_not(&e).to_string(), "(NOT (x > 1))");
+    }
+}

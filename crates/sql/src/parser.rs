@@ -1,0 +1,551 @@
+//! Recursive-descent parser for the Feisu dialect (grammar of §III-A).
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Keyword, Spanned, Token};
+use feisu_common::{FeisuError, Result};
+use feisu_format::Value;
+
+/// Parses one query (optionally `;`-terminated).
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_query()?;
+    p.eat_if(&Token::Semicolon);
+    if let Some(t) = p.peek() {
+        return Err(p.err(&format!("unexpected {t} after query", t = t.token)));
+    }
+    Ok(q)
+}
+
+/// Parses a standalone expression (used by tests and the index rewriter).
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_expr()?;
+    if let Some(t) = p.peek() {
+        return Err(p.err(&format!("unexpected {t} after expression", t = t.token)));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> FeisuError {
+        let offset = self
+            .tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.offset)
+            .unwrap_or(0);
+        FeisuError::Parse(format!("{msg} (at offset {offset})"))
+    }
+
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_token(&self) -> Option<&Token> {
+        self.peek().map(|s| &s.token)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek_token() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek_token() == Some(&Token::Keyword(k)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat_if(t) {
+            Ok(())
+        } else {
+            Err(self.err(&format!(
+                "expected {t}, found {}",
+                self.peek_token()
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<()> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(self.err(&format!(
+                "expected keyword {k:?}, found {}",
+                self.peek_token()
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(&format!(
+                "expected identifier, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        self.expect_keyword(Keyword::Select)?;
+        let select = self.parse_select_list()?;
+        self.expect_keyword(Keyword::From)?;
+        let mut from = vec![self.parse_table_ref()?];
+        while self.eat_if(&Token::Comma) {
+            from.push(self.parse_table_ref()?);
+        }
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_keyword(Keyword::Cross) {
+                self.expect_keyword(Keyword::Join)?;
+                JoinKind::Cross
+            } else if self.eat_keyword(Keyword::Inner) {
+                self.expect_keyword(Keyword::Join)?;
+                JoinKind::Inner
+            } else if self.eat_keyword(Keyword::Left) {
+                self.eat_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinKind::LeftOuter
+            } else if self.eat_keyword(Keyword::Right) {
+                self.eat_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinKind::RightOuter
+            } else if self.eat_keyword(Keyword::Join) {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let table = self.parse_table_ref()?;
+            let mut on = Vec::new();
+            if kind != JoinKind::Cross {
+                self.expect_keyword(Keyword::On)?;
+                on.push(self.parse_not()?); // single condition, no OR at top
+                while self.eat_keyword(Keyword::And) {
+                    on.push(self.parse_not()?);
+                }
+            }
+            joins.push(JoinClause { kind, table, on });
+        }
+        let where_clause = if self.eat_keyword(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            group_by.push(self.parse_expr()?);
+            while self.eat_if(&Token::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.eat_keyword(Keyword::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                let e = self.parse_expr()?;
+                let desc = if self.eat_keyword(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_keyword(Keyword::Asc);
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword(Keyword::Limit) {
+            match self.bump() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                _ => return Err(self.err("LIMIT requires a non-negative integer")),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            // Bare `*` means "all columns": represented as Column("*").
+            let expr = if self.peek_token() == Some(&Token::Star) {
+                self.pos += 1;
+                Expr::Column("*".into())
+            } else {
+                self.parse_expr()?
+            };
+            let alias = if self.eat_keyword(Keyword::As) {
+                Some(self.expect_ident()?)
+            } else if let Some(Token::Ident(_)) = self.peek_token() {
+                // Bare alias: `SELECT a b FROM ...`
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let name = self.expect_ident()?;
+        let alias = if self.eat_keyword(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else if let Some(Token::Ident(_)) = self.peek_token() {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // Expression grammar, lowest to highest precedence:
+    //   expr      := or
+    //   or        := and (OR and)*
+    //   and       := not (AND not)*
+    //   not       := (NOT|!) not | comparison
+    //   comparison:= additive ((=|!=|<|<=|>|>=|CONTAINS) additive)?
+    //                | additive IS [NOT] NULL
+    //   additive  := multiplicative ((+|-) multiplicative)*
+    //   mult      := unary ((*|/|%) unary)*
+    //   unary     := - unary | primary
+    //   primary   := literal | column | agg(...) | ( expr )
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword(Keyword::Or) {
+            let right = self.parse_and()?;
+            left = Expr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword(Keyword::And) {
+            let right = self.parse_not()?;
+            left = Expr::and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword(Keyword::Not) || self.eat_if(&Token::Bang) {
+            let operand = self.parse_not()?;
+            return Ok(Expr::not(operand));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        let op = match self.peek_token() {
+            Some(Token::Eq) => BinaryOp::Eq,
+            Some(Token::NotEq) => BinaryOp::NotEq,
+            Some(Token::Lt) => BinaryOp::Lt,
+            Some(Token::LtEq) => BinaryOp::LtEq,
+            Some(Token::Gt) => BinaryOp::Gt,
+            Some(Token::GtEq) => BinaryOp::GtEq,
+            Some(Token::Keyword(Keyword::Contains)) => BinaryOp::Contains,
+            Some(Token::Keyword(Keyword::Is)) => {
+                self.pos += 1;
+                let negated = self.eat_keyword(Keyword::Not);
+                self.expect_keyword(Keyword::Null)?;
+                return Ok(Expr::IsNull {
+                    operand: Box::new(left),
+                    negated,
+                });
+            }
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.parse_additive()?;
+        Ok(Expr::binary(op, left, right))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek_token() {
+                Some(Token::Plus) => BinaryOp::Plus,
+                Some(Token::Minus) => BinaryOp::Minus,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek_token() {
+                Some(Token::Star) => BinaryOp::Multiply,
+                Some(Token::Slash) => BinaryOp::Divide,
+                Some(Token::Percent) => BinaryOp::Modulo,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::binary(op, left, right);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_if(&Token::Minus) {
+            let operand = self.parse_unary()?;
+            // Fold negative literals immediately.
+            return Ok(match operand {
+                Expr::Literal(Value::Int64(v)) => Expr::Literal(Value::Int64(-v)),
+                Expr::Literal(Value::Float64(v)) => Expr::Literal(Value::Float64(-v)),
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    operand: Box::new(other),
+                },
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::Literal(Value::Int64(v))),
+            Some(Token::Float(v)) => Ok(Expr::Literal(Value::Float64(v))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Utf8(s))),
+            Some(Token::Keyword(Keyword::True)) => Ok(Expr::Literal(Value::Bool(true))),
+            Some(Token::Keyword(Keyword::False)) => Ok(Expr::Literal(Value::Bool(false))),
+            Some(Token::Keyword(Keyword::Null)) => Ok(Expr::Literal(Value::Null)),
+            Some(Token::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek_token() == Some(&Token::LParen) {
+                    // Function call: only aggregates exist in the dialect.
+                    let func = AggFunc::from_name(&name).ok_or_else(|| {
+                        self.err(&format!("unknown function `{name}`"))
+                    })?;
+                    self.pos += 1; // (
+                    let arg = if self.eat_if(&Token::Star) {
+                        None
+                    } else {
+                        Some(Box::new(self.parse_expr()?))
+                    };
+                    self.expect(&Token::RParen)?;
+                    let within = if self.eat_keyword(Keyword::Within) {
+                        Some(Box::new(self.parse_expr()?))
+                    } else {
+                        None
+                    };
+                    Ok(Expr::Aggregate { func, arg, within })
+                } else if self.eat_if(&Token::Dot) {
+                    let col = self.expect_ident()?;
+                    Ok(Expr::Column(format!("{name}.{col}")))
+                } else {
+                    Ok(Expr::Column(name))
+                }
+            }
+            other => Err(self.err(&format!(
+                "expected expression, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_q1() {
+        let q = parse_query("SELECT COUNT(*) FROM T WHERE (c2 > 0) AND (c2 <= 5)").unwrap();
+        assert_eq!(q.from[0].name, "T");
+        assert_eq!(q.select.len(), 1);
+        assert!(matches!(
+            q.select[0].expr,
+            Expr::Aggregate { func: AggFunc::Count, arg: None, .. }
+        ));
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.to_string(), "((c2 > 0) AND (c2 <= 5))");
+    }
+
+    #[test]
+    fn parse_paper_q11_bang_negation() {
+        let q = parse_query("SELECT a FROM T WHERE c2 > 0 AND !(c2 > 5)").unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.to_string(), "((c2 > 0) AND (NOT (c2 > 5)))");
+    }
+
+    #[test]
+    fn parse_scan_workload_shape() {
+        // §VI-B workload: SELECT a FROM T1 WHERE b OP v [AND|OR c OP v].
+        let q = parse_query("SELECT a FROM T1 WHERE b CONTAINS 'x' OR c >= 1.5").unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.to_string(), "((b CONTAINS 'x') OR (c >= 1.5))");
+        assert_eq!(q.select[0].expr, Expr::col("a"));
+    }
+
+    #[test]
+    fn parse_full_clause_stack() {
+        let q = parse_query(
+            "SELECT url, COUNT(*) AS n, SUM(clicks) total \
+             FROM t1 WHERE day >= 20160101 \
+             GROUP BY url HAVING COUNT(*) > 10 \
+             ORDER BY n DESC, url LIMIT 5;",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.select[1].alias.as_deref(), Some("n"));
+        assert_eq!(q.select[2].alias.as_deref(), Some("total"));
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].1);
+        assert!(!q.order_by[1].1);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn parse_joins() {
+        let q = parse_query(
+            "SELECT t1.a, t2.b FROM t1 \
+             JOIN t2 ON t1.k = t2.k AND t1.x > 0 \
+             LEFT OUTER JOIN t3 AS z ON t2.k = z.k",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.joins[0].kind, JoinKind::Inner);
+        assert_eq!(q.joins[0].on.len(), 2);
+        assert_eq!(q.joins[1].kind, JoinKind::LeftOuter);
+        assert_eq!(q.joins[1].table.effective_name(), "z");
+    }
+
+    #[test]
+    fn parse_cross_join_has_no_on() {
+        let q = parse_query("SELECT a FROM t1 CROSS JOIN t2").unwrap();
+        assert_eq!(q.joins[0].kind, JoinKind::Cross);
+        assert!(q.joins[0].on.is_empty());
+    }
+
+    #[test]
+    fn parse_within_annotation() {
+        let q = parse_query("SELECT SUM(x) WITHIN grp FROM t").unwrap();
+        match &q.select[0].expr {
+            Expr::Aggregate { within: Some(w), .. } => {
+                assert_eq!(**w, Expr::col("grp"));
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_is_null() {
+        let e = parse_expr("a IS NULL").unwrap();
+        assert_eq!(e, Expr::IsNull { operand: Box::new(Expr::col("a")), negated: false });
+        let e = parse_expr("a IS NOT NULL").unwrap();
+        assert_eq!(e, Expr::IsNull { operand: Box::new(Expr::col("a")), negated: true });
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + (2 * 3))");
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "((1 + 2) * 3)");
+    }
+
+    #[test]
+    fn boolean_precedence_and_binds_tighter() {
+        let e = parse_expr("a = 1 OR b = 2 AND c = 3").unwrap();
+        assert_eq!(e.to_string(), "((a = 1) OR ((b = 2) AND (c = 3)))");
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let e = parse_expr("-5").unwrap();
+        assert_eq!(e, Expr::Literal(Value::Int64(-5)));
+        let e = parse_expr("-2.5").unwrap();
+        assert_eq!(e, Expr::Literal(Value::Float64(-2.5)));
+    }
+
+    #[test]
+    fn select_star() {
+        let q = parse_query("SELECT * FROM t LIMIT 3").unwrap();
+        assert_eq!(q.select[0].expr, Expr::col("*"));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse_query("SELECT FROM t").unwrap_err();
+        assert!(e.to_string().contains("offset"));
+        assert!(parse_query("SELECT a").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE").is_err());
+        assert!(parse_query("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse_query("SELECT a FROM t extra garbage ,").is_err());
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(parse_query("SELECT FOO(a) FROM t").is_err());
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let e = parse_expr("t1.col_a > 3").unwrap();
+        assert_eq!(e.to_string(), "(t1.col_a > 3)");
+    }
+}

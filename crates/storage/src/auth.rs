@@ -1,0 +1,235 @@
+//! Authentication and authorization (paper §V-A).
+//!
+//! Each storage domain "has its own access control"; Feisu bridges them
+//! with Single-Sign-On: a user authenticates once, receives a signed
+//! credential, and the common storage layer maps that credential to
+//! per-domain grants ("mapping their authentication information to
+//! running job credential", §III-C). The X.509/PAM machinery of the
+//! production system is replaced by signed-token stand-ins; the
+//! *authorization logic* — grants, expiry, revocation — is fully real.
+
+use feisu_common::hash::{hash_one, FxHashMap};
+use feisu_common::{DomainId, FeisuError, Result, SimDuration, SimInstant, UserId};
+use parking_lot::RwLock;
+
+/// Access level a user holds on a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Grant {
+    Read,
+    ReadWrite,
+}
+
+/// A signed SSO credential. The signature binds user, issue time and
+/// expiry to the service's secret; tampering with any field invalidates
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    pub user: UserId,
+    pub issued_at: SimInstant,
+    pub expires_at: SimInstant,
+    signature: u64,
+}
+
+impl Credential {
+    /// The signature payload.
+    fn payload(user: UserId, issued_at: SimInstant, expires_at: SimInstant, secret: u64) -> u64 {
+        hash_one(&(user.raw(), issued_at.as_nanos(), expires_at.as_nanos(), secret))
+    }
+}
+
+#[derive(Debug, Default)]
+struct UserRecord {
+    grants: FxHashMap<DomainId, Grant>,
+    revoked: bool,
+}
+
+/// The SSO authority: issues credentials, stores per-domain grants,
+/// validates access.
+pub struct AuthService {
+    secret: u64,
+    users: RwLock<FxHashMap<UserId, UserRecord>>,
+}
+
+impl AuthService {
+    pub fn new(secret: u64) -> Self {
+        AuthService {
+            secret,
+            users: RwLock::new(FxHashMap::default()),
+        }
+    }
+
+    /// Registers a user (idempotent).
+    pub fn register(&self, user: UserId) {
+        self.users.write().entry(user).or_default();
+    }
+
+    /// Grants `level` on `domain` to `user`.
+    pub fn grant(&self, user: UserId, domain: DomainId, level: Grant) {
+        self.users
+            .write()
+            .entry(user)
+            .or_default()
+            .grants
+            .insert(domain, level);
+    }
+
+    /// Removes a grant.
+    pub fn revoke_grant(&self, user: UserId, domain: DomainId) {
+        if let Some(rec) = self.users.write().get_mut(&user) {
+            rec.grants.remove(&domain);
+        }
+    }
+
+    /// Disables the user entirely (all credentials stop validating).
+    pub fn revoke_user(&self, user: UserId) {
+        self.users.write().entry(user).or_default().revoked = true;
+    }
+
+    /// Issues a credential valid for `validity` from `now`. The user must
+    /// be registered.
+    pub fn issue(&self, user: UserId, now: SimInstant, validity: SimDuration) -> Result<Credential> {
+        let users = self.users.read();
+        let rec = users
+            .get(&user)
+            .ok_or_else(|| FeisuError::Unauthenticated(format!("unknown user {user}")))?;
+        if rec.revoked {
+            return Err(FeisuError::Unauthenticated(format!("{user} is revoked")));
+        }
+        let expires_at = now + validity;
+        Ok(Credential {
+            user,
+            issued_at: now,
+            expires_at,
+            signature: Credential::payload(user, now, expires_at, self.secret),
+        })
+    }
+
+    /// Validates a credential: signature, expiry, revocation.
+    pub fn authenticate(&self, cred: &Credential, now: SimInstant) -> Result<()> {
+        let expected =
+            Credential::payload(cred.user, cred.issued_at, cred.expires_at, self.secret);
+        if cred.signature != expected {
+            return Err(FeisuError::Unauthenticated("bad credential signature".into()));
+        }
+        if now > cred.expires_at {
+            return Err(FeisuError::Unauthenticated(format!(
+                "credential for {} expired",
+                cred.user
+            )));
+        }
+        let users = self.users.read();
+        let rec = users
+            .get(&cred.user)
+            .ok_or_else(|| FeisuError::Unauthenticated(format!("unknown user {}", cred.user)))?;
+        if rec.revoked {
+            return Err(FeisuError::Unauthenticated(format!("{} is revoked", cred.user)));
+        }
+        Ok(())
+    }
+
+    /// Full SSO check: authenticate, then verify the per-domain grant.
+    pub fn authorize(
+        &self,
+        cred: &Credential,
+        domain: DomainId,
+        need: Grant,
+        now: SimInstant,
+    ) -> Result<()> {
+        self.authenticate(cred, now)?;
+        let users = self.users.read();
+        let rec = users.get(&cred.user).expect("authenticated user exists");
+        match rec.grants.get(&domain) {
+            Some(level) if *level >= need => Ok(()),
+            Some(_) => Err(FeisuError::PermissionDenied(format!(
+                "{} lacks {need:?} on {domain}",
+                cred.user
+            ))),
+            None => Err(FeisuError::PermissionDenied(format!(
+                "{} has no grant on {domain}",
+                cred.user
+            ))),
+        }
+    }
+
+    /// Domains the user may read — the scope of the unified data view.
+    pub fn readable_domains(&self, user: UserId) -> Vec<DomainId> {
+        let users = self.users.read();
+        let mut v: Vec<DomainId> = users
+            .get(&user)
+            .map(|rec| rec.grants.keys().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> AuthService {
+        let s = AuthService::new(0xBA1D);
+        s.register(UserId(1));
+        s.grant(UserId(1), DomainId(0), Grant::Read);
+        s.grant(UserId(1), DomainId(1), Grant::ReadWrite);
+        s
+    }
+
+    #[test]
+    fn issue_and_authenticate() {
+        let s = service();
+        let c = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        assert!(s.authenticate(&c, SimInstant(0)).is_ok());
+        assert!(s
+            .authenticate(&c, SimInstant::EPOCH + SimDuration::hours(9))
+            .is_err());
+    }
+
+    #[test]
+    fn tampered_credential_rejected() {
+        let s = service();
+        let mut c = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        c.expires_at = SimInstant::EPOCH + SimDuration::hours(10_000);
+        assert!(s.authenticate(&c, SimInstant(0)).is_err());
+        let mut c2 = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        c2.user = UserId(2);
+        assert!(s.authenticate(&c2, SimInstant(0)).is_err());
+    }
+
+    #[test]
+    fn authorize_respects_grant_levels() {
+        let s = service();
+        let c = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        assert!(s.authorize(&c, DomainId(0), Grant::Read, SimInstant(0)).is_ok());
+        assert!(s
+            .authorize(&c, DomainId(0), Grant::ReadWrite, SimInstant(0))
+            .is_err());
+        assert!(s
+            .authorize(&c, DomainId(1), Grant::ReadWrite, SimInstant(0))
+            .is_ok());
+        assert!(s.authorize(&c, DomainId(9), Grant::Read, SimInstant(0)).is_err());
+    }
+
+    #[test]
+    fn unknown_user_cannot_get_credential() {
+        let s = service();
+        assert!(s.issue(UserId(7), SimInstant(0), SimDuration::hours(1)).is_err());
+    }
+
+    #[test]
+    fn revocation_cuts_existing_credentials() {
+        let s = service();
+        let c = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        s.revoke_user(UserId(1));
+        assert!(s.authenticate(&c, SimInstant(0)).is_err());
+    }
+
+    #[test]
+    fn grant_revocation() {
+        let s = service();
+        let c = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        s.revoke_grant(UserId(1), DomainId(0));
+        assert!(s.authorize(&c, DomainId(0), Grant::Read, SimInstant(0)).is_err());
+        assert_eq!(s.readable_domains(UserId(1)), vec![DomainId(1)]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The storage-domain abstraction.
+//!
+//! "Each storage system works in an independent domain. Data on different
+//! systems have different storage layouts, and cannot be shared among
+//! systems" (§II). Every backend implements [`StorageDomain`]; the router
+//! composes them behind unified paths.
+
+use bytes::Bytes;
+use feisu_cluster::simclock::TimeTally;
+use feisu_cluster::{CostModel, StorageMedium, Topology};
+use feisu_common::{ByteSize, DomainId, FeisuError, NodeId, Result};
+use feisu_common::hash::{FxHashMap, FxHashSet};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Result of one read: the bytes plus the simulated cost it incurred and
+/// where it was actually served from.
+#[derive(Debug, Clone)]
+pub struct ReadResult {
+    pub data: Bytes,
+    pub cost: TimeTally,
+    pub served_from: NodeId,
+    pub medium: StorageMedium,
+    /// Network hops the data crossed to reach the reader (0 = local).
+    pub hops: u32,
+}
+
+/// One independent storage system.
+pub trait StorageDomain: Send + Sync {
+    /// Stable identifier.
+    fn id(&self) -> DomainId;
+    /// Path prefix (e.g. `hdfs` for `/hdfs/...`).
+    fn prefix(&self) -> &str;
+    /// Writes an object; `near` hints the writing node for locality-aware
+    /// placement.
+    fn put(&self, path: &str, data: Bytes, near: Option<NodeId>) -> Result<()>;
+    /// Reads an object from the perspective of `reader`, charging disk
+    /// and network cost to the returned tally.
+    fn read_from(&self, path: &str, reader: NodeId) -> Result<ReadResult>;
+    /// Nodes currently holding a replica of the object.
+    fn replicas(&self, path: &str) -> Result<Vec<NodeId>>;
+    fn exists(&self, path: &str) -> bool;
+    /// Paths under a prefix, sorted.
+    fn list(&self, prefix: &str) -> Vec<String>;
+    fn delete(&self, path: &str) -> Result<()>;
+    /// Failure injection: mark a node's replicas (un)available.
+    fn set_node_available(&self, node: NodeId, up: bool);
+    /// Total bytes stored (for reporting).
+    fn stored_bytes(&self) -> ByteSize;
+}
+
+/// Shared implementation for replica-based object stores; the concrete
+/// domains differ in medium, placement and latency profile.
+pub(crate) struct ObjectStore {
+    pub id: DomainId,
+    pub prefix: String,
+    pub medium: StorageMedium,
+    pub topology: Arc<Topology>,
+    pub cost: CostModel,
+    /// Extra fixed latency per read (Fatman's cold-storage penalty).
+    pub extra_read_latency: feisu_common::SimDuration,
+    pub objects: RwLock<FxHashMap<String, StoredObject>>,
+    pub down_nodes: RwLock<FxHashSet<NodeId>>,
+}
+
+pub(crate) struct StoredObject {
+    pub data: Bytes,
+    pub replicas: Vec<NodeId>,
+}
+
+impl ObjectStore {
+    pub(crate) fn read_from(&self, path: &str, reader: NodeId) -> Result<ReadResult> {
+        let objects = self.objects.read();
+        let obj = objects
+            .get(path)
+            .ok_or_else(|| FeisuError::Storage(format!("{}: no such object `{path}`", self.prefix)))?;
+        let down = self.down_nodes.read();
+        // Pick the live replica with the fewest hops from the reader.
+        let mut best: Option<(u32, NodeId)> = None;
+        for &rep in &obj.replicas {
+            if down.contains(&rep) {
+                continue;
+            }
+            let hops = self.topology.hops(reader, rep)?;
+            if best.is_none_or(|(h, _)| hops < h) {
+                best = Some((hops, rep));
+            }
+        }
+        let (hops, served_from) = best.ok_or_else(|| {
+            FeisuError::Storage(format!(
+                "{}: all replicas of `{path}` unavailable",
+                self.prefix
+            ))
+        })?;
+        let size = ByteSize(obj.data.len() as u64);
+        let mut cost = TimeTally::new();
+        cost.add_io(self.cost.read(self.medium, size) + self.extra_read_latency);
+        cost.add_network(self.cost.network(hops, size));
+        Ok(ReadResult {
+            data: obj.data.clone(),
+            cost,
+            served_from,
+            medium: self.medium,
+            hops,
+        })
+    }
+
+    pub(crate) fn replicas(&self, path: &str) -> Result<Vec<NodeId>> {
+        self.objects
+            .read()
+            .get(path)
+            .map(|o| o.replicas.clone())
+            .ok_or_else(|| FeisuError::Storage(format!("{}: no such object `{path}`", self.prefix)))
+    }
+
+    pub(crate) fn exists(&self, path: &str) -> bool {
+        self.objects.read().contains_key(path)
+    }
+
+    pub(crate) fn list(&self, prefix: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .objects
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    pub(crate) fn delete(&self, path: &str) -> Result<()> {
+        self.objects
+            .write()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| FeisuError::Storage(format!("{}: no such object `{path}`", self.prefix)))
+    }
+
+    pub(crate) fn set_node_available(&self, node: NodeId, up: bool) {
+        let mut down = self.down_nodes.write();
+        if up {
+            down.remove(&node);
+        } else {
+            down.insert(node);
+        }
+    }
+
+    pub(crate) fn stored_bytes(&self) -> ByteSize {
+        ByteSize(
+            self.objects
+                .read()
+                .values()
+                .map(|o| o.data.len() as u64 * o.replicas.len() as u64)
+                .sum(),
+        )
+    }
+}

@@ -1,0 +1,173 @@
+//! Fatman-like cold archival storage domain.
+//!
+//! Fatman is Baidu's "cost-saving and reliable archival storage based on
+//! volunteer resources" (the paper's reference \[3\]): it scavenges idle
+//! disk space across many machines, so reads are cheap in dollars but
+//! slow — the volunteer node must be woken, and data may need recoding.
+//! We model that as a replicated store on HDD with a large fixed per-read
+//! latency penalty and placement that deliberately spreads replicas
+//! across data centers (archival durability over read locality).
+
+use crate::domain::{ObjectStore, ReadResult, StorageDomain, StoredObject};
+use bytes::Bytes;
+use feisu_cluster::{CostModel, StorageMedium, Topology};
+use feisu_common::hash::{FxHashMap, FxHashSet};
+use feisu_common::rng::DetRng;
+use feisu_common::{ByteSize, DomainId, NodeId, Result, SimDuration};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// Cold archival store: durable, geo-spread, slow to read.
+pub struct FatmanDomain {
+    store: ObjectStore,
+    replication: usize,
+    rng: Mutex<DetRng>,
+}
+
+impl FatmanDomain {
+    pub fn new(
+        id: DomainId,
+        prefix: impl Into<String>,
+        topology: Arc<Topology>,
+        cost: CostModel,
+        replication: usize,
+        seed: u64,
+    ) -> Self {
+        FatmanDomain {
+            store: ObjectStore {
+                id,
+                prefix: prefix.into(),
+                medium: StorageMedium::Hdd,
+                topology,
+                cost,
+                // Cold-storage wake-up/recode penalty per read.
+                extra_read_latency: SimDuration::millis(200),
+                objects: RwLock::new(FxHashMap::default()),
+                down_nodes: RwLock::new(FxHashSet::default()),
+            },
+            replication: replication.max(1),
+            rng: Mutex::new(DetRng::new(seed)),
+        }
+    }
+
+    /// Archival placement: replicas spread over distinct data centers
+    /// where possible, ignoring the writer's locality entirely.
+    fn place(&self) -> Vec<NodeId> {
+        let nodes = self.store.topology.nodes();
+        assert!(!nodes.is_empty(), "placement on empty topology");
+        let mut rng = self.rng.lock();
+        let mut replicas: Vec<NodeId> = Vec::new();
+        let mut used_dcs: Vec<u32> = Vec::new();
+        // First pass: one replica per distinct data center.
+        while replicas.len() < self.replication {
+            let candidates: Vec<NodeId> = nodes
+                .iter()
+                .filter(|n| !used_dcs.contains(&n.datacenter) && !replicas.contains(&n.id))
+                .map(|n| n.id)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let chosen = candidates[rng.index(candidates.len())];
+            used_dcs.push(self.store.topology.node(chosen).expect("exists").datacenter);
+            replicas.push(chosen);
+        }
+        // Second pass: fill up anywhere.
+        while replicas.len() < self.replication {
+            let candidates: Vec<NodeId> = nodes
+                .iter()
+                .filter(|n| !replicas.contains(&n.id))
+                .map(|n| n.id)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            replicas.push(candidates[rng.index(candidates.len())]);
+        }
+        replicas
+    }
+}
+
+impl StorageDomain for FatmanDomain {
+    fn id(&self) -> DomainId {
+        self.store.id
+    }
+
+    fn prefix(&self) -> &str {
+        &self.store.prefix
+    }
+
+    fn put(&self, path: &str, data: Bytes, _near: Option<NodeId>) -> Result<()> {
+        let replicas = self.place();
+        self.store
+            .objects
+            .write()
+            .insert(path.to_string(), StoredObject { data, replicas });
+        Ok(())
+    }
+
+    fn read_from(&self, path: &str, reader: NodeId) -> Result<ReadResult> {
+        self.store.read_from(path, reader)
+    }
+
+    fn replicas(&self, path: &str) -> Result<Vec<NodeId>> {
+        self.store.replicas(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.store.exists(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.store.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.store.delete(path)
+    }
+
+    fn set_node_available(&self, node: NodeId, up: bool) {
+        self.store.set_node_available(node, up);
+    }
+
+    fn stored_bytes(&self) -> ByteSize {
+        self.store.stored_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_pay_cold_penalty() {
+        let topo = Arc::new(Topology::grid(2, 2, 2));
+        let cold = FatmanDomain::new(DomainId(2), "ffs", topo.clone(), CostModel::default(), 2, 1);
+        cold.put("/arch/x", Bytes::from(vec![0u8; 1024]), None).unwrap();
+        let r = cold.read_from("/arch/x", cold.replicas("/arch/x").unwrap()[0]).unwrap();
+        // IO cost includes the 200 ms penalty on top of HDD seek+stream.
+        assert!(r.cost.io >= SimDuration::millis(200));
+    }
+
+    #[test]
+    fn replicas_spread_across_datacenters() {
+        let topo = Arc::new(Topology::grid(3, 1, 2));
+        let cold = FatmanDomain::new(DomainId(2), "ffs", topo.clone(), CostModel::default(), 3, 5);
+        cold.put("/arch/x", Bytes::from_static(b"x"), None).unwrap();
+        let dcs: std::collections::HashSet<u32> = cold
+            .replicas("/arch/x")
+            .unwrap()
+            .iter()
+            .map(|&n| topo.node(n).unwrap().datacenter)
+            .collect();
+        assert_eq!(dcs.len(), 3, "one replica per data center");
+    }
+
+    #[test]
+    fn more_replicas_than_dcs_still_placed() {
+        let topo = Arc::new(Topology::grid(1, 2, 3));
+        let cold = FatmanDomain::new(DomainId(2), "ffs", topo, CostModel::default(), 4, 9);
+        cold.put("/arch/x", Bytes::from_static(b"x"), None).unwrap();
+        assert_eq!(cold.replicas("/arch/x").unwrap().len(), 4);
+    }
+}

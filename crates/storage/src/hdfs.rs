@@ -1,0 +1,251 @@
+//! HDFS-like distributed file system domain.
+//!
+//! Business data (web links, pages, indices) live in global file systems
+//! (§II). Placement follows the classic HDFS policy: first replica on the
+//! writer's node (or a random one), second on a different node in the
+//! same rack, third on a node in a different rack — giving both
+//! rack-failure tolerance and cheap local reads.
+
+use crate::domain::{ObjectStore, ReadResult, StorageDomain, StoredObject};
+use bytes::Bytes;
+use feisu_cluster::{CostModel, StorageMedium, Topology};
+use feisu_common::rng::DetRng;
+use feisu_common::{ByteSize, DomainId, NodeId, Result, SimDuration};
+use feisu_common::hash::{FxHashMap, FxHashSet};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// A replicated distributed file system over the simulated cluster.
+pub struct HdfsDomain {
+    store: ObjectStore,
+    replication: usize,
+    rng: Mutex<DetRng>,
+}
+
+impl HdfsDomain {
+    pub fn new(
+        id: DomainId,
+        prefix: impl Into<String>,
+        topology: Arc<Topology>,
+        cost: CostModel,
+        replication: usize,
+        seed: u64,
+    ) -> Self {
+        HdfsDomain {
+            store: ObjectStore {
+                id,
+                prefix: prefix.into(),
+                medium: StorageMedium::Hdd,
+                topology,
+                cost,
+                extra_read_latency: SimDuration::ZERO,
+                objects: RwLock::new(FxHashMap::default()),
+                down_nodes: RwLock::new(FxHashSet::default()),
+            },
+            replication: replication.max(1),
+            rng: Mutex::new(DetRng::new(seed)),
+        }
+    }
+
+    /// HDFS-style placement: writer-local, same-rack, off-rack.
+    fn place(&self, near: Option<NodeId>) -> Vec<NodeId> {
+        let topo = &self.store.topology;
+        let nodes = topo.nodes();
+        assert!(!nodes.is_empty(), "placement on empty topology");
+        let mut rng = self.rng.lock();
+        let first = near
+            .filter(|n| topo.contains(*n))
+            .unwrap_or_else(|| nodes[rng.index(nodes.len())].id);
+        let mut replicas = vec![first];
+        if self.replication >= 2 {
+            let first_rack = topo.node(first).expect("placed node exists").rack;
+            let same_rack: Vec<NodeId> = topo
+                .rack_members(first_rack)
+                .filter(|&n| n != first)
+                .collect();
+            if let Some(&second) = pick(&same_rack, &mut rng) {
+                replicas.push(second);
+            }
+        }
+        while replicas.len() < self.replication {
+            let first_rack = topo.node(first).expect("placed node exists").rack;
+            let candidates: Vec<NodeId> = nodes
+                .iter()
+                .filter(|n| n.rack != first_rack && !replicas.contains(&n.id))
+                .map(|n| n.id)
+                .collect();
+            match pick(&candidates, &mut rng) {
+                Some(&next) => replicas.push(next),
+                None => {
+                    // Cluster smaller than the replication factor: fall
+                    // back to any unused node, then stop.
+                    let fallback: Vec<NodeId> = nodes
+                        .iter()
+                        .map(|n| n.id)
+                        .filter(|n| !replicas.contains(n))
+                        .collect();
+                    match pick(&fallback, &mut rng) {
+                        Some(&next) => replicas.push(next),
+                        None => break,
+                    }
+                }
+            }
+        }
+        replicas
+    }
+}
+
+fn pick<'a>(candidates: &'a [NodeId], rng: &mut DetRng) -> Option<&'a NodeId> {
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(&candidates[rng.index(candidates.len())])
+    }
+}
+
+impl StorageDomain for HdfsDomain {
+    fn id(&self) -> DomainId {
+        self.store.id
+    }
+
+    fn prefix(&self) -> &str {
+        &self.store.prefix
+    }
+
+    fn put(&self, path: &str, data: Bytes, near: Option<NodeId>) -> Result<()> {
+        let replicas = self.place(near);
+        self.store
+            .objects
+            .write()
+            .insert(path.to_string(), StoredObject { data, replicas });
+        Ok(())
+    }
+
+    fn read_from(&self, path: &str, reader: NodeId) -> Result<ReadResult> {
+        self.store.read_from(path, reader)
+    }
+
+    fn replicas(&self, path: &str) -> Result<Vec<NodeId>> {
+        self.store.replicas(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.store.exists(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.store.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.store.delete(path)
+    }
+
+    fn set_node_available(&self, node: NodeId, up: bool) {
+        self.store.set_node_available(node, up);
+    }
+
+    fn stored_bytes(&self) -> ByteSize {
+        self.store.stored_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain(replication: usize) -> (HdfsDomain, Arc<Topology>) {
+        let topo = Arc::new(Topology::grid(2, 2, 3)); // 12 nodes
+        let d = HdfsDomain::new(
+            DomainId(1),
+            "hdfs",
+            topo.clone(),
+            CostModel::default(),
+            replication,
+            42,
+        );
+        (d, topo)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (d, _) = domain(3);
+        d.put("/a/b", Bytes::from_static(b"hello"), Some(NodeId(0))).unwrap();
+        let r = d.read_from("/a/b", NodeId(0)).unwrap();
+        assert_eq!(&r.data[..], b"hello");
+        assert_eq!(r.served_from, NodeId(0), "local replica preferred");
+        assert_eq!(r.cost.network, feisu_common::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn placement_is_rack_aware() {
+        let (d, topo) = domain(3);
+        d.put("/x", Bytes::from_static(b"x"), Some(NodeId(0))).unwrap();
+        let reps = d.replicas("/x").unwrap();
+        assert_eq!(reps.len(), 3);
+        assert_eq!(reps[0], NodeId(0));
+        let racks: Vec<u32> = reps.iter().map(|&n| topo.node(n).unwrap().rack).collect();
+        assert_eq!(racks[0], racks[1], "second replica same rack");
+        assert_ne!(racks[0], racks[2], "third replica off-rack");
+    }
+
+    #[test]
+    fn remote_read_costs_network() {
+        let (d, topo) = domain(1);
+        d.put("/x", Bytes::from(vec![0u8; 1024]), Some(NodeId(0))).unwrap();
+        // Find a node in another data center.
+        let far = topo
+            .nodes()
+            .iter()
+            .find(|n| n.datacenter != 0)
+            .unwrap()
+            .id;
+        let r = d.read_from("/x", far).unwrap();
+        assert!(r.cost.network > feisu_common::SimDuration::ZERO);
+        assert_eq!(r.served_from, NodeId(0));
+    }
+
+    #[test]
+    fn failover_to_replica_on_node_down() {
+        let (d, _) = domain(3);
+        d.put("/x", Bytes::from_static(b"x"), Some(NodeId(0))).unwrap();
+        d.set_node_available(NodeId(0), false);
+        let r = d.read_from("/x", NodeId(0)).unwrap();
+        assert_ne!(r.served_from, NodeId(0));
+        // All replicas down → error.
+        for rep in d.replicas("/x").unwrap() {
+            d.set_node_available(rep, false);
+        }
+        assert!(d.read_from("/x", NodeId(0)).is_err());
+        // Recovery restores service.
+        d.set_node_available(NodeId(0), true);
+        assert!(d.read_from("/x", NodeId(0)).is_ok());
+    }
+
+    #[test]
+    fn replication_clamped_to_cluster_size() {
+        let topo = Arc::new(Topology::grid(1, 1, 2));
+        let d = HdfsDomain::new(DomainId(1), "hdfs", topo, CostModel::default(), 5, 7);
+        d.put("/x", Bytes::from_static(b"x"), None).unwrap();
+        assert_eq!(d.replicas("/x").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let (d, _) = domain(1);
+        d.put("/t1/b0", Bytes::from_static(b"0"), None).unwrap();
+        d.put("/t1/b1", Bytes::from_static(b"1"), None).unwrap();
+        d.put("/t2/b0", Bytes::from_static(b"2"), None).unwrap();
+        assert_eq!(d.list("/t1/"), vec!["/t1/b0".to_string(), "/t1/b1".to_string()]);
+        d.delete("/t1/b0").unwrap();
+        assert!(!d.exists("/t1/b0"));
+        assert!(d.delete("/t1/b0").is_err());
+    }
+
+    #[test]
+    fn stored_bytes_counts_replicas() {
+        let (d, _) = domain(3);
+        d.put("/x", Bytes::from(vec![0u8; 100]), None).unwrap();
+        assert_eq!(d.stored_bytes(), ByteSize(300));
+    }
+}

@@ -1,0 +1,183 @@
+//! Key-value label store domain.
+//!
+//! "Labeled data can be stored in key-value stores" (§II): small,
+//! hand-produced records (training labels, bad-case annotations) accessed
+//! by point lookups. Modeled as an SSD-backed hash-partitioned store:
+//! a key's home node is chosen by consistent hashing over the topology,
+//! reads are a single SSD access plus network hops.
+
+use crate::domain::{ReadResult, StorageDomain};
+use bytes::Bytes;
+use feisu_cluster::simclock::TimeTally;
+use feisu_cluster::{CostModel, StorageMedium, Topology};
+use feisu_common::hash::{hash_one, FxHashMap, FxHashSet};
+use feisu_common::{ByteSize, DomainId, FeisuError, NodeId, Result};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Hash-partitioned SSD key-value store.
+pub struct KvDomain {
+    id: DomainId,
+    prefix: String,
+    topology: Arc<Topology>,
+    cost: CostModel,
+    objects: RwLock<FxHashMap<String, Bytes>>,
+    down_nodes: RwLock<FxHashSet<NodeId>>,
+}
+
+impl KvDomain {
+    pub fn new(
+        id: DomainId,
+        prefix: impl Into<String>,
+        topology: Arc<Topology>,
+        cost: CostModel,
+    ) -> Self {
+        KvDomain {
+            id,
+            prefix: prefix.into(),
+            topology,
+            cost,
+            objects: RwLock::new(FxHashMap::default()),
+            down_nodes: RwLock::new(FxHashSet::default()),
+        }
+    }
+
+    /// Home node of a key (rendezvous by hash).
+    pub fn home(&self, path: &str) -> NodeId {
+        let nodes = self.topology.nodes();
+        assert!(!nodes.is_empty());
+        nodes[(hash_one(&path) % nodes.len() as u64) as usize].id
+    }
+}
+
+impl StorageDomain for KvDomain {
+    fn id(&self) -> DomainId {
+        self.id
+    }
+
+    fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    fn put(&self, path: &str, data: Bytes, _near: Option<NodeId>) -> Result<()> {
+        self.objects.write().insert(path.to_string(), data);
+        Ok(())
+    }
+
+    fn read_from(&self, path: &str, reader: NodeId) -> Result<ReadResult> {
+        let objects = self.objects.read();
+        let data = objects
+            .get(path)
+            .ok_or_else(|| FeisuError::Storage(format!("kv: no such key `{path}`")))?;
+        let home = self.home(path);
+        if self.down_nodes.read().contains(&home) {
+            return Err(FeisuError::Storage(format!(
+                "kv: home node {home} for `{path}` is down"
+            )));
+        }
+        let size = ByteSize(data.len() as u64);
+        let hops = self.topology.hops(reader, home)?;
+        let mut cost = TimeTally::new();
+        cost.add_io(self.cost.read(StorageMedium::Ssd, size));
+        cost.add_network(self.cost.network(hops, size));
+        Ok(ReadResult {
+            data: data.clone(),
+            cost,
+            served_from: home,
+            medium: StorageMedium::Ssd,
+            hops,
+        })
+    }
+
+    fn replicas(&self, path: &str) -> Result<Vec<NodeId>> {
+        if self.objects.read().contains_key(path) {
+            Ok(vec![self.home(path)])
+        } else {
+            Err(FeisuError::Storage(format!("kv: no such key `{path}`")))
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.objects.read().contains_key(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .objects
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.objects
+            .write()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| FeisuError::Storage(format!("kv: no such key `{path}`")))
+    }
+
+    fn set_node_available(&self, node: NodeId, up: bool) {
+        let mut down = self.down_nodes.write();
+        if up {
+            down.remove(&node);
+        } else {
+            down.insert(node);
+        }
+    }
+
+    fn stored_bytes(&self) -> ByteSize {
+        ByteSize(self.objects.read().values().map(|d| d.len() as u64).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> KvDomain {
+        KvDomain::new(
+            DomainId(3),
+            "kv",
+            Arc::new(Topology::grid(1, 2, 2)),
+            CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn point_lookup_roundtrip() {
+        let d = domain();
+        d.put("/labels/q1", Bytes::from_static(b"relevant"), None).unwrap();
+        let r = d.read_from("/labels/q1", NodeId(0)).unwrap();
+        assert_eq!(&r.data[..], b"relevant");
+        assert_eq!(r.medium, StorageMedium::Ssd);
+    }
+
+    #[test]
+    fn home_is_stable() {
+        let d = domain();
+        assert_eq!(d.home("/labels/q1"), d.home("/labels/q1"));
+    }
+
+    #[test]
+    fn ssd_faster_than_hdd_read() {
+        let d = domain();
+        d.put("/k", Bytes::from(vec![0u8; 4096]), None).unwrap();
+        let home = d.home("/k");
+        let r = d.read_from("/k", home).unwrap();
+        let hdd = CostModel::default().read(StorageMedium::Hdd, ByteSize(4096));
+        assert!(r.cost.io < hdd);
+    }
+
+    #[test]
+    fn down_home_node_fails_lookup() {
+        let d = domain();
+        d.put("/k", Bytes::from_static(b"v"), None).unwrap();
+        d.set_node_available(d.home("/k"), false);
+        assert!(d.read_from("/k", NodeId(0)).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-node local file system domain.
+//!
+//! "Log data are stored in the local file systems of the online machines"
+//! (§II) — 2.3 GB/hour/node of it. There is no replication: an object
+//! lives exactly on the node that produced it, which is why Feisu's
+//! scheduler must run log-scanning tasks *on* those nodes (the
+//! light-weight leaf process of §III-B). Reading another node's local
+//! data pays the full network transfer.
+
+use crate::domain::{ReadResult, StorageDomain};
+use bytes::Bytes;
+use feisu_cluster::simclock::TimeTally;
+use feisu_cluster::{CostModel, StorageMedium, Topology};
+use feisu_common::hash::{FxHashMap, FxHashSet};
+use feisu_common::{ByteSize, DomainId, FeisuError, NodeId, Result};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// The union of every node's local file system. Paths are namespaced by
+/// owner node internally; lookups search the owner.
+pub struct LocalFsDomain {
+    id: DomainId,
+    prefix: String,
+    topology: Arc<Topology>,
+    cost: CostModel,
+    /// path → (owner node, bytes)
+    objects: RwLock<FxHashMap<String, (NodeId, Bytes)>>,
+    down_nodes: RwLock<FxHashSet<NodeId>>,
+}
+
+impl LocalFsDomain {
+    pub fn new(
+        id: DomainId,
+        prefix: impl Into<String>,
+        topology: Arc<Topology>,
+        cost: CostModel,
+    ) -> Self {
+        LocalFsDomain {
+            id,
+            prefix: prefix.into(),
+            topology,
+            cost,
+            objects: RwLock::new(FxHashMap::default()),
+            down_nodes: RwLock::new(FxHashSet::default()),
+        }
+    }
+
+    /// The node owning a path.
+    pub fn owner(&self, path: &str) -> Option<NodeId> {
+        self.objects.read().get(path).map(|(n, _)| *n)
+    }
+}
+
+impl StorageDomain for LocalFsDomain {
+    fn id(&self) -> DomainId {
+        self.id
+    }
+
+    fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    fn put(&self, path: &str, data: Bytes, near: Option<NodeId>) -> Result<()> {
+        let owner = near.ok_or_else(|| {
+            FeisuError::Storage("local fs requires an owning node for writes".into())
+        })?;
+        if !self.topology.contains(owner) {
+            return Err(FeisuError::Storage(format!("{owner} not in topology")));
+        }
+        self.objects
+            .write()
+            .insert(path.to_string(), (owner, data));
+        Ok(())
+    }
+
+    fn read_from(&self, path: &str, reader: NodeId) -> Result<ReadResult> {
+        let objects = self.objects.read();
+        let (owner, data) = objects
+            .get(path)
+            .ok_or_else(|| FeisuError::Storage(format!("local: no such object `{path}`")))?;
+        if self.down_nodes.read().contains(owner) {
+            return Err(FeisuError::Storage(format!(
+                "local: owner {owner} of `{path}` is down (no replicas exist)"
+            )));
+        }
+        let size = ByteSize(data.len() as u64);
+        let hops = self.topology.hops(reader, *owner)?;
+        let mut cost = TimeTally::new();
+        cost.add_io(self.cost.read(StorageMedium::Hdd, size));
+        cost.add_network(self.cost.network(hops, size));
+        Ok(ReadResult {
+            data: data.clone(),
+            cost,
+            served_from: *owner,
+            medium: StorageMedium::Hdd,
+            hops,
+        })
+    }
+
+    fn replicas(&self, path: &str) -> Result<Vec<NodeId>> {
+        self.owner(path)
+            .map(|n| vec![n])
+            .ok_or_else(|| FeisuError::Storage(format!("local: no such object `{path}`")))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.objects.read().contains_key(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .objects
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.objects
+            .write()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| FeisuError::Storage(format!("local: no such object `{path}`")))
+    }
+
+    fn set_node_available(&self, node: NodeId, up: bool) {
+        let mut down = self.down_nodes.write();
+        if up {
+            down.remove(&node);
+        } else {
+            down.insert(node);
+        }
+    }
+
+    fn stored_bytes(&self) -> ByteSize {
+        ByteSize(
+            self.objects
+                .read()
+                .values()
+                .map(|(_, d)| d.len() as u64)
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> LocalFsDomain {
+        LocalFsDomain::new(
+            DomainId(0),
+            "local",
+            Arc::new(Topology::grid(1, 2, 2)),
+            CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn write_requires_owner() {
+        let d = domain();
+        assert!(d.put("/log/0", Bytes::from_static(b"x"), None).is_err());
+        assert!(d.put("/log/0", Bytes::from_static(b"x"), Some(NodeId(99))).is_err());
+        d.put("/log/0", Bytes::from_static(b"x"), Some(NodeId(1))).unwrap();
+        assert_eq!(d.owner("/log/0"), Some(NodeId(1)));
+        assert_eq!(d.replicas("/log/0").unwrap(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn local_read_is_free_of_network() {
+        let d = domain();
+        d.put("/log/0", Bytes::from(vec![0u8; 2048]), Some(NodeId(1))).unwrap();
+        let local = d.read_from("/log/0", NodeId(1)).unwrap();
+        assert_eq!(local.cost.network, feisu_common::SimDuration::ZERO);
+        let remote = d.read_from("/log/0", NodeId(3)).unwrap();
+        assert!(remote.cost.network > feisu_common::SimDuration::ZERO);
+        assert!(remote.cost.total() > local.cost.total());
+    }
+
+    #[test]
+    fn no_replicas_means_owner_down_is_fatal() {
+        let d = domain();
+        d.put("/log/0", Bytes::from_static(b"x"), Some(NodeId(1))).unwrap();
+        d.set_node_available(NodeId(1), false);
+        assert!(d.read_from("/log/0", NodeId(0)).is_err());
+        d.set_node_available(NodeId(1), true);
+        assert!(d.read_from("/log/0", NodeId(0)).is_ok());
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let d = domain();
+        assert!(d.read_from("/nope", NodeId(0)).is_err());
+        assert!(d.replicas("/nope").is_err());
+        assert!(!d.exists("/nope"));
+    }
+}

@@ -1,0 +1,293 @@
+//! The common storage layer (paper §III-C).
+//!
+//! "All data files are given full paths with prefix flags to activate
+//! different storage plugins. For example, the file path in Hadoop
+//! filesystem will be `/hdfs/path/to/filename`, and in Fatman filesystem
+//! the path will be `/ffs/path/to/filename`. If a prefix string can not
+//! be recognized, local filesystem is activated by default." On top of
+//! routing, the layer enforces SSO authorization per domain and fronts
+//! reads with the per-node SSD cache of §IV-B.
+
+use crate::auth::{AuthService, Credential, Grant};
+use crate::domain::{ReadResult, StorageDomain};
+use crate::ssd_cache::SsdCache;
+use bytes::Bytes;
+use feisu_cluster::simclock::TimeTally;
+use feisu_cluster::{CostModel, StorageMedium};
+use feisu_common::{ByteSize, FeisuError, NodeId, Result, SimInstant};
+use std::sync::Arc;
+
+/// The unified entry point to every storage domain.
+pub struct StorageRouter {
+    domains: Vec<Arc<dyn StorageDomain>>,
+    /// Index into `domains` used when no prefix matches (the local FS).
+    default_domain: usize,
+    auth: Arc<AuthService>,
+    cache: Option<Arc<SsdCache>>,
+    cost: CostModel,
+}
+
+impl StorageRouter {
+    pub fn new(
+        domains: Vec<Arc<dyn StorageDomain>>,
+        default_domain: usize,
+        auth: Arc<AuthService>,
+        cache: Option<Arc<SsdCache>>,
+        cost: CostModel,
+    ) -> Self {
+        assert!(default_domain < domains.len(), "default domain out of range");
+        StorageRouter {
+            domains,
+            default_domain,
+            auth,
+            cache,
+            cost,
+        }
+    }
+
+    /// Splits `/prefix/rest` into the owning domain and the domain-local
+    /// path. Unrecognized prefixes fall through to the default (local)
+    /// domain with the path unchanged, per the paper.
+    pub fn resolve(&self, path: &str) -> (&Arc<dyn StorageDomain>, String) {
+        if let Some(stripped) = path.strip_prefix('/') {
+            if let Some((prefix, rest)) = stripped.split_once('/') {
+                for d in &self.domains {
+                    if d.prefix() == prefix {
+                        return (d, format!("/{rest}"));
+                    }
+                }
+            }
+        }
+        (&self.domains[self.default_domain], path.to_string())
+    }
+
+    /// The domain a path routes to (for scheduling and authorization).
+    pub fn domain_of(&self, path: &str) -> &Arc<dyn StorageDomain> {
+        self.resolve(path).0
+    }
+
+    /// Authorized read through the cache hierarchy. On an SSD-cache hit
+    /// the cost is a local SSD access; otherwise the domain read cost,
+    /// and the bytes are offered to the cache.
+    pub fn read(
+        &self,
+        path: &str,
+        reader: NodeId,
+        cred: &Credential,
+        now: SimInstant,
+    ) -> Result<ReadResult> {
+        let (domain, inner) = self.resolve(path);
+        self.auth.authorize(cred, domain.id(), Grant::Read, now)?;
+        if let Some(cache) = &self.cache {
+            if let Some(data) = cache.get(reader, path) {
+                let mut cost = TimeTally::new();
+                cost.add_io(
+                    self.cost
+                        .read(StorageMedium::Ssd, ByteSize(data.len() as u64)),
+                );
+                return Ok(ReadResult {
+                    data,
+                    cost,
+                    served_from: reader,
+                    medium: StorageMedium::Ssd,
+                    hops: 0,
+                });
+            }
+        }
+        let result = domain.read_from(&inner, reader)?;
+        if let Some(cache) = &self.cache {
+            cache.put(reader, path, result.data.clone(), false);
+        }
+        Ok(result)
+    }
+
+    /// Authorized write.
+    pub fn write(
+        &self,
+        path: &str,
+        data: Bytes,
+        near: Option<NodeId>,
+        cred: &Credential,
+        now: SimInstant,
+    ) -> Result<()> {
+        let (domain, inner) = self.resolve(path);
+        self.auth
+            .authorize(cred, domain.id(), Grant::ReadWrite, now)?;
+        domain.put(&inner, data, near)
+    }
+
+    /// Replica locations in unified-path terms (for the scheduler).
+    pub fn replicas(&self, path: &str) -> Result<Vec<NodeId>> {
+        let (domain, inner) = self.resolve(path);
+        domain.replicas(&inner)
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        let (domain, inner) = self.resolve(path);
+        domain.exists(&inner)
+    }
+
+    /// Lists unified paths under a unified prefix. The prefix must route
+    /// to exactly one domain.
+    pub fn list(&self, unified_prefix: &str) -> Vec<String> {
+        let (domain, inner) = self.resolve(unified_prefix);
+        let dp = domain.prefix();
+        domain
+            .list(&inner)
+            .into_iter()
+            .map(|p| {
+                // Re-attach the routing prefix unless this is the default
+                // domain reached without one.
+                if unified_prefix.starts_with(&format!("/{dp}/")) {
+                    format!("/{dp}{p}")
+                } else {
+                    p
+                }
+            })
+            .collect()
+    }
+
+    pub fn auth(&self) -> &Arc<AuthService> {
+        &self.auth
+    }
+
+    pub fn cache(&self) -> Option<&Arc<SsdCache>> {
+        self.cache.as_ref()
+    }
+
+    pub fn domains(&self) -> &[Arc<dyn StorageDomain>] {
+        &self.domains
+    }
+
+    /// Fails if no domain claims this path's prefix *and* the path has an
+    /// explicit prefix-looking shape that is not a known domain — used by
+    /// the client layer's syntax check to warn about likely typos while
+    /// still allowing bare local paths.
+    pub fn validate_path(&self, path: &str) -> Result<()> {
+        if !path.starts_with('/') {
+            return Err(FeisuError::Storage(format!(
+                "paths must be absolute: `{path}`"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fatman::FatmanDomain;
+    use crate::hdfs::HdfsDomain;
+    use crate::kv::KvDomain;
+    use crate::localfs::LocalFsDomain;
+    use crate::ssd_cache::CachePreference;
+    use feisu_cluster::Topology;
+    use feisu_common::{DomainId, SimDuration, UserId};
+
+    fn router(with_cache: bool) -> (StorageRouter, Credential) {
+        let topo = Arc::new(Topology::grid(1, 2, 2));
+        let cost = CostModel::default();
+        let local = Arc::new(LocalFsDomain::new(DomainId(0), "local", topo.clone(), cost.clone()));
+        let hdfs = Arc::new(HdfsDomain::new(DomainId(1), "hdfs", topo.clone(), cost.clone(), 2, 1));
+        let ffs = Arc::new(FatmanDomain::new(DomainId(2), "ffs", topo.clone(), cost.clone(), 2, 2));
+        let kv = Arc::new(KvDomain::new(DomainId(3), "kv", topo.clone(), cost.clone()));
+        let auth = Arc::new(AuthService::new(7));
+        auth.register(UserId(1));
+        auth.grant(UserId(1), DomainId(0), Grant::ReadWrite);
+        auth.grant(UserId(1), DomainId(1), Grant::ReadWrite);
+        auth.grant(UserId(1), DomainId(3), Grant::Read); // read-only on kv
+        let cred = auth.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        let cache = with_cache.then(|| {
+            Arc::new(SsdCache::new(
+                ByteSize::mib(4),
+                vec![CachePreference {
+                    path_prefix: "/hdfs/".into(),
+                }],
+            ))
+        });
+        let r = StorageRouter::new(
+            vec![local, hdfs, ffs, kv],
+            0,
+            auth,
+            cache,
+            cost,
+        );
+        (r, cred)
+    }
+
+    #[test]
+    fn prefix_routing() {
+        let (r, _) = router(false);
+        assert_eq!(r.domain_of("/hdfs/a/b").prefix(), "hdfs");
+        assert_eq!(r.domain_of("/ffs/a").prefix(), "ffs");
+        assert_eq!(r.domain_of("/kv/k").prefix(), "kv");
+        // Unrecognized prefix falls to local, per the paper.
+        assert_eq!(r.domain_of("/data/logs/x").prefix(), "local");
+        let (_, inner) = r.resolve("/hdfs/a/b");
+        assert_eq!(inner, "/a/b");
+        let (_, inner) = r.resolve("/data/logs/x");
+        assert_eq!(inner, "/data/logs/x");
+    }
+
+    #[test]
+    fn write_then_read_through_router() {
+        let (r, cred) = router(false);
+        r.write("/hdfs/t/b0", Bytes::from_static(b"abc"), Some(NodeId(0)), &cred, SimInstant(0))
+            .unwrap();
+        let got = r.read("/hdfs/t/b0", NodeId(0), &cred, SimInstant(0)).unwrap();
+        assert_eq!(&got.data[..], b"abc");
+        assert!(r.exists("/hdfs/t/b0"));
+        assert!(!r.exists("/hdfs/t/b1"));
+    }
+
+    #[test]
+    fn authorization_enforced_per_domain() {
+        let (r, cred) = router(false);
+        // Read-only on kv: write denied, read of missing key is a storage
+        // error (authz passed).
+        let w = r.write("/kv/k", Bytes::from_static(b"v"), None, &cred, SimInstant(0));
+        assert!(matches!(w, Err(FeisuError::PermissionDenied(_))));
+        // No grant at all on ffs.
+        let rd = r.read("/ffs/x", NodeId(0), &cred, SimInstant(0));
+        assert!(matches!(rd, Err(FeisuError::PermissionDenied(_))));
+    }
+
+    #[test]
+    fn expired_credential_rejected() {
+        let (r, cred) = router(false);
+        let later = SimInstant::EPOCH + SimDuration::hours(100);
+        let rd = r.read("/hdfs/x", NodeId(0), &cred, later);
+        assert!(matches!(rd, Err(FeisuError::Unauthenticated(_))));
+    }
+
+    #[test]
+    fn ssd_cache_serves_second_read() {
+        let (r, cred) = router(true);
+        let blob = Bytes::from(vec![7u8; 100_000]);
+        r.write("/hdfs/t/b0", blob, Some(NodeId(0)), &cred, SimInstant(0)).unwrap();
+        let first = r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0)).unwrap();
+        let second = r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0)).unwrap();
+        assert_eq!(second.medium, StorageMedium::Ssd);
+        assert!(second.cost.total() < first.cost.total());
+        assert_eq!(second.served_from, NodeId(1));
+        assert_eq!(r.cache().unwrap().stats().hits, 1);
+    }
+
+    #[test]
+    fn list_reattaches_prefix() {
+        let (r, cred) = router(false);
+        r.write("/hdfs/t/b0", Bytes::from_static(b"0"), None, &cred, SimInstant(0)).unwrap();
+        r.write("/hdfs/t/b1", Bytes::from_static(b"1"), None, &cred, SimInstant(0)).unwrap();
+        assert_eq!(
+            r.list("/hdfs/t/"),
+            vec!["/hdfs/t/b0".to_string(), "/hdfs/t/b1".to_string()]
+        );
+    }
+
+    #[test]
+    fn validate_path_requires_absolute() {
+        let (r, _) = router(false);
+        assert!(r.validate_path("/hdfs/x").is_ok());
+        assert!(r.validate_path("relative/x").is_err());
+    }
+}

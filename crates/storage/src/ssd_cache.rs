@@ -1,0 +1,239 @@
+//! Per-node SSD data cache (paper §IV-B).
+//!
+//! "We implement a cache layer in Feisu's storage system using SSDs. The
+//! SSD cache is managed using LRU. Currently not all query's data will be
+//! cached… We manually set the cache preferences for different data based
+//! on practical knowledge." — because with ad-hoc workloads, automatic
+//! policies saw >80% miss rates.
+//!
+//! Accordingly the cache only admits paths matched by an explicit
+//! preference rule; everything else bypasses it.
+
+use bytes::Bytes;
+use feisu_common::hash::FxHashMap;
+use feisu_common::{ByteSize, NodeId};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Admission rule: paths with this prefix are cacheable.
+#[derive(Debug, Clone)]
+pub struct CachePreference {
+    pub path_prefix: String,
+}
+
+#[derive(Debug, Default)]
+struct NodeCache {
+    entries: FxHashMap<String, (Bytes, u64)>,
+    lru: VecDeque<(String, u64)>,
+    used: u64,
+    next_stamp: u64,
+}
+
+/// Cache statistics (drives the §IV-B evaluation claims).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub rejected: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// One SSD cache per node, sharing a capacity setting and preference
+/// rules.
+pub struct SsdCache {
+    capacity_per_node: u64,
+    preferences: Vec<CachePreference>,
+    nodes: Mutex<FxHashMap<NodeId, NodeCache>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl SsdCache {
+    pub fn new(capacity_per_node: ByteSize, preferences: Vec<CachePreference>) -> Self {
+        SsdCache {
+            capacity_per_node: capacity_per_node.as_u64(),
+            preferences,
+            nodes: Mutex::new(FxHashMap::default()),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// Whether a path is admitted by the manual preference rules.
+    pub fn admits(&self, path: &str) -> bool {
+        self.preferences
+            .iter()
+            .any(|p| path.starts_with(&p.path_prefix))
+    }
+
+    /// Looks up a path in `node`'s cache.
+    pub fn get(&self, node: NodeId, path: &str) -> Option<Bytes> {
+        let mut nodes = self.nodes.lock();
+        let cache = nodes.entry(node).or_default();
+        let hit = match cache.entries.get_mut(path) {
+            Some((data, stamp)) => {
+                cache.next_stamp += 1;
+                *stamp = cache.next_stamp;
+                let s = *stamp;
+                let data = data.clone();
+                cache.lru.push_back((path.to_string(), s));
+                Some(data)
+            }
+            None => None,
+        };
+        let mut stats = self.stats.lock();
+        if hit.is_some() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Offers a path's bytes for caching on `node`; rejected unless a
+    /// preference rule admits it or `force` (user pin) is set.
+    pub fn put(&self, node: NodeId, path: &str, data: Bytes, force: bool) {
+        if !force && !self.admits(path) {
+            self.stats.lock().rejected += 1;
+            return;
+        }
+        let size = data.len() as u64;
+        if size > self.capacity_per_node {
+            self.stats.lock().rejected += 1;
+            return;
+        }
+        let mut nodes = self.nodes.lock();
+        let cache = nodes.entry(node).or_default();
+        if let Some((old, _)) = cache.entries.remove(path) {
+            cache.used -= old.len() as u64;
+        }
+        let mut evictions = 0u64;
+        while cache.used + size > self.capacity_per_node {
+            // Lazy LRU queue: pop until a live record is found.
+            match cache.lru.pop_front() {
+                Some((key, stamp)) => {
+                    let live = cache
+                        .entries
+                        .get(&key)
+                        .is_some_and(|(_, s)| *s == stamp);
+                    if live {
+                        let (old, _) = cache.entries.remove(&key).expect("checked");
+                        cache.used -= old.len() as u64;
+                        evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        cache.next_stamp += 1;
+        let stamp = cache.next_stamp;
+        cache.lru.push_back((path.to_string(), stamp));
+        cache.used += size;
+        cache.entries.insert(path.to_string(), (data, stamp));
+        if evictions > 0 {
+            self.stats.lock().evictions += evictions;
+        }
+    }
+
+    /// Bytes cached on one node.
+    pub fn used_on(&self, node: NodeId) -> ByteSize {
+        ByteSize(self.nodes.lock().get(&node).map_or(0, |c| c.used))
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Drops everything cached on a node (e.g. node restart).
+    pub fn invalidate_node(&self, node: NodeId) {
+        self.nodes.lock().remove(&node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(kb: u64) -> SsdCache {
+        SsdCache::new(
+            ByteSize::kib(kb),
+            vec![CachePreference {
+                path_prefix: "/hdfs/hot/".into(),
+            }],
+        )
+    }
+
+    #[test]
+    fn admission_by_preference_only() {
+        let c = cache(64);
+        c.put(NodeId(0), "/hdfs/cold/x", Bytes::from_static(b"data"), false);
+        assert!(c.get(NodeId(0), "/hdfs/cold/x").is_none());
+        assert_eq!(c.stats().rejected, 1);
+        c.put(NodeId(0), "/hdfs/hot/x", Bytes::from_static(b"data"), false);
+        assert!(c.get(NodeId(0), "/hdfs/hot/x").is_some());
+    }
+
+    #[test]
+    fn force_pin_bypasses_preferences() {
+        let c = cache(64);
+        c.put(NodeId(0), "/hdfs/cold/x", Bytes::from_static(b"data"), true);
+        assert!(c.get(NodeId(0), "/hdfs/cold/x").is_some());
+    }
+
+    #[test]
+    fn caches_are_per_node() {
+        let c = cache(64);
+        c.put(NodeId(0), "/hdfs/hot/x", Bytes::from_static(b"data"), false);
+        assert!(c.get(NodeId(1), "/hdfs/hot/x").is_none());
+        assert!(c.get(NodeId(0), "/hdfs/hot/x").is_some());
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let c = cache(1); // 1 KiB
+        let blob = Bytes::from(vec![0u8; 400]);
+        c.put(NodeId(0), "/hdfs/hot/a", blob.clone(), false);
+        c.put(NodeId(0), "/hdfs/hot/b", blob.clone(), false);
+        // Touch a so b is LRU.
+        assert!(c.get(NodeId(0), "/hdfs/hot/a").is_some());
+        c.put(NodeId(0), "/hdfs/hot/c", blob.clone(), false);
+        assert!(c.get(NodeId(0), "/hdfs/hot/b").is_none(), "b evicted");
+        assert!(c.get(NodeId(0), "/hdfs/hot/a").is_some());
+        assert!(c.get(NodeId(0), "/hdfs/hot/c").is_some());
+        assert!(c.stats().evictions >= 1);
+        assert!(c.used_on(NodeId(0)).as_u64() <= 1024);
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let c = cache(1);
+        c.put(NodeId(0), "/hdfs/hot/big", Bytes::from(vec![0u8; 4096]), false);
+        assert!(c.get(NodeId(0), "/hdfs/hot/big").is_none());
+    }
+
+    #[test]
+    fn invalidate_node_clears() {
+        let c = cache(64);
+        c.put(NodeId(0), "/hdfs/hot/x", Bytes::from_static(b"d"), false);
+        c.invalidate_node(NodeId(0));
+        assert!(c.get(NodeId(0), "/hdfs/hot/x").is_none());
+        assert_eq!(c.used_on(NodeId(0)), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn reinsert_updates_accounting() {
+        let c = cache(64);
+        c.put(NodeId(0), "/hdfs/hot/x", Bytes::from(vec![0u8; 100]), false);
+        c.put(NodeId(0), "/hdfs/hot/x", Bytes::from(vec![0u8; 200]), false);
+        assert_eq!(c.used_on(NodeId(0)), ByteSize(200));
+    }
+}

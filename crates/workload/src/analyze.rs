@@ -1,0 +1,192 @@
+//! Trace analyses — the statistics behind Figures 4, 5 and 8.
+//!
+//! §IV-A: "We split the query log traces based on fixed time span (e.g.,
+//! 1-hour, 2-hour) and analyzed the number of repeated accessed columns
+//! in the time span… Figure 5 shows the ratio of queries that have at
+//! least one exact same query predicate with different time spans."
+//! These functions compute exactly those series over any trace.
+
+use crate::trace::{QueryShape, TraceQuery};
+use feisu_common::hash::{FxHashMap, FxHashSet};
+use feisu_common::SimDuration;
+
+/// Fig. 4: average number of *identical* (repeatedly accessed) columns
+/// per window of length `span` — columns touched by at least two queries
+/// in the window.
+pub fn identical_columns_per_span(trace: &[TraceQuery], span: SimDuration) -> f64 {
+    let mut windows = 0usize;
+    let mut total_identical = 0usize;
+    for window in windows_of(trace, span) {
+        let mut counts: FxHashMap<&str, usize> = FxHashMap::default();
+        for q in window {
+            let mut seen_in_query: FxHashSet<&str> = FxHashSet::default();
+            for c in &q.columns {
+                if seen_in_query.insert(c) {
+                    *counts.entry(c.as_str()).or_insert(0) += 1;
+                }
+            }
+        }
+        total_identical += counts.values().filter(|&&n| n >= 2).count();
+        windows += 1;
+    }
+    if windows == 0 {
+        0.0
+    } else {
+        total_identical as f64 / windows as f64
+    }
+}
+
+/// Fig. 5: fraction of queries sharing at least one exact predicate with
+/// another query inside the same window of length `span`.
+pub fn predicate_similarity_ratio(trace: &[TraceQuery], span: SimDuration) -> f64 {
+    let mut total = 0usize;
+    let mut similar = 0usize;
+    for window in windows_of(trace, span) {
+        let mut counts: FxHashMap<String, usize> = FxHashMap::default();
+        for q in window {
+            let mut seen: FxHashSet<String> = FxHashSet::default();
+            for p in &q.predicates {
+                if seen.insert(p.key()) {
+                    *counts.entry(p.key()).or_insert(0) += 1;
+                }
+            }
+        }
+        for q in window {
+            total += 1;
+            if q
+                .predicates
+                .iter()
+                .any(|p| counts.get(&p.key()).copied().unwrap_or(0) >= 2)
+            {
+                similar += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        similar as f64 / total as f64
+    }
+}
+
+/// Fig. 8: keyword frequency — the fraction of queries whose SQL uses
+/// each keyword. Returned sorted by descending frequency.
+pub fn keyword_frequency(trace: &[TraceQuery]) -> Vec<(String, f64)> {
+    const KEYWORDS: &[&str] = &[
+        "SELECT", "WHERE", "COUNT", "GROUP BY", "ORDER BY", "LIMIT", "JOIN", "SUM", "AVG",
+        "MIN", "MAX", "CONTAINS", "HAVING",
+    ];
+    let n = trace.len().max(1) as f64;
+    let mut v: Vec<(String, f64)> = KEYWORDS
+        .iter()
+        .map(|kw| {
+            let hits = trace
+                .iter()
+                .filter(|q| q.sql.to_ascii_uppercase().contains(kw))
+                .count();
+            (kw.to_string(), hits as f64 / n)
+        })
+        .collect();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    v
+}
+
+/// Fraction of queries that are scans/aggregations (the paper's ">99%"
+/// headline for Fig. 8).
+pub fn scan_family_ratio(trace: &[TraceQuery]) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let scans = trace
+        .iter()
+        .filter(|q| q.shape != QueryShape::Join)
+        .count();
+    scans as f64 / trace.len() as f64
+}
+
+/// Splits a time-ordered trace into consecutive windows of length `span`.
+fn windows_of(trace: &[TraceQuery], span: SimDuration) -> impl Iterator<Item = &[TraceQuery]> {
+    let span_ns = span.as_nanos().max(1);
+    let mut starts = Vec::new();
+    let mut begin = 0usize;
+    let window_idx = |ns: u64| ns / span_ns;
+    let mut current = trace.first().map(|q| window_idx(q.at.as_nanos()));
+    for (i, q) in trace.iter().enumerate() {
+        let w = window_idx(q.at.as_nanos());
+        if Some(w) != current {
+            starts.push((begin, i));
+            begin = i;
+            current = Some(w);
+        }
+    }
+    if !trace.is_empty() {
+        starts.push((begin, trace.len()));
+    }
+    starts.into_iter().map(move |(a, b)| &trace[a..b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate_trace, TraceSpec};
+
+    fn trace(similarity: f64, theta: f64) -> Vec<TraceQuery> {
+        generate_trace(&TraceSpec {
+            queries: 2000,
+            span: SimDuration::hours(100),
+            similarity,
+            locality_theta: theta,
+            ..TraceSpec::default()
+        })
+    }
+
+    #[test]
+    fn fig4_identical_columns_grow_with_span() {
+        let t = trace(0.6, 0.9);
+        let half_hour = identical_columns_per_span(&t, SimDuration::minutes(30));
+        let four_hours = identical_columns_per_span(&t, SimDuration::hours(4));
+        let eight_hours = identical_columns_per_span(&t, SimDuration::hours(8));
+        assert!(
+            half_hour < four_hours && four_hours <= eight_hours,
+            "identical columns must grow with span: {half_hour} {four_hours} {eight_hours}"
+        );
+        assert!(half_hour > 0.0);
+    }
+
+    #[test]
+    fn fig5_similarity_ratio_grows_with_span_and_knob() {
+        let t = trace(0.6, 0.9);
+        let small = predicate_similarity_ratio(&t, SimDuration::minutes(30));
+        let large = predicate_similarity_ratio(&t, SimDuration::hours(8));
+        assert!(large > small, "ratio grows with span: {small} vs {large}");
+
+        let loose = trace(0.05, 0.9);
+        let tight = trace(0.9, 0.9);
+        let r_loose = predicate_similarity_ratio(&loose, SimDuration::hours(2));
+        let r_tight = predicate_similarity_ratio(&tight, SimDuration::hours(2));
+        assert!(
+            r_tight > r_loose + 0.2,
+            "similarity knob must move the ratio: {r_loose} vs {r_tight}"
+        );
+    }
+
+    #[test]
+    fn fig8_keyword_ranking() {
+        let t = trace(0.6, 0.9);
+        let freqs = keyword_frequency(&t);
+        assert_eq!(freqs[0].0, "SELECT");
+        assert!((freqs[0].1 - 1.0).abs() < 1e-9, "every query SELECTs");
+        let get = |kw: &str| freqs.iter().find(|(k, _)| k == kw).unwrap().1;
+        assert!(get("WHERE") > 0.99);
+        assert!(get("COUNT") > 0.3);
+        assert!(get("JOIN") < 0.02, "joins are <1%: {}", get("JOIN"));
+        assert!(scan_family_ratio(&t) > 0.99);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        assert_eq!(identical_columns_per_span(&[], SimDuration::hours(1)), 0.0);
+        assert_eq!(predicate_similarity_ratio(&[], SimDuration::hours(1)), 0.0);
+        assert_eq!(scan_family_ratio(&[]), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload generation and trace analysis.
+//!
+//! The paper evaluates Feisu on production datasets (Table I) and
+//! motivates SmartIndex from a two-month production query trace (§IV-A).
+//! Neither is available outside Baidu, so this crate generates
+//! *schema-faithful, statistically matched* substitutes:
+//!
+//! * [`datasets`] — T1/T2 (200-attribute URL-click logs sharing a schema)
+//!   and T3 (57-attribute webpage traces whose fields are a subset of
+//!   T1/T2's), scaled by row count;
+//! * [`trace`] — a query-log generator with explicit *query similarity*
+//!   (probability of reusing a recently issued predicate) and *column
+//!   locality* (Zipfian column popularity) knobs, plus the keyword mix of
+//!   Fig. 8 (scans with filters and aggregation dominate at >99%);
+//! * [`analyze`] — the trace statistics the paper reports: identical
+//!   columns per time span (Fig. 4), ratio of queries sharing a predicate
+//!   per span (Fig. 5), keyword frequency (Fig. 8).
+
+pub mod analyze;
+pub mod datasets;
+pub mod trace;
+
+pub use datasets::{generate_chunk, DatasetSpec};
+pub use trace::{generate_trace, TraceQuery, TraceSpec};

@@ -1,0 +1,309 @@
+//! Query-trace generation with explicit similarity and locality knobs.
+//!
+//! §IV-A's production findings: within short time spans (1) a small set
+//! of columns is repeatedly accessed (data locality) and (2) a large
+//! fraction of queries shares at least one exact predicate (query
+//! similarity). The human driver is trial-and-error exploration: "a user
+//! is likely to first issue an aggregation query without query
+//! predicates and then add predicates one by one based on the query
+//! results."
+//!
+//! The generator models exactly that: sessions of users who zoom into a
+//! table by re-issuing a recent predicate set with one change, plus a
+//! background of fresh ad-hoc queries. Column choice is Zipfian. The
+//! statement mix matches Fig. 8 (scan + aggregation ≥ 99%, joins rare).
+
+use feisu_common::rng::DetRng;
+use feisu_common::{SimDuration, SimInstant};
+use feisu_format::Value;
+use feisu_sql::ast::BinaryOp;
+use feisu_sql::cnf::SimplePredicate;
+
+/// Statement shapes for keyword accounting (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryShape {
+    /// `SELECT cols FROM t WHERE …` (plain scan).
+    Scan,
+    /// `SELECT agg(..) FROM t WHERE …` (scan + aggregate).
+    Aggregate,
+    /// adds GROUP BY.
+    GroupBy,
+    /// adds ORDER BY … LIMIT.
+    OrderBy,
+    /// two-table join.
+    Join,
+}
+
+/// One generated query.
+#[derive(Debug, Clone)]
+pub struct TraceQuery {
+    pub at: SimInstant,
+    pub shape: QueryShape,
+    pub table: String,
+    pub sql: String,
+    /// Columns the query touches (select + predicates).
+    pub columns: Vec<String>,
+    /// Simple predicates in the WHERE clause.
+    pub predicates: Vec<SimplePredicate>,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Total queries to generate.
+    pub queries: usize,
+    /// Trace duration; arrivals are uniform over it.
+    pub span: SimDuration,
+    /// Probability that a new query reuses a predicate issued recently
+    /// (the paper's query-similarity knob).
+    pub similarity: f64,
+    /// Zipf exponent over the column pool (the data-locality knob).
+    pub locality_theta: f64,
+    /// Columns in the predicate pool (named `c0..`).
+    pub column_pool: usize,
+    /// How many recent queries a session may copy predicates from.
+    pub session_window: usize,
+    /// Tables to spread queries over.
+    pub tables: Vec<String>,
+    pub seed: u64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            queries: 5000,
+            span: SimDuration::hours(24 * 60), // two months, as in §IV-A
+            similarity: 0.6,
+            locality_theta: 0.9,
+            column_pool: 40,
+            session_window: 50,
+            tables: vec!["t1".into()],
+            seed: 0xACE,
+        }
+    }
+}
+
+/// Generates a deterministic trace.
+pub fn generate_trace(spec: &TraceSpec) -> Vec<TraceQuery> {
+    let mut rng = DetRng::new(spec.seed);
+    let mut out: Vec<TraceQuery> = Vec::with_capacity(spec.queries);
+    let mut recent: Vec<SimplePredicate> = Vec::new();
+    for i in 0..spec.queries {
+        // Arrival: jittered uniform spacing keeps windows well-populated.
+        let base = spec.span.as_nanos() / spec.queries.max(1) as u64;
+        let at = SimInstant(base * i as u64 + rng.next_below(base.max(1)));
+        let table = spec.tables[rng.index(spec.tables.len())].clone();
+
+        // Statement mix per Fig. 8: scans and aggregations dominate.
+        let r = rng.next_f64();
+        let shape = if r < 0.45 {
+            QueryShape::Scan
+        } else if r < 0.80 {
+            QueryShape::Aggregate
+        } else if r < 0.92 {
+            QueryShape::GroupBy
+        } else if r < 0.992 {
+            QueryShape::OrderBy
+        } else {
+            QueryShape::Join
+        };
+
+        // Predicates: 1–2, each either reused (similarity) or fresh.
+        let n_preds = 1 + rng.next_below(2) as usize;
+        let mut predicates = Vec::with_capacity(n_preds);
+        for _ in 0..n_preds {
+            let reused = !recent.is_empty() && rng.chance(spec.similarity);
+            let p = if reused {
+                let start = recent.len().saturating_sub(spec.session_window);
+                recent[start + rng.index(recent.len() - start)].clone()
+            } else {
+                fresh_predicate(&mut rng, spec)
+            };
+            if !predicates.contains(&p) {
+                predicates.push(p);
+            }
+        }
+        for p in &predicates {
+            recent.push(p.clone());
+        }
+        if recent.len() > spec.session_window * 4 {
+            let cut = recent.len() - spec.session_window * 2;
+            recent.drain(..cut);
+        }
+
+        // Selected column: also Zipfian (drives Fig. 4 locality).
+        let select_col = format!("c{}", zipf_col(&mut rng, spec));
+        let mut columns = vec![select_col.clone()];
+        for p in &predicates {
+            if !columns.contains(&p.column) {
+                columns.push(p.column.clone());
+            }
+        }
+
+        let where_clause = predicates
+            .iter()
+            .map(|p| format!("({} {} {})", p.column, p.op, p.value))
+            .collect::<Vec<_>>()
+            .join(if rng.chance(0.85) { " AND " } else { " OR " });
+        let sql = match shape {
+            QueryShape::Scan => {
+                format!("SELECT {select_col} FROM {table} WHERE {where_clause}")
+            }
+            QueryShape::Aggregate => {
+                format!("SELECT COUNT(*) FROM {table} WHERE {where_clause}")
+            }
+            QueryShape::GroupBy => format!(
+                "SELECT {select_col}, COUNT(*) FROM {table} WHERE {where_clause} GROUP BY {select_col}"
+            ),
+            QueryShape::OrderBy => format!(
+                "SELECT {select_col} FROM {table} WHERE {where_clause} ORDER BY {select_col} DESC LIMIT 10"
+            ),
+            QueryShape::Join => format!(
+                "SELECT a.{select_col} FROM {table} AS a JOIN {table} AS b ON a.url = b.url WHERE a.{c} {op} {v}",
+                c = predicates[0].column,
+                op = predicates[0].op,
+                v = predicates[0].value,
+            ),
+        };
+        out.push(TraceQuery {
+            at,
+            shape,
+            table,
+            sql,
+            columns,
+            predicates,
+        });
+    }
+    out
+}
+
+/// Maps a Zipf popularity rank onto a *numeric* filler column index of
+/// the dataset schema (filler columns cycle Int64/Float64/Utf8), so the
+/// generated integer predicates always type-check.
+fn zipf_col(rng: &mut DetRng, spec: &TraceSpec) -> usize {
+    let rank = rng.zipf(spec.column_pool, spec.locality_theta);
+    (rank / 2) * 3 + (rank % 2)
+}
+
+fn fresh_predicate(rng: &mut DetRng, spec: &TraceSpec) -> SimplePredicate {
+    let column = format!("c{}", zipf_col(rng, spec));
+    let op = match rng.next_below(6) {
+        0 => BinaryOp::Eq,
+        1 => BinaryOp::NotEq,
+        2 => BinaryOp::Lt,
+        3 => BinaryOp::LtEq,
+        4 => BinaryOp::Gt,
+        _ => BinaryOp::GtEq,
+    };
+    // Filler int columns hold 0..=99; constants stay in range so
+    // selectivity is meaningful.
+    let value = Value::Int64(rng.range_i64(0, 99));
+    SimplePredicate { column, op, value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let spec = TraceSpec {
+            queries: 200,
+            ..TraceSpec::default()
+        };
+        let a = generate_trace(&spec);
+        let b = generate_trace(&spec);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sql, y.sql);
+            assert_eq!(x.at, y.at);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_within_span() {
+        let spec = TraceSpec {
+            queries: 500,
+            span: SimDuration::hours(10),
+            ..TraceSpec::default()
+        };
+        let t = generate_trace(&spec);
+        for w in t.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(t.last().unwrap().at.as_nanos() <= spec.span.as_nanos());
+    }
+
+    #[test]
+    fn all_sql_parses() {
+        let spec = TraceSpec {
+            queries: 300,
+            ..TraceSpec::default()
+        };
+        for q in generate_trace(&spec) {
+            feisu_sql::parser::parse_query(&q.sql)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.sql));
+        }
+    }
+
+    #[test]
+    fn similarity_knob_controls_reuse() {
+        let reuse_fraction = |similarity: f64| {
+            let spec = TraceSpec {
+                queries: 1000,
+                similarity,
+                ..TraceSpec::default()
+            };
+            let t = generate_trace(&spec);
+            let mut seen = std::collections::HashSet::new();
+            let mut reused = 0usize;
+            for q in &t {
+                if q.predicates.iter().any(|p| seen.contains(&p.key())) {
+                    reused += 1;
+                }
+                for p in &q.predicates {
+                    seen.insert(p.key());
+                }
+            }
+            reused as f64 / t.len() as f64
+        };
+        let low = reuse_fraction(0.05);
+        let high = reuse_fraction(0.9);
+        assert!(
+            high > low + 0.2,
+            "similarity must raise predicate reuse: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn shape_mix_matches_fig8() {
+        let spec = TraceSpec {
+            queries: 5000,
+            ..TraceSpec::default()
+        };
+        let t = generate_trace(&spec);
+        let joins = t.iter().filter(|q| q.shape == QueryShape::Join).count();
+        let scans_aggs = t
+            .iter()
+            .filter(|q| q.shape != QueryShape::Join)
+            .count();
+        assert!(
+            scans_aggs as f64 / t.len() as f64 > 0.99,
+            "scan-family must exceed 99%"
+        );
+        assert!(joins > 0, "joins exist but are rare");
+    }
+
+    #[test]
+    fn columns_include_predicates() {
+        let spec = TraceSpec {
+            queries: 50,
+            ..TraceSpec::default()
+        };
+        for q in generate_trace(&spec) {
+            for p in &q.predicates {
+                assert!(q.columns.contains(&p.column));
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Paper §II Case 1 — debugging the search engine.
+//!
+//! A system engineer chases a data-inconsistency bug whose evidence is
+//! spread over *three* storage systems: retrieval logs on the online
+//! machines' local file systems, the page index on HDFS, and last
+//! quarter's archived pages in the Fatman cold store. Before Feisu this
+//! meant learning three APIs and hand-joining exports; here it is three
+//! CREATE TABLEs and one JOIN.
+//!
+//! Run with: `cargo run --release -p feisu-core --example search_debugging`
+
+use feisu_common::NodeId;
+use feisu_core::engine::{ClusterSpec, FeisuCluster};
+use feisu_format::{DataType, Field, Schema, Value};
+
+fn main() -> feisu_common::Result<()> {
+    let mut cluster = FeisuCluster::new(ClusterSpec::small())?;
+    let engineer = cluster.register_user("sys-engineer");
+    cluster.grant_all(engineer);
+    let cred = cluster.login(engineer)?;
+
+    // Retrieval logs: produced on each online node, stored on ITS disk.
+    let log_schema = Schema::new(vec![
+        Field::new("query_id", DataType::Int64, false),
+        Field::new("url", DataType::Utf8, false),
+        Field::new("latency_ms", DataType::Int64, false),
+        Field::new("status", DataType::Int64, false),
+    ]);
+    cluster.create_table("retrieval_log", log_schema, "/data/retrieval", &cred)?;
+    for node in 0..cluster.node_count() as u64 {
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| {
+                let qid = (node * 10_000 + i) as i64;
+                vec![
+                    Value::from(qid),
+                    Value::from(format!("https://site{}.example/p{}", i % 20, i % 7)),
+                    Value::from(((i * 13) % 900) as i64),
+                    // A malfunctioning shard on node 2 times out (599).
+                    Value::from(if node == 2 && i % 9 == 0 { 599i64 } else { 200 }),
+                ]
+            })
+            .collect();
+        cluster.ingest_rows_at("retrieval_log", rows, NodeId(node), &cred)?;
+    }
+
+    // Page index: business data on HDFS.
+    let index_schema = Schema::new(vec![
+        Field::new("url", DataType::Utf8, false),
+        Field::new("index_version", DataType::Int64, false),
+        Field::new("page_rank", DataType::Float64, false),
+    ]);
+    cluster.create_table("page_index", index_schema, "/hdfs/search/index", &cred)?;
+    let rows: Vec<Vec<Value>> = (0..400)
+        .map(|i| {
+            vec![
+                Value::from(format!("https://site{}.example/p{}", i % 20, i % 7)),
+                Value::from(if i % 11 == 3 { 41i64 } else { 42 }), // stale entries
+                Value::from((i % 100) as f64 / 100.0),
+            ]
+        })
+        .collect();
+    cluster.ingest_rows("page_index", rows, &cred)?;
+
+    // Archived crawl snapshot: cold storage on Fatman.
+    let archive_schema = Schema::new(vec![
+        Field::new("url", DataType::Utf8, false),
+        Field::new("crawl_day", DataType::Int64, false),
+    ]);
+    cluster.create_table("crawl_archive", archive_schema, "/ffs/crawl/2016q1", &cred)?;
+    let rows: Vec<Vec<Value>> = (0..400)
+        .map(|i| {
+            vec![
+                Value::from(format!("https://site{}.example/p{}", i % 20, i % 7)),
+                Value::from(20160100 + (i % 30) as i64),
+            ]
+        })
+        .collect();
+    cluster.ingest_rows("crawl_archive", rows, &cred)?;
+
+    println!("== Step 1: where do timeouts cluster? (local-fs log scan) ==");
+    let r = cluster.query(
+        "SELECT url, COUNT(*) AS timeouts FROM retrieval_log \
+         WHERE status = 599 GROUP BY url ORDER BY timeouts DESC LIMIT 5",
+        &cred,
+    )?;
+    println!("{}", r.batch.to_table_string());
+    println!("response {}\n", r.response_time);
+
+    println!("== Step 2: are the slow URLs served from a stale index? (cross-domain join) ==");
+    let r = cluster.query(
+        "SELECT page_index.index_version, COUNT(*) AS hits \
+         FROM retrieval_log JOIN page_index ON retrieval_log.url = page_index.url \
+         WHERE retrieval_log.status = 599 \
+         GROUP BY page_index.index_version ORDER BY hits DESC",
+        &cred,
+    )?;
+    println!("{}", r.batch.to_table_string());
+
+    println!("== Step 3: trial-and-error refinement — the same predicate again, now index-served ==");
+    let narrowed = cluster.query(
+        "SELECT COUNT(*) FROM retrieval_log WHERE status = 599 AND latency_ms > 500",
+        &cred,
+    )?;
+    println!(
+        "refined count = {} | index hits {} | bytes read {}",
+        narrowed.batch.column(0).value(0),
+        narrowed.stats.index_hits,
+        narrowed.stats.bytes_read,
+    );
+
+    println!("\n== Step 4: confirm the archived snapshot has the pages (cold Fatman read) ==");
+    let r = cluster.query(
+        "SELECT COUNT(*) FROM crawl_archive WHERE crawl_day >= 20160101",
+        &cred,
+    )?;
+    println!(
+        "archived pages = {} (note the cold-storage latency: {})",
+        r.batch.column(0).value(0),
+        r.response_time
+    );
+    Ok(())
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table plus the ablations into results/.
+# Usage: scripts/run_all_experiments.sh [results-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-results}"
+mkdir -p "$OUT"
+cargo build --release -p feisu-bench
+
+BINS=(
+  fig04_column_locality
+  fig05_query_similarity
+  fig08_keyword_frequency
+  table1_datasets
+  fig09a_smartindex_warmup
+  fig09b_smartindex_vs_btree
+  fig10_multi_storage
+  fig11_memory_sweep
+  fig12_scalability
+  production_mix
+  ablation_scheduling
+  ablation_task_reuse
+  ablation_index_compression
+  ablation_ttl
+  ablation_backup_tasks
+)
+for bin in "${BINS[@]}"; do
+  echo "== running $bin =="
+  ./target/release/"$bin" | tee "$OUT/$bin.txt"
+done
+echo "All experiment outputs written to $OUT/"

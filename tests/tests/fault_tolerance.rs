@@ -1,0 +1,172 @@
+//! Failure injection: node crashes, backup tasks, stragglers, partial
+//! results and deadlines (paper §III-B/C, §V-B).
+
+use feisu_common::{NodeId, SimDuration};
+use feisu_core::engine::{ClusterSpec, QueryOptions};
+use feisu_format::Value;
+use feisu_tests::{check_against_oracle, fixture, fixture_with};
+
+#[test]
+fn replica_failover_keeps_answers_correct() {
+    let mut fx = fixture(400);
+    let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 25";
+    let before = fx.cluster.query(sql, &fx.cred).unwrap();
+    // Kill one node; HDFS keeps 3 replicas, so data stays reachable.
+    fx.cluster.fail_node(NodeId(0));
+    let after = fx.cluster.query(sql, &fx.cred).unwrap();
+    assert_eq!(before.batch, after.batch);
+}
+
+#[test]
+fn dead_node_triggers_backup_tasks() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    let mut fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT COUNT(*) FROM clicks";
+    fx.cluster.query(sql, &fx.cred).unwrap();
+    // Fail a node *after* scheduling knowledge is warm: the next query's
+    // heartbeat view marks it dead, so the scheduler avoids it; instead
+    // fail it and query immediately so assigned tasks must be re-run.
+    fx.cluster.fail_node(NodeId(1));
+    let r = fx.cluster.query(sql, &fx.cred).unwrap();
+    assert_eq!(r.batch.column(0).value(0), Value::Int64(400));
+    // The scheduler may or may not have routed to node 1 this round, but
+    // over repeated failures of distinct nodes at least one backup fires.
+    fx.cluster.recover_node(NodeId(1));
+    fx.cluster.fail_node(NodeId(2));
+    let r2 = fx.cluster.query(sql, &fx.cred).unwrap();
+    assert_eq!(r2.batch.column(0).value(0), Value::Int64(400));
+}
+
+#[test]
+fn whole_rack_failure_still_answers_when_replicas_span_racks() {
+    let mut fx = fixture(300);
+    // Small() topology: rack 0 = nodes {0,1}, rack 1 = {2,3}. HDFS places
+    // the third replica off-rack, so killing one whole rack is survivable.
+    fx.cluster.fail_node(NodeId(0));
+    fx.cluster.fail_node(NodeId(1));
+    let r = fx
+        .cluster
+        .query("SELECT COUNT(*) FROM clicks", &fx.cred)
+        .unwrap();
+    assert_eq!(r.batch.column(0).value(0), Value::Int64(300));
+}
+
+#[test]
+fn total_data_loss_is_an_error_not_a_wrong_answer() {
+    let mut fx = fixture(200);
+    for n in 0..fx.cluster.node_count() {
+        fx.cluster.fail_node(NodeId(n as u64));
+    }
+    let err = fx
+        .cluster
+        .query("SELECT COUNT(*) FROM clicks", &fx.cred)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            feisu_common::FeisuError::Scheduling(_) | feisu_common::FeisuError::Storage(_)
+        ),
+        "unexpected error class: {err}"
+    );
+}
+
+#[test]
+fn straggler_mitigated_by_backup_task() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    // Detection delay small relative to the (tiny) test tasks so the
+    // backup path is actually cheaper than a 50x straggler.
+    spec.config.backup_task_delay = SimDuration::micros(100);
+    let mut fx_slow = fixture_with(400, spec.clone(), "/hdfs/warehouse/clicks");
+    let mut fx_ref = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT COUNT(*) FROM clicks";
+    // Make every node a 50× straggler in one cluster.
+    for n in 0..fx_slow.cluster.node_count() {
+        fx_slow.cluster.slow_node(NodeId(n as u64), 50.0);
+    }
+    let slow = fx_slow.cluster.query(sql, &fx_slow.cred).unwrap();
+    let reference = fx_ref.cluster.query(sql, &fx_ref.cred).unwrap();
+    assert_eq!(slow.batch, reference.batch);
+    assert!(slow.stats.backup_tasks > 0, "backups must fire");
+    // Backup bounds the slowdown far below 50×.
+    assert!(
+        slow.response_time.as_nanos() < reference.response_time.as_nanos() * 50,
+        "backup tasks must cap the straggler penalty"
+    );
+}
+
+#[test]
+fn time_limit_with_ratio_returns_partial_results() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    let mut fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT COUNT(*) FROM clicks";
+    let full = fx.cluster.query(sql, &fx.cred).unwrap();
+    let full_count = full.batch.column(0).value(0).as_i64().unwrap();
+    // A limit roughly half the full response forces abandonment.
+    let limit = SimDuration::nanos(full.response_time.as_nanos() / 2);
+    let opts = QueryOptions {
+        processed_ratio: 0.2,
+        time_limit: Some(limit),
+    };
+    let partial = fx.cluster.query_with(sql, &fx.cred, &opts).unwrap();
+    assert!(partial.partial, "must be flagged partial");
+    assert!(partial.stats.processed_ratio < 1.0);
+    assert!(partial.stats.processed_ratio >= 0.2);
+    let partial_count = partial.batch.column(0).value(0).as_i64().unwrap();
+    assert!(partial_count < full_count, "partial counts fewer rows");
+    // Leaf work is cut at the limit; only merge/master overhead follows.
+    assert!(partial.response_time < full.response_time);
+}
+
+#[test]
+fn unmeetable_ratio_under_time_limit_is_deadline_error() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    let mut fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT COUNT(*) FROM clicks";
+    let full = fx.cluster.query(sql, &fx.cred).unwrap();
+    let opts = QueryOptions {
+        processed_ratio: 1.0,
+        time_limit: Some(SimDuration::nanos(full.response_time.as_nanos() / 3)),
+    };
+    let err = fx.cluster.query_with(sql, &fx.cred, &opts).unwrap_err();
+    assert!(matches!(err, feisu_common::FeisuError::Deadline(_)), "{err}");
+}
+
+#[test]
+fn recovery_restores_normal_service() {
+    let mut fx = fixture(300);
+    fx.cluster.fail_node(NodeId(3));
+    check_against_oracle(&mut fx, "SELECT COUNT(*) FROM clicks WHERE clicks > 10");
+    fx.cluster.recover_node(NodeId(3));
+    check_against_oracle(&mut fx, "SELECT COUNT(*) FROM clicks WHERE clicks > 10");
+}
+
+#[test]
+fn resource_agreement_redirects_tasks_from_busy_nodes() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    let mut fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    // Business-critical services take the whole of node 0: Feisu's share
+    // of its slots drops to zero.
+    let preempted = fx.cluster.set_business_load(NodeId(0), 1000);
+    assert_eq!(preempted, 0, "nothing running yet");
+    assert_eq!(fx.cluster.feisu_slot_limit(NodeId(0)), 0);
+    // Queries still answer correctly: tasks bound for node 0 reroute as
+    // backup tasks on other nodes.
+    let r = fx
+        .cluster
+        .query("SELECT COUNT(*) FROM clicks", &fx.cred)
+        .unwrap();
+    assert_eq!(r.batch.column(0).value(0), Value::Int64(400));
+    // Releasing the business load restores the node's slots.
+    fx.cluster.set_business_load(NodeId(0), 0);
+    assert!(fx.cluster.feisu_slot_limit(NodeId(0)) > 0);
+}

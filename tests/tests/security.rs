@@ -1,0 +1,130 @@
+//! Authorization, SSO and entry-guard behaviour end-to-end (paper §V-A,
+//! §III-C).
+
+use feisu_common::{FeisuError, SimDuration, UserId};
+use feisu_core::engine::{ClusterSpec, FeisuCluster};
+use feisu_storage::auth::Grant;
+use feisu_tests::{clicks_rows, clicks_schema, fixture};
+
+fn cluster_with_table() -> (FeisuCluster, UserId) {
+    let mut cluster = FeisuCluster::new(ClusterSpec::small()).unwrap();
+    let admin = cluster.register_user("admin");
+    cluster.grant_all(admin);
+    let admin_cred = cluster.login(admin).unwrap();
+    cluster
+        .create_table("clicks", clicks_schema(), "/hdfs/warehouse/clicks", &admin_cred)
+        .unwrap();
+    cluster
+        .ingest_rows("clicks", clicks_rows(100), &admin_cred)
+        .unwrap();
+    (cluster, admin)
+}
+
+#[test]
+fn user_without_grant_cannot_read() {
+    let (mut cluster, _) = cluster_with_table();
+    let intern = cluster.register_user("intern");
+    let cred = cluster.login(intern).unwrap();
+    let err = cluster
+        .query("SELECT COUNT(*) FROM clicks", &cred)
+        .unwrap_err();
+    assert!(matches!(err, FeisuError::PermissionDenied(_)), "{err}");
+}
+
+#[test]
+fn read_grant_allows_query_but_not_ingest() {
+    let (mut cluster, _) = cluster_with_table();
+    let analyst = cluster.register_user("analyst");
+    cluster.grant(analyst, "hdfs", Grant::Read).unwrap();
+    let cred = cluster.login(analyst).unwrap();
+    assert!(cluster.query("SELECT COUNT(*) FROM clicks", &cred).is_ok());
+    let err = cluster
+        .ingest_rows("clicks", clicks_rows(5), &cred)
+        .unwrap_err();
+    assert!(matches!(err, FeisuError::PermissionDenied(_)), "{err}");
+}
+
+#[test]
+fn expired_credential_rejected_mid_session() {
+    let (mut cluster, admin) = cluster_with_table();
+    let cred = cluster.login(admin).unwrap();
+    assert!(cluster.query("SELECT COUNT(*) FROM clicks", &cred).is_ok());
+    cluster.advance_time(SimDuration::hours(9)); // past the 8 h validity
+    let err = cluster
+        .query("SELECT COUNT(*) FROM clicks", &cred)
+        .unwrap_err();
+    assert!(matches!(err, FeisuError::Unauthenticated(_)), "{err}");
+    // A fresh login restores service.
+    let fresh = cluster.login(admin).unwrap();
+    assert!(cluster.query("SELECT COUNT(*) FROM clicks", &fresh).is_ok());
+}
+
+#[test]
+fn revoked_user_locked_out_despite_valid_token() {
+    let (mut cluster, _) = cluster_with_table();
+    let leaver = cluster.register_user("leaver");
+    cluster.grant(leaver, "hdfs", Grant::Read).unwrap();
+    let cred = cluster.login(leaver).unwrap();
+    assert!(cluster.query("SELECT COUNT(*) FROM clicks", &cred).is_ok());
+    cluster.auth().revoke_user(leaver);
+    let err = cluster
+        .query("SELECT COUNT(*) FROM clicks", &cred)
+        .unwrap_err();
+    assert!(matches!(err, FeisuError::Unauthenticated(_)), "{err}");
+}
+
+#[test]
+fn syntax_errors_rejected_before_admission() {
+    let mut fx = fixture(50);
+    let err = fx
+        .cluster
+        .query("SELEKT url FROM clicks", &fx.cred)
+        .unwrap_err();
+    assert!(matches!(err, FeisuError::Parse(_)), "{err}");
+    // A parse failure must not consume quota.
+    assert_eq!(
+        fx.cluster
+            .jobs()
+            .jobs_of(fx.user)
+            .len(),
+        0
+    );
+}
+
+#[test]
+fn unknown_table_is_analysis_error() {
+    let mut fx = fixture(50);
+    let err = fx
+        .cluster
+        .query("SELECT x FROM ghost", &fx.cred)
+        .unwrap_err();
+    assert!(matches!(err, FeisuError::Analysis(_)), "{err}");
+}
+
+#[test]
+fn guard_blocks_oversized_statements() {
+    let mut fx = fixture(50);
+    let huge = format!(
+        "SELECT url FROM clicks WHERE url CONTAINS '{}'",
+        "x".repeat(100_000)
+    );
+    let err = fx.cluster.query(&huge, &fx.cred).unwrap_err();
+    assert!(matches!(err, FeisuError::PermissionDenied(_)), "{err}");
+}
+
+#[test]
+fn jobs_are_recorded_per_user() {
+    let mut fx = fixture(60);
+    fx.cluster
+        .query("SELECT COUNT(*) FROM clicks", &fx.cred)
+        .unwrap();
+    fx.cluster
+        .query("SELECT url FROM clicks WHERE clicks > 5", &fx.cred)
+        .unwrap();
+    let jobs = fx.cluster.jobs().jobs_of(fx.user);
+    assert_eq!(jobs.len(), 2);
+    assert!(jobs
+        .iter()
+        .all(|j| j.state == feisu_core::master::JobState::Succeeded));
+    assert_eq!(fx.cluster.history().count(fx.user), 2);
+}

@@ -1,0 +1,160 @@
+//! SmartIndex behaviour end-to-end: warm-up acceleration, negation
+//! reuse, TTL retirement, correctness parity with the disabled baseline.
+
+use feisu_core::engine::ClusterSpec;
+use feisu_tests::{check_against_oracle, fixture, fixture_with};
+
+#[test]
+fn repeated_query_gets_faster_and_stops_reading() {
+    let mut fx = fixture(600);
+    let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 20 AND clicks <= 70";
+    let cold = fx.cluster.query(sql, &fx.cred).unwrap();
+    let warm = fx.cluster.query(sql, &fx.cred).unwrap();
+    assert_eq!(cold.batch, warm.batch, "same answer");
+    assert!(
+        warm.response_time < cold.response_time,
+        "warm {} !< cold {}",
+        warm.response_time,
+        cold.response_time
+    );
+    assert!(cold.stats.index_built > 0);
+    // Task-result reuse would mask index behaviour; even with it on, the
+    // second run must avoid storage reads entirely.
+    assert_eq!(warm.stats.bytes_read.as_u64(), 0, "warm run reads nothing");
+}
+
+#[test]
+fn warm_count_runs_fully_in_memory_without_task_reuse() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false; // isolate SmartIndex from job-manager reuse
+    let mut fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 20 AND clicks <= 70";
+    let cold = fx.cluster.query(sql, &fx.cred).unwrap();
+    let warm = fx.cluster.query(sql, &fx.cred).unwrap();
+    assert_eq!(cold.batch, warm.batch);
+    assert_eq!(warm.stats.reused_tasks, 0);
+    assert_eq!(
+        warm.stats.memory_served_tasks, warm.stats.tasks,
+        "every task served from index memory"
+    );
+    assert!(warm.stats.index_hits > 0);
+    assert!(
+        warm.response_time.as_nanos() * 3 < cold.response_time.as_nanos(),
+        "paper's ≥3× speedup shape: warm {} vs cold {}",
+        warm.response_time,
+        cold.response_time
+    );
+}
+
+#[test]
+fn negated_predicate_is_served_from_existing_index() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    let mut fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    // Warm with `clicks > 50`.
+    fx.cluster
+        .query("SELECT COUNT(*) FROM clicks WHERE clicks > 50", &fx.cred)
+        .unwrap();
+    // `!(clicks > 50)` ≡ `clicks <= 50` must be index-served (Fig. 7).
+    let r = fx
+        .cluster
+        .query("SELECT COUNT(*) FROM clicks WHERE !(clicks > 50)", &fx.cred)
+        .unwrap();
+    assert_eq!(r.stats.memory_served_tasks, r.stats.tasks);
+    // And agree with the oracle.
+    check_against_oracle(
+        &mut fx,
+        "SELECT COUNT(*) FROM clicks WHERE !(clicks > 50)",
+    );
+}
+
+#[test]
+fn baseline_without_smartindex_matches_results_but_keeps_reading() {
+    let mut spec = ClusterSpec::small();
+    spec.use_smartindex = false;
+    spec.task_reuse = false;
+    let mut fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 30";
+    let first = fx.cluster.query(sql, &fx.cred).unwrap();
+    let second = fx.cluster.query(sql, &fx.cred).unwrap();
+    assert_eq!(first.batch, second.batch);
+    // No learning: identical cost every time.
+    assert_eq!(first.response_time, second.response_time);
+    assert_eq!(second.stats.index_hits, 0);
+    assert!(second.stats.bytes_read.as_u64() > 0);
+    check_against_oracle(&mut fx, sql);
+}
+
+#[test]
+fn ttl_expiry_forces_rebuild() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    let mut fx = fixture_with(300, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 10";
+    fx.cluster.query(sql, &fx.cred).unwrap();
+    let warm = fx.cluster.query(sql, &fx.cred).unwrap();
+    assert_eq!(warm.stats.index_built, 0);
+    // Cross the 72-hour TTL; credential would expire, so re-login.
+    fx.cluster
+        .advance_time(feisu_common::SimDuration::hours(73));
+    let cred = fx.cluster.login(fx.user).unwrap();
+    let stale = fx.cluster.query(sql, &cred).unwrap();
+    assert!(
+        stale.stats.index_built > 0,
+        "expired indices must be rebuilt"
+    );
+}
+
+#[test]
+fn mixed_predicates_with_residual_still_correct() {
+    let mut fx = fixture(350);
+    // `url CONTAINS` is indexable; `clicks > day - 20160000` is residual
+    // (column-column after arithmetic).
+    for sql in [
+        "SELECT COUNT(*) FROM clicks WHERE url CONTAINS 'site1' AND clicks > 40",
+        "SELECT url FROM clicks WHERE clicks > day - 20160200",
+        "SELECT COUNT(*) FROM clicks WHERE (keyword = 'map' OR keyword = 'news') AND clicks >= 5",
+    ] {
+        check_against_oracle(&mut fx, sql);
+        // Run twice: warm path must stay correct.
+        check_against_oracle(&mut fx, sql);
+    }
+}
+
+#[test]
+fn personalization_prewarms_pinned_indices() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    let mut fx = fixture_with(300, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 77";
+    // Build history without executing against cold caches… actually the
+    // query itself builds indices; so use history + personalize on a
+    // *different* predicate recorded via a failed-quota-free path:
+    // record history by running a cheap variant, then personalize and
+    // verify the target predicate is hot on first touch.
+    fx.cluster.query(sql, &fx.cred).unwrap(); // records history + builds
+    // Age out the built indices but keep history fresh enough.
+    fx.cluster.advance_time(feisu_common::SimDuration::hours(20));
+    let built = fx.cluster.personalize(fx.user, 4).unwrap();
+    assert!(built > 0, "personalize should pin indices");
+    // Pinned indices outlive the TTL.
+    fx.cluster.advance_time(feisu_common::SimDuration::hours(100));
+    let cred = fx.cluster.login(fx.user).unwrap();
+    let r = fx.cluster.query(sql, &cred).unwrap();
+    assert_eq!(
+        r.stats.memory_served_tasks, r.stats.tasks,
+        "pinned indices survive TTL and serve the query"
+    );
+}
+
+#[test]
+fn index_stats_accumulate_across_queries() {
+    let mut fx = fixture(300);
+    let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 33";
+    fx.cluster.query(sql, &fx.cred).unwrap();
+    fx.cluster.query(sql, &fx.cred).unwrap();
+    let stats = fx.cluster.index_stats();
+    assert!(stats.inserts > 0);
+    fx.cluster.reset_index_stats();
+    assert_eq!(fx.cluster.index_stats().inserts, 0);
+}

@@ -1,0 +1,87 @@
+//! Trace replay equivalence: a generated workload trace runs through the
+//! distributed cluster AND the single-process oracle over identical data;
+//! every answer must agree. This is the broadest correctness net in the
+//! suite — it sweeps parser, analyzer, optimizer, CNF, SmartIndex,
+//! partial aggregation, stem merging and scheduling in one pass.
+
+use feisu_core::engine::{ClusterSpec, FeisuCluster};
+use feisu_exec::batch::RecordBatch;
+use feisu_exec::MemProvider;
+use feisu_tests::assert_same_rows;
+use feisu_workload::datasets::{generate_chunk, DatasetSpec};
+use feisu_workload::trace::{generate_trace, TraceSpec};
+
+fn setup(rows: usize, fields: usize) -> (FeisuCluster, feisu_storage::auth::Credential, MemProvider) {
+    let mut spec = ClusterSpec::small();
+    spec.rows_per_block = 256;
+    let mut cluster = FeisuCluster::new(spec).unwrap();
+    let user = cluster.register_user("replay");
+    cluster.grant_all(user);
+    let cred = cluster.login(user).unwrap();
+
+    let mut ds = DatasetSpec::t1(rows);
+    ds.fields = fields;
+    let schema = ds.schema();
+    cluster
+        .create_table("t1", schema.clone(), "/hdfs/replay/t1", &cred)
+        .unwrap();
+    let columns = generate_chunk(&ds, 0, rows);
+    cluster
+        .ingest_columns("t1", columns.clone(), &cred)
+        .unwrap();
+
+    let mut oracle = MemProvider::new();
+    oracle.insert("t1", RecordBatch::new(schema, columns).unwrap());
+    (cluster, cred, oracle)
+}
+
+#[test]
+fn replayed_trace_matches_oracle_everywhere() {
+    let (mut cluster, cred, mut oracle) = setup(1024, 70);
+    let trace = generate_trace(&TraceSpec {
+        queries: 120,
+        span: feisu_common::SimDuration::hours(2),
+        similarity: 0.6,
+        locality_theta: 0.9,
+        column_pool: 40,
+        tables: vec!["t1".into()],
+        ..TraceSpec::default()
+    });
+    let mut checked = 0usize;
+    for q in &trace {
+        // ORDER BY … LIMIT with non-unique keys is legitimately
+        // tie-ambiguous between engines; skip only those.
+        if q.sql.contains("LIMIT") {
+            continue;
+        }
+        let got = cluster
+            .query(&q.sql, &cred)
+            .unwrap_or_else(|e| panic!("cluster failed `{}`: {e}", q.sql));
+        let want = feisu_exec::executor::run_sql(&q.sql, &mut oracle)
+            .unwrap_or_else(|e| panic!("oracle failed `{}`: {e}", q.sql));
+        assert_same_rows(&got.batch, &want, &q.sql);
+        checked += 1;
+    }
+    assert!(checked >= 80, "enough statements exercised: {checked}");
+}
+
+#[test]
+fn replay_is_deterministic_across_cluster_instances() {
+    let trace = generate_trace(&TraceSpec {
+        queries: 40,
+        tables: vec!["t1".into()],
+        ..TraceSpec::default()
+    });
+    let run = || {
+        let (mut cluster, cred, _) = setup(512, 70);
+        trace
+            .iter()
+            .filter(|q| !q.sql.contains("LIMIT"))
+            .map(|q| {
+                let r = cluster.query(&q.sql, &cred).unwrap();
+                (r.response_time, r.batch.rows())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
