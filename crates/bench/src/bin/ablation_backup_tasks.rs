@@ -48,6 +48,7 @@ fn main() -> feisu_common::Result<()> {
             format!("{:.3}", pct(0.99)),
             backups.to_string(),
         ]);
+        feisu_bench::dump_metrics(&bench, &format!("ablation_backup_tasks.{label}"))?;
     }
     feisu_bench::print_series(
         "Ablation: backup (speculative) tasks with 25% stragglers (20x slow)",

@@ -41,6 +41,7 @@ fn main() -> feisu_common::Result<()> {
             label.to_string(),
             format!("{:.3}", total.as_millis_f64() / queries as f64),
         ]);
+        feisu_bench::dump_metrics(&bench, &format!("ablation_scheduling.{label}"))?;
     }
     feisu_bench::print_series(
         "Ablation: task scheduling policy",

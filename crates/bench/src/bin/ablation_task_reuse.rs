@@ -41,6 +41,7 @@ fn main() -> feisu_common::Result<()> {
             format!("{:.3}", total.as_millis_f64() / queries as f64),
             reused.to_string(),
         ]);
+        feisu_bench::dump_metrics(&bench, &format!("ablation_task_reuse.{label}"))?;
     }
     feisu_bench::print_series(
         "Ablation: job-manager identical-task result reuse",

@@ -56,6 +56,7 @@ fn main() -> feisu_common::Result<()> {
             stats.ttl_evictions.to_string(),
             stats.lru_evictions.to_string(),
         ]);
+        feisu_bench::dump_metrics(&bench, &format!("ablation_ttl.{label}"))?;
     }
     feisu_bench::print_series(
         "Ablation: index retirement policy under daily workload drift",

@@ -49,6 +49,13 @@ fn main() -> feisu_common::Result<()> {
                 bucket_total = SimDuration::ZERO;
             }
         }
+        feisu_bench::dump_metrics(
+            &bench,
+            &format!(
+                "fig09a_smartindex_warmup.{}",
+                if smart { "smartindex" } else { "no_index" }
+            ),
+        )?;
     }
     for (b, (no_idx, with_idx)) in results[0].iter().zip(&results[1]).enumerate() {
         series.push(vec![

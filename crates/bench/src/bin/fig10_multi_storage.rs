@@ -48,6 +48,13 @@ fn main() -> feisu_common::Result<()> {
         let per_server = throughput_rows_per_sec(rows_scanned, elapsed)
             / bench.cluster.node_count() as f64;
         results.push((smart, per_server));
+        feisu_bench::dump_metrics(
+            &bench,
+            &format!(
+                "fig10_multi_storage.{}",
+                if smart { "smartindex" } else { "no_index" }
+            ),
+        )?;
     }
     let rows: Vec<Vec<String>> = results
         .iter()

@@ -55,6 +55,7 @@ fn main() -> feisu_common::Result<()> {
             format!("{tput:.0}"),
             format!("{}", stats.lru_evictions),
         ]);
+        feisu_bench::dump_metrics(&bench, &format!("fig11_memory_sweep.{label}"))?;
     }
     feisu_bench::print_series(
         "Fig. 11: index memory sweep — miss ratio (a) and throughput (b)",

@@ -37,6 +37,7 @@ fn main() -> feisu_common::Result<()> {
             format!("{mean_ms:.3}"),
             format!("{:.2}x", *speedup / mean_ms),
         ]);
+        feisu_bench::dump_metrics(&bench, &format!("fig12_scalability.{nodes}nodes"))?;
     }
     feisu_bench::print_series(
         "Fig. 12: mean response time vs node count (fixed workload)",

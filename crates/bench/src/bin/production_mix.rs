@@ -69,6 +69,7 @@ fn main() -> feisu_common::Result<()> {
         "history recorded {} statements for personalization",
         bench.cluster.history().count(UserId(1))
     );
+    feisu_bench::dump_metrics(&bench, "production_mix")?;
     println!(
         "\npaper: 93% of (sub-200TB) queries answer below 20 s on 4000 nodes; \
          the scaled p93 above plays that role here"

@@ -266,6 +266,33 @@ pub fn as_i64(v: &Value) -> i64 {
     v.as_i64().unwrap_or(0)
 }
 
+/// Dumps the cluster's metrics registry as JSON into
+/// `results/<name>.metrics.json` (creating `results/` as needed) and
+/// reports where it landed. Figure binaries call this per configuration so
+/// every run leaves its counter/histogram snapshot next to the printed
+/// series. `name` may include free-form configuration labels: anything
+/// outside `[A-Za-z0-9._-]` becomes `_`.
+pub fn dump_metrics(bench: &Bench, name: &str) -> Result<()> {
+    let safe: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)
+        .map_err(|e| feisu_common::FeisuError::Storage(format!("create results/: {e}")))?;
+    let path = dir.join(format!("{safe}.metrics.json"));
+    std::fs::write(&path, bench.cluster.metrics().to_json())
+        .map_err(|e| feisu_common::FeisuError::Storage(format!("write {}: {e}", path.display())))?;
+    println!("metrics -> {}", path.display());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,8 @@
 
 use feisu_common::hash::FxHashMap;
 use feisu_common::{NodeId, SimDuration, SimInstant};
+use feisu_obs::{Counter, Gauge, MetricsRegistry};
+use std::sync::Arc;
 
 /// Load statistics a worker reports with each heartbeat; the scheduler
 /// prefers lightly loaded nodes.
@@ -28,12 +30,20 @@ struct BeatRecord {
     load: LoadStats,
 }
 
+/// Counter/gauge handles the table updates when metrics are attached.
+#[derive(Debug)]
+struct HeartbeatMetrics {
+    beats: Arc<Counter>,
+    registered: Arc<Gauge>,
+}
+
 /// The cluster manager's heartbeat table.
 #[derive(Debug)]
 pub struct HeartbeatTable {
     interval: SimDuration,
     miss_limit: u32,
     records: FxHashMap<NodeId, BeatRecord>,
+    metrics: Option<HeartbeatMetrics>,
 }
 
 impl HeartbeatTable {
@@ -43,7 +53,18 @@ impl HeartbeatTable {
             interval,
             miss_limit,
             records: FxHashMap::default(),
+            metrics: None,
         }
+    }
+
+    /// Starts publishing `feisu.heartbeat.*` to a registry.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        let m = HeartbeatMetrics {
+            beats: registry.counter("feisu.heartbeat.beats"),
+            registered: registry.gauge("feisu.heartbeat.registered"),
+        };
+        m.registered.set(self.records.len() as i64);
+        self.metrics = Some(m);
     }
 
     /// Registers a worker (first heartbeat).
@@ -55,6 +76,9 @@ impl HeartbeatTable {
                 load: LoadStats::default(),
             },
         );
+        if let Some(m) = &self.metrics {
+            m.registered.set(self.records.len() as i64);
+        }
     }
 
     /// Records a heartbeat with fresh load statistics.
@@ -65,6 +89,10 @@ impl HeartbeatTable {
         });
         rec.last_seen = now;
         rec.load = load;
+        if let Some(m) = &self.metrics {
+            m.beats.inc();
+            m.registered.set(self.records.len() as i64);
+        }
     }
 
     /// Whether the node is considered alive at `now`.
@@ -109,6 +137,9 @@ impl HeartbeatTable {
     /// Removes a node entirely (decommission).
     pub fn remove(&mut self, node: NodeId) {
         self.records.remove(&node);
+        if let Some(m) = &self.metrics {
+            m.registered.set(self.records.len() as i64);
+        }
     }
 
     pub fn registered_count(&self) -> usize {
@@ -150,6 +181,22 @@ mod tests {
         t.beat(NodeId(1), late, LoadStats { running_tasks: 2, utilization: 0.5 });
         assert!(t.is_alive(NodeId(1), late));
         assert_eq!(t.load(NodeId(1)).unwrap().running_tasks, 2);
+    }
+
+    #[test]
+    fn attached_metrics_track_beats_and_membership() {
+        let registry = MetricsRegistry::new();
+        let mut t = table();
+        t.register(NodeId(1), SimInstant(0));
+        t.attach_metrics(&registry);
+        assert_eq!(registry.gauge("feisu.heartbeat.registered").get(), 1);
+        t.register(NodeId(2), SimInstant(0));
+        t.beat(NodeId(1), SimInstant(0), LoadStats::default());
+        t.beat(NodeId(2), SimInstant(0), LoadStats::default());
+        assert_eq!(registry.counter("feisu.heartbeat.beats").get(), 2);
+        assert_eq!(registry.gauge("feisu.heartbeat.registered").get(), 2);
+        t.remove(NodeId(1));
+        assert_eq!(registry.gauge("feisu.heartbeat.registered").get(), 1);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! only sees what the higher classes left over.
 
 use feisu_common::{ByteSize, SimDuration};
+use feisu_obs::{Counter, MetricsRegistry};
+use std::sync::Arc;
 
 /// Traffic classes in descending priority.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -29,6 +31,14 @@ impl TrafficClass {
     ];
 }
 
+/// Per-link transfer metrics, present once attached to a registry.
+#[derive(Debug, Clone)]
+struct LinkMetrics {
+    transfers: Arc<Counter>,
+    bytes: Arc<Counter>,
+    starved: Arc<Counter>,
+}
+
 /// A link with strict-priority bandwidth sharing.
 #[derive(Debug, Clone)]
 pub struct PriorityLink {
@@ -36,6 +46,7 @@ pub struct PriorityLink {
     line_rate: u64,
     /// Currently active demand per class, bytes per second.
     demand: [u64; 3],
+    metrics: Option<LinkMetrics>,
 }
 
 impl PriorityLink {
@@ -45,7 +56,17 @@ impl PriorityLink {
         PriorityLink {
             line_rate,
             demand: [0; 3],
+            metrics: None,
         }
+    }
+
+    /// Starts publishing `feisu.traffic.*` transfer counters.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(LinkMetrics {
+            transfers: registry.counter("feisu.traffic.transfers"),
+            bytes: registry.counter("feisu.traffic.bytes"),
+            starved: registry.counter("feisu.traffic.starved"),
+        });
     }
 
     fn idx(class: TrafficClass) -> usize {
@@ -77,7 +98,14 @@ impl PriorityLink {
     pub fn transfer_time(&self, class: TrafficClass, size: ByteSize) -> Option<SimDuration> {
         let rate = self.granted(class);
         if rate == 0 {
+            if let Some(m) = &self.metrics {
+                m.starved.inc();
+            }
             return None;
+        }
+        if let Some(m) = &self.metrics {
+            m.transfers.inc();
+            m.bytes.add(size.as_u64());
         }
         let ns = size.as_u64() as f64 / rate as f64 * 1e9;
         Some(SimDuration::nanos(ns as u64))
@@ -118,6 +146,20 @@ mod tests {
         assert!(l
             .transfer_time(TrafficClass::ReadData, ByteSize::kib(1))
             .is_none());
+    }
+
+    #[test]
+    fn attached_metrics_count_transfers_and_starvation() {
+        let registry = MetricsRegistry::new();
+        let mut l = PriorityLink::new(GBPS);
+        l.attach_metrics(&registry);
+        l.set_demand(TrafficClass::ReadData, GBPS);
+        l.transfer_time(TrafficClass::ReadData, ByteSize::kib(4)).unwrap();
+        l.set_demand(TrafficClass::WriteData, GBPS);
+        assert!(l.transfer_time(TrafficClass::ReadData, ByteSize::kib(1)).is_none());
+        assert_eq!(registry.counter("feisu.traffic.transfers").get(), 1);
+        assert_eq!(registry.counter("feisu.traffic.bytes").get(), 4096);
+        assert_eq!(registry.counter("feisu.traffic.starved").get(), 1);
     }
 
     #[test]

@@ -6,10 +6,9 @@
 //! replicas per block, and the 72-hour index TTL from §IV-C-2.
 
 use crate::units::{ByteSize, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Top-level configuration for a Feisu deployment/simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FeisuConfig {
     /// Memory budget per leaf server for SmartIndex storage.
     pub index_memory_per_leaf: ByteSize,

@@ -6,14 +6,13 @@
 //! independent of the host machine. These units are plain integers with
 //! human-friendly constructors and formatting.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// A number of bytes. Used for I/O accounting and cache budgets.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ByteSize(pub u64);
 
@@ -94,7 +93,7 @@ impl fmt::Display for ByteSize {
 
 /// A span of simulated time, in nanoseconds.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(pub u64);
 
@@ -199,7 +198,7 @@ impl fmt::Display for SimDuration {
 
 /// A point on the simulated timeline, in nanoseconds since simulation start.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimInstant(pub u64);
 

@@ -30,6 +30,7 @@ use feisu_exec::aggregate::AggTable;
 use feisu_exec::batch::RecordBatch;
 use feisu_format::{Column, Schema, Value};
 use feisu_index::manager::IndexManager;
+use feisu_obs::{Counter, Histogram, MetricsRegistry, QueryProfile, SpanId, SpanRecorder};
 use feisu_sql::analyze::analyze;
 use feisu_sql::ast::Expr;
 use feisu_sql::cnf::{to_cnf, Cnf, Disjunct};
@@ -43,6 +44,7 @@ use feisu_storage::localfs::LocalFsDomain;
 use feisu_storage::ssd_cache::{CachePreference, SsdCache};
 use feisu_storage::{StorageDomain, StorageRouter};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Deployment parameters.
@@ -143,6 +145,44 @@ pub struct QueryStats {
     pub processed_ratio: f64,
 }
 
+impl QueryStats {
+    /// Folds another stats record into this one. Counting fields add;
+    /// `processed_ratio` combines weighted by each side's task count, so
+    /// merging scans of different sizes averages correctly (a zero-task
+    /// record leaves the ratio untouched).
+    pub fn merge(&mut self, other: &QueryStats) {
+        let (a, b) = (self.tasks as f64, other.tasks as f64);
+        if a + b > 0.0 {
+            self.processed_ratio =
+                (self.processed_ratio * a + other.processed_ratio * b) / (a + b);
+        }
+        self.tasks += other.tasks;
+        self.reused_tasks += other.reused_tasks;
+        self.backup_tasks += other.backup_tasks;
+        self.pruned_blocks += other.pruned_blocks;
+        self.index_hits += other.index_hits;
+        self.index_built += other.index_built;
+        self.scanned_predicates += other.scanned_predicates;
+        self.bytes_read += other.bytes_read;
+        self.memory_served_tasks += other.memory_served_tasks;
+        self.spilled_results += other.spilled_results;
+    }
+
+    /// Lifts one leaf task's accounting into query-level stats, ready to
+    /// [`merge`](Self::merge) into the running totals.
+    pub fn from_leaf(leaf: &LeafTaskStats) -> QueryStats {
+        QueryStats {
+            index_hits: leaf.index_hits,
+            index_built: leaf.index_built,
+            scanned_predicates: leaf.scanned_predicates,
+            bytes_read: leaf.bytes_read,
+            pruned_blocks: leaf.pruned_by_zone as usize,
+            memory_served_tasks: leaf.served_from_memory as usize,
+            ..QueryStats::default()
+        }
+    }
+}
+
 /// A finished query.
 #[derive(Debug)]
 pub struct QueryResult {
@@ -153,6 +193,43 @@ pub struct QueryResult {
     /// True when the answer covers only a fraction of the data (time
     /// limit hit with `processed_ratio` satisfied).
     pub partial: bool,
+    /// `EXPLAIN ANALYZE`-style execution profile: summary counters plus
+    /// the nested master→stem→leaf span tree.
+    pub profile: QueryProfile,
+}
+
+/// Cached handles for the cluster-wide query/task metrics so the per-query
+/// path never touches the registry's name map.
+struct QueryMetrics {
+    queries: Arc<Counter>,
+    errors: Arc<Counter>,
+    partial: Arc<Counter>,
+    spilled: Arc<Counter>,
+    response_ns: Arc<Histogram>,
+    tasks: Arc<Counter>,
+    reused: Arc<Counter>,
+    backup: Arc<Counter>,
+    pruned_by_zone: Arc<Counter>,
+    memory_served: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+}
+
+impl QueryMetrics {
+    fn new(registry: &MetricsRegistry) -> QueryMetrics {
+        QueryMetrics {
+            queries: registry.counter("feisu.query.count"),
+            errors: registry.counter("feisu.query.errors"),
+            partial: registry.counter("feisu.query.partial"),
+            spilled: registry.counter("feisu.query.spilled_results"),
+            response_ns: registry.histogram("feisu.query.response_ns"),
+            tasks: registry.counter("feisu.task.count"),
+            reused: registry.counter("feisu.task.reused"),
+            backup: registry.counter("feisu.task.backup"),
+            pruned_by_zone: registry.counter("feisu.task.pruned_by_zone"),
+            memory_served: registry.counter("feisu.task.memory_served"),
+            bytes_read: registry.counter("feisu.task.bytes_read"),
+        }
+    }
 }
 
 /// The assembled Feisu deployment.
@@ -178,6 +255,8 @@ pub struct FeisuCluster {
     user_ids: IdGen,
     query_ids: IdGen,
     system_cred: Credential,
+    metrics: Arc<MetricsRegistry>,
+    qmetrics: QueryMetrics,
 }
 
 const SYSTEM_USER: UserId = UserId(0);
@@ -190,6 +269,7 @@ impl FeisuCluster {
             .validate()
             .map_err(FeisuError::Config)?;
         let clock = SimClock::new();
+        let metrics = Arc::new(MetricsRegistry::new());
         let topology = Arc::new(Topology::grid(
             spec.datacenters,
             spec.racks_per_dc,
@@ -249,6 +329,8 @@ impl FeisuCluster {
             cache,
             cost.clone(),
         ));
+        // Per-domain read/write counters plus the SSD-cache counters.
+        router.attach_metrics(&metrics);
         let mut leaves = FxHashMap::default();
         let mut heartbeats = HeartbeatTable::new(
             spec.config.heartbeat_interval,
@@ -256,16 +338,17 @@ impl FeisuCluster {
         );
         for n in topology.nodes() {
             heartbeats.register(n.id, clock.now());
+            let mut index =
+                IndexManager::new(spec.config.index_memory_per_leaf, spec.config.index_ttl);
+            // Every leaf feeds the same registry: the feisu.index.* counters
+            // are cluster-wide totals.
+            index.attach_metrics(&metrics);
             leaves.insert(
                 n.id,
-                LeafServer::new(
-                    n.id,
-                    IndexManager::new(spec.config.index_memory_per_leaf, spec.config.index_ttl),
-                    topology.clone(),
-                    cost.clone(),
-                ),
+                LeafServer::new(n.id, index, topology.clone(), cost.clone()),
             );
         }
+        heartbeats.attach_metrics(&metrics);
         let mut resources = FxHashMap::default();
         for n in topology.nodes() {
             resources.insert(
@@ -284,6 +367,7 @@ impl FeisuCluster {
         );
         let user_ids = IdGen::new();
         user_ids.next_u64(); // reserve 0 for the system user
+        let qmetrics = QueryMetrics::new(&metrics);
         Ok(FeisuCluster {
             spec,
             clock,
@@ -304,6 +388,8 @@ impl FeisuCluster {
             user_ids,
             query_ids: IdGen::new(),
             system_cred,
+            metrics,
+            qmetrics,
         })
     }
 
@@ -365,6 +451,11 @@ impl FeisuCluster {
 
     pub fn router(&self) -> &Arc<StorageRouter> {
         &self.router
+    }
+
+    /// The cluster-wide metrics registry (every subsystem feeds it).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -570,6 +661,7 @@ impl FeisuCluster {
     ) -> Result<QueryResult> {
         let now = self.clock.now();
         let query_id = QueryId(self.query_ids.next_u64());
+        self.qmetrics.queries.inc();
 
         // Client layer: syntax check + history collection.
         let query = QueryHistory::syntax_check(sql)?;
@@ -580,6 +672,9 @@ impl FeisuCluster {
         self.guard.admit(cred.user, sql, table_count, now)?;
         let outcome = self.run_admitted(sql, &query, cred, options, now, query_id);
         self.guard.finish(cred.user);
+        if outcome.is_err() {
+            self.qmetrics.errors.inc();
+        }
         outcome
     }
 
@@ -624,6 +719,10 @@ impl FeisuCluster {
             stats: QueryStats::default(),
             tally: TimeTally::new(),
             partial: false,
+            spans: SpanRecorder::new(),
+            root_spans: Vec::new(),
+            backend_bytes: BTreeMap::new(),
+            tier_tasks: BTreeMap::new(),
         };
         // Master overhead: parsing/planning/dispatch RPC.
         ctx.tally.add_cpu(self.spec.cost.rpc_overhead);
@@ -646,15 +745,90 @@ impl FeisuCluster {
         let response_time = ctx.tally.total();
         // The cluster's wall clock moves by the query's duration.
         self.clock.advance(response_time);
-        if ctx.stats.tasks > 0 && ctx.stats.processed_ratio == 0.0 {
-            ctx.stats.processed_ratio = 1.0;
+
+        // The processed ratio is derived from the recorded task spans: every
+        // leaf task of every scan leaves one `leaf_task` span, and abandoned
+        // ones carry the `abandoned` attribute.
+        let total_leaf = ctx.spans.count_named("leaf_task");
+        if total_leaf > 0 {
+            let abandoned = ctx.spans.count_named_with_attr("leaf_task", "abandoned");
+            ctx.stats.processed_ratio = (total_leaf - abandoned) as f64 / total_leaf as f64;
         }
+
+        // Close the profile: a master span covering the whole query adopts
+        // the per-scan stem spans (and any abandoned leaves).
+        let master = ctx.spans.record(
+            "master",
+            None,
+            SimInstant(0),
+            SimInstant(response_time.as_nanos()),
+        );
+        for span in std::mem::take(&mut ctx.root_spans) {
+            ctx.spans.set_parent(span, Some(master));
+        }
+        let mut profile = QueryProfile::new(query_id.0);
+        profile.push_summary("response time", response_time);
+        profile.push_summary(
+            "tasks",
+            format!(
+                "{} (reused {}, backup {}, pruned {})",
+                ctx.stats.tasks,
+                ctx.stats.reused_tasks,
+                ctx.stats.backup_tasks,
+                ctx.stats.pruned_blocks
+            ),
+        );
+        profile.push_summary(
+            "smartindex",
+            format!(
+                "hits {}, built {}, scanned predicates {}",
+                ctx.stats.index_hits, ctx.stats.index_built, ctx.stats.scanned_predicates
+            ),
+        );
+        let mut bytes_line = format!("{} total", ctx.stats.bytes_read);
+        for (backend, bytes) in &ctx.backend_bytes {
+            use std::fmt::Write as _;
+            let _ = write!(bytes_line, " {backend}={}", ByteSize(*bytes));
+        }
+        profile.push_summary("bytes read", bytes_line);
+        if !ctx.tier_tasks.is_empty() {
+            let served = ctx
+                .tier_tasks
+                .iter()
+                .map(|(tier, n)| format!("{tier}={n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            profile.push_summary("served from", served);
+        }
+        profile.push_summary(
+            "processed ratio",
+            format!("{:.1}%", ctx.stats.processed_ratio * 100.0),
+        );
+        if ctx.stats.spilled_results > 0 {
+            profile.push_summary("spilled results", ctx.stats.spilled_results);
+        }
+        profile.tree = ctx.spans.tree();
+
+        let m = &self.qmetrics;
+        m.response_ns.observe(response_time.as_nanos());
+        m.tasks.add(ctx.stats.tasks as u64);
+        m.reused.add(ctx.stats.reused_tasks as u64);
+        m.backup.add(ctx.stats.backup_tasks as u64);
+        m.pruned_by_zone.add(ctx.stats.pruned_blocks as u64);
+        m.memory_served.add(ctx.stats.memory_served_tasks as u64);
+        m.bytes_read.add(ctx.stats.bytes_read.0);
+        m.spilled.add(ctx.stats.spilled_results as u64);
+        if ctx.partial {
+            m.partial.inc();
+        }
+
         Ok(QueryResult {
             query_id,
             batch,
             response_time,
             stats: ctx.stats,
             partial: ctx.partial,
+            profile,
         })
     }
 
@@ -897,8 +1071,11 @@ impl FeisuCluster {
                     .join(",")
             })
             .unwrap_or_default();
+        // Spans sit on the query-relative timeline; leaf work of this scan
+        // starts after everything the master has already accounted.
+        let scan_base = ctx.tally.total().as_nanos();
         let mut node_time: FxHashMap<NodeId, SimDuration> = FxHashMap::default();
-        let mut outputs: Vec<(NodeId, SimDuration, LeafOutput)> = Vec::new();
+        let mut outputs: Vec<TaskRun> = Vec::new();
         for (task, assignment) in tasks.iter().zip(&assignments) {
             let signature = task_signature(
                 table,
@@ -917,20 +1094,22 @@ impl FeisuCluster {
                     stats: LeafTaskStats::default(),
                 };
                 let done = *node_time.entry(assignment.node).or_default();
-                outputs.push((assignment.node, done, out));
+                let at = SimInstant(scan_base + done.as_nanos());
+                let span = ctx.spans.record("leaf_task", None, at, at);
+                ctx.spans.attr(span, "node", assignment.node.to_string());
+                ctx.spans.attr(span, "reused", 1u64);
+                outputs.push(TaskRun {
+                    done,
+                    start_ns: at.as_nanos(),
+                    end_ns: at.as_nanos(),
+                    total: SimDuration::ZERO,
+                    span,
+                    out,
+                });
                 continue;
             }
             let (node, output) = self.execute_with_backup(task, *assignment, ctx)?;
-            ctx.stats.index_hits += output.stats.index_hits;
-            ctx.stats.index_built += output.stats.index_built;
-            ctx.stats.scanned_predicates += output.stats.scanned_predicates;
-            ctx.stats.bytes_read += output.stats.bytes_read;
-            if output.stats.pruned_by_zone {
-                ctx.stats.pruned_blocks += 1;
-            }
-            if output.stats.served_from_memory {
-                ctx.stats.memory_served_tasks += 1;
-            }
+            ctx.stats.merge(&QueryStats::from_leaf(&output.stats));
             self.jobs.store_task(
                 signature,
                 output.batch.clone(),
@@ -940,20 +1119,63 @@ impl FeisuCluster {
             let t = node_time.entry(node).or_default();
             *t += output.tally.total();
             let done = *t;
-            outputs.push((node, done, output));
+            let total = output.tally.total();
+            let start_ns = scan_base + done.as_nanos() - total.as_nanos();
+            let end_ns = scan_base + done.as_nanos();
+            let span = ctx
+                .spans
+                .record("leaf_task", None, SimInstant(start_ns), SimInstant(end_ns));
+            ctx.spans.attr(span, "node", node.to_string());
+            ctx.spans.attr(span, "rows", output.batch.rows());
+            ctx.spans.attr(span, "bytes_read", output.stats.bytes_read);
+            if output.stats.index_hits > 0 {
+                ctx.spans.attr(span, "index_hits", output.stats.index_hits);
+            }
+            if output.stats.index_built > 0 {
+                ctx.spans.attr(span, "index_built", output.stats.index_built);
+            }
+            if output.stats.pruned_by_zone {
+                ctx.spans.attr(span, "pruned_by_zone", 1u64);
+            }
+            ctx.spans
+                .attr(span, "tier", output.stats.served_tier.to_string());
+            *ctx
+                .tier_tasks
+                .entry(output.stats.served_tier.to_string())
+                .or_default() += 1;
+            if let Some(backend) = output.stats.backend {
+                if let Some(d) = self.router.domains().iter().find(|d| d.id() == backend) {
+                    let prefix = d.prefix().to_string();
+                    ctx.spans.attr(span, "backend", prefix.as_str());
+                    *ctx.backend_bytes.entry(prefix).or_default() +=
+                        output.stats.bytes_read.0;
+                }
+            }
+            outputs.push(TaskRun {
+                done,
+                start_ns,
+                end_ns,
+                total,
+                span,
+                out: output,
+            });
         }
 
         // Partial-result handling: tasks finishing after the limit are
-        // abandoned if the processed ratio is already satisfied.
+        // abandoned if the processed ratio is already satisfied. The final
+        // `QueryStats::processed_ratio` is derived from the spans at the end
+        // of the query, so abandoned tasks only need their marker here.
         let total_tasks = outputs.len();
-        let mut kept: Vec<LeafOutput> = Vec::with_capacity(total_tasks);
+        let mut kept: Vec<TaskRun> = Vec::with_capacity(total_tasks);
         let mut abandoned = 0usize;
         if let Some(limit) = ctx.options.time_limit {
-            for (_, done, out) in outputs {
-                if done <= limit {
-                    kept.push(out);
+            for run in outputs {
+                if run.done <= limit {
+                    kept.push(run);
                 } else {
                     abandoned += 1;
+                    ctx.spans.attr(run.span, "abandoned", 1u64);
+                    ctx.root_spans.push(run.span);
                 }
             }
             let achieved = kept.len() as f64 / total_tasks as f64;
@@ -967,10 +1189,8 @@ impl FeisuCluster {
                 }
                 ctx.partial = true;
             }
-            ctx.stats.processed_ratio = achieved;
         } else {
-            kept = outputs.into_iter().map(|(_, _, o)| o).collect();
-            ctx.stats.processed_ratio = 1.0;
+            kept = outputs;
         }
         if kept.is_empty() {
             if let Some(stage) = &agg_shape {
@@ -991,26 +1211,53 @@ impl FeisuCluster {
         let mut scan_tally = TimeTally::new();
         scan_tally.add_io(critical); // critical path of leaf work
 
-        // Merge bottom-up through the stem tree.
+        // Merge bottom-up through the stem tree. Each stem's span starts
+        // with its earliest child and ends after the slowest child plus the
+        // stem's own merge time on top.
         let agg_ref = agg_shape
             .as_ref()
             .map(|s| (s.group_by.as_slice(), s.aggregates.as_slice()));
         let per_stem = self.spec.config.leaves_per_stem.max(1);
-        let mut stem_outputs = Vec::new();
-        let mut group = Vec::new();
-        for out in kept {
-            group.push(out);
-            if group.len() == per_stem {
-                stem_outputs.push(stem::merge_leaf_outputs(
-                    std::mem::take(&mut group),
-                    agg_ref,
-                    &self.spec.cost,
-                    2,
-                )?);
+        let mut groups: Vec<Vec<TaskRun>> = Vec::new();
+        for run in kept {
+            if groups.last().is_none_or(|g| g.len() == per_stem) {
+                groups.push(Vec::with_capacity(per_stem));
             }
+            groups.last_mut().expect("just pushed").push(run);
         }
-        if !group.is_empty() {
-            stem_outputs.push(stem::merge_leaf_outputs(group, agg_ref, &self.spec.cost, 2)?);
+        let mut stem_outputs = Vec::new();
+        for group in groups {
+            let child_min = group.iter().map(|r| r.start_ns).min().unwrap_or(scan_base);
+            let child_max = group.iter().map(|r| r.end_ns).max().unwrap_or(scan_base);
+            let slowest_child = group
+                .iter()
+                .map(|r| r.total)
+                .fold(SimDuration::ZERO, |a, b| a.max(b));
+            let child_spans: Vec<SpanId> = group.iter().map(|r| r.span).collect();
+            let task_count = group.len();
+            let stem_out = stem::merge_leaf_outputs(
+                group.into_iter().map(|r| r.out).collect(),
+                agg_ref,
+                &self.spec.cost,
+                2,
+            )?;
+            let stem_extra = stem_out
+                .tally
+                .total()
+                .as_nanos()
+                .saturating_sub(slowest_child.as_nanos());
+            let span = ctx.spans.record(
+                "stem",
+                None,
+                SimInstant(child_min),
+                SimInstant(child_max + stem_extra),
+            );
+            ctx.spans.attr(span, "tasks", task_count);
+            for child in child_spans {
+                ctx.spans.set_parent(child, Some(span));
+            }
+            ctx.root_spans.push(span);
+            stem_outputs.push(stem_out);
         }
         let root = stem::merge_stem_outputs(stem_outputs, agg_ref, &self.spec.cost, 4)?;
         // The stem/master merge happens after the slowest leaf: charge its
@@ -1205,6 +1452,29 @@ struct ExecCtx {
     stats: QueryStats,
     tally: TimeTally,
     partial: bool,
+    /// Span arena for this query's EXPLAIN ANALYZE profile.
+    spans: SpanRecorder,
+    /// Spans awaiting adoption by the final master span (stems, abandoned
+    /// leaf tasks).
+    root_spans: Vec<SpanId>,
+    /// Bytes served per storage-domain prefix across all scans.
+    backend_bytes: BTreeMap<String, u64>,
+    /// Executed-task counts per [`crate::leaf::ServedTier`] rendering.
+    tier_tasks: BTreeMap<String, usize>,
+}
+
+/// One leaf task as tracked by `distributed_scan`: its output plus the
+/// span bookkeeping needed for partial-result filtering and stem spans.
+struct TaskRun {
+    /// Completion offset in the owning node's serialized-time account.
+    done: SimDuration,
+    /// Span extent on the query-relative timeline.
+    start_ns: u64,
+    end_ns: u64,
+    /// This task's own leaf time (zero for reused results).
+    total: SimDuration,
+    span: SpanId,
+    out: LeafOutput,
 }
 
 fn scale_tally(t: &TimeTally, f: f64) -> TimeTally {

@@ -72,6 +72,32 @@ pub struct ScanTask {
     pub name_map: FxHashMap<String, String>,
 }
 
+/// Which tier of the storage hierarchy ultimately served a task's data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ServedTier {
+    /// No data was read at all (zone-pruned, or answered from cached
+    /// SmartIndex bits).
+    #[default]
+    Memory,
+    /// The per-node SSD data cache (§IV-B).
+    SsdCache,
+    /// A replica on the executing node itself.
+    LocalDisk,
+    /// A replica across the network.
+    Remote,
+}
+
+impl std::fmt::Display for ServedTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServedTier::Memory => "memory",
+            ServedTier::SsdCache => "ssd_cache",
+            ServedTier::LocalDisk => "local_disk",
+            ServedTier::Remote => "remote",
+        })
+    }
+}
+
 /// Per-task accounting surfaced in query stats.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LeafTaskStats {
@@ -83,6 +109,11 @@ pub struct LeafTaskStats {
     pub bytes_read: ByteSize,
     /// Whole task served from memory (no storage touch).
     pub served_from_memory: bool,
+    /// Domain that owns the scanned block (`None` until the task touches
+    /// storage — pruned/index-served tasks never resolve it).
+    pub backend: Option<feisu_common::DomainId>,
+    /// Cache tier that served the block bytes.
+    pub served_tier: ServedTier,
     pub rows_in: usize,
     pub rows_out: usize,
 }
@@ -185,6 +216,14 @@ impl LeafServer {
 
         // 3. Read the block (charged for the touched column fraction).
         let read = router.read(&task.block.path, self.node, cred, now)?;
+        stats.backend = Some(router.domain_of(&task.block.path).id());
+        stats.served_tier = if read.from_cache {
+            ServedTier::SsdCache
+        } else if read.hops == 0 {
+            ServedTier::LocalDisk
+        } else {
+            ServedTier::Remote
+        };
         let block = Block::deserialize(&read.data)?;
 
         // Bitmap evaluation via SmartIndex (or raw scans when disabled).

@@ -150,6 +150,16 @@ fn lz_compress(data: &[u8], out: &mut Vec<u8>) {
 fn lz_decompress(buf: &[u8], raw_len: usize) -> Result<Vec<u8>> {
     use crate::encoding::varint;
 
+    // A match token occupies at least 3 bytes and emits at most MAX_MATCH,
+    // so no valid payload expands beyond MAX_MATCH per input byte. A header
+    // claiming more is corrupt; rejecting it here keeps a corrupt varint
+    // from driving a huge up-front allocation.
+    let max_plausible = buf.len().saturating_mul(MAX_MATCH);
+    if raw_len > max_plausible {
+        return Err(FeisuError::Corrupt(format!(
+            "lz: claimed raw length {raw_len} exceeds plausible bound {max_plausible}"
+        )));
+    }
     let mut out = Vec::with_capacity(raw_len);
     let mut pos = 0usize;
     while pos < buf.len() {

@@ -6,11 +6,10 @@
 
 use crate::value::DataType;
 use feisu_common::hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     pub name: String,
     pub data_type: DataType,
@@ -29,10 +28,9 @@ impl Field {
 
 /// An ordered, name-indexed collection of fields. Cheap to clone (`Arc`ed
 /// internally via [`SchemaRef`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
-    #[serde(skip)]
     by_name: FxHashMap<String, usize>,
 }
 
@@ -69,8 +67,8 @@ impl Schema {
 
     /// Index of a field by name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        // The map is skipped by serde; fall back to scan if it is empty but
-        // fields are not (i.e. the schema was just deserialized).
+        // The map is rebuilt lazily after wire deserialization; fall back
+        // to a scan if it is empty but fields are not.
         if self.by_name.len() == self.fields.len() {
             self.by_name.get(name).copied()
         } else {

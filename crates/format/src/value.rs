@@ -6,12 +6,11 @@
 //! plan boundaries (literals, constant folding, row materialization); bulk
 //! data lives in typed `Column`s and never boxes per-value.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// Data types supported by the Feisu columnar format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Bool,
     Int64,
@@ -50,7 +49,7 @@ impl fmt::Display for DataType {
 }
 
 /// A dynamically typed scalar. `Null` is typeless, as in SQL.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),

@@ -15,8 +15,10 @@
 use crate::smart::SmartIndex;
 use feisu_common::hash::FxHashMap;
 use feisu_common::{BlockId, ByteSize, SimDuration, SimInstant};
+use feisu_obs::{Counter, MetricsRegistry};
 use feisu_sql::cnf::SimplePredicate;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Cache key: one predicate over one block.
 pub type IndexKey = (BlockId, String);
@@ -51,6 +53,18 @@ impl IndexStats {
     }
 }
 
+/// Registry handles mirroring [`IndexStats`]; counters are shared across
+/// every leaf attached to the same registry, so they read as cluster-wide
+/// totals.
+#[derive(Debug)]
+struct IndexMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    inserts: Arc<Counter>,
+    lru_evictions: Arc<Counter>,
+    ttl_evictions: Arc<Counter>,
+}
+
 /// The per-leaf index cache.
 #[derive(Debug)]
 pub struct IndexManager {
@@ -61,6 +75,7 @@ pub struct IndexManager {
     lru: VecDeque<(IndexKey, u64)>,
     next_stamp: u64,
     stats: IndexStats,
+    metrics: Option<IndexMetrics>,
 }
 
 impl IndexManager {
@@ -75,7 +90,21 @@ impl IndexManager {
             lru: VecDeque::new(),
             next_stamp: 0,
             stats: IndexStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Starts publishing `feisu.index.*` counters alongside the local
+    /// [`IndexStats`]. Counters accumulate across every manager attached
+    /// to the same registry (one per leaf server).
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(IndexMetrics {
+            hits: registry.counter("feisu.index.hits"),
+            misses: registry.counter("feisu.index.misses"),
+            inserts: registry.counter("feisu.index.inserts"),
+            lru_evictions: registry.counter("feisu.index.lru_evictions"),
+            ttl_evictions: registry.counter("feisu.index.ttl_evictions"),
+        });
     }
 
     /// Looks up an index, counting a hit/miss and refreshing LRU order.
@@ -90,6 +119,9 @@ impl IndexManager {
         let expired = match self.entries.get(&key) {
             None => {
                 self.stats.misses += 1;
+                if let Some(m) = &self.metrics {
+                    m.misses.inc();
+                }
                 return None;
             }
             Some(e) => {
@@ -100,9 +132,16 @@ impl IndexManager {
             self.remove(&key);
             self.stats.ttl_evictions += 1;
             self.stats.misses += 1;
+            if let Some(m) = &self.metrics {
+                m.ttl_evictions.inc();
+                m.misses.inc();
+            }
             return None;
         }
         self.stats.hits += 1;
+        if let Some(m) = &self.metrics {
+            m.hits.inc();
+        }
         let stamp = self.bump_stamp();
         let e = self.entries.get_mut(&key).expect("checked above");
         e.stamp = stamp;
@@ -160,6 +199,9 @@ impl IndexManager {
             },
         );
         self.stats.inserts += 1;
+        if let Some(m) = &self.metrics {
+            m.inserts.inc();
+        }
     }
 
     /// Drops all TTL-expired, unpinned entries.
@@ -173,6 +215,9 @@ impl IndexManager {
         for key in expired {
             self.remove(&key);
             self.stats.ttl_evictions += 1;
+            if let Some(m) = &self.metrics {
+                m.ttl_evictions.inc();
+            }
         }
     }
 
@@ -194,6 +239,9 @@ impl IndexManager {
                     } else {
                         self.remove(&key);
                         self.stats.lru_evictions += 1;
+                        if let Some(m) = &self.metrics {
+                            m.lru_evictions.inc();
+                        }
                         return true;
                     }
                 }
@@ -208,6 +256,9 @@ impl IndexManager {
         if let Some(key) = self.entries.keys().next().cloned() {
             self.remove(&key);
             self.stats.lru_evictions += 1;
+            if let Some(m) = &self.metrics {
+                m.lru_evictions.inc();
+            }
             true
         } else {
             false
@@ -375,6 +426,19 @@ mod tests {
         m.insert_pinned(idx(3, 3, SimInstant(0)), SimInstant(0));
         assert!(m.len() <= 2);
         assert!(m.peek(BlockId(3), &pred(3)).is_some());
+    }
+
+    #[test]
+    fn attached_registry_mirrors_stats() {
+        let registry = MetricsRegistry::new();
+        let mut m = manager(64);
+        m.attach_metrics(&registry);
+        m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
+        m.get(BlockId(1), &pred(5), SimInstant(0));
+        m.get(BlockId(1), &pred(9), SimInstant(0));
+        assert_eq!(registry.counter("feisu.index.inserts").get(), 1);
+        assert_eq!(registry.counter("feisu.index.hits").get(), 1);
+        assert_eq!(registry.counter("feisu.index.misses").get(), 1);
     }
 
     #[test]

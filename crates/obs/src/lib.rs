@@ -1,0 +1,26 @@
+//! feisu-obs: zero-dependency observability for the Feisu engine.
+//!
+//! Three pieces, all running on the *simulated* clock so output stays
+//! deterministic across hosts and runs:
+//!
+//! - [`metrics`] — a sharded [`MetricsRegistry`] of named counters,
+//!   gauges, and fixed-bucket histograms (p50/p95/p99), exportable as
+//!   JSON text with no serializer dependency;
+//! - [`span`] — a lightweight tracer producing a nested span tree per
+//!   query, either via RAII guards (`span!`) against a [`SimTimeSource`]
+//!   or by recording explicit simulated start/end instants (how the
+//!   engine attributes time it accounts analytically);
+//! - [`profile`] — the `EXPLAIN ANALYZE`-style per-query report the
+//!   master attaches to every `QueryResult`.
+//!
+//! The crate deliberately depends only on `feisu-common` and the
+//! workspace `parking_lot` shim: observability must be linkable from
+//! every layer (storage, index, cluster, core) without cycles.
+
+pub mod metrics;
+pub mod profile;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use profile::QueryProfile;
+pub use span::{AttrValue, SimTimeSource, SpanGuard, SpanId, SpanNode, SpanRecorder, SpanTree};

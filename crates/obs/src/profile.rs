@@ -1,0 +1,92 @@
+//! `EXPLAIN ANALYZE`-style per-query profiles.
+//!
+//! The master builds one [`QueryProfile`] per query from the query's
+//! span tree plus a handful of summary lines (counters that do not
+//! belong to any single span, like totals across retries). Rendering is
+//! plain text, stable across runs (simulated time only), and safe to
+//! snapshot in tests.
+
+use crate::span::SpanTree;
+use std::fmt;
+
+/// The per-query execution profile attached to every `QueryResult`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Query identifier, as assigned by the master.
+    pub query_id: u64,
+    /// Summary `key: value` lines rendered above the span tree.
+    pub summary: Vec<(String, String)>,
+    /// The nested master→stem→leaf execution spans.
+    pub tree: SpanTree,
+}
+
+impl QueryProfile {
+    pub fn new(query_id: u64) -> Self {
+        QueryProfile {
+            query_id,
+            summary: Vec::new(),
+            tree: SpanTree::default(),
+        }
+    }
+
+    pub fn push_summary(&mut self, key: &str, value: impl fmt::Display) {
+        self.summary.push((key.to_string(), value.to_string()));
+    }
+
+    /// Full text report:
+    ///
+    /// ```text
+    /// EXPLAIN ANALYZE query 42
+    ///   tasks: 8 (backup 1)
+    ///   bytes read: /hdfs=4.00 MiB local=1.00 MiB
+    /// master  [0 ns +12.000 ms] ...
+    /// └─ stem  [...]
+    ///    ├─ leaf_task  [...]
+    /// ```
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "EXPLAIN ANALYZE query {}", self.query_id);
+        for (k, v) in &self.summary {
+            let _ = writeln!(out, "  {k}: {v}");
+        }
+        out.push_str(&self.tree.render());
+        out
+    }
+}
+
+impl fmt::Display for QueryProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRecorder;
+    use feisu_common::SimInstant;
+
+    #[test]
+    fn renders_header_summary_and_tree() {
+        let rec = SpanRecorder::new();
+        let root = rec.record("master", None, SimInstant(0), SimInstant(5_000_000));
+        rec.record("stem", Some(root), SimInstant(0), SimInstant(4_000_000));
+        let mut profile = QueryProfile::new(7);
+        profile.push_summary("tasks", 3);
+        profile.push_summary("index hits", "2 of 3");
+        profile.tree = rec.tree();
+        let text = profile.render();
+        assert!(text.starts_with("EXPLAIN ANALYZE query 7\n"));
+        assert!(text.contains("  tasks: 3\n"));
+        assert!(text.contains("  index hits: 2 of 3\n"));
+        assert!(text.contains("master"));
+        assert!(text.contains("└─ stem"));
+    }
+
+    #[test]
+    fn default_profile_renders_header_only() {
+        let p = QueryProfile::new(1);
+        assert_eq!(p.render(), "EXPLAIN ANALYZE query 1\n");
+    }
+}

@@ -1,0 +1,494 @@
+//! Lightweight span recording on the simulated clock.
+//!
+//! Two recording styles serve Feisu's two timing situations:
+//!
+//! - **Guards** ([`SpanRecorder::enter`] / the [`span!`] macro) bracket
+//!   code that runs while the simulated clock is moving (warmup loops,
+//!   cluster maintenance driven by `SimClock::advance`).
+//! - **Explicit records** ([`SpanRecorder::record`]) attach start/end
+//!   instants computed analytically. The engine accounts per-node time
+//!   with a serialized-time model rather than letting the clock tick
+//!   during execution, so leaf/stem spans are recorded after the fact
+//!   from those accounts.
+//!
+//! Either way the result is one flat arena of spans per query that
+//! [`SpanRecorder::tree`] folds into a nested, time-ordered [`SpanTree`].
+
+use feisu_common::{ByteSize, SimDuration, SimInstant};
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Anything that can tell simulated time. Implemented by
+/// `feisu_cluster::SimClock`; tests use hand-rolled manual clocks.
+pub trait SimTimeSource {
+    fn sim_now(&self) -> SimInstant;
+}
+
+/// Index of a span within its recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(usize);
+
+/// Typed attribute values so renders stay human-readable (byte sizes and
+/// durations format with units, not raw integers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    U64(u64),
+    I64(i64),
+    Str(String),
+    Duration(SimDuration),
+    Size(ByteSize),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::I64(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Duration(d) => write!(f, "{d}"),
+            AttrValue::Size(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<SimDuration> for AttrValue {
+    fn from(v: SimDuration) -> Self {
+        AttrValue::Duration(v)
+    }
+}
+
+impl From<ByteSize> for AttrValue {
+    fn from(v: ByteSize) -> Self {
+        AttrValue::Size(v)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SpanData {
+    name: String,
+    parent: Option<SpanId>,
+    start: SimInstant,
+    end: Option<SimInstant>,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+/// Arena of spans for one query (or one subsystem session).
+#[derive(Debug, Default)]
+pub struct SpanRecorder {
+    spans: Mutex<Vec<SpanData>>,
+}
+
+impl SpanRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a span at an explicit simulated instant.
+    pub fn start(&self, name: &str, parent: Option<SpanId>, at: SimInstant) -> SpanId {
+        let mut spans = self.spans.lock();
+        let id = SpanId(spans.len());
+        spans.push(SpanData {
+            name: name.to_string(),
+            parent,
+            start: at,
+            end: None,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Closes a span at an explicit simulated instant.
+    pub fn end(&self, id: SpanId, at: SimInstant) {
+        let mut spans = self.spans.lock();
+        let span = &mut spans[id.0];
+        debug_assert!(span.end.is_none(), "span {:?} ended twice", span.name);
+        span.end = Some(at);
+    }
+
+    /// Records a fully-known span in one call — how the engine attaches
+    /// analytically-accounted leaf/stem time after a scan completes.
+    pub fn record(
+        &self,
+        name: &str,
+        parent: Option<SpanId>,
+        start: SimInstant,
+        end: SimInstant,
+    ) -> SpanId {
+        let id = self.start(name, parent, start);
+        self.end(id, end);
+        id
+    }
+
+    /// Attaches a key/value attribute to an open or closed span.
+    pub fn attr(&self, id: SpanId, key: &str, value: impl Into<AttrValue>) {
+        let mut spans = self.spans.lock();
+        spans[id.0].attrs.push((key.to_string(), value.into()));
+    }
+
+    /// Reparents a span. Stems are grouped after their leaves complete,
+    /// so leaf spans are recorded first and adopted by the stem later.
+    pub fn set_parent(&self, id: SpanId, parent: Option<SpanId>) {
+        let mut spans = self.spans.lock();
+        debug_assert!(parent.is_none_or(|p| p.0 != id.0), "span cannot parent itself");
+        spans[id.0].parent = parent;
+    }
+
+    /// RAII guard bracketing a span with clock reads at entry and drop.
+    pub fn enter<'a>(
+        &'a self,
+        name: &str,
+        parent: Option<SpanId>,
+        clock: &'a dyn SimTimeSource,
+    ) -> SpanGuard<'a> {
+        let id = self.start(name, parent, clock.sim_now());
+        SpanGuard {
+            recorder: self,
+            clock,
+            id,
+        }
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+
+    /// Count of spans with the given name.
+    pub fn count_named(&self, name: &str) -> usize {
+        self.spans.lock().iter().filter(|s| s.name == name).count()
+    }
+
+    /// Count of spans with the given name carrying the given attribute key.
+    pub fn count_named_with_attr(&self, name: &str, attr_key: &str) -> usize {
+        self.spans
+            .lock()
+            .iter()
+            .filter(|s| s.name == name && s.attrs.iter().any(|(k, _)| k == attr_key))
+            .count()
+    }
+
+    /// Folds the arena into a nested tree. Children sort by start instant
+    /// (ties broken by recording order); unclosed spans render with zero
+    /// duration. Spans whose parent id is unset are roots.
+    pub fn tree(&self) -> SpanTree {
+        let spans = self.spans.lock();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            match s.parent {
+                Some(p) => children[p.0].push(i),
+                None => roots.push(i),
+            }
+        }
+        let sort_key = |&i: &usize| (spans[i].start, i);
+        roots.sort_by_key(sort_key);
+        for c in &mut children {
+            c.sort_by_key(sort_key);
+        }
+
+        fn build(i: usize, spans: &[SpanData], children: &[Vec<usize>]) -> SpanNode {
+            let s = &spans[i];
+            SpanNode {
+                name: s.name.clone(),
+                start: s.start,
+                end: s.end.unwrap_or(s.start),
+                attrs: s.attrs.clone(),
+                children: children[i]
+                    .iter()
+                    .map(|&c| build(c, spans, children))
+                    .collect(),
+            }
+        }
+
+        SpanTree {
+            roots: roots.iter().map(|&r| build(r, &spans, &children)).collect(),
+        }
+    }
+}
+
+/// Ends its span with a fresh clock read on drop.
+pub struct SpanGuard<'a> {
+    recorder: &'a SpanRecorder,
+    clock: &'a dyn SimTimeSource,
+    id: SpanId,
+}
+
+impl SpanGuard<'_> {
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    pub fn attr(&self, key: &str, value: impl Into<AttrValue>) {
+        self.recorder.attr(self.id, key, value);
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder.end(self.id, self.clock.sim_now());
+    }
+}
+
+/// Opens a guard-scoped span: `span!(recorder, clock, "name")`, or
+/// `span!(recorder, clock, "name", parent = id)` to nest explicitly.
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $clock:expr, $name:expr) => {
+        $rec.enter($name, None, $clock)
+    };
+    ($rec:expr, $clock:expr, $name:expr, parent = $parent:expr) => {
+        $rec.enter($name, Some($parent), $clock)
+    };
+}
+
+/// One node of the folded tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    pub name: String,
+    pub start: SimInstant,
+    pub end: SimInstant,
+    pub attrs: Vec<(String, AttrValue)>,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// First attribute with the given key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Depth-first search for the first descendant (or self) by name.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, last: bool, is_root: bool) {
+        use std::fmt::Write as _;
+        let (branch, next_prefix) = if is_root {
+            (String::new(), String::new())
+        } else if last {
+            (format!("{prefix}└─ "), format!("{prefix}   "))
+        } else {
+            (format!("{prefix}├─ "), format!("{prefix}│  "))
+        };
+        let _ = write!(
+            out,
+            "{branch}{}  [{} +{}]",
+            self.name,
+            SimDuration(self.start.as_nanos()),
+            self.duration()
+        );
+        for (k, v) in &self.attrs {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        let n = self.children.len();
+        for (i, child) in self.children.iter().enumerate() {
+            child.render_into(out, &next_prefix, i + 1 == n, false);
+        }
+    }
+}
+
+/// The nested, time-ordered spans of one query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTree {
+    pub roots: Vec<SpanNode>,
+}
+
+impl SpanTree {
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        self.roots.iter().find_map(|r| r.find(name))
+    }
+
+    /// All nodes matching `name`, depth-first.
+    pub fn find_all(&self, name: &str) -> Vec<&SpanNode> {
+        fn walk<'a>(node: &'a SpanNode, name: &str, out: &mut Vec<&'a SpanNode>) {
+            if node.name == name {
+                out.push(node);
+            }
+            for c in &node.children {
+                walk(c, name, out);
+            }
+        }
+        let mut out = Vec::new();
+        for r in &self.roots {
+            walk(r, name, &mut out);
+        }
+        out
+    }
+
+    pub fn max_depth(&self) -> usize {
+        fn depth(node: &SpanNode) -> usize {
+            1 + node.children.iter().map(depth).max().unwrap_or(0)
+        }
+        self.roots.iter().map(depth).max().unwrap_or(0)
+    }
+
+    /// ASCII rendering, one span per line:
+    /// `name  [start +duration] key=value ...`
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for root in &self.roots {
+            root.render_into(&mut out, "", true, true);
+        }
+        out
+    }
+}
+
+impl fmt::Display for SpanTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    /// Manually-advanced test clock.
+    struct ManualClock(Cell<u64>);
+
+    impl ManualClock {
+        fn new() -> Self {
+            ManualClock(Cell::new(0))
+        }
+        fn advance(&self, ns: u64) {
+            self.0.set(self.0.get() + ns);
+        }
+    }
+
+    impl SimTimeSource for ManualClock {
+        fn sim_now(&self) -> SimInstant {
+            SimInstant(self.0.get())
+        }
+    }
+
+    #[test]
+    fn guards_nest_and_time_with_the_clock() {
+        let rec = SpanRecorder::new();
+        let clock = ManualClock::new();
+        {
+            let root = span!(rec, &clock, "master");
+            clock.advance(100);
+            {
+                let stem = span!(rec, &clock, "stem", parent = root.id());
+                clock.advance(40);
+                {
+                    let leaf = span!(rec, &clock, "leaf", parent = stem.id());
+                    leaf.attr("rows", 7u64);
+                    clock.advance(10);
+                }
+            }
+            clock.advance(5);
+        }
+        let tree = rec.tree();
+        assert_eq!(tree.max_depth(), 3);
+        let master = tree.find("master").expect("master span");
+        assert_eq!(master.start, SimInstant(0));
+        assert_eq!(master.duration(), SimDuration(155));
+        let stem = tree.find("stem").expect("stem span");
+        assert_eq!(stem.start, SimInstant(100));
+        assert_eq!(stem.duration(), SimDuration(50));
+        let leaf = tree.find("leaf").expect("leaf span");
+        assert_eq!(leaf.duration(), SimDuration(10));
+        assert_eq!(leaf.attr("rows"), Some(&AttrValue::U64(7)));
+    }
+
+    #[test]
+    fn children_order_by_start_instant_not_recording_order() {
+        let rec = SpanRecorder::new();
+        let root = rec.record("master", None, SimInstant(0), SimInstant(100));
+        // Recorded out of order on purpose.
+        let late = rec.record("leaf_b", Some(root), SimInstant(50), SimInstant(80));
+        let early = rec.record("leaf_a", Some(root), SimInstant(10), SimInstant(30));
+        rec.attr(late, "n", 2u64);
+        rec.attr(early, "n", 1u64);
+        let tree = rec.tree();
+        let names: Vec<&str> = tree.roots[0]
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, ["leaf_a", "leaf_b"]);
+    }
+
+    #[test]
+    fn reparenting_moves_subtrees() {
+        let rec = SpanRecorder::new();
+        let leaf = rec.record("leaf", None, SimInstant(5), SimInstant(9));
+        let stem = rec.record("stem", None, SimInstant(0), SimInstant(10));
+        rec.set_parent(leaf, Some(stem));
+        let tree = rec.tree();
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.roots[0].name, "stem");
+        assert_eq!(tree.roots[0].children[0].name, "leaf");
+    }
+
+    #[test]
+    fn render_shows_hierarchy_and_attrs() {
+        let rec = SpanRecorder::new();
+        let root = rec.record("master", None, SimInstant(0), SimInstant(2_000_000));
+        let stem = rec.record("stem", Some(root), SimInstant(0), SimInstant(1_500_000));
+        let l1 = rec.record("leaf", Some(stem), SimInstant(0), SimInstant(1_000_000));
+        rec.attr(l1, "bytes_read", ByteSize::kib(64));
+        rec.record("leaf", Some(stem), SimInstant(200_000), SimInstant(900_000));
+        let text = rec.tree().render();
+        assert!(text.contains("master"));
+        assert!(text.contains("└─ stem"));
+        assert!(text.contains("├─ leaf"));
+        assert!(text.contains("bytes_read=64.00 KiB"));
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let rec = SpanRecorder::new();
+        let a = rec.record("leaf_task", None, SimInstant(0), SimInstant(1));
+        rec.record("leaf_task", None, SimInstant(0), SimInstant(1));
+        rec.attr(a, "abandoned", 1u64);
+        assert_eq!(rec.count_named("leaf_task"), 2);
+        assert_eq!(rec.count_named_with_attr("leaf_task", "abandoned"), 1);
+        assert_eq!(rec.count_named("stem"), 0);
+    }
+}

@@ -23,6 +23,8 @@ pub struct ReadResult {
     pub medium: StorageMedium,
     /// Network hops the data crossed to reach the reader (0 = local).
     pub hops: u32,
+    /// Served by the per-node SSD cache rather than the owning domain.
+    pub from_cache: bool,
 }
 
 /// One independent storage system.
@@ -102,6 +104,7 @@ impl ObjectStore {
             served_from,
             medium: self.medium,
             hops,
+            from_cache: false,
         })
     }
 

@@ -86,6 +86,7 @@ impl StorageDomain for KvDomain {
             served_from: home,
             medium: StorageMedium::Ssd,
             hops,
+            from_cache: false,
         })
     }
 

@@ -94,6 +94,7 @@ impl StorageDomain for LocalFsDomain {
             served_from: *owner,
             medium: StorageMedium::Hdd,
             hops,
+            from_cache: false,
         })
     }
 

@@ -15,7 +15,16 @@ use bytes::Bytes;
 use feisu_cluster::simclock::TimeTally;
 use feisu_cluster::{CostModel, StorageMedium};
 use feisu_common::{ByteSize, FeisuError, NodeId, Result, SimInstant};
+use feisu_obs::{Counter, MetricsRegistry};
+use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// Per-domain read/write counters, indexed like `domains`.
+struct DomainMetrics {
+    reads: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    writes: Arc<Counter>,
+}
 
 /// The unified entry point to every storage domain.
 pub struct StorageRouter {
@@ -25,6 +34,9 @@ pub struct StorageRouter {
     auth: Arc<AuthService>,
     cache: Option<Arc<SsdCache>>,
     cost: CostModel,
+    // Behind a Mutex because the router is attached after it is shared
+    // (`Arc<StorageRouter>` throughout the engine).
+    metrics: Mutex<Option<Vec<DomainMetrics>>>,
 }
 
 impl StorageRouter {
@@ -42,6 +54,47 @@ impl StorageRouter {
             auth,
             cache,
             cost,
+            metrics: Mutex::new(None),
+        }
+    }
+
+    /// Starts publishing `feisu.storage.<prefix>.*` counters, one set per
+    /// domain, plus the SSD cache's counters when a cache is configured.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        let per_domain = self
+            .domains
+            .iter()
+            .map(|d| {
+                let p = d.prefix();
+                DomainMetrics {
+                    reads: registry.counter(&format!("feisu.storage.{p}.reads")),
+                    bytes_read: registry.counter(&format!("feisu.storage.{p}.bytes_read")),
+                    writes: registry.counter(&format!("feisu.storage.{p}.writes")),
+                }
+            })
+            .collect();
+        *self.metrics.lock() = Some(per_domain);
+        if let Some(cache) = &self.cache {
+            cache.attach_metrics(registry);
+        }
+    }
+
+    fn domain_index(&self, path: &str) -> usize {
+        if let Some(stripped) = path.strip_prefix('/') {
+            if let Some((prefix, _)) = stripped.split_once('/') {
+                if let Some(i) = self.domains.iter().position(|d| d.prefix() == prefix) {
+                    return i;
+                }
+            }
+        }
+        self.default_domain
+    }
+
+    fn note_read(&self, path: &str, bytes: u64) {
+        if let Some(m) = self.metrics.lock().as_ref() {
+            let dm = &m[self.domain_index(path)];
+            dm.reads.inc();
+            dm.bytes_read.add(bytes);
         }
     }
 
@@ -91,10 +144,12 @@ impl StorageRouter {
                     served_from: reader,
                     medium: StorageMedium::Ssd,
                     hops: 0,
+                    from_cache: true,
                 });
             }
         }
         let result = domain.read_from(&inner, reader)?;
+        self.note_read(path, result.data.len() as u64);
         if let Some(cache) = &self.cache {
             cache.put(reader, path, result.data.clone(), false);
         }
@@ -113,6 +168,9 @@ impl StorageRouter {
         let (domain, inner) = self.resolve(path);
         self.auth
             .authorize(cred, domain.id(), Grant::ReadWrite, now)?;
+        if let Some(m) = self.metrics.lock().as_ref() {
+            m[self.domain_index(path)].writes.inc();
+        }
         domain.put(&inner, data, near)
     }
 
@@ -271,6 +329,23 @@ mod tests {
         assert!(second.cost.total() < first.cost.total());
         assert_eq!(second.served_from, NodeId(1));
         assert_eq!(r.cache().unwrap().stats().hits, 1);
+    }
+
+    #[test]
+    fn attached_registry_counts_per_domain_traffic() {
+        let registry = feisu_obs::MetricsRegistry::new();
+        let (r, cred) = router(true);
+        r.attach_metrics(&registry);
+        r.write("/hdfs/t/b0", Bytes::from(vec![7u8; 100]), Some(NodeId(0)), &cred, SimInstant(0))
+            .unwrap();
+        r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0)).unwrap();
+        // Second read is an SSD-cache hit: no new domain read.
+        r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0)).unwrap();
+        assert_eq!(registry.counter("feisu.storage.hdfs.writes").get(), 1);
+        assert_eq!(registry.counter("feisu.storage.hdfs.reads").get(), 1);
+        assert_eq!(registry.counter("feisu.storage.hdfs.bytes_read").get(), 100);
+        assert_eq!(registry.counter("feisu.ssd_cache.hits").get(), 1);
+        assert_eq!(registry.counter("feisu.storage.local.reads").get(), 0);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 use bytes::Bytes;
 use feisu_common::hash::FxHashMap;
 use feisu_common::{ByteSize, NodeId};
+use feisu_obs::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Admission rule: paths with this prefix are cacheable.
 #[derive(Debug, Clone)]
@@ -49,6 +51,14 @@ impl CacheStats {
     }
 }
 
+/// Registry handles mirroring [`CacheStats`].
+struct CacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    rejected: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
 /// One SSD cache per node, sharing a capacity setting and preference
 /// rules.
 pub struct SsdCache {
@@ -56,6 +66,9 @@ pub struct SsdCache {
     preferences: Vec<CachePreference>,
     nodes: Mutex<FxHashMap<NodeId, NodeCache>>,
     stats: Mutex<CacheStats>,
+    // Behind a Mutex because the cache is attached after it is shared
+    // (`Arc<SsdCache>` inside the router).
+    metrics: Mutex<Option<CacheMetrics>>,
 }
 
 impl SsdCache {
@@ -65,7 +78,18 @@ impl SsdCache {
             preferences,
             nodes: Mutex::new(FxHashMap::default()),
             stats: Mutex::new(CacheStats::default()),
+            metrics: Mutex::new(None),
         }
+    }
+
+    /// Starts publishing `feisu.ssd_cache.*` counters.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        *self.metrics.lock() = Some(CacheMetrics {
+            hits: registry.counter("feisu.ssd_cache.hits"),
+            misses: registry.counter("feisu.ssd_cache.misses"),
+            rejected: registry.counter("feisu.ssd_cache.rejected"),
+            evictions: registry.counter("feisu.ssd_cache.evictions"),
+        });
     }
 
     /// Whether a path is admitted by the manual preference rules.
@@ -96,6 +120,14 @@ impl SsdCache {
         } else {
             stats.misses += 1;
         }
+        drop(stats);
+        if let Some(m) = self.metrics.lock().as_ref() {
+            if hit.is_some() {
+                m.hits.inc();
+            } else {
+                m.misses.inc();
+            }
+        }
         hit
     }
 
@@ -103,12 +135,12 @@ impl SsdCache {
     /// preference rule admits it or `force` (user pin) is set.
     pub fn put(&self, node: NodeId, path: &str, data: Bytes, force: bool) {
         if !force && !self.admits(path) {
-            self.stats.lock().rejected += 1;
+            self.note_rejected();
             return;
         }
         let size = data.len() as u64;
         if size > self.capacity_per_node {
-            self.stats.lock().rejected += 1;
+            self.note_rejected();
             return;
         }
         let mut nodes = self.nodes.lock();
@@ -141,6 +173,16 @@ impl SsdCache {
         cache.entries.insert(path.to_string(), (data, stamp));
         if evictions > 0 {
             self.stats.lock().evictions += evictions;
+            if let Some(m) = self.metrics.lock().as_ref() {
+                m.evictions.add(evictions);
+            }
+        }
+    }
+
+    fn note_rejected(&self) {
+        self.stats.lock().rejected += 1;
+        if let Some(m) = self.metrics.lock().as_ref() {
+            m.rejected.inc();
         }
     }
 
@@ -227,6 +269,20 @@ mod tests {
         c.invalidate_node(NodeId(0));
         assert!(c.get(NodeId(0), "/hdfs/hot/x").is_none());
         assert_eq!(c.used_on(NodeId(0)), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn attached_registry_mirrors_stats() {
+        let registry = MetricsRegistry::new();
+        let c = cache(64);
+        c.attach_metrics(&registry);
+        c.put(NodeId(0), "/hdfs/cold/x", Bytes::from_static(b"d"), false);
+        c.put(NodeId(0), "/hdfs/hot/x", Bytes::from_static(b"d"), false);
+        c.get(NodeId(0), "/hdfs/hot/x");
+        c.get(NodeId(0), "/hdfs/hot/y");
+        assert_eq!(registry.counter("feisu.ssd_cache.rejected").get(), 1);
+        assert_eq!(registry.counter("feisu.ssd_cache.hits").get(), 1);
+        assert_eq!(registry.counter("feisu.ssd_cache.misses").get(), 1);
     }
 
     #[test]

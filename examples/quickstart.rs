@@ -57,5 +57,14 @@ fn main() -> feisu_common::Result<()> {
     );
     let speedup = cold.response_time.as_secs_f64() / warm.response_time.as_secs_f64().max(1e-12);
     println!("speedup from SmartIndex + task reuse: {speedup:.1}x");
+
+    // 6. EXPLAIN ANALYZE: every result carries its execution profile —
+    //    summary counters above the master → stem → leaf_task span tree.
+    println!("\n-- EXPLAIN ANALYZE (cold run) --");
+    print!("{}", cold.profile.render());
+
+    // 7. Cluster-wide counters and latency histograms, JSON-exportable.
+    println!("\n-- metrics registry --");
+    println!("{}", cluster.metrics().to_json());
     Ok(())
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The tier-1 gate plus lints, exactly what a PR must keep green:
+#   1. cargo build --release
+#   2. cargo test -q
+#   3. cargo clippy --workspace -- -D warnings
+# Usage: scripts/ci.sh
+#
+# The build environment has no network; when crates.io is unreachable the
+# script falls back to --offline (all dependencies are vendored under
+# shims/, so offline builds are fully supported).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=""
+if ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+  echo "ci: no network, using --offline"
+  OFFLINE="--offline"
+fi
+
+echo "ci: build (release)"
+cargo build --release $OFFLINE
+
+echo "ci: test"
+cargo test -q $OFFLINE
+
+echo "ci: clippy (-D warnings)"
+cargo clippy --workspace $OFFLINE -- -D warnings
+
+echo "ci: all green"

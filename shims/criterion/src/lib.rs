@@ -1,0 +1,261 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API subset the
+//! workspace benches use (`bench_function`, `benchmark_group`,
+//! `iter`/`iter_batched`, throughput annotations, the `criterion_group!`
+//! and `criterion_main!` macros). It really measures — median and mean
+//! of `sample_size` timed samples — and prints one line per benchmark,
+//! but does none of Criterion's statistics, plotting, or state files.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; printed alongside the timing when set.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched`; the shim treats all variants as
+/// "one setup per measured invocation".
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Per-invocation timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2} {unit}/s")
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibrate the per-sample iteration count so one sample is neither
+    // sub-microsecond noise nor unbounded.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_nanos().max(1);
+    let target_sample_ns: u128 = 5_000_000; // ~5 ms per sample
+    let iters = ((target_sample_ns / per_iter).clamp(1, 100_000)) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            format!("  {}", human_rate(n as f64 / (median / 1e9), "B"))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {}", human_rate(n as f64 / (median / 1e9), "elem"))
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {label:<44} median {:>12}  mean {:>12}{rate}",
+        human_time(median),
+        human_time(mean)
+    );
+}
+
+/// The harness entry point; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group<S: fmt::Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{name}", self.name),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u64;
+        Criterion::default()
+            .sample_size(2)
+            .bench_function("shim_smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end observability: per-query EXPLAIN ANALYZE profiles and the
+//! cluster-wide metrics registry must agree with the `QueryStats` the
+//! engine returns.
+
+use feisu_common::SimDuration;
+use feisu_core::engine::{ClusterSpec, QueryOptions, QueryStats};
+use feisu_tests::{fixture, fixture_with};
+
+#[test]
+fn profile_renders_master_stem_leaf_tree() {
+    let mut fx = fixture(500);
+    let r = fx
+        .cluster
+        .query("SELECT url FROM clicks WHERE clicks > 50", &fx.cred)
+        .unwrap();
+    let tree = &r.profile.tree;
+    assert_eq!(tree.roots.len(), 1, "exactly one master root");
+    assert_eq!(tree.roots[0].name, "master");
+    assert!(
+        tree.max_depth() >= 3,
+        "master -> stem -> leaf_task expected, depth {}",
+        tree.max_depth()
+    );
+    let stems = tree.find_all("stem");
+    assert!(!stems.is_empty(), "at least one stem span");
+    for stem in &stems {
+        assert!(!stem.children.is_empty(), "stems adopt their leaf spans");
+    }
+    let leaves = tree.find_all("leaf_task");
+    assert_eq!(leaves.len(), r.stats.tasks, "one span per leaf task");
+    // The master span covers the full response on the relative timeline.
+    assert_eq!(tree.roots[0].duration(), r.response_time);
+
+    let text = r.profile.render();
+    assert!(text.starts_with("EXPLAIN ANALYZE query "), "{text}");
+    assert!(text.contains("smartindex: hits"), "{text}");
+    assert!(text.contains("bytes read"), "{text}");
+    assert!(text.contains("hdfs="), "per-backend bytes: {text}");
+    assert!(text.contains("└─"), "tree rendering: {text}");
+}
+
+#[test]
+fn registry_counters_mirror_query_stats() {
+    let mut fx = fixture(400);
+    let registry = fx.cluster.metrics().clone();
+    let mut expect = QueryStats::default();
+    let mut queries = 0u64;
+    for sql in [
+        "SELECT url FROM clicks WHERE clicks > 50",
+        "SELECT COUNT(*) FROM clicks WHERE keyword = 'map'",
+        "SELECT url, score FROM clicks WHERE score < 0.4",
+    ] {
+        let r = fx.cluster.query(sql, &fx.cred).unwrap();
+        expect.merge(&r.stats);
+        queries += 1;
+    }
+    assert_eq!(registry.counter("feisu.query.count").get(), queries);
+    assert_eq!(registry.counter("feisu.query.errors").get(), 0);
+    assert_eq!(
+        registry.counter("feisu.task.count").get(),
+        expect.tasks as u64
+    );
+    assert_eq!(
+        registry.counter("feisu.task.reused").get(),
+        expect.reused_tasks as u64
+    );
+    assert_eq!(
+        registry.counter("feisu.task.bytes_read").get(),
+        expect.bytes_read.0
+    );
+    assert_eq!(
+        registry.counter("feisu.task.memory_served").get(),
+        expect.memory_served_tasks as u64
+    );
+    assert_eq!(registry.histogram("feisu.query.response_ns").count(), queries);
+    // Subsystem counters feed the same registry: SmartIndex totals agree
+    // with the per-leaf stats roll-up.
+    let idx = fx.cluster.index_stats();
+    assert_eq!(registry.counter("feisu.index.hits").get(), idx.hits);
+    assert_eq!(registry.counter("feisu.index.misses").get(), idx.misses);
+    // The per-domain storage counters saw the ingest writes and scan reads.
+    assert!(registry.counter("feisu.storage.hdfs.writes").get() > 0);
+    assert!(registry.counter("feisu.storage.hdfs.reads").get() > 0);
+}
+
+#[test]
+fn failed_queries_count_as_errors() {
+    let mut fx = fixture(50);
+    assert!(fx
+        .cluster
+        .query("SELECT nope FROM clicks", &fx.cred)
+        .is_err());
+    assert_eq!(
+        fx.cluster.metrics().counter("feisu.query.errors").get(),
+        1
+    );
+}
+
+#[test]
+fn abandoned_tasks_mark_spans_and_drive_the_ratio() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    let mut fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT COUNT(*) FROM clicks";
+    let full = fx.cluster.query(sql, &fx.cred).unwrap();
+    assert!((full.stats.processed_ratio - 1.0).abs() < 1e-12);
+    let opts = QueryOptions {
+        processed_ratio: 0.2,
+        time_limit: Some(SimDuration::nanos(full.response_time.as_nanos() / 2)),
+    };
+    let partial = fx.cluster.query_with(sql, &fx.cred, &opts).unwrap();
+    assert!(partial.partial);
+    let leaves = partial.profile.tree.find_all("leaf_task");
+    let abandoned: Vec<_> = leaves
+        .iter()
+        .filter(|l| l.attr("abandoned").is_some())
+        .collect();
+    assert!(!abandoned.is_empty(), "some tasks must be abandoned");
+    // The reported ratio is exactly (kept / total) from the span records.
+    let want = (leaves.len() - abandoned.len()) as f64 / leaves.len() as f64;
+    assert!(
+        (partial.stats.processed_ratio - want).abs() < 1e-12,
+        "{} vs {}",
+        partial.stats.processed_ratio,
+        want
+    );
+    assert!(partial.stats.processed_ratio < 1.0);
+    assert_eq!(
+        fx.cluster.metrics().counter("feisu.query.partial").get(),
+        1
+    );
+}
+
+#[test]
+fn cache_served_tasks_show_their_tier() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    spec.ssd_cache_prefixes = vec!["/hdfs/".to_string()];
+    let mut fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT url FROM clicks WHERE clicks > 10";
+    let cold = fx.cluster.query(sql, &fx.cred).unwrap();
+    let warm = fx.cluster.query(sql, &fx.cred).unwrap();
+    let tier_of = |r: &feisu_core::engine::QueryResult| {
+        r.profile
+            .tree
+            .find("leaf_task")
+            .and_then(|l| l.attr("tier"))
+            .map(|v| v.to_string())
+    };
+    // Cold reads come from the owning domain (local replica or remote),
+    // warm ones from the per-node SSD cache.
+    let cold_tier = tier_of(&cold).expect("cold tier attr");
+    assert!(
+        cold_tier == "local_disk" || cold_tier == "remote",
+        "cold tier: {cold_tier}"
+    );
+    assert_eq!(tier_of(&warm).as_deref(), Some("ssd_cache"));
+    assert!(warm.profile.render().contains("ssd_cache="), "summary tier");
+    let hits = fx
+        .cluster
+        .metrics()
+        .counter("feisu.ssd_cache.hits")
+        .get();
+    assert!(hits > 0, "registry saw the cache hits");
+}
+
+#[test]
+fn query_stats_merge_combines_counters_and_ratio() {
+    let a = QueryStats {
+        tasks: 6,
+        reused_tasks: 1,
+        bytes_read: feisu_common::ByteSize(100),
+        processed_ratio: 1.0,
+        ..QueryStats::default()
+    };
+    let mut acc = a;
+    let b = QueryStats {
+        tasks: 2,
+        backup_tasks: 1,
+        bytes_read: feisu_common::ByteSize(50),
+        processed_ratio: 0.5,
+        ..QueryStats::default()
+    };
+    acc.merge(&b);
+    assert_eq!(acc.tasks, 8);
+    assert_eq!(acc.reused_tasks, 1);
+    assert_eq!(acc.backup_tasks, 1);
+    assert_eq!(acc.bytes_read, feisu_common::ByteSize(150));
+    // Weighted by task count: (1.0*6 + 0.5*2) / 8.
+    assert!((acc.processed_ratio - 0.875).abs() < 1e-12);
+    // Zero-task merges leave the ratio untouched.
+    let mut c = acc;
+    c.merge(&QueryStats::default());
+    assert!((c.processed_ratio - 0.875).abs() < 1e-12);
+}
