@@ -49,16 +49,16 @@ fn bench_smartindex(c: &mut Criterion) {
     });
 
     c.bench_function("smartindex_probe_hit_64k", |bench| {
-        let mut m = IndexManager::new(ByteSize::mib(16), SimDuration::hours(72));
+        let m = IndexManager::new(ByteSize::mib(16), SimDuration::hours(72));
         m.insert(
             SmartIndex::build(&b, &p, SimInstant(0), false).unwrap(),
             SimInstant(0),
         );
-        bench.iter(|| probe_predicate(Some(&mut m), &b, &p, SimInstant(1)).unwrap());
+        bench.iter(|| probe_predicate(Some(&m), &b, &p, SimInstant(1)).unwrap());
     });
 
     c.bench_function("smartindex_negated_hit_64k", |bench| {
-        let mut m = IndexManager::new(ByteSize::mib(16), SimDuration::hours(72));
+        let m = IndexManager::new(ByteSize::mib(16), SimDuration::hours(72));
         m.insert(
             SmartIndex::build(&b, &p, SimInstant(0), false).unwrap(),
             SimInstant(0),
@@ -68,7 +68,7 @@ fn bench_smartindex(c: &mut Criterion) {
             op: BinaryOp::LtEq,
             value: Value::Int64(500),
         };
-        bench.iter(|| probe_predicate(Some(&mut m), &b, &neg, SimInstant(1)).unwrap());
+        bench.iter(|| probe_predicate(Some(&m), &b, &neg, SimInstant(1)).unwrap());
     });
 
     c.bench_function("btree_build_64k", |bench| {

@@ -137,7 +137,7 @@ fn main() {
 
     // Shared budget, scaled with the data like the Fig. 11 sweep.
     let budget_bytes = 512 * 1024usize;
-    let mut smart = IndexManager::new(ByteSize(budget_bytes as u64), SimDuration::hours(72));
+    let smart = IndexManager::new(ByteSize(budget_bytes as u64), SimDuration::hours(72));
     let mut btrees = BTreeCache::new(budget_bytes);
 
     let n_queries = 4000usize;
@@ -165,7 +165,7 @@ fn main() {
             // --- smartindex under the same budget.
             acc[2] += common;
             let now = SimInstant(qi as u64);
-            let (_, kind) = probe_predicate(Some(&mut smart), b, p, now).expect("probe");
+            let (_, kind) = probe_predicate(Some(&smart), b, p, now).expect("probe");
             match kind {
                 ProbeKind::Hit | ProbeKind::NegatedHit => {
                     acc[2] += cost.predicate_eval(b.rows() / 64);

@@ -45,5 +45,53 @@ fn main() -> feisu_common::Result<()> {
         &rows,
     );
     println!("\nexpected shape: near-linear improvement with node count (paper Fig. 12)");
+
+    // Wall-clock check for the leaf-task pool: same 64-node workload run
+    // serially and with the pool. Simulated results must be bit-identical
+    // (the pool's hard invariant); only the bench's real elapsed time may
+    // change.
+    let run = |threads: usize| -> feisu_common::Result<(f64, SimDuration, usize)> {
+        let mut spec = ClusterSpec::with_nodes(64);
+        spec.rows_per_block = 512;
+        spec.task_reuse = false;
+        spec.use_smartindex = false;
+        spec.config.execution_threads = threads;
+        let mut bench = build_cluster(spec)?;
+        let mut t1 = DatasetSpec::t1(32_768);
+        t1.fields = 40;
+        load_dataset(&bench, &t1, "/hdfs/bench/t1")?;
+        let mut wl = ScanWorkload::new("t1", 12, 0.0, 0xF12);
+        let start = std::time::Instant::now();
+        let mut sim = SimDuration::ZERO;
+        let mut tasks = 0usize;
+        for _ in 0..queries {
+            let r = bench.cluster.query(&wl.next_query(), &bench.cred)?;
+            sim += r.response_time;
+            tasks += r.stats.tasks;
+        }
+        Ok((start.elapsed().as_secs_f64(), sim, tasks))
+    };
+    let (serial_wall, serial_sim, serial_tasks) = run(1)?;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Force a real pool even on small hosts; speedup is bounded by `cores`.
+    let threads = cores.max(2);
+    let (pool_wall, pool_sim, pool_tasks) = run(threads)?;
+    println!("\nparallel executor wall clock (64 nodes, {queries} queries, {cores} host cores):");
+    println!("  execution_threads=1    {serial_wall:.3} s");
+    println!(
+        "  execution_threads={threads:<5}{pool_wall:.3} s  ({:.2}x speedup)",
+        serial_wall / pool_wall.max(1e-9)
+    );
+    if cores == 1 {
+        println!("  note: host exposes a single core; wall-clock speedup is capped at 1x here");
+    }
+    if (serial_sim, serial_tasks) == (pool_sim, pool_tasks) {
+        println!("  simulated results identical: total {serial_sim}, {serial_tasks} tasks");
+    } else {
+        println!(
+            "  WARNING: simulated results diverged! serial {serial_sim}/{serial_tasks} vs pool {pool_sim}/{pool_tasks}"
+        );
+        std::process::exit(1);
+    }
     Ok(())
 }

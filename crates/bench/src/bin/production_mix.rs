@@ -32,6 +32,7 @@ fn main() -> feisu_common::Result<()> {
 
     let mut times: Vec<f64> = Vec::new();
     let mut failures = 0usize;
+    let wall_start = std::time::Instant::now();
     for (i, q) in trace.iter().enumerate() {
         if i % 500 == 0 {
             feisu_bench::relogin(&mut bench)?;
@@ -42,6 +43,7 @@ fn main() -> feisu_common::Result<()> {
             Err(_) => failures += 1,
         }
     }
+    let wall = wall_start.elapsed().as_secs_f64();
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| times[((times.len() - 1) as f64 * p) as usize];
     let rows = vec![
@@ -52,6 +54,7 @@ fn main() -> feisu_common::Result<()> {
         vec!["p93 (ms)".into(), format!("{:.3}", pct(0.93))],
         vec!["p99 (ms)".into(), format!("{:.3}", pct(0.99))],
         vec!["max (ms)".into(), format!("{:.3}", pct(1.0))],
+        vec!["wall clock (s)".into(), format!("{wall:.3}")],
     ];
     feisu_bench::print_series("§VII: production-mix response distribution", &["metric", "value"], &rows);
 

@@ -42,6 +42,12 @@ pub struct FeisuConfig {
     /// too big, it will be dumped to global storage and only the location
     /// information is passed").
     pub result_spill_threshold: ByteSize,
+    /// Worker threads for real (wall-clock) leaf-task execution on the
+    /// master. `0` = auto (use available parallelism); `1` = serial
+    /// execution (the pre-pool behavior). Simulated results are
+    /// bit-identical at every setting — this knob only changes how fast
+    /// the simulation itself runs.
+    pub execution_threads: usize,
 }
 
 impl Default for FeisuConfig {
@@ -60,6 +66,7 @@ impl Default for FeisuConfig {
             ssd_cache_capacity: ByteSize::gib(16),
             leaves_per_stem: 64,
             result_spill_threshold: ByteSize::mib(64),
+            execution_threads: 0,
         }
     }
 }

@@ -45,6 +45,7 @@ use feisu_storage::ssd_cache::{CachePreference, SsdCache};
 use feisu_storage::{StorageDomain, StorageRouter};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Deployment parameters.
@@ -127,7 +128,7 @@ impl Default for QueryOptions {
 }
 
 /// Counters for one query.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QueryStats {
     pub tasks: usize,
     pub reused_tasks: usize,
@@ -135,6 +136,9 @@ pub struct QueryStats {
     pub pruned_blocks: usize,
     pub index_hits: usize,
     pub index_built: usize,
+    /// Indices built fresh but rejected by the cache budget (each is also
+    /// counted in `index_built`).
+    pub index_rejected: usize,
     pub scanned_predicates: usize,
     pub bytes_read: ByteSize,
     pub memory_served_tasks: usize,
@@ -162,6 +166,7 @@ impl QueryStats {
         self.pruned_blocks += other.pruned_blocks;
         self.index_hits += other.index_hits;
         self.index_built += other.index_built;
+        self.index_rejected += other.index_rejected;
         self.scanned_predicates += other.scanned_predicates;
         self.bytes_read += other.bytes_read;
         self.memory_served_tasks += other.memory_served_tasks;
@@ -174,6 +179,7 @@ impl QueryStats {
         QueryStats {
             index_hits: leaf.index_hits,
             index_built: leaf.index_built,
+            index_rejected: leaf.index_rejected,
             scanned_predicates: leaf.scanned_predicates,
             bytes_read: leaf.bytes_read,
             pruned_blocks: leaf.pruned_by_zone as usize,
@@ -338,7 +344,7 @@ impl FeisuCluster {
         );
         for n in topology.nodes() {
             heartbeats.register(n.id, clock.now());
-            let mut index =
+            let index =
                 IndexManager::new(spec.config.index_memory_per_leaf, spec.config.index_ttl);
             // Every leaf feeds the same registry: the feisu.index.* counters
             // are cluster-wide totals.
@@ -512,15 +518,16 @@ impl FeisuCluster {
             total.hits += s.hits;
             total.misses += s.misses;
             total.inserts += s.inserts;
+            total.rejected += s.rejected;
             total.lru_evictions += s.lru_evictions;
             total.ttl_evictions += s.ttl_evictions;
         }
         total
     }
 
-    pub fn reset_index_stats(&mut self) {
-        for leaf in self.leaves.values_mut() {
-            leaf.index_mut().reset_stats();
+    pub fn reset_index_stats(&self) {
+        for leaf in self.leaves.values() {
+            leaf.index().reset_stats();
         }
     }
 
@@ -781,8 +788,11 @@ impl FeisuCluster {
         profile.push_summary(
             "smartindex",
             format!(
-                "hits {}, built {}, scanned predicates {}",
-                ctx.stats.index_hits, ctx.stats.index_built, ctx.stats.scanned_predicates
+                "hits {}, built {}, rejected {}, scanned predicates {}",
+                ctx.stats.index_hits,
+                ctx.stats.index_built,
+                ctx.stats.index_rejected,
+                ctx.stats.scanned_predicates
             ),
         );
         let mut bytes_line = format!("{} total", ctx.stats.bytes_read);
@@ -1074,9 +1084,13 @@ impl FeisuCluster {
         // Spans sit on the query-relative timeline; leaf work of this scan
         // starts after everything the master has already accounted.
         let scan_base = ctx.tally.total().as_nanos();
-        let mut node_time: FxHashMap<NodeId, SimDuration> = FxHashMap::default();
-        let mut outputs: Vec<TaskRun> = Vec::new();
-        for (task, assignment) in tasks.iter().zip(&assignments) {
+
+        // --- Phase 1 (serial): task-reuse lookups, in submission order.
+        // Within one scan every task covers a distinct block, so no two
+        // tasks share a signature — looking all of them up before any
+        // store is equivalent to the serial interleaving.
+        let mut planned: Vec<Planned> = Vec::with_capacity(tasks.len());
+        for task in &tasks {
             let signature = task_signature(
                 table,
                 task.block.id,
@@ -1084,31 +1098,134 @@ impl FeisuCluster {
                 projection,
                 &agg_display,
             );
-            if let Some((batch, is_agg)) = self.jobs.lookup_task(&signature, ctx.now) {
-                ctx.stats.reused_tasks += 1;
+            match self.jobs.lookup_task(&signature, ctx.now) {
                 // Reuse is a master-side cache hit: negligible leaf time.
-                let out = LeafOutput {
-                    batch,
-                    is_agg_transport: is_agg,
-                    tally: TimeTally::new(),
-                    stats: LeafTaskStats::default(),
-                };
-                let done = *node_time.entry(assignment.node).or_default();
-                let at = SimInstant(scan_base + done.as_nanos());
-                let span = ctx.spans.record("leaf_task", None, at, at);
-                ctx.spans.attr(span, "node", assignment.node.to_string());
-                ctx.spans.attr(span, "reused", 1u64);
-                outputs.push(TaskRun {
-                    done,
-                    start_ns: at.as_nanos(),
-                    end_ns: at.as_nanos(),
-                    total: SimDuration::ZERO,
-                    span,
-                    out,
-                });
-                continue;
+                Some((batch, is_agg)) => planned.push(Planned::Reused { batch, is_agg }),
+                None => planned.push(Planned::Run { signature }),
             }
-            let (node, output) = self.execute_with_backup(task, *assignment, ctx)?;
+        }
+
+        // --- Phase 2 (parallel): run the leaf tasks. Tasks assigned to
+        // the same node are serialized in submission order on one worker,
+        // so each leaf's SmartIndex cache sees exactly the state sequence
+        // it would under serial execution; everything order-sensitive on
+        // the master side is deferred to the serial merge below. All
+        // simulated time comes from per-node tallies, never wall clock, so
+        // results are bit-identical at any thread count.
+        let run_order: Vec<usize> = planned
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Planned::Run { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let threads = self.effective_threads().min(run_order.len().max(1));
+        let mut results: Vec<Option<Result<TaskExec>>> =
+            (0..tasks.len()).map(|_| None).collect();
+        if threads <= 1 {
+            for &i in &run_order {
+                results[i] =
+                    Some(self.execute_with_backup(&tasks[i], assignments[i], &ctx.cred, ctx.now));
+            }
+        } else {
+            // Group run-indices by assigned node, preserving submission
+            // order within each group.
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            let mut group_of: FxHashMap<NodeId, usize> = FxHashMap::default();
+            for &i in &run_order {
+                let g = *group_of.entry(assignments[i].node).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[g].push(i);
+            }
+            let this: &FeisuCluster = self;
+            let cred = &ctx.cred;
+            let now = ctx.now;
+            let next = AtomicUsize::new(0);
+            let workers = threads.min(groups.len());
+            let chunks: Vec<Vec<(usize, Result<TaskExec>)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (next, groups, tasks, assignments) =
+                            (&next, &groups, &tasks, &assignments);
+                        s.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let g = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(group) = groups.get(g) else { break };
+                                for &i in group {
+                                    done.push((
+                                        i,
+                                        this.execute_with_backup(
+                                            &tasks[i],
+                                            assignments[i],
+                                            cred,
+                                            now,
+                                        ),
+                                    ));
+                                }
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("executor worker panicked"))
+                    .collect()
+            });
+            for chunk in chunks {
+                for (i, r) in chunk {
+                    results[i] = Some(r);
+                }
+            }
+        }
+
+        // --- Phase 3 (serial): merge per-task results in submission
+        // order. Stats folding, task-result stores, node-time accounting
+        // and span recording all happen here so their order — and thus the
+        // simulated outcome — is independent of worker scheduling. Errors
+        // surface as the first failing task by submission order (serial
+        // mode stops there; parallel mode has already run the rest, which
+        // only warms caches).
+        let mut node_time: FxHashMap<NodeId, SimDuration> = FxHashMap::default();
+        let mut outputs: Vec<TaskRun> = Vec::new();
+        for (i, plan) in planned.into_iter().enumerate() {
+            let signature = match plan {
+                Planned::Reused { batch, is_agg } => {
+                    ctx.stats.reused_tasks += 1;
+                    let out = LeafOutput {
+                        batch,
+                        is_agg_transport: is_agg,
+                        tally: TimeTally::new(),
+                        stats: LeafTaskStats::default(),
+                    };
+                    let done = *node_time.entry(assignments[i].node).or_default();
+                    let at = SimInstant(scan_base + done.as_nanos());
+                    let span = ctx.spans.record("leaf_task", None, at, at);
+                    ctx.spans.attr(span, "node", assignments[i].node.to_string());
+                    ctx.spans.attr(span, "reused", 1u64);
+                    outputs.push(TaskRun {
+                        done,
+                        start_ns: at.as_nanos(),
+                        end_ns: at.as_nanos(),
+                        total: SimDuration::ZERO,
+                        span,
+                        out,
+                    });
+                    continue;
+                }
+                Planned::Run { signature } => signature,
+            };
+            let exec = results[i].take().expect("task was executed")?;
+            let TaskExec {
+                node,
+                out: output,
+                backup,
+            } = exec;
+            if backup {
+                ctx.stats.backup_tasks += 1;
+            }
             ctx.stats.merge(&QueryStats::from_leaf(&output.stats));
             self.jobs.store_task(
                 signature,
@@ -1133,6 +1250,10 @@ impl FeisuCluster {
             }
             if output.stats.index_built > 0 {
                 ctx.spans.attr(span, "index_built", output.stats.index_built);
+            }
+            if output.stats.index_rejected > 0 {
+                ctx.spans
+                    .attr(span, "index_rejected", output.stats.index_rejected);
             }
             if output.stats.pruned_by_zone {
                 ctx.spans.attr(span, "pruned_by_zone", 1u64);
@@ -1291,19 +1412,32 @@ impl FeisuCluster {
         Ok(root.batch)
     }
 
+    /// Worker-thread count for the leaf-task pool: the `execution_threads`
+    /// knob, with `0` meaning "whatever the machine offers".
+    fn effective_threads(&self) -> usize {
+        match self.spec.config.execution_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+
     /// Runs a task on its assigned node, launching a backup task when the
     /// node is dead or pathologically slow (§III-B fault tolerance).
+    /// Shared-state only (`&self`): safe to call from pool workers. All
+    /// master-side bookkeeping (stats, spans, node time) is the caller's
+    /// job — this returns what happened, including whether a backup fired.
     fn execute_with_backup(
-        &mut self,
+        &self,
         task: &ScanTask,
         assignment: crate::master::Assignment,
-        ctx: &mut ExecCtx,
-    ) -> Result<(NodeId, LeafOutput)> {
+        cred: &Credential,
+        now: SimInstant,
+    ) -> Result<TaskExec> {
         let node = assignment.node;
         let slow = self.slow_nodes.get(&node).copied().unwrap_or(1.0);
-        let primary = self.run_on_leaf(task, node, ctx);
-        match primary {
+        match self.run_on_leaf(task, node, cred, now) {
             Ok(mut out) => {
+                let mut backup = false;
                 if slow > 1.0 {
                     out.tally = scale_tally(&out.tally, slow);
                     // Straggler mitigation: a backup on a healthy node
@@ -1311,21 +1445,20 @@ impl FeisuCluster {
                     let normal_total = scale_tally(&out.tally, 1.0 / slow).total();
                     let backup_total = self.spec.config.backup_task_delay + normal_total;
                     if backup_total < out.tally.total() {
-                        ctx.stats.backup_tasks += 1;
+                        backup = true;
                         let mut t = TimeTally::new();
                         t.add_io(backup_total);
                         out.tally = t;
                     }
                 }
-                Ok((node, out))
+                Ok(TaskExec { node, out, backup })
             }
             Err(e) if e.is_retryable() => {
                 // Backup task on the next-best node.
-                ctx.stats.backup_tasks += 1;
                 let replicas = self.router.replicas(&task.block.path)?;
                 let alive: Vec<NodeId> = {
                     let hb = self.heartbeats.lock();
-                    hb.alive_nodes(ctx.now)
+                    hb.alive_nodes(now)
                         .into_iter()
                         .filter(|n| *n != node && !self.failed_nodes.contains(n))
                         .collect()
@@ -1338,52 +1471,58 @@ impl FeisuCluster {
                     .ok_or_else(|| {
                         FeisuError::Scheduling("no backup worker available".into())
                     })?;
-                let mut out = self.run_on_leaf(task, backup_node, ctx)?;
+                let mut out = self.run_on_leaf(task, backup_node, cred, now)?;
                 // The backup started after the detection delay.
                 let mut t = TimeTally::new();
                 t.add_io(self.spec.config.backup_task_delay + out.tally.total());
                 out.tally = t;
-                Ok((backup_node, out))
+                Ok(TaskExec {
+                    node: backup_node,
+                    out,
+                    backup: true,
+                })
             }
             Err(e) => Err(e),
         }
     }
 
     fn run_on_leaf(
-        &mut self,
+        &self,
         task: &ScanTask,
         node: NodeId,
-        ctx: &mut ExecCtx,
+        cred: &Credential,
+        now: SimInstant,
     ) -> Result<LeafOutput> {
         if self.failed_nodes.contains(&node) {
             return Err(FeisuError::NodeUnavailable(format!("{node} is down")));
         }
-        // Resource agreement: a saturated node refuses the task (the
-        // caller reroutes it as a backup task on another node).
-        {
+        // Resource agreement: a node with no Feisu slots at all refuses
+        // the task (the caller reroutes it as a backup task on another
+        // node) — exactly as in serial execution. Transient saturation is
+        // different: under the pool several workers can momentarily hold
+        // slots on one node (its own queue plus rerouted backup tasks)
+        // where serial execution holds at most one, so a transient
+        // acquire failure waits for a slot instead of erroring, keeping
+        // failure semantics identical across thread counts.
+        loop {
             let mut res = self.resources.lock();
-            if let Some(a) = res.get_mut(&node) {
-                a.acquire()?;
+            match res.get_mut(&node) {
+                Some(a) => match a.acquire() {
+                    Ok(()) => break,
+                    Err(e) if a.feisu_limit() == 0 => return Err(e),
+                    Err(_) => {}
+                },
+                None => break,
             }
+            drop(res);
+            std::thread::yield_now();
         }
-        let leaf = match self.leaves.get_mut(&node) {
-            Some(l) => l,
-            None => {
-                if let Some(a) = self.resources.lock().get_mut(&node) {
-                    a.release();
-                }
-                return Err(FeisuError::NodeUnavailable(format!(
-                    "{node} has no leaf server"
-                )));
-            }
+        let out = match self.leaves.get(&node) {
+            Some(leaf) => leaf.execute(task, &self.router, cred, now, self.spec.use_smartindex),
+            None => Err(FeisuError::NodeUnavailable(format!(
+                "{node} has no leaf server"
+            ))),
         };
-        let out = leaf.execute(
-            task,
-            &self.router,
-            &ctx.cred,
-            ctx.now,
-            self.spec.use_smartindex,
-        );
         if let Some(a) = self.resources.lock().get_mut(&node) {
             a.release();
         }
@@ -1394,7 +1533,7 @@ impl FeisuCluster {
 
     /// Pre-builds *pinned* private indices for a user's most frequent
     /// predicates (client-side history, §III-C) on every replica holder.
-    pub fn personalize(&mut self, user: UserId, top_n: usize) -> Result<usize> {
+    pub fn personalize(&self, user: UserId, top_n: usize) -> Result<usize> {
         let now = self.clock.now();
         let frequent =
             self.history
@@ -1427,7 +1566,7 @@ impl FeisuCluster {
                         .read(&block.path, replicas[0], &self.system_cred, now)?;
                     let parsed = feisu_format::Block::deserialize(&read.data)?;
                     for node in replicas {
-                        if let Some(leaf) = self.leaves.get_mut(&node) {
+                        if let Some(leaf) = self.leaves.get(&node) {
                             leaf.pin_index(&parsed, &storage_pred, now)?;
                             built += 1;
                         }
@@ -1461,6 +1600,29 @@ struct ExecCtx {
     backend_bytes: BTreeMap<String, u64>,
     /// Executed-task counts per [`crate::leaf::ServedTier`] rendering.
     tier_tasks: BTreeMap<String, usize>,
+}
+
+/// The worker pool shares the cluster by reference across threads.
+#[allow(dead_code)]
+fn _assert_cluster_sync() {
+    fn is_sync<T: Sync>() {}
+    is_sync::<FeisuCluster>();
+}
+
+/// Per-task outcome of the reuse pre-pass: either a cached result, or a
+/// signature the executed result must be stored under.
+enum Planned {
+    Reused { batch: RecordBatch, is_agg: bool },
+    Run { signature: String },
+}
+
+/// What actually happened to one executed leaf task: where it ran (its
+/// assignment, or the backup node) and whether a backup task fired —
+/// folded into query stats during the serial merge phase.
+struct TaskExec {
+    node: NodeId,
+    out: LeafOutput,
+    backup: bool,
 }
 
 /// One leaf task as tracked by `distributed_scan`: its output plus the

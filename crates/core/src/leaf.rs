@@ -103,6 +103,9 @@ impl std::fmt::Display for ServedTier {
 pub struct LeafTaskStats {
     pub index_hits: usize,
     pub index_built: usize,
+    /// Indices built fresh but rejected by the cache (over budget). Each
+    /// rejected build is also counted in `index_built`.
+    pub index_rejected: usize,
     pub scanned_predicates: usize,
     pub pruned_by_zone: bool,
     /// Block bytes actually charged to storage.
@@ -155,14 +158,12 @@ impl LeafServer {
         &self.index
     }
 
-    pub fn index_mut(&mut self) -> &mut IndexManager {
-        &mut self.index
-    }
-
     /// Executes one scan task. `use_index` disables SmartIndex for the
-    /// paper's baseline runs.
+    /// paper's baseline runs. Takes `&self`: the index cache locks
+    /// internally, so concurrent tasks (including backup tasks rerouted
+    /// from another node) are safe.
     pub fn execute(
-        &mut self,
+        &self,
         task: &ScanTask,
         router: &StorageRouter,
         cred: &Credential,
@@ -227,16 +228,15 @@ impl LeafServer {
         let block = Block::deserialize(&read.data)?;
 
         // Bitmap evaluation via SmartIndex (or raw scans when disabled).
-        let outcome = evaluate_cnf(
-            use_index.then_some(&mut self.index),
-            &block,
-            &cnf,
-            now,
-        )?;
+        let outcome = evaluate_cnf(use_index.then_some(&self.index), &block, &cnf, now)?;
         for (_, kind) in &outcome.probes {
             match kind {
                 ProbeKind::Hit | ProbeKind::NegatedHit => stats.index_hits += 1,
                 ProbeKind::BuiltFresh => stats.index_built += 1,
+                ProbeKind::BuiltRejected => {
+                    stats.index_built += 1;
+                    stats.index_rejected += 1;
+                }
                 ProbeKind::Scanned => stats.scanned_predicates += 1,
             }
         }
@@ -325,7 +325,7 @@ impl LeafServer {
     /// Tries to answer the whole CNF from cached indices (direct or
     /// negated hits only — nothing is built, nothing is read).
     fn try_serve_from_cache(
-        &mut self,
+        &self,
         cnf: &Cnf,
         task: &ScanTask,
         now: SimInstant,
@@ -413,7 +413,7 @@ impl LeafServer {
     /// Warm-up hook: pre-builds and pins an index for a predicate (the
     /// client layer's per-user personalization, §III-C).
     pub fn pin_index(
-        &mut self,
+        &self,
         block: &Block,
         predicate: &feisu_sql::cnf::SimplePredicate,
         now: SimInstant,
@@ -425,12 +425,12 @@ impl LeafServer {
 
     /// Direct probe used by benchmarks.
     pub fn probe(
-        &mut self,
+        &self,
         block: &Block,
         predicate: &feisu_sql::cnf::SimplePredicate,
         now: SimInstant,
     ) -> Result<(BitVec, ProbeKind)> {
-        probe_predicate(Some(&mut self.index), block, predicate, now)
+        probe_predicate(Some(&self.index), block, predicate, now)
     }
 
     /// Hop distance to another node — exposed for scheduler tests.
@@ -526,7 +526,10 @@ fn touched_fraction(
 ) -> (f64, usize) {
     let mut needed: Vec<&str> = task.projection.iter().map(|s| s.as_str()).collect();
     for (p, kind) in probes {
-        if matches!(kind, ProbeKind::BuiltFresh | ProbeKind::Scanned)
+        if matches!(
+            kind,
+            ProbeKind::BuiltFresh | ProbeKind::BuiltRejected | ProbeKind::Scanned
+        )
             && !needed.contains(&p.column.as_str())
         {
             needed.push(&p.column);

@@ -158,6 +158,16 @@ impl JobManager {
     }
 
     /// Stores a finished task's result for reuse by identical tasks.
+    ///
+    /// Duplicate in-flight signatures: under the parallel executor all
+    /// stores for one scan are applied during the serial merge phase, in
+    /// task submission order, so a signature stored twice resolves
+    /// last-writer-wins — exactly what serial execution would produce.
+    /// (Within a single scan signatures are distinct anyway: each task
+    /// covers its own block and the block id is part of the signature.)
+    /// A re-store pushes a second order entry; eviction tolerates the
+    /// stale one because popping a signature that is no longer cached is
+    /// a no-op.
     pub fn store_task(
         &self,
         signature: String,

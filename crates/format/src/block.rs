@@ -258,7 +258,12 @@ fn encode_column(c: &Column, out: &mut Vec<u8>) {
 
 fn decode_column(dt: DataType, rows: usize, buf: &[u8], pos: &mut usize) -> Result<Column> {
     let nwords = varint::decode(buf, pos)? as usize;
-    if buf.len().saturating_sub(*pos) < nwords * 8 {
+    // Corruption-controlled count: checked multiply, or the bounds check
+    // below is defeated by overflow wraparound on 32-bit targets.
+    let nbytes = nwords
+        .checked_mul(8)
+        .ok_or_else(|| FeisuError::Corrupt("validity word count overflow".into()))?;
+    if buf.len().saturating_sub(*pos) < nbytes {
         return Err(FeisuError::Corrupt("truncated validity bitmap".into()));
     }
     let mut words = Vec::with_capacity(nwords);
@@ -276,7 +281,10 @@ fn decode_column(dt: DataType, rows: usize, buf: &[u8], pos: &mut usize) -> Resu
         (DataType::Int64, ENC_DELTA) => ColumnData::Int64(delta::decode(buf, pos)?),
         (DataType::Float64, ENC_FLOAT_RAW) => {
             let n = varint::decode(buf, pos)? as usize;
-            if buf.len().saturating_sub(*pos) < n * 8 {
+            let nbytes = n
+                .checked_mul(8)
+                .ok_or_else(|| FeisuError::Corrupt("float count overflow".into()))?;
+            if buf.len().saturating_sub(*pos) < nbytes {
                 return Err(FeisuError::Corrupt("truncated float column".into()));
             }
             let mut v = Vec::with_capacity(n);
@@ -425,6 +433,31 @@ mod tests {
                 "truncation at {cut} must fail"
             );
         }
+    }
+
+    #[test]
+    fn huge_validity_word_count_rejected_not_panicking() {
+        // A block body whose first column claims u64::MAX validity words:
+        // the byte-size multiply must be checked, not wrap past the
+        // bounds check (or panic in debug builds).
+        let mut body = Vec::new();
+        varint::encode(4, &mut body); // rows
+        varint::encode(1, &mut body); // one field
+        varint::encode(1, &mut body); // name len
+        body.extend_from_slice(b"x");
+        body.push(type_tag(DataType::Int64));
+        body.push(1); // nullable
+        varint::encode(u64::MAX, &mut body); // validity word count
+        let compressed = compress::compress_adaptive(&body);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BLOCK_MAGIC);
+        buf.push(BLOCK_VERSION);
+        varint::encode(42, &mut buf);
+        buf.extend_from_slice(&compressed);
+        assert!(matches!(
+            Block::deserialize(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
     }
 
     #[test]

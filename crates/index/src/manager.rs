@@ -11,12 +11,19 @@
 //! LRU is implemented with a lazy queue: each touch appends a
 //! `(key, stamp)` pair; eviction pops until it finds a pair whose stamp
 //! still matches the entry (amortized O(1)).
+//!
+//! The manager is internally locked (one mutex per leaf server, i.e. a
+//! per-node shard of the cluster's index memory), so leaf servers can be
+//! shared across the engine's execution-pool workers by `&self`. All
+//! operations are single-lock critical sections; metric counters are
+//! updated after the state lock is released.
 
 use crate::smart::SmartIndex;
 use feisu_common::hash::FxHashMap;
 use feisu_common::{BlockId, ByteSize, SimDuration, SimInstant};
 use feisu_obs::{Counter, MetricsRegistry};
 use feisu_sql::cnf::SimplePredicate;
+use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -38,6 +45,10 @@ pub struct IndexStats {
     pub hits: u64,
     pub misses: u64,
     pub inserts: u64,
+    /// Freshly built indices dropped because they did not fit in the
+    /// budget (distinguishes "built and rejected" from "never built" in
+    /// Fig. 11-style memory sweeps).
+    pub rejected: u64,
     pub lru_evictions: u64,
     pub ttl_evictions: u64,
 }
@@ -61,8 +72,31 @@ struct IndexMetrics {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     inserts: Arc<Counter>,
+    rejected: Arc<Counter>,
     lru_evictions: Arc<Counter>,
     ttl_evictions: Arc<Counter>,
+}
+
+/// Counter increments accumulated inside a state critical section and
+/// flushed to the registry after the lock is dropped.
+#[derive(Debug, Default, Clone, Copy)]
+struct MetricDelta {
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    rejected: u64,
+    lru_evictions: u64,
+    ttl_evictions: u64,
+}
+
+/// The mutable cache state, guarded by the manager's mutex.
+#[derive(Debug, Default)]
+struct ManagerState {
+    used: ByteSize,
+    entries: FxHashMap<IndexKey, Entry>,
+    lru: VecDeque<(IndexKey, u64)>,
+    next_stamp: u64,
+    stats: IndexStats,
 }
 
 /// The per-leaf index cache.
@@ -70,12 +104,10 @@ struct IndexMetrics {
 pub struct IndexManager {
     budget: ByteSize,
     ttl: SimDuration,
-    used: ByteSize,
-    entries: FxHashMap<IndexKey, Entry>,
-    lru: VecDeque<(IndexKey, u64)>,
-    next_stamp: u64,
-    stats: IndexStats,
-    metrics: Option<IndexMetrics>,
+    state: Mutex<ManagerState>,
+    // Behind its own mutex because metrics are attached after the manager
+    // may already be shared.
+    metrics: Mutex<Option<IndexMetrics>>,
 }
 
 impl IndexManager {
@@ -85,111 +117,137 @@ impl IndexManager {
         IndexManager {
             budget,
             ttl,
-            used: ByteSize::ZERO,
-            entries: FxHashMap::default(),
-            lru: VecDeque::new(),
-            next_stamp: 0,
-            stats: IndexStats::default(),
-            metrics: None,
+            state: Mutex::new(ManagerState::default()),
+            metrics: Mutex::new(None),
         }
     }
 
     /// Starts publishing `feisu.index.*` counters alongside the local
     /// [`IndexStats`]. Counters accumulate across every manager attached
     /// to the same registry (one per leaf server).
-    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
-        self.metrics = Some(IndexMetrics {
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        *self.metrics.lock() = Some(IndexMetrics {
             hits: registry.counter("feisu.index.hits"),
             misses: registry.counter("feisu.index.misses"),
             inserts: registry.counter("feisu.index.inserts"),
+            rejected: registry.counter("feisu.index.rejected"),
             lru_evictions: registry.counter("feisu.index.lru_evictions"),
             ttl_evictions: registry.counter("feisu.index.ttl_evictions"),
         });
     }
 
+    fn flush(&self, d: MetricDelta) {
+        if let Some(m) = self.metrics.lock().as_ref() {
+            m.hits.add(d.hits);
+            m.misses.add(d.misses);
+            m.inserts.add(d.inserts);
+            m.rejected.add(d.rejected);
+            m.lru_evictions.add(d.lru_evictions);
+            m.ttl_evictions.add(d.ttl_evictions);
+        }
+    }
+
     /// Looks up an index, counting a hit/miss and refreshing LRU order.
     /// TTL-expired unpinned entries are treated as misses and dropped.
+    /// Returns a clone of the (compressed) index record.
     pub fn get(
-        &mut self,
+        &self,
         block: BlockId,
         predicate: &SimplePredicate,
         now: SimInstant,
-    ) -> Option<&SmartIndex> {
+    ) -> Option<SmartIndex> {
         let key = (block, predicate.key());
-        let expired = match self.entries.get(&key) {
+        let mut d = MetricDelta::default();
+        let mut state = self.state.lock();
+        let expired = match state.entries.get(&key) {
             None => {
-                self.stats.misses += 1;
-                if let Some(m) = &self.metrics {
-                    m.misses.inc();
-                }
+                state.stats.misses += 1;
+                d.misses += 1;
+                drop(state);
+                self.flush(d);
                 return None;
             }
-            Some(e) => {
-                !e.pinned && now.since(e.index.created_at) > self.ttl
-            }
+            Some(e) => !e.pinned && now.since(e.index.created_at) > self.ttl,
         };
         if expired {
-            self.remove(&key);
-            self.stats.ttl_evictions += 1;
-            self.stats.misses += 1;
-            if let Some(m) = &self.metrics {
-                m.ttl_evictions.inc();
-                m.misses.inc();
-            }
+            state.remove(&key);
+            state.stats.ttl_evictions += 1;
+            state.stats.misses += 1;
+            d.ttl_evictions += 1;
+            d.misses += 1;
+            drop(state);
+            self.flush(d);
             return None;
         }
-        self.stats.hits += 1;
-        if let Some(m) = &self.metrics {
-            m.hits.inc();
-        }
-        let stamp = self.bump_stamp();
-        let e = self.entries.get_mut(&key).expect("checked above");
+        state.stats.hits += 1;
+        d.hits += 1;
+        let stamp = state.bump_stamp();
+        let e = state.entries.get_mut(&key).expect("checked above");
         e.stamp = stamp;
-        self.lru.push_back((key, stamp));
-        Some(&self.entries[&(block, predicate.key())].index)
+        let index = e.index.clone();
+        state.lru.push_back((key, stamp));
+        drop(state);
+        self.flush(d);
+        Some(index)
     }
 
     /// Peeks without touching statistics or LRU order (used by tests and
     /// monitoring).
-    pub fn peek(&self, block: BlockId, predicate: &SimplePredicate) -> Option<&SmartIndex> {
-        self.entries.get(&(block, predicate.key())).map(|e| &e.index)
+    pub fn peek(&self, block: BlockId, predicate: &SimplePredicate) -> Option<SmartIndex> {
+        self.state
+            .lock()
+            .entries
+            .get(&(block, predicate.key()))
+            .map(|e| e.index.clone())
     }
 
     /// Inserts a freshly built index, evicting LRU entries as needed. An
-    /// index larger than the whole budget is simply not cached.
-    pub fn insert(&mut self, index: SmartIndex, now: SimInstant) {
+    /// index larger than the whole budget is simply not cached; the
+    /// rejection is counted. Returns true when the index was cached.
+    pub fn insert(&self, index: SmartIndex, now: SimInstant) -> bool {
         self.insert_inner(index, now, false)
     }
 
     /// Inserts with a user preference: the entry survives TTL expiry while
     /// memory is not full (§IV-C-2 "indices with preferences can remain").
-    pub fn insert_pinned(&mut self, index: SmartIndex, now: SimInstant) {
+    pub fn insert_pinned(&self, index: SmartIndex, now: SimInstant) -> bool {
         self.insert_inner(index, now, true)
     }
 
-    fn insert_inner(&mut self, index: SmartIndex, now: SimInstant, pinned: bool) {
+    fn insert_inner(&self, index: SmartIndex, now: SimInstant, pinned: bool) -> bool {
         let footprint = ByteSize(index.footprint() as u64);
+        let mut d = MetricDelta::default();
+        let mut state = self.state.lock();
         if footprint > self.budget {
-            return;
+            state.stats.rejected += 1;
+            d.rejected += 1;
+            drop(state);
+            self.flush(d);
+            return false;
         }
         let key = (index.block_id, index.key());
-        self.remove(&key);
+        state.remove(&key);
         // Evict expired entries first, then LRU until the new one fits.
-        self.evict_expired(now);
-        while self.used + footprint > self.budget {
-            if !self.evict_lru_one() {
+        state.evict_expired(self.ttl, now, &mut d);
+        while state.used + footprint > self.budget {
+            if !state.evict_lru_one(&mut d) {
                 // Everything left is pinned; drop pins' protection under
                 // memory pressure (paper: preferences only hold while the
                 // cache is not full).
-                if !self.force_evict_one() {
-                    return; // cache empty yet doesn't fit: give up
+                if !state.force_evict_one(&mut d) {
+                    // Cache empty yet doesn't fit: give up, count it.
+                    state.stats.rejected += 1;
+                    d.rejected += 1;
+                    drop(state);
+                    self.flush(d);
+                    return false;
                 }
             }
         }
-        let stamp = self.bump_stamp();
-        self.lru.push_back((key.clone(), stamp));
-        self.used += footprint;
-        self.entries.insert(
+        let stamp = state.bump_stamp();
+        state.lru.push_back((key.clone(), stamp));
+        state.used += footprint;
+        state.entries.insert(
             key,
             Entry {
                 index,
@@ -198,32 +256,65 @@ impl IndexManager {
                 footprint,
             },
         );
-        self.stats.inserts += 1;
-        if let Some(m) = &self.metrics {
-            m.inserts.inc();
-        }
+        state.stats.inserts += 1;
+        d.inserts += 1;
+        drop(state);
+        self.flush(d);
+        true
     }
 
     /// Drops all TTL-expired, unpinned entries.
-    pub fn evict_expired(&mut self, now: SimInstant) {
+    pub fn evict_expired(&self, now: SimInstant) {
+        let mut d = MetricDelta::default();
+        let mut state = self.state.lock();
+        state.evict_expired(self.ttl, now, &mut d);
+        drop(state);
+        self.flush(d);
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().entries.is_empty()
+    }
+
+    pub fn memory_used(&self) -> ByteSize {
+        self.state.lock().used
+    }
+
+    pub fn budget(&self) -> ByteSize {
+        self.budget
+    }
+
+    pub fn stats(&self) -> IndexStats {
+        self.state.lock().stats
+    }
+
+    pub fn reset_stats(&self) {
+        self.state.lock().stats = IndexStats::default();
+    }
+}
+
+impl ManagerState {
+    fn evict_expired(&mut self, ttl: SimDuration, now: SimInstant, d: &mut MetricDelta) {
         let expired: Vec<IndexKey> = self
             .entries
             .iter()
-            .filter(|(_, e)| !e.pinned && now.since(e.index.created_at) > self.ttl)
+            .filter(|(_, e)| !e.pinned && now.since(e.index.created_at) > ttl)
             .map(|(k, _)| k.clone())
             .collect();
         for key in expired {
             self.remove(&key);
             self.stats.ttl_evictions += 1;
-            if let Some(m) = &self.metrics {
-                m.ttl_evictions.inc();
-            }
+            d.ttl_evictions += 1;
         }
     }
 
     /// Evicts the least-recently-used unpinned entry. Returns false when
     /// nothing evictable remains.
-    fn evict_lru_one(&mut self) -> bool {
+    fn evict_lru_one(&mut self, d: &mut MetricDelta) -> bool {
         // Each call scans every queue record at most once; pinned live
         // records are re-queued, stale records dropped.
         let max_scan = self.lru.len();
@@ -239,9 +330,7 @@ impl IndexManager {
                     } else {
                         self.remove(&key);
                         self.stats.lru_evictions += 1;
-                        if let Some(m) = &self.metrics {
-                            m.lru_evictions.inc();
-                        }
+                        d.lru_evictions += 1;
                         return true;
                     }
                 }
@@ -252,13 +341,11 @@ impl IndexManager {
     }
 
     /// Evicts any one entry, pinned or not (memory pressure trumps pins).
-    fn force_evict_one(&mut self) -> bool {
+    fn force_evict_one(&mut self, d: &mut MetricDelta) -> bool {
         if let Some(key) = self.entries.keys().next().cloned() {
             self.remove(&key);
             self.stats.lru_evictions += 1;
-            if let Some(m) = &self.metrics {
-                m.lru_evictions.inc();
-            }
+            d.lru_evictions += 1;
             true
         } else {
             false
@@ -274,30 +361,6 @@ impl IndexManager {
     fn bump_stamp(&mut self) -> u64 {
         self.next_stamp += 1;
         self.next_stamp
-    }
-
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    pub fn memory_used(&self) -> ByteSize {
-        self.used
-    }
-
-    pub fn budget(&self) -> ByteSize {
-        self.budget
-    }
-
-    pub fn stats(&self) -> IndexStats {
-        self.stats
-    }
-
-    pub fn reset_stats(&mut self) {
-        self.stats = IndexStats::default();
     }
 }
 
@@ -331,7 +394,7 @@ mod tests {
 
     #[test]
     fn hit_after_insert() {
-        let mut m = manager(64);
+        let m = manager(64);
         m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
         assert!(m.get(BlockId(1), &pred(5), SimInstant(1)).is_some());
         assert!(m.get(BlockId(1), &pred(6), SimInstant(1)).is_none());
@@ -342,7 +405,7 @@ mod tests {
 
     #[test]
     fn ttl_expiry_is_a_miss() {
-        let mut m = manager(64);
+        let m = manager(64);
         m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
         let later = SimInstant::EPOCH + SimDuration::hours(73);
         assert!(m.get(BlockId(1), &pred(5), later).is_none());
@@ -352,7 +415,7 @@ mod tests {
 
     #[test]
     fn within_ttl_still_hit() {
-        let mut m = manager(64);
+        let m = manager(64);
         m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
         let later = SimInstant::EPOCH + SimDuration::hours(71);
         assert!(m.get(BlockId(1), &pred(5), later).is_some());
@@ -360,7 +423,7 @@ mod tests {
 
     #[test]
     fn pinned_survives_ttl() {
-        let mut m = manager(64);
+        let m = manager(64);
         m.insert_pinned(idx(1, 5, SimInstant(0)), SimInstant(0));
         let later = SimInstant::EPOCH + SimDuration::hours(1000);
         assert!(m.get(BlockId(1), &pred(5), later).is_some());
@@ -372,7 +435,7 @@ mod tests {
         // ~3 entries forces eviction on the 4th insert.
         let one = idx(1, 1, SimInstant(0));
         let budget = ByteSize((one.footprint() * 3) as u64 + 10);
-        let mut m = IndexManager::new(budget, SimDuration::hours(72));
+        let m = IndexManager::new(budget, SimDuration::hours(72));
         m.insert(idx(1, 1, SimInstant(0)), SimInstant(0));
         m.insert(idx(2, 2, SimInstant(0)), SimInstant(0));
         m.insert(idx(3, 3, SimInstant(0)), SimInstant(0));
@@ -387,7 +450,7 @@ mod tests {
 
     #[test]
     fn reinsert_same_key_replaces() {
-        let mut m = manager(64);
+        let m = manager(64);
         m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
         let used_before = m.memory_used();
         m.insert(idx(1, 5, SimInstant(10)), SimInstant(10));
@@ -396,15 +459,26 @@ mod tests {
     }
 
     #[test]
-    fn oversized_index_not_cached() {
-        let mut m = IndexManager::new(ByteSize::bytes(16), SimDuration::hours(72));
-        m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
+    fn oversized_index_not_cached_and_counted_rejected() {
+        let m = IndexManager::new(ByteSize::bytes(16), SimDuration::hours(72));
+        assert!(!m.insert(idx(1, 5, SimInstant(0)), SimInstant(0)));
         assert!(m.is_empty());
+        assert_eq!(m.stats().rejected, 1);
+        assert_eq!(m.stats().inserts, 0);
+    }
+
+    #[test]
+    fn rejected_mirrors_to_registry() {
+        let registry = MetricsRegistry::new();
+        let m = IndexManager::new(ByteSize::bytes(16), SimDuration::hours(72));
+        m.attach_metrics(&registry);
+        m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
+        assert_eq!(registry.counter("feisu.index.rejected").get(), 1);
     }
 
     #[test]
     fn memory_accounting_balances() {
-        let mut m = manager(1024);
+        let m = manager(1024);
         for b in 0..10 {
             m.insert(idx(b, b as i64, SimInstant(0)), SimInstant(0));
         }
@@ -419,7 +493,7 @@ mod tests {
     fn force_eviction_under_all_pinned_pressure() {
         let one = idx(1, 1, SimInstant(0));
         let budget = ByteSize((one.footprint() * 2) as u64 + 10);
-        let mut m = IndexManager::new(budget, SimDuration::hours(72));
+        let m = IndexManager::new(budget, SimDuration::hours(72));
         m.insert_pinned(idx(1, 1, SimInstant(0)), SimInstant(0));
         m.insert_pinned(idx(2, 2, SimInstant(0)), SimInstant(0));
         // Third pinned insert must force out a pinned entry, not spin.
@@ -431,7 +505,7 @@ mod tests {
     #[test]
     fn attached_registry_mirrors_stats() {
         let registry = MetricsRegistry::new();
-        let mut m = manager(64);
+        let m = manager(64);
         m.attach_metrics(&registry);
         m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
         m.get(BlockId(1), &pred(5), SimInstant(0));
@@ -443,12 +517,33 @@ mod tests {
 
     #[test]
     fn miss_ratio_computation() {
-        let mut m = manager(64);
+        let m = manager(64);
         m.insert(idx(1, 5, SimInstant(0)), SimInstant(0));
         m.get(BlockId(1), &pred(5), SimInstant(0));
         m.get(BlockId(1), &pred(9), SimInstant(0));
         m.get(BlockId(1), &pred(9), SimInstant(0));
         let s = m.stats();
         assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        // The manager is one per-node shard: concurrent probes/inserts
+        // must be safe behind `&self`.
+        let m = std::sync::Arc::new(manager(1024));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for b in 0..16u64 {
+                        let id = t * 100 + b;
+                        m.insert(idx(id, id as i64, SimInstant(0)), SimInstant(0));
+                        assert!(m.get(BlockId(id), &pred(id as i64), SimInstant(1)).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(m.stats().inserts, 64);
+        assert_eq!(m.stats().hits, 64);
     }
 }

@@ -32,6 +32,9 @@ pub enum ProbeKind {
     NegatedHit,
     /// Evaluated against the block; a new index was created.
     BuiltFresh,
+    /// Evaluated against the block; the index was built but rejected by
+    /// the cache (did not fit the memory budget).
+    BuiltRejected,
     /// Evaluated against the block without caching (cache disabled).
     Scanned,
 }
@@ -66,7 +69,7 @@ impl CnfOutcome {
 /// Serves one simple predicate for a block. `cache` = None disables the
 /// index entirely (the paper's "without SmartIndex" baseline).
 pub fn probe_predicate(
-    cache: Option<&mut IndexManager>,
+    cache: Option<&IndexManager>,
     block: &Block,
     predicate: &SimplePredicate,
     now: SimInstant,
@@ -98,16 +101,24 @@ pub fn probe_predicate(
             return Ok((idx.negated_bits(), ProbeKind::NegatedHit));
         }
     }
-    // 3. Miss: evaluate and cache.
+    // 3. Miss: evaluate and cache (rejection is surfaced so leaf stats
+    //    can tell "built and rejected" apart from "built and cached").
     let idx = SmartIndex::build(block, predicate, now, false)?;
     let bits = idx.bits();
-    manager.insert(idx, now);
-    Ok((bits, ProbeKind::BuiltFresh))
+    let cached = manager.insert(idx, now);
+    Ok((
+        bits,
+        if cached {
+            ProbeKind::BuiltFresh
+        } else {
+            ProbeKind::BuiltRejected
+        },
+    ))
 }
 
 /// Serves a whole CNF over one block.
 pub fn evaluate_cnf(
-    mut cache: Option<&mut IndexManager>,
+    cache: Option<&IndexManager>,
     block: &Block,
     cnf: &Cnf,
     now: SimInstant,
@@ -128,7 +139,7 @@ pub fn evaluate_cnf(
         let mut clause_bits = BitVec::zeros(rows);
         for d in &clause.disjuncts {
             let Disjunct::Simple(p) = d else { unreachable!() };
-            let (pbits, kind) = probe_predicate(cache.as_deref_mut(), block, p, now)?;
+            let (pbits, kind) = probe_predicate(cache, block, p, now)?;
             clause_bits = clause_bits.or(&pbits)?;
             probes.push((p.clone(), kind));
         }
@@ -195,11 +206,11 @@ mod tests {
     #[test]
     fn first_probe_builds_second_hits() {
         let block = test_block();
-        let mut m = manager();
+        let m = manager();
         let cnf = to_cnf(&parse_expr("c2 > 5").unwrap());
-        let r1 = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(0)).unwrap();
+        let r1 = evaluate_cnf(Some(&m), &block, &cnf, SimInstant(0)).unwrap();
         assert_eq!(r1.probes[0].1, ProbeKind::BuiltFresh);
-        let r2 = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(1)).unwrap();
+        let r2 = evaluate_cnf(Some(&m), &block, &cnf, SimInstant(1)).unwrap();
         assert_eq!(r2.probes[0].1, ProbeKind::Hit);
         assert_eq!(r1.bits, r2.bits);
         assert_eq!(r2.served_count(), 1);
@@ -210,11 +221,11 @@ mod tests {
         // Paper Fig. 7: after indexing c2 > 5, the query !(c2 > 5) i.e.
         // c2 <= 5 is served by NOT.
         let block = test_block();
-        let mut m = manager();
+        let m = manager();
         let warm = to_cnf(&parse_expr("c2 > 5").unwrap());
-        evaluate_cnf(Some(&mut m), &block, &warm, SimInstant(0)).unwrap();
+        evaluate_cnf(Some(&m), &block, &warm, SimInstant(0)).unwrap();
         let probe = to_cnf(&parse_expr("c2 <= 5").unwrap());
-        let r = evaluate_cnf(Some(&mut m), &block, &probe, SimInstant(1)).unwrap();
+        let r = evaluate_cnf(Some(&m), &block, &probe, SimInstant(1)).unwrap();
         assert_eq!(r.probes[0].1, ProbeKind::NegatedHit);
         assert_eq!(r.bits, oracle(&block, &parse_expr("c2 <= 5").unwrap()));
     }
@@ -224,11 +235,11 @@ mod tests {
         // The paper's running example: all three forms produce identical
         // result vectors and the later ones are fully index-served.
         let block = test_block();
-        let mut m = manager();
+        let m = manager();
         let q10 = to_cnf(&parse_expr("c2 > 0 AND c2 <= 5").unwrap());
-        let r10 = evaluate_cnf(Some(&mut m), &block, &q10, SimInstant(0)).unwrap();
+        let r10 = evaluate_cnf(Some(&m), &block, &q10, SimInstant(0)).unwrap();
         let q11 = to_cnf(&parse_expr("c2 > 0 AND !(c2 > 5)").unwrap());
-        let r11 = evaluate_cnf(Some(&mut m), &block, &q11, SimInstant(1)).unwrap();
+        let r11 = evaluate_cnf(Some(&m), &block, &q11, SimInstant(1)).unwrap();
         assert_eq!(r10.bits, r11.bits);
         // Q11's conjuncts: c2 > 0 direct hit; !(c2 > 5) = c2 <= 5 — the
         // CNF absorbed the NOT, and c2 <= 5 index now exists from Q10.
@@ -241,9 +252,9 @@ mod tests {
     #[test]
     fn or_clause_combines_with_bitor() {
         let block = test_block();
-        let mut m = manager();
+        let m = manager();
         let cnf = to_cnf(&parse_expr("c2 > 10 OR c3 = 0").unwrap());
-        let r = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(0)).unwrap();
+        let r = evaluate_cnf(Some(&m), &block, &cnf, SimInstant(0)).unwrap();
         assert_eq!(r.probes.len(), 2);
         assert_eq!(
             r.bits,
@@ -255,7 +266,7 @@ mod tests {
     #[test]
     fn multi_clause_conjunction_with_nulls_matches_oracle() {
         let block = test_block();
-        let mut m = manager();
+        let m = manager();
         for src in [
             "c2 > 3 AND c3 < 5",
             "c2 >= 0 AND c2 != 7",
@@ -264,7 +275,7 @@ mod tests {
         ] {
             let expr = parse_expr(src).unwrap();
             let cnf = to_cnf(&expr);
-            let r = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(0)).unwrap();
+            let r = evaluate_cnf(Some(&m), &block, &cnf, SimInstant(0)).unwrap();
             assert!(r.residual.is_empty(), "{src} should be fully indexable");
             assert_eq!(r.bits, oracle(&block, &expr), "mismatch for {src}");
         }
@@ -273,10 +284,10 @@ mod tests {
     #[test]
     fn residual_clause_passes_through() {
         let block = test_block();
-        let mut m = manager();
+        let m = manager();
         // c2 > c3 is column-column: not indexable.
         let cnf = to_cnf(&parse_expr("c2 > c3 AND c3 < 5").unwrap());
-        let r = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(0)).unwrap();
+        let r = evaluate_cnf(Some(&m), &block, &cnf, SimInstant(0)).unwrap();
         assert_eq!(r.residual.len(), 1);
         assert_eq!(r.probes.len(), 1);
         // bits covers only the indexable clause.
@@ -298,11 +309,11 @@ mod tests {
     fn count_star_served_from_index_only() {
         // An aggregation like the paper's Q1 needs only the bit count.
         let block = test_block();
-        let mut m = manager();
+        let m = manager();
         let expr = parse_expr("c2 > 0 AND c2 <= 5").unwrap();
         let cnf = to_cnf(&expr);
-        evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(0)).unwrap();
-        let r = evaluate_cnf(Some(&mut m), &block, &cnf, SimInstant(1)).unwrap();
+        evaluate_cnf(Some(&m), &block, &cnf, SimInstant(0)).unwrap();
+        let r = evaluate_cnf(Some(&m), &block, &cnf, SimInstant(1)).unwrap();
         assert_eq!(
             r.bits.count_ones(),
             oracle(&block, &expr).count_ones()

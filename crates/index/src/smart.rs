@@ -213,7 +213,13 @@ impl SmartIndex {
         let rows = varint::decode(buf, &mut pos)? as usize;
         let read_bits = |pos: &mut usize| -> Result<BitVec> {
             let nwords = varint::decode(buf, pos)? as usize;
-            if buf.len().saturating_sub(*pos) < nwords * 8 {
+            // The word count is corruption-controlled: multiply checked,
+            // or a huge varint overflows (panicking in debug, wrapping —
+            // and passing the bounds check — in release on 32-bit).
+            let nbytes = nwords
+                .checked_mul(8)
+                .ok_or_else(|| FeisuError::Corrupt("SmartIndex word count overflow".into()))?;
+            if buf.len().saturating_sub(*pos) < nbytes {
                 return Err(FeisuError::Corrupt("truncated SmartIndex bits".into()));
             }
             let mut words = Vec::with_capacity(nwords);
@@ -410,6 +416,27 @@ mod tests {
         assert!(SmartIndex::deserialize(&bytes, wrong, SimInstant(0)).is_err());
         bytes[0] ^= 0xff;
         assert!(SmartIndex::deserialize(&bytes, pred("c2", BinaryOp::Gt, Value::Int64(5)), SimInstant(0)).is_err());
+    }
+
+    #[test]
+    fn huge_word_count_rejected_not_panicking() {
+        use feisu_format::encoding::varint;
+        let block = test_block();
+        let p = pred("c2", BinaryOp::Gt, Value::Int64(5));
+        let idx = SmartIndex::build(&block, &p, SimInstant(0), false).unwrap();
+        let bytes = idx.serialize();
+        // Walk to the bits word-count varint and replace it with a value
+        // whose byte size overflows usize: decode must error, not panic
+        // (or wrap past the bounds check).
+        let mut pos = 4usize;
+        varint::decode(&bytes, &mut pos).unwrap(); // block id
+        let key_len = varint::decode(&bytes, &mut pos).unwrap() as usize;
+        pos += key_len;
+        varint::decode(&bytes, &mut pos).unwrap(); // rows
+        let mut evil = bytes[..pos].to_vec();
+        varint::encode(u64::MAX, &mut evil);
+        let got = SmartIndex::deserialize(&evil, p, SimInstant(0));
+        assert!(matches!(got, Err(FeisuError::Corrupt(_))), "got {got:?}");
     }
 
     #[test]

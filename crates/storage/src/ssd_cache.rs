@@ -31,6 +31,21 @@ struct NodeCache {
     next_stamp: u64,
 }
 
+impl NodeCache {
+    /// The lazy LRU queue holds one record per *touch*, not per entry, so
+    /// dead records (superseded stamps, removed keys) accumulate on
+    /// hit-heavy workloads that never trigger eviction. Drop them once
+    /// the queue is more than twice the live-entry count — amortized
+    /// O(1) per touch, and the queue stays within 2× of the map.
+    fn compact_lru(&mut self) {
+        if self.lru.len() <= 2 * self.entries.len() {
+            return;
+        }
+        self.lru
+            .retain(|(key, stamp)| self.entries.get(key).is_some_and(|(_, s)| s == stamp));
+    }
+}
+
 /// Cache statistics (drives the §IV-B evaluation claims).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -99,19 +114,24 @@ impl SsdCache {
             .any(|p| path.starts_with(&p.path_prefix))
     }
 
-    /// Looks up a path in `node`'s cache.
+    /// Looks up a path in `node`'s cache. A miss leaves the node map
+    /// untouched — probing thousands of nodes that never cached anything
+    /// must not grow it.
     pub fn get(&self, node: NodeId, path: &str) -> Option<Bytes> {
         let mut nodes = self.nodes.lock();
-        let cache = nodes.entry(node).or_default();
-        let hit = match cache.entries.get_mut(path) {
-            Some((data, stamp)) => {
-                cache.next_stamp += 1;
-                *stamp = cache.next_stamp;
-                let s = *stamp;
-                let data = data.clone();
-                cache.lru.push_back((path.to_string(), s));
-                Some(data)
-            }
+        let hit = match nodes.get_mut(&node) {
+            Some(cache) => match cache.entries.get_mut(path) {
+                Some((data, stamp)) => {
+                    cache.next_stamp += 1;
+                    *stamp = cache.next_stamp;
+                    let s = *stamp;
+                    let data = data.clone();
+                    cache.lru.push_back((path.to_string(), s));
+                    cache.compact_lru();
+                    Some(data)
+                }
+                None => None,
+            },
             None => None,
         };
         let mut stats = self.stats.lock();
@@ -171,6 +191,7 @@ impl SsdCache {
         cache.lru.push_back((path.to_string(), stamp));
         cache.used += size;
         cache.entries.insert(path.to_string(), (data, stamp));
+        cache.compact_lru();
         if evictions > 0 {
             self.stats.lock().evictions += evictions;
             if let Some(m) = self.metrics.lock().as_ref() {
@@ -189,6 +210,16 @@ impl SsdCache {
     /// Bytes cached on one node.
     pub fn used_on(&self, node: NodeId) -> ByteSize {
         ByteSize(self.nodes.lock().get(&node).map_or(0, |c| c.used))
+    }
+
+    /// Length of the lazy LRU queue on one node (bounded-growth tests).
+    pub fn lru_queue_len_on(&self, node: NodeId) -> usize {
+        self.nodes.lock().get(&node).map_or(0, |c| c.lru.len())
+    }
+
+    /// Nodes with allocated cache state (miss-allocation regression).
+    pub fn tracked_nodes(&self) -> usize {
+        self.nodes.lock().len()
     }
 
     pub fn stats(&self) -> CacheStats {
@@ -283,6 +314,42 @@ mod tests {
         assert_eq!(registry.counter("feisu.ssd_cache.rejected").get(), 1);
         assert_eq!(registry.counter("feisu.ssd_cache.hits").get(), 1);
         assert_eq!(registry.counter("feisu.ssd_cache.misses").get(), 1);
+    }
+
+    #[test]
+    fn hit_heavy_workload_keeps_lru_queue_bounded() {
+        let c = cache(64);
+        c.put(NodeId(0), "/hdfs/hot/a", Bytes::from_static(b"a"), false);
+        c.put(NodeId(0), "/hdfs/hot/b", Bytes::from_static(b"b"), false);
+        for _ in 0..10_000 {
+            assert!(c.get(NodeId(0), "/hdfs/hot/a").is_some());
+        }
+        // Two live entries: the lazy queue must stay within 2× of that,
+        // not grow by one record per hit.
+        assert!(
+            c.lru_queue_len_on(NodeId(0)) <= 4,
+            "queue leaked: {} records for 2 entries",
+            c.lru_queue_len_on(NodeId(0))
+        );
+        // Compaction must not lose recency: b is still the LRU victim.
+        let blob = Bytes::from(vec![0u8; 64 * 1024 - 1]);
+        c.put(NodeId(0), "/hdfs/hot/c", blob, false);
+        assert!(c.get(NodeId(0), "/hdfs/hot/b").is_none(), "b evicted");
+        assert!(c.get(NodeId(0), "/hdfs/hot/a").is_some());
+    }
+
+    #[test]
+    fn pure_misses_do_not_allocate_node_state() {
+        let c = cache(64);
+        for n in 0..4_000 {
+            assert!(c.get(NodeId(n), "/hdfs/hot/x").is_none());
+        }
+        assert_eq!(c.tracked_nodes(), 0, "misses must not allocate NodeCache");
+        assert_eq!(c.stats().misses, 4_000);
+        // A real put still allocates exactly one.
+        c.put(NodeId(7), "/hdfs/hot/x", Bytes::from_static(b"d"), false);
+        assert_eq!(c.tracked_nodes(), 1);
+        assert!(c.get(NodeId(7), "/hdfs/hot/x").is_some());
     }
 
     #[test]

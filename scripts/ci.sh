@@ -23,6 +23,13 @@ cargo build --release $OFFLINE
 echo "ci: test"
 cargo test -q $OFFLINE
 
+# The parallel leaf-task pool must produce bit-identical simulated
+# results at any thread count. Re-run the e2e suites at a pinned pool
+# width (tests/src/lib.rs honors FEISU_EXECUTION_THREADS for specs that
+# don't pin their own) to prove results don't depend on the executor.
+echo "ci: e2e at execution_threads=8"
+FEISU_EXECUTION_THREADS=8 cargo test -q $OFFLINE -p feisu-tests
+
 echo "ci: clippy (-D warnings)"
 cargo clippy --workspace $OFFLINE -- -D warnings
 

@@ -58,6 +58,17 @@ pub fn fixture(rows: usize) -> Fixture {
 pub fn fixture_with(rows: usize, mut spec: ClusterSpec, location: &str) -> Fixture {
     // Small blocks so multi-block paths are exercised even in tests.
     spec.rows_per_block = spec.rows_per_block.min(64);
+    // CI runs the e2e suites at a pinned pool width (scripts/ci.sh sets
+    // FEISU_EXECUTION_THREADS=8) to prove simulated results don't depend
+    // on the executor's thread count.
+    // Specs that pin an explicit thread count (determinism sweeps) win.
+    if spec.config.execution_threads == 0 {
+        if let Ok(v) = std::env::var("FEISU_EXECUTION_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                spec.config.execution_threads = n;
+            }
+        }
+    }
     let mut cluster = FeisuCluster::new(spec).expect("cluster");
     let user = cluster.register_user("tester");
     cluster.grant_all(user);

@@ -1,0 +1,152 @@
+//! The parallel leaf-task pool's hard invariant: simulated results are
+//! bit-identical at every `execution_threads` setting — same QueryStats,
+//! same simulated response times, same EXPLAIN ANALYZE profile — because
+//! simulated time comes from per-node tallies, never wall clock.
+
+use feisu_common::{NodeId, SimDuration};
+use feisu_core::engine::{ClusterSpec, FeisuCluster, QueryOptions, QueryResult, QueryStats};
+use feisu_tests::fixture_with;
+
+/// Everything a query run must agree on across thread counts.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    stats: QueryStats,
+    response_time: SimDuration,
+    partial: bool,
+    rows: usize,
+    profile: String,
+}
+
+fn observe(r: &QueryResult) -> Observed {
+    Observed {
+        stats: r.stats,
+        response_time: r.response_time,
+        partial: r.partial,
+        rows: r.batch.rows(),
+        profile: r.profile.render(),
+    }
+}
+
+fn spec_with_threads(threads: usize) -> ClusterSpec {
+    let mut spec = ClusterSpec::small();
+    spec.config.execution_threads = threads;
+    spec
+}
+
+/// Plain workload: repeated and varied queries, exercising index
+/// build/hit paths and master-side task reuse.
+fn run_plain_workload(threads: usize) -> Vec<Observed> {
+    let mut fx = fixture_with(600, spec_with_threads(threads), "/hdfs/warehouse/clicks");
+    let queries = [
+        "SELECT COUNT(*) FROM clicks WHERE clicks > 25",
+        "SELECT COUNT(*) FROM clicks WHERE clicks > 25", // index hits + reuse
+        "SELECT keyword, COUNT(*), SUM(clicks) FROM clicks GROUP BY keyword",
+        "SELECT url FROM clicks WHERE clicks > 80 AND day = 20160101",
+        // Same predicate, different projection: not reusable, so the leaf
+        // actually probes (and hits) the SmartIndex built by run 1.
+        "SELECT url FROM clicks WHERE clicks > 25",
+        "SELECT COUNT(*) FROM clicks WHERE clicks > 25", // reuse again
+    ];
+    queries
+        .iter()
+        .map(|sql| observe(&fx.cluster.query(sql, &fx.cred).expect(sql)))
+        .collect()
+}
+
+#[test]
+fn identical_simulated_results_at_1_2_and_8_threads() {
+    let serial = run_plain_workload(1);
+    for threads in [2, 8] {
+        let parallel = run_plain_workload(threads);
+        assert_eq!(
+            serial, parallel,
+            "simulated results diverged at execution_threads={threads}"
+        );
+    }
+    // Sanity on the workload itself: it exercised reuse and the index.
+    assert!(serial.iter().any(|o| o.stats.reused_tasks > 0));
+    assert!(serial.iter().any(|o| o.stats.index_hits > 0));
+}
+
+/// Stress workload: dead node (rerouted backup tasks), straggler
+/// (speculative backups), task reuse, and a time limit yielding partial
+/// results — all under the pool at once.
+fn run_stress_workload(threads: usize) -> Vec<Observed> {
+    let mut spec = spec_with_threads(threads);
+    // Tiny detection delay relative to the (tiny simulated) test tasks so
+    // straggler-mitigation backups actually fire.
+    spec.config.backup_task_delay = SimDuration::nanos(1_000);
+    let mut fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let mut seen = Vec::new();
+    let count_sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 25";
+
+    // Warm run, then a reuse run.
+    seen.push(observe(&fx.cluster.query(count_sql, &fx.cred).unwrap()));
+    seen.push(observe(&fx.cluster.query(count_sql, &fx.cred).unwrap()));
+
+    // Dead node: its tasks fail over to backup nodes.
+    fx.cluster.fail_node(NodeId(1));
+    let grouped = "SELECT keyword, COUNT(*) FROM clicks GROUP BY keyword";
+    seen.push(observe(&fx.cluster.query(grouped, &fx.cred).unwrap()));
+
+    // Straggler: node 2 runs 50x slow, so speculative backups fire.
+    fx.cluster.slow_node(NodeId(2), 50.0);
+    let urls = "SELECT url FROM clicks WHERE clicks > 60";
+    let full = fx.cluster.query(urls, &fx.cred).unwrap();
+    let limit = SimDuration::nanos(full.response_time.as_nanos() / 2);
+    seen.push(observe(&full));
+
+    // Time-limited partial run on top of all of the above. A *fresh*
+    // predicate — a repeat would be answered from the task-reuse cache in
+    // zero leaf time and nothing would be abandoned.
+    let opts = QueryOptions {
+        processed_ratio: 0.2,
+        time_limit: Some(limit),
+    };
+    let fresh = "SELECT url FROM clicks WHERE clicks > 70";
+    seen.push(observe(
+        &fx.cluster.query_with(fresh, &fx.cred, &opts).unwrap(),
+    ));
+    seen
+}
+
+#[test]
+fn stress_faults_reuse_and_partials_are_thread_count_invariant() {
+    let serial = run_stress_workload(1);
+    for threads in [2, 8] {
+        let parallel = run_stress_workload(threads);
+        assert_eq!(
+            serial, parallel,
+            "stress results diverged at execution_threads={threads}"
+        );
+    }
+    assert!(
+        serial.iter().any(|o| o.stats.backup_tasks > 0),
+        "workload never fired a backup task"
+    );
+    assert!(
+        serial.iter().any(|o| o.stats.reused_tasks > 0),
+        "workload never reused a task"
+    );
+    assert!(
+        serial.last().expect("runs").partial,
+        "time-limited run was not partial"
+    );
+}
+
+/// `execution_threads = 0` resolves to the machine's parallelism and must
+/// still match serial results exactly (it's the default setting).
+#[test]
+fn auto_thread_count_matches_serial() {
+    assert_eq!(run_plain_workload(1), run_plain_workload(0));
+}
+
+/// The knob round-trips through the spec and validates.
+#[test]
+fn execution_threads_knob_defaults_and_validates() {
+    let spec = ClusterSpec::small();
+    assert_eq!(spec.config.execution_threads, 0, "default = auto");
+    assert!(spec.config.validate().is_ok());
+    let cluster = FeisuCluster::new(spec_with_threads(3)).unwrap();
+    assert_eq!(cluster.spec().config.execution_threads, 3);
+}
