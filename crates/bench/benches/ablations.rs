@@ -24,9 +24,7 @@ fn bench_ablations(c: &mut Criterion) {
     });
     let cc = CompressedBits::from_bitvec(&clustered);
     g.bench_function("decode_clustered_rle", |b| b.iter(|| cc.to_bitvec()));
-    g.bench_function("bitand_64k", |b| {
-        b.iter(|| clustered.and(&random).unwrap())
-    });
+    g.bench_function("bitand_64k", |b| b.iter(|| clustered.and(&random).unwrap()));
     g.finish();
 
     // CNF conversion on workload-shaped predicates.
@@ -52,14 +50,20 @@ fn bench_ablations(c: &mut Criterion) {
         let u = cluster.register_user("bench");
         cluster.grant_all(u);
         let cred = cluster.login(u).unwrap();
-        let schema = feisu_format::Schema::new(vec![
-            feisu_format::Field::new("x", feisu_format::DataType::Int64, false),
-        ]);
-        cluster.create_table("t", schema, "/hdfs/b/t", &cred).unwrap();
+        let schema = feisu_format::Schema::new(vec![feisu_format::Field::new(
+            "x",
+            feisu_format::DataType::Int64,
+            false,
+        )]);
+        cluster
+            .create_table("t", schema, "/hdfs/b/t", &cred)
+            .unwrap();
         cluster
             .ingest_rows(
                 "t",
-                (0..4096).map(|i| vec![feisu_format::Value::from(i as i64)]).collect(),
+                (0..4096)
+                    .map(|i| vec![feisu_format::Value::from(i as i64)])
+                    .collect(),
                 &cred,
             )
             .unwrap();

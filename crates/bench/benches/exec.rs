@@ -23,7 +23,11 @@ fn batch(rows: usize) -> RecordBatch {
             Column::from_i64((0..rows).map(|_| rng.range_i64(0, 99)).collect()),
             Column::from_i64((0..rows).map(|_| rng.range_i64(-1000, 1000)).collect()),
             Column::from_f64((0..rows).map(|_| rng.next_f64()).collect()),
-            Column::from_utf8((0..rows).map(|_| format!("tag{}", rng.next_below(64))).collect()),
+            Column::from_utf8(
+                (0..rows)
+                    .map(|_| format!("tag{}", rng.next_below(64)))
+                    .collect(),
+            ),
         ],
     )
     .unwrap()
@@ -70,22 +74,10 @@ fn bench_exec(c: &mut Criterion) {
         });
     });
     g.bench_function("topn_sort_limit", |bench| {
-        bench.iter(|| {
-            run_sql(
-                "SELECT v FROM t ORDER BY v DESC LIMIT 100",
-                &mut provider,
-            )
-            .unwrap()
-        });
+        bench.iter(|| run_sql("SELECT v FROM t ORDER BY v DESC LIMIT 100", &mut provider).unwrap());
     });
     g.bench_function("hash_join_64k_x_256", |bench| {
-        bench.iter(|| {
-            run_sql(
-                "SELECT COUNT(*) FROM t JOIN d ON t.k = d.k",
-                &mut dim,
-            )
-            .unwrap()
-        });
+        bench.iter(|| run_sql("SELECT COUNT(*) FROM t JOIN d ON t.k = d.k", &mut dim).unwrap());
     });
     g.bench_function("full_query_pipeline", |bench| {
         bench.iter(|| {

@@ -25,13 +25,10 @@ fn main() {
         // Clustered: value correlates with position (time-ordered logs).
         ("clustered", (0..n).map(|i| (i / 4096) as i64).collect()),
         // Uniform random: worst case for RLE.
-        (
-            "random",
-            {
-                let mut rng = feisu_common::rng::DetRng::new(7);
-                (0..n).map(|_| rng.range_i64(0, 99)).collect()
-            },
-        ),
+        ("random", {
+            let mut rng = feisu_common::rng::DetRng::new(7);
+            (0..n).map(|_| rng.range_i64(0, 99)).collect()
+        }),
         // Constant: one run.
         ("constant", vec![42i64; n]),
     ];

@@ -45,8 +45,8 @@ fn main() -> feisu_common::Result<()> {
             rows_scanned += 6144 + 4096; // rows considered per logical query
             elapsed += r2.response_time + r3.response_time;
         }
-        let per_server = throughput_rows_per_sec(rows_scanned, elapsed)
-            / bench.cluster.node_count() as f64;
+        let per_server =
+            throughput_rows_per_sec(rows_scanned, elapsed) / bench.cluster.node_count() as f64;
         results.push((smart, per_server));
         feisu_bench::dump_metrics(
             &bench,

@@ -59,7 +59,13 @@ fn main() -> feisu_common::Result<()> {
     }
     feisu_bench::print_series(
         "Fig. 11: index memory sweep — miss ratio (a) and throughput (b)",
-        &["paper label", "scaled budget", "miss ratio", "rows/s/server", "lru evictions"],
+        &[
+            "paper label",
+            "scaled budget",
+            "miss ratio",
+            "rows/s/server",
+            "lru evictions",
+        ],
         &rows,
     );
     let mid = measured[2].1; // the "512 MB" point

@@ -56,7 +56,11 @@ fn main() -> feisu_common::Result<()> {
         vec!["max (ms)".into(), format!("{:.3}", pct(1.0))],
         vec!["wall clock (s)".into(), format!("{wall:.3}")],
     ];
-    feisu_bench::print_series("§VII: production-mix response distribution", &["metric", "value"], &rows);
+    feisu_bench::print_series(
+        "§VII: production-mix response distribution",
+        &["metric", "value"],
+        &rows,
+    );
 
     let idx = bench.cluster.index_stats();
     let (reuse_hits, reuse_misses) = bench.cluster.jobs().reuse_stats();

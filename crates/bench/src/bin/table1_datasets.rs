@@ -35,7 +35,12 @@ fn main() {
     // Scale factor: paper rows / 1e6 (billions → thousands).
     let specs = [
         (DatasetSpec::t1(30_000), "30 billion", "62 TB", "A (hdfs)"),
-        (DatasetSpec::t2(60_000), "130 billion", "200 TB", "B (hdfs-2)"),
+        (
+            DatasetSpec::t2(60_000),
+            "130 billion",
+            "200 TB",
+            "B (hdfs-2)",
+        ),
         (DatasetSpec::t3(10_000), "10 billion", "7 TB", "A (hdfs)"),
     ];
     let mut rows = Vec::new();
@@ -48,7 +53,10 @@ fn main() {
             fields.to_string(),
             raw.to_string(),
             stored.to_string(),
-            format!("{:.2}x", raw.as_u64() as f64 / stored.as_u64().max(1) as f64),
+            format!(
+                "{:.2}x",
+                raw.as_u64() as f64 / stored.as_u64().max(1) as f64
+            ),
             paper_size.to_string(),
             storage.to_string(),
         ]);

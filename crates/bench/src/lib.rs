@@ -311,8 +311,7 @@ mod tests {
         let mut w = ScanWorkload::new("t1", 16, 0.9, 2);
         for _ in 0..200 {
             let sql = w.next_query();
-            feisu_sql::parser::parse_query(&sql)
-                .unwrap_or_else(|e| panic!("{sql}: {e}"));
+            feisu_sql::parser::parse_query(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
         }
     }
 
@@ -342,7 +341,11 @@ mod tests {
         }
         // 5 predicates in the pool ⇒ at most 5*5 two-predicate combos
         // per connective/head shape; far below free generation.
-        assert!(preds.len() <= 120, "population must bound variety: {}", preds.len());
+        assert!(
+            preds.len() <= 120,
+            "population must bound variety: {}",
+            preds.len()
+        );
     }
 
     #[test]

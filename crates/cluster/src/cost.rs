@@ -40,6 +40,18 @@ pub struct CostModel {
     pub net_ns_per_byte: f64,
     /// CPU cost to evaluate one predicate against one value.
     pub cpu_ns_per_predicate_row: f64,
+    /// CPU cost to insert one row into a hash-join build table.
+    pub cpu_ns_per_join_build_row: f64,
+    /// CPU cost to probe the build table with one row.
+    pub cpu_ns_per_join_probe_row: f64,
+    /// CPU cost of one sort comparison.
+    pub cpu_ns_per_sort_cmp: f64,
+    /// CPU cost to materialize one projected output row.
+    pub cpu_ns_per_project_row: f64,
+    /// CPU cost to fold one row into an aggregation hash table.
+    pub cpu_ns_per_agg_update_row: f64,
+    /// CPU cost to merge one partial-aggregate transport row.
+    pub cpu_ns_per_agg_merge_row: f64,
     /// CPU cost to decompress one byte.
     pub cpu_ns_per_decompress_byte: f64,
     /// Fixed cost of dispatching one task over RPC.
@@ -50,13 +62,23 @@ impl Default for CostModel {
     fn default() -> Self {
         CostModel {
             hdd_seek: SimDuration::millis(5),
-            hdd_ns_per_byte: 10.0,  // 100 MB/s
+            hdd_ns_per_byte: 10.0, // 100 MB/s
             ssd_seek: SimDuration::micros(60),
-            ssd_ns_per_byte: 2.5,   // 400 MB/s
-            mem_ns_per_byte: 0.1,   // 10 GB/s
+            ssd_ns_per_byte: 2.5, // 400 MB/s
+            mem_ns_per_byte: 0.1, // 10 GB/s
             net_hop_latency: SimDuration::micros(100),
-            net_ns_per_byte: 8.0,   // 1 Gbps
+            net_ns_per_byte: 8.0, // 1 Gbps
             cpu_ns_per_predicate_row: 2.0,
+            // The per-operator rates are calibrated to the same per-row
+            // cost the engine historically charged through
+            // `predicate_eval` for every operator, so default simulated
+            // times are unchanged by the per-operator split.
+            cpu_ns_per_join_build_row: 2.0,
+            cpu_ns_per_join_probe_row: 2.0,
+            cpu_ns_per_sort_cmp: 2.0,
+            cpu_ns_per_project_row: 2.0,
+            cpu_ns_per_agg_update_row: 2.0,
+            cpu_ns_per_agg_merge_row: 2.0,
             cpu_ns_per_decompress_byte: 0.5,
             rpc_overhead: SimDuration::micros(200),
         }
@@ -102,6 +124,36 @@ impl CostModel {
     /// CPU cost of decompressing `size` bytes.
     pub fn decompress(&self, size: ByteSize) -> SimDuration {
         SimDuration::nanos((size.as_u64() as f64 * self.cpu_ns_per_decompress_byte) as u64)
+    }
+
+    /// CPU cost of building a hash-join table over `rows` rows.
+    pub fn join_build(&self, rows: usize) -> SimDuration {
+        SimDuration::nanos((rows as f64 * self.cpu_ns_per_join_build_row) as u64)
+    }
+
+    /// CPU cost of probing a hash-join table with `rows` rows.
+    pub fn join_probe(&self, rows: usize) -> SimDuration {
+        SimDuration::nanos((rows as f64 * self.cpu_ns_per_join_probe_row) as u64)
+    }
+
+    /// CPU cost of `cmps` sort comparisons.
+    pub fn sort_cmp(&self, cmps: usize) -> SimDuration {
+        SimDuration::nanos((cmps as f64 * self.cpu_ns_per_sort_cmp) as u64)
+    }
+
+    /// CPU cost of projecting `rows` output rows.
+    pub fn project(&self, rows: usize) -> SimDuration {
+        SimDuration::nanos((rows as f64 * self.cpu_ns_per_project_row) as u64)
+    }
+
+    /// CPU cost of folding `rows` rows into an aggregation table.
+    pub fn agg_update(&self, rows: usize) -> SimDuration {
+        SimDuration::nanos((rows as f64 * self.cpu_ns_per_agg_update_row) as u64)
+    }
+
+    /// CPU cost of merging `rows` partial-aggregate transport rows.
+    pub fn agg_merge(&self, rows: usize) -> SimDuration {
+        SimDuration::nanos((rows as f64 * self.cpu_ns_per_agg_merge_row) as u64)
     }
 }
 
@@ -152,6 +204,32 @@ mod tests {
         let t = m.network(1, ByteSize::mib(125));
         let secs = t.as_secs_f64();
         assert!((1.0..1.1).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn per_operator_rates_default_to_the_legacy_predicate_rate() {
+        // The engine historically billed every operator through
+        // `predicate_eval`; the dedicated entries must default to the same
+        // rate so simulated times are bit-identical out of the box.
+        let m = CostModel::default();
+        for rows in [0usize, 1, 7, 4096] {
+            let legacy = m.predicate_eval(rows);
+            assert_eq!(m.join_build(rows), legacy);
+            assert_eq!(m.join_probe(rows), legacy);
+            assert_eq!(m.sort_cmp(rows), legacy);
+            assert_eq!(m.project(rows), legacy);
+            assert_eq!(m.agg_update(rows), legacy);
+            assert_eq!(m.agg_merge(rows), legacy);
+        }
+    }
+
+    #[test]
+    fn per_operator_rates_are_independently_tunable() {
+        let mut m = CostModel::default();
+        m.cpu_ns_per_sort_cmp = 4.0;
+        assert_eq!(m.sort_cmp(100), SimDuration::nanos(400));
+        // Other operators keep their own rates.
+        assert_eq!(m.project(100), SimDuration::nanos(200));
     }
 
     #[test]

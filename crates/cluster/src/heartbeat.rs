@@ -99,9 +99,7 @@ impl HeartbeatTable {
     pub fn is_alive(&self, node: NodeId, now: SimInstant) -> bool {
         match self.records.get(&node) {
             None => false,
-            Some(rec) => {
-                now.since(rec.last_seen) <= self.interval * self.miss_limit as u64
-            }
+            Some(rec) => now.since(rec.last_seen) <= self.interval * self.miss_limit as u64,
         }
     }
 
@@ -178,7 +176,14 @@ mod tests {
         t.register(NodeId(1), SimInstant(0));
         let late = SimInstant::EPOCH + SimDuration::secs(60);
         assert!(!t.is_alive(NodeId(1), late));
-        t.beat(NodeId(1), late, LoadStats { running_tasks: 2, utilization: 0.5 });
+        t.beat(
+            NodeId(1),
+            late,
+            LoadStats {
+                running_tasks: 2,
+                utilization: 0.5,
+            },
+        );
         assert!(t.is_alive(NodeId(1), late));
         assert_eq!(t.load(NodeId(1)).unwrap().running_tasks, 2);
     }

@@ -7,8 +7,8 @@
 //! via the top-of-rack switch), 4 (same data center, via aggregation
 //! switches) or 6 (cross-data-center).
 
-use feisu_common::{FeisuError, NodeId, Result};
 use feisu_common::hash::FxHashMap;
+use feisu_common::{FeisuError, NodeId, Result};
 
 /// Static description of one node.
 #[derive(Debug, Clone, PartialEq)]

@@ -154,9 +154,12 @@ mod tests {
         let mut l = PriorityLink::new(GBPS);
         l.attach_metrics(&registry);
         l.set_demand(TrafficClass::ReadData, GBPS);
-        l.transfer_time(TrafficClass::ReadData, ByteSize::kib(4)).unwrap();
+        l.transfer_time(TrafficClass::ReadData, ByteSize::kib(4))
+            .unwrap();
         l.set_demand(TrafficClass::WriteData, GBPS);
-        assert!(l.transfer_time(TrafficClass::ReadData, ByteSize::kib(1)).is_none());
+        assert!(l
+            .transfer_time(TrafficClass::ReadData, ByteSize::kib(1))
+            .is_none());
         assert_eq!(registry.counter("feisu.traffic.transfers").get(), 1);
         assert_eq!(registry.counter("feisu.traffic.bytes").get(), 4096);
         assert_eq!(registry.counter("feisu.traffic.starved").get(), 1);

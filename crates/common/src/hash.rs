@@ -121,6 +121,9 @@ mod tests {
         assert_eq!(probes.len(), 7);
         assert!(probes.iter().all(|&p| p < 1024));
         let distinct: std::collections::HashSet<_> = probes.iter().collect();
-        assert!(distinct.len() >= 5, "probes should mostly differ: {probes:?}");
+        assert!(
+            distinct.len() >= 5,
+            "probes should mostly differ: {probes:?}"
+        );
     }
 }

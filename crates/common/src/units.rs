@@ -11,9 +11,7 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// A number of bytes. Used for I/O accounting and cache budgets.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {
@@ -92,9 +90,7 @@ impl fmt::Display for ByteSize {
 }
 
 /// A span of simulated time, in nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimDuration {
@@ -197,9 +193,7 @@ impl fmt::Display for SimDuration {
 }
 
 /// A point on the simulated timeline, in nanoseconds since simulation start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimInstant(pub u64);
 
 impl SimInstant {
@@ -246,7 +240,10 @@ mod tests {
     fn bytesize_arithmetic() {
         let a = ByteSize::kib(1) + ByteSize::kib(1);
         assert_eq!(a, ByteSize::kib(2));
-        assert_eq!(ByteSize::kib(1).saturating_sub(ByteSize::mib(1)), ByteSize::ZERO);
+        assert_eq!(
+            ByteSize::kib(1).saturating_sub(ByteSize::mib(1)),
+            ByteSize::ZERO
+        );
         let total: ByteSize = [ByteSize(1), ByteSize(2), ByteSize(3)].into_iter().sum();
         assert_eq!(total, ByteSize(6));
     }

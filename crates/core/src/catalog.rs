@@ -123,11 +123,7 @@ impl Catalog {
             let e = tables
                 .get(name)
                 .ok_or_else(|| FeisuError::Analysis(format!("unknown table `{name}`")))?;
-            (
-                e.desc.schema.clone(),
-                e.location.clone(),
-                e.rows_per_block,
-            )
+            (e.desc.schema.clone(), e.location.clone(), e.rows_per_block)
         };
         if columns.len() != schema.len() {
             return Err(FeisuError::Execution(format!(
@@ -254,11 +250,11 @@ pub type CatalogRef = Arc<Catalog>;
 mod tests {
     use super::*;
     use feisu_cluster::{CostModel, Topology};
+    use feisu_common::{SimDuration, UserId};
     use feisu_format::{DataType, Field};
     use feisu_storage::auth::{AuthService, Grant};
     use feisu_storage::hdfs::HdfsDomain;
     use feisu_storage::localfs::LocalFsDomain;
-    use feisu_common::{SimDuration, UserId};
 
     fn setup() -> (Catalog, StorageRouter, Credential) {
         let topo = Arc::new(Topology::grid(1, 2, 2));
@@ -330,7 +326,14 @@ mod tests {
         cat.create_table("t", schema(), "/hdfs/t", 10).unwrap();
         // Wrong arity.
         assert!(cat
-            .ingest_rows("t", vec![vec![Value::from(1i64)]], &router, &cred, None, SimInstant(0))
+            .ingest_rows(
+                "t",
+                vec![vec![Value::from(1i64)]],
+                &router,
+                &cred,
+                None,
+                SimInstant(0)
+            )
             .is_err());
         // Wrong type.
         assert!(cat

@@ -57,13 +57,17 @@ impl QueryHistory {
         if let Some(w) = &query.where_clause {
             w.columns(&mut columns);
         }
-        self.entries.lock().entry(user).or_default().push(HistoryEntry {
-            at: now,
-            sql: sql.to_string(),
-            tables,
-            predicates,
-            columns,
-        });
+        self.entries
+            .lock()
+            .entry(user)
+            .or_default()
+            .push(HistoryEntry {
+                at: now,
+                sql: sql.to_string(),
+                tables,
+                predicates,
+                columns,
+            });
     }
 
     /// The user's most frequent simple predicates within `window` of

@@ -11,14 +11,12 @@
 
 use crate::catalog::{Catalog, CatalogView};
 use crate::client::QueryHistory;
-use crate::leaf::{AggStage, LeafOutput, LeafServer, LeafTaskStats, ScanTask};
+use crate::leaf::{LeafServer, LeafTaskStats};
+use crate::master::assembly::QueryMetrics;
 use crate::master::guard::GuardLimits;
-use crate::master::job_manager::task_signature;
 use crate::master::scheduler::Policy;
-use crate::master::{EntryGuard, JobManager, JobState, Scheduler};
-use crate::stem;
-use feisu_cluster::heartbeat::{HeartbeatTable, LoadStats};
-use feisu_cluster::simclock::TimeTally;
+use crate::master::{EntryGuard, JobManager, Scheduler};
+use feisu_cluster::heartbeat::HeartbeatTable;
 use feisu_cluster::{CostModel, SimClock, Topology};
 use feisu_common::config::FeisuConfig;
 use feisu_common::hash::{FxHashMap, FxHashSet};
@@ -26,16 +24,14 @@ use feisu_common::ids::IdGen;
 use feisu_common::{
     ByteSize, FeisuError, NodeId, QueryId, Result, SimDuration, SimInstant, UserId,
 };
-use feisu_exec::aggregate::AggTable;
 use feisu_exec::batch::RecordBatch;
+use feisu_exec::physical::lower;
 use feisu_format::{Column, Schema, Value};
 use feisu_index::manager::IndexManager;
-use feisu_obs::{Counter, Histogram, MetricsRegistry, QueryProfile, SpanId, SpanRecorder};
+use feisu_obs::{MetricsRegistry, QueryProfile};
 use feisu_sql::analyze::analyze;
-use feisu_sql::ast::Expr;
-use feisu_sql::cnf::{to_cnf, Cnf, Disjunct};
 use feisu_sql::optimizer::optimize;
-use feisu_sql::plan::{build_plan, LogicalPlan};
+use feisu_sql::plan::build_plan;
 use feisu_storage::auth::{AuthService, Credential, Grant};
 use feisu_storage::fatman::FatmanDomain;
 use feisu_storage::hdfs::HdfsDomain;
@@ -44,8 +40,6 @@ use feisu_storage::localfs::LocalFsDomain;
 use feisu_storage::ssd_cache::{CachePreference, SsdCache};
 use feisu_storage::{StorageDomain, StorageRouter};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Deployment parameters.
@@ -157,8 +151,7 @@ impl QueryStats {
     pub fn merge(&mut self, other: &QueryStats) {
         let (a, b) = (self.tasks as f64, other.tasks as f64);
         if a + b > 0.0 {
-            self.processed_ratio =
-                (self.processed_ratio * a + other.processed_ratio * b) / (a + b);
+            self.processed_ratio = (self.processed_ratio * a + other.processed_ratio * b) / (a + b);
         }
         self.tasks += other.tasks;
         self.reused_tasks += other.reused_tasks;
@@ -204,65 +197,31 @@ pub struct QueryResult {
     pub profile: QueryProfile,
 }
 
-/// Cached handles for the cluster-wide query/task metrics so the per-query
-/// path never touches the registry's name map.
-struct QueryMetrics {
-    queries: Arc<Counter>,
-    errors: Arc<Counter>,
-    partial: Arc<Counter>,
-    spilled: Arc<Counter>,
-    response_ns: Arc<Histogram>,
-    tasks: Arc<Counter>,
-    reused: Arc<Counter>,
-    backup: Arc<Counter>,
-    pruned_by_zone: Arc<Counter>,
-    memory_served: Arc<Counter>,
-    bytes_read: Arc<Counter>,
-}
-
-impl QueryMetrics {
-    fn new(registry: &MetricsRegistry) -> QueryMetrics {
-        QueryMetrics {
-            queries: registry.counter("feisu.query.count"),
-            errors: registry.counter("feisu.query.errors"),
-            partial: registry.counter("feisu.query.partial"),
-            spilled: registry.counter("feisu.query.spilled_results"),
-            response_ns: registry.histogram("feisu.query.response_ns"),
-            tasks: registry.counter("feisu.task.count"),
-            reused: registry.counter("feisu.task.reused"),
-            backup: registry.counter("feisu.task.backup"),
-            pruned_by_zone: registry.counter("feisu.task.pruned_by_zone"),
-            memory_served: registry.counter("feisu.task.memory_served"),
-            bytes_read: registry.counter("feisu.task.bytes_read"),
-        }
-    }
-}
-
 /// The assembled Feisu deployment.
 pub struct FeisuCluster {
-    spec: ClusterSpec,
-    clock: SimClock,
-    topology: Arc<Topology>,
-    router: Arc<StorageRouter>,
-    auth: Arc<AuthService>,
-    catalog: Catalog,
-    leaves: FxHashMap<NodeId, LeafServer>,
-    heartbeats: Mutex<HeartbeatTable>,
-    scheduler: Scheduler,
-    guard: EntryGuard,
-    jobs: JobManager,
-    history: QueryHistory,
-    failed_nodes: FxHashSet<NodeId>,
-    slow_nodes: FxHashMap<NodeId, f64>,
+    pub(crate) spec: ClusterSpec,
+    pub(crate) clock: SimClock,
+    pub(crate) topology: Arc<Topology>,
+    pub(crate) router: Arc<StorageRouter>,
+    pub(crate) auth: Arc<AuthService>,
+    pub(crate) catalog: Catalog,
+    pub(crate) leaves: FxHashMap<NodeId, LeafServer>,
+    pub(crate) heartbeats: Mutex<HeartbeatTable>,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) guard: EntryGuard,
+    pub(crate) jobs: JobManager,
+    pub(crate) history: QueryHistory,
+    pub(crate) failed_nodes: FxHashSet<NodeId>,
+    pub(crate) slow_nodes: FxHashMap<NodeId, f64>,
     /// Per-node resource consumption agreements (§V-A): business-critical
     /// load shrinks the slots Feisu may use.
-    resources: Mutex<FxHashMap<NodeId, feisu_cluster::resources::ResourceAgreement>>,
-    user_names: FxHashMap<String, UserId>,
-    user_ids: IdGen,
-    query_ids: IdGen,
-    system_cred: Credential,
-    metrics: Arc<MetricsRegistry>,
-    qmetrics: QueryMetrics,
+    pub(crate) resources: Mutex<FxHashMap<NodeId, feisu_cluster::resources::ResourceAgreement>>,
+    pub(crate) user_names: FxHashMap<String, UserId>,
+    pub(crate) user_ids: IdGen,
+    pub(crate) query_ids: IdGen,
+    pub(crate) system_cred: Credential,
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    pub(crate) qmetrics: QueryMetrics,
 }
 
 const SYSTEM_USER: UserId = UserId(0);
@@ -271,9 +230,7 @@ impl FeisuCluster {
     /// Builds a deployment: topology, the four storage domains, auth,
     /// SSD cache, leaf servers.
     pub fn new(spec: ClusterSpec) -> Result<FeisuCluster> {
-        spec.config
-            .validate()
-            .map_err(FeisuError::Config)?;
+        spec.config.validate().map_err(FeisuError::Config)?;
         let clock = SimClock::new();
         let metrics = Arc::new(MetricsRegistry::new());
         let topology = Arc::new(Topology::grid(
@@ -315,7 +272,8 @@ impl FeisuCluster {
         for d in 0..4u64 {
             auth.grant(SYSTEM_USER, feisu_common::DomainId(d), Grant::ReadWrite);
         }
-        let system_cred = auth.issue(SYSTEM_USER, clock.now(), SimDuration::hours(24 * 365 * 10))?;
+        let system_cred =
+            auth.issue(SYSTEM_USER, clock.now(), SimDuration::hours(24 * 365 * 10))?;
         let cache = (!spec.ssd_cache_prefixes.is_empty()).then(|| {
             Arc::new(SsdCache::new(
                 spec.config.ssd_cache_capacity,
@@ -344,8 +302,7 @@ impl FeisuCluster {
         );
         for n in topology.nodes() {
             heartbeats.register(n.id, clock.now());
-            let index =
-                IndexManager::new(spec.config.index_memory_per_leaf, spec.config.index_ttl);
+            let index = IndexManager::new(spec.config.index_memory_per_leaf, spec.config.index_ttl);
             // Every leaf feeds the same registry: the feisu.index.* counters
             // are cluster-wide totals.
             index.attach_metrics(&metrics);
@@ -448,7 +405,8 @@ impl FeisuCluster {
 
     /// Issues an 8-hour SSO credential.
     pub fn login(&self, user: UserId) -> Result<Credential> {
-        self.auth.issue(user, self.clock.now(), SimDuration::hours(8))
+        self.auth
+            .issue(user, self.clock.now(), SimDuration::hours(8))
     }
 
     pub fn auth(&self) -> &Arc<AuthService> {
@@ -507,7 +465,10 @@ impl FeisuCluster {
 
     /// Slots Feisu may currently use on a node under its agreement.
     pub fn feisu_slot_limit(&self, node: NodeId) -> u32 {
-        self.resources.lock().get(&node).map_or(0, |a| a.feisu_limit())
+        self.resources
+            .lock()
+            .get(&node)
+            .map_or(0, |a| a.feisu_limit())
     }
 
     /// Per-node SmartIndex statistics (summed).
@@ -557,14 +518,9 @@ impl FeisuCluster {
         columns: Vec<Column>,
         cred: &Credential,
     ) -> Result<usize> {
-        let ids = self.catalog.ingest(
-            table,
-            columns,
-            &self.router,
-            cred,
-            None,
-            self.clock.now(),
-        )?;
+        let ids =
+            self.catalog
+                .ingest(table, columns, &self.router, cred, None, self.clock.now())?;
         Ok(ids.len())
     }
 
@@ -575,14 +531,9 @@ impl FeisuCluster {
         rows: Vec<Vec<Value>>,
         cred: &Credential,
     ) -> Result<usize> {
-        let ids = self.catalog.ingest_rows(
-            table,
-            rows,
-            &self.router,
-            cred,
-            None,
-            self.clock.now(),
-        )?;
+        let ids =
+            self.catalog
+                .ingest_rows(table, rows, &self.router, cred, None, self.clock.now())?;
         Ok(ids.len())
     }
 
@@ -607,8 +558,10 @@ impl FeisuCluster {
 
     // ------------------------------------------------------------ query
 
-    /// Returns the optimized logical plan for a statement without
-    /// executing it (EXPLAIN).
+    /// Returns the lowered physical plan for a statement without
+    /// executing it (EXPLAIN): the same operator tree the pipeline will
+    /// interpret, with aggregation-pushdown annotations on distributed
+    /// scans.
     pub fn explain(&self, sql: &str, cred: &Credential) -> Result<String> {
         let query = QueryHistory::syntax_check(sql)?;
         for tref in query.all_tables() {
@@ -618,8 +571,9 @@ impl FeisuCluster {
                 .authorize(cred, domain.id(), Grant::Read, self.clock.now())?;
         }
         let resolved = analyze(&query, &CatalogView(&self.catalog))?;
-        let plan = optimize(build_plan(&resolved)?)?;
-        Ok(plan.display_indent())
+        let logical = optimize(build_plan(&resolved)?)?;
+        let physical = lower(&logical, &CatalogView(&self.catalog))?;
+        Ok(physical.display_indent())
     }
 
     /// Ingests nested JSON documents (paper §III-A: "nested data format
@@ -685,859 +639,15 @@ impl FeisuCluster {
         outcome
     }
 
-    fn run_admitted(
-        &mut self,
-        sql: &str,
-        query: &feisu_sql::ast::Query,
-        cred: &Credential,
-        options: &QueryOptions,
-        now: SimInstant,
-        query_id: QueryId,
-    ) -> Result<QueryResult> {
-        // Access verification: read grant on every touched table's domain.
-        for tref in query.all_tables() {
-            let location = self.catalog.location(&tref.name)?;
-            let domain = self.router.domain_of(&location);
-            self.auth
-                .authorize(cred, domain.id(), Grant::Read, now)?;
-        }
-
-        // Analyze, plan, optimize.
-        let resolved = analyze(query, &CatalogView(&self.catalog))?;
-        let plan = optimize(build_plan(&resolved)?)?;
-
-        // Beat the heartbeat table for all live nodes.
-        self.tick_heartbeats(now);
-
-        let total_blocks: usize = resolved
-            .tables
-            .iter()
-            .map(|t| self.catalog.table(&t.table).map(|d| d.block_count()).unwrap_or(0))
-            .sum();
-        let job = self
-            .jobs
-            .create_job(query_id, cred.user, sql, total_blocks, now);
-        self.jobs.set_state(job, JobState::Running);
-
-        let mut ctx = ExecCtx {
-            cred: cred.clone(),
-            now,
-            options: options.clone(),
-            stats: QueryStats::default(),
-            tally: TimeTally::new(),
-            partial: false,
-            spans: SpanRecorder::new(),
-            root_spans: Vec::new(),
-            backend_bytes: BTreeMap::new(),
-            tier_tasks: BTreeMap::new(),
-        };
-        // Master overhead: parsing/planning/dispatch RPC.
-        ctx.tally.add_cpu(self.spec.cost.rpc_overhead);
-
-        let result = self.exec_plan(&plan, &mut ctx);
-        match &result {
-            Ok(_) => self.jobs.set_state(
-                job,
-                if ctx.partial {
-                    JobState::Abandoned
-                } else {
-                    JobState::Succeeded
-                },
-            ),
-            Err(_) => self.jobs.set_state(job, JobState::Failed),
-        }
-        self.jobs.note_reused(job, ctx.stats.reused_tasks);
-        let batch = result?;
-
-        let response_time = ctx.tally.total();
-        // The cluster's wall clock moves by the query's duration.
-        self.clock.advance(response_time);
-
-        // The processed ratio is derived from the recorded task spans: every
-        // leaf task of every scan leaves one `leaf_task` span, and abandoned
-        // ones carry the `abandoned` attribute.
-        let total_leaf = ctx.spans.count_named("leaf_task");
-        if total_leaf > 0 {
-            let abandoned = ctx.spans.count_named_with_attr("leaf_task", "abandoned");
-            ctx.stats.processed_ratio = (total_leaf - abandoned) as f64 / total_leaf as f64;
-        }
-
-        // Close the profile: a master span covering the whole query adopts
-        // the per-scan stem spans (and any abandoned leaves).
-        let master = ctx.spans.record(
-            "master",
-            None,
-            SimInstant(0),
-            SimInstant(response_time.as_nanos()),
-        );
-        for span in std::mem::take(&mut ctx.root_spans) {
-            ctx.spans.set_parent(span, Some(master));
-        }
-        let mut profile = QueryProfile::new(query_id.0);
-        profile.push_summary("response time", response_time);
-        profile.push_summary(
-            "tasks",
-            format!(
-                "{} (reused {}, backup {}, pruned {})",
-                ctx.stats.tasks,
-                ctx.stats.reused_tasks,
-                ctx.stats.backup_tasks,
-                ctx.stats.pruned_blocks
-            ),
-        );
-        profile.push_summary(
-            "smartindex",
-            format!(
-                "hits {}, built {}, rejected {}, scanned predicates {}",
-                ctx.stats.index_hits,
-                ctx.stats.index_built,
-                ctx.stats.index_rejected,
-                ctx.stats.scanned_predicates
-            ),
-        );
-        let mut bytes_line = format!("{} total", ctx.stats.bytes_read);
-        for (backend, bytes) in &ctx.backend_bytes {
-            use std::fmt::Write as _;
-            let _ = write!(bytes_line, " {backend}={}", ByteSize(*bytes));
-        }
-        profile.push_summary("bytes read", bytes_line);
-        if !ctx.tier_tasks.is_empty() {
-            let served = ctx
-                .tier_tasks
-                .iter()
-                .map(|(tier, n)| format!("{tier}={n}"))
-                .collect::<Vec<_>>()
-                .join(" ");
-            profile.push_summary("served from", served);
-        }
-        profile.push_summary(
-            "processed ratio",
-            format!("{:.1}%", ctx.stats.processed_ratio * 100.0),
-        );
-        if ctx.stats.spilled_results > 0 {
-            profile.push_summary("spilled results", ctx.stats.spilled_results);
-        }
-        profile.tree = ctx.spans.tree();
-
-        let m = &self.qmetrics;
-        m.response_ns.observe(response_time.as_nanos());
-        m.tasks.add(ctx.stats.tasks as u64);
-        m.reused.add(ctx.stats.reused_tasks as u64);
-        m.backup.add(ctx.stats.backup_tasks as u64);
-        m.pruned_by_zone.add(ctx.stats.pruned_blocks as u64);
-        m.memory_served.add(ctx.stats.memory_served_tasks as u64);
-        m.bytes_read.add(ctx.stats.bytes_read.0);
-        m.spilled.add(ctx.stats.spilled_results as u64);
-        if ctx.partial {
-            m.partial.inc();
-        }
-
-        Ok(QueryResult {
-            query_id,
-            batch,
-            response_time,
-            stats: ctx.stats,
-            partial: ctx.partial,
-            profile,
-        })
-    }
-
-    fn tick_heartbeats(&self, now: SimInstant) {
-        let mut hb = self.heartbeats.lock();
-        for n in self.topology.nodes() {
-            if !self.failed_nodes.contains(&n.id) {
-                hb.beat(n.id, now, LoadStats::default());
-            }
-        }
-    }
-
-    // ----------------------------------------------------- plan walking
-
-    fn exec_plan(&mut self, plan: &LogicalPlan, ctx: &mut ExecCtx) -> Result<RecordBatch> {
-        match plan {
-            LogicalPlan::Aggregate {
-                input,
-                group_by,
-                aggregates,
-                output_schema,
-            } => {
-                // Push partial aggregation to the leaves when the input is
-                // a bare scan (the dominant shape, Fig. 8).
-                if let LogicalPlan::Scan {
-                    table,
-                    projection,
-                    predicate,
-                    output_schema: scan_schema,
-                    ..
-                } = input.as_ref()
-                {
-                    let stage = AggStage {
-                        group_by: group_by.clone(),
-                        aggregates: aggregates.clone(),
-                    };
-                    let merged = self.distributed_scan(
-                        table,
-                        projection,
-                        predicate.as_ref(),
-                        scan_schema,
-                        Some(stage),
-                        ctx,
-                    )?;
-                    let table = AggTable::from_transport(
-                        group_by.clone(),
-                        aggregates.clone(),
-                        &merged,
-                    )?;
-                    ctx.tally
-                        .add_cpu(self.spec.cost.predicate_eval(merged.rows().max(1)));
-                    return table.finish(output_schema);
-                }
-                let batch = self.exec_plan(input, ctx)?;
-                let mut agg = AggTable::new(group_by.clone(), aggregates.clone());
-                agg.update(&batch)?;
-                ctx.tally
-                    .add_cpu(self.spec.cost.predicate_eval(batch.rows().max(1)));
-                agg.finish(output_schema)
-            }
-            LogicalPlan::Scan {
-                table,
-                projection,
-                predicate,
-                output_schema,
-                ..
-            } => self.distributed_scan(
-                table,
-                projection,
-                predicate.as_ref(),
-                output_schema,
-                None,
-                ctx,
-            ),
-            LogicalPlan::Filter { input, predicate } => {
-                let batch = self.exec_plan(input, ctx)?;
-                ctx.tally
-                    .add_cpu(self.spec.cost.predicate_eval(batch.rows().max(1)));
-                feisu_exec::ops::filter(&batch, predicate)
-            }
-            LogicalPlan::Project {
-                input,
-                exprs,
-                output_schema,
-            } => {
-                let batch = self.exec_plan(input, ctx)?;
-                ctx.tally
-                    .add_cpu(self.spec.cost.predicate_eval(batch.rows().max(1)));
-                feisu_exec::ops::project(&batch, exprs, output_schema)
-            }
-            LogicalPlan::Join {
-                left,
-                right,
-                kind,
-                on,
-                output_schema,
-            } => {
-                let l = self.exec_plan(left, ctx)?;
-                let r = self.exec_plan(right, ctx)?;
-                ctx.tally.add_cpu(
-                    self.spec
-                        .cost
-                        .predicate_eval((l.rows() + r.rows()).max(1)),
-                );
-                feisu_exec::join::join(&l, &r, *kind, on, output_schema)
-            }
-            LogicalPlan::Sort { input, keys, fetch } => {
-                let batch = self.exec_plan(input, ctx)?;
-                let n = batch.rows().max(2);
-                ctx.tally.add_cpu(
-                    self.spec
-                        .cost
-                        .predicate_eval(n * (usize::BITS - n.leading_zeros()) as usize),
-                );
-                feisu_exec::sort::sort(&batch, keys, *fetch)
-            }
-            LogicalPlan::Limit { input, fetch } => {
-                let batch = self.exec_plan(input, ctx)?;
-                feisu_exec::ops::limit(&batch, *fetch)
-            }
-        }
-    }
-
-    // ----------------------------------------------- distributed scans
-
-    #[allow(clippy::too_many_arguments)]
-    fn distributed_scan(
-        &mut self,
-        table: &str,
-        projection: &[String],
-        predicate: Option<&Expr>,
-        output_schema: &Schema,
-        agg: Option<AggStage>,
-        ctx: &mut ExecCtx,
-    ) -> Result<RecordBatch> {
-        let desc = self.catalog.table(table)?;
-        // Canonical → storage name map covers the whole table schema.
-        let mut name_map: FxHashMap<String, String> = FxHashMap::default();
-        for (canon, storage) in output_schema
-            .fields()
-            .iter()
-            .map(|f| f.name.clone())
-            .zip(projection.iter().cloned())
-        {
-            name_map.insert(canon, storage);
-        }
-        // Predicate columns outside the projection also need mapping: a
-        // canonical name is `binding.col` or bare `col`; strip qualifier.
-        if let Some(p) = predicate {
-            let mut cols = Vec::new();
-            p.columns(&mut cols);
-            for c in cols {
-                // Dotted names may be real storage columns (flattened
-                // JSON paths); strip the table qualifier only when the
-                // full name is not a column of the table itself.
-                let storage = if desc.schema.index_of(&c).is_some() {
-                    c.clone()
-                } else {
-                    c.rsplit('.').next().unwrap_or(&c).to_string()
-                };
-                name_map.entry(c.clone()).or_insert(storage);
-            }
-        }
-
-        // Split the predicate into indexable CNF clauses and residuals.
-        let (cnf, residual) = match predicate {
-            None => (Cnf::default(), Vec::new()),
-            Some(p) => {
-                let full = to_cnf(p);
-                let mut indexable = Vec::new();
-                let mut residual = Vec::new();
-                for clause in full.clauses {
-                    let all_simple = clause
-                        .disjuncts
-                        .iter()
-                        .all(|d| matches!(d, Disjunct::Simple(_)));
-                    if all_simple {
-                        indexable.push(clause);
-                    } else {
-                        residual.push(clause.to_expr());
-                    }
-                }
-                (Cnf { clauses: indexable }, residual)
-            }
-        };
-
-        // One task per block.
-        let blocks: Vec<_> = desc.blocks().cloned().collect();
-        let agg_shape = agg.clone();
-        let mut tasks: Vec<ScanTask> = Vec::with_capacity(blocks.len());
-        let mut replica_sets: Vec<Vec<NodeId>> = Vec::with_capacity(blocks.len());
-        for block in blocks {
-            replica_sets.push(self.router.replicas(&block.path)?);
-            tasks.push(ScanTask {
-                table: table.to_string(),
-                block,
-                projection: projection.to_vec(),
-                output_schema: output_schema.clone(),
-                cnf: cnf.clone(),
-                residual: residual.clone(),
-                agg: agg.clone(),
-                name_map: name_map.clone(),
-            });
-        }
-        ctx.stats.tasks += tasks.len();
-        if tasks.is_empty() {
-            // Empty table: aggregate stages still need a zero-state.
-            if let Some(stage) = &agg_shape {
-                let t = AggTable::new(stage.group_by.clone(), stage.aggregates.clone());
-                return t.to_transport();
-            }
-            return Ok(RecordBatch::empty(output_schema.clone()));
-        }
-
-        // Schedule.
-        let assignments = {
-            let hb = self.heartbeats.lock();
-            self.scheduler
-                .assign_all(&replica_sets, &self.topology, &hb, ctx.now)?
-        };
-
-        // Execute, tracking per-node serialized time.
-        // The signature must cover the FULL predicate — indexable clauses
-        // AND residual ones — or queries differing only in a residual
-        // clause would wrongly share cached task results.
-        let cnf_display = cnf
-            .clauses
-            .iter()
-            .map(|c| c.to_expr().to_string())
-            .chain(residual.iter().map(|e| e.to_string()))
-            .collect::<Vec<_>>()
-            .join("&");
-        let agg_display = agg_shape
-            .as_ref()
-            .map(|s| {
-                s.aggregates
-                    .iter()
-                    .map(|a| a.name.clone())
-                    .collect::<Vec<_>>()
-                    .join(",")
-            })
-            .unwrap_or_default();
-        // Spans sit on the query-relative timeline; leaf work of this scan
-        // starts after everything the master has already accounted.
-        let scan_base = ctx.tally.total().as_nanos();
-
-        // --- Phase 1 (serial): task-reuse lookups, in submission order.
-        // Within one scan every task covers a distinct block, so no two
-        // tasks share a signature — looking all of them up before any
-        // store is equivalent to the serial interleaving.
-        let mut planned: Vec<Planned> = Vec::with_capacity(tasks.len());
-        for task in &tasks {
-            let signature = task_signature(
-                table,
-                task.block.id,
-                &cnf_display,
-                projection,
-                &agg_display,
-            );
-            match self.jobs.lookup_task(&signature, ctx.now) {
-                // Reuse is a master-side cache hit: negligible leaf time.
-                Some((batch, is_agg)) => planned.push(Planned::Reused { batch, is_agg }),
-                None => planned.push(Planned::Run { signature }),
-            }
-        }
-
-        // --- Phase 2 (parallel): run the leaf tasks. Tasks assigned to
-        // the same node are serialized in submission order on one worker,
-        // so each leaf's SmartIndex cache sees exactly the state sequence
-        // it would under serial execution; everything order-sensitive on
-        // the master side is deferred to the serial merge below. All
-        // simulated time comes from per-node tallies, never wall clock, so
-        // results are bit-identical at any thread count.
-        let run_order: Vec<usize> = planned
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| matches!(p, Planned::Run { .. }))
-            .map(|(i, _)| i)
-            .collect();
-        let threads = self.effective_threads().min(run_order.len().max(1));
-        let mut results: Vec<Option<Result<TaskExec>>> =
-            (0..tasks.len()).map(|_| None).collect();
-        if threads <= 1 {
-            for &i in &run_order {
-                results[i] =
-                    Some(self.execute_with_backup(&tasks[i], assignments[i], &ctx.cred, ctx.now));
-            }
-        } else {
-            // Group run-indices by assigned node, preserving submission
-            // order within each group.
-            let mut groups: Vec<Vec<usize>> = Vec::new();
-            let mut group_of: FxHashMap<NodeId, usize> = FxHashMap::default();
-            for &i in &run_order {
-                let g = *group_of.entry(assignments[i].node).or_insert_with(|| {
-                    groups.push(Vec::new());
-                    groups.len() - 1
-                });
-                groups[g].push(i);
-            }
-            let this: &FeisuCluster = self;
-            let cred = &ctx.cred;
-            let now = ctx.now;
-            let next = AtomicUsize::new(0);
-            let workers = threads.min(groups.len());
-            let chunks: Vec<Vec<(usize, Result<TaskExec>)>> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let (next, groups, tasks, assignments) =
-                            (&next, &groups, &tasks, &assignments);
-                        s.spawn(move || {
-                            let mut done = Vec::new();
-                            loop {
-                                let g = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(group) = groups.get(g) else { break };
-                                for &i in group {
-                                    done.push((
-                                        i,
-                                        this.execute_with_backup(
-                                            &tasks[i],
-                                            assignments[i],
-                                            cred,
-                                            now,
-                                        ),
-                                    ));
-                                }
-                            }
-                            done
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("executor worker panicked"))
-                    .collect()
-            });
-            for chunk in chunks {
-                for (i, r) in chunk {
-                    results[i] = Some(r);
-                }
-            }
-        }
-
-        // --- Phase 3 (serial): merge per-task results in submission
-        // order. Stats folding, task-result stores, node-time accounting
-        // and span recording all happen here so their order — and thus the
-        // simulated outcome — is independent of worker scheduling. Errors
-        // surface as the first failing task by submission order (serial
-        // mode stops there; parallel mode has already run the rest, which
-        // only warms caches).
-        let mut node_time: FxHashMap<NodeId, SimDuration> = FxHashMap::default();
-        let mut outputs: Vec<TaskRun> = Vec::new();
-        for (i, plan) in planned.into_iter().enumerate() {
-            let signature = match plan {
-                Planned::Reused { batch, is_agg } => {
-                    ctx.stats.reused_tasks += 1;
-                    let out = LeafOutput {
-                        batch,
-                        is_agg_transport: is_agg,
-                        tally: TimeTally::new(),
-                        stats: LeafTaskStats::default(),
-                    };
-                    let done = *node_time.entry(assignments[i].node).or_default();
-                    let at = SimInstant(scan_base + done.as_nanos());
-                    let span = ctx.spans.record("leaf_task", None, at, at);
-                    ctx.spans.attr(span, "node", assignments[i].node.to_string());
-                    ctx.spans.attr(span, "reused", 1u64);
-                    outputs.push(TaskRun {
-                        done,
-                        start_ns: at.as_nanos(),
-                        end_ns: at.as_nanos(),
-                        total: SimDuration::ZERO,
-                        span,
-                        out,
-                    });
-                    continue;
-                }
-                Planned::Run { signature } => signature,
-            };
-            let exec = results[i].take().expect("task was executed")?;
-            let TaskExec {
-                node,
-                out: output,
-                backup,
-            } = exec;
-            if backup {
-                ctx.stats.backup_tasks += 1;
-            }
-            ctx.stats.merge(&QueryStats::from_leaf(&output.stats));
-            self.jobs.store_task(
-                signature,
-                output.batch.clone(),
-                output.is_agg_transport,
-                ctx.now,
-            );
-            let t = node_time.entry(node).or_default();
-            *t += output.tally.total();
-            let done = *t;
-            let total = output.tally.total();
-            let start_ns = scan_base + done.as_nanos() - total.as_nanos();
-            let end_ns = scan_base + done.as_nanos();
-            let span = ctx
-                .spans
-                .record("leaf_task", None, SimInstant(start_ns), SimInstant(end_ns));
-            ctx.spans.attr(span, "node", node.to_string());
-            ctx.spans.attr(span, "rows", output.batch.rows());
-            ctx.spans.attr(span, "bytes_read", output.stats.bytes_read);
-            if output.stats.index_hits > 0 {
-                ctx.spans.attr(span, "index_hits", output.stats.index_hits);
-            }
-            if output.stats.index_built > 0 {
-                ctx.spans.attr(span, "index_built", output.stats.index_built);
-            }
-            if output.stats.index_rejected > 0 {
-                ctx.spans
-                    .attr(span, "index_rejected", output.stats.index_rejected);
-            }
-            if output.stats.pruned_by_zone {
-                ctx.spans.attr(span, "pruned_by_zone", 1u64);
-            }
-            ctx.spans
-                .attr(span, "tier", output.stats.served_tier.to_string());
-            *ctx
-                .tier_tasks
-                .entry(output.stats.served_tier.to_string())
-                .or_default() += 1;
-            if let Some(backend) = output.stats.backend {
-                if let Some(d) = self.router.domains().iter().find(|d| d.id() == backend) {
-                    let prefix = d.prefix().to_string();
-                    ctx.spans.attr(span, "backend", prefix.as_str());
-                    *ctx.backend_bytes.entry(prefix).or_default() +=
-                        output.stats.bytes_read.0;
-                }
-            }
-            outputs.push(TaskRun {
-                done,
-                start_ns,
-                end_ns,
-                total,
-                span,
-                out: output,
-            });
-        }
-
-        // Partial-result handling: tasks finishing after the limit are
-        // abandoned if the processed ratio is already satisfied. The final
-        // `QueryStats::processed_ratio` is derived from the spans at the end
-        // of the query, so abandoned tasks only need their marker here.
-        let total_tasks = outputs.len();
-        let mut kept: Vec<TaskRun> = Vec::with_capacity(total_tasks);
-        let mut abandoned = 0usize;
-        if let Some(limit) = ctx.options.time_limit {
-            for run in outputs {
-                if run.done <= limit {
-                    kept.push(run);
-                } else {
-                    abandoned += 1;
-                    ctx.spans.attr(run.span, "abandoned", 1u64);
-                    ctx.root_spans.push(run.span);
-                }
-            }
-            let achieved = kept.len() as f64 / total_tasks as f64;
-            if abandoned > 0 {
-                if achieved + 1e-12 < ctx.options.processed_ratio {
-                    return Err(FeisuError::Deadline(format!(
-                        "only {:.0}% of tasks finished within {limit}, {:.0}% required",
-                        achieved * 100.0,
-                        ctx.options.processed_ratio * 100.0
-                    )));
-                }
-                ctx.partial = true;
-            }
-        } else {
-            kept = outputs;
-        }
-        if kept.is_empty() {
-            if let Some(stage) = &agg_shape {
-                let t = AggTable::new(stage.group_by.clone(), stage.aggregates.clone());
-                return t.to_transport();
-            }
-            return Ok(RecordBatch::empty(output_schema.clone()));
-        }
-
-        // Critical path: slowest node, capped by the time limit when
-        // partial results were returned.
-        let mut critical = node_time.values().copied().fold(SimDuration::ZERO, |a, b| a.max(b));
-        if let Some(limit) = ctx.options.time_limit {
-            if ctx.partial {
-                critical = critical.max(limit).min(limit);
-            }
-        }
-        let mut scan_tally = TimeTally::new();
-        scan_tally.add_io(critical); // critical path of leaf work
-
-        // Merge bottom-up through the stem tree. Each stem's span starts
-        // with its earliest child and ends after the slowest child plus the
-        // stem's own merge time on top.
-        let agg_ref = agg_shape
-            .as_ref()
-            .map(|s| (s.group_by.as_slice(), s.aggregates.as_slice()));
-        let per_stem = self.spec.config.leaves_per_stem.max(1);
-        let mut groups: Vec<Vec<TaskRun>> = Vec::new();
-        for run in kept {
-            if groups.last().is_none_or(|g| g.len() == per_stem) {
-                groups.push(Vec::with_capacity(per_stem));
-            }
-            groups.last_mut().expect("just pushed").push(run);
-        }
-        let mut stem_outputs = Vec::new();
-        for group in groups {
-            let child_min = group.iter().map(|r| r.start_ns).min().unwrap_or(scan_base);
-            let child_max = group.iter().map(|r| r.end_ns).max().unwrap_or(scan_base);
-            let slowest_child = group
-                .iter()
-                .map(|r| r.total)
-                .fold(SimDuration::ZERO, |a, b| a.max(b));
-            let child_spans: Vec<SpanId> = group.iter().map(|r| r.span).collect();
-            let task_count = group.len();
-            let stem_out = stem::merge_leaf_outputs(
-                group.into_iter().map(|r| r.out).collect(),
-                agg_ref,
-                &self.spec.cost,
-                2,
-            )?;
-            let stem_extra = stem_out
-                .tally
-                .total()
-                .as_nanos()
-                .saturating_sub(slowest_child.as_nanos());
-            let span = ctx.spans.record(
-                "stem",
-                None,
-                SimInstant(child_min),
-                SimInstant(child_max + stem_extra),
-            );
-            ctx.spans.attr(span, "tasks", task_count);
-            for child in child_spans {
-                ctx.spans.set_parent(child, Some(span));
-            }
-            ctx.root_spans.push(span);
-            stem_outputs.push(stem_out);
-        }
-        let root = stem::merge_stem_outputs(stem_outputs, agg_ref, &self.spec.cost, 4)?;
-        // The stem/master merge happens after the slowest leaf: charge its
-        // cpu+network on top of the leaf critical path.
-        scan_tally.add_cpu(root.tally.cpu);
-        scan_tally.add_network(root.tally.network);
-        ctx.tally = ctx.tally.then(&scan_tally);
-
-        // §V-C read-data flow: an oversized result is dumped to global
-        // storage and only its location travels to the master, which
-        // fetches it through the bulk path.
-        let payload = ByteSize(root.batch.footprint() as u64);
-        if payload > self.spec.config.result_spill_threshold {
-            ctx.stats.spilled_results += 1;
-            let spill_path = format!("/hdfs/.feisu/tmp/q{}", ctx.now.as_nanos());
-            // The spill is a round trip through the global store: one
-            // write from the stem, one read at the master.
-            self.router.write(
-                &spill_path,
-                bytes::Bytes::from(vec![0u8; 0]), // marker object; data stays in memory
-                None,
-                &self.system_cred,
-                ctx.now,
-            )?;
-            let mut spill_tally = TimeTally::new();
-            spill_tally.add_io(
-                self.spec.cost.read(feisu_cluster::StorageMedium::Hdd, payload) * 2,
-            );
-            ctx.tally = ctx.tally.then(&spill_tally);
-        }
-        Ok(root.batch)
-    }
-
-    /// Worker-thread count for the leaf-task pool: the `execution_threads`
-    /// knob, with `0` meaning "whatever the machine offers".
-    fn effective_threads(&self) -> usize {
-        match self.spec.config.execution_threads {
-            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-            n => n,
-        }
-    }
-
-    /// Runs a task on its assigned node, launching a backup task when the
-    /// node is dead or pathologically slow (§III-B fault tolerance).
-    /// Shared-state only (`&self`): safe to call from pool workers. All
-    /// master-side bookkeeping (stats, spans, node time) is the caller's
-    /// job — this returns what happened, including whether a backup fired.
-    fn execute_with_backup(
-        &self,
-        task: &ScanTask,
-        assignment: crate::master::Assignment,
-        cred: &Credential,
-        now: SimInstant,
-    ) -> Result<TaskExec> {
-        let node = assignment.node;
-        let slow = self.slow_nodes.get(&node).copied().unwrap_or(1.0);
-        match self.run_on_leaf(task, node, cred, now) {
-            Ok(mut out) => {
-                let mut backup = false;
-                if slow > 1.0 {
-                    out.tally = scale_tally(&out.tally, slow);
-                    // Straggler mitigation: a backup on a healthy node
-                    // bounds the effective time at delay + normal time.
-                    let normal_total = scale_tally(&out.tally, 1.0 / slow).total();
-                    let backup_total = self.spec.config.backup_task_delay + normal_total;
-                    if backup_total < out.tally.total() {
-                        backup = true;
-                        let mut t = TimeTally::new();
-                        t.add_io(backup_total);
-                        out.tally = t;
-                    }
-                }
-                Ok(TaskExec { node, out, backup })
-            }
-            Err(e) if e.is_retryable() => {
-                // Backup task on the next-best node.
-                let replicas = self.router.replicas(&task.block.path)?;
-                let alive: Vec<NodeId> = {
-                    let hb = self.heartbeats.lock();
-                    hb.alive_nodes(now)
-                        .into_iter()
-                        .filter(|n| *n != node && !self.failed_nodes.contains(n))
-                        .collect()
-                };
-                let backup_node = alive
-                    .iter()
-                    .copied()
-                    .find(|n| replicas.contains(n))
-                    .or_else(|| alive.first().copied())
-                    .ok_or_else(|| {
-                        FeisuError::Scheduling("no backup worker available".into())
-                    })?;
-                let mut out = self.run_on_leaf(task, backup_node, cred, now)?;
-                // The backup started after the detection delay.
-                let mut t = TimeTally::new();
-                t.add_io(self.spec.config.backup_task_delay + out.tally.total());
-                out.tally = t;
-                Ok(TaskExec {
-                    node: backup_node,
-                    out,
-                    backup: true,
-                })
-            }
-            Err(e) => Err(e),
-        }
-    }
-
-    fn run_on_leaf(
-        &self,
-        task: &ScanTask,
-        node: NodeId,
-        cred: &Credential,
-        now: SimInstant,
-    ) -> Result<LeafOutput> {
-        if self.failed_nodes.contains(&node) {
-            return Err(FeisuError::NodeUnavailable(format!("{node} is down")));
-        }
-        // Resource agreement: a node with no Feisu slots at all refuses
-        // the task (the caller reroutes it as a backup task on another
-        // node) — exactly as in serial execution. Transient saturation is
-        // different: under the pool several workers can momentarily hold
-        // slots on one node (its own queue plus rerouted backup tasks)
-        // where serial execution holds at most one, so a transient
-        // acquire failure waits for a slot instead of erroring, keeping
-        // failure semantics identical across thread counts.
-        loop {
-            let mut res = self.resources.lock();
-            match res.get_mut(&node) {
-                Some(a) => match a.acquire() {
-                    Ok(()) => break,
-                    Err(e) if a.feisu_limit() == 0 => return Err(e),
-                    Err(_) => {}
-                },
-                None => break,
-            }
-            drop(res);
-            std::thread::yield_now();
-        }
-        let out = match self.leaves.get(&node) {
-            Some(leaf) => leaf.execute(task, &self.router, cred, now, self.spec.use_smartindex),
-            None => Err(FeisuError::NodeUnavailable(format!(
-                "{node} has no leaf server"
-            ))),
-        };
-        if let Some(a) = self.resources.lock().get_mut(&node) {
-            a.release();
-        }
-        out
-    }
-
     // --------------------------------------------------- personalization
 
     /// Pre-builds *pinned* private indices for a user's most frequent
     /// predicates (client-side history, §III-C) on every replica holder.
     pub fn personalize(&self, user: UserId, top_n: usize) -> Result<usize> {
         let now = self.clock.now();
-        let frequent =
-            self.history
-                .frequent_predicates(user, now, SimDuration::hours(24), top_n);
+        let frequent = self
+            .history
+            .frequent_predicates(user, now, SimDuration::hours(24), top_n);
         let mut built = 0usize;
         for (pred, _) in frequent {
             // Find tables whose schema carries the predicate column.
@@ -1561,9 +671,9 @@ impl FeisuCluster {
                 };
                 for block in desc.blocks() {
                     let replicas = self.router.replicas(&block.path)?;
-                    let read = self
-                        .router
-                        .read(&block.path, replicas[0], &self.system_cred, now)?;
+                    let read =
+                        self.router
+                            .read(&block.path, replicas[0], &self.system_cred, now)?;
                     let parsed = feisu_format::Block::deserialize(&read.data)?;
                     for node in replicas {
                         if let Some(leaf) = self.leaves.get(&node) {
@@ -1580,70 +690,5 @@ impl FeisuCluster {
     /// Access to a node's leaf server (tests and benches).
     pub fn leaf(&self, node: NodeId) -> Option<&LeafServer> {
         self.leaves.get(&node)
-    }
-}
-
-/// Mutable per-query execution context threaded through the plan walk.
-struct ExecCtx {
-    cred: Credential,
-    now: SimInstant,
-    options: QueryOptions,
-    stats: QueryStats,
-    tally: TimeTally,
-    partial: bool,
-    /// Span arena for this query's EXPLAIN ANALYZE profile.
-    spans: SpanRecorder,
-    /// Spans awaiting adoption by the final master span (stems, abandoned
-    /// leaf tasks).
-    root_spans: Vec<SpanId>,
-    /// Bytes served per storage-domain prefix across all scans.
-    backend_bytes: BTreeMap<String, u64>,
-    /// Executed-task counts per [`crate::leaf::ServedTier`] rendering.
-    tier_tasks: BTreeMap<String, usize>,
-}
-
-/// The worker pool shares the cluster by reference across threads.
-#[allow(dead_code)]
-fn _assert_cluster_sync() {
-    fn is_sync<T: Sync>() {}
-    is_sync::<FeisuCluster>();
-}
-
-/// Per-task outcome of the reuse pre-pass: either a cached result, or a
-/// signature the executed result must be stored under.
-enum Planned {
-    Reused { batch: RecordBatch, is_agg: bool },
-    Run { signature: String },
-}
-
-/// What actually happened to one executed leaf task: where it ran (its
-/// assignment, or the backup node) and whether a backup task fired —
-/// folded into query stats during the serial merge phase.
-struct TaskExec {
-    node: NodeId,
-    out: LeafOutput,
-    backup: bool,
-}
-
-/// One leaf task as tracked by `distributed_scan`: its output plus the
-/// span bookkeeping needed for partial-result filtering and stem spans.
-struct TaskRun {
-    /// Completion offset in the owning node's serialized-time account.
-    done: SimDuration,
-    /// Span extent on the query-relative timeline.
-    start_ns: u64,
-    end_ns: u64,
-    /// This task's own leaf time (zero for reused results).
-    total: SimDuration,
-    span: SpanId,
-    out: LeafOutput,
-}
-
-fn scale_tally(t: &TimeTally, f: f64) -> TimeTally {
-    let s = |d: SimDuration| SimDuration::nanos((d.as_nanos() as f64 * f) as u64);
-    TimeTally {
-        io: s(t.io),
-        cpu: s(t.cpu),
-        network: s(t.network),
     }
 }

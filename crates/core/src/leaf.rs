@@ -30,28 +30,15 @@ use feisu_index::zonemap::ZoneMap;
 use feisu_sql::ast::Expr;
 use feisu_sql::cnf::Cnf;
 use feisu_sql::eval::eval_truth;
-use feisu_sql::plan::AggExpr;
+use feisu_sql::exprutil::rename_cnf;
 use feisu_storage::auth::Credential;
 use feisu_storage::StorageRouter;
 use std::sync::Arc;
 
-/// Partial-aggregation stage shipped with a scan task.
-#[derive(Debug, Clone)]
-pub struct AggStage {
-    pub group_by: Vec<(Expr, String, DataType)>,
-    pub aggregates: Vec<AggExpr>,
-}
-
-impl AggStage {
-    /// True when the stage is a bare global `COUNT(*)` — servable from
-    /// index bit counts alone.
-    pub fn is_count_star_only(&self) -> bool {
-        self.group_by.is_empty()
-            && self.aggregates.len() == 1
-            && self.aggregates[0].arg.is_none()
-            && matches!(self.aggregates[0].func, feisu_sql::ast::AggFunc::Count)
-    }
-}
+pub use feisu_sql::exprutil::rename_expr;
+// The partial-aggregation stage now lives in the planner so the logical
+// layer, the physical layer and the leaves share one type.
+pub use feisu_sql::plan::AggStage;
 
 /// One scan task over one block.
 #[derive(Debug, Clone)]
@@ -188,18 +175,11 @@ impl LeafServer {
         }
 
         // 2. Pure COUNT(*) with a fully cached CNF: answer from bits.
-        let count_only = task
-            .agg
-            .as_ref()
-            .is_some_and(|a| a.is_count_star_only())
-            && task.residual.is_empty();
+        let count_only =
+            task.agg.as_ref().is_some_and(|a| a.is_count_star_only()) && task.residual.is_empty();
         if use_index && count_only {
             if let Some(bits) = self.try_serve_from_cache(&cnf, task, now)? {
-                stats.index_hits = cnf
-                    .clauses
-                    .iter()
-                    .map(|c| c.disjuncts.len())
-                    .sum::<usize>();
+                stats.index_hits = cnf.clauses.iter().map(|c| c.disjuncts.len()).sum::<usize>();
                 stats.served_from_memory = true;
                 stats.rows_out = bits.count_ones();
                 // In-memory bitmap algebra cost.
@@ -292,10 +272,7 @@ impl LeafServer {
         let mut columns: Vec<Column> = Vec::with_capacity(task.projection.len());
         for name in &task.projection {
             let c = block.column_by_name(name).ok_or_else(|| {
-                FeisuError::Execution(format!(
-                    "block {} missing column `{name}`",
-                    task.block.id
-                ))
+                FeisuError::Execution(format!("block {} missing column `{name}`", task.block.id))
             })?;
             columns.push(c.take(&selected));
         }
@@ -305,7 +282,7 @@ impl LeafServer {
         if let Some(agg) = &task.agg {
             let mut table = AggTable::new(agg.group_by.clone(), agg.aggregates.clone());
             table.update(&batch)?;
-            tally.add_cpu(self.cost.predicate_eval(batch.rows()));
+            tally.add_cpu(self.cost.agg_update(batch.rows()));
             let transport = table.to_transport()?;
             return Ok(LeafOutput {
                 batch: transport,
@@ -364,7 +341,9 @@ impl LeafServer {
         for clause in &cnf.clauses {
             let mut clause_bits = BitVec::zeros(rows);
             for d in &clause.disjuncts {
-                let Disjunct::Simple(p) = d else { unreachable!() };
+                let Disjunct::Simple(p) = d else {
+                    unreachable!()
+                };
                 let pbits = if let Some(idx) = self.index.get(task.block.id, p, now) {
                     idx.bits()
                 } else if let Some(nop) = p.op.negate() {
@@ -439,60 +418,6 @@ impl LeafServer {
     }
 }
 
-/// Renames CNF predicate columns through the canonical→storage map.
-fn rename_cnf(cnf: &Cnf, map: &FxHashMap<String, String>) -> Cnf {
-    use feisu_sql::cnf::{Clause, Disjunct};
-    Cnf {
-        clauses: cnf
-            .clauses
-            .iter()
-            .map(|c| Clause {
-                disjuncts: c
-                    .disjuncts
-                    .iter()
-                    .map(|d| match d {
-                        Disjunct::Simple(p) => Disjunct::Simple(feisu_sql::cnf::SimplePredicate {
-                            column: map
-                                .get(&p.column)
-                                .cloned()
-                                .unwrap_or_else(|| p.column.clone()),
-                            op: p.op,
-                            value: p.value.clone(),
-                        }),
-                        Disjunct::Residual(e) => Disjunct::Residual(rename_expr(e, map)),
-                    })
-                    .collect(),
-            })
-            .collect(),
-    }
-}
-
-/// Renames column refs in an expression through the map.
-pub fn rename_expr(e: &Expr, map: &FxHashMap<String, String>) -> Expr {
-    match e {
-        Expr::Column(c) => Expr::Column(map.get(c).cloned().unwrap_or_else(|| c.clone())),
-        Expr::Literal(v) => Expr::Literal(v.clone()),
-        Expr::Binary { op, left, right } => Expr::Binary {
-            op: *op,
-            left: Box::new(rename_expr(left, map)),
-            right: Box::new(rename_expr(right, map)),
-        },
-        Expr::Unary { op, operand } => Expr::Unary {
-            op: *op,
-            operand: Box::new(rename_expr(operand, map)),
-        },
-        Expr::IsNull { operand, negated } => Expr::IsNull {
-            operand: Box::new(rename_expr(operand, map)),
-            negated: *negated,
-        },
-        Expr::Aggregate { func, arg, within } => Expr::Aggregate {
-            func: *func,
-            arg: arg.as_ref().map(|a| Box::new(rename_expr(a, map))),
-            within: within.as_ref().map(|w| Box::new(rename_expr(w, map))),
-        },
-    }
-}
-
 /// Catalog-only zone pruning: true when any single-predicate clause
 /// provably matches nothing in this block.
 fn prune_by_zones(block: &BlockDesc, cnf: &Cnf, _map: &FxHashMap<String, String>) -> bool {
@@ -529,8 +454,7 @@ fn touched_fraction(
         if matches!(
             kind,
             ProbeKind::BuiltFresh | ProbeKind::BuiltRejected | ProbeKind::Scanned
-        )
-            && !needed.contains(&p.column.as_str())
+        ) && !needed.contains(&p.column.as_str())
         {
             needed.push(&p.column);
         }
@@ -603,8 +527,8 @@ fn count_transport(agg: &AggStage, count: i64) -> Result<RecordBatch> {
     // Inject the count by folding a synthetic batch would be wasteful;
     // instead build a transport batch directly matching the schema.
     let schema = table.transport_schema();
-    let columns = vec![Column::from_values(DataType::Int64, &[Value::Int64(count)])
-        .expect("count column")];
+    let columns =
+        vec![Column::from_values(DataType::Int64, &[Value::Int64(count)]).expect("count column")];
     // transport_schema for COUNT(*) only = one field.
     debug_assert_eq!(schema.len(), 1);
     let batch = RecordBatch::new(schema, columns)?;

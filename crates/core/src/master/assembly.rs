@@ -1,0 +1,150 @@
+//! Result assembly: turning a finished execution context into a
+//! [`QueryResult`] — processed-ratio derivation, the `EXPLAIN ANALYZE`
+//! profile (master span adopting the operator tree), and cluster-wide
+//! metric recording.
+
+use crate::engine::{FeisuCluster, QueryResult};
+use crate::master::pipeline::ExecCtx;
+use feisu_common::{ByteSize, QueryId, Result, SimInstant};
+use feisu_exec::batch::RecordBatch;
+use feisu_obs::{Counter, Histogram, MetricsRegistry, QueryProfile};
+use std::sync::Arc;
+
+impl FeisuCluster {
+    /// Finalizes one successful query: advances the cluster clock, derives
+    /// the processed ratio from the recorded task spans, closes the span
+    /// tree under a `master` root, renders the profile summary, and feeds
+    /// the cluster-wide metrics.
+    pub(crate) fn assemble_result(
+        &mut self,
+        query_id: QueryId,
+        batch: RecordBatch,
+        mut ctx: ExecCtx,
+    ) -> Result<QueryResult> {
+        let response_time = ctx.tally.total();
+        // The cluster's wall clock moves by the query's duration.
+        self.clock.advance(response_time);
+
+        // The processed ratio is derived from the recorded task spans: every
+        // leaf task of every scan leaves one `leaf_task` span, and abandoned
+        // ones carry the `abandoned` attribute.
+        let total_leaf = ctx.spans.count_named("leaf_task");
+        if total_leaf > 0 {
+            let abandoned = ctx.spans.count_named_with_attr("leaf_task", "abandoned");
+            ctx.stats.processed_ratio = (total_leaf - abandoned) as f64 / total_leaf as f64;
+        }
+
+        // Close the profile: a master span covering the whole query adopts
+        // the root physical-operator spans.
+        let master = ctx.spans.record(
+            "master",
+            None,
+            SimInstant(0),
+            SimInstant(response_time.as_nanos()),
+        );
+        for span in std::mem::take(&mut ctx.root_spans) {
+            ctx.spans.set_parent(span, Some(master));
+        }
+        let mut profile = QueryProfile::new(query_id.0);
+        profile.push_summary("response time", response_time);
+        profile.push_summary(
+            "tasks",
+            format!(
+                "{} (reused {}, backup {}, pruned {})",
+                ctx.stats.tasks,
+                ctx.stats.reused_tasks,
+                ctx.stats.backup_tasks,
+                ctx.stats.pruned_blocks
+            ),
+        );
+        profile.push_summary(
+            "smartindex",
+            format!(
+                "hits {}, built {}, rejected {}, scanned predicates {}",
+                ctx.stats.index_hits,
+                ctx.stats.index_built,
+                ctx.stats.index_rejected,
+                ctx.stats.scanned_predicates
+            ),
+        );
+        let mut bytes_line = format!("{} total", ctx.stats.bytes_read);
+        for (backend, bytes) in &ctx.backend_bytes {
+            use std::fmt::Write as _;
+            let _ = write!(bytes_line, " {backend}={}", ByteSize(*bytes));
+        }
+        profile.push_summary("bytes read", bytes_line);
+        if !ctx.tier_tasks.is_empty() {
+            let served = ctx
+                .tier_tasks
+                .iter()
+                .map(|(tier, n)| format!("{tier}={n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            profile.push_summary("served from", served);
+        }
+        profile.push_summary(
+            "processed ratio",
+            format!("{:.1}%", ctx.stats.processed_ratio * 100.0),
+        );
+        if ctx.stats.spilled_results > 0 {
+            profile.push_summary("spilled results", ctx.stats.spilled_results);
+        }
+        profile.tree = ctx.spans.tree();
+
+        let m = &self.qmetrics;
+        m.response_ns.observe(response_time.as_nanos());
+        m.tasks.add(ctx.stats.tasks as u64);
+        m.reused.add(ctx.stats.reused_tasks as u64);
+        m.backup.add(ctx.stats.backup_tasks as u64);
+        m.pruned_by_zone.add(ctx.stats.pruned_blocks as u64);
+        m.memory_served.add(ctx.stats.memory_served_tasks as u64);
+        m.bytes_read.add(ctx.stats.bytes_read.0);
+        m.spilled.add(ctx.stats.spilled_results as u64);
+        if ctx.partial {
+            m.partial.inc();
+        }
+
+        Ok(QueryResult {
+            query_id,
+            batch,
+            response_time,
+            stats: ctx.stats,
+            partial: ctx.partial,
+            profile,
+        })
+    }
+}
+
+/// Cached handles for the cluster-wide query/task metrics so the per-query
+/// path never touches the registry's name map.
+pub(crate) struct QueryMetrics {
+    pub(crate) queries: Arc<Counter>,
+    pub(crate) errors: Arc<Counter>,
+    pub(crate) partial: Arc<Counter>,
+    pub(crate) spilled: Arc<Counter>,
+    pub(crate) response_ns: Arc<Histogram>,
+    pub(crate) tasks: Arc<Counter>,
+    pub(crate) reused: Arc<Counter>,
+    pub(crate) backup: Arc<Counter>,
+    pub(crate) pruned_by_zone: Arc<Counter>,
+    pub(crate) memory_served: Arc<Counter>,
+    pub(crate) bytes_read: Arc<Counter>,
+}
+
+impl QueryMetrics {
+    pub(crate) fn new(registry: &MetricsRegistry) -> QueryMetrics {
+        QueryMetrics {
+            queries: registry.counter("feisu.query.count"),
+            errors: registry.counter("feisu.query.errors"),
+            partial: registry.counter("feisu.query.partial"),
+            spilled: registry.counter("feisu.query.spilled_results"),
+            response_ns: registry.histogram("feisu.query.response_ns"),
+            tasks: registry.counter("feisu.task.count"),
+            reused: registry.counter("feisu.task.reused"),
+            backup: registry.counter("feisu.task.backup"),
+            pruned_by_zone: registry.counter("feisu.task.pruned_by_zone"),
+            memory_served: registry.counter("feisu.task.memory_served"),
+            bytes_read: registry.counter("feisu.task.bytes_read"),
+        }
+    }
+}

@@ -147,7 +147,12 @@ mod tests {
             ..GuardLimits::default()
         });
         assert!(g
-            .admit(UserId(1), "SELECT * FROM a_very_long_table", 1, SimInstant(0))
+            .admit(
+                UserId(1),
+                "SELECT * FROM a_very_long_table",
+                1,
+                SimInstant(0)
+            )
             .is_err());
     }
 

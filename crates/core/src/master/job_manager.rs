@@ -136,11 +136,7 @@ impl JobManager {
     }
 
     /// Tries to reuse a previous identical task's result.
-    pub fn lookup_task(
-        &self,
-        signature: &str,
-        now: SimInstant,
-    ) -> Option<(RecordBatch, bool)> {
+    pub fn lookup_task(&self, signature: &str, now: SimInstant) -> Option<(RecordBatch, bool)> {
         let mut cache = self.cache.lock();
         let fresh = match cache.entries.get(signature) {
             Some(c) => now.since(c.stored_at) <= cache.ttl,

@@ -9,9 +9,12 @@
 //! protection). They are separate modules exactly because the production
 //! system had to split them into independently scalable services (§VII).
 
+pub(crate) mod assembly;
 pub mod failover;
 pub mod guard;
 pub mod job_manager;
+pub(crate) mod pipeline;
+pub(crate) mod scan_exec;
 pub mod scheduler;
 
 pub use failover::PrimaryBackup;

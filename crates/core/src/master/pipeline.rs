@@ -1,0 +1,237 @@
+//! The master's query pipeline driver.
+//!
+//! Runs one admitted query end to end: access checks, analysis, logical
+//! planning, lowering to a [`PhysicalPlan`], then interpretation of the
+//! physical operator tree. Only [`PhysicalPlan`] is matched during
+//! execution — every distributed decision (aggregation pushdown, CNF
+//! split, column renaming) was already made at lowering time.
+//!
+//! Each physical operator records one span on the query-relative
+//! simulated timeline, annotated with its output row count and byte
+//! footprint, so `EXPLAIN ANALYZE` shows the operator tree with the
+//! distributed scan's stem/leaf spans nested beneath it.
+
+use crate::catalog::CatalogView;
+use crate::engine::{FeisuCluster, QueryOptions, QueryResult, QueryStats};
+use crate::master::JobState;
+use feisu_cluster::heartbeat::LoadStats;
+use feisu_cluster::simclock::TimeTally;
+use feisu_common::{QueryId, Result, SimInstant};
+use feisu_exec::aggregate::AggTable;
+use feisu_exec::batch::RecordBatch;
+use feisu_exec::physical::{lower, PhysicalPlan};
+use feisu_obs::{SpanId, SpanRecorder};
+use feisu_sql::analyze::analyze;
+use feisu_sql::optimizer::optimize;
+use feisu_sql::plan::build_plan;
+use feisu_storage::auth::{Credential, Grant};
+use std::collections::BTreeMap;
+
+impl FeisuCluster {
+    pub(crate) fn run_admitted(
+        &mut self,
+        sql: &str,
+        query: &feisu_sql::ast::Query,
+        cred: &Credential,
+        options: &QueryOptions,
+        now: SimInstant,
+        query_id: QueryId,
+    ) -> Result<QueryResult> {
+        // Access verification: read grant on every touched table's domain.
+        for tref in query.all_tables() {
+            let location = self.catalog.location(&tref.name)?;
+            let domain = self.router.domain_of(&location);
+            self.auth.authorize(cred, domain.id(), Grant::Read, now)?;
+        }
+
+        // Analyze, plan, optimize, lower. After this point execution never
+        // looks at the logical plan again.
+        let resolved = analyze(query, &CatalogView(&self.catalog))?;
+        let logical = optimize(build_plan(&resolved)?)?;
+        let physical = lower(&logical, &CatalogView(&self.catalog))?;
+
+        // Beat the heartbeat table for all live nodes.
+        self.tick_heartbeats(now);
+
+        let total_blocks: usize = resolved
+            .tables
+            .iter()
+            .map(|t| {
+                self.catalog
+                    .table(&t.table)
+                    .map(|d| d.block_count())
+                    .unwrap_or(0)
+            })
+            .sum();
+        let job = self
+            .jobs
+            .create_job(query_id, cred.user, sql, total_blocks, now);
+        self.jobs.set_state(job, JobState::Running);
+
+        let mut ctx = ExecCtx {
+            cred: cred.clone(),
+            now,
+            options: options.clone(),
+            stats: QueryStats::default(),
+            tally: TimeTally::new(),
+            partial: false,
+            spans: SpanRecorder::new(),
+            root_spans: Vec::new(),
+            backend_bytes: BTreeMap::new(),
+            tier_tasks: BTreeMap::new(),
+        };
+        // Master overhead: parsing/planning/dispatch RPC.
+        ctx.tally.add_cpu(self.spec.cost.rpc_overhead);
+
+        let result = self.exec_physical(&physical, &mut ctx, None);
+        match &result {
+            Ok(_) => self.jobs.set_state(
+                job,
+                if ctx.partial {
+                    JobState::Abandoned
+                } else {
+                    JobState::Succeeded
+                },
+            ),
+            Err(_) => self.jobs.set_state(job, JobState::Failed),
+        }
+        self.jobs.note_reused(job, ctx.stats.reused_tasks);
+        let batch = result?;
+        self.assemble_result(query_id, batch, ctx)
+    }
+
+    pub(crate) fn tick_heartbeats(&self, now: SimInstant) {
+        let mut hb = self.heartbeats.lock();
+        for n in self.topology.nodes() {
+            if !self.failed_nodes.contains(&n.id) {
+                hb.beat(n.id, now, LoadStats::default());
+            }
+        }
+    }
+
+    // ------------------------------------------- physical-operator walk
+
+    /// Executes one physical operator, wrapped in its profile span. The
+    /// span covers the operator and everything beneath it on the
+    /// simulated timeline; root operators are adopted by the final
+    /// `master` span when the profile is assembled.
+    pub(crate) fn exec_physical(
+        &mut self,
+        plan: &PhysicalPlan,
+        ctx: &mut ExecCtx,
+        parent: Option<SpanId>,
+    ) -> Result<RecordBatch> {
+        let span = ctx.spans.start(
+            plan.name(),
+            parent,
+            SimInstant(ctx.tally.total().as_nanos()),
+        );
+        if parent.is_none() {
+            ctx.root_spans.push(span);
+        }
+        let batch = self.exec_operator(plan, ctx, span)?;
+        ctx.spans.attr(span, "rows", batch.rows());
+        ctx.spans.attr(span, "bytes", batch.footprint());
+        ctx.spans
+            .end(span, SimInstant(ctx.tally.total().as_nanos()));
+        Ok(batch)
+    }
+
+    fn exec_operator(
+        &mut self,
+        plan: &PhysicalPlan,
+        ctx: &mut ExecCtx,
+        span: SpanId,
+    ) -> Result<RecordBatch> {
+        match plan {
+            PhysicalPlan::DistributedScan { .. } => self.distributed_scan(plan, ctx, span),
+            PhysicalPlan::FinalAggregate {
+                input,
+                group_by,
+                aggregates,
+                output_schema,
+            } => {
+                // The scan below produced partial-aggregate transports,
+                // already merged bottom-up through the stems; finalize.
+                let merged = self.exec_physical(input, ctx, Some(span))?;
+                let table =
+                    AggTable::from_transport(group_by.clone(), aggregates.clone(), &merged)?;
+                ctx.tally
+                    .add_cpu(plan.master_cpu_cost(&self.spec.cost, &[merged.rows()]));
+                table.finish(output_schema)
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggregates,
+                output_schema,
+            } => {
+                let batch = self.exec_physical(input, ctx, Some(span))?;
+                let mut agg = AggTable::new(group_by.clone(), aggregates.clone());
+                agg.update(&batch)?;
+                ctx.tally
+                    .add_cpu(plan.master_cpu_cost(&self.spec.cost, &[batch.rows()]));
+                agg.finish(output_schema)
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let batch = self.exec_physical(input, ctx, Some(span))?;
+                ctx.tally
+                    .add_cpu(plan.master_cpu_cost(&self.spec.cost, &[batch.rows()]));
+                feisu_exec::ops::filter(&batch, predicate)
+            }
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                output_schema,
+            } => {
+                let batch = self.exec_physical(input, ctx, Some(span))?;
+                ctx.tally
+                    .add_cpu(plan.master_cpu_cost(&self.spec.cost, &[batch.rows()]));
+                feisu_exec::ops::project(&batch, exprs, output_schema)
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                kind,
+                on,
+                output_schema,
+            } => {
+                let l = self.exec_physical(left, ctx, Some(span))?;
+                let r = self.exec_physical(right, ctx, Some(span))?;
+                ctx.tally
+                    .add_cpu(plan.master_cpu_cost(&self.spec.cost, &[l.rows(), r.rows()]));
+                feisu_exec::join::join(&l, &r, *kind, on, output_schema)
+            }
+            PhysicalPlan::Sort { input, keys, fetch } => {
+                let batch = self.exec_physical(input, ctx, Some(span))?;
+                ctx.tally
+                    .add_cpu(plan.master_cpu_cost(&self.spec.cost, &[batch.rows()]));
+                feisu_exec::sort::sort(&batch, keys, *fetch)
+            }
+            PhysicalPlan::Limit { input, fetch } => {
+                let batch = self.exec_physical(input, ctx, Some(span))?;
+                feisu_exec::ops::limit(&batch, *fetch)
+            }
+        }
+    }
+}
+
+/// Mutable per-query execution context threaded through the physical
+/// operator walk.
+pub(crate) struct ExecCtx {
+    pub(crate) cred: Credential,
+    pub(crate) now: SimInstant,
+    pub(crate) options: QueryOptions,
+    pub(crate) stats: QueryStats,
+    pub(crate) tally: TimeTally,
+    pub(crate) partial: bool,
+    /// Span arena for this query's EXPLAIN ANALYZE profile.
+    pub(crate) spans: SpanRecorder,
+    /// Root physical-operator spans (and anything else awaiting adoption
+    /// by the final master span).
+    pub(crate) root_spans: Vec<SpanId>,
+    /// Bytes served per storage-domain prefix across all scans.
+    pub(crate) backend_bytes: BTreeMap<String, u64>,
+    /// Executed-task counts per [`crate::leaf::ServedTier`] rendering.
+    pub(crate) tier_tasks: BTreeMap<String, usize>,
+}

@@ -1,0 +1,603 @@
+//! Distributed-scan execution: dissection into per-block leaf tasks,
+//! identical-task reuse, the deterministic parallel leaf-task pool,
+//! partial-result handling, and bottom-up merging through stem servers.
+//!
+//! The scan arrives as a fully-lowered
+//! [`PhysicalPlan::DistributedScan`] node — CNF split, residual clauses
+//! and the canonical→storage name map were all computed at plan time —
+//! so this module only dissects, schedules, executes and merges.
+//!
+//! Determinism invariant (PR 2): execution runs in three phases. Phase 1
+//! (serial) resolves identical-task reuse in submission order; phase 2
+//! (parallel) runs leaf tasks grouped by assigned node, all simulated
+//! time coming from per-node tallies, never wall clock; phase 3 (serial)
+//! merges results, stats and spans in submission order. Results are
+//! bit-identical at any worker-thread count.
+
+use crate::engine::{FeisuCluster, QueryStats};
+use crate::leaf::{AggStage, LeafOutput, LeafTaskStats, ScanTask};
+use crate::master::job_manager::task_signature;
+use crate::master::pipeline::ExecCtx;
+use crate::stem;
+use feisu_cluster::simclock::TimeTally;
+use feisu_common::hash::FxHashMap;
+use feisu_common::{ByteSize, FeisuError, NodeId, Result, SimDuration, SimInstant};
+use feisu_exec::aggregate::AggTable;
+use feisu_exec::batch::RecordBatch;
+use feisu_exec::physical::PhysicalPlan;
+use feisu_obs::SpanId;
+use feisu_storage::auth::Credential;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+impl FeisuCluster {
+    /// Executes one `DistributedScan` operator. `op_span` is the scan's
+    /// operator span; stem spans (and abandoned leaf-task spans) hang off
+    /// it so the profile shows the merge tree under the operator.
+    pub(crate) fn distributed_scan(
+        &mut self,
+        scan: &PhysicalPlan,
+        ctx: &mut ExecCtx,
+        op_span: SpanId,
+    ) -> Result<RecordBatch> {
+        let PhysicalPlan::DistributedScan {
+            table,
+            projection,
+            cnf,
+            residual,
+            agg_stage: agg,
+            name_map,
+            output_schema,
+            ..
+        } = scan
+        else {
+            return Err(FeisuError::Internal(
+                "distributed_scan called on a non-scan operator".into(),
+            ));
+        };
+        let desc = self.catalog.table(table)?;
+
+        // One task per block.
+        let blocks: Vec<_> = desc.blocks().cloned().collect();
+        let agg_shape: Option<&AggStage> = agg.as_ref();
+        let mut tasks: Vec<ScanTask> = Vec::with_capacity(blocks.len());
+        let mut replica_sets: Vec<Vec<NodeId>> = Vec::with_capacity(blocks.len());
+        for block in blocks {
+            replica_sets.push(self.router.replicas(&block.path)?);
+            tasks.push(ScanTask {
+                table: table.to_string(),
+                block,
+                projection: projection.to_vec(),
+                output_schema: output_schema.clone(),
+                cnf: cnf.clone(),
+                residual: residual.clone(),
+                agg: agg.clone(),
+                name_map: name_map.clone(),
+            });
+        }
+        ctx.stats.tasks += tasks.len();
+        if tasks.is_empty() {
+            // Empty table: aggregate stages still need a zero-state.
+            if let Some(stage) = agg_shape {
+                let t = AggTable::new(stage.group_by.clone(), stage.aggregates.clone());
+                return t.to_transport();
+            }
+            return Ok(RecordBatch::empty(output_schema.clone()));
+        }
+
+        // Schedule.
+        let assignments = {
+            let hb = self.heartbeats.lock();
+            self.scheduler
+                .assign_all(&replica_sets, &self.topology, &hb, ctx.now)?
+        };
+
+        // Execute, tracking per-node serialized time.
+        // The signature must cover the FULL predicate — indexable clauses
+        // AND residual ones — or queries differing only in a residual
+        // clause would wrongly share cached task results.
+        let cnf_display = cnf
+            .clauses
+            .iter()
+            .map(|c| c.to_expr().to_string())
+            .chain(residual.iter().map(|e| e.to_string()))
+            .collect::<Vec<_>>()
+            .join("&");
+        let agg_display = agg_shape
+            .map(|s| {
+                s.aggregates
+                    .iter()
+                    .map(|a| a.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .unwrap_or_default();
+        // Spans sit on the query-relative timeline; leaf work of this scan
+        // starts after everything the master has already accounted.
+        let scan_base = ctx.tally.total().as_nanos();
+
+        // --- Phase 1 (serial): task-reuse lookups, in submission order.
+        // Within one scan every task covers a distinct block, so no two
+        // tasks share a signature — looking all of them up before any
+        // store is equivalent to the serial interleaving.
+        let mut planned: Vec<Planned> = Vec::with_capacity(tasks.len());
+        for task in &tasks {
+            let signature =
+                task_signature(table, task.block.id, &cnf_display, projection, &agg_display);
+            match self.jobs.lookup_task(&signature, ctx.now) {
+                // Reuse is a master-side cache hit: negligible leaf time.
+                Some((batch, is_agg)) => planned.push(Planned::Reused { batch, is_agg }),
+                None => planned.push(Planned::Run { signature }),
+            }
+        }
+
+        // --- Phase 2 (parallel): run the leaf tasks. Tasks assigned to
+        // the same node are serialized in submission order on one worker,
+        // so each leaf's SmartIndex cache sees exactly the state sequence
+        // it would under serial execution; everything order-sensitive on
+        // the master side is deferred to the serial merge below. All
+        // simulated time comes from per-node tallies, never wall clock, so
+        // results are bit-identical at any thread count.
+        let run_order: Vec<usize> = planned
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Planned::Run { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let threads = self.effective_threads().min(run_order.len().max(1));
+        let mut results: Vec<Option<Result<TaskExec>>> = (0..tasks.len()).map(|_| None).collect();
+        if threads <= 1 {
+            for &i in &run_order {
+                results[i] =
+                    Some(self.execute_with_backup(&tasks[i], assignments[i], &ctx.cred, ctx.now));
+            }
+        } else {
+            // Group run-indices by assigned node, preserving submission
+            // order within each group.
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            let mut group_of: FxHashMap<NodeId, usize> = FxHashMap::default();
+            for &i in &run_order {
+                let g = *group_of.entry(assignments[i].node).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[g].push(i);
+            }
+            let this: &FeisuCluster = self;
+            let cred = &ctx.cred;
+            let now = ctx.now;
+            let next = AtomicUsize::new(0);
+            let workers = threads.min(groups.len());
+            let chunks: Vec<Vec<(usize, Result<TaskExec>)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (next, groups, tasks, assignments) =
+                            (&next, &groups, &tasks, &assignments);
+                        s.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let g = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(group) = groups.get(g) else { break };
+                                for &i in group {
+                                    done.push((
+                                        i,
+                                        this.execute_with_backup(
+                                            &tasks[i],
+                                            assignments[i],
+                                            cred,
+                                            now,
+                                        ),
+                                    ));
+                                }
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("executor worker panicked"))
+                    .collect()
+            });
+            for chunk in chunks {
+                for (i, r) in chunk {
+                    results[i] = Some(r);
+                }
+            }
+        }
+
+        // --- Phase 3 (serial): merge per-task results in submission
+        // order. Stats folding, task-result stores, node-time accounting
+        // and span recording all happen here so their order — and thus the
+        // simulated outcome — is independent of worker scheduling. Errors
+        // surface as the first failing task by submission order (serial
+        // mode stops there; parallel mode has already run the rest, which
+        // only warms caches).
+        let mut node_time: FxHashMap<NodeId, SimDuration> = FxHashMap::default();
+        let mut outputs: Vec<TaskRun> = Vec::new();
+        for (i, plan) in planned.into_iter().enumerate() {
+            let signature = match plan {
+                Planned::Reused { batch, is_agg } => {
+                    ctx.stats.reused_tasks += 1;
+                    let out = LeafOutput {
+                        batch,
+                        is_agg_transport: is_agg,
+                        tally: TimeTally::new(),
+                        stats: LeafTaskStats::default(),
+                    };
+                    let done = *node_time.entry(assignments[i].node).or_default();
+                    let at = SimInstant(scan_base + done.as_nanos());
+                    let span = ctx.spans.record("leaf_task", None, at, at);
+                    ctx.spans
+                        .attr(span, "node", assignments[i].node.to_string());
+                    ctx.spans.attr(span, "reused", 1u64);
+                    outputs.push(TaskRun {
+                        done,
+                        start_ns: at.as_nanos(),
+                        end_ns: at.as_nanos(),
+                        total: SimDuration::ZERO,
+                        span,
+                        out,
+                    });
+                    continue;
+                }
+                Planned::Run { signature } => signature,
+            };
+            let exec = results[i].take().expect("task was executed")?;
+            let TaskExec {
+                node,
+                out: output,
+                backup,
+            } = exec;
+            if backup {
+                ctx.stats.backup_tasks += 1;
+            }
+            ctx.stats.merge(&QueryStats::from_leaf(&output.stats));
+            self.jobs.store_task(
+                signature,
+                output.batch.clone(),
+                output.is_agg_transport,
+                ctx.now,
+            );
+            let t = node_time.entry(node).or_default();
+            *t += output.tally.total();
+            let done = *t;
+            let total = output.tally.total();
+            let start_ns = scan_base + done.as_nanos() - total.as_nanos();
+            let end_ns = scan_base + done.as_nanos();
+            let span =
+                ctx.spans
+                    .record("leaf_task", None, SimInstant(start_ns), SimInstant(end_ns));
+            ctx.spans.attr(span, "node", node.to_string());
+            ctx.spans.attr(span, "rows", output.batch.rows());
+            ctx.spans.attr(span, "bytes_read", output.stats.bytes_read);
+            if output.stats.index_hits > 0 {
+                ctx.spans.attr(span, "index_hits", output.stats.index_hits);
+            }
+            if output.stats.index_built > 0 {
+                ctx.spans
+                    .attr(span, "index_built", output.stats.index_built);
+            }
+            if output.stats.index_rejected > 0 {
+                ctx.spans
+                    .attr(span, "index_rejected", output.stats.index_rejected);
+            }
+            if output.stats.pruned_by_zone {
+                ctx.spans.attr(span, "pruned_by_zone", 1u64);
+            }
+            ctx.spans
+                .attr(span, "tier", output.stats.served_tier.to_string());
+            *ctx.tier_tasks
+                .entry(output.stats.served_tier.to_string())
+                .or_default() += 1;
+            if let Some(backend) = output.stats.backend {
+                if let Some(d) = self.router.domains().iter().find(|d| d.id() == backend) {
+                    let prefix = d.prefix().to_string();
+                    ctx.spans.attr(span, "backend", prefix.as_str());
+                    *ctx.backend_bytes.entry(prefix).or_default() += output.stats.bytes_read.0;
+                }
+            }
+            outputs.push(TaskRun {
+                done,
+                start_ns,
+                end_ns,
+                total,
+                span,
+                out: output,
+            });
+        }
+
+        // Partial-result handling: tasks finishing after the limit are
+        // abandoned if the processed ratio is already satisfied. The final
+        // `QueryStats::processed_ratio` is derived from the spans at the end
+        // of the query, so abandoned tasks only need their marker here.
+        let total_tasks = outputs.len();
+        let mut kept: Vec<TaskRun> = Vec::with_capacity(total_tasks);
+        let mut abandoned = 0usize;
+        if let Some(limit) = ctx.options.time_limit {
+            for run in outputs {
+                if run.done <= limit {
+                    kept.push(run);
+                } else {
+                    abandoned += 1;
+                    ctx.spans.attr(run.span, "abandoned", 1u64);
+                    ctx.spans.set_parent(run.span, Some(op_span));
+                }
+            }
+            let achieved = kept.len() as f64 / total_tasks as f64;
+            if abandoned > 0 {
+                if achieved + 1e-12 < ctx.options.processed_ratio {
+                    return Err(FeisuError::Deadline(format!(
+                        "only {:.0}% of tasks finished within {limit}, {:.0}% required",
+                        achieved * 100.0,
+                        ctx.options.processed_ratio * 100.0
+                    )));
+                }
+                ctx.partial = true;
+            }
+        } else {
+            kept = outputs;
+        }
+        if kept.is_empty() {
+            if let Some(stage) = agg_shape {
+                let t = AggTable::new(stage.group_by.clone(), stage.aggregates.clone());
+                return t.to_transport();
+            }
+            return Ok(RecordBatch::empty(output_schema.clone()));
+        }
+
+        // Critical path: slowest node, capped by the time limit when
+        // partial results were returned.
+        let mut critical = node_time
+            .values()
+            .copied()
+            .fold(SimDuration::ZERO, |a, b| a.max(b));
+        if let Some(limit) = ctx.options.time_limit {
+            if ctx.partial {
+                critical = critical.max(limit).min(limit);
+            }
+        }
+        let mut scan_tally = TimeTally::new();
+        scan_tally.add_io(critical); // critical path of leaf work
+
+        // Merge bottom-up through the stem tree. Each stem's span starts
+        // with its earliest child and ends after the slowest child plus the
+        // stem's own merge time on top.
+        let agg_ref = agg_shape.map(|s| (s.group_by.as_slice(), s.aggregates.as_slice()));
+        let per_stem = self.spec.config.leaves_per_stem.max(1);
+        let mut groups: Vec<Vec<TaskRun>> = Vec::new();
+        for run in kept {
+            if groups.last().is_none_or(|g| g.len() == per_stem) {
+                groups.push(Vec::with_capacity(per_stem));
+            }
+            groups.last_mut().expect("just pushed").push(run);
+        }
+        let mut stem_outputs = Vec::new();
+        for group in groups {
+            let child_min = group.iter().map(|r| r.start_ns).min().unwrap_or(scan_base);
+            let child_max = group.iter().map(|r| r.end_ns).max().unwrap_or(scan_base);
+            let slowest_child = group
+                .iter()
+                .map(|r| r.total)
+                .fold(SimDuration::ZERO, |a, b| a.max(b));
+            let child_spans: Vec<SpanId> = group.iter().map(|r| r.span).collect();
+            let task_count = group.len();
+            let stem_out = stem::merge_leaf_outputs(
+                group.into_iter().map(|r| r.out).collect(),
+                agg_ref,
+                &self.spec.cost,
+                2,
+            )?;
+            let stem_extra = stem_out
+                .tally
+                .total()
+                .as_nanos()
+                .saturating_sub(slowest_child.as_nanos());
+            let span = ctx.spans.record(
+                "stem",
+                None,
+                SimInstant(child_min),
+                SimInstant(child_max + stem_extra),
+            );
+            ctx.spans.attr(span, "tasks", task_count);
+            for child in child_spans {
+                ctx.spans.set_parent(child, Some(span));
+            }
+            ctx.spans.set_parent(span, Some(op_span));
+            stem_outputs.push(stem_out);
+        }
+        let root = stem::merge_stem_outputs(stem_outputs, agg_ref, &self.spec.cost, 4)?;
+        // The stem/master merge happens after the slowest leaf: charge its
+        // cpu+network on top of the leaf critical path.
+        scan_tally.add_cpu(root.tally.cpu);
+        scan_tally.add_network(root.tally.network);
+        ctx.tally = ctx.tally.then(&scan_tally);
+
+        // §V-C read-data flow: an oversized result is dumped to global
+        // storage and only its location travels to the master, which
+        // fetches it through the bulk path.
+        let payload = ByteSize(root.batch.footprint() as u64);
+        if payload > self.spec.config.result_spill_threshold {
+            ctx.stats.spilled_results += 1;
+            let spill_path = format!("/hdfs/.feisu/tmp/q{}", ctx.now.as_nanos());
+            // The spill is a round trip through the global store: one
+            // write from the stem, one read at the master.
+            self.router.write(
+                &spill_path,
+                bytes::Bytes::from(vec![0u8; 0]), // marker object; data stays in memory
+                None,
+                &self.system_cred,
+                ctx.now,
+            )?;
+            let mut spill_tally = TimeTally::new();
+            spill_tally.add_io(
+                self.spec
+                    .cost
+                    .read(feisu_cluster::StorageMedium::Hdd, payload)
+                    * 2,
+            );
+            ctx.tally = ctx.tally.then(&spill_tally);
+        }
+        Ok(root.batch)
+    }
+
+    /// Worker-thread count for the leaf-task pool: the `execution_threads`
+    /// knob, with `0` meaning "whatever the machine offers".
+    fn effective_threads(&self) -> usize {
+        match self.spec.config.execution_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+
+    /// Runs a task on its assigned node, launching a backup task when the
+    /// node is dead or pathologically slow (§III-B fault tolerance).
+    /// Shared-state only (`&self`): safe to call from pool workers. All
+    /// master-side bookkeeping (stats, spans, node time) is the caller's
+    /// job — this returns what happened, including whether a backup fired.
+    fn execute_with_backup(
+        &self,
+        task: &ScanTask,
+        assignment: crate::master::Assignment,
+        cred: &Credential,
+        now: SimInstant,
+    ) -> Result<TaskExec> {
+        let node = assignment.node;
+        let slow = self.slow_nodes.get(&node).copied().unwrap_or(1.0);
+        match self.run_on_leaf(task, node, cred, now) {
+            Ok(mut out) => {
+                let mut backup = false;
+                if slow > 1.0 {
+                    out.tally = scale_tally(&out.tally, slow);
+                    // Straggler mitigation: a backup on a healthy node
+                    // bounds the effective time at delay + normal time.
+                    let normal_total = scale_tally(&out.tally, 1.0 / slow).total();
+                    let backup_total = self.spec.config.backup_task_delay + normal_total;
+                    if backup_total < out.tally.total() {
+                        backup = true;
+                        let mut t = TimeTally::new();
+                        t.add_io(backup_total);
+                        out.tally = t;
+                    }
+                }
+                Ok(TaskExec { node, out, backup })
+            }
+            Err(e) if e.is_retryable() => {
+                // Backup task on the next-best node.
+                let replicas = self.router.replicas(&task.block.path)?;
+                let alive: Vec<NodeId> = {
+                    let hb = self.heartbeats.lock();
+                    hb.alive_nodes(now)
+                        .into_iter()
+                        .filter(|n| *n != node && !self.failed_nodes.contains(n))
+                        .collect()
+                };
+                let backup_node = alive
+                    .iter()
+                    .copied()
+                    .find(|n| replicas.contains(n))
+                    .or_else(|| alive.first().copied())
+                    .ok_or_else(|| FeisuError::Scheduling("no backup worker available".into()))?;
+                let mut out = self.run_on_leaf(task, backup_node, cred, now)?;
+                // The backup started after the detection delay.
+                let mut t = TimeTally::new();
+                t.add_io(self.spec.config.backup_task_delay + out.tally.total());
+                out.tally = t;
+                Ok(TaskExec {
+                    node: backup_node,
+                    out,
+                    backup: true,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn run_on_leaf(
+        &self,
+        task: &ScanTask,
+        node: NodeId,
+        cred: &Credential,
+        now: SimInstant,
+    ) -> Result<LeafOutput> {
+        if self.failed_nodes.contains(&node) {
+            return Err(FeisuError::NodeUnavailable(format!("{node} is down")));
+        }
+        // Resource agreement: a node with no Feisu slots at all refuses
+        // the task (the caller reroutes it as a backup task on another
+        // node) — exactly as in serial execution. Transient saturation is
+        // different: under the pool several workers can momentarily hold
+        // slots on one node (its own queue plus rerouted backup tasks)
+        // where serial execution holds at most one, so a transient
+        // acquire failure waits for a slot instead of erroring, keeping
+        // failure semantics identical across thread counts.
+        loop {
+            let mut res = self.resources.lock();
+            match res.get_mut(&node) {
+                Some(a) => match a.acquire() {
+                    Ok(()) => break,
+                    Err(e) if a.feisu_limit() == 0 => return Err(e),
+                    Err(_) => {}
+                },
+                None => break,
+            }
+            drop(res);
+            std::thread::yield_now();
+        }
+        let out = match self.leaves.get(&node) {
+            Some(leaf) => leaf.execute(task, &self.router, cred, now, self.spec.use_smartindex),
+            None => Err(FeisuError::NodeUnavailable(format!(
+                "{node} has no leaf server"
+            ))),
+        };
+        if let Some(a) = self.resources.lock().get_mut(&node) {
+            a.release();
+        }
+        out
+    }
+}
+
+/// The worker pool shares the cluster by reference across threads.
+#[allow(dead_code)]
+fn _assert_cluster_sync() {
+    fn is_sync<T: Sync>() {}
+    is_sync::<FeisuCluster>();
+}
+
+/// Per-task outcome of the reuse pre-pass: either a cached result, or a
+/// signature the executed result must be stored under.
+enum Planned {
+    Reused { batch: RecordBatch, is_agg: bool },
+    Run { signature: String },
+}
+
+/// What actually happened to one executed leaf task: where it ran (its
+/// assignment, or the backup node) and whether a backup task fired —
+/// folded into query stats during the serial merge phase.
+struct TaskExec {
+    node: NodeId,
+    out: LeafOutput,
+    backup: bool,
+}
+
+/// One leaf task as tracked by `distributed_scan`: its output plus the
+/// span bookkeeping needed for partial-result filtering and stem spans.
+struct TaskRun {
+    /// Completion offset in the owning node's serialized-time account.
+    done: SimDuration,
+    /// Span extent on the query-relative timeline.
+    start_ns: u64,
+    end_ns: u64,
+    /// This task's own leaf time (zero for reused results).
+    total: SimDuration,
+    span: SpanId,
+    out: LeafOutput,
+}
+
+fn scale_tally(t: &TimeTally, f: f64) -> TimeTally {
+    let s = |d: SimDuration| SimDuration::nanos((d.as_nanos() as f64 * f) as u64);
+    TimeTally {
+        io: s(t.io),
+        cpu: s(t.cpu),
+        network: s(t.network),
+    }
+}

@@ -73,12 +73,7 @@ impl Scheduler {
                 Policy::LoadOnly => {
                     let node = *alive
                         .iter()
-                        .min_by_key(|n| {
-                            (
-                                effective_load(**n, heartbeats, &round_load),
-                                n.raw(),
-                            )
-                        })
+                        .min_by_key(|n| (effective_load(**n, heartbeats, &round_load), n.raw()))
                         .expect("alive nonempty");
                     Assignment {
                         node,

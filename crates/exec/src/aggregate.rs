@@ -323,11 +323,9 @@ impl AggTable {
                     fields.push(Field::new(format!("s{i}:sum"), DataType::Float64, true));
                     fields.push(Field::new(format!("s{i}:count"), DataType::Int64, true));
                 }
-                AggFunc::Min | AggFunc::Max => fields.push(Field::new(
-                    format!("s{i}:extreme"),
-                    a.output_type,
-                    true,
-                )),
+                AggFunc::Min | AggFunc::Max => {
+                    fields.push(Field::new(format!("s{i}:extreme"), a.output_type, true))
+                }
             }
         }
         Schema::new(fields)
@@ -410,11 +408,7 @@ impl AggTable {
                     }
                     AggFunc::Sum => {
                         let s = batch.column(col).value(row).as_f64().unwrap_or(0.0);
-                        let seen = batch
-                            .column(col + 1)
-                            .value(row)
-                            .as_bool()
-                            .unwrap_or(false);
+                        let seen = batch.column(col + 1).value(row).as_bool().unwrap_or(false);
                         col += 2;
                         if a.output_type == DataType::Int64 {
                             AggState::SumInt(s as i64, seen)
@@ -554,9 +548,7 @@ mod tests {
     #[test]
     fn global_aggregate_on_empty_input_yields_one_row() {
         let t = AggTable::new(Vec::new(), aggs());
-        let schema = Schema::new(
-            out_schema().fields()[1..].to_vec(),
-        );
+        let schema = Schema::new(out_schema().fields()[1..].to_vec());
         let out = t.finish(&schema).unwrap();
         assert_eq!(out.rows(), 1);
         assert_eq!(out.value_at(0, "COUNT(*)"), Some(Value::Int64(0)));
@@ -601,12 +593,8 @@ mod tests {
         a.update(&batch.take(&[0, 1]).unwrap()).unwrap();
         let mut b = AggTable::new(group_by(), aggs());
         b.update(&batch.take(&[2, 3, 4]).unwrap()).unwrap();
-        let mut merged = AggTable::from_transport(
-            group_by(),
-            aggs(),
-            &a.to_transport().unwrap(),
-        )
-        .unwrap();
+        let mut merged =
+            AggTable::from_transport(group_by(), aggs(), &a.to_transport().unwrap()).unwrap();
         let b2 = AggTable::from_transport(group_by(), aggs(), &b.to_transport().unwrap()).unwrap();
         merged.merge(&b2).unwrap();
         let mut whole = AggTable::new(group_by(), aggs());
@@ -634,11 +622,7 @@ mod tests {
     #[test]
     fn sum_type_error_detected() {
         let schema = Schema::new(vec![Field::new("s", DataType::Utf8, false)]);
-        let batch = RecordBatch::new(
-            schema,
-            vec![Column::from_utf8(vec!["x".into()])],
-        )
-        .unwrap();
+        let batch = RecordBatch::new(schema, vec![Column::from_utf8(vec!["x".into()])]).unwrap();
         let mut t = AggTable::new(
             Vec::new(),
             vec![AggExpr {

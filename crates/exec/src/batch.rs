@@ -134,8 +134,12 @@ impl RecordBatch {
     /// Pretty-prints the batch as an aligned text table (for examples and
     /// the CLI-style tooling).
     pub fn to_table_string(&self) -> String {
-        let headers: Vec<String> =
-            self.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let headers: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
         let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.rows);
         for i in 0..self.rows {
             rows.push(

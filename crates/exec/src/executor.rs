@@ -97,34 +97,7 @@ impl ScanProvider for MemProvider {
     }
 }
 
-/// Rewrites `t.c` column references to bare `c` (scan-local storage
-/// names).
-pub fn strip_qualifiers(e: &Expr) -> Expr {
-    match e {
-        Expr::Column(c) => {
-            Expr::Column(c.rsplit('.').next().unwrap_or(c).to_string())
-        }
-        Expr::Literal(v) => Expr::Literal(v.clone()),
-        Expr::Binary { op, left, right } => Expr::Binary {
-            op: *op,
-            left: Box::new(strip_qualifiers(left)),
-            right: Box::new(strip_qualifiers(right)),
-        },
-        Expr::Unary { op, operand } => Expr::Unary {
-            op: *op,
-            operand: Box::new(strip_qualifiers(operand)),
-        },
-        Expr::IsNull { operand, negated } => Expr::IsNull {
-            operand: Box::new(strip_qualifiers(operand)),
-            negated: *negated,
-        },
-        Expr::Aggregate { func, arg, within } => Expr::Aggregate {
-            func: *func,
-            arg: arg.as_ref().map(|a| Box::new(strip_qualifiers(a))),
-            within: within.as_ref().map(|w| Box::new(strip_qualifiers(w))),
-        },
-    }
-}
+pub use feisu_sql::exprutil::strip_qualifiers;
 
 /// Runs a logical plan to completion, returning one batch.
 pub fn execute(plan: &LogicalPlan, provider: &mut dyn ScanProvider) -> Result<RecordBatch> {
@@ -193,10 +166,7 @@ pub fn execute(plan: &LogicalPlan, provider: &mut dyn ScanProvider) -> Result<Re
 /// Convenience: parse, analyze, plan, optimize and execute one SQL string
 /// against in-memory tables — the one-call oracle used across the test
 /// suite.
-pub fn run_sql(
-    sql: &str,
-    provider: &mut MemProvider,
-) -> Result<RecordBatch> {
+pub fn run_sql(sql: &str, provider: &mut MemProvider) -> Result<RecordBatch> {
     let query = feisu_sql::parser::parse_query(sql)?;
     let mut catalog: FxHashMap<String, Schema> = FxHashMap::default();
     for (name, batch) in provider.tables.iter() {
@@ -283,9 +253,11 @@ mod tests {
     #[test]
     fn paper_q1_shape() {
         let mut p = provider();
-        let out =
-            run_sql("SELECT COUNT(*) FROM t1 WHERE (clicks > 0) AND (clicks <= 15)", &mut p)
-                .unwrap();
+        let out = run_sql(
+            "SELECT COUNT(*) FROM t1 WHERE (clicks > 0) AND (clicks <= 15)",
+            &mut p,
+        )
+        .unwrap();
         assert_eq!(out.column(0).value(0), Value::Int64(3));
     }
 

@@ -72,7 +72,10 @@ fn fast_compare(batch: &RecordBatch, expr: &Expr) -> Result<Option<BitVec>> {
         }
         (ColumnData::Int64(vals), Value::Float64(t)) => {
             fill(&mut bits, vals, validity, |v| {
-                (*v as f64).partial_cmp(t).map(|o| cmp_ord(op, o)).unwrap_or(false)
+                (*v as f64)
+                    .partial_cmp(t)
+                    .map(|o| cmp_ord(op, o))
+                    .unwrap_or(false)
             });
         }
         (ColumnData::Float64(vals), Value::Float64(t)) => {
@@ -87,7 +90,9 @@ fn fast_compare(batch: &RecordBatch, expr: &Expr) -> Result<Option<BitVec>> {
             });
         }
         (ColumnData::Utf8(vals), Value::Utf8(t)) => {
-            fill(&mut bits, vals, validity, |v| cmp_ord(op, v.as_str().cmp(t)));
+            fill(&mut bits, vals, validity, |v| {
+                cmp_ord(op, v.as_str().cmp(t))
+            });
         }
         _ => return Ok(None),
     }

@@ -24,7 +24,12 @@ fn split_conditions(
     let mut pairs = Vec::new();
     let mut residual = Vec::new();
     for cond in on {
-        if let Expr::Binary { op: BinaryOp::Eq, left, right } = cond {
+        if let Expr::Binary {
+            op: BinaryOp::Eq,
+            left,
+            right,
+        } = cond
+        {
             let l_side = side_of(left, left_schema, right_schema);
             let r_side = side_of(right, left_schema, right_schema);
             match (l_side, r_side) {
@@ -119,7 +124,10 @@ fn hash_join(
     // Build side: hash the right input on its key exprs.
     let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
     for r in 0..right.rows() {
-        let row = BatchRow { batch: right, row: r };
+        let row = BatchRow {
+            batch: right,
+            row: r,
+        };
         let key: Vec<Value> = pairs
             .iter()
             .map(|p| eval(&p.right, &row))
@@ -135,7 +143,10 @@ fn hash_join(
     let mut left_unmatched: Vec<usize> = Vec::new();
     let mut right_matched = vec![false; right.rows()];
     for l in 0..left.rows() {
-        let row = BatchRow { batch: left, row: l };
+        let row = BatchRow {
+            batch: left,
+            row: l,
+        };
         let key: Vec<Value> = pairs
             .iter()
             .map(|p| eval(&p.left, &row))
@@ -263,7 +274,12 @@ mod tests {
             vec![
                 Column::from_values(
                     DataType::Int64,
-                    &[Value::Int64(1), Value::Int64(2), Value::Null, Value::Int64(4)],
+                    &[
+                        Value::Int64(1),
+                        Value::Int64(2),
+                        Value::Null,
+                        Value::Int64(4),
+                    ],
                 )
                 .unwrap(),
                 Column::from_utf8(vec!["a".into(), "b".into(), "c".into(), "d".into()]),
@@ -282,7 +298,12 @@ mod tests {
             vec![
                 Column::from_values(
                     DataType::Int64,
-                    &[Value::Int64(1), Value::Int64(1), Value::Int64(3), Value::Null],
+                    &[
+                        Value::Int64(1),
+                        Value::Int64(1),
+                        Value::Int64(3),
+                        Value::Null,
+                    ],
                 )
                 .unwrap(),
                 Column::from_i64(vec![10, 11, 30, 99]),
@@ -321,7 +342,14 @@ mod tests {
 
     #[test]
     fn right_outer_extends_unmatched() {
-        let out = join(&left(), &right(), JoinKind::RightOuter, &on(), &out_schema()).unwrap();
+        let out = join(
+            &left(),
+            &right(),
+            JoinKind::RightOuter,
+            &on(),
+            &out_schema(),
+        )
+        .unwrap();
         // 2 matches + 2 unmatched right rows (k=3, null).
         assert_eq!(out.rows(), 4);
         let null_count = (0..out.rows())

@@ -21,6 +21,7 @@ pub mod executor;
 pub mod expr;
 pub mod join;
 pub mod ops;
+pub mod physical;
 pub mod sort;
 
 pub use batch::RecordBatch;

@@ -1,0 +1,600 @@
+//! The physical plan layer.
+//!
+//! [`lower`] turns an optimized [`LogicalPlan`] into a [`PhysicalPlan`]:
+//! a tree of typed physical operators in which every distributed decision
+//! is already made. In particular the paper's partial-aggregation
+//! pushdown (§III-B: leaves pre-aggregate, stems merge bottom-up) is a
+//! *plan-time* property here — an `Aggregate` over a bare `Scan` lowers
+//! to [`PhysicalPlan::FinalAggregate`] over a
+//! [`PhysicalPlan::DistributedScan`] carrying the
+//! [`AggStage`], and the scan node also carries the precomputed
+//! CNF split (indexable clauses vs residual expressions) and the
+//! canonical→storage column map that leaf servers rename through.
+//!
+//! The engine in `feisu-core` interprets this tree; each node knows its
+//! own master-side CPU price via [`PhysicalPlan::master_cpu_cost`], so
+//! cost accounting lives with the operator instead of being sprinkled
+//! through the interpreter.
+
+use feisu_cluster::CostModel;
+use feisu_common::hash::FxHashMap;
+use feisu_common::{FeisuError, Result, SimDuration};
+use feisu_format::{DataType, Schema};
+use feisu_sql::analyze::Catalog;
+use feisu_sql::ast::{Expr, JoinKind};
+use feisu_sql::cnf::{to_cnf, Cnf, Disjunct};
+use feisu_sql::plan::{AggExpr, AggStage, LogicalPlan};
+
+/// Physical operators. `DistributedScan` is the only node that touches
+/// the cluster; everything above it runs on the master over merged
+/// results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// One table scan, dissected into per-block leaf tasks by the engine.
+    DistributedScan {
+        table: String,
+        /// Storage column names to read, parallel to `output_schema`.
+        projection: Vec<String>,
+        /// The full pushed-down predicate (display + task signatures).
+        predicate: Option<Expr>,
+        /// Indexable conjunctive clauses of `predicate` (all-simple
+        /// disjuncts — what SmartIndex can key on).
+        cnf: Cnf,
+        /// Non-indexable clauses, evaluated row-wise on the leaves.
+        residual: Vec<Expr>,
+        /// Partial aggregation pushed into the leaves, decided at
+        /// lowering time.
+        agg_stage: Option<AggStage>,
+        /// Canonical → storage column-name map for the whole task.
+        name_map: FxHashMap<String, String>,
+        /// Scan output schema in canonical (possibly qualified) names.
+        output_schema: Schema,
+    },
+    /// Merges partial-aggregate transports produced by a pushed-down
+    /// [`AggStage`] into final values.
+    FinalAggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<(Expr, String, DataType)>,
+        aggregates: Vec<AggExpr>,
+        output_schema: Schema,
+    },
+    /// Full hash aggregation over raw input rows (input was not a bare
+    /// scan, so nothing could be pushed down).
+    HashAggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<(Expr, String, DataType)>,
+        aggregates: Vec<AggExpr>,
+        output_schema: Schema,
+    },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<(Expr, String)>,
+        output_schema: Schema,
+    },
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        kind: JoinKind,
+        on: Vec<Expr>,
+        output_schema: Schema,
+    },
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<(Expr, /*descending=*/ bool)>,
+        fetch: Option<u64>,
+    },
+    Limit {
+        input: Box<PhysicalPlan>,
+        fetch: u64,
+    },
+}
+
+impl PhysicalPlan {
+    /// Operator name as shown in plan renderings and profile spans.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalPlan::DistributedScan { .. } => "DistributedScan",
+            PhysicalPlan::FinalAggregate { .. } => "FinalAggregate",
+            PhysicalPlan::HashAggregate { .. } => "HashAggregate",
+            PhysicalPlan::Filter { .. } => "Filter",
+            PhysicalPlan::Project { .. } => "Project",
+            PhysicalPlan::HashJoin { .. } => "HashJoin",
+            PhysicalPlan::Sort { .. } => "Sort",
+            PhysicalPlan::Limit { .. } => "Limit",
+        }
+    }
+
+    /// The operator's output schema.
+    pub fn schema(&self) -> Schema {
+        match self {
+            PhysicalPlan::DistributedScan { output_schema, .. }
+            | PhysicalPlan::FinalAggregate { output_schema, .. }
+            | PhysicalPlan::HashAggregate { output_schema, .. }
+            | PhysicalPlan::Project { output_schema, .. }
+            | PhysicalPlan::HashJoin { output_schema, .. } => output_schema.clone(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Master-side CPU this operator charges for one evaluation, given
+    /// its children's output row counts (`inputs[0]` = left/only child,
+    /// `inputs[1]` = right child). Distributed scans charge nothing here:
+    /// their time is accounted on the leaf/stem critical path.
+    pub fn master_cpu_cost(&self, cost: &CostModel, inputs: &[usize]) -> SimDuration {
+        let rows = |i: usize| inputs.get(i).copied().unwrap_or(0);
+        match self {
+            PhysicalPlan::DistributedScan { .. } | PhysicalPlan::Limit { .. } => SimDuration::ZERO,
+            PhysicalPlan::Filter { .. } => cost.predicate_eval(rows(0).max(1)),
+            PhysicalPlan::Project { .. } => cost.project(rows(0).max(1)),
+            PhysicalPlan::HashAggregate { .. } => cost.agg_update(rows(0).max(1)),
+            PhysicalPlan::FinalAggregate { .. } => cost.agg_merge(rows(0).max(1)),
+            PhysicalPlan::HashJoin { .. } => {
+                let (l, r) = (rows(0), rows(1));
+                if l + r == 0 {
+                    // Even an empty join pays one probe of bookkeeping.
+                    cost.join_probe(1)
+                } else {
+                    cost.join_build(l) + cost.join_probe(r)
+                }
+            }
+            PhysicalPlan::Sort { .. } => {
+                // n·⌈log₂ n⌉ comparisons, floored at two rows.
+                let n = rows(0).max(2);
+                cost.sort_cmp(n * (usize::BITS - n.leading_zeros()) as usize)
+            }
+        }
+    }
+
+    /// Pretty multi-line plan rendering (EXPLAIN-style) with pushdown
+    /// annotations on distributed scans.
+    pub fn display_indent(&self) -> String {
+        let mut out = String::new();
+        self.fmt_indent(&mut out, 0);
+        out
+    }
+
+    fn fmt_indent(&self, out: &mut String, level: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(level);
+        match self {
+            PhysicalPlan::DistributedScan {
+                table,
+                projection,
+                predicate,
+                agg_stage,
+                ..
+            } => {
+                let _ = write!(out, "{pad}DistributedScan: {table} cols={projection:?}");
+                if let Some(p) = predicate {
+                    let _ = write!(out, " filter={p}");
+                }
+                if let Some(stage) = agg_stage {
+                    let aggs: Vec<&str> =
+                        stage.aggregates.iter().map(|a| a.name.as_str()).collect();
+                    let _ = write!(out, " [agg pushed: {}", aggs.join(", "));
+                    if !stage.group_by.is_empty() {
+                        let groups: Vec<&str> =
+                            stage.group_by.iter().map(|(_, n, _)| n.as_str()).collect();
+                        let _ = write!(out, " group by {}", groups.join(", "));
+                    }
+                    out.push(']');
+                }
+                out.push('\n');
+            }
+            PhysicalPlan::FinalAggregate {
+                input,
+                group_by,
+                aggregates,
+                ..
+            }
+            | PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggregates,
+                ..
+            } => {
+                let groups: Vec<&str> = group_by.iter().map(|(_, n, _)| n.as_str()).collect();
+                let aggs: Vec<&str> = aggregates.iter().map(|a| a.name.as_str()).collect();
+                let _ = writeln!(out, "{pad}{}: group={groups:?} aggs={aggs:?}", self.name());
+                input.fmt_indent(out, level + 1);
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter: {predicate}");
+                input.fmt_indent(out, level + 1);
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let _ = writeln!(out, "{pad}Project: [{}]", cols.join(", "));
+                input.fmt_indent(out, level + 1);
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                kind,
+                on,
+                ..
+            } => {
+                let conds: Vec<String> = on.iter().map(|e| e.to_string()).collect();
+                let _ = writeln!(out, "{pad}HashJoin: {kind:?} on [{}]", conds.join(", "));
+                left.fmt_indent(out, level + 1);
+                right.fmt_indent(out, level + 1);
+            }
+            PhysicalPlan::Sort { input, keys, fetch } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(e, d)| format!("{e}{}", if *d { " DESC" } else { "" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort: [{}] fetch={fetch:?}", ks.join(", "));
+                input.fmt_indent(out, level + 1);
+            }
+            PhysicalPlan::Limit { input, fetch } => {
+                let _ = writeln!(out, "{pad}Limit: {fetch}");
+                input.fmt_indent(out, level + 1);
+            }
+        }
+    }
+}
+
+/// Lowers an optimized logical plan to a physical plan, deciding
+/// aggregation pushdown and precomputing everything the distributed scan
+/// needs (CNF split, name map). `catalog` supplies each table's *storage*
+/// schema — needed to tell flattened-JSON dotted columns apart from
+/// qualified references.
+pub fn lower(plan: &LogicalPlan, catalog: &dyn Catalog) -> Result<PhysicalPlan> {
+    match plan {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            output_schema,
+        } => {
+            // Push partial aggregation to the leaves when the input is a
+            // bare scan (the dominant shape, Fig. 8).
+            if let LogicalPlan::Scan {
+                table,
+                projection,
+                predicate,
+                output_schema: scan_schema,
+                ..
+            } = input.as_ref()
+            {
+                let stage = AggStage {
+                    group_by: group_by.clone(),
+                    aggregates: aggregates.clone(),
+                };
+                let scan = lower_scan(
+                    table,
+                    projection,
+                    predicate.as_ref(),
+                    scan_schema,
+                    Some(stage),
+                    catalog,
+                )?;
+                return Ok(PhysicalPlan::FinalAggregate {
+                    input: Box::new(scan),
+                    group_by: group_by.clone(),
+                    aggregates: aggregates.clone(),
+                    output_schema: output_schema.clone(),
+                });
+            }
+            Ok(PhysicalPlan::HashAggregate {
+                input: Box::new(lower(input, catalog)?),
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+                output_schema: output_schema.clone(),
+            })
+        }
+        LogicalPlan::Scan {
+            table,
+            projection,
+            predicate,
+            output_schema,
+            ..
+        } => lower_scan(
+            table,
+            projection,
+            predicate.as_ref(),
+            output_schema,
+            None,
+            catalog,
+        ),
+        LogicalPlan::Filter { input, predicate } => Ok(PhysicalPlan::Filter {
+            input: Box::new(lower(input, catalog)?),
+            predicate: predicate.clone(),
+        }),
+        LogicalPlan::Project {
+            input,
+            exprs,
+            output_schema,
+        } => Ok(PhysicalPlan::Project {
+            input: Box::new(lower(input, catalog)?),
+            exprs: exprs.clone(),
+            output_schema: output_schema.clone(),
+        }),
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            output_schema,
+        } => Ok(PhysicalPlan::HashJoin {
+            left: Box::new(lower(left, catalog)?),
+            right: Box::new(lower(right, catalog)?),
+            kind: *kind,
+            on: on.clone(),
+            output_schema: output_schema.clone(),
+        }),
+        LogicalPlan::Sort { input, keys, fetch } => Ok(PhysicalPlan::Sort {
+            input: Box::new(lower(input, catalog)?),
+            keys: keys.clone(),
+            fetch: *fetch,
+        }),
+        LogicalPlan::Limit { input, fetch } => Ok(PhysicalPlan::Limit {
+            input: Box::new(lower(input, catalog)?),
+            fetch: *fetch,
+        }),
+    }
+}
+
+/// Builds the `DistributedScan` node: canonical→storage name map plus the
+/// CNF split into indexable clauses and residual expressions.
+fn lower_scan(
+    table: &str,
+    projection: &[String],
+    predicate: Option<&Expr>,
+    output_schema: &Schema,
+    agg_stage: Option<AggStage>,
+    catalog: &dyn Catalog,
+) -> Result<PhysicalPlan> {
+    let storage_schema = catalog
+        .table_schema(table)
+        .ok_or_else(|| FeisuError::Execution(format!("unknown table `{table}` during lowering")))?;
+    // Canonical → storage name map covers the whole scan output.
+    let mut name_map: FxHashMap<String, String> = FxHashMap::default();
+    for (canon, storage) in output_schema
+        .fields()
+        .iter()
+        .map(|f| f.name.clone())
+        .zip(projection.iter().cloned())
+    {
+        name_map.insert(canon, storage);
+    }
+    // Predicate columns outside the projection also need mapping: a
+    // canonical name is `binding.col` or bare `col`; strip qualifier.
+    if let Some(p) = predicate {
+        let mut cols = Vec::new();
+        p.columns(&mut cols);
+        for c in cols {
+            // Dotted names may be real storage columns (flattened JSON
+            // paths); strip the table qualifier only when the full name
+            // is not a column of the table itself.
+            let storage = if storage_schema.index_of(&c).is_some() {
+                c.clone()
+            } else {
+                c.rsplit('.').next().unwrap_or(&c).to_string()
+            };
+            name_map.entry(c.clone()).or_insert(storage);
+        }
+    }
+
+    // Split the predicate into indexable CNF clauses (all-simple
+    // disjuncts — SmartIndex can serve them) and residual expressions.
+    let (cnf, residual) = match predicate {
+        None => (Cnf::default(), Vec::new()),
+        Some(p) => {
+            let full = to_cnf(p);
+            let mut indexable = Vec::new();
+            let mut residual = Vec::new();
+            for clause in full.clauses {
+                let all_simple = clause
+                    .disjuncts
+                    .iter()
+                    .all(|d| matches!(d, Disjunct::Simple(_)));
+                if all_simple {
+                    indexable.push(clause);
+                } else {
+                    residual.push(clause.to_expr());
+                }
+            }
+            (Cnf { clauses: indexable }, residual)
+        }
+    };
+
+    Ok(PhysicalPlan::DistributedScan {
+        table: table.to_string(),
+        projection: projection.to_vec(),
+        predicate: predicate.cloned(),
+        cnf,
+        residual,
+        agg_stage,
+        name_map,
+        output_schema: output_schema.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feisu_format::Field;
+    use feisu_sql::analyze::analyze;
+    use feisu_sql::optimizer::optimize;
+    use feisu_sql::parser::parse_query;
+    use feisu_sql::plan::build_plan;
+    use std::collections::HashMap;
+
+    fn catalog() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(
+            "t1".to_string(),
+            Schema::new(vec![
+                Field::new("url", DataType::Utf8, false),
+                Field::new("clicks", DataType::Int64, true),
+                Field::new("score", DataType::Float64, false),
+            ]),
+        );
+        m.insert(
+            "t2".to_string(),
+            Schema::new(vec![
+                Field::new("url", DataType::Utf8, false),
+                Field::new("rank", DataType::Int64, false),
+            ]),
+        );
+        m
+    }
+
+    fn physical(sql: &str) -> PhysicalPlan {
+        let q = parse_query(sql).unwrap();
+        let cat = catalog();
+        let r = analyze(&q, &cat).unwrap();
+        let plan = optimize(build_plan(&r).unwrap()).unwrap();
+        lower(&plan, &cat).unwrap()
+    }
+
+    #[test]
+    fn aggregate_over_scan_pushes_down() {
+        let p = physical("SELECT COUNT(*) FROM t1 WHERE clicks > 5");
+        let PhysicalPlan::Project { input: agg, .. } = &p else {
+            panic!("expected Project root, got {p:?}");
+        };
+        let PhysicalPlan::FinalAggregate { input, .. } = agg.as_ref() else {
+            panic!("expected FinalAggregate, got {agg:?}");
+        };
+        let PhysicalPlan::DistributedScan {
+            agg_stage: Some(stage),
+            cnf,
+            residual,
+            ..
+        } = input.as_ref()
+        else {
+            panic!("expected DistributedScan with pushed agg, got {input:?}");
+        };
+        assert!(stage.is_count_star_only());
+        assert_eq!(cnf.clauses.len(), 1, "indexable simple predicate");
+        assert!(residual.is_empty());
+    }
+
+    #[test]
+    fn aggregate_over_join_stays_on_master() {
+        let p = physical("SELECT rank, COUNT(*) FROM t1 JOIN t2 ON t1.url = t2.url GROUP BY rank");
+        let s = p.display_indent();
+        assert!(s.contains("HashAggregate:"), "{s}");
+        assert!(s.contains("HashJoin: Inner"), "{s}");
+        assert!(!s.contains("agg pushed"), "{s}");
+    }
+
+    #[test]
+    fn pushdown_annotation_renders_aggs_and_groups() {
+        let p = physical("SELECT url, COUNT(*), SUM(clicks) FROM t1 GROUP BY url");
+        let s = p.display_indent();
+        assert!(
+            s.contains("[agg pushed: COUNT(*), SUM(clicks) group by url]"),
+            "{s}"
+        );
+        assert!(s.contains("FinalAggregate:"), "{s}");
+    }
+
+    #[test]
+    fn cnf_split_separates_residual_clauses() {
+        // `clicks + 1 > 3` is not a simple predicate; `score > 0` is.
+        let p = physical("SELECT url FROM t1 WHERE score > 0 AND clicks + 1 > 3");
+        fn find_scan(p: &PhysicalPlan) -> Option<&PhysicalPlan> {
+            match p {
+                PhysicalPlan::DistributedScan { .. } => Some(p),
+                PhysicalPlan::FinalAggregate { input, .. }
+                | PhysicalPlan::HashAggregate { input, .. }
+                | PhysicalPlan::Filter { input, .. }
+                | PhysicalPlan::Project { input, .. }
+                | PhysicalPlan::Sort { input, .. }
+                | PhysicalPlan::Limit { input, .. } => find_scan(input),
+                PhysicalPlan::HashJoin { left, right, .. } => {
+                    find_scan(left).or_else(|| find_scan(right))
+                }
+            }
+        }
+        let PhysicalPlan::DistributedScan { cnf, residual, .. } =
+            find_scan(&p).expect("scan in plan")
+        else {
+            unreachable!()
+        };
+        assert_eq!(cnf.clauses.len(), 1, "simple clause is indexable");
+        assert_eq!(residual.len(), 1, "arithmetic clause is residual");
+    }
+
+    #[test]
+    fn name_map_strips_qualifiers_for_join_scans() {
+        let p =
+            physical("SELECT clicks, rank FROM t1 JOIN t2 ON t1.url = t2.url WHERE t1.clicks > 5");
+        let PhysicalPlan::Project { input, .. } = &p else {
+            panic!("{p:?}");
+        };
+        let PhysicalPlan::HashJoin { left, .. } = input.as_ref() else {
+            panic!("{input:?}");
+        };
+        let PhysicalPlan::DistributedScan { name_map, .. } = left.as_ref() else {
+            panic!("{left:?}");
+        };
+        assert_eq!(
+            name_map.get("t1.clicks").map(String::as_str),
+            Some("clicks")
+        );
+        assert_eq!(name_map.get("t1.url").map(String::as_str), Some("url"));
+    }
+
+    #[test]
+    fn master_cpu_costs_match_legacy_predicate_billing() {
+        let cost = CostModel::default();
+        let p = physical("SELECT url FROM t1 WHERE clicks > 5 ORDER BY url LIMIT 3");
+        // Walk out the nodes we need.
+        let PhysicalPlan::Limit { input: proj, .. } = &p else {
+            panic!("{p:?}")
+        };
+        let PhysicalPlan::Project { input: sort, .. } = proj.as_ref() else {
+            panic!("{proj:?}")
+        };
+        assert_eq!(
+            proj.master_cpu_cost(&cost, &[100]),
+            cost.predicate_eval(100)
+        );
+        assert_eq!(proj.master_cpu_cost(&cost, &[0]), cost.predicate_eval(1));
+        // Sort bills n·⌈log₂ n⌉ comparisons with a floor of two rows.
+        let n: usize = 100;
+        let cmps = n * (usize::BITS - n.leading_zeros()) as usize;
+        assert_eq!(sort.master_cpu_cost(&cost, &[n]), cost.predicate_eval(cmps));
+        assert_eq!(
+            p.master_cpu_cost(&cost, &[5]),
+            SimDuration::ZERO,
+            "limit is free"
+        );
+
+        let join = physical("SELECT t1.url FROM t1 JOIN t2 ON t1.url = t2.url");
+        let PhysicalPlan::Project { input: join, .. } = &join else {
+            panic!("{join:?}")
+        };
+        assert_eq!(
+            join.master_cpu_cost(&cost, &[30, 20]),
+            cost.predicate_eval(50),
+            "join build+probe equals the legacy l+r billing at default rates"
+        );
+        assert_eq!(
+            join.master_cpu_cost(&cost, &[0, 0]),
+            cost.predicate_eval(1),
+            "empty join still charges one row"
+        );
+    }
+
+    #[test]
+    fn unknown_table_fails_lowering() {
+        let q = parse_query("SELECT url FROM t1").unwrap();
+        let cat = catalog();
+        let r = analyze(&q, &cat).unwrap();
+        let plan = optimize(build_plan(&r).unwrap()).unwrap();
+        let empty: HashMap<String, Schema> = HashMap::new();
+        assert!(lower(&plan, &empty).is_err());
+    }
+}

@@ -13,11 +13,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Sorts a batch by `keys`; `fetch` keeps only the first N rows.
-pub fn sort(
-    batch: &RecordBatch,
-    keys: &[(Expr, bool)],
-    fetch: Option<u64>,
-) -> Result<RecordBatch> {
+pub fn sort(batch: &RecordBatch, keys: &[(Expr, bool)], fetch: Option<u64>) -> Result<RecordBatch> {
     // Materialize key values once per row.
     let mut key_rows: Vec<(Vec<Value>, usize)> = Vec::with_capacity(batch.rows());
     for i in 0..batch.rows() {
@@ -64,8 +60,7 @@ pub fn sort(
                         heap.pop();
                     }
                 }
-                let mut top: Vec<(Vec<Value>, usize)> =
-                    heap.into_iter().map(|o| o.item).collect();
+                let mut top: Vec<(Vec<Value>, usize)> = heap.into_iter().map(|o| o.item).collect();
                 top.sort_by(cmp);
                 top.into_iter().map(|(_, i)| i).collect()
             }
@@ -223,7 +218,9 @@ mod tests {
     #[test]
     fn heap_path_matches_sort_path_on_larger_input() {
         let schema = Schema::new(vec![Field::new("x", DataType::Int64, false)]);
-        let vals: Vec<i64> = (0..1000).map(|i| (i * 2654435761u64 as i64) % 997).collect();
+        let vals: Vec<i64> = (0..1000)
+            .map(|i| (i * 2654435761u64 as i64) % 997)
+            .collect();
         let b = RecordBatch::new(schema, vec![Column::from_i64(vals)]).unwrap();
         let full = sort(&b, &keys("x", false), None).unwrap();
         let top = sort(&b, &keys("x", false), Some(10)).unwrap(); // heap path

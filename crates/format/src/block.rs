@@ -363,7 +363,12 @@ mod tests {
         // Wrong column count.
         assert!(Block::new(BlockId(0), schema.clone(), vec![]).is_err());
         // Wrong type.
-        assert!(Block::new(BlockId(0), schema.clone(), vec![Column::from_bool(vec![true])]).is_err());
+        assert!(Block::new(
+            BlockId(0),
+            schema.clone(),
+            vec![Column::from_bool(vec![true])]
+        )
+        .is_err());
         // Ragged lengths.
         let schema2 = Schema::new(vec![
             Field::new("a", DataType::Int64, false),

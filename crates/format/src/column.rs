@@ -313,9 +313,7 @@ impl Column {
         let data = match &self.data {
             ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Int64(v) => ColumnData::Int64(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Float64(v) => {
-                ColumnData::Float64(indices.iter().map(|&i| v[i]).collect())
-            }
+            ColumnData::Float64(v) => ColumnData::Float64(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Utf8(v) => {
                 ColumnData::Utf8(indices.iter().map(|&i| v[i].clone()).collect())
             }
@@ -494,7 +492,11 @@ mod tests {
     fn take_gathers_rows() {
         let c = Column::from_values(
             DataType::Utf8,
-            &[Value::Utf8("a".into()), Value::Null, Value::Utf8("c".into())],
+            &[
+                Value::Utf8("a".into()),
+                Value::Null,
+                Value::Utf8("c".into()),
+            ],
         )
         .unwrap();
         let t = c.take(&[2, 0, 1]);

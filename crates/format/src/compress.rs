@@ -240,7 +240,10 @@ mod tests {
     fn lz_roundtrip_repetitive() {
         let data: Vec<u8> = b"abcabcabcabcabcabcabcabcabcabc".repeat(100);
         let c = compress(Codec::Lz, &data);
-        assert!(c.len() < data.len() / 5, "repetitive data should shrink a lot");
+        assert!(
+            c.len() < data.len() / 5,
+            "repetitive data should shrink a lot"
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -250,7 +253,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let data: Vec<u8> = (0..10_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 56) as u8
             })
             .collect();

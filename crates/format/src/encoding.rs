@@ -137,7 +137,9 @@ pub mod rle {
             let len = varint::decode(buf, pos)? as usize;
             let v = zigzag::decode(varint::decode(buf, pos)?);
             if values.len() + len > total {
-                return Err(FeisuError::Corrupt("rle: runs exceed declared total".into()));
+                return Err(FeisuError::Corrupt(
+                    "rle: runs exceed declared total".into(),
+                ));
             }
             values.extend(std::iter::repeat_n(v, len));
         }
@@ -368,18 +370,32 @@ mod tests {
         let values = vec![5i64; 10_000];
         let mut buf = Vec::new();
         rle::encode(&values, &mut buf);
-        assert!(buf.len() < 16, "constant column should encode tiny: {}", buf.len());
+        assert!(
+            buf.len() < 16,
+            "constant column should encode tiny: {}",
+            buf.len()
+        );
     }
 
     #[test]
     fn bitpack_roundtrip_various_widths() {
         for width in [1u32, 3, 7, 8, 13, 32, 64] {
-            let max = if width == 64 { u64::MAX } else { (1 << width) - 1 };
-            let values: Vec<u64> = (0..257).map(|i| (i * 2654435761u64) % (max.max(1)) ).collect();
+            let max = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
+            let values: Vec<u64> = (0..257)
+                .map(|i| (i * 2654435761u64) % (max.max(1)))
+                .collect();
             let mut buf = Vec::new();
             bitpack::encode(&values, width, &mut buf);
             let mut pos = 0;
-            assert_eq!(bitpack::decode(&buf, &mut pos).unwrap(), values, "width {width}");
+            assert_eq!(
+                bitpack::decode(&buf, &mut pos).unwrap(),
+                values,
+                "width {width}"
+            );
         }
     }
 
@@ -408,7 +424,10 @@ mod tests {
         dict::encode(&values, &mut buf);
         let mut pos = 0;
         let decoded = dict::decode(&buf, &mut pos).unwrap();
-        assert_eq!(decoded, values.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert_eq!(
+            decoded,
+            values.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
         // Dictionary stores each distinct string once: encoding 6 strings
         // with 3 distinct values must be smaller than raw concatenation.
         let raw: usize = values.iter().map(|s| s.len() + 1).sum();

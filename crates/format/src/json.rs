@@ -220,7 +220,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("bad hex digit"))?;
@@ -364,15 +366,9 @@ fn coerce(v: Value, target: DataType) -> Result<Value> {
     Ok(match (v, target) {
         (Value::Null, _) => Value::Null,
         (Value::Int64(i), DataType::Float64) => Value::Float64(i as f64),
-        (v, DataType::Utf8) if v.data_type() != Some(DataType::Utf8) => {
-            Value::Utf8(v.to_string())
-        }
+        (v, DataType::Utf8) if v.data_type() != Some(DataType::Utf8) => Value::Utf8(v.to_string()),
         (v, t) if v.data_type() == Some(t) => v,
-        (v, t) => {
-            return Err(FeisuError::Execution(format!(
-                "cannot coerce {v} to {t}"
-            )))
-        }
+        (v, t) => return Err(FeisuError::Execution(format!("cannot coerce {v} to {t}"))),
     })
 }
 
@@ -425,7 +421,16 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "{\"a\" 1}", "\"\x01\""] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "{\"a\" 1}",
+            "\"\x01\"",
+        ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
     }
@@ -468,7 +473,10 @@ mod tests {
         let (schema, columns) = documents_to_columns(&docs).unwrap();
         assert_eq!(schema.len(), 3);
         // `a` saw both Int64 and Float64 → widened to Float64.
-        assert_eq!(schema.field_by_name("a").unwrap().data_type, DataType::Float64);
+        assert_eq!(
+            schema.field_by_name("a").unwrap().data_type,
+            DataType::Float64
+        );
         let a = &columns[schema.index_of("a").unwrap()];
         assert_eq!(a.value(0), Value::Float64(1.0));
         assert_eq!(a.value(1), Value::Float64(2.5));

@@ -105,7 +105,10 @@ impl Schema {
 
     /// Estimated bytes per row, used by cost models.
     pub fn estimated_row_width(&self) -> usize {
-        self.fields.iter().map(|f| f.data_type.estimated_width()).sum()
+        self.fields
+            .iter()
+            .map(|f| f.data_type.estimated_width())
+            .sum()
     }
 }
 
@@ -126,7 +129,10 @@ mod tests {
         let s = sample();
         assert_eq!(s.index_of("clicks"), Some(1));
         assert_eq!(s.index_of("nope"), None);
-        assert_eq!(s.field_by_name("score").unwrap().data_type, DataType::Float64);
+        assert_eq!(
+            s.field_by_name("score").unwrap().data_type,
+            DataType::Float64
+        );
     }
 
     #[test]

@@ -271,10 +271,12 @@ mod tests {
 
     #[test]
     fn total_cmp_sorts_nulls_first() {
-        let mut v = [Value::Int64(5),
+        let mut v = [
+            Value::Int64(5),
             Value::Null,
             Value::Utf8("a".into()),
-            Value::Int64(-1)];
+            Value::Int64(-1),
+        ];
         v.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(v[0], Value::Null);
         assert_eq!(v[1], Value::Int64(-1));

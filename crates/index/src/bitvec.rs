@@ -196,7 +196,10 @@ pub enum CompressedBits {
     Raw(BitVec),
     /// Run-length encoded: alternating run lengths starting with a
     /// zero-run (possibly of length 0).
-    Rle { runs: Vec<u32>, len: usize },
+    Rle {
+        runs: Vec<u32>,
+        len: usize,
+    },
 }
 
 impl CompressedBits {
@@ -273,12 +276,9 @@ impl CompressedBits {
     pub fn count_ones(&self) -> usize {
         match self {
             CompressedBits::Raw(b) => b.count_ones(),
-            CompressedBits::Rle { runs, .. } => runs
-                .iter()
-                .skip(1)
-                .step_by(2)
-                .map(|&r| r as usize)
-                .sum(),
+            CompressedBits::Rle { runs, .. } => {
+                runs.iter().skip(1).step_by(2).map(|&r| r as usize).sum()
+            }
         }
     }
 }

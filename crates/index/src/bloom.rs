@@ -22,7 +22,9 @@ impl BloomFilter {
         let fpp = fpp.clamp(1e-6, 0.5);
         let m = (-(n * fpp.ln()) / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil();
         let m = (m as usize).next_power_of_two().max(64);
-        let k = ((m as f64 / n) * std::f64::consts::LN_2).round().clamp(1.0, 16.0) as usize;
+        let k = ((m as f64 / n) * std::f64::consts::LN_2)
+            .round()
+            .clamp(1.0, 16.0) as usize;
         BloomFilter {
             bits: BitVec::zeros(m),
             k,

@@ -163,9 +163,7 @@ mod tests {
     fn nulls_never_match() {
         let col = column();
         let idx = BTreeColumnIndex::build(&col);
-        let all = idx
-            .lookup(BinaryOp::GtEq, &Value::Int64(i64::MIN))
-            .unwrap();
+        let all = idx.lookup(BinaryOp::GtEq, &Value::Int64(i64::MIN)).unwrap();
         assert_eq!(all.count_ones(), idx.len());
         assert!(all.count_ones() < col.len(), "nulls excluded");
     }
@@ -198,9 +196,6 @@ mod tests {
         let col = Column::from_i64(vec![]);
         let idx = BTreeColumnIndex::build(&col);
         assert!(idx.is_empty());
-        assert_eq!(
-            idx.lookup(BinaryOp::Eq, &Value::Int64(1)).unwrap().len(),
-            0
-        );
+        assert_eq!(idx.lookup(BinaryOp::Eq, &Value::Int64(1)).unwrap().len(), 0);
     }
 }

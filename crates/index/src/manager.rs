@@ -538,7 +538,9 @@ mod tests {
                     for b in 0..16u64 {
                         let id = t * 100 + b;
                         m.insert(idx(id, id as i64, SimInstant(0)), SimInstant(0));
-                        assert!(m.get(BlockId(id), &pred(id as i64), SimInstant(1)).is_some());
+                        assert!(m
+                            .get(BlockId(id), &pred(id as i64), SimInstant(1))
+                            .is_some());
                     }
                 });
             }

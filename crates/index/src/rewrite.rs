@@ -138,7 +138,9 @@ pub fn evaluate_cnf(
         }
         let mut clause_bits = BitVec::zeros(rows);
         for d in &clause.disjuncts {
-            let Disjunct::Simple(p) = d else { unreachable!() };
+            let Disjunct::Simple(p) = d else {
+                unreachable!()
+            };
             let (pbits, kind) = probe_predicate(cache, block, p, now)?;
             clause_bits = clause_bits.or(&pbits)?;
             probes.push((p.clone(), kind));
@@ -243,10 +245,10 @@ mod tests {
         assert_eq!(r10.bits, r11.bits);
         // Q11's conjuncts: c2 > 0 direct hit; !(c2 > 5) = c2 <= 5 — the
         // CNF absorbed the NOT, and c2 <= 5 index now exists from Q10.
-        assert!(r11.probes.iter().all(|(_, k)| matches!(
-            k,
-            ProbeKind::Hit | ProbeKind::NegatedHit
-        )));
+        assert!(r11
+            .probes
+            .iter()
+            .all(|(_, k)| matches!(k, ProbeKind::Hit | ProbeKind::NegatedHit)));
     }
 
     #[test]
@@ -314,10 +316,7 @@ mod tests {
         let cnf = to_cnf(&expr);
         evaluate_cnf(Some(&m), &block, &cnf, SimInstant(0)).unwrap();
         let r = evaluate_cnf(Some(&m), &block, &cnf, SimInstant(1)).unwrap();
-        assert_eq!(
-            r.bits.count_ones(),
-            oracle(&block, &expr).count_ones()
-        );
+        assert_eq!(r.bits.count_ones(), oracle(&block, &expr).count_ones());
         assert_eq!(r.evaluated_count(), 0, "all in-memory");
     }
 }

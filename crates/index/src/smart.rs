@@ -81,9 +81,7 @@ impl SmartIndex {
                 Truth::Unknown => {}
             }
         }
-        let range = column
-            .min_max()
-            .map(|(min, max)| ZoneMap::new(min, max));
+        let range = column.min_max().map(|(min, max)| ZoneMap::new(min, max));
         let bloom = if with_bloom {
             let mut f = BloomFilter::with_capacity(rows, 0.01);
             for i in 0..rows {
@@ -190,7 +188,11 @@ impl SmartIndex {
 
     /// Parses a serialized index. The predicate is reconstructed from its
     /// key string only for identification; callers match on [`SmartIndex::key`].
-    pub fn deserialize(buf: &[u8], predicate: SimplePredicate, now: SimInstant) -> Result<SmartIndex> {
+    pub fn deserialize(
+        buf: &[u8],
+        predicate: SimplePredicate,
+        now: SimInstant,
+    ) -> Result<SmartIndex> {
         use feisu_format::encoding::varint;
         if buf.len() < 4 || buf[..4] != SMARTINDEX_MAGIC.to_le_bytes() {
             return Err(FeisuError::Corrupt("bad SmartIndex magic".into()));
@@ -415,7 +417,12 @@ mod tests {
         let wrong = pred("c2", BinaryOp::Gt, Value::Int64(6));
         assert!(SmartIndex::deserialize(&bytes, wrong, SimInstant(0)).is_err());
         bytes[0] ^= 0xff;
-        assert!(SmartIndex::deserialize(&bytes, pred("c2", BinaryOp::Gt, Value::Int64(5)), SimInstant(0)).is_err());
+        assert!(SmartIndex::deserialize(
+            &bytes,
+            pred("c2", BinaryOp::Gt, Value::Int64(5)),
+            SimInstant(0)
+        )
+        .is_err());
     }
 
     #[test]
@@ -443,13 +450,30 @@ mod tests {
     fn provably_empty_via_range_and_bloom() {
         let block = test_block();
         let p_absent = pred("c2", BinaryOp::Gt, Value::Int64(100));
-        let idx = SmartIndex::build(&block, &pred("c2", BinaryOp::Gt, Value::Int64(0)), SimInstant(0), true)
-            .unwrap();
-        assert!(provably_empty(idx.range.as_ref(), idx.bloom.as_ref(), &p_absent));
+        let idx = SmartIndex::build(
+            &block,
+            &pred("c2", BinaryOp::Gt, Value::Int64(0)),
+            SimInstant(0),
+            true,
+        )
+        .unwrap();
+        assert!(provably_empty(
+            idx.range.as_ref(),
+            idx.bloom.as_ref(),
+            &p_absent
+        ));
         let p_eq_absent = pred("c2", BinaryOp::Eq, Value::Int64(12345));
-        assert!(provably_empty(idx.range.as_ref(), idx.bloom.as_ref(), &p_eq_absent));
+        assert!(provably_empty(
+            idx.range.as_ref(),
+            idx.bloom.as_ref(),
+            &p_eq_absent
+        ));
         let p_present = pred("c2", BinaryOp::Eq, Value::Int64(3));
-        assert!(!provably_empty(idx.range.as_ref(), idx.bloom.as_ref(), &p_present));
+        assert!(!provably_empty(
+            idx.range.as_ref(),
+            idx.bloom.as_ref(),
+            &p_present
+        ));
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! predicate can possibly match anything inside the range; if not, the
 //! whole block produces an all-zeros result for free.
 
-use feisu_sql::ast::BinaryOp;
 use feisu_format::Value;
+use feisu_sql::ast::BinaryOp;
 use std::cmp::Ordering;
 
 /// Min/max envelope for one column of one block.

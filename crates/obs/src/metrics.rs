@@ -74,7 +74,10 @@ pub struct Histogram {
 
 impl Histogram {
     pub fn new(boundaries: Vec<u64>) -> Self {
-        assert!(!boundaries.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            !boundaries.is_empty(),
+            "histogram needs at least one bucket"
+        );
         assert!(
             boundaries.windows(2).all(|w| w[0] < w[1]),
             "histogram boundaries must be strictly increasing"

@@ -159,7 +159,10 @@ impl SpanRecorder {
     /// so leaf spans are recorded first and adopted by the stem later.
     pub fn set_parent(&self, id: SpanId, parent: Option<SpanId>) {
         let mut spans = self.spans.lock();
-        debug_assert!(parent.is_none_or(|p| p.0 != id.0), "span cannot parent itself");
+        debug_assert!(
+            parent.is_none_or(|p| p.0 != id.0),
+            "span cannot parent itself"
+        );
         spans[id.0].parent = parent;
     }
 

@@ -7,8 +7,8 @@
 //! operators will produce). It also infers expression result types so the
 //! planner can construct output schemas.
 
-use crate::ast::{AggFunc, Expr, Query, UnaryOp};
 use crate::ast::BinaryOp;
+use crate::ast::{AggFunc, Expr, Query, UnaryOp};
 use feisu_common::hash::FxHashMap;
 use feisu_common::{FeisuError, Result};
 use feisu_format::{DataType, Schema};
@@ -72,9 +72,9 @@ pub fn analyze(query: &Query, catalog: &dyn Catalog) -> Result<Resolved> {
     let mut tables = Vec::new();
     let mut seen = FxHashMap::default();
     for tref in query.all_tables() {
-        let schema = catalog.table_schema(&tref.name).ok_or_else(|| {
-            FeisuError::Analysis(format!("unknown table `{}`", tref.name))
-        })?;
+        let schema = catalog
+            .table_schema(&tref.name)
+            .ok_or_else(|| FeisuError::Analysis(format!("unknown table `{}`", tref.name)))?;
         let binding = tref.effective_name().to_string();
         if seen.insert(binding.clone(), ()).is_some() {
             return Err(FeisuError::Analysis(format!(
@@ -301,9 +301,7 @@ impl Resolver<'_> {
                 .tables
                 .iter()
                 .find(|t| t.binding == tbl)
-                .ok_or_else(|| {
-                    FeisuError::Analysis(format!("unknown table qualifier `{tbl}`"))
-                })?;
+                .ok_or_else(|| FeisuError::Analysis(format!("unknown table qualifier `{tbl}`")))?;
             if bt.schema.index_of(col).is_none() {
                 return Err(FeisuError::Analysis(format!(
                     "table `{tbl}` has no column `{col}`"
@@ -343,16 +341,20 @@ pub fn infer_type(e: &Expr, scope: &Resolved) -> Result<Option<DataType>> {
         Expr::Column(c) => Some(scope.column_type(c).ok_or_else(|| {
             FeisuError::Analysis(format!("unresolved column `{c}` during typing"))
         })?),
-        Expr::Unary { op: UnaryOp::Neg, operand } => {
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            operand,
+        } => {
             let t = infer_type(operand, scope)?;
             match t {
                 None | Some(DataType::Int64) | Some(DataType::Float64) => t,
-                Some(other) => {
-                    return Err(FeisuError::Analysis(format!("cannot negate {other}")))
-                }
+                Some(other) => return Err(FeisuError::Analysis(format!("cannot negate {other}"))),
             }
         }
-        Expr::Unary { op: UnaryOp::Not, .. } | Expr::IsNull { .. } => Some(DataType::Bool),
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        }
+        | Expr::IsNull { .. } => Some(DataType::Bool),
         Expr::Binary { op, left, right } => {
             let lt = infer_type(left, scope)?;
             let rt = infer_type(right, scope)?;
@@ -389,9 +391,7 @@ pub fn infer_type(e: &Expr, scope: &Resolved) -> Result<Option<DataType>> {
                         }
                     }
                     match (lt, rt) {
-                        (Some(DataType::Int64), Some(DataType::Int64)) => {
-                            Some(DataType::Int64)
-                        }
+                        (Some(DataType::Int64), Some(DataType::Int64)) => Some(DataType::Int64),
                         (None, None) => None,
                         _ => Some(DataType::Float64),
                     }
@@ -403,11 +403,7 @@ pub fn infer_type(e: &Expr, scope: &Resolved) -> Result<Option<DataType>> {
             AggFunc::Avg => Some(DataType::Float64),
             AggFunc::Sum | AggFunc::Min | AggFunc::Max => match arg {
                 Some(a) => infer_type(a, scope)?,
-                None => {
-                    return Err(FeisuError::Analysis(format!(
-                        "{func} requires an argument"
-                    )))
-                }
+                None => return Err(FeisuError::Analysis(format!("{func} requires an argument"))),
             },
         },
     })
@@ -482,9 +478,15 @@ mod tests {
 
     #[test]
     fn unknown_table_and_column_rejected() {
-        assert!(err("SELECT x FROM ghost").to_string().contains("unknown table"));
-        assert!(err("SELECT ghost FROM t1").to_string().contains("unknown column"));
-        assert!(err("SELECT t9.url FROM t1").to_string().contains("qualifier"));
+        assert!(err("SELECT x FROM ghost")
+            .to_string()
+            .contains("unknown table"));
+        assert!(err("SELECT ghost FROM t1")
+            .to_string()
+            .contains("unknown column"));
+        assert!(err("SELECT t9.url FROM t1")
+            .to_string()
+            .contains("qualifier"));
     }
 
     #[test]
@@ -510,9 +512,7 @@ mod tests {
 
     #[test]
     fn select_alias_visible_in_order_and_having() {
-        let r = ok(
-            "SELECT url, COUNT(*) AS n FROM t1 GROUP BY url HAVING n > 2 ORDER BY n DESC",
-        );
+        let r = ok("SELECT url, COUNT(*) AS n FROM t1 GROUP BY url HAVING n > 2 ORDER BY n DESC");
         // `n` in HAVING/ORDER resolves to the COUNT aggregate.
         assert!(r.query.having.unwrap().has_aggregate());
         assert!(r.query.order_by[0].0.has_aggregate());
@@ -541,7 +541,9 @@ mod tests {
 
     #[test]
     fn type_errors_caught() {
-        assert!(err("SELECT clicks + url FROM t1").to_string().contains("non-numeric"));
+        assert!(err("SELECT clicks + url FROM t1")
+            .to_string()
+            .contains("non-numeric"));
         assert!(err("SELECT url FROM t1 WHERE clicks CONTAINS 'x'")
             .to_string()
             .contains("CONTAINS"));

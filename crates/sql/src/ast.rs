@@ -238,10 +238,22 @@ impl fmt::Display for Expr {
             Expr::Column(c) => f.write_str(c),
             Expr::Literal(v) => write!(f, "{v}"),
             Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
-            Expr::Unary { op: UnaryOp::Not, operand } => write!(f, "(NOT {operand})"),
-            Expr::Unary { op: UnaryOp::Neg, operand } => write!(f, "(-{operand})"),
-            Expr::IsNull { operand, negated: false } => write!(f, "({operand} IS NULL)"),
-            Expr::IsNull { operand, negated: true } => write!(f, "({operand} IS NOT NULL)"),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                operand,
+            } => write!(f, "(NOT {operand})"),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                operand,
+            } => write!(f, "(-{operand})"),
+            Expr::IsNull {
+                operand,
+                negated: false,
+            } => write!(f, "({operand} IS NULL)"),
+            Expr::IsNull {
+                operand,
+                negated: true,
+            } => write!(f, "({operand} IS NOT NULL)"),
             Expr::Aggregate { func, arg, within } => {
                 match arg {
                     Some(a) => write!(f, "{func}({a})")?,
@@ -363,9 +375,15 @@ mod tests {
 
     #[test]
     fn table_effective_name() {
-        let t = TableRef { name: "t1".into(), alias: Some("a".into()) };
+        let t = TableRef {
+            name: "t1".into(),
+            alias: Some("a".into()),
+        };
         assert_eq!(t.effective_name(), "a");
-        let t = TableRef { name: "t1".into(), alias: None };
+        let t = TableRef {
+            name: "t1".into(),
+            alias: None,
+        };
         assert_eq!(t.effective_name(), "t1");
     }
 }

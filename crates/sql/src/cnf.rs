@@ -128,8 +128,15 @@ pub fn to_cnf(expr: &Expr) -> Cnf {
 /// explicit NOT.
 fn push_not(expr: &Expr, negated: bool) -> Expr {
     match expr {
-        Expr::Unary { op: UnaryOp::Not, operand } => push_not(operand, !negated),
-        Expr::Binary { op: BinaryOp::And, left, right } => {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            operand,
+        } => push_not(operand, !negated),
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
             let (l, r) = (push_not(left, negated), push_not(right, negated));
             if negated {
                 Expr::or(l, r)
@@ -137,7 +144,11 @@ fn push_not(expr: &Expr, negated: bool) -> Expr {
                 Expr::and(l, r)
             }
         }
-        Expr::Binary { op: BinaryOp::Or, left, right } => {
+        Expr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => {
             let (l, r) = (push_not(left, negated), push_not(right, negated));
             if negated {
                 Expr::and(l, r)
@@ -145,13 +156,14 @@ fn push_not(expr: &Expr, negated: bool) -> Expr {
                 Expr::or(l, r)
             }
         }
-        Expr::Binary { op, left, right } if negated && op.is_comparison() => {
-            match op.negate() {
-                Some(neg) => Expr::binary(neg, (**left).clone(), (**right).clone()),
-                None => Expr::not(expr.clone()),
-            }
-        }
-        Expr::IsNull { operand, negated: n } if negated => Expr::IsNull {
+        Expr::Binary { op, left, right } if negated && op.is_comparison() => match op.negate() {
+            Some(neg) => Expr::binary(neg, (**left).clone(), (**right).clone()),
+            None => Expr::not(expr.clone()),
+        },
+        Expr::IsNull {
+            operand,
+            negated: n,
+        } if negated => Expr::IsNull {
             operand: operand.clone(),
             negated: !n,
         },
@@ -164,12 +176,20 @@ fn push_not(expr: &Expr, negated: bool) -> Expr {
 /// expansion would exceed the budget is kept as one opaque clause.
 fn distribute(expr: &Expr) -> Vec<Clause> {
     match expr {
-        Expr::Binary { op: BinaryOp::And, left, right } => {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
             let mut clauses = distribute(left);
             clauses.extend(distribute(right));
             clauses
         }
-        Expr::Binary { op: BinaryOp::Or, left, right } => {
+        Expr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => {
             let l = distribute(left);
             let r = distribute(right);
             if l.len() * r.len() > EXPANSION_BUDGET {
@@ -327,7 +347,13 @@ mod tests {
             "a > 1 OR (b > 2 AND (a < 5 OR b < 1))",
             "!(a <= 2) AND !(b != 1)",
         ];
-        let candidates = [Value::Null, Value::Int64(0), Value::Int64(1), Value::Int64(2), Value::Int64(3)];
+        let candidates = [
+            Value::Null,
+            Value::Int64(0),
+            Value::Int64(1),
+            Value::Int64(2),
+            Value::Int64(3),
+        ];
         for src in exprs {
             let e = parse_expr(src).unwrap();
             let cnf_expr = to_cnf(&e).to_expr().unwrap();

@@ -86,27 +86,34 @@ pub fn eval(expr: &Expr, row: &dyn RowContext) -> Result<Value> {
         Expr::Column(name) => row
             .get(name)
             .ok_or_else(|| FeisuError::Execution(format!("unknown column `{name}`"))),
-        Expr::Unary { op: UnaryOp::Neg, operand } => match eval(operand, row)? {
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            operand,
+        } => match eval(operand, row)? {
             Value::Null => Ok(Value::Null),
             Value::Int64(v) => Ok(Value::Int64(-v)),
             Value::Float64(v) => Ok(Value::Float64(-v)),
             other => Err(FeisuError::Execution(format!("cannot negate {other}"))),
         },
-        Expr::Unary { op: UnaryOp::Not, operand } => {
-            Ok(truth_to_value(eval_truth(operand, row)?.not()))
-        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            operand,
+        } => Ok(truth_to_value(eval_truth(operand, row)?.not())),
         Expr::IsNull { operand, negated } => {
             let v = eval(operand, row)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
         Expr::Binary { op, left, right } => match op {
-            BinaryOp::And => {
-                Ok(truth_to_value(eval_truth(left, row)?.and(eval_truth(right, row)?)))
-            }
-            BinaryOp::Or => {
-                Ok(truth_to_value(eval_truth(left, row)?.or(eval_truth(right, row)?)))
-            }
-            BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide
+            BinaryOp::And => Ok(truth_to_value(
+                eval_truth(left, row)?.and(eval_truth(right, row)?),
+            )),
+            BinaryOp::Or => Ok(truth_to_value(
+                eval_truth(left, row)?.or(eval_truth(right, row)?),
+            )),
+            BinaryOp::Plus
+            | BinaryOp::Minus
+            | BinaryOp::Multiply
+            | BinaryOp::Divide
             | BinaryOp::Modulo => arith(*op, eval(left, row)?, eval(right, row)?),
             _ => {
                 let (l, r) = (eval(left, row)?, eval(right, row)?);
@@ -153,9 +160,9 @@ pub fn compare(op: BinaryOp, left: &Value, right: &Value) -> Result<Truth> {
             )),
         };
     }
-    let ord = left.sql_cmp(right).ok_or_else(|| {
-        FeisuError::Execution(format!("cannot compare {left} with {right}"))
-    })?;
+    let ord = left
+        .sql_cmp(right)
+        .ok_or_else(|| FeisuError::Execution(format!("cannot compare {left} with {right}")))?;
     Ok(Truth::from_bool(match op {
         BinaryOp::Eq => ord == Ordering::Equal,
         BinaryOp::NotEq => ord != Ordering::Equal,
@@ -196,12 +203,11 @@ fn arith(op: BinaryOp, left: Value, right: Value) -> Result<Value> {
         };
     }
     let (a, b) = (
-        left.as_f64().ok_or_else(|| {
-            FeisuError::Execution(format!("arithmetic on non-numeric {left}"))
-        })?,
-        right.as_f64().ok_or_else(|| {
-            FeisuError::Execution(format!("arithmetic on non-numeric {right}"))
-        })?,
+        left.as_f64()
+            .ok_or_else(|| FeisuError::Execution(format!("arithmetic on non-numeric {left}")))?,
+        right
+            .as_f64()
+            .ok_or_else(|| FeisuError::Execution(format!("arithmetic on non-numeric {right}")))?,
     );
     Ok(Value::Float64(match op {
         BinaryOp::Plus => a + b,

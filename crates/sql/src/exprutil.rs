@@ -1,0 +1,145 @@
+//! Shared expression rewriting utilities.
+//!
+//! Both sides of the engine rename column references between the
+//! *canonical* namespace the planner uses (possibly `table.column`
+//! qualified) and the *storage* namespace blocks are written with (bare
+//! column names, or dotted flattened-JSON paths). The leaf servers rename
+//! through an explicit canonical→storage map; the oracle executor simply
+//! strips qualifiers. Keeping the recursion in one place keeps the two
+//! sides from drifting.
+
+use crate::ast::Expr;
+use crate::cnf::{Clause, Cnf, Disjunct, SimplePredicate};
+use feisu_common::hash::FxHashMap;
+
+/// Rewrites every column reference in `e` through `f`.
+pub fn map_columns(e: &Expr, f: &impl Fn(&str) -> String) -> Expr {
+    match e {
+        Expr::Column(c) => Expr::Column(f(c)),
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(map_columns(left, f)),
+            right: Box::new(map_columns(right, f)),
+        },
+        Expr::Unary { op, operand } => Expr::Unary {
+            op: *op,
+            operand: Box::new(map_columns(operand, f)),
+        },
+        Expr::IsNull { operand, negated } => Expr::IsNull {
+            operand: Box::new(map_columns(operand, f)),
+            negated: *negated,
+        },
+        Expr::Aggregate { func, arg, within } => Expr::Aggregate {
+            func: *func,
+            arg: arg.as_ref().map(|a| Box::new(map_columns(a, f))),
+            within: within.as_ref().map(|w| Box::new(map_columns(w, f))),
+        },
+    }
+}
+
+/// Renames column refs in an expression through the canonical→storage
+/// map; unmapped names pass through unchanged.
+pub fn rename_expr(e: &Expr, map: &FxHashMap<String, String>) -> Expr {
+    map_columns(e, &|c| map.get(c).cloned().unwrap_or_else(|| c.to_string()))
+}
+
+/// Renames CNF predicate columns through the canonical→storage map.
+pub fn rename_cnf(cnf: &Cnf, map: &FxHashMap<String, String>) -> Cnf {
+    Cnf {
+        clauses: cnf
+            .clauses
+            .iter()
+            .map(|c| Clause {
+                disjuncts: c
+                    .disjuncts
+                    .iter()
+                    .map(|d| match d {
+                        Disjunct::Simple(p) => Disjunct::Simple(SimplePredicate {
+                            column: map
+                                .get(&p.column)
+                                .cloned()
+                                .unwrap_or_else(|| p.column.clone()),
+                            op: p.op,
+                            value: p.value.clone(),
+                        }),
+                        Disjunct::Residual(e) => Disjunct::Residual(rename_expr(e, map)),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Rewrites `t.c` column references to bare `c` (scan-local storage
+/// names).
+pub fn strip_qualifiers(e: &Expr) -> Expr {
+    map_columns(e, &|c| c.rsplit('.').next().unwrap_or(c).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn where_expr(sql: &str) -> Expr {
+        parse_query(sql).unwrap().where_clause.unwrap()
+    }
+
+    fn map(pairs: &[(&str, &str)]) -> FxHashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn rename_expr_maps_and_passes_through() {
+        let e = where_expr("SELECT a FROM t WHERE t.clicks > 5 AND other = 1");
+        let renamed = rename_expr(&e, &map(&[("t.clicks", "clicks")]));
+        let s = renamed.to_string();
+        assert!(s.contains("clicks > 5"), "{s}");
+        assert!(!s.contains("t.clicks"), "{s}");
+        // Unmapped columns survive unchanged.
+        assert!(s.contains("other = 1"), "{s}");
+    }
+
+    #[test]
+    fn rename_expr_descends_into_aggregates_and_unary() {
+        let q = parse_query("SELECT SUM(t.x) FROM t WHERE NOT (t.x IS NULL)").unwrap();
+        let agg = &q.select[0].expr;
+        let renamed = rename_expr(agg, &map(&[("t.x", "x")]));
+        assert_eq!(renamed.to_string(), "SUM(x)");
+        let w = rename_expr(&q.where_clause.unwrap(), &map(&[("t.x", "x")]));
+        assert!(!w.to_string().contains("t.x"), "{w}");
+    }
+
+    #[test]
+    fn rename_cnf_renames_simple_and_residual_disjuncts() {
+        let e = where_expr("SELECT a FROM t WHERE t.a > 1 AND (t.b = 2 OR t.c IS NULL)");
+        let cnf = crate::cnf::to_cnf(&e);
+        let renamed = rename_cnf(&cnf, &map(&[("t.a", "a"), ("t.b", "b"), ("t.c", "c")]));
+        let shown: Vec<String> = renamed
+            .clauses
+            .iter()
+            .map(|c| c.to_expr().to_string())
+            .collect();
+        for s in &shown {
+            assert!(!s.contains("t."), "{s}");
+        }
+    }
+
+    #[test]
+    fn strip_qualifiers_keeps_last_segment() {
+        let e = where_expr("SELECT a FROM t WHERE t.clicks > 5 AND bare = 1");
+        let s = strip_qualifiers(&e).to_string();
+        assert!(s.contains("(clicks > 5)"), "{s}");
+        assert!(s.contains("(bare = 1)"), "{s}");
+    }
+
+    #[test]
+    fn strip_qualifiers_is_identity_on_bare_names() {
+        let e = where_expr("SELECT a FROM t WHERE clicks > 5");
+        assert_eq!(strip_qualifiers(&e), e);
+    }
+}

@@ -16,12 +16,12 @@ pub enum Token {
     Float(f64),
     Str(String),
     // Operators / punctuation.
-    Eq,        // =
-    NotEq,     // != or <>
-    Lt,        // <
-    LtEq,      // <=
-    Gt,        // >
-    GtEq,      // >=
+    Eq,    // =
+    NotEq, // != or <>
+    Lt,    // <
+    LtEq,  // <=
+    Gt,    // >
+    GtEq,  // >=
     Plus,
     Minus,
     Star,
@@ -157,78 +157,132 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                 }
             }
             b'(' => {
-                tokens.push(Spanned { token: Token::LParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Spanned { token: Token::RParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Spanned { token: Token::Comma, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             b';' => {
-                tokens.push(Spanned { token: Token::Semicolon, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Semicolon,
+                    offset: start,
+                });
                 i += 1;
             }
             b'.' => {
-                tokens.push(Spanned { token: Token::Dot, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             b'+' => {
-                tokens.push(Spanned { token: Token::Plus, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             b'-' => {
-                tokens.push(Spanned { token: Token::Minus, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Spanned { token: Token::Star, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             b'/' => {
-                tokens.push(Spanned { token: Token::Slash, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             b'%' => {
-                tokens.push(Spanned { token: Token::Percent, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Percent,
+                    offset: start,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Spanned { token: Token::Eq, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::NotEq, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Bang, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Bang,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             b'<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    tokens.push(Spanned { token: Token::LtEq, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::LtEq,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    tokens.push(Spanned { token: Token::NotEq, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 _ => {
-                    tokens.push(Spanned { token: Token::Lt, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             },
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::GtEq, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::GtEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Gt, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -253,16 +307,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                         Some(_) => {
                             // Copy the full UTF-8 character.
                             let ch_len = utf8_len(bytes[i]);
-                            s.push_str(
-                                std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
-                                    FeisuError::Parse(format!("invalid utf8 at offset {i}"))
-                                })?,
-                            );
+                            s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(
+                                |_| FeisuError::Parse(format!("invalid utf8 at offset {i}")),
+                            )?);
                             i += ch_len;
                         }
                     }
                 }
-                tokens.push(Spanned { token: Token::Str(s), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let mut is_float = false;
@@ -299,12 +354,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                         FeisuError::Parse(format!("bad integer `{text}` at offset {start}"))
                     })?)
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
             }
             c if c == b'_' || c.is_ascii_alphabetic() => {
-                while i < bytes.len()
-                    && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
-                {
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
                     i += 1;
                 }
                 let word = &input[start..i];
@@ -312,7 +368,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                     Some(k) => Token::Keyword(k),
                     None => Token::Ident(word.to_string()),
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
             }
             other => {
                 return Err(FeisuError::Parse(format!(
@@ -359,29 +418,35 @@ mod tests {
 
     #[test]
     fn identifiers_preserve_case() {
-        assert_eq!(toks("myCol _x c2"), vec![
-            Token::Ident("myCol".into()),
-            Token::Ident("_x".into()),
-            Token::Ident("c2".into()),
-        ]);
+        assert_eq!(
+            toks("myCol _x c2"),
+            vec![
+                Token::Ident("myCol".into()),
+                Token::Ident("_x".into()),
+                Token::Ident("c2".into()),
+            ]
+        );
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 3.5 1e3 2.5e-2"), vec![
-            Token::Int(42),
-            Token::Float(3.5),
-            Token::Float(1000.0),
-            Token::Float(0.025),
-        ]);
+        assert_eq!(
+            toks("42 3.5 1e3 2.5e-2"),
+            vec![
+                Token::Int(42),
+                Token::Float(3.5),
+                Token::Float(1000.0),
+                Token::Float(0.025),
+            ]
+        );
     }
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(toks("'abc' 'it''s'"), vec![
-            Token::Str("abc".into()),
-            Token::Str("it's".into()),
-        ]);
+        assert_eq!(
+            toks("'abc' 'it''s'"),
+            vec![Token::Str("abc".into()), Token::Str("it's".into()),]
+        );
         assert_eq!(toks("'百度'"), vec![Token::Str("百度".into())]);
     }
 
@@ -392,29 +457,32 @@ mod tests {
 
     #[test]
     fn operators() {
-        assert_eq!(toks("= != <> < <= > >= ! + - * / %"), vec![
-            Token::Eq,
-            Token::NotEq,
-            Token::NotEq,
-            Token::Lt,
-            Token::LtEq,
-            Token::Gt,
-            Token::GtEq,
-            Token::Bang,
-            Token::Plus,
-            Token::Minus,
-            Token::Star,
-            Token::Slash,
-            Token::Percent,
-        ]);
+        assert_eq!(
+            toks("= != <> < <= > >= ! + - * / %"),
+            vec![
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Bang,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
     }
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("a -- comment\n b"), vec![
-            Token::Ident("a".into()),
-            Token::Ident("b".into()),
-        ]);
+        assert_eq!(
+            toks("a -- comment\n b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into()),]
+        );
     }
 
     #[test]

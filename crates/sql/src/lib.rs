@@ -51,6 +51,7 @@ pub mod analyze;
 pub mod ast;
 pub mod cnf;
 pub mod eval;
+pub mod exprutil;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;

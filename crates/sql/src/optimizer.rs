@@ -35,26 +35,39 @@ fn fold_constants_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
             input: Box::new(fold_constants_plan(*input)?),
             predicate: fold_expr(predicate),
         },
-        LogicalPlan::Project { input, exprs, output_schema } => LogicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            output_schema,
+        } => LogicalPlan::Project {
             input: Box::new(fold_constants_plan(*input)?),
             exprs: exprs.into_iter().map(|(e, n)| (fold_expr(e), n)).collect(),
             output_schema,
         },
-        LogicalPlan::Join { left, right, kind, on, output_schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            output_schema,
+        } => LogicalPlan::Join {
             left: Box::new(fold_constants_plan(*left)?),
             right: Box::new(fold_constants_plan(*right)?),
             kind,
             on: on.into_iter().map(fold_expr).collect(),
             output_schema,
         },
-        LogicalPlan::Aggregate { input, group_by, aggregates, output_schema } => {
-            LogicalPlan::Aggregate {
-                input: Box::new(fold_constants_plan(*input)?),
-                group_by,
-                aggregates,
-                output_schema,
-            }
-        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            output_schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(fold_constants_plan(*input)?),
+            group_by,
+            aggregates,
+            output_schema,
+        },
         LogicalPlan::Sort { input, keys, fetch } => LogicalPlan::Sort {
             input: Box::new(fold_constants_plan(*input)?),
             keys,
@@ -143,26 +156,39 @@ fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
                 None => target,
             }
         }
-        LogicalPlan::Project { input, exprs, output_schema } => LogicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            output_schema,
+        } => LogicalPlan::Project {
             input: Box::new(push_down_predicates(*input)?),
             exprs,
             output_schema,
         },
-        LogicalPlan::Join { left, right, kind, on, output_schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            output_schema,
+        } => LogicalPlan::Join {
             left: Box::new(push_down_predicates(*left)?),
             right: Box::new(push_down_predicates(*right)?),
             kind,
             on,
             output_schema,
         },
-        LogicalPlan::Aggregate { input, group_by, aggregates, output_schema } => {
-            LogicalPlan::Aggregate {
-                input: Box::new(push_down_predicates(*input)?),
-                group_by,
-                aggregates,
-                output_schema,
-            }
-        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            output_schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(push_down_predicates(*input)?),
+            group_by,
+            aggregates,
+            output_schema,
+        },
         LogicalPlan::Sort { input, keys, fetch } => LogicalPlan::Sort {
             input: Box::new(push_down_predicates(*input)?),
             keys,
@@ -180,24 +206,48 @@ fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
 /// modified) subtree and whether the conjunct was absorbed.
 fn sink(plan: LogicalPlan, conjunct: &Expr) -> (LogicalPlan, bool) {
     match plan {
-        LogicalPlan::Scan { table, binding, projection, predicate, output_schema } => {
+        LogicalPlan::Scan {
+            table,
+            binding,
+            projection,
+            predicate,
+            output_schema,
+        } => {
             if refs_within(conjunct, &output_schema) {
                 let predicate = Some(match predicate {
                     Some(p) => Expr::and(p, conjunct.clone()),
                     None => conjunct.clone(),
                 });
                 (
-                    LogicalPlan::Scan { table, binding, projection, predicate, output_schema },
+                    LogicalPlan::Scan {
+                        table,
+                        binding,
+                        projection,
+                        predicate,
+                        output_schema,
+                    },
                     true,
                 )
             } else {
                 (
-                    LogicalPlan::Scan { table, binding, projection, predicate, output_schema },
+                    LogicalPlan::Scan {
+                        table,
+                        binding,
+                        projection,
+                        predicate,
+                        output_schema,
+                    },
                     false,
                 )
             }
         }
-        LogicalPlan::Join { left, right, kind, on, output_schema } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            output_schema,
+        } => {
             use crate::ast::JoinKind;
             // Only inner/cross joins accept pushdown on both sides; outer
             // joins would change null-extension semantics.
@@ -210,7 +260,13 @@ fn sink(plan: LogicalPlan, conjunct: &Expr) -> (LogicalPlan, bool) {
                 let (l, absorbed) = sink(*left, conjunct);
                 if absorbed {
                     return (
-                        LogicalPlan::Join { left: Box::new(l), right, kind, on, output_schema },
+                        LogicalPlan::Join {
+                            left: Box::new(l),
+                            right,
+                            kind,
+                            on,
+                            output_schema,
+                        },
                         true,
                     );
                 }
@@ -233,16 +289,37 @@ fn sink(plan: LogicalPlan, conjunct: &Expr) -> (LogicalPlan, bool) {
             if push_right {
                 let (r, absorbed) = sink(*right, conjunct);
                 return (
-                    LogicalPlan::Join { left, right: Box::new(r), kind, on, output_schema },
+                    LogicalPlan::Join {
+                        left,
+                        right: Box::new(r),
+                        kind,
+                        on,
+                        output_schema,
+                    },
                     absorbed,
                 );
             }
-            (LogicalPlan::Join { left, right, kind, on, output_schema }, false)
+            (
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    kind,
+                    on,
+                    output_schema,
+                },
+                false,
+            )
         }
         // Filters/sorts/limits are transparent for pushdown purposes.
         LogicalPlan::Filter { input, predicate } => {
             let (i, absorbed) = sink(*input, conjunct);
-            (LogicalPlan::Filter { input: Box::new(i), predicate }, absorbed)
+            (
+                LogicalPlan::Filter {
+                    input: Box::new(i),
+                    predicate,
+                },
+                absorbed,
+            )
         }
         other => (other, false),
     }
@@ -271,13 +348,23 @@ fn prune_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
 /// `needed`: columns the parent requires, `None` = everything.
 fn prune(plan: LogicalPlan, needed: Option<Vec<String>>) -> LogicalPlan {
     match plan {
-        LogicalPlan::Scan { table, binding, projection, predicate, output_schema } => {
+        LogicalPlan::Scan {
+            table,
+            binding,
+            projection,
+            predicate,
+            output_schema,
+        } => {
             // NOTE: predicate columns are deliberately NOT added to the
             // projection — a Scan node evaluates its own predicate (leaf
             // servers serve it from SmartIndex without touching the
             // column at all), so only parent-needed columns are output.
             let required: Vec<String> = match &needed {
-                None => output_schema.fields().iter().map(|f| f.name.clone()).collect(),
+                None => output_schema
+                    .fields()
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect(),
                 Some(cols) => cols.clone(),
             };
             // Keep schema order; map canonical names back to storage names.
@@ -310,7 +397,11 @@ fn prune(plan: LogicalPlan, needed: Option<Vec<String>>) -> LogicalPlan {
                 output_schema: Schema::new(new_fields),
             }
         }
-        LogicalPlan::Project { input, exprs, output_schema } => {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            output_schema,
+        } => {
             let mut required = Vec::new();
             for (e, _) in &exprs {
                 e.columns(&mut required);
@@ -337,7 +428,12 @@ fn prune(plan: LogicalPlan, needed: Option<Vec<String>>) -> LogicalPlan {
                 predicate,
             }
         }
-        LogicalPlan::Aggregate { input, group_by, aggregates, output_schema } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            output_schema,
+        } => {
             let mut required = Vec::new();
             for (g, _, _) in &group_by {
                 g.columns(&mut required);
@@ -384,9 +480,19 @@ fn prune(plan: LogicalPlan, needed: Option<Vec<String>>) -> LogicalPlan {
             input: Box::new(prune(*input, needed)),
             fetch,
         },
-        LogicalPlan::Join { left, right, kind, on, output_schema } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            output_schema,
+        } => {
             let mut required = needed.unwrap_or_else(|| {
-                output_schema.fields().iter().map(|f| f.name.clone()).collect()
+                output_schema
+                    .fields()
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect()
             });
             for cond in &on {
                 cond.columns(&mut required);
@@ -431,8 +537,15 @@ fn limit_into_sort(plan: LogicalPlan) -> LogicalPlan {
             match limit_into_sort(*input) {
                 // Limit(Project(Sort)) and Limit(Sort): push the fetch into
                 // the sort so execution can keep a bounded heap.
-                LogicalPlan::Project { input: pin, exprs, output_schema } => {
-                    if let LogicalPlan::Sort { input: sin, keys, .. } = *pin {
+                LogicalPlan::Project {
+                    input: pin,
+                    exprs,
+                    output_schema,
+                } => {
+                    if let LogicalPlan::Sort {
+                        input: sin, keys, ..
+                    } = *pin
+                    {
                         LogicalPlan::Limit {
                             input: Box::new(LogicalPlan::Project {
                                 input: Box::new(LogicalPlan::Sort {
@@ -456,7 +569,9 @@ fn limit_into_sort(plan: LogicalPlan) -> LogicalPlan {
                         }
                     }
                 }
-                LogicalPlan::Sort { input: sin, keys, .. } => LogicalPlan::Limit {
+                LogicalPlan::Sort {
+                    input: sin, keys, ..
+                } => LogicalPlan::Limit {
                     input: Box::new(LogicalPlan::Sort {
                         input: sin,
                         keys,
@@ -474,26 +589,39 @@ fn limit_into_sort(plan: LogicalPlan) -> LogicalPlan {
             input: Box::new(limit_into_sort(*input)),
             predicate,
         },
-        LogicalPlan::Project { input, exprs, output_schema } => LogicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            output_schema,
+        } => LogicalPlan::Project {
             input: Box::new(limit_into_sort(*input)),
             exprs,
             output_schema,
         },
-        LogicalPlan::Join { left, right, kind, on, output_schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            output_schema,
+        } => LogicalPlan::Join {
             left: Box::new(limit_into_sort(*left)),
             right: Box::new(limit_into_sort(*right)),
             kind,
             on,
             output_schema,
         },
-        LogicalPlan::Aggregate { input, group_by, aggregates, output_schema } => {
-            LogicalPlan::Aggregate {
-                input: Box::new(limit_into_sort(*input)),
-                group_by,
-                aggregates,
-                output_schema,
-            }
-        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            output_schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(limit_into_sort(*input)),
+            group_by,
+            aggregates,
+            output_schema,
+        },
         LogicalPlan::Sort { input, keys, fetch } => LogicalPlan::Sort {
             input: Box::new(limit_into_sort(*input)),
             keys,
@@ -518,8 +646,14 @@ pub fn predicate_is_true(e: &Expr) -> bool {
 /// index rewriter.
 pub fn simplify_not(e: &Expr) -> Expr {
     match e {
-        Expr::Unary { op: UnaryOp::Not, operand } => match operand.as_ref() {
-            Expr::Unary { op: UnaryOp::Not, operand: inner } => simplify_not(inner),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            operand,
+        } => match operand.as_ref() {
+            Expr::Unary {
+                op: UnaryOp::Not,
+                operand: inner,
+            } => simplify_not(inner),
             _ => Expr::not(simplify_not(operand)),
         },
         Expr::Binary { op, left, right } => {

@@ -109,7 +109,9 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(self.err(&format!(
                 "expected identifier, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -375,9 +377,8 @@ impl Parser {
             Some(Token::Ident(name)) => {
                 if self.peek_token() == Some(&Token::LParen) {
                     // Function call: only aggregates exist in the dialect.
-                    let func = AggFunc::from_name(&name).ok_or_else(|| {
-                        self.err(&format!("unknown function `{name}`"))
-                    })?;
+                    let func = AggFunc::from_name(&name)
+                        .ok_or_else(|| self.err(&format!("unknown function `{name}`")))?;
                     self.pos += 1; // (
                     let arg = if self.eat_if(&Token::Star) {
                         None
@@ -400,7 +401,9 @@ impl Parser {
             }
             other => Err(self.err(&format!(
                 "expected expression, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -417,7 +420,11 @@ mod tests {
         assert_eq!(q.select.len(), 1);
         assert!(matches!(
             q.select[0].expr,
-            Expr::Aggregate { func: AggFunc::Count, arg: None, .. }
+            Expr::Aggregate {
+                func: AggFunc::Count,
+                arg: None,
+                ..
+            }
         ));
         let w = q.where_clause.unwrap();
         assert_eq!(w.to_string(), "((c2 > 0) AND (c2 <= 5))");
@@ -485,7 +492,9 @@ mod tests {
     fn parse_within_annotation() {
         let q = parse_query("SELECT SUM(x) WITHIN grp FROM t").unwrap();
         match &q.select[0].expr {
-            Expr::Aggregate { within: Some(w), .. } => {
+            Expr::Aggregate {
+                within: Some(w), ..
+            } => {
                 assert_eq!(**w, Expr::col("grp"));
             }
             other => panic!("expected aggregate, got {other:?}"),
@@ -495,9 +504,21 @@ mod tests {
     #[test]
     fn parse_is_null() {
         let e = parse_expr("a IS NULL").unwrap();
-        assert_eq!(e, Expr::IsNull { operand: Box::new(Expr::col("a")), negated: false });
+        assert_eq!(
+            e,
+            Expr::IsNull {
+                operand: Box::new(Expr::col("a")),
+                negated: false
+            }
+        );
         let e = parse_expr("a IS NOT NULL").unwrap();
-        assert_eq!(e, Expr::IsNull { operand: Box::new(Expr::col("a")), negated: true });
+        assert_eq!(
+            e,
+            Expr::IsNull {
+                operand: Box::new(Expr::col("a")),
+                negated: true
+            }
+        );
     }
 
     #[test]

@@ -22,6 +22,27 @@ pub struct AggExpr {
     pub output_type: DataType,
 }
 
+/// Partial-aggregation stage shipped with a distributed scan task: the
+/// grouping expressions and aggregates a leaf evaluates before results
+/// travel up the merge tree. Lives here (not in the engine) so the
+/// planner, the physical layer and the leaf servers share one type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggStage {
+    pub group_by: Vec<(Expr, String, DataType)>,
+    pub aggregates: Vec<AggExpr>,
+}
+
+impl AggStage {
+    /// True when the stage is a bare global `COUNT(*)` — servable from
+    /// index bit counts alone.
+    pub fn is_count_star_only(&self) -> bool {
+        self.group_by.is_empty()
+            && self.aggregates.len() == 1
+            && self.aggregates[0].arg.is_none()
+            && matches!(self.aggregates[0].func, AggFunc::Count)
+    }
+}
+
 /// Logical relational operators.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogicalPlan {
@@ -97,14 +118,25 @@ impl LogicalPlan {
     fn fmt_indent(&self, out: &mut String, level: usize) {
         let pad = "  ".repeat(level);
         match self {
-            LogicalPlan::Scan { table, projection, predicate, .. } => {
+            LogicalPlan::Scan {
+                table,
+                projection,
+                predicate,
+                ..
+            } => {
                 out.push_str(&format!("{pad}Scan: {table} cols={projection:?}"));
                 if let Some(p) = predicate {
                     out.push_str(&format!(" filter={p}"));
                 }
                 out.push('\n');
             }
-            LogicalPlan::Join { left, right, kind, on, .. } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on,
+                ..
+            } => {
                 let conds: Vec<String> = on.iter().map(|e| e.to_string()).collect();
                 out.push_str(&format!("{pad}Join: {kind:?} on [{}]\n", conds.join(", ")));
                 left.fmt_indent(out, level + 1);
@@ -114,17 +146,19 @@ impl LogicalPlan {
                 out.push_str(&format!("{pad}Filter: {predicate}\n"));
                 input.fmt_indent(out, level + 1);
             }
-            LogicalPlan::Aggregate { input, group_by, aggregates, .. } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+                ..
+            } => {
                 let groups: Vec<&str> = group_by.iter().map(|(_, n, _)| n.as_str()).collect();
                 let aggs: Vec<&str> = aggregates.iter().map(|a| a.name.as_str()).collect();
-                out.push_str(&format!(
-                    "{pad}Aggregate: group={groups:?} aggs={aggs:?}\n"
-                ));
+                out.push_str(&format!("{pad}Aggregate: group={groups:?} aggs={aggs:?}\n"));
                 input.fmt_indent(out, level + 1);
             }
             LogicalPlan::Project { input, exprs, .. } => {
-                let cols: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 out.push_str(&format!("{pad}Project: [{}]\n", cols.join(", ")));
                 input.fmt_indent(out, level + 1);
             }
@@ -151,8 +185,7 @@ pub fn build_plan(resolved: &Resolved) -> Result<LogicalPlan> {
     // 1. Scans for every bound table, full projection (pruned later).
     let mut scans: Vec<LogicalPlan> = Vec::new();
     for bt in &resolved.tables {
-        let projection: Vec<String> =
-            bt.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let projection: Vec<String> = bt.schema.fields().iter().map(|f| f.name.clone()).collect();
         let output_schema = if resolved.qualified {
             Schema::new(
                 bt.schema
@@ -356,10 +389,9 @@ pub fn build_plan(resolved: &Resolved) -> Result<LogicalPlan> {
 
 fn collect_aggs(e: &Expr, out: &mut Vec<Expr>) {
     match e {
-        Expr::Aggregate { .. }
-            if !out.contains(e) => {
-                out.push(e.clone());
-            }
+        Expr::Aggregate { .. } if !out.contains(e) => {
+            out.push(e.clone());
+        }
         Expr::Binary { left, right, .. } => {
             collect_aggs(left, out);
             collect_aggs(right, out);
@@ -416,7 +448,10 @@ fn type_in_schema(e: &Expr, schema: &Schema) -> Option<DataType> {
                 }
             }
         }
-        Expr::Unary { op: crate::ast::UnaryOp::Neg, operand } => type_in_schema(operand, schema),
+        Expr::Unary {
+            op: crate::ast::UnaryOp::Neg,
+            operand,
+        } => type_in_schema(operand, schema),
         Expr::Unary { .. } | Expr::IsNull { .. } => Some(DataType::Bool),
         Expr::Aggregate { .. } => None,
     }
@@ -459,7 +494,11 @@ mod tests {
     fn simple_scan_project() {
         let p = plan("SELECT url FROM t1");
         match &p {
-            LogicalPlan::Project { input, exprs, output_schema } => {
+            LogicalPlan::Project {
+                input,
+                exprs,
+                output_schema,
+            } => {
                 assert_eq!(exprs.len(), 1);
                 assert_eq!(output_schema.field(0).name, "url");
                 assert!(matches!(**input, LogicalPlan::Scan { .. }));
@@ -478,7 +517,9 @@ mod tests {
 
     #[test]
     fn aggregate_plan_shape() {
-        let p = plan("SELECT url, COUNT(*) AS n FROM t1 GROUP BY url HAVING n > 1 ORDER BY n DESC LIMIT 3");
+        let p = plan(
+            "SELECT url, COUNT(*) AS n FROM t1 GROUP BY url HAVING n > 1 ORDER BY n DESC LIMIT 3",
+        );
         let s = p.display_indent();
         assert!(s.contains("Limit: 3"), "{s}");
         assert!(s.contains("Sort"), "{s}");

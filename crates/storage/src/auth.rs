@@ -33,7 +33,12 @@ pub struct Credential {
 impl Credential {
     /// The signature payload.
     fn payload(user: UserId, issued_at: SimInstant, expires_at: SimInstant, secret: u64) -> u64 {
-        hash_one(&(user.raw(), issued_at.as_nanos(), expires_at.as_nanos(), secret))
+        hash_one(&(
+            user.raw(),
+            issued_at.as_nanos(),
+            expires_at.as_nanos(),
+            secret,
+        ))
     }
 }
 
@@ -87,7 +92,12 @@ impl AuthService {
 
     /// Issues a credential valid for `validity` from `now`. The user must
     /// be registered.
-    pub fn issue(&self, user: UserId, now: SimInstant, validity: SimDuration) -> Result<Credential> {
+    pub fn issue(
+        &self,
+        user: UserId,
+        now: SimInstant,
+        validity: SimDuration,
+    ) -> Result<Credential> {
         let users = self.users.read();
         let rec = users
             .get(&user)
@@ -106,10 +116,11 @@ impl AuthService {
 
     /// Validates a credential: signature, expiry, revocation.
     pub fn authenticate(&self, cred: &Credential, now: SimInstant) -> Result<()> {
-        let expected =
-            Credential::payload(cred.user, cred.issued_at, cred.expires_at, self.secret);
+        let expected = Credential::payload(cred.user, cred.issued_at, cred.expires_at, self.secret);
         if cred.signature != expected {
-            return Err(FeisuError::Unauthenticated("bad credential signature".into()));
+            return Err(FeisuError::Unauthenticated(
+                "bad credential signature".into(),
+            ));
         }
         if now > cred.expires_at {
             return Err(FeisuError::Unauthenticated(format!(
@@ -122,7 +133,10 @@ impl AuthService {
             .get(&cred.user)
             .ok_or_else(|| FeisuError::Unauthenticated(format!("unknown user {}", cred.user)))?;
         if rec.revoked {
-            return Err(FeisuError::Unauthenticated(format!("{} is revoked", cred.user)));
+            return Err(FeisuError::Unauthenticated(format!(
+                "{} is revoked",
+                cred.user
+            )));
         }
         Ok(())
     }
@@ -178,7 +192,9 @@ mod tests {
     #[test]
     fn issue_and_authenticate() {
         let s = service();
-        let c = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        let c = s
+            .issue(UserId(1), SimInstant(0), SimDuration::hours(8))
+            .unwrap();
         assert!(s.authenticate(&c, SimInstant(0)).is_ok());
         assert!(s
             .authenticate(&c, SimInstant::EPOCH + SimDuration::hours(9))
@@ -188,10 +204,14 @@ mod tests {
     #[test]
     fn tampered_credential_rejected() {
         let s = service();
-        let mut c = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        let mut c = s
+            .issue(UserId(1), SimInstant(0), SimDuration::hours(8))
+            .unwrap();
         c.expires_at = SimInstant::EPOCH + SimDuration::hours(10_000);
         assert!(s.authenticate(&c, SimInstant(0)).is_err());
-        let mut c2 = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        let mut c2 = s
+            .issue(UserId(1), SimInstant(0), SimDuration::hours(8))
+            .unwrap();
         c2.user = UserId(2);
         assert!(s.authenticate(&c2, SimInstant(0)).is_err());
     }
@@ -199,27 +219,37 @@ mod tests {
     #[test]
     fn authorize_respects_grant_levels() {
         let s = service();
-        let c = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
-        assert!(s.authorize(&c, DomainId(0), Grant::Read, SimInstant(0)).is_ok());
+        let c = s
+            .issue(UserId(1), SimInstant(0), SimDuration::hours(8))
+            .unwrap();
+        assert!(s
+            .authorize(&c, DomainId(0), Grant::Read, SimInstant(0))
+            .is_ok());
         assert!(s
             .authorize(&c, DomainId(0), Grant::ReadWrite, SimInstant(0))
             .is_err());
         assert!(s
             .authorize(&c, DomainId(1), Grant::ReadWrite, SimInstant(0))
             .is_ok());
-        assert!(s.authorize(&c, DomainId(9), Grant::Read, SimInstant(0)).is_err());
+        assert!(s
+            .authorize(&c, DomainId(9), Grant::Read, SimInstant(0))
+            .is_err());
     }
 
     #[test]
     fn unknown_user_cannot_get_credential() {
         let s = service();
-        assert!(s.issue(UserId(7), SimInstant(0), SimDuration::hours(1)).is_err());
+        assert!(s
+            .issue(UserId(7), SimInstant(0), SimDuration::hours(1))
+            .is_err());
     }
 
     #[test]
     fn revocation_cuts_existing_credentials() {
         let s = service();
-        let c = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        let c = s
+            .issue(UserId(1), SimInstant(0), SimDuration::hours(8))
+            .unwrap();
         s.revoke_user(UserId(1));
         assert!(s.authenticate(&c, SimInstant(0)).is_err());
     }
@@ -227,9 +257,13 @@ mod tests {
     #[test]
     fn grant_revocation() {
         let s = service();
-        let c = s.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        let c = s
+            .issue(UserId(1), SimInstant(0), SimDuration::hours(8))
+            .unwrap();
         s.revoke_grant(UserId(1), DomainId(0));
-        assert!(s.authorize(&c, DomainId(0), Grant::Read, SimInstant(0)).is_err());
+        assert!(s
+            .authorize(&c, DomainId(0), Grant::Read, SimInstant(0))
+            .is_err());
         assert_eq!(s.readable_domains(UserId(1)), vec![DomainId(1)]);
     }
 }

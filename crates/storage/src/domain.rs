@@ -8,8 +8,8 @@
 use bytes::Bytes;
 use feisu_cluster::simclock::TimeTally;
 use feisu_cluster::{CostModel, StorageMedium, Topology};
-use feisu_common::{ByteSize, DomainId, FeisuError, NodeId, Result};
 use feisu_common::hash::{FxHashMap, FxHashSet};
+use feisu_common::{ByteSize, DomainId, FeisuError, NodeId, Result};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -73,9 +73,9 @@ pub(crate) struct StoredObject {
 impl ObjectStore {
     pub(crate) fn read_from(&self, path: &str, reader: NodeId) -> Result<ReadResult> {
         let objects = self.objects.read();
-        let obj = objects
-            .get(path)
-            .ok_or_else(|| FeisuError::Storage(format!("{}: no such object `{path}`", self.prefix)))?;
+        let obj = objects.get(path).ok_or_else(|| {
+            FeisuError::Storage(format!("{}: no such object `{path}`", self.prefix))
+        })?;
         let down = self.down_nodes.read();
         // Pick the live replica with the fewest hops from the reader.
         let mut best: Option<(u32, NodeId)> = None;

@@ -143,8 +143,11 @@ mod tests {
     fn reads_pay_cold_penalty() {
         let topo = Arc::new(Topology::grid(2, 2, 2));
         let cold = FatmanDomain::new(DomainId(2), "ffs", topo.clone(), CostModel::default(), 2, 1);
-        cold.put("/arch/x", Bytes::from(vec![0u8; 1024]), None).unwrap();
-        let r = cold.read_from("/arch/x", cold.replicas("/arch/x").unwrap()[0]).unwrap();
+        cold.put("/arch/x", Bytes::from(vec![0u8; 1024]), None)
+            .unwrap();
+        let r = cold
+            .read_from("/arch/x", cold.replicas("/arch/x").unwrap()[0])
+            .unwrap();
         // IO cost includes the 200 ms penalty on top of HDD seek+stream.
         assert!(r.cost.io >= SimDuration::millis(200));
     }

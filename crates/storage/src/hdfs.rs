@@ -9,9 +9,9 @@
 use crate::domain::{ObjectStore, ReadResult, StorageDomain, StoredObject};
 use bytes::Bytes;
 use feisu_cluster::{CostModel, StorageMedium, Topology};
+use feisu_common::hash::{FxHashMap, FxHashSet};
 use feisu_common::rng::DetRng;
 use feisu_common::{ByteSize, DomainId, NodeId, Result, SimDuration};
-use feisu_common::hash::{FxHashMap, FxHashSet};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
@@ -170,7 +170,8 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let (d, _) = domain(3);
-        d.put("/a/b", Bytes::from_static(b"hello"), Some(NodeId(0))).unwrap();
+        d.put("/a/b", Bytes::from_static(b"hello"), Some(NodeId(0)))
+            .unwrap();
         let r = d.read_from("/a/b", NodeId(0)).unwrap();
         assert_eq!(&r.data[..], b"hello");
         assert_eq!(r.served_from, NodeId(0), "local replica preferred");
@@ -180,7 +181,8 @@ mod tests {
     #[test]
     fn placement_is_rack_aware() {
         let (d, topo) = domain(3);
-        d.put("/x", Bytes::from_static(b"x"), Some(NodeId(0))).unwrap();
+        d.put("/x", Bytes::from_static(b"x"), Some(NodeId(0)))
+            .unwrap();
         let reps = d.replicas("/x").unwrap();
         assert_eq!(reps.len(), 3);
         assert_eq!(reps[0], NodeId(0));
@@ -192,14 +194,10 @@ mod tests {
     #[test]
     fn remote_read_costs_network() {
         let (d, topo) = domain(1);
-        d.put("/x", Bytes::from(vec![0u8; 1024]), Some(NodeId(0))).unwrap();
+        d.put("/x", Bytes::from(vec![0u8; 1024]), Some(NodeId(0)))
+            .unwrap();
         // Find a node in another data center.
-        let far = topo
-            .nodes()
-            .iter()
-            .find(|n| n.datacenter != 0)
-            .unwrap()
-            .id;
+        let far = topo.nodes().iter().find(|n| n.datacenter != 0).unwrap().id;
         let r = d.read_from("/x", far).unwrap();
         assert!(r.cost.network > feisu_common::SimDuration::ZERO);
         assert_eq!(r.served_from, NodeId(0));
@@ -208,7 +206,8 @@ mod tests {
     #[test]
     fn failover_to_replica_on_node_down() {
         let (d, _) = domain(3);
-        d.put("/x", Bytes::from_static(b"x"), Some(NodeId(0))).unwrap();
+        d.put("/x", Bytes::from_static(b"x"), Some(NodeId(0)))
+            .unwrap();
         d.set_node_available(NodeId(0), false);
         let r = d.read_from("/x", NodeId(0)).unwrap();
         assert_ne!(r.served_from, NodeId(0));
@@ -236,7 +235,10 @@ mod tests {
         d.put("/t1/b0", Bytes::from_static(b"0"), None).unwrap();
         d.put("/t1/b1", Bytes::from_static(b"1"), None).unwrap();
         d.put("/t2/b0", Bytes::from_static(b"2"), None).unwrap();
-        assert_eq!(d.list("/t1/"), vec!["/t1/b0".to_string(), "/t1/b1".to_string()]);
+        assert_eq!(
+            d.list("/t1/"),
+            vec!["/t1/b0".to_string(), "/t1/b1".to_string()]
+        );
         d.delete("/t1/b0").unwrap();
         assert!(!d.exists("/t1/b0"));
         assert!(d.delete("/t1/b0").is_err());

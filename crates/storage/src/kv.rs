@@ -152,7 +152,8 @@ mod tests {
     #[test]
     fn point_lookup_roundtrip() {
         let d = domain();
-        d.put("/labels/q1", Bytes::from_static(b"relevant"), None).unwrap();
+        d.put("/labels/q1", Bytes::from_static(b"relevant"), None)
+            .unwrap();
         let r = d.read_from("/labels/q1", NodeId(0)).unwrap();
         assert_eq!(&r.data[..], b"relevant");
         assert_eq!(r.medium, StorageMedium::Ssd);

@@ -67,9 +67,7 @@ impl StorageDomain for LocalFsDomain {
         if !self.topology.contains(owner) {
             return Err(FeisuError::Storage(format!("{owner} not in topology")));
         }
-        self.objects
-            .write()
-            .insert(path.to_string(), (owner, data));
+        self.objects.write().insert(path.to_string(), (owner, data));
         Ok(())
     }
 
@@ -165,8 +163,11 @@ mod tests {
     fn write_requires_owner() {
         let d = domain();
         assert!(d.put("/log/0", Bytes::from_static(b"x"), None).is_err());
-        assert!(d.put("/log/0", Bytes::from_static(b"x"), Some(NodeId(99))).is_err());
-        d.put("/log/0", Bytes::from_static(b"x"), Some(NodeId(1))).unwrap();
+        assert!(d
+            .put("/log/0", Bytes::from_static(b"x"), Some(NodeId(99)))
+            .is_err());
+        d.put("/log/0", Bytes::from_static(b"x"), Some(NodeId(1)))
+            .unwrap();
         assert_eq!(d.owner("/log/0"), Some(NodeId(1)));
         assert_eq!(d.replicas("/log/0").unwrap(), vec![NodeId(1)]);
     }
@@ -174,7 +175,8 @@ mod tests {
     #[test]
     fn local_read_is_free_of_network() {
         let d = domain();
-        d.put("/log/0", Bytes::from(vec![0u8; 2048]), Some(NodeId(1))).unwrap();
+        d.put("/log/0", Bytes::from(vec![0u8; 2048]), Some(NodeId(1)))
+            .unwrap();
         let local = d.read_from("/log/0", NodeId(1)).unwrap();
         assert_eq!(local.cost.network, feisu_common::SimDuration::ZERO);
         let remote = d.read_from("/log/0", NodeId(3)).unwrap();
@@ -185,7 +187,8 @@ mod tests {
     #[test]
     fn no_replicas_means_owner_down_is_fatal() {
         let d = domain();
-        d.put("/log/0", Bytes::from_static(b"x"), Some(NodeId(1))).unwrap();
+        d.put("/log/0", Bytes::from_static(b"x"), Some(NodeId(1)))
+            .unwrap();
         d.set_node_available(NodeId(1), false);
         assert!(d.read_from("/log/0", NodeId(0)).is_err());
         d.set_node_available(NodeId(1), true);

@@ -47,7 +47,10 @@ impl StorageRouter {
         cache: Option<Arc<SsdCache>>,
         cost: CostModel,
     ) -> Self {
-        assert!(default_domain < domains.len(), "default domain out of range");
+        assert!(
+            default_domain < domains.len(),
+            "default domain out of range"
+        );
         StorageRouter {
             domains,
             default_domain,
@@ -245,16 +248,37 @@ mod tests {
     fn router(with_cache: bool) -> (StorageRouter, Credential) {
         let topo = Arc::new(Topology::grid(1, 2, 2));
         let cost = CostModel::default();
-        let local = Arc::new(LocalFsDomain::new(DomainId(0), "local", topo.clone(), cost.clone()));
-        let hdfs = Arc::new(HdfsDomain::new(DomainId(1), "hdfs", topo.clone(), cost.clone(), 2, 1));
-        let ffs = Arc::new(FatmanDomain::new(DomainId(2), "ffs", topo.clone(), cost.clone(), 2, 2));
+        let local = Arc::new(LocalFsDomain::new(
+            DomainId(0),
+            "local",
+            topo.clone(),
+            cost.clone(),
+        ));
+        let hdfs = Arc::new(HdfsDomain::new(
+            DomainId(1),
+            "hdfs",
+            topo.clone(),
+            cost.clone(),
+            2,
+            1,
+        ));
+        let ffs = Arc::new(FatmanDomain::new(
+            DomainId(2),
+            "ffs",
+            topo.clone(),
+            cost.clone(),
+            2,
+            2,
+        ));
         let kv = Arc::new(KvDomain::new(DomainId(3), "kv", topo.clone(), cost.clone()));
         let auth = Arc::new(AuthService::new(7));
         auth.register(UserId(1));
         auth.grant(UserId(1), DomainId(0), Grant::ReadWrite);
         auth.grant(UserId(1), DomainId(1), Grant::ReadWrite);
         auth.grant(UserId(1), DomainId(3), Grant::Read); // read-only on kv
-        let cred = auth.issue(UserId(1), SimInstant(0), SimDuration::hours(8)).unwrap();
+        let cred = auth
+            .issue(UserId(1), SimInstant(0), SimDuration::hours(8))
+            .unwrap();
         let cache = with_cache.then(|| {
             Arc::new(SsdCache::new(
                 ByteSize::mib(4),
@@ -263,13 +287,7 @@ mod tests {
                 }],
             ))
         });
-        let r = StorageRouter::new(
-            vec![local, hdfs, ffs, kv],
-            0,
-            auth,
-            cache,
-            cost,
-        );
+        let r = StorageRouter::new(vec![local, hdfs, ffs, kv], 0, auth, cache, cost);
         (r, cred)
     }
 
@@ -290,9 +308,17 @@ mod tests {
     #[test]
     fn write_then_read_through_router() {
         let (r, cred) = router(false);
-        r.write("/hdfs/t/b0", Bytes::from_static(b"abc"), Some(NodeId(0)), &cred, SimInstant(0))
+        r.write(
+            "/hdfs/t/b0",
+            Bytes::from_static(b"abc"),
+            Some(NodeId(0)),
+            &cred,
+            SimInstant(0),
+        )
+        .unwrap();
+        let got = r
+            .read("/hdfs/t/b0", NodeId(0), &cred, SimInstant(0))
             .unwrap();
-        let got = r.read("/hdfs/t/b0", NodeId(0), &cred, SimInstant(0)).unwrap();
         assert_eq!(&got.data[..], b"abc");
         assert!(r.exists("/hdfs/t/b0"));
         assert!(!r.exists("/hdfs/t/b1"));
@@ -303,7 +329,13 @@ mod tests {
         let (r, cred) = router(false);
         // Read-only on kv: write denied, read of missing key is a storage
         // error (authz passed).
-        let w = r.write("/kv/k", Bytes::from_static(b"v"), None, &cred, SimInstant(0));
+        let w = r.write(
+            "/kv/k",
+            Bytes::from_static(b"v"),
+            None,
+            &cred,
+            SimInstant(0),
+        );
         assert!(matches!(w, Err(FeisuError::PermissionDenied(_))));
         // No grant at all on ffs.
         let rd = r.read("/ffs/x", NodeId(0), &cred, SimInstant(0));
@@ -322,9 +354,14 @@ mod tests {
     fn ssd_cache_serves_second_read() {
         let (r, cred) = router(true);
         let blob = Bytes::from(vec![7u8; 100_000]);
-        r.write("/hdfs/t/b0", blob, Some(NodeId(0)), &cred, SimInstant(0)).unwrap();
-        let first = r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0)).unwrap();
-        let second = r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0)).unwrap();
+        r.write("/hdfs/t/b0", blob, Some(NodeId(0)), &cred, SimInstant(0))
+            .unwrap();
+        let first = r
+            .read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
+            .unwrap();
+        let second = r
+            .read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
+            .unwrap();
         assert_eq!(second.medium, StorageMedium::Ssd);
         assert!(second.cost.total() < first.cost.total());
         assert_eq!(second.served_from, NodeId(1));
@@ -336,11 +373,19 @@ mod tests {
         let registry = feisu_obs::MetricsRegistry::new();
         let (r, cred) = router(true);
         r.attach_metrics(&registry);
-        r.write("/hdfs/t/b0", Bytes::from(vec![7u8; 100]), Some(NodeId(0)), &cred, SimInstant(0))
+        r.write(
+            "/hdfs/t/b0",
+            Bytes::from(vec![7u8; 100]),
+            Some(NodeId(0)),
+            &cred,
+            SimInstant(0),
+        )
+        .unwrap();
+        r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
             .unwrap();
-        r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0)).unwrap();
         // Second read is an SSD-cache hit: no new domain read.
-        r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0)).unwrap();
+        r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
+            .unwrap();
         assert_eq!(registry.counter("feisu.storage.hdfs.writes").get(), 1);
         assert_eq!(registry.counter("feisu.storage.hdfs.reads").get(), 1);
         assert_eq!(registry.counter("feisu.storage.hdfs.bytes_read").get(), 100);
@@ -351,8 +396,22 @@ mod tests {
     #[test]
     fn list_reattaches_prefix() {
         let (r, cred) = router(false);
-        r.write("/hdfs/t/b0", Bytes::from_static(b"0"), None, &cred, SimInstant(0)).unwrap();
-        r.write("/hdfs/t/b1", Bytes::from_static(b"1"), None, &cred, SimInstant(0)).unwrap();
+        r.write(
+            "/hdfs/t/b0",
+            Bytes::from_static(b"0"),
+            None,
+            &cred,
+            SimInstant(0),
+        )
+        .unwrap();
+        r.write(
+            "/hdfs/t/b1",
+            Bytes::from_static(b"1"),
+            None,
+            &cred,
+            SimInstant(0),
+        )
+        .unwrap();
         assert_eq!(
             r.list("/hdfs/t/"),
             vec!["/hdfs/t/b0".to_string(), "/hdfs/t/b1".to_string()]

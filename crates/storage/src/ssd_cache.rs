@@ -173,10 +173,7 @@ impl SsdCache {
             // Lazy LRU queue: pop until a live record is found.
             match cache.lru.pop_front() {
                 Some((key, stamp)) => {
-                    let live = cache
-                        .entries
-                        .get(&key)
-                        .is_some_and(|(_, s)| *s == stamp);
+                    let live = cache.entries.get(&key).is_some_and(|(_, s)| *s == stamp);
                     if live {
                         let (old, _) = cache.entries.remove(&key).expect("checked");
                         cache.used -= old.len() as u64;
@@ -248,7 +245,12 @@ mod tests {
     #[test]
     fn admission_by_preference_only() {
         let c = cache(64);
-        c.put(NodeId(0), "/hdfs/cold/x", Bytes::from_static(b"data"), false);
+        c.put(
+            NodeId(0),
+            "/hdfs/cold/x",
+            Bytes::from_static(b"data"),
+            false,
+        );
         assert!(c.get(NodeId(0), "/hdfs/cold/x").is_none());
         assert_eq!(c.stats().rejected, 1);
         c.put(NodeId(0), "/hdfs/hot/x", Bytes::from_static(b"data"), false);
@@ -289,7 +291,12 @@ mod tests {
     #[test]
     fn oversized_object_rejected() {
         let c = cache(1);
-        c.put(NodeId(0), "/hdfs/hot/big", Bytes::from(vec![0u8; 4096]), false);
+        c.put(
+            NodeId(0),
+            "/hdfs/hot/big",
+            Bytes::from(vec![0u8; 4096]),
+            false,
+        );
         assert!(c.get(NodeId(0), "/hdfs/hot/big").is_none());
     }
 

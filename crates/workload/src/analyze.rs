@@ -53,8 +53,7 @@ pub fn predicate_similarity_ratio(trace: &[TraceQuery], span: SimDuration) -> f6
         }
         for q in window {
             total += 1;
-            if q
-                .predicates
+            if q.predicates
                 .iter()
                 .any(|p| counts.get(&p.key()).copied().unwrap_or(0) >= 2)
             {
@@ -73,8 +72,8 @@ pub fn predicate_similarity_ratio(trace: &[TraceQuery], span: SimDuration) -> f6
 /// each keyword. Returned sorted by descending frequency.
 pub fn keyword_frequency(trace: &[TraceQuery]) -> Vec<(String, f64)> {
     const KEYWORDS: &[&str] = &[
-        "SELECT", "WHERE", "COUNT", "GROUP BY", "ORDER BY", "LIMIT", "JOIN", "SUM", "AVG",
-        "MIN", "MAX", "CONTAINS", "HAVING",
+        "SELECT", "WHERE", "COUNT", "GROUP BY", "ORDER BY", "LIMIT", "JOIN", "SUM", "AVG", "MIN",
+        "MAX", "CONTAINS", "HAVING",
     ];
     let n = trace.len().max(1) as f64;
     let mut v: Vec<(String, f64)> = KEYWORDS
@@ -97,10 +96,7 @@ pub fn scan_family_ratio(trace: &[TraceQuery]) -> f64 {
     if trace.is_empty() {
         return 0.0;
     }
-    let scans = trace
-        .iter()
-        .filter(|q| q.shape != QueryShape::Join)
-        .count();
+    let scans = trace.iter().filter(|q| q.shape != QueryShape::Join).count();
     scans as f64 / trace.len() as f64
 }
 

@@ -103,8 +103,21 @@ impl DatasetSpec {
 /// Query keywords drawn from a Zipfian pool (search terms are heavily
 /// skewed in production).
 const KEYWORDS: &[&str] = &[
-    "weather", "map", "music", "video", "news", "stock", "translate", "travel", "game",
-    "recipe", "movie", "baike", "tieba", "image", "shopping",
+    "weather",
+    "map",
+    "music",
+    "video",
+    "news",
+    "stock",
+    "translate",
+    "travel",
+    "game",
+    "recipe",
+    "movie",
+    "baike",
+    "tieba",
+    "image",
+    "shopping",
 ];
 
 /// Generates rows `[start, start+len)` of the table as columns. Chunked
@@ -123,7 +136,10 @@ pub fn generate_chunk(spec: &DatasetSpec, start: usize, len: usize) -> Vec<Colum
     let mut score = Vec::with_capacity(len);
     for r in 0..len {
         let url_rank = rng.zipf(spec.url_pool, 0.9);
-        urls.push(format!("https://site{url_rank}.example/page{}", rng.next_below(100)));
+        urls.push(format!(
+            "https://site{url_rank}.example/page{}",
+            rng.next_below(100)
+        ));
         let kw = KEYWORDS[rng.zipf(KEYWORDS.len(), 0.8)];
         queries.push(kw.to_string());
         clicks.push(if rng.chance(0.02) {

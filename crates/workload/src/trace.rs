@@ -241,8 +241,7 @@ mod tests {
             ..TraceSpec::default()
         };
         for q in generate_trace(&spec) {
-            feisu_sql::parser::parse_query(&q.sql)
-                .unwrap_or_else(|e| panic!("{}: {e}", q.sql));
+            feisu_sql::parser::parse_query(&q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.sql));
         }
     }
 
@@ -283,10 +282,7 @@ mod tests {
         };
         let t = generate_trace(&spec);
         let joins = t.iter().filter(|q| q.shape == QueryShape::Join).count();
-        let scans_aggs = t
-            .iter()
-            .filter(|q| q.shape != QueryShape::Join)
-            .count();
+        let scans_aggs = t.iter().filter(|q| q.shape != QueryShape::Join).count();
         assert!(
             scans_aggs as f64 / t.len() as f64 > 0.99,
             "scan-family must exceed 99%"

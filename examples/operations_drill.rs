@@ -28,7 +28,12 @@ fn main() -> feisu_common::Result<()> {
     cluster.ingest_rows(
         "svc_metrics",
         (0..4096)
-            .map(|i| vec![Value::Int64((i % 64) as i64), Value::Int64(((i * 13) % 900) as i64)])
+            .map(|i| {
+                vec![
+                    Value::Int64((i % 64) as i64),
+                    Value::Int64(((i * 13) % 900) as i64),
+                ]
+            })
             .collect(),
         &cred,
     )?;

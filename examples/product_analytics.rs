@@ -53,8 +53,18 @@ fn main() -> feisu_common::Result<()> {
     let cred = cluster.login(analyst)?;
 
     // Hot: this quarter on HDFS. Cold: last year archived on Fatman.
-    cluster.create_table("revenue_hot", revenue_schema(), "/hdfs/biz/revenue_2016q2", &cred)?;
-    cluster.create_table("revenue_2015", revenue_schema(), "/ffs/biz/revenue_2015", &cred)?;
+    cluster.create_table(
+        "revenue_hot",
+        revenue_schema(),
+        "/hdfs/biz/revenue_2016q2",
+        &cred,
+    )?;
+    cluster.create_table(
+        "revenue_2015",
+        revenue_schema(),
+        "/ffs/biz/revenue_2015",
+        &cred,
+    )?;
     cluster.ingest_rows("revenue_hot", rows(20160401..20160420, 60), &cred)?;
     cluster.ingest_rows("revenue_2015", rows(20150401..20150420, 60), &cred)?;
 
@@ -86,8 +96,11 @@ fn main() -> feisu_common::Result<()> {
         time_limit: Some(SimDuration::nanos(full.response_time.as_nanos() / 2)),
     };
     // A fresh predicate so nothing is pre-cached for the sampled run.
-    let sampled =
-        cluster.query_with("SELECT COUNT(*) FROM revenue_2015 WHERE users >= 1", &cred, &opts)?;
+    let sampled = cluster.query_with(
+        "SELECT COUNT(*) FROM revenue_2015 WHERE users >= 1",
+        &cred,
+        &opts,
+    )?;
     println!(
         "full count {} in {} | sampled count {} in {} (partial={}, {:.0}% of tasks)",
         full.batch.column(0).value(0),

@@ -47,7 +47,12 @@ fn main() -> feisu_common::Result<()> {
     cluster.create_table("voice_labels", labels, "/kv/labels/voice", &cred)?;
     let rows: Vec<Vec<Value>> = (0..3000)
         .step_by(2)
-        .map(|i| vec![Value::from(i as i64), Value::from(((i * 31) % 100) as f64 / 100.0)])
+        .map(|i| {
+            vec![
+                Value::from(i as i64),
+                Value::from(((i * 31) % 100) as f64 / 100.0),
+            ]
+        })
         .collect();
     cluster.ingest_rows("voice_labels", rows, &cred)?;
 

@@ -96,7 +96,9 @@ fn main() -> feisu_common::Result<()> {
     )?;
     println!("{}", r.batch.to_table_string());
 
-    println!("== Step 3: trial-and-error refinement — the same predicate again, now index-served ==");
+    println!(
+        "== Step 3: trial-and-error refinement — the same predicate again, now index-served =="
+    );
     let narrowed = cluster.query(
         "SELECT COUNT(*) FROM retrieval_log WHERE status = 599 AND latency_ms > 500",
         &cred,

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # The tier-1 gate plus lints, exactly what a PR must keep green:
-#   1. cargo build --release
-#   2. cargo test -q
-#   3. cargo clippy --workspace -- -D warnings
+#   1. cargo fmt --check
+#   2. cargo build --release
+#   3. cargo test -q
+#   4. cargo clippy --workspace -- -D warnings
 # Usage: scripts/ci.sh
 #
 # The build environment has no network; when crates.io is unreachable the
@@ -16,6 +17,9 @@ if ! cargo metadata --format-version 1 >/dev/null 2>&1; then
   echo "ci: no network, using --offline"
   OFFLINE="--offline"
 fi
+
+echo "ci: fmt (--check)"
+cargo fmt --all -- --check
 
 echo "ci: build (release)"
 cargo build --release $OFFLINE

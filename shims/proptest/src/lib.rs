@@ -412,9 +412,7 @@ mod string {
                 for _ in 0..n {
                     match &piece.atom {
                         Atom::Lit(c) => out.push(*c),
-                        Atom::Class(set) => {
-                            out.push(set[rng.below(set.len() as u64) as usize])
-                        }
+                        Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
                         Atom::AnyPrintable => out.push(printable(rng)),
                     }
                 }

@@ -49,10 +49,7 @@ fn zone_pruning_skips_out_of_range_blocks() {
     let mut fx = fixture(500);
     let r = fx
         .cluster
-        .query(
-            "SELECT COUNT(*) FROM clicks WHERE day = 20160105",
-            &fx.cred,
-        )
+        .query("SELECT COUNT(*) FROM clicks WHERE day = 20160105", &fx.cred)
         .unwrap();
     assert!(
         r.stats.pruned_blocks > 0,
@@ -161,13 +158,12 @@ fn cross_join_and_three_table_queries() {
         vec![feisu_format::Value::from("x")],
         vec![feisu_format::Value::from("y")],
     ];
-    fx.cluster.ingest_rows("tags", rows.clone(), &fx.cred).unwrap();
+    fx.cluster
+        .ingest_rows("tags", rows.clone(), &fx.cred)
+        .unwrap();
     fx.oracle
         .insert("tags", feisu_tests::rows_to_batch(&dim, &rows));
-    check_against_oracle(
-        &mut fx,
-        "SELECT COUNT(*) FROM clicks CROSS JOIN tags",
-    );
+    check_against_oracle(&mut fx, "SELECT COUNT(*) FROM clicks CROSS JOIN tags");
     check_against_oracle(
         &mut fx,
         "SELECT tags.tag, COUNT(*) FROM clicks CROSS JOIN tags \
@@ -197,7 +193,10 @@ fn residual_only_predicates_do_not_share_task_results() {
         .unwrap();
     let ca = a.batch.column(0).value(0).as_i64().unwrap();
     let cb = b.batch.column(0).value(0).as_i64().unwrap();
-    assert!(ca > cb, "different residuals must give different counts: {ca} vs {cb}");
+    assert!(
+        ca > cb,
+        "different residuals must give different counts: {ca} vs {cb}"
+    );
     // And each agrees with the oracle.
     check_against_oracle(
         &mut fx,
@@ -226,7 +225,10 @@ fn oversized_results_spill_to_global_storage() {
     );
     let big = fx
         .cluster
-        .query("SELECT url, keyword, clicks FROM clicks WHERE clicks >= 0", &fx.cred)
+        .query(
+            "SELECT url, keyword, clicks FROM clicks WHERE clicks >= 0",
+            &fx.cred,
+        )
         .unwrap();
     assert!(big.stats.spilled_results > 0, "row flood must spill");
     assert!(big.batch.rows() > 300);
@@ -237,7 +239,10 @@ fn oversized_results_spill_to_global_storage() {
     let mut fx2 = fixture_with(400, spec2, "/hdfs/warehouse/clicks");
     let inband = fx2
         .cluster
-        .query("SELECT url, keyword, clicks FROM clicks WHERE clicks >= 0", &fx2.cred)
+        .query(
+            "SELECT url, keyword, clicks FROM clicks WHERE clicks >= 0",
+            &fx2.cred,
+        )
         .unwrap();
     assert_eq!(inband.batch, big.batch);
     assert!(big.response_time > inband.response_time);

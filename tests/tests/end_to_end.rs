@@ -76,12 +76,12 @@ fn empty_results_are_clean() {
     assert_eq!(r.stats.pruned_blocks, r.stats.tasks);
     let r = fx
         .cluster
-        .query("SELECT COUNT(*) FROM clicks WHERE clicks > 100000", &fx.cred)
+        .query(
+            "SELECT COUNT(*) FROM clicks WHERE clicks > 100000",
+            &fx.cred,
+        )
         .unwrap();
-    assert_eq!(
-        r.batch.column(0).value(0),
-        feisu_format::Value::Int64(0)
-    );
+    assert_eq!(r.batch.column(0).value(0), feisu_format::Value::Int64(0));
 }
 
 #[test]
@@ -117,7 +117,11 @@ fn multi_block_tables_concat_correctly() {
         .query("SELECT COUNT(*) FROM clicks", &fx.cred)
         .unwrap();
     assert_eq!(r.batch.column(0).value(0), feisu_format::Value::Int64(500));
-    assert!(r.stats.tasks >= 8, "expected many blocks, got {}", r.stats.tasks);
+    assert!(
+        r.stats.tasks >= 8,
+        "expected many blocks, got {}",
+        r.stats.tasks
+    );
 }
 
 #[test]
@@ -132,11 +136,22 @@ fn join_against_dimension_table() {
         .create_table("dim", dim_schema.clone(), "/hdfs/warehouse/dim", &fx.cred)
         .unwrap();
     let dim_rows = vec![
-        vec![feisu_format::Value::from("map"), feisu_format::Value::from("geo")],
-        vec![feisu_format::Value::from("music"), feisu_format::Value::from("media")],
-        vec![feisu_format::Value::from("news"), feisu_format::Value::from("media")],
+        vec![
+            feisu_format::Value::from("map"),
+            feisu_format::Value::from("geo"),
+        ],
+        vec![
+            feisu_format::Value::from("music"),
+            feisu_format::Value::from("media"),
+        ],
+        vec![
+            feisu_format::Value::from("news"),
+            feisu_format::Value::from("media"),
+        ],
     ];
-    fx.cluster.ingest_rows("dim", dim_rows.clone(), &fx.cred).unwrap();
+    fx.cluster
+        .ingest_rows("dim", dim_rows.clone(), &fx.cred)
+        .unwrap();
     fx.oracle
         .insert("dim", feisu_tests::rows_to_batch(&dim_schema, &dim_rows));
     for sql in [

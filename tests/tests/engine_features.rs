@@ -79,7 +79,10 @@ fn json_ingest_rejects_schema_drift() {
     fx.cluster
         .ingest_json("j", "/hdfs/json/j", &[r#"{"a": 5}"#], &fx.cred)
         .unwrap();
-    let r = fx.cluster.query("SELECT COUNT(*) FROM j", &fx.cred).unwrap();
+    let r = fx
+        .cluster
+        .query("SELECT COUNT(*) FROM j", &fx.cred)
+        .unwrap();
     assert_eq!(r.batch.column(0).value(0), FValue::Int64(2));
 }
 
@@ -110,7 +113,13 @@ fn smartindex_works_on_dotted_json_columns() {
     spec.task_reuse = false;
     let mut fx = fixture_with(10, spec, "/hdfs/warehouse/clicks");
     let docs: Vec<String> = (0..200)
-        .map(|i| format!(r#"{{"user": {{"id": {i}, "vip": {} }}, "spend": {}}}"#, i % 2, i * 3))
+        .map(|i| {
+            format!(
+                r#"{{"user": {{"id": {i}, "vip": {} }}, "spend": {}}}"#,
+                i % 2,
+                i * 3
+            )
+        })
         .collect();
     let doc_refs: Vec<&str> = docs.iter().map(|d| d.as_str()).collect();
     fx.cluster
@@ -122,7 +131,10 @@ fn smartindex_works_on_dotted_json_columns() {
     assert_eq!(cold.batch, warm.batch);
     // ids 101..=199 with odd id (vip=1): 50 rows.
     assert_eq!(cold.batch.column(0).value(0), FValue::Int64(50));
-    assert!(warm.stats.index_hits > 0, "dotted columns must be index-keyed");
+    assert!(
+        warm.stats.index_hits > 0,
+        "dotted columns must be index-keyed"
+    );
     assert_eq!(
         warm.stats.memory_served_tasks, warm.stats.tasks,
         "fully cached dotted-column COUNT"

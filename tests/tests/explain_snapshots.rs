@@ -1,0 +1,94 @@
+//! Golden snapshots of `FeisuCluster::explain`: the rendered physical
+//! plan, including the aggregation-pushdown annotation on the
+//! distributed scan. Exact-string comparisons so any change to lowering
+//! or rendering is a conscious one.
+
+use feisu_format::{DataType, Field, Schema, Value};
+use feisu_tests::{fixture, Fixture};
+
+fn explain(fx: &Fixture, sql: &str) -> String {
+    fx.cluster.explain(sql, &fx.cred).unwrap()
+}
+
+#[test]
+fn plain_scan_with_pushed_filter() {
+    let fx = fixture(100);
+    assert_eq!(
+        explain(&fx, "SELECT url FROM clicks WHERE clicks > 5"),
+        "Project: [url AS url]\n\
+         \x20 DistributedScan: clicks cols=[\"url\"] filter=(clicks > 5)\n"
+    );
+}
+
+#[test]
+fn grouped_aggregate_is_pushed_to_leaves() {
+    let fx = fixture(100);
+    assert_eq!(
+        explain(
+            &fx,
+            "SELECT keyword, COUNT(*) AS n, SUM(clicks) AS s FROM clicks \
+             WHERE clicks > 10 GROUP BY keyword ORDER BY n DESC LIMIT 2",
+        ),
+        "Limit: 2\n\
+         \x20 Project: [keyword AS keyword, COUNT(*) AS n, SUM(clicks) AS s]\n\
+         \x20   Sort: [COUNT(*) DESC] fetch=Some(2)\n\
+         \x20     FinalAggregate: group=[\"keyword\"] aggs=[\"COUNT(*)\", \"SUM(clicks)\"]\n\
+         \x20       DistributedScan: clicks cols=[\"keyword\", \"clicks\"] filter=(clicks > 10) \
+         [agg pushed: COUNT(*), SUM(clicks) group by keyword]\n"
+    );
+}
+
+#[test]
+fn complex_filter_stays_on_scan_line() {
+    let fx = fixture(100);
+    assert_eq!(
+        explain(
+            &fx,
+            "SELECT url, clicks FROM clicks \
+             WHERE (clicks > 5 OR score < 0.5) AND keyword = 'map' \
+             ORDER BY clicks DESC LIMIT 3",
+        ),
+        "Limit: 3\n\
+         \x20 Project: [url AS url, clicks AS clicks]\n\
+         \x20   Sort: [clicks DESC] fetch=Some(3)\n\
+         \x20     DistributedScan: clicks cols=[\"url\", \"clicks\"] \
+         filter=(((clicks > 5) OR (score < 0.5)) AND (keyword = 'map'))\n"
+    );
+}
+
+#[test]
+fn aggregate_over_join_stays_on_master() {
+    let fx = fixture(100);
+    let dims = Schema::new(vec![
+        Field::new("url", DataType::Utf8, false),
+        Field::new("rank", DataType::Int64, false),
+    ]);
+    fx.cluster
+        .create_table("dims", dims, "/hdfs/warehouse/dims", &fx.cred)
+        .unwrap();
+    fx.cluster
+        .ingest_rows(
+            "dims",
+            vec![
+                vec![Value::from("https://site0.example/p0"), Value::from(1i64)],
+                vec![Value::from("https://site1.example/p1"), Value::from(2i64)],
+            ],
+            &fx.cred,
+        )
+        .unwrap();
+    // The aggregate consumes join output, so it cannot be pushed below
+    // the scans: it lowers to a master-side HashAggregate and neither
+    // scan line carries an `[agg pushed: ...]` annotation.
+    assert_eq!(
+        explain(
+            &fx,
+            "SELECT rank, COUNT(*) AS n FROM clicks JOIN dims \
+             ON clicks.url = dims.url GROUP BY rank",
+        ),
+        "Project: [dims.rank AS rank, COUNT(*) AS n]\n\
+         \x20 HashAggregate: group=[\"dims.rank\"] aggs=[\"COUNT(*)\"]\n\
+         \x20   HashJoin: Inner on [(clicks.url = dims.url)]\n\
+         \x20     DistributedScan: clicks cols=[\"url\"]\n\
+         \x20     DistributedScan: dims cols=[\"url\", \"rank\"]\n"
+    );
+}

@@ -136,7 +136,10 @@ fn unmeetable_ratio_under_time_limit_is_deadline_error() {
         time_limit: Some(SimDuration::nanos(full.response_time.as_nanos() / 3)),
     };
     let err = fx.cluster.query_with(sql, &fx.cred, &opts).unwrap_err();
-    assert!(matches!(err, feisu_common::FeisuError::Deadline(_)), "{err}");
+    assert!(
+        matches!(err, feisu_common::FeisuError::Deadline(_)),
+        "{err}"
+    );
 }
 
 #[test]

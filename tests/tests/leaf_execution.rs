@@ -142,8 +142,12 @@ fn warm_scan_touches_fewer_columns_than_cold() {
     let r = rig();
     let mut l = leaf(&r, NodeId(0));
     let t = task(&r, "b > 10 AND c <= 3", &["a"], None);
-    let cold = l.execute(&t, &r.router, &r.cred, SimInstant(0), true).unwrap();
-    let warm = l.execute(&t, &r.router, &r.cred, SimInstant(1), true).unwrap();
+    let cold = l
+        .execute(&t, &r.router, &r.cred, SimInstant(0), true)
+        .unwrap();
+    let warm = l
+        .execute(&t, &r.router, &r.cred, SimInstant(1), true)
+        .unwrap();
     assert_eq!(cold.batch, warm.batch);
     assert_eq!(cold.stats.index_built, 2);
     assert_eq!(warm.stats.index_hits, 2);
@@ -167,8 +171,12 @@ fn remote_execution_pays_network() {
     let mut local = leaf(&r, replicas[0]);
     let mut remote = leaf(&r, outsider);
     let t = task(&r, "b > 10", &["a"], None);
-    let lo = local.execute(&t, &r.router, &r.cred, SimInstant(0), false).unwrap();
-    let ro = remote.execute(&t, &r.router, &r.cred, SimInstant(0), false).unwrap();
+    let lo = local
+        .execute(&t, &r.router, &r.cred, SimInstant(0), false)
+        .unwrap();
+    let ro = remote
+        .execute(&t, &r.router, &r.cred, SimInstant(0), false)
+        .unwrap();
     assert_eq!(lo.batch, ro.batch);
     assert_eq!(lo.tally.network, SimDuration::ZERO);
     assert!(ro.tally.network > SimDuration::ZERO);
@@ -180,7 +188,9 @@ fn zone_pruning_answers_without_storage() {
     let mut l = leaf(&r, NodeId(0));
     // `a` spans 0..=255: a > 1000 is provably empty from the catalog zone.
     let t = task(&r, "a > 1000", &["a"], None);
-    let out = l.execute(&t, &r.router, &r.cred, SimInstant(0), true).unwrap();
+    let out = l
+        .execute(&t, &r.router, &r.cred, SimInstant(0), true)
+        .unwrap();
     assert!(out.stats.pruned_by_zone);
     assert!(out.stats.served_from_memory);
     assert_eq!(out.batch.rows(), 0);
@@ -192,11 +202,18 @@ fn count_only_served_from_cache_after_warmup() {
     let r = rig();
     let mut l = leaf(&r, NodeId(0));
     let t = task(&r, "b > 10", &["a"], Some(count_stage()));
-    let cold = l.execute(&t, &r.router, &r.cred, SimInstant(0), true).unwrap();
+    let cold = l
+        .execute(&t, &r.router, &r.cred, SimInstant(0), true)
+        .unwrap();
     assert!(cold.is_agg_transport);
     assert!(!cold.stats.served_from_memory);
-    let warm = l.execute(&t, &r.router, &r.cred, SimInstant(1), true).unwrap();
-    assert!(warm.stats.served_from_memory, "no storage touch when cached");
+    let warm = l
+        .execute(&t, &r.router, &r.cred, SimInstant(1), true)
+        .unwrap();
+    assert!(
+        warm.stats.served_from_memory,
+        "no storage touch when cached"
+    );
     assert_eq!(warm.stats.bytes_read, ByteSize::ZERO);
     // Transports decode to the same count.
     assert_eq!(cold.batch, warm.batch);
@@ -216,7 +233,9 @@ fn partial_agg_transport_counts_match_rows() {
         }],
     };
     let t = task(&r, "b >= 0", &["c"], Some(stage.clone()));
-    let out = l.execute(&t, &r.router, &r.cred, SimInstant(0), true).unwrap();
+    let out = l
+        .execute(&t, &r.router, &r.cred, SimInstant(0), true)
+        .unwrap();
     assert!(out.is_agg_transport);
     let table = feisu_exec::aggregate::AggTable::from_transport(
         stage.group_by.clone(),
@@ -257,11 +276,11 @@ fn or_clause_and_value_correctness() {
     let r = rig();
     let mut l = leaf(&r, NodeId(0));
     let t = task(&r, "b < 5 OR c = 6", &["a", "b", "c"], None);
-    let out = l.execute(&t, &r.router, &r.cred, SimInstant(0), true).unwrap();
+    let out = l
+        .execute(&t, &r.router, &r.cred, SimInstant(0), true)
+        .unwrap();
     // Oracle count: b = i%50 < 5 (i%50 in 0..5) or c = i%7 == 6.
-    let expected = (0..256)
-        .filter(|i| i % 50 < 5 || i % 7 == 6)
-        .count();
+    let expected = (0..256).filter(|i| i % 50 < 5 || i % 7 == 6).count();
     assert_eq!(out.batch.rows(), expected);
     for i in 0..out.batch.rows() {
         let b = out.batch.value_at(i, "b").unwrap().as_i64().unwrap();

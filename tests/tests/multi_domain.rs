@@ -80,8 +80,12 @@ fn cold_storage_reads_cost_more_than_hdfs() {
         .collect();
     cluster.ingest_rows("hot", rows.clone(), &cred).unwrap();
     cluster.ingest_rows("cold", rows, &cred).unwrap();
-    let hot = cluster.query("SELECT COUNT(*) FROM hot WHERE hits > 1", &cred).unwrap();
-    let cold = cluster.query("SELECT COUNT(*) FROM cold WHERE hits > 1", &cred).unwrap();
+    let hot = cluster
+        .query("SELECT COUNT(*) FROM hot WHERE hits > 1", &cred)
+        .unwrap();
+    let cold = cluster
+        .query("SELECT COUNT(*) FROM cold WHERE hits > 1", &cred)
+        .unwrap();
     assert!(
         cold.response_time > hot.response_time + SimDuration::millis(100),
         "Fatman's cold penalty must show: hot {} vs cold {}",
@@ -141,7 +145,11 @@ fn per_domain_grants_isolate_sources() {
         .create_table("restricted", log_schema(), "/ffs/t/restricted", &cred)
         .unwrap();
     cluster
-        .ingest_rows("open", vec![vec![Value::from("x"), Value::from(1i64)]], &cred)
+        .ingest_rows(
+            "open",
+            vec![vec![Value::from("x"), Value::from(1i64)]],
+            &cred,
+        )
         .unwrap();
     cluster
         .ingest_rows(

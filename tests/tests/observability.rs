@@ -72,7 +72,10 @@ fn registry_counters_mirror_query_stats() {
         registry.counter("feisu.task.memory_served").get(),
         expect.memory_served_tasks as u64
     );
-    assert_eq!(registry.histogram("feisu.query.response_ns").count(), queries);
+    assert_eq!(
+        registry.histogram("feisu.query.response_ns").count(),
+        queries
+    );
     // Subsystem counters feed the same registry: SmartIndex totals agree
     // with the per-leaf stats roll-up.
     let idx = fx.cluster.index_stats();
@@ -90,10 +93,7 @@ fn failed_queries_count_as_errors() {
         .cluster
         .query("SELECT nope FROM clicks", &fx.cred)
         .is_err());
-    assert_eq!(
-        fx.cluster.metrics().counter("feisu.query.errors").get(),
-        1
-    );
+    assert_eq!(fx.cluster.metrics().counter("feisu.query.errors").get(), 1);
 }
 
 #[test]
@@ -126,10 +126,7 @@ fn abandoned_tasks_mark_spans_and_drive_the_ratio() {
         want
     );
     assert!(partial.stats.processed_ratio < 1.0);
-    assert_eq!(
-        fx.cluster.metrics().counter("feisu.query.partial").get(),
-        1
-    );
+    assert_eq!(fx.cluster.metrics().counter("feisu.query.partial").get(), 1);
 }
 
 #[test]
@@ -158,11 +155,7 @@ fn cache_served_tasks_show_their_tier() {
     );
     assert_eq!(tier_of(&warm).as_deref(), Some("ssd_cache"));
     assert!(warm.profile.render().contains("ssd_cache="), "summary tier");
-    let hits = fx
-        .cluster
-        .metrics()
-        .counter("feisu.ssd_cache.hits")
-        .get();
+    let hits = fx.cluster.metrics().counter("feisu.ssd_cache.hits").get();
     assert!(hits > 0, "registry saw the cache hits");
 }
 

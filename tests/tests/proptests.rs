@@ -139,12 +139,19 @@ proptest! {
 
 /// Random boolean expressions over integer columns a, b.
 fn arb_bool_expr() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        (prop_oneof![Just("a"), Just("b")], prop_oneof![
-            Just(">"), Just(">="), Just("<"), Just("<="), Just("="), Just("!=")
-        ], -3i64..4)
-            .prop_map(|(c, op, v)| format!("{c} {op} {v}")),
-    ];
+    let leaf = prop_oneof![(
+        prop_oneof![Just("a"), Just("b")],
+        prop_oneof![
+            Just(">"),
+            Just(">="),
+            Just("<"),
+            Just("<="),
+            Just("="),
+            Just("!=")
+        ],
+        -3i64..4
+    )
+        .prop_map(|(c, op, v)| format!("{c} {op} {v}")),];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} AND {r})")),

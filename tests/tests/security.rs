@@ -12,7 +12,12 @@ fn cluster_with_table() -> (FeisuCluster, UserId) {
     cluster.grant_all(admin);
     let admin_cred = cluster.login(admin).unwrap();
     cluster
-        .create_table("clicks", clicks_schema(), "/hdfs/warehouse/clicks", &admin_cred)
+        .create_table(
+            "clicks",
+            clicks_schema(),
+            "/hdfs/warehouse/clicks",
+            &admin_cred,
+        )
         .unwrap();
     cluster
         .ingest_rows("clicks", clicks_rows(100), &admin_cred)
@@ -82,13 +87,7 @@ fn syntax_errors_rejected_before_admission() {
         .unwrap_err();
     assert!(matches!(err, FeisuError::Parse(_)), "{err}");
     // A parse failure must not consume quota.
-    assert_eq!(
-        fx.cluster
-            .jobs()
-            .jobs_of(fx.user)
-            .len(),
-        0
-    );
+    assert_eq!(fx.cluster.jobs().jobs_of(fx.user).len(), 0);
 }
 
 #[test]

@@ -62,10 +62,7 @@ fn negated_predicate_is_served_from_existing_index() {
         .unwrap();
     assert_eq!(r.stats.memory_served_tasks, r.stats.tasks);
     // And agree with the oracle.
-    check_against_oracle(
-        &mut fx,
-        "SELECT COUNT(*) FROM clicks WHERE !(clicks > 50)",
-    );
+    check_against_oracle(&mut fx, "SELECT COUNT(*) FROM clicks WHERE !(clicks > 50)");
 }
 
 #[test]
@@ -133,12 +130,14 @@ fn personalization_prewarms_pinned_indices() {
     // record history by running a cheap variant, then personalize and
     // verify the target predicate is hot on first touch.
     fx.cluster.query(sql, &fx.cred).unwrap(); // records history + builds
-    // Age out the built indices but keep history fresh enough.
-    fx.cluster.advance_time(feisu_common::SimDuration::hours(20));
+                                              // Age out the built indices but keep history fresh enough.
+    fx.cluster
+        .advance_time(feisu_common::SimDuration::hours(20));
     let built = fx.cluster.personalize(fx.user, 4).unwrap();
     assert!(built > 0, "personalize should pin indices");
     // Pinned indices outlive the TTL.
-    fx.cluster.advance_time(feisu_common::SimDuration::hours(100));
+    fx.cluster
+        .advance_time(feisu_common::SimDuration::hours(100));
     let cred = fx.cluster.login(fx.user).unwrap();
     let r = fx.cluster.query(sql, &cred).unwrap();
     assert_eq!(

@@ -11,7 +11,10 @@ use feisu_tests::assert_same_rows;
 use feisu_workload::datasets::{generate_chunk, DatasetSpec};
 use feisu_workload::trace::{generate_trace, TraceSpec};
 
-fn setup(rows: usize, fields: usize) -> (FeisuCluster, feisu_storage::auth::Credential, MemProvider) {
+fn setup(
+    rows: usize,
+    fields: usize,
+) -> (FeisuCluster, feisu_storage::auth::Credential, MemProvider) {
     let mut spec = ClusterSpec::small();
     spec.rows_per_block = 256;
     let mut cluster = FeisuCluster::new(spec).unwrap();
