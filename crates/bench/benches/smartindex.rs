@@ -87,7 +87,7 @@ fn bench_smartindex(c: &mut Criterion) {
         let budget = ByteSize((idx.footprint() * 4) as u64);
         bench.iter_batched(
             || IndexManager::new(budget, SimDuration::hours(72)),
-            |mut m| {
+            |m| {
                 for v in 0..16 {
                     let i = SmartIndex::build(&b, &pred(v), SimInstant(0), false).unwrap();
                     m.insert(i, SimInstant(0));

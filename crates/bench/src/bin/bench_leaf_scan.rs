@@ -1,0 +1,275 @@
+//! Wall-clock benchmark for the late-materialization leaf scan path.
+//!
+//! Compares two bench-local scan implementations over the same serialized
+//! wide block:
+//!
+//! * **baseline** — the pre-optimization shape: full `Block::deserialize`
+//!   of every column, per-bit predicate fill, and projection via
+//!   `iter_ones().collect()` + `Column::take`.
+//! * **optimized** — the shipped path: `Block::read_header` +
+//!   `Block::deserialize_columns` of only the touched columns, the
+//!   word-level `eval_predicate` kernel, and selection-word-driven
+//!   `Column::filter_by_words` gathers.
+//!
+//! Configurations sweep selectivity (1%/10%/100%) and touched-column
+//! count (1/3) on a 48-column block, plus a full-width 100% scan where
+//! both paths must decode everything (regression guard). Results land in
+//! `results/BENCH_leaf_scan.json`.
+//!
+//! `--smoke` (or `FEISU_BENCH_SMOKE=1`) shrinks rows/iterations for CI.
+
+use feisu_common::rng::DetRng;
+use feisu_common::BlockId;
+use feisu_exec::batch::RecordBatch;
+use feisu_exec::expr::eval_predicate;
+use feisu_format::{Block, Column, DataType, Field, Schema, Value};
+use feisu_index::BitVec;
+use feisu_sql::ast::Expr;
+use feisu_sql::parser::parse_expr;
+use std::time::Instant;
+
+const COLUMNS: usize = 48;
+
+struct Config {
+    name: &'static str,
+    selectivity_pct: u32,
+    projection: Vec<String>,
+}
+
+fn wide_block(rows: usize) -> Block {
+    let mut rng = DetRng::new(0x5eaf_5ca4);
+    let mut fields = Vec::with_capacity(COLUMNS);
+    let mut columns = Vec::with_capacity(COLUMNS);
+    for i in 0..COLUMNS {
+        let name = format!("c{i}");
+        // Cycle Int64/Float64/Utf8 like the dataset filler columns; c0 is
+        // the Int64 predicate column with uniform values in [0, 100).
+        match i % 3 {
+            0 => {
+                fields.push(Field::new(&name, DataType::Int64, false));
+                columns.push(Column::from_i64(
+                    (0..rows).map(|_| rng.range_i64(0, 99)).collect(),
+                ));
+            }
+            1 => {
+                fields.push(Field::new(&name, DataType::Float64, false));
+                columns.push(Column::from_f64(
+                    (0..rows).map(|_| rng.next_f64()).collect(),
+                ));
+            }
+            _ => {
+                fields.push(Field::new(&name, DataType::Utf8, false));
+                columns.push(Column::from_utf8(
+                    (0..rows)
+                        .map(|_| format!("tag{}", rng.next_below(64)))
+                        .collect(),
+                ));
+            }
+        }
+    }
+    Block::new(BlockId(1), Schema::new(fields), columns).expect("bench block")
+}
+
+/// Order-insensitive content checksum so both paths can be cross-checked.
+fn checksum(columns: &[Column]) -> u64 {
+    let mut acc = 0u64;
+    for c in columns {
+        for i in 0..c.len() {
+            acc = acc.wrapping_add(match c.value(i) {
+                Value::Int64(v) => v as u64,
+                Value::Float64(v) => v.to_bits(),
+                Value::Utf8(s) => s.len() as u64 ^ 0x9e37,
+                Value::Bool(b) => b as u64,
+                Value::Null => 0xdead,
+            });
+        }
+    }
+    acc
+}
+
+/// Pre-optimization scan: decode every column, per-bit fill, index-vector
+/// gather with `Column::take`.
+fn scan_baseline(bytes: &[u8], pred_cut: i64, projection: &[String]) -> (usize, u64) {
+    let block = Block::deserialize(bytes).expect("baseline decode");
+    let vals = block.column_by_name("c0").expect("pred column").i64_slice();
+    let mut bits = BitVec::zeros(block.rows());
+    for (i, v) in vals.iter().enumerate() {
+        if *v < pred_cut {
+            bits.set(i, true);
+        }
+    }
+    let indices: Vec<usize> = bits.iter_ones().collect();
+    let out: Vec<Column> = projection
+        .iter()
+        .map(|name| {
+            block
+                .column_by_name(name)
+                .expect("projection")
+                .take(&indices)
+        })
+        .collect();
+    (indices.len(), checksum(&out))
+}
+
+/// Shipped scan: header peek, subset decode, word-level predicate kernel,
+/// selection-word gather.
+fn scan_optimized(bytes: &[u8], expr: &Expr, projection: &[String]) -> (usize, u64) {
+    let (_, full_schema, _) = Block::read_header(bytes).expect("header");
+    let mut needed: Vec<&str> = projection.iter().map(|s| s.as_str()).collect();
+    let mut cols = Vec::new();
+    expr.columns(&mut cols);
+    for c in &cols {
+        if !needed.contains(&c.as_str()) && full_schema.index_of(c).is_some() {
+            needed.push(c);
+        }
+    }
+    let block = Block::deserialize_columns(bytes, &needed).expect("subset decode");
+    // The shipped kernel reads block columns in place; mirror that by
+    // handing eval_predicate only the predicate columns, not a clone of
+    // the whole decoded block.
+    let pred_fields: Vec<Field> = block
+        .schema()
+        .fields()
+        .iter()
+        .filter(|f| cols.iter().any(|c| c == &f.name))
+        .cloned()
+        .collect();
+    let pred_cols: Vec<Column> = pred_fields
+        .iter()
+        .map(|f| block.column_by_name(&f.name).expect("pred column").clone())
+        .collect();
+    let batch = RecordBatch::new(Schema::new(pred_fields), pred_cols).expect("bench batch");
+    let bits = eval_predicate(&batch, expr).expect("predicate kernel");
+    let out: Vec<Column> = projection
+        .iter()
+        .map(|name| {
+            block
+                .column_by_name(name)
+                .expect("projection")
+                .filter_by_words(bits.words())
+        })
+        .collect();
+    (bits.count_ones(), checksum(&out))
+}
+
+fn time_ms<F: FnMut() -> (usize, u64)>(iters: usize, mut f: F) -> (f64, (usize, u64)) {
+    let mut best = f64::INFINITY;
+    let mut result = (0, 0);
+    for _ in 0..iters {
+        let t = Instant::now();
+        result = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, result)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("FEISU_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (rows, iters) = if smoke { (2048, 2) } else { (65536, 9) };
+
+    let block = wide_block(rows);
+    let bytes = block.serialize();
+    let all: Vec<String> = (0..COLUMNS).map(|i| format!("c{i}")).collect();
+
+    let configs = vec![
+        Config {
+            name: "sel1_touch1",
+            selectivity_pct: 1,
+            projection: vec!["c3".into()],
+        },
+        Config {
+            name: "sel1_touch3",
+            selectivity_pct: 1,
+            projection: vec!["c3".into(), "c4".into(), "c5".into()],
+        },
+        Config {
+            name: "sel10_touch1",
+            selectivity_pct: 10,
+            projection: vec!["c3".into()],
+        },
+        Config {
+            name: "sel10_touch3",
+            selectivity_pct: 10,
+            projection: vec!["c3".into(), "c4".into(), "c5".into()],
+        },
+        Config {
+            name: "sel100_touch1",
+            selectivity_pct: 100,
+            projection: vec!["c3".into()],
+        },
+        Config {
+            name: "sel100_touch3",
+            selectivity_pct: 100,
+            projection: vec!["c3".into(), "c4".into(), "c5".into()],
+        },
+        Config {
+            name: "sel100_fullwidth",
+            selectivity_pct: 100,
+            projection: all,
+        },
+    ];
+
+    let mut entries = Vec::new();
+    let mut rows_out_table = Vec::new();
+    for cfg in &configs {
+        let cut = cfg.selectivity_pct as i64; // values uniform in [0, 100)
+        let expr = parse_expr(&format!("c0 < {cut}")).expect("bench predicate");
+        let (base_ms, base_res) = time_ms(iters, || scan_baseline(&bytes, cut, &cfg.projection));
+        let (opt_ms, opt_res) = time_ms(iters, || scan_optimized(&bytes, &expr, &cfg.projection));
+        assert_eq!(
+            base_res, opt_res,
+            "{}: baseline and optimized scans disagree",
+            cfg.name
+        );
+        let speedup = base_ms / opt_ms;
+        entries.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"selectivity_pct\": {}, \"touched\": {}, ",
+                "\"baseline_ms\": {}, \"optimized_ms\": {}, \"speedup\": {}}}"
+            ),
+            cfg.name,
+            cfg.selectivity_pct,
+            cfg.projection.len(),
+            json_f(base_ms),
+            json_f(opt_ms),
+            json_f(speedup),
+        ));
+        rows_out_table.push(vec![
+            cfg.name.to_string(),
+            format!("{}", base_res.0),
+            format!("{base_ms:.3}"),
+            format!("{opt_ms:.3}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+
+    feisu_bench::print_series(
+        "leaf scan: baseline vs late-materialization",
+        &[
+            "config",
+            "rows out",
+            "baseline ms",
+            "optimized ms",
+            "speedup",
+        ],
+        &rows_out_table,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"leaf_scan\",\n  \"rows\": {rows},\n  \"columns\": {COLUMNS},\n  \
+         \"iters\": {iters},\n  \"smoke\": {smoke},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_leaf_scan.json", json).expect("write bench json");
+    println!("\nresults -> results/BENCH_leaf_scan.json");
+}

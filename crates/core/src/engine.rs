@@ -674,7 +674,10 @@ impl FeisuCluster {
                     let read =
                         self.router
                             .read(&block.path, replicas[0], &self.system_cred, now)?;
-                    let parsed = feisu_format::Block::deserialize(&read.data)?;
+                    // Index building touches one column; skip decoding the
+                    // rest of the block.
+                    let parsed =
+                        feisu_format::Block::deserialize_columns(&read.data, &[storage_col])?;
                     for node in replicas {
                         if let Some(leaf) = self.leaves.get(&node) {
                             leaf.pin_index(&parsed, &storage_pred, now)?;

@@ -20,7 +20,7 @@ use feisu_cluster::{CostModel, Topology};
 use feisu_common::hash::FxHashMap;
 use feisu_common::{ByteSize, FeisuError, NodeId, Result, SimInstant};
 use feisu_exec::aggregate::AggTable;
-use feisu_exec::batch::{BatchRow, RecordBatch};
+use feisu_exec::batch::{BatchView, RecordBatch};
 use feisu_format::table::BlockDesc;
 use feisu_format::{Block, Column, DataType, Schema, Value};
 use feisu_index::bitvec::BitVec;
@@ -205,10 +205,27 @@ impl LeafServer {
         } else {
             ServedTier::Remote
         };
-        let block = Block::deserialize(&read.data)?;
+        // Late materialization: decode only the columns this task can
+        // touch — projection, predicate columns not servable from cached
+        // bits, residual columns — using the format's offset directory.
+        // The full stored schema still drives the cost model below.
+        let (_, full_schema, _) = Block::read_header(&read.data)?;
+        let needed = self.decode_set(&full_schema, task, &cnf, now, use_index);
+        let needed: Vec<&str> = needed.iter().map(|s| s.as_str()).collect();
+        let mut block = Block::deserialize_columns(&read.data, &needed)?;
 
         // Bitmap evaluation via SmartIndex (or raw scans when disabled).
-        let outcome = evaluate_cnf(use_index.then_some(&self.index), &block, &cnf, now)?;
+        let outcome = match evaluate_cnf(use_index.then_some(&self.index), &block, &cnf, now) {
+            // A predicate we expected to serve from cache lost its entry
+            // between planning the decode set and probing (concurrent
+            // insert pressure from a backup task): decode everything and
+            // retry once.
+            Err(FeisuError::Index(_)) if block.schema().len() < full_schema.len() => {
+                block = Block::deserialize(&read.data)?;
+                evaluate_cnf(use_index.then_some(&self.index), &block, &cnf, now)?
+            }
+            other => other?,
+        };
         for (_, kind) in &outcome.probes {
             match kind {
                 ProbeKind::Hit | ProbeKind::NegatedHit => stats.index_hits += 1,
@@ -227,7 +244,7 @@ impl LeafServer {
         // touched column plus the streaming cost of their bytes — this is
         // where the columnar format's I/O saving (and SmartIndex's
         // avoided predicate columns) shows up.
-        let (touched, ncols) = touched_fraction(block.schema(), task, &outcome.probes, &cnf);
+        let (touched, ncols) = touched_fraction(&full_schema, task, &outcome.probes, &cnf);
         let size = task.block.stored_size;
         let charged = ByteSize((size.as_u64() as f64 * touched).ceil() as u64);
         stats.bytes_read = charged;
@@ -266,15 +283,16 @@ impl LeafServer {
             tally.add_cpu(self.cost.predicate_eval(residuals.len() * block.rows()));
         }
 
-        // 5. Project + rename to canonical output schema.
-        let selected: Vec<usize> = bits.iter_ones().collect();
-        stats.rows_out = selected.len();
+        // 5. Project + rename to canonical output schema. The gather is
+        // driven by the selection words directly — no index vector, no
+        // per-row dispatch.
+        stats.rows_out = bits.count_ones();
         let mut columns: Vec<Column> = Vec::with_capacity(task.projection.len());
         for name in &task.projection {
             let c = block.column_by_name(name).ok_or_else(|| {
                 FeisuError::Execution(format!("block {} missing column `{name}`", task.block.id))
             })?;
-            columns.push(c.take(&selected));
+            columns.push(c.filter_by_words(bits.words()));
         }
         let batch = RecordBatch::new(task.output_schema.clone(), columns)?;
 
@@ -308,26 +326,15 @@ impl LeafServer {
         now: SimInstant,
     ) -> Result<Option<BitVec>> {
         use feisu_sql::cnf::Disjunct;
-        // First pass: peek-only feasibility check, no stats pollution.
+        // First pass: liveness feasibility check — no stats pollution, no
+        // scratch predicate clones (the manager keys the negated probe
+        // from borrowed parts).
         for clause in &cnf.clauses {
             for d in &clause.disjuncts {
                 let Disjunct::Simple(p) = d else {
                     return Ok(None);
                 };
-                let direct = self.index.peek(task.block.id, p).is_some();
-                let negated = p.op.negate().is_some_and(|nop| {
-                    self.index
-                        .peek(
-                            task.block.id,
-                            &feisu_sql::cnf::SimplePredicate {
-                                column: p.column.clone(),
-                                op: nop,
-                                value: p.value.clone(),
-                            },
-                        )
-                        .is_some()
-                });
-                if !direct && !negated {
+                if !self.index.servable(task.block.id, p, now) {
                     return Ok(None);
                 }
             }
@@ -346,24 +353,68 @@ impl LeafServer {
                 };
                 let pbits = if let Some(idx) = self.index.get(task.block.id, p, now) {
                     idx.bits()
-                } else if let Some(nop) = p.op.negate() {
-                    let np = feisu_sql::cnf::SimplePredicate {
-                        column: p.column.clone(),
-                        op: nop,
-                        value: p.value.clone(),
-                    };
-                    match self.index.get(task.block.id, &np, now) {
-                        Some(idx) => idx.negated_bits(),
-                        None => return Ok(None), // raced TTL expiry
-                    }
+                } else if let Some(idx) = self.index.get_negated(task.block.id, p, now) {
+                    idx.negated_bits()
                 } else {
-                    return Ok(None);
+                    return Ok(None); // raced eviction between the passes
                 };
-                clause_bits = clause_bits.or(&pbits)?;
+                clause_bits.or_assign(&pbits)?;
             }
-            bits = bits.and(&clause_bits)?;
+            bits.and_assign(&clause_bits)?;
         }
         Ok(Some(bits))
+    }
+
+    /// Storage-side column names this task can touch: projection ∪
+    /// predicate columns not currently servable from cached bits ∪
+    /// residual columns. This is the decode set for late materialization;
+    /// names the stored schema lacks are dropped so downstream lookups
+    /// surface the same errors a full decode would.
+    fn decode_set(
+        &self,
+        schema: &Schema,
+        task: &ScanTask,
+        cnf: &Cnf,
+        now: SimInstant,
+        use_index: bool,
+    ) -> Vec<String> {
+        use feisu_sql::cnf::Disjunct;
+        let mut needed: Vec<String> = Vec::with_capacity(task.projection.len());
+        for name in &task.projection {
+            push_unique(&mut needed, name);
+        }
+        let mut residual_cols = Vec::new();
+        for clause in &cnf.clauses {
+            let all_simple = clause
+                .disjuncts
+                .iter()
+                .all(|d| matches!(d, Disjunct::Simple(_)));
+            if all_simple {
+                for d in &clause.disjuncts {
+                    let Disjunct::Simple(p) = d else {
+                        unreachable!()
+                    };
+                    if !use_index || !self.index.servable(task.block.id, p, now) {
+                        push_unique(&mut needed, &p.column);
+                    }
+                }
+            } else {
+                // The whole clause is evaluated row-wise (evaluate_cnf
+                // turns it into one residual expression), so every column
+                // it mentions is read.
+                clause.to_expr().columns(&mut residual_cols);
+            }
+        }
+        for e in &task.residual {
+            e.columns(&mut residual_cols);
+        }
+        for c in &residual_cols {
+            // Residual columns are canonical; map them via name_map.
+            let storage = task.name_map.get(c).map(|s| s.as_str()).unwrap_or(c);
+            push_unique(&mut needed, storage);
+        }
+        needed.retain(|n| schema.index_of(n).is_some());
+        needed
     }
 
     fn empty_output(
@@ -415,6 +466,12 @@ impl LeafServer {
     /// Hop distance to another node — exposed for scheduler tests.
     pub fn hops_to(&self, other: NodeId) -> Result<u32> {
         self.topology.hops(self.node, other)
+    }
+}
+
+fn push_unique(names: &mut Vec<String>, name: &str) {
+    if !names.iter().any(|n| n == name) {
+        names.push(name.to_string());
     }
 }
 
@@ -501,15 +558,12 @@ fn touched_fraction(
 }
 
 fn apply_residual(block: &Block, bits: &BitVec, residuals: &[Expr]) -> Result<BitVec> {
-    // Evaluate residuals row-wise only on rows still selected.
-    let schema = block.schema().clone();
-    let batch = RecordBatch::new(schema, block.columns().to_vec())?;
+    // Evaluate residuals row-wise only on rows still selected, reading
+    // the block's columns in place through a borrowed view.
+    let view = BatchView::new(block.schema(), block.columns());
     let mut out = BitVec::zeros(bits.len());
     'rows: for i in bits.iter_ones() {
-        let row = BatchRow {
-            batch: &batch,
-            row: i,
-        };
+        let row = view.row(i);
         for e in residuals {
             if !eval_truth(e, &row)?.passes() {
                 continue 'rows;

@@ -90,7 +90,8 @@ impl RecordBatch {
         self.column_by_name(column).map(|c| c.value(row))
     }
 
-    /// Keeps the rows whose bit is set.
+    /// Keeps the rows whose bit is set, gathering straight from the
+    /// selection words without materializing an index vector.
     pub fn select(&self, bits: &BitVec) -> Result<RecordBatch> {
         if bits.len() != self.rows {
             return Err(FeisuError::Execution(format!(
@@ -99,8 +100,12 @@ impl RecordBatch {
                 self.rows
             )));
         }
-        let indices: Vec<usize> = bits.iter_ones().collect();
-        self.take(&indices)
+        let columns: Vec<Column> = self
+            .columns
+            .iter()
+            .map(|c| c.filter_by_words(bits.words()))
+            .collect();
+        RecordBatch::new(self.schema.clone(), columns)
     }
 
     /// Gathers rows by index.
@@ -196,6 +201,48 @@ impl feisu_sql::eval::RowContext for BatchRow<'_> {
     }
 }
 
+/// A borrowed batch: schema plus column references, no clones. Residual
+/// filtering in the leaf reads block columns through this view instead of
+/// copying every column into a scratch `RecordBatch`.
+#[derive(Clone, Copy)]
+pub struct BatchView<'a> {
+    schema: &'a Schema,
+    columns: &'a [Column],
+}
+
+impl<'a> BatchView<'a> {
+    /// `columns[i]` must correspond to `schema.fields()[i]`; lengths are
+    /// the caller's responsibility (a block or batch guarantees them).
+    pub fn new(schema: &'a Schema, columns: &'a [Column]) -> BatchView<'a> {
+        debug_assert_eq!(schema.len(), columns.len());
+        BatchView { schema, columns }
+    }
+
+    pub fn value_at(&self, row: usize, column: &str) -> Option<Value> {
+        self.schema
+            .index_of(column)
+            .map(|i| self.columns[i].value(row))
+    }
+
+    /// Row-context adapter over row `i`.
+    pub fn row(self, row: usize) -> ViewRow<'a> {
+        ViewRow { view: self, row }
+    }
+}
+
+/// One row of a [`BatchView`], usable with the reference interpreter.
+#[derive(Clone, Copy)]
+pub struct ViewRow<'a> {
+    view: BatchView<'a>,
+    row: usize,
+}
+
+impl feisu_sql::eval::RowContext for ViewRow<'_> {
+    fn get(&self, column: &str) -> Option<Value> {
+        self.view.value_at(self.row, column)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +303,17 @@ mod tests {
         let b = batch();
         let row = BatchRow { batch: &b, row: 1 };
         assert_eq!(row.get("a"), Some(Value::Int64(2)));
+        assert_eq!(row.get("missing"), None);
+    }
+
+    #[test]
+    fn batch_view_reads_without_cloning() {
+        use feisu_sql::eval::RowContext;
+        let b = batch();
+        let view = BatchView::new(b.schema(), b.columns());
+        assert_eq!(view.value_at(2, "b"), Some(Value::Utf8("z".into())));
+        let row = view.row(0);
+        assert_eq!(row.get("a"), Some(Value::Int64(1)));
         assert_eq!(row.get("missing"), None);
     }
 

@@ -3,9 +3,21 @@
 //! A block holds a horizontal slice of one table partition in columnar
 //! layout, together with per-column zone statistics (min/max/null-count)
 //! used by the optimizer and the SmartIndex header. Blocks serialize to a
-//! self-describing binary format: magic, version, schema, then one encoded
-//! chunk per column, with the whole payload run through the adaptive
-//! compressor.
+//! self-describing binary format built for late materialization: magic,
+//! version, a compressed schema header, then one *independently* compressed
+//! chunk per column, and a footer directory of per-column chunk offsets so
+//! readers can decode any subset of columns without touching the rest.
+//!
+//! Layout (v2):
+//!
+//! ```text
+//! magic(8) | version(1) | block_id(varint) | header_len(varint)
+//! | compressed header: rows(varint) nfields(varint) fields…
+//! | chunk[0] … chunk[n-1]           (each compress_adaptive(validity+data))
+//! | footer: ncols(varint) { offset(varint) len(varint) }…   (offsets are
+//!   relative to the first chunk byte)
+//! | footer_start(u64 LE)            (absolute offset of the footer)
+//! ```
 
 use crate::column::{Column, ColumnData, Validity};
 use crate::compress;
@@ -16,8 +28,10 @@ use feisu_common::{BlockId, FeisuError, Result};
 
 /// Magic bytes opening every serialized block.
 pub const BLOCK_MAGIC: &[u8; 8] = b"FEISUBLK";
-/// Current on-disk format version.
-pub const BLOCK_VERSION: u8 = 1;
+/// Current on-disk format version. v2 added the per-column chunk directory;
+/// v1 (whole-body compression, no directory) is no longer readable and is
+/// rejected as corrupt, like any other unknown version.
+pub const BLOCK_VERSION: u8 = 2;
 
 /// Zone statistics for one column of one block.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +54,19 @@ impl Block {
     /// Builds a block; all columns must share the same length and match the
     /// schema's types.
     pub fn new(id: BlockId, schema: Schema, columns: Vec<Column>) -> Result<Block> {
+        let rows = columns.first().map_or(0, |c| c.len());
+        Block::new_with_rows(id, schema, columns, rows)
+    }
+
+    /// Like [`Block::new`] but with an explicit row count, so a block whose
+    /// columns were all pruned by selective decode still reports how many
+    /// rows it covers.
+    pub fn new_with_rows(
+        id: BlockId,
+        schema: Schema,
+        columns: Vec<Column>,
+        rows: usize,
+    ) -> Result<Block> {
         if schema.len() != columns.len() {
             return Err(FeisuError::Internal(format!(
                 "block {id}: schema has {} fields but {} columns supplied",
@@ -47,7 +74,6 @@ impl Block {
                 columns.len()
             )));
         }
-        let rows = columns.first().map_or(0, |c| c.len());
         for (f, c) in schema.fields().iter().zip(&columns) {
             if c.len() != rows {
                 return Err(FeisuError::Internal(format!(
@@ -117,29 +143,104 @@ impl Block {
 
     /// Serializes the block to the Feisu binary format.
     pub fn serialize(&self) -> Vec<u8> {
-        let mut body = Vec::with_capacity(self.footprint() / 2 + 64);
-        varint::encode(self.rows as u64, &mut body);
-        varint::encode(self.schema.len() as u64, &mut body);
+        let mut header = Vec::with_capacity(self.schema.len() * 16 + 8);
+        varint::encode(self.rows as u64, &mut header);
+        varint::encode(self.schema.len() as u64, &mut header);
         for f in self.schema.fields() {
-            varint::encode(f.name.len() as u64, &mut body);
-            body.extend_from_slice(f.name.as_bytes());
-            body.push(type_tag(f.data_type));
-            body.push(f.nullable as u8);
+            varint::encode(f.name.len() as u64, &mut header);
+            header.extend_from_slice(f.name.as_bytes());
+            header.push(type_tag(f.data_type));
+            header.push(f.nullable as u8);
         }
-        for c in &self.columns {
-            encode_column(c, &mut body);
-        }
-        let compressed = compress::compress_adaptive(&body);
-        let mut out = Vec::with_capacity(compressed.len() + 16);
+        let header = compress::compress_adaptive(&header);
+
+        let mut out = Vec::with_capacity(self.footprint() / 2 + 64);
         out.extend_from_slice(BLOCK_MAGIC);
         out.push(BLOCK_VERSION);
         varint::encode(self.id.raw(), &mut out);
-        out.extend_from_slice(&compressed);
+        varint::encode(header.len() as u64, &mut out);
+        out.extend_from_slice(&header);
+
+        let chunks_start = out.len();
+        let mut directory = Vec::with_capacity(self.columns.len());
+        let mut body = Vec::new();
+        for c in &self.columns {
+            body.clear();
+            encode_column(c, &mut body);
+            let chunk = compress::compress_adaptive(&body);
+            directory.push((out.len() - chunks_start, chunk.len()));
+            out.extend_from_slice(&chunk);
+        }
+
+        let footer_start = out.len() as u64;
+        varint::encode(self.columns.len() as u64, &mut out);
+        for (offset, len) in directory {
+            varint::encode(offset as u64, &mut out);
+            varint::encode(len as u64, &mut out);
+        }
+        out.extend_from_slice(&footer_start.to_le_bytes());
         out
     }
 
-    /// Parses a serialized block, validating magic and version.
+    /// Parses a serialized block, decoding every column.
     pub fn deserialize(buf: &[u8]) -> Result<Block> {
+        let layout = BlockLayout::parse(buf)?;
+        let mut columns = Vec::with_capacity(layout.schema.len());
+        for i in 0..layout.schema.len() {
+            columns.push(layout.decode_chunk(buf, i)?);
+        }
+        Block::new_with_rows(layout.id, layout.schema, columns, layout.rows)
+    }
+
+    /// Parses a serialized block but decodes only the named columns, using
+    /// the footer's offset directory to skip the rest entirely — the
+    /// decompressor never touches an unrequested chunk. The result is a
+    /// block whose schema is the requested subset in stored order; its row
+    /// count still reflects the full block (even if `names` is empty).
+    ///
+    /// Requesting a column the block does not have is a corruption error,
+    /// and names may be repeated (decoded once).
+    pub fn deserialize_columns(buf: &[u8], names: &[&str]) -> Result<Block> {
+        let layout = BlockLayout::parse(buf)?;
+        let mut wanted = vec![false; layout.schema.len()];
+        for name in names {
+            let i = layout.schema.index_of(name).ok_or_else(|| {
+                FeisuError::Corrupt(format!("requested column `{name}` not in block"))
+            })?;
+            wanted[i] = true;
+        }
+        let mut fields = Vec::new();
+        let mut columns = Vec::new();
+        for (i, want) in wanted.iter().enumerate() {
+            if *want {
+                fields.push(layout.schema.fields()[i].clone());
+                columns.push(layout.decode_chunk(buf, i)?);
+            }
+        }
+        Block::new_with_rows(layout.id, Schema::new(fields), columns, layout.rows)
+    }
+
+    /// Reads id, schema and row count without decoding any column chunk.
+    /// Cheap: only the (small) schema header is decompressed.
+    pub fn read_header(buf: &[u8]) -> Result<(BlockId, Schema, usize)> {
+        let layout = BlockLayout::parse(buf)?;
+        Ok((layout.id, layout.schema, layout.rows))
+    }
+}
+
+/// Parsed v2 envelope: schema header plus the chunk directory, no column
+/// data decoded yet.
+struct BlockLayout {
+    id: BlockId,
+    rows: usize,
+    schema: Schema,
+    chunks_start: usize,
+    /// Per column: (offset relative to `chunks_start`, chunk length).
+    directory: Vec<(usize, usize)>,
+}
+
+impl BlockLayout {
+    fn parse(buf: &[u8]) -> Result<BlockLayout> {
         if buf.len() < 9 || &buf[..8] != BLOCK_MAGIC {
             return Err(FeisuError::Corrupt("bad block magic".into()));
         }
@@ -151,39 +252,115 @@ impl Block {
         }
         let mut pos = 9usize;
         let id = BlockId(varint::decode(buf, &mut pos)?);
-        let body = compress::decompress(&buf[pos..])?;
-        let mut pos = 0usize;
-        let rows = varint::decode(&body, &mut pos)? as usize;
-        let nfields = varint::decode(&body, &mut pos)? as usize;
+        let header_len = varint::decode(buf, &mut pos)? as usize;
+        let header_end = pos
+            .checked_add(header_len)
+            .filter(|&end| end <= buf.len())
+            .ok_or_else(|| FeisuError::Corrupt("truncated block header".into()))?;
+        let header = compress::decompress(&buf[pos..header_end])?;
+        let chunks_start = header_end;
+
+        let mut hpos = 0usize;
+        let rows = varint::decode(&header, &mut hpos)? as usize;
+        let nfields = varint::decode(&header, &mut hpos)? as usize;
+        // Each field costs at least 3 header bytes; a count past that bound
+        // is corrupt and must not drive a huge allocation.
+        if nfields > header.len() {
+            return Err(FeisuError::Corrupt(format!(
+                "implausible field count {nfields}"
+            )));
+        }
         let mut fields = Vec::with_capacity(nfields);
         for _ in 0..nfields {
-            let name_len = varint::decode(&body, &mut pos)? as usize;
-            let end = pos + name_len;
-            if end > body.len() {
-                return Err(FeisuError::Corrupt("truncated field name".into()));
-            }
-            let name = std::str::from_utf8(&body[pos..end])
+            let name_len = varint::decode(&header, &mut hpos)? as usize;
+            let end = hpos
+                .checked_add(name_len)
+                .filter(|&end| end <= header.len())
+                .ok_or_else(|| FeisuError::Corrupt("truncated field name".into()))?;
+            let name = std::str::from_utf8(&header[hpos..end])
                 .map_err(|_| FeisuError::Corrupt("field name not utf8".into()))?
                 .to_string();
-            pos = end;
+            hpos = end;
             let dt = type_from_tag(
-                *body
-                    .get(pos)
+                *header
+                    .get(hpos)
                     .ok_or_else(|| FeisuError::Corrupt("missing type tag".into()))?,
             )?;
-            let nullable = *body
-                .get(pos + 1)
+            let nullable = *header
+                .get(hpos + 1)
                 .ok_or_else(|| FeisuError::Corrupt("missing nullable flag".into()))?
                 != 0;
-            pos += 2;
+            hpos += 2;
+            if fields.iter().any(|f: &Field| f.name == name) {
+                return Err(FeisuError::Corrupt(format!(
+                    "duplicate column name `{name}`"
+                )));
+            }
             fields.push(Field::new(name, dt, nullable));
         }
         let schema = Schema::new(fields);
-        let mut columns = Vec::with_capacity(nfields);
-        for f in schema.fields() {
-            columns.push(decode_column(f.data_type, rows, &body, &mut pos)?);
+
+        // The trailing 8 bytes locate the footer; everything between the
+        // chunks and the footer must stay inside the buffer.
+        if buf.len() < chunks_start + 8 {
+            return Err(FeisuError::Corrupt("truncated block footer".into()));
         }
-        Block::new(id, schema, columns)
+        let trailer_start = buf.len() - 8;
+        let footer_start = u64::from_le_bytes(buf[trailer_start..].try_into().unwrap()) as usize;
+        if footer_start < chunks_start || footer_start > trailer_start {
+            return Err(FeisuError::Corrupt(format!(
+                "footer offset {footer_start} out of range"
+            )));
+        }
+        let footer = &buf[..trailer_start];
+        let mut fpos = footer_start;
+        let ncols = varint::decode(footer, &mut fpos)? as usize;
+        if ncols != schema.len() {
+            return Err(FeisuError::Corrupt(format!(
+                "directory lists {ncols} columns, schema has {}",
+                schema.len()
+            )));
+        }
+        let chunk_region = footer_start - chunks_start;
+        let mut directory = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let offset = varint::decode(footer, &mut fpos)? as usize;
+            let len = varint::decode(footer, &mut fpos)? as usize;
+            if offset.checked_add(len).is_none_or(|end| end > chunk_region) {
+                return Err(FeisuError::Corrupt(format!(
+                    "column chunk at {offset}+{len} exceeds chunk region {chunk_region}"
+                )));
+            }
+            directory.push((offset, len));
+        }
+        Ok(BlockLayout {
+            id,
+            rows,
+            schema,
+            chunks_start,
+            directory,
+        })
+    }
+
+    /// Decompresses and decodes the chunk for column `i`.
+    fn decode_chunk(&self, buf: &[u8], i: usize) -> Result<Column> {
+        let (offset, len) = self.directory[i];
+        let start = self.chunks_start + offset;
+        let body = compress::decompress(&buf[start..start + len])?;
+        let mut pos = 0usize;
+        let column = decode_column(
+            self.schema.fields()[i].data_type,
+            self.rows,
+            &body,
+            &mut pos,
+        )?;
+        if pos != body.len() {
+            return Err(FeisuError::Corrupt(format!(
+                "column chunk has {} trailing bytes",
+                body.len() - pos
+            )));
+        }
+        Ok(column)
     }
 }
 
@@ -440,29 +617,222 @@ mod tests {
         }
     }
 
-    #[test]
-    fn huge_validity_word_count_rejected_not_panicking() {
-        // A block body whose first column claims u64::MAX validity words:
-        // the byte-size multiply must be checked, not wrap past the
-        // bounds check (or panic in debug builds).
-        let mut body = Vec::new();
-        varint::encode(4, &mut body); // rows
-        varint::encode(1, &mut body); // one field
-        varint::encode(1, &mut body); // name len
-        body.extend_from_slice(b"x");
-        body.push(type_tag(DataType::Int64));
-        body.push(1); // nullable
-        varint::encode(u64::MAX, &mut body); // validity word count
-        let compressed = compress::compress_adaptive(&body);
+    /// Assembles a v2 buffer from raw parts so corruption tests can craft
+    /// hostile inputs: `fields` are (name, tag, nullable) header entries,
+    /// `chunks` are pre-compressed column chunks, and `directory` overrides
+    /// the footer entries (pass the natural offsets to get a valid file).
+    fn assemble_v2(
+        rows: u64,
+        fields: &[(&str, u8, u8)],
+        chunks: &[Vec<u8>],
+        directory: &[(u64, u64)],
+    ) -> Vec<u8> {
+        let mut header = Vec::new();
+        varint::encode(rows, &mut header);
+        varint::encode(fields.len() as u64, &mut header);
+        for (name, tag, nullable) in fields {
+            varint::encode(name.len() as u64, &mut header);
+            header.extend_from_slice(name.as_bytes());
+            header.push(*tag);
+            header.push(*nullable);
+        }
+        let header = compress::compress_adaptive(&header);
         let mut buf = Vec::new();
         buf.extend_from_slice(BLOCK_MAGIC);
         buf.push(BLOCK_VERSION);
         varint::encode(42, &mut buf);
-        buf.extend_from_slice(&compressed);
+        varint::encode(header.len() as u64, &mut buf);
+        buf.extend_from_slice(&header);
+        for chunk in chunks {
+            buf.extend_from_slice(chunk);
+        }
+        let footer_start = buf.len() as u64;
+        varint::encode(directory.len() as u64, &mut buf);
+        for (offset, len) in directory {
+            varint::encode(*offset, &mut buf);
+            varint::encode(*len, &mut buf);
+        }
+        buf.extend_from_slice(&footer_start.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn huge_validity_word_count_rejected_not_panicking() {
+        // A column chunk claiming u64::MAX validity words: the byte-size
+        // multiply must be checked, not wrap past the bounds check (or
+        // panic in debug builds).
+        let mut body = Vec::new();
+        varint::encode(u64::MAX, &mut body); // validity word count
+        let chunk = compress::compress_adaptive(&body);
+        let len = chunk.len() as u64;
+        let buf = assemble_v2(
+            4,
+            &[("x", type_tag(DataType::Int64), 1)],
+            &[chunk],
+            &[(0, len)],
+        );
         assert!(matches!(
             Block::deserialize(&buf),
             Err(FeisuError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn old_version_rejected() {
+        let mut bytes = sample_block().serialize();
+        bytes[8] = 1; // v1: whole-body compression, no directory
+        assert!(matches!(
+            Block::deserialize(&bytes),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_footer_rejected_not_panicking() {
+        let bytes = sample_block().serialize();
+        // Shave the trailer pointer byte by byte; every prefix must fail
+        // cleanly, including ones that cut into the footer varints.
+        for cut in 1..=12 {
+            assert!(
+                matches!(
+                    Block::deserialize(&bytes[..bytes.len() - cut]),
+                    Err(FeisuError::Corrupt(_))
+                ),
+                "cut of {cut} trailing bytes must be Corrupt"
+            );
+        }
+    }
+
+    #[test]
+    fn footer_offset_out_of_range_rejected() {
+        let mut bytes = sample_block().serialize();
+        let n = bytes.len();
+        // Trailer pointing past the trailer itself.
+        bytes[n - 8..].copy_from_slice(&(n as u64).to_le_bytes());
+        assert!(matches!(
+            Block::deserialize(&bytes),
+            Err(FeisuError::Corrupt(_))
+        ));
+        // Trailer pointing before the first chunk (into the header).
+        bytes[n - 8..].copy_from_slice(&2u64.to_le_bytes());
+        assert!(matches!(
+            Block::deserialize(&bytes),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn chunk_offset_past_end_rejected_not_panicking() {
+        let mut body = Vec::new();
+        varint::encode(0, &mut body); // zero validity words
+        body.push(ENC_DELTA);
+        delta::encode(&[1, 2, 3, 4], &mut body);
+        let chunk = compress::compress_adaptive(&body);
+        let len = chunk.len() as u64;
+        let fields = [("x", type_tag(DataType::Int64), 0)];
+        // Offset pointing past the chunk region.
+        let buf = assemble_v2(4, &fields, &[chunk.clone()], &[(len + 1000, len)]);
+        assert!(matches!(
+            Block::deserialize(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+        // Length running past the chunk region; offset+len may also wrap.
+        let buf = assemble_v2(4, &fields, &[chunk.clone()], &[(0, u64::MAX)]);
+        assert!(matches!(
+            Block::deserialize(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+        let buf = assemble_v2(4, &fields, &[chunk], &[(u64::MAX, u64::MAX)]);
+        assert!(matches!(
+            Block::deserialize(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn directory_count_mismatch_rejected() {
+        let mut body = Vec::new();
+        varint::encode(0, &mut body);
+        body.push(ENC_DELTA);
+        delta::encode(&[7, 7, 7, 7], &mut body);
+        let chunk = compress::compress_adaptive(&body);
+        let len = chunk.len() as u64;
+        // One schema field, two directory entries.
+        let buf = assemble_v2(
+            4,
+            &[("x", type_tag(DataType::Int64), 0)],
+            &[chunk],
+            &[(0, len), (0, len)],
+        );
+        assert!(matches!(
+            Block::deserialize(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_column_name_rejected() {
+        let mut body = Vec::new();
+        varint::encode(0, &mut body);
+        body.push(ENC_DELTA);
+        delta::encode(&[1, 2, 3, 4], &mut body);
+        let chunk = compress::compress_adaptive(&body);
+        let len = chunk.len() as u64;
+        let buf = assemble_v2(
+            4,
+            &[
+                ("x", type_tag(DataType::Int64), 0),
+                ("x", type_tag(DataType::Int64), 0),
+            ],
+            &[chunk.clone(), chunk],
+            &[(0, len), (0, len)],
+        );
+        assert!(matches!(
+            Block::deserialize(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_requested_column_rejected() {
+        let bytes = sample_block().serialize();
+        assert!(matches!(
+            Block::deserialize_columns(&bytes, &["nope"]),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn deserialize_columns_subset() {
+        let b = sample_block();
+        let bytes = b.serialize();
+        // Out-of-order, duplicated request: decoded once, in stored order.
+        let sub = Block::deserialize_columns(&bytes, &["ctr", "url", "ctr"]).unwrap();
+        assert_eq!(sub.id(), b.id());
+        assert_eq!(sub.rows(), b.rows());
+        assert_eq!(sub.schema().len(), 2);
+        assert_eq!(sub.schema().fields()[0].name, "url");
+        assert_eq!(sub.schema().fields()[1].name, "ctr");
+        assert_eq!(sub.column_by_name("url"), b.column_by_name("url"));
+        assert_eq!(sub.column_by_name("ctr"), b.column_by_name("ctr"));
+    }
+
+    #[test]
+    fn deserialize_columns_empty_keeps_row_count() {
+        let bytes = sample_block().serialize();
+        let sub = Block::deserialize_columns(&bytes, &[]).unwrap();
+        assert_eq!(sub.rows(), 100);
+        assert_eq!(sub.schema().len(), 0);
+    }
+
+    #[test]
+    fn read_header_matches_full_decode() {
+        let b = sample_block();
+        let bytes = b.serialize();
+        let (id, schema, rows) = Block::read_header(&bytes).unwrap();
+        assert_eq!(id, b.id());
+        assert_eq!(&schema, b.schema());
+        assert_eq!(rows, b.rows());
     }
 
     #[test]

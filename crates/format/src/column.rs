@@ -321,6 +321,64 @@ impl Column {
         Column { data, validity }
     }
 
+    /// Gathers the rows whose bit is set in `words` — a selection bitmap in
+    /// word layout (bit `i % 64` of `words[i / 64]` selects row `i`). The
+    /// word-at-a-time walk skips empty words and avoids materializing an
+    /// index vector the way [`Column::take`] requires; set bits at or past
+    /// the column length are ignored.
+    pub fn filter_by_words(&self, words: &[u64]) -> Column {
+        let n = self.len();
+        let mut count = 0usize;
+        for (wi, &w) in words.iter().enumerate() {
+            let base = wi * 64;
+            if base >= n {
+                break;
+            }
+            let m = if n - base < 64 {
+                w & ((1u64 << (n - base)) - 1)
+            } else {
+                w
+            };
+            count += m.count_ones() as usize;
+        }
+        let mut validity = Validity::with_capacity(count);
+        let data = match &self.data {
+            ColumnData::Bool(v) => {
+                let mut out = Vec::with_capacity(count);
+                for_each_set(words, n, |i| {
+                    out.push(v[i]);
+                    validity.push(self.validity.is_valid(i));
+                });
+                ColumnData::Bool(out)
+            }
+            ColumnData::Int64(v) => {
+                let mut out = Vec::with_capacity(count);
+                for_each_set(words, n, |i| {
+                    out.push(v[i]);
+                    validity.push(self.validity.is_valid(i));
+                });
+                ColumnData::Int64(out)
+            }
+            ColumnData::Float64(v) => {
+                let mut out = Vec::with_capacity(count);
+                for_each_set(words, n, |i| {
+                    out.push(v[i]);
+                    validity.push(self.validity.is_valid(i));
+                });
+                ColumnData::Float64(out)
+            }
+            ColumnData::Utf8(v) => {
+                let mut out = Vec::with_capacity(count);
+                for_each_set(words, n, |i| {
+                    out.push(v[i].clone());
+                    validity.push(self.validity.is_valid(i));
+                });
+                ColumnData::Utf8(out)
+            }
+        };
+        Column { data, validity }
+    }
+
     /// Appends another column of the same type.
     pub fn append(&mut self, other: &Column) {
         assert_eq!(self.data_type(), other.data_type(), "append type mismatch");
@@ -373,6 +431,26 @@ impl Column {
             }
         }
         min.zip(max)
+    }
+}
+
+/// Calls `f` for every set bit below `n`, word at a time.
+#[inline]
+fn for_each_set(words: &[u64], n: usize, mut f: impl FnMut(usize)) {
+    for (wi, &w) in words.iter().enumerate() {
+        let base = wi * 64;
+        if base >= n {
+            break;
+        }
+        let mut m = if n - base < 64 {
+            w & ((1u64 << (n - base)) - 1)
+        } else {
+            w
+        };
+        while m != 0 {
+            f(base + m.trailing_zeros() as usize);
+            m &= m - 1;
+        }
     }
 }
 
@@ -503,6 +581,33 @@ mod tests {
         assert_eq!(t.value(0), Value::Utf8("c".into()));
         assert_eq!(t.value(1), Value::Utf8("a".into()));
         assert_eq!(t.value(2), Value::Null);
+    }
+
+    #[test]
+    fn filter_by_words_matches_take() {
+        let vals: Vec<Value> = (0..150)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Utf8(format!("row{i}"))
+                }
+            })
+            .collect();
+        let c = Column::from_values(DataType::Utf8, &vals).unwrap();
+        // Select every third row via a word bitmap and via take().
+        let mut words = vec![0u64; 150usize.div_ceil(64)];
+        let mut indices = Vec::new();
+        for i in (0..150).step_by(3) {
+            words[i / 64] |= 1u64 << (i % 64);
+            indices.push(i);
+        }
+        assert_eq!(c.filter_by_words(&words), c.take(&indices));
+        // Set bits past the column length are ignored.
+        words[2] |= 1u64 << 63;
+        assert_eq!(c.filter_by_words(&words), c.take(&indices));
+        // Empty selection.
+        assert_eq!(c.filter_by_words(&[0, 0, 0]).len(), 0);
     }
 
     #[test]

@@ -168,6 +168,52 @@ impl BitVec {
         v
     }
 
+    /// `self &= other`, in place — no allocation per combine, unlike
+    /// [`BitVec::and`].
+    pub fn and_assign(&mut self, other: &BitVec) -> Result<()> {
+        self.check_len(other)?;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        Ok(())
+    }
+
+    /// `self |= other`, in place.
+    pub fn or_assign(&mut self, other: &BitVec) -> Result<()> {
+        self.check_len(other)?;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        Ok(())
+    }
+
+    /// `self &= !other`, in place.
+    pub fn and_not_assign(&mut self, other: &BitVec) -> Result<()> {
+        self.check_len(other)?;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        Ok(())
+    }
+
+    /// `self = !self`, in place (tail bits stay zero).
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Overwrites the 64-bit word at word index `wi`, keeping the tail
+    /// invariant. Lets typed kernels emit 64 selection bits per store.
+    #[inline]
+    pub fn store_word(&mut self, wi: usize, word: u64) {
+        self.words[wi] = word;
+        if wi + 1 == self.words.len() && !self.len.is_multiple_of(64) {
+            self.words[wi] &= (1u64 << (self.len % 64)) - 1;
+        }
+    }
+
     /// In-memory footprint in bytes.
     pub fn footprint(&self) -> usize {
         self.words.len() * 8 + std::mem::size_of::<BitVec>()
@@ -338,6 +384,40 @@ mod tests {
         let b = BitVec::zeros(6);
         assert!(a.and(&b).is_err());
         assert!(a.or(&b).is_err());
+        let mut c = BitVec::zeros(5);
+        assert!(c.and_assign(&b).is_err());
+        assert!(c.or_assign(&b).is_err());
+        assert!(c.and_not_assign(&b).is_err());
+    }
+
+    #[test]
+    fn assign_ops_match_allocating_ops() {
+        let a = BitVec::from_bools((0..200).map(|i| i % 3 == 0));
+        let b = BitVec::from_bools((0..200).map(|i| i % 5 == 0));
+        let mut x = a.clone();
+        x.and_assign(&b).unwrap();
+        assert_eq!(x, a.and(&b).unwrap());
+        let mut x = a.clone();
+        x.or_assign(&b).unwrap();
+        assert_eq!(x, a.or(&b).unwrap());
+        let mut x = a.clone();
+        x.and_not_assign(&b).unwrap();
+        assert_eq!(x, a.and_not(&b).unwrap());
+        let mut x = a.clone();
+        x.not_assign();
+        assert_eq!(x, a.not());
+    }
+
+    #[test]
+    fn store_word_masks_tail() {
+        let mut v = BitVec::zeros(70);
+        v.store_word(0, u64::MAX);
+        assert_eq!(v.count_ones(), 64);
+        v.store_word(1, u64::MAX);
+        // Only 6 bits of the last word are inside the vector.
+        assert_eq!(v.count_ones(), 70);
+        assert_eq!(v, BitVec::ones(70));
+        assert_eq!(v.not().count_ones(), 0);
     }
 
     #[test]

@@ -156,7 +156,24 @@ impl IndexManager {
         predicate: &SimplePredicate,
         now: SimInstant,
     ) -> Option<SmartIndex> {
-        let key = (block, predicate.key());
+        self.get_by_key((block, predicate.key()), now)
+    }
+
+    /// Looks up the index for the *complementary* predicate (`c > 5` is
+    /// served by an index for `c <= 5` through bit-NOT). Same hit/miss and
+    /// LRU accounting as [`IndexManager::get`]; `None` without any stats
+    /// movement when the operator has no complement. The key is built from
+    /// borrowed parts — no scratch `SimplePredicate` is allocated.
+    pub fn get_negated(
+        &self,
+        block: BlockId,
+        predicate: &SimplePredicate,
+        now: SimInstant,
+    ) -> Option<SmartIndex> {
+        self.get_by_key((block, predicate.negated_key()?), now)
+    }
+
+    fn get_by_key(&self, key: IndexKey, now: SimInstant) -> Option<SmartIndex> {
         let mut d = MetricDelta::default();
         let mut state = self.state.lock();
         let expired = match state.entries.get(&key) {
@@ -199,6 +216,32 @@ impl IndexManager {
             .entries
             .get(&(block, predicate.key()))
             .map(|e| e.index.clone())
+    }
+
+    /// Like [`IndexManager::peek`] for the complementary predicate, keyed
+    /// without cloning the predicate's column or value.
+    pub fn peek_negated(&self, block: BlockId, predicate: &SimplePredicate) -> Option<SmartIndex> {
+        let key = (block, predicate.negated_key()?);
+        self.state.lock().entries.get(&key).map(|e| e.index.clone())
+    }
+
+    /// True when a [`IndexManager::get`] or [`IndexManager::get_negated`]
+    /// at `now` would hit: a live (pinned or unexpired) entry exists for
+    /// the predicate or its complement. No statistics or LRU movement, no
+    /// clones — this is the planning probe behind selective decode and the
+    /// count-only cache path.
+    pub fn servable(&self, block: BlockId, predicate: &SimplePredicate, now: SimInstant) -> bool {
+        let state = self.state.lock();
+        let live = |key: &IndexKey| {
+            state
+                .entries
+                .get(key)
+                .is_some_and(|e| e.pinned || now.since(e.index.created_at) <= self.ttl)
+        };
+        if live(&(block, predicate.key())) {
+            return true;
+        }
+        predicate.negated_key().is_some_and(|nk| live(&(block, nk)))
     }
 
     /// Inserts a freshly built index, evicting LRU entries as needed. An

@@ -91,15 +91,8 @@ pub fn probe_predicate(
     }
     // 2. Negated hit: an index for the complementary operator answers us
     //    through bit-NOT (nulls handled inside `negated_bits`).
-    if let Some(neg_op) = predicate.op.negate() {
-        let negated = SimplePredicate {
-            column: predicate.column.clone(),
-            op: neg_op,
-            value: predicate.value.clone(),
-        };
-        if let Some(idx) = manager.get(block.id(), &negated, now) {
-            return Ok((idx.negated_bits(), ProbeKind::NegatedHit));
-        }
+    if let Some(idx) = manager.get_negated(block.id(), predicate, now) {
+        return Ok((idx.negated_bits(), ProbeKind::NegatedHit));
     }
     // 3. Miss: evaluate and cache (rejection is surfaced so leaf stats
     //    can tell "built and rejected" apart from "built and cached").
@@ -142,10 +135,10 @@ pub fn evaluate_cnf(
                 unreachable!()
             };
             let (pbits, kind) = probe_predicate(cache, block, p, now)?;
-            clause_bits = clause_bits.or(&pbits)?;
+            clause_bits.or_assign(&pbits)?;
             probes.push((p.clone(), kind));
         }
-        bits = bits.and(&clause_bits)?;
+        bits.and_assign(&clause_bits)?;
     }
     Ok(CnfOutcome {
         bits,

@@ -35,6 +35,15 @@ impl SimplePredicate {
         format!("{}\u{1}{}\u{1}{}", self.column, self.op, self.value)
     }
 
+    /// The cache key of the complementary predicate (`c > 5` → key of
+    /// `c <= 5`), or `None` when the operator has no complement. Built
+    /// directly from borrowed parts so index probes need not clone the
+    /// column name and literal into a scratch `SimplePredicate`.
+    pub fn negated_key(&self) -> Option<String> {
+        let neg = self.op.negate()?;
+        Some(format!("{}\u{1}{}\u{1}{}", self.column, neg, self.value))
+    }
+
     pub fn to_expr(&self) -> Expr {
         Expr::binary(
             self.op,

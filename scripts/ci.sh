@@ -37,4 +37,30 @@ FEISU_EXECUTION_THREADS=8 cargo test -q $OFFLINE -p feisu-tests
 echo "ci: clippy (-D warnings)"
 cargo clippy --workspace $OFFLINE -- -D warnings
 
+# Late-materialization bench must run end to end and leave a well-formed
+# results file (tiny config; the committed numbers come from a full run).
+echo "ci: leaf-scan bench (smoke)"
+cargo run --release $OFFLINE -p feisu-bench --bin bench_leaf_scan -- --smoke
+if [ ! -s results/BENCH_leaf_scan.json ]; then
+  echo "ci: results/BENCH_leaf_scan.json missing or empty" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("results/BENCH_leaf_scan.json") as f:
+    data = json.load(f)
+configs = data["configs"]
+assert configs, "no bench configs recorded"
+for c in configs:
+    for k in ("name", "selectivity_pct", "touched", "baseline_ms", "optimized_ms", "speedup"):
+        assert k in c, f"config missing {k}: {c}"
+print(f"ci: bench json ok ({len(configs)} configs)")
+EOF
+else
+  grep -q '"bench": "leaf_scan"' results/BENCH_leaf_scan.json
+  grep -q '"speedup"' results/BENCH_leaf_scan.json
+  echo "ci: bench json ok (grep check)"
+fi
+
 echo "ci: all green"

@@ -106,6 +106,56 @@ proptest! {
         let back = Block::deserialize(&block.serialize()).unwrap();
         prop_assert_eq!(back, block);
     }
+
+    /// Late materialization correctness: decoding any subset of columns
+    /// through the offset directory is exactly full-decode-then-project.
+    #[test]
+    fn block_subset_decode_equals_full_then_project(
+        rows in 0usize..200,
+        ints in any::<u64>(),
+        mask in 0u8..16,
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64, true),
+            Field::new("b", DataType::Utf8, false),
+            Field::new("c", DataType::Float64, false),
+            Field::new("d", DataType::Bool, false),
+        ]);
+        let mut rng = feisu_common::rng::DetRng::new(ints);
+        let a = Column::from_values(
+            DataType::Int64,
+            &(0..rows)
+                .map(|_| if rng.chance(0.1) { Value::Null } else { Value::Int64(rng.range_i64(-50, 50)) })
+                .collect::<Vec<_>>(),
+        ).unwrap();
+        let b = Column::from_utf8((0..rows).map(|_| format!("s{}", rng.next_below(10))).collect());
+        let c = Column::from_f64((0..rows).map(|_| rng.next_f64()).collect());
+        let d = Column::from_bool((0..rows).map(|_| rng.chance(0.5)).collect());
+        let block = Block::new(BlockId(1), schema, vec![a, b, c, d]).unwrap();
+        let bytes = block.serialize();
+
+        let names: Vec<&str> = block
+            .schema()
+            .fields()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, f)| f.name.as_str())
+            .collect();
+        let subset = Block::deserialize_columns(&bytes, &names).unwrap();
+        prop_assert_eq!(subset.rows(), block.rows());
+        prop_assert_eq!(subset.id(), block.id());
+        prop_assert_eq!(subset.schema().len(), names.len());
+
+        let full = Block::deserialize(&bytes).unwrap();
+        for name in names {
+            prop_assert_eq!(
+                subset.column_by_name(name).unwrap(),
+                full.column_by_name(name).unwrap(),
+                "column {} differs from full decode", name
+            );
+        }
+    }
 }
 
 // -------------------------------------------------------------- bitvec
