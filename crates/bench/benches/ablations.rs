@@ -46,7 +46,7 @@ fn bench_ablations(c: &mut Criterion) {
         spec.rows_per_block = 1024;
         // Criterion iterates far past the production daily quota.
         spec.guard.daily_quota = u32::MAX;
-        let mut cluster = feisu_core::engine::FeisuCluster::new(spec).unwrap();
+        let cluster = feisu_core::engine::FeisuCluster::new(spec).unwrap();
         let u = cluster.register_user("bench");
         cluster.grant_all(u);
         let cred = cluster.login(u).unwrap();

@@ -24,7 +24,7 @@ fn main() -> feisu_common::Result<()> {
         spec.task_reuse = false;
         spec.use_smartindex = false;
         spec.config.backup_task_delay = delay;
-        let mut bench = build_cluster(spec)?;
+        let bench = build_cluster(spec)?;
         let mut t1 = DatasetSpec::t1(8192);
         t1.fields = 40;
         load_dataset(&bench, &t1, "/hdfs/bench/t1")?;

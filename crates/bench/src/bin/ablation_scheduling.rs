@@ -27,7 +27,7 @@ fn main() -> feisu_common::Result<()> {
         spec.scheduling = policy;
         spec.task_reuse = false;
         spec.use_smartindex = false;
-        let mut bench = build_cluster(spec)?;
+        let bench = build_cluster(spec)?;
         let mut t1 = DatasetSpec::t1(524_288);
         t1.fields = 40;
         load_dataset(&bench, &t1, "/hdfs/bench/t1")?;

@@ -19,7 +19,7 @@ fn main() -> feisu_common::Result<()> {
         spec.rows_per_block = 1024;
         spec.task_reuse = reuse;
         spec.use_smartindex = false; // isolate the job-manager effect
-        let mut bench = build_cluster(spec)?;
+        let bench = build_cluster(spec)?;
         let mut t1 = DatasetSpec::t1(8192);
         t1.fields = 60;
         load_dataset(&bench, &t1, "/hdfs/bench/t1")?;

@@ -1,0 +1,164 @@
+//! Wall-clock concurrency benchmark: N client threads over one shared
+//! cluster.
+//!
+//! The shared-engine refactor made the whole master→stem→leaf tree
+//! `&self`, so many clients can admit and execute queries at once. This
+//! binary measures what that buys: a fixed production-mix workload is
+//! split round-robin over 1/2/4/8 client threads, each with its own
+//! registered user and [`QuerySession`], and we report wall-clock
+//! queries/sec per client count. `execution_threads` is pinned to 1 so
+//! client threads — not the leaf pool — are the only parallelism axis;
+//! any speedup comes from queries genuinely overlapping inside the
+//! shared engine.
+//!
+//! Leaf service time is emulated in real time (`leaf_wait_dilation`):
+//! each leaf task blocks its client thread for its *simulated* duration,
+//! the way a real leaf RPC occupies a remote device. Those waits carry
+//! the measurement — under the old one-query-at-a-time engine they
+//! could not overlap (throughput would be flat in client count), while
+//! the shared `&self` engine lets every client's leaf waits proceed
+//! concurrently. This keeps the benchmark meaningful on any core count,
+//! including single-core CI runners where CPU-bound work alone cannot
+//! speed up.
+//!
+//! Each client count gets a fresh cluster (cold caches every time) so
+//! the configurations are comparable. Results land in
+//! `results/BENCH_concurrency.json`.
+//!
+//! `--smoke` (or `FEISU_BENCH_SMOKE=1`) shrinks rows/queries for CI.
+
+use feisu_bench::{build_cluster, load_dataset, Bench, ScanWorkload};
+use feisu_core::engine::ClusterSpec;
+use feisu_core::master::QuerySession;
+use feisu_workload::datasets::DatasetSpec;
+use std::sync::Barrier;
+use std::time::Instant;
+
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Builds the fresh shared cluster one configuration runs against.
+fn fresh_cluster(rows: usize) -> feisu_common::Result<Bench> {
+    let mut spec = ClusterSpec::small();
+    spec.rows_per_block = 1024;
+    // Client threads are the parallelism axis under test: give each
+    // query a serial leaf pool so overlap between *queries* is the only
+    // source of wall-clock speedup.
+    spec.config.execution_threads = 1;
+    // Emulate leaf RPC service time in real time so query overlap is
+    // what the wall clock measures (see module docs).
+    spec.config.leaf_wait_dilation = 1.0;
+    let bench = build_cluster(spec)?;
+    let mut t1 = DatasetSpec::t1(rows);
+    t1.fields = 128; // workload predicates reach up to c59
+    load_dataset(&bench, &t1, "/hdfs/bench/t1")?;
+    Ok(bench)
+}
+
+/// Runs the workload split round-robin over `clients` sessions and
+/// returns the wall-clock milliseconds from the start barrier to the
+/// last client finishing.
+fn run_clients(bench: &Bench, queries: &[String], clients: usize) -> f64 {
+    // Sessions (and their users) are opened serially before any thread
+    // spawns, so session ids — and therefore query ids — are
+    // deterministic regardless of thread scheduling.
+    let sessions: Vec<QuerySession<'_>> = (0..clients)
+        .map(|i| {
+            let user = bench.cluster.register_user(&format!("client{i}"));
+            bench.cluster.grant_all(user);
+            let cred = bench.cluster.login(user).expect("client login");
+            bench.cluster.session(cred)
+        })
+        .collect();
+
+    let barrier = Barrier::new(clients + 1);
+    let mut start = Instant::now();
+    std::thread::scope(|s| {
+        for (i, session) in sessions.iter().enumerate() {
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for sql in queries.iter().skip(i).step_by(clients) {
+                    session.query(sql).expect("bench query failed");
+                }
+            });
+        }
+        barrier.wait();
+        start = Instant::now();
+        // Scope exit joins every client; elapsed then covers the
+        // slowest one.
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        bench.cluster.guard().inflight(),
+        0,
+        "all admission permits must be released after the run"
+    );
+    wall_ms
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() -> feisu_common::Result<()> {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("FEISU_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (rows, query_count) = if smoke { (4096, 48) } else { (32768, 480) };
+
+    // One fixed statement list shared by every client count. Low skew
+    // over a large predicate population keeps task-reuse hits rare, so
+    // each query performs real scan work instead of a cache lookup.
+    let mut workload = ScanWorkload::new("t1", 40, 0.2, 0xC0C0).with_population(4000);
+    let queries: Vec<String> = (0..query_count).map(|_| workload.next_query()).collect();
+
+    let mut entries = Vec::new();
+    let mut table = Vec::new();
+    let mut baseline_qps = 0.0;
+    for &clients in &CLIENT_COUNTS {
+        let bench = fresh_cluster(rows)?;
+        let wall_ms = run_clients(&bench, &queries, clients);
+        let qps = query_count as f64 / (wall_ms / 1e3);
+        if clients == 1 {
+            baseline_qps = qps;
+        }
+        let speedup = qps / baseline_qps;
+        entries.push(format!(
+            concat!(
+                "    {{\"clients\": {}, \"queries\": {}, \"wall_ms\": {}, ",
+                "\"qps\": {}, \"speedup\": {}}}"
+            ),
+            clients,
+            query_count,
+            json_f(wall_ms),
+            json_f(qps),
+            json_f(speedup),
+        ));
+        table.push(vec![
+            clients.to_string(),
+            format!("{wall_ms:.1}"),
+            format!("{qps:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+
+    feisu_bench::print_series(
+        "shared-engine concurrency: wall-clock throughput by client count",
+        &["clients", "wall ms", "qps", "speedup"],
+        &table,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"concurrency\",\n  \"rows\": {rows},\n  \
+         \"queries\": {query_count},\n  \"execution_threads\": 1,\n  \
+         \"smoke\": {smoke},\n  \"clients\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_concurrency.json", json).expect("write bench json");
+    println!("\nresults -> results/BENCH_concurrency.json");
+    Ok(())
+}

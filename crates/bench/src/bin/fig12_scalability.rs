@@ -20,7 +20,7 @@ fn main() -> feisu_common::Result<()> {
         spec.rows_per_block = 512;
         spec.task_reuse = false;
         spec.use_smartindex = false; // isolate pure scale-out
-        let mut bench = build_cluster(spec)?;
+        let bench = build_cluster(spec)?;
         let mut t1 = DatasetSpec::t1(32_768);
         t1.fields = 40;
         load_dataset(&bench, &t1, "/hdfs/bench/t1")?;
@@ -56,7 +56,7 @@ fn main() -> feisu_common::Result<()> {
         spec.task_reuse = false;
         spec.use_smartindex = false;
         spec.config.execution_threads = threads;
-        let mut bench = build_cluster(spec)?;
+        let bench = build_cluster(spec)?;
         let mut t1 = DatasetSpec::t1(32_768);
         t1.fields = 40;
         load_dataset(&bench, &t1, "/hdfs/bench/t1")?;

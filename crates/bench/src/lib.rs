@@ -23,7 +23,7 @@ pub struct Bench {
 
 /// Builds a cluster for benchmarking.
 pub fn build_cluster(spec: ClusterSpec) -> Result<Bench> {
-    let mut cluster = FeisuCluster::new(spec)?;
+    let cluster = FeisuCluster::new(spec)?;
     let user = cluster.register_user("bench");
     cluster.grant_all(user);
     let cred = cluster.login(user)?;

@@ -81,13 +81,16 @@ impl HeartbeatTable {
         }
     }
 
-    /// Records a heartbeat with fresh load statistics.
+    /// Records a heartbeat with fresh load statistics. `last_seen` is
+    /// monotonic: concurrent queries beat with their own admission
+    /// instants, and a straggling beat from an earlier instant must not
+    /// roll a node's liveness backwards.
     pub fn beat(&mut self, node: NodeId, now: SimInstant, load: LoadStats) {
         let rec = self.records.entry(node).or_insert(BeatRecord {
             last_seen: now,
             load,
         });
-        rec.last_seen = now;
+        rec.last_seen = rec.last_seen.max(now);
         rec.load = load;
         if let Some(m) = &self.metrics {
             m.beats.inc();

@@ -48,6 +48,15 @@ pub struct FeisuConfig {
     /// bit-identical at every setting — this knob only changes how fast
     /// the simulation itself runs.
     pub execution_threads: usize,
+    /// Real-time leaf service emulation for wall-clock concurrency
+    /// benchmarks: each leaf task additionally *blocks* its calling
+    /// thread for `simulated task time × this factor` of wall clock,
+    /// emulating the RPC to a remote leaf whose device occupies that
+    /// long. `0.0` (the default) disables it entirely. The wait happens
+    /// with no engine lock held, so it changes nothing about simulated
+    /// results — it only makes query overlap (or the lack of it)
+    /// observable on a wall clock.
+    pub leaf_wait_dilation: f64,
 }
 
 impl Default for FeisuConfig {
@@ -67,6 +76,7 @@ impl Default for FeisuConfig {
             leaves_per_stem: 64,
             result_spill_threshold: ByteSize::mib(64),
             execution_threads: 0,
+            leaf_wait_dilation: 0.0,
         }
     }
 }
@@ -92,6 +102,9 @@ impl FeisuConfig {
         }
         if self.heartbeat_miss_limit == 0 {
             return Err("heartbeat_miss_limit must be >= 1".into());
+        }
+        if !self.leaf_wait_dilation.is_finite() || self.leaf_wait_dilation < 0.0 {
+            return Err("leaf_wait_dilation must be finite and >= 0".into());
         }
         Ok(())
     }

@@ -39,7 +39,7 @@ use feisu_storage::kv::KvDomain;
 use feisu_storage::localfs::LocalFsDomain;
 use feisu_storage::ssd_cache::{CachePreference, SsdCache};
 use feisu_storage::{StorageDomain, StorageRouter};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
 /// Deployment parameters.
@@ -182,8 +182,10 @@ impl QueryStats {
     }
 }
 
-/// A finished query.
-#[derive(Debug)]
+/// A finished query. `PartialEq` compares every field — id, rows,
+/// simulated times, stats and the full profile tree — which is how the
+/// concurrency suite asserts serial and N-thread runs are bit-identical.
+#[derive(Debug, PartialEq)]
 pub struct QueryResult {
     pub query_id: QueryId,
     pub batch: RecordBatch,
@@ -198,6 +200,26 @@ pub struct QueryResult {
 }
 
 /// The assembled Feisu deployment.
+///
+/// The whole public surface is `&self`: a `FeisuCluster` is shared by
+/// reference across client threads and admits/executes many queries at
+/// once. Every piece of mutable state sits behind its own fine-grained
+/// lock (see the lock map in DESIGN.md §12); there is no engine-wide
+/// mutex, so leaf work from different queries genuinely overlaps.
+///
+/// Lock-order contract (acquire strictly in this order, release before
+/// taking anything later in the list; **no lock is ever held across a
+/// leaf-task execution**):
+///
+/// 1. `guard` user table (admission, entry/exit only)
+/// 2. `history` entries (record, entry only)
+/// 3. `jobs` job table / reuse cache (short map ops)
+/// 4. `catalog` tables (`RwLock`, read-mostly)
+/// 5. `heartbeats` (scheduling snapshot)
+/// 6. `failed_nodes` / `slow_nodes` (`RwLock`, read-mostly)
+/// 7. `resources` (per-task slot acquire/release — released before
+///    `LeafServer::execute` runs)
+/// 8. leaf-internal locks (`IndexManager`, SSD cache LRU)
 pub struct FeisuCluster {
     pub(crate) spec: ClusterSpec,
     pub(crate) clock: SimClock,
@@ -211,14 +233,16 @@ pub struct FeisuCluster {
     pub(crate) guard: EntryGuard,
     pub(crate) jobs: JobManager,
     pub(crate) history: QueryHistory,
-    pub(crate) failed_nodes: FxHashSet<NodeId>,
-    pub(crate) slow_nodes: FxHashMap<NodeId, f64>,
+    pub(crate) failed_nodes: RwLock<FxHashSet<NodeId>>,
+    pub(crate) slow_nodes: RwLock<FxHashMap<NodeId, f64>>,
     /// Per-node resource consumption agreements (§V-A): business-critical
-    /// load shrinks the slots Feisu may use.
+    /// load shrinks the slots Feisu may use. Shared across *all* in-flight
+    /// queries, so agreements hold under concurrent load.
     pub(crate) resources: Mutex<FxHashMap<NodeId, feisu_cluster::resources::ResourceAgreement>>,
-    pub(crate) user_names: FxHashMap<String, UserId>,
+    pub(crate) user_names: Mutex<FxHashMap<String, UserId>>,
     pub(crate) user_ids: IdGen,
     pub(crate) query_ids: IdGen,
+    pub(crate) session_ids: IdGen,
     pub(crate) system_cred: Credential,
     pub(crate) metrics: Arc<MetricsRegistry>,
     pub(crate) qmetrics: QueryMetrics,
@@ -324,12 +348,15 @@ impl FeisuCluster {
         }
         let scheduler = Scheduler::new(spec.scheduling);
         let guard = EntryGuard::new(spec.guard.clone());
+        guard.attach_metrics(&metrics);
         let jobs = JobManager::new(
             SimDuration::minutes(10),
             if spec.task_reuse { 4096 } else { 0 },
         );
         let user_ids = IdGen::new();
         user_ids.next_u64(); // reserve 0 for the system user
+        let session_ids = IdGen::new();
+        session_ids.next_u64(); // session ids start at 1 (0 = no session)
         let qmetrics = QueryMetrics::new(&metrics);
         Ok(FeisuCluster {
             spec,
@@ -344,12 +371,13 @@ impl FeisuCluster {
             guard,
             jobs,
             history: QueryHistory::new(),
-            failed_nodes: FxHashSet::default(),
-            slow_nodes: FxHashMap::default(),
+            failed_nodes: RwLock::new(FxHashSet::default()),
+            slow_nodes: RwLock::new(FxHashMap::default()),
             resources: Mutex::new(resources),
-            user_names: FxHashMap::default(),
+            user_names: Mutex::new(FxHashMap::default()),
             user_ids,
             query_ids: IdGen::new(),
+            session_ids,
             system_cred,
             metrics,
             qmetrics,
@@ -375,13 +403,14 @@ impl FeisuCluster {
         self.topology.len()
     }
 
-    pub fn register_user(&mut self, name: &str) -> UserId {
-        if let Some(&id) = self.user_names.get(name) {
+    pub fn register_user(&self, name: &str) -> UserId {
+        let mut names = self.user_names.lock();
+        if let Some(&id) = names.get(name) {
             return id;
         }
         let id = UserId(self.user_ids.next_u64());
         self.auth.register(id);
-        self.user_names.insert(name.to_string(), id);
+        names.insert(name.to_string(), id);
         id
     }
 
@@ -434,25 +463,32 @@ impl FeisuCluster {
         &self.jobs
     }
 
+    /// The admission guard (inflight/quota introspection).
+    pub fn guard(&self) -> &EntryGuard {
+        &self.guard
+    }
+
     /// Kills a node: heartbeats stop, its replicas become unavailable.
-    pub fn fail_node(&mut self, node: NodeId) {
-        self.failed_nodes.insert(node);
+    /// Safe to call while queries run on other threads — in-flight tasks
+    /// on the node fail retryably and reroute as backup tasks.
+    pub fn fail_node(&self, node: NodeId) {
+        self.failed_nodes.write().insert(node);
         for d in self.router.domains() {
             d.set_node_available(node, false);
         }
     }
 
     /// Brings a node back.
-    pub fn recover_node(&mut self, node: NodeId) {
-        self.failed_nodes.remove(&node);
+    pub fn recover_node(&self, node: NodeId) {
+        self.failed_nodes.write().remove(&node);
         for d in self.router.domains() {
             d.set_node_available(node, true);
         }
     }
 
     /// Marks a node as a straggler: its task times are multiplied.
-    pub fn slow_node(&mut self, node: NodeId, factor: f64) {
-        self.slow_nodes.insert(node, factor.max(1.0));
+    pub fn slow_node(&self, node: NodeId, factor: f64) {
+        self.slow_nodes.write().insert(node, factor.max(1.0));
     }
 
     /// Reports business-critical load on a node (§V-A resource
@@ -608,31 +644,50 @@ impl FeisuCluster {
         Ok(ids.len())
     }
 
-    /// Runs one SQL query with default options.
-    pub fn query(&mut self, sql: &str, cred: &Credential) -> Result<QueryResult> {
+    /// Runs one SQL query with default options. `&self`: any number of
+    /// client threads may query one shared cluster concurrently.
+    pub fn query(&self, sql: &str, cred: &Credential) -> Result<QueryResult> {
         self.query_with(sql, cred, &QueryOptions::default())
     }
 
     /// Runs one SQL query with explicit partial-result options.
     pub fn query_with(
-        &mut self,
+        &self,
         sql: &str,
         cred: &Credential,
         options: &QueryOptions,
     ) -> Result<QueryResult> {
-        let now = self.clock.now();
+        // Sessionless queries draw from the cluster-wide id generator;
+        // use a [`crate::master::QuerySession`] when interleaving-stable
+        // query ids matter (concurrent determinism comparisons).
         let query_id = QueryId(self.query_ids.next_u64());
+        self.run_query(sql, cred, options, query_id)
+    }
+
+    /// The shared admission + execution path behind both the sessionless
+    /// API and [`crate::master::QuerySession`].
+    pub(crate) fn run_query(
+        &self,
+        sql: &str,
+        cred: &Credential,
+        options: &QueryOptions,
+        query_id: QueryId,
+    ) -> Result<QueryResult> {
+        // Admission snapshot: the query's *entire* simulated outcome is
+        // computed relative to this instant (the query-local view of
+        // simulated time; DESIGN.md §12), never from the live clock.
+        let now = self.clock.now();
         self.qmetrics.queries.inc();
 
         // Client layer: syntax check + history collection.
         let query = QueryHistory::syntax_check(sql)?;
         self.history.record(cred.user, sql, &query, now);
 
-        // Entry guard: capability protection + quotas.
+        // Entry guard: capability protection + quotas. The permit is
+        // RAII — errors (or panics) below release the concurrency slot.
         let table_count = query.all_tables().count();
-        self.guard.admit(cred.user, sql, table_count, now)?;
+        let _permit = self.guard.admit(cred.user, sql, table_count, now)?;
         let outcome = self.run_admitted(sql, &query, cred, options, now, query_id);
-        self.guard.finish(cred.user);
         if outcome.is_err() {
             self.qmetrics.errors.inc();
         }

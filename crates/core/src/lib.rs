@@ -10,7 +10,7 @@
 //! use feisu_core::engine::{ClusterSpec, FeisuCluster};
 //! use feisu_format::{DataType, Field, Schema, Value};
 //!
-//! let mut cluster = FeisuCluster::new(ClusterSpec::small()).unwrap();
+//! let cluster = FeisuCluster::new(ClusterSpec::small()).unwrap();
 //! let admin = cluster.register_user("admin");
 //! cluster.grant_all(admin);
 //! let cred = cluster.login(admin).unwrap();

@@ -16,14 +16,18 @@ impl FeisuCluster {
     /// tree under a `master` root, renders the profile summary, and feeds
     /// the cluster-wide metrics.
     pub(crate) fn assemble_result(
-        &mut self,
+        &self,
         query_id: QueryId,
         batch: RecordBatch,
         mut ctx: ExecCtx,
     ) -> Result<QueryResult> {
         let response_time = ctx.tally.total();
-        // The cluster's wall clock moves by the query's duration.
-        self.clock.advance(response_time);
+        // The cluster's wall clock covers every in-flight query: move it
+        // to this query's completion instant (admission + duration). The
+        // `max` fold is commutative, so the final clock value does not
+        // depend on the order concurrent queries finish in — and for a
+        // serial client it degenerates to the old `advance(duration)`.
+        self.clock.advance_to(ctx.now + response_time);
 
         // The processed ratio is derived from the recorded task spans: every
         // leaf task of every scan leaves one `leaf_task` span, and abandoned

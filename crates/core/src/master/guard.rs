@@ -7,10 +7,19 @@
 //! concurrent-job cap) and capability limits on the query itself
 //! (statement length, table fan-out) so one user cannot monopolize the
 //! master.
+//!
+//! Admission is RAII: [`EntryGuard::admit`] returns an
+//! [`AdmissionPermit`] whose `Drop` releases the running-job slot, so a
+//! query that errors (or panics) mid-flight can never leak concurrency
+//! capacity. The guard exports `feisu.guard.admitted`,
+//! `feisu.guard.rejected` and `feisu.guard.inflight` once
+//! [`EntryGuard::attach_metrics`] is called.
 
 use feisu_common::hash::FxHashMap;
 use feisu_common::{FeisuError, Result, SimDuration, SimInstant, UserId};
+use feisu_obs::{Counter, Gauge, MetricsRegistry};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Tunable capability limits.
 #[derive(Debug, Clone)]
@@ -43,10 +52,34 @@ struct UserWindow {
     running: u32,
 }
 
+/// Counter/gauge handles published once metrics are attached.
+#[derive(Debug)]
+struct GuardMetrics {
+    admitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    inflight: Arc<Gauge>,
+}
+
 /// Admission control at the system entry point.
 pub struct EntryGuard {
     limits: GuardLimits,
     users: Mutex<FxHashMap<UserId, UserWindow>>,
+    metrics: Mutex<Option<GuardMetrics>>,
+}
+
+/// A reserved running-job slot. Dropping the permit releases the slot —
+/// the release is tied to the permit's lifetime, not to any happy-path
+/// call, so mid-flight errors cannot leak concurrency capacity.
+#[must_use = "dropping the permit releases the concurrency slot"]
+pub struct AdmissionPermit<'a> {
+    guard: &'a EntryGuard,
+    user: UserId,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.guard.release(self.user);
+    }
 }
 
 impl EntryGuard {
@@ -54,12 +87,52 @@ impl EntryGuard {
         EntryGuard {
             limits,
             users: Mutex::new(FxHashMap::default()),
+            metrics: Mutex::new(None),
         }
     }
 
-    /// Checks all capability limits and reserves a running-job slot.
-    /// Call [`EntryGuard::finish`] when the job completes.
+    /// Starts publishing `feisu.guard.*` to a registry.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        *self.metrics.lock() = Some(GuardMetrics {
+            admitted: registry.counter("feisu.guard.admitted"),
+            rejected: registry.counter("feisu.guard.rejected"),
+            inflight: registry.gauge("feisu.guard.inflight"),
+        });
+    }
+
+    fn note(&self, f: impl FnOnce(&GuardMetrics)) {
+        if let Some(m) = self.metrics.lock().as_ref() {
+            f(m);
+        }
+    }
+
+    /// Checks all capability limits and reserves a running-job slot,
+    /// returned as an RAII [`AdmissionPermit`]. A rejection bumps
+    /// `feisu.guard.rejected` and leaves no state behind.
     pub fn admit(
+        &self,
+        user: UserId,
+        sql: &str,
+        table_count: usize,
+        now: SimInstant,
+    ) -> Result<AdmissionPermit<'_>> {
+        let outcome = self.try_reserve(user, sql, table_count, now);
+        match outcome {
+            Ok(()) => {
+                self.note(|m| {
+                    m.admitted.inc();
+                    m.inflight.add(1);
+                });
+                Ok(AdmissionPermit { guard: self, user })
+            }
+            Err(e) => {
+                self.note(|m| m.rejected.inc());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_reserve(
         &self,
         user: UserId,
         sql: &str,
@@ -106,12 +179,20 @@ impl EntryGuard {
         Ok(())
     }
 
-    /// Releases the running-job slot.
-    pub fn finish(&self, user: UserId) {
-        let mut users = self.users.lock();
-        if let Some(w) = users.get_mut(&user) {
-            w.running = w.running.saturating_sub(1);
+    /// Releases the running-job slot (called by the permit's `Drop`).
+    fn release(&self, user: UserId) {
+        {
+            let mut users = self.users.lock();
+            if let Some(w) = users.get_mut(&user) {
+                w.running = w.running.saturating_sub(1);
+            }
         }
+        self.note(|m| m.inflight.sub(1));
+    }
+
+    /// Jobs currently holding a permit, across all users.
+    pub fn inflight(&self) -> u32 {
+        self.users.lock().values().map(|w| w.running).sum()
     }
 
     /// Queries admitted for a user in the current rolling day.
@@ -177,11 +258,25 @@ mod tests {
     }
 
     #[test]
-    fn concurrency_limit_released_by_finish() {
+    fn concurrency_slot_released_by_permit_drop() {
         let g = guard(100, 1);
-        assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_ok());
+        let permit = g.admit(UserId(1), "q", 1, SimInstant(0)).unwrap();
         assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_err());
-        g.finish(UserId(1));
+        assert_eq!(g.inflight(), 1);
+        drop(permit);
+        assert_eq!(g.inflight(), 0);
+        assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_ok());
+    }
+
+    #[test]
+    fn slot_released_even_when_query_panics() {
+        let g = guard(100, 1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = g.admit(UserId(1), "q", 1, SimInstant(0)).unwrap();
+            panic!("mid-flight failure");
+        }));
+        assert!(caught.is_err());
+        // The unwound permit released its slot.
         assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_ok());
     }
 
@@ -191,5 +286,19 @@ mod tests {
         assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_ok());
         assert!(g.admit(UserId(2), "q", 1, SimInstant(0)).is_ok());
         assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_err());
+    }
+
+    #[test]
+    fn metrics_track_admissions_and_inflight() {
+        let registry = MetricsRegistry::new();
+        let g = guard(100, 1);
+        g.attach_metrics(&registry);
+        let p = g.admit(UserId(1), "q", 1, SimInstant(0)).unwrap();
+        assert!(g.admit(UserId(1), "q", 1, SimInstant(0)).is_err());
+        assert_eq!(registry.counter("feisu.guard.admitted").get(), 1);
+        assert_eq!(registry.counter("feisu.guard.rejected").get(), 1);
+        assert_eq!(registry.gauge("feisu.guard.inflight").get(), 1);
+        drop(p);
+        assert_eq!(registry.gauge("feisu.guard.inflight").get(), 0);
     }
 }

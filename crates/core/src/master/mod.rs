@@ -16,8 +16,10 @@ pub mod job_manager;
 pub(crate) mod pipeline;
 pub(crate) mod scan_exec;
 pub mod scheduler;
+pub mod session;
 
 pub use failover::PrimaryBackup;
-pub use guard::EntryGuard;
+pub use guard::{AdmissionPermit, EntryGuard};
 pub use job_manager::{JobManager, JobState};
 pub use scheduler::{Assignment, Scheduler};
+pub use session::QuerySession;

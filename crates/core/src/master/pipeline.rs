@@ -29,7 +29,7 @@ use std::collections::BTreeMap;
 
 impl FeisuCluster {
     pub(crate) fn run_admitted(
-        &mut self,
+        &self,
         sql: &str,
         query: &feisu_sql::ast::Query,
         cred: &Credential,
@@ -69,6 +69,7 @@ impl FeisuCluster {
         self.jobs.set_state(job, JobState::Running);
 
         let mut ctx = ExecCtx {
+            query_id,
             cred: cred.clone(),
             now,
             options: options.clone(),
@@ -101,9 +102,12 @@ impl FeisuCluster {
     }
 
     pub(crate) fn tick_heartbeats(&self, now: SimInstant) {
+        // Lock order: failed_nodes (read) is sampled before the heartbeat
+        // table is locked; both are released before any leaf work.
+        let failed = self.failed_nodes.read().clone();
         let mut hb = self.heartbeats.lock();
         for n in self.topology.nodes() {
-            if !self.failed_nodes.contains(&n.id) {
+            if !failed.contains(&n.id) {
                 hb.beat(n.id, now, LoadStats::default());
             }
         }
@@ -116,7 +120,7 @@ impl FeisuCluster {
     /// simulated timeline; root operators are adopted by the final
     /// `master` span when the profile is assembled.
     pub(crate) fn exec_physical(
-        &mut self,
+        &self,
         plan: &PhysicalPlan,
         ctx: &mut ExecCtx,
         parent: Option<SpanId>,
@@ -138,7 +142,7 @@ impl FeisuCluster {
     }
 
     fn exec_operator(
-        &mut self,
+        &self,
         plan: &PhysicalPlan,
         ctx: &mut ExecCtx,
         span: SpanId,
@@ -219,6 +223,7 @@ impl FeisuCluster {
 /// Mutable per-query execution context threaded through the physical
 /// operator walk.
 pub(crate) struct ExecCtx {
+    pub(crate) query_id: QueryId,
     pub(crate) cred: Credential,
     pub(crate) now: SimInstant,
     pub(crate) options: QueryOptions,

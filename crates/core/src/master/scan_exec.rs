@@ -34,7 +34,7 @@ impl FeisuCluster {
     /// operator span; stem spans (and abandoned leaf-task spans) hang off
     /// it so the profile shows the merge tree under the operator.
     pub(crate) fn distributed_scan(
-        &mut self,
+        &self,
         scan: &PhysicalPlan,
         ctx: &mut ExecCtx,
         op_span: SpanId,
@@ -418,7 +418,9 @@ impl FeisuCluster {
         let payload = ByteSize(root.batch.footprint() as u64);
         if payload > self.spec.config.result_spill_threshold {
             ctx.stats.spilled_results += 1;
-            let spill_path = format!("/hdfs/.feisu/tmp/q{}", ctx.now.as_nanos());
+            // Keyed by query id: concurrent queries admitted at the same
+            // simulated instant must not collide on the spill marker.
+            let spill_path = format!("/hdfs/.feisu/tmp/q{}", ctx.query_id.raw());
             // The spill is a round trip through the global store: one
             // write from the stem, one read at the master.
             self.router.write(
@@ -462,7 +464,7 @@ impl FeisuCluster {
         now: SimInstant,
     ) -> Result<TaskExec> {
         let node = assignment.node;
-        let slow = self.slow_nodes.get(&node).copied().unwrap_or(1.0);
+        let slow = self.slow_nodes.read().get(&node).copied().unwrap_or(1.0);
         match self.run_on_leaf(task, node, cred, now) {
             Ok(mut out) => {
                 let mut backup = false;
@@ -485,10 +487,13 @@ impl FeisuCluster {
                 // Backup task on the next-best node.
                 let replicas = self.router.replicas(&task.block.path)?;
                 let alive: Vec<NodeId> = {
+                    // Lock order: heartbeats, then failed_nodes (read);
+                    // both released before the backup leaf runs.
                     let hb = self.heartbeats.lock();
+                    let failed = self.failed_nodes.read();
                     hb.alive_nodes(now)
                         .into_iter()
-                        .filter(|n| *n != node && !self.failed_nodes.contains(n))
+                        .filter(|n| *n != node && !failed.contains(n))
                         .collect()
                 };
                 let backup_node = alive
@@ -519,7 +524,7 @@ impl FeisuCluster {
         cred: &Credential,
         now: SimInstant,
     ) -> Result<LeafOutput> {
-        if self.failed_nodes.contains(&node) {
+        if self.failed_nodes.read().contains(&node) {
             return Err(FeisuError::NodeUnavailable(format!("{node} is down")));
         }
         // Resource agreement: a node with no Feisu slots at all refuses
@@ -551,6 +556,21 @@ impl FeisuCluster {
         };
         if let Some(a) = self.resources.lock().get_mut(&node) {
             a.release();
+        }
+        // Real-time leaf service emulation (wall-clock benchmarking):
+        // block this thread for the task's simulated duration × the
+        // dilation factor, as a remote leaf's RPC would. No lock is held,
+        // so waits from different queries overlap freely — exactly the
+        // overlap `bench_concurrency` measures. Simulated results are
+        // untouched.
+        let dilation = self.spec.config.leaf_wait_dilation;
+        if dilation > 0.0 {
+            if let Ok(o) = &out {
+                let ns = (o.tally.total().as_nanos() as f64 * dilation) as u64;
+                if ns > 0 {
+                    std::thread::sleep(std::time::Duration::from_nanos(ns));
+                }
+            }
         }
         out
     }

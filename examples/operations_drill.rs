@@ -15,7 +15,7 @@ fn main() -> feisu_common::Result<()> {
     spec.use_smartindex = false; // watch the raw execution machinery
     spec.rows_per_block = 512;
     spec.config.backup_task_delay = SimDuration::millis(5);
-    let mut cluster = FeisuCluster::new(spec)?;
+    let cluster = FeisuCluster::new(spec)?;
     let sre = cluster.register_user("sre");
     cluster.grant_all(sre);
     let cred = cluster.login(sre)?;

@@ -47,7 +47,7 @@ fn main() -> feisu_common::Result<()> {
     // and partial-result behaviour rather than whole-task caching.
     spec.rows_per_block = 256;
     spec.task_reuse = false;
-    let mut cluster = FeisuCluster::new(spec)?;
+    let cluster = FeisuCluster::new(spec)?;
     let analyst = cluster.register_user("analyst");
     cluster.grant_all(analyst);
     let cred = cluster.login(analyst)?;

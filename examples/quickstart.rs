@@ -9,7 +9,7 @@ use feisu_format::{DataType, Field, Schema, Value};
 fn main() -> feisu_common::Result<()> {
     // 1. A small deployment: 1 data center, 2 racks, 4 nodes, with the
     //    paper's defaults (512 MB SmartIndex memory, 72 h TTL, 3 replicas).
-    let mut cluster = FeisuCluster::new(ClusterSpec::small())?;
+    let cluster = FeisuCluster::new(ClusterSpec::small())?;
 
     // 2. Users authenticate once (SSO) and carry a credential everywhere.
     let me = cluster.register_user("quickstart");

@@ -12,7 +12,7 @@ use feisu_core::engine::{ClusterSpec, FeisuCluster};
 use feisu_format::{DataType, Field, Schema, Value};
 
 fn main() -> feisu_common::Result<()> {
-    let mut cluster = FeisuCluster::new(ClusterSpec::small())?;
+    let cluster = FeisuCluster::new(ClusterSpec::small())?;
     let pm = cluster.register_user("product-engineer");
     cluster.grant_all(pm);
     let cred = cluster.login(pm)?;

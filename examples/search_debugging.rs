@@ -14,7 +14,7 @@ use feisu_core::engine::{ClusterSpec, FeisuCluster};
 use feisu_format::{DataType, Field, Schema, Value};
 
 fn main() -> feisu_common::Result<()> {
-    let mut cluster = FeisuCluster::new(ClusterSpec::small())?;
+    let cluster = FeisuCluster::new(ClusterSpec::small())?;
     let engineer = cluster.register_user("sys-engineer");
     cluster.grant_all(engineer);
     let cred = cluster.login(engineer)?;

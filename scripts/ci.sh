@@ -34,6 +34,12 @@ cargo test -q $OFFLINE
 echo "ci: e2e at execution_threads=8"
 FEISU_EXECUTION_THREADS=8 cargo test -q $OFFLINE -p feisu-tests
 
+# The shared (&self) engine must yield bit-identical results with many
+# client threads driving it at once. Re-run the e2e suites at a pinned
+# client width (tests/tests/concurrency.rs honors FEISU_CLIENT_THREADS).
+echo "ci: e2e at client_threads=4"
+FEISU_CLIENT_THREADS=4 cargo test -q $OFFLINE -p feisu-tests
+
 echo "ci: clippy (-D warnings)"
 cargo clippy --workspace $OFFLINE -- -D warnings
 
@@ -61,6 +67,33 @@ else
   grep -q '"bench": "leaf_scan"' results/BENCH_leaf_scan.json
   grep -q '"speedup"' results/BENCH_leaf_scan.json
   echo "ci: bench json ok (grep check)"
+fi
+
+# Concurrency bench must also run end to end and leave a well-formed
+# results file (smoke config; committed numbers come from a full run).
+echo "ci: concurrency bench (smoke)"
+cargo run --release $OFFLINE -p feisu-bench --bin bench_concurrency -- --smoke
+if [ ! -s results/BENCH_concurrency.json ]; then
+  echo "ci: results/BENCH_concurrency.json missing or empty" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("results/BENCH_concurrency.json") as f:
+    data = json.load(f)
+assert data["bench"] == "concurrency", data
+clients = data["clients"]
+assert clients, "no client configs recorded"
+for c in clients:
+    for k in ("clients", "queries", "wall_ms", "qps", "speedup"):
+        assert k in c, f"client entry missing {k}: {c}"
+print(f"ci: concurrency json ok ({len(clients)} client counts)")
+EOF
+else
+  grep -q '"bench": "concurrency"' results/BENCH_concurrency.json
+  grep -q '"qps"' results/BENCH_concurrency.json
+  echo "ci: concurrency json ok (grep check)"
 fi
 
 echo "ci: all green"

@@ -69,7 +69,7 @@ pub fn fixture_with(rows: usize, mut spec: ClusterSpec, location: &str) -> Fixtu
             }
         }
     }
-    let mut cluster = FeisuCluster::new(spec).expect("cluster");
+    let cluster = FeisuCluster::new(spec).expect("cluster");
     let user = cluster.register_user("tester");
     cluster.grant_all(user);
     let cred = cluster.login(user).expect("login");

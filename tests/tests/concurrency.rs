@@ -1,0 +1,283 @@
+//! Concurrent-client end-to-end suite for the shared (`&self`) engine.
+//!
+//! The determinism contract (DESIGN.md §12): for a race-free workload —
+//! clients whose in-run query sets are cache-independent of each other,
+//! with any cross-client sharing separated by a barrier — every query's
+//! full `QueryResult` (id, rows, simulated times, stats, EXPLAIN
+//! ANALYZE profile) is bit-identical whether the workload runs on one
+//! thread or on N client threads. These tests construct exactly such
+//! workloads and compare serial and concurrent runs field for field.
+//!
+//! `FEISU_CLIENT_THREADS` (default 4) sets the client-thread count, so
+//! CI can re-run the suite at a pinned width.
+
+use feisu_common::NodeId;
+use feisu_core::engine::{ClusterSpec, FeisuCluster, QueryResult};
+use feisu_core::master::QuerySession;
+use feisu_storage::auth::Credential;
+use feisu_tests::fixture_with;
+use std::sync::Barrier;
+
+/// Client-thread count under test (`FEISU_CLIENT_THREADS`, default 4).
+fn client_threads() -> usize {
+    std::env::var("FEISU_CLIENT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n >= 1)
+        .unwrap_or(4)
+}
+
+/// Registers one user per client and opens their sessions, in a fixed
+/// order so session ids — and thus query ids — are deterministic.
+fn open_sessions(cluster: &FeisuCluster, clients: usize) -> Vec<QuerySession<'_>> {
+    (0..clients)
+        .map(|i| {
+            let user = cluster.register_user(&format!("client{i}"));
+            cluster.grant_all(user);
+            let cred: Credential = cluster.login(user).expect("client login");
+            cluster.session(cred)
+        })
+        .collect()
+}
+
+/// Per-client query lists that are cache-independent *across* clients:
+/// client `i` only uses predicate constants `≡ i (mod clients)`, so no
+/// two clients ever share a task signature or a SmartIndex entry.
+/// Within a client the first query repeats at the end — an intra-client
+/// task-reuse hit, serialized on that client's session either way.
+fn client_workloads(clients: usize, per_client: usize) -> Vec<Vec<String>> {
+    (0..clients)
+        .map(|i| {
+            let mut list: Vec<String> = (0..per_client)
+                .map(|j| {
+                    let v = i + j * clients; // distinct across all (i, j)
+                    if j % 2 == 0 {
+                        format!("SELECT COUNT(*) FROM clicks WHERE clicks > {v}")
+                    } else {
+                        format!("SELECT url FROM clicks WHERE clicks > {v}")
+                    }
+                })
+                .collect();
+            list.push(list[0].clone());
+            list
+        })
+        .collect()
+}
+
+/// What one full run of the workload produced.
+struct RunOutcome {
+    /// `results[i][j]` = client `i`'s `j`-th query.
+    results: Vec<Vec<QueryResult>>,
+    index_hits: u64,
+    index_misses: u64,
+    reuse_hits: u64,
+    reuse_misses: u64,
+}
+
+/// Runs the workload on a fresh cluster — serially in submission order
+/// when `concurrent` is false, on one thread per client when true.
+fn run_workload(clients: usize, concurrent: bool) -> RunOutcome {
+    let fx = fixture_with(400, ClusterSpec::small(), "/hdfs/warehouse/clicks");
+    let sessions = open_sessions(&fx.cluster, clients);
+    let workloads = client_workloads(clients, 8);
+
+    let mut results: Vec<Vec<QueryResult>> = Vec::with_capacity(clients);
+    if concurrent {
+        let barrier = Barrier::new(clients);
+        let mut slots: Vec<Option<Vec<QueryResult>>> = (0..clients).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (slot, (session, list)) in slots.iter_mut().zip(sessions.iter().zip(&workloads)) {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    *slot = Some(
+                        list.iter()
+                            .map(|sql| session.query(sql).expect("concurrent query"))
+                            .collect(),
+                    );
+                });
+            }
+        });
+        results.extend(slots.into_iter().map(|s| s.expect("client finished")));
+    } else {
+        for (session, list) in sessions.iter().zip(&workloads) {
+            results.push(
+                list.iter()
+                    .map(|sql| session.query(sql).expect("serial query"))
+                    .collect(),
+            );
+        }
+    }
+
+    assert_eq!(
+        fx.cluster.guard().inflight(),
+        0,
+        "admission permits leaked after the run"
+    );
+    let idx = fx.cluster.index_stats();
+    let (reuse_hits, reuse_misses) = fx.cluster.jobs().reuse_stats();
+    RunOutcome {
+        results,
+        index_hits: idx.hits,
+        index_misses: idx.misses,
+        reuse_hits,
+        reuse_misses,
+    }
+}
+
+#[test]
+fn concurrent_clients_bit_identical_to_serial() {
+    let clients = client_threads();
+    let serial = run_workload(clients, false);
+    let parallel = run_workload(clients, true);
+
+    for (i, (s, p)) in serial.results.iter().zip(&parallel.results).enumerate() {
+        assert_eq!(s.len(), p.len(), "client {i}: query count");
+        for (j, (a, b)) in s.iter().zip(p).enumerate() {
+            assert_eq!(
+                a, b,
+                "client {i} query {j}: serial and concurrent runs diverged"
+            );
+        }
+    }
+
+    // Shared-singleton accounting is run-shape independent too: the same
+    // queries produced the same SmartIndex and task-reuse traffic.
+    assert_eq!(
+        (serial.index_hits, serial.index_misses),
+        (parallel.index_hits, parallel.index_misses),
+        "IndexStats totals diverged"
+    );
+    assert_eq!(
+        (serial.reuse_hits, serial.reuse_misses),
+        (parallel.reuse_hits, parallel.reuse_misses),
+        "JobManager reuse_stats diverged"
+    );
+
+    // The workload actually exercised the shared caches.
+    assert!(serial.reuse_hits > 0, "no intra-client task reuse happened");
+    assert!(
+        serial
+            .results
+            .iter()
+            .flatten()
+            .any(|r| r.stats.index_built > 0),
+        "no SmartIndex was ever built"
+    );
+}
+
+/// Cross-session SmartIndex sharing: user A's phase builds the index,
+/// and after a barrier user B's phase — a *different* projection, so
+/// task reuse cannot mask the probe — hits it without building anything.
+#[test]
+fn second_users_session_hits_first_users_smartindex() {
+    let fx = fixture_with(400, ClusterSpec::small(), "/hdfs/warehouse/clicks");
+    let sessions = open_sessions(&fx.cluster, 2);
+
+    // Phase 1 (user A): build indices for the predicate.
+    let warm = sessions[0]
+        .query("SELECT COUNT(*) FROM clicks WHERE clicks > 42")
+        .expect("phase-1 query");
+    assert!(warm.stats.index_built > 0, "phase 1 built no index");
+
+    // Phase 2 (user B, on its own thread): same predicate, different
+    // projection — distinct task signature, so the leaf really probes.
+    let probe = std::thread::scope(|s| {
+        let session = &sessions[1];
+        s.spawn(move || {
+            session
+                .query("SELECT url FROM clicks WHERE clicks > 42")
+                .expect("phase-2 query")
+        })
+        .join()
+        .expect("phase-2 client")
+    });
+    assert!(probe.stats.index_hits > 0, "user B missed user A's index");
+    assert_eq!(
+        probe.stats.index_built, 0,
+        "user B rebuilt an index user A already published"
+    );
+    assert_eq!(
+        probe.stats.reused_tasks, 0,
+        "projection change must defeat reuse"
+    );
+}
+
+/// Fault injection while clients are querying: `fail_node` / `slow_node`
+/// / `recover_node` race freely against in-flight queries. Queries must
+/// keep succeeding (backup tasks reroute around the dead node), nothing
+/// may panic, and the admission gauge must drain to zero.
+#[test]
+fn fault_injection_under_concurrent_load() {
+    let clients = client_threads();
+    let fx = fixture_with(400, ClusterSpec::with_nodes(8), "/hdfs/warehouse/clicks");
+    let sessions = open_sessions(&fx.cluster, clients);
+    let workloads = client_workloads(clients, 6);
+
+    let barrier = Barrier::new(clients + 1);
+    std::thread::scope(|s| {
+        for (session, list) in sessions.iter().zip(&workloads) {
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for sql in list {
+                    let r = session.query(sql).expect("query under fault injection");
+                    assert!(!r.partial, "no time limit was set");
+                }
+            });
+        }
+        barrier.wait();
+        // Chaos loop on the main thread: flip node state while the
+        // clients run. Every cycle yields so client threads interleave.
+        for round in 0..40 {
+            fx.cluster.fail_node(NodeId(1));
+            fx.cluster.slow_node(NodeId(2), 25.0);
+            std::thread::yield_now();
+            fx.cluster.recover_node(NodeId(1));
+            if round % 2 == 0 {
+                fx.cluster.recover_node(NodeId(2));
+            }
+            std::thread::yield_now();
+        }
+        fx.cluster.recover_node(NodeId(1));
+        fx.cluster.recover_node(NodeId(2));
+    });
+
+    assert_eq!(fx.cluster.guard().inflight(), 0, "permits leaked");
+    // The cluster is still healthy: a fresh query on the original
+    // fixture user answers normally after full recovery.
+    let after = fx
+        .cluster
+        .query("SELECT COUNT(*) FROM clicks WHERE clicks > 3", &fx.cred)
+        .expect("post-recovery query");
+    assert_eq!(after.batch.rows(), 1);
+}
+
+/// The guard's admission accounting under the integration surface: a
+/// quota-capped user sees rejections, the `feisu.guard.*` metrics count
+/// them, and the in-flight gauge drains back to zero.
+#[test]
+fn guard_quota_rejections_surface_in_metrics() {
+    let mut spec = ClusterSpec::small();
+    spec.guard.daily_quota = 3;
+    let fx = fixture_with(120, spec, "/hdfs/warehouse/clicks");
+    let session = fx.cluster.session(fx.cred.clone());
+
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    for v in 0..5 {
+        match session.query(&format!("SELECT COUNT(*) FROM clicks WHERE clicks > {v}")) {
+            Ok(_) => ok += 1,
+            Err(e) => {
+                rejected += 1;
+                assert!(e.to_string().contains("quota"), "unexpected error: {e}");
+            }
+        }
+    }
+    assert_eq!(ok, 3, "quota admits exactly daily_quota queries");
+    assert_eq!(rejected, 2);
+    let metrics = fx.cluster.metrics();
+    assert_eq!(metrics.counter("feisu.guard.rejected").get(), 2);
+    assert_eq!(metrics.gauge("feisu.guard.inflight").get(), 0);
+    assert_eq!(fx.cluster.guard().inflight(), 0);
+}

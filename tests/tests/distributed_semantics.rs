@@ -28,7 +28,7 @@ fn partial_aggregation_is_pushed_to_leaves() {
 
 #[test]
 fn aggregate_above_filterless_scan_counts_all_blocks() {
-    let mut fx = fixture(500);
+    let fx = fixture(500);
     // No WHERE clause: zone pruning cannot fire, every block contributes.
     let r = fx
         .cluster
@@ -46,7 +46,7 @@ fn aggregate_above_filterless_scan_counts_all_blocks() {
 fn zone_pruning_skips_out_of_range_blocks() {
     // `day` is monotonically increasing across ingest order, so blocks
     // have disjoint day ranges and a selective day predicate prunes most.
-    let mut fx = fixture(500);
+    let fx = fixture(500);
     let r = fx
         .cluster
         .query("SELECT COUNT(*) FROM clicks WHERE day = 20160105", &fx.cred)
@@ -74,7 +74,7 @@ fn stem_fanout_configuration_changes_nothing_semantically() {
     for leaves_per_stem in [1usize, 2, 64] {
         let mut spec = ClusterSpec::small();
         spec.config.leaves_per_stem = leaves_per_stem;
-        let mut fx = fixture_with(300, spec, "/hdfs/warehouse/clicks");
+        let fx = fixture_with(300, spec, "/hdfs/warehouse/clicks");
         let r = fx
             .cluster
             .query("SELECT SUM(clicks) FROM clicks", &fx.cred)
@@ -94,7 +94,7 @@ fn stem_fanout_configuration_changes_nothing_semantically() {
 
 #[test]
 fn history_and_personalization_flow() {
-    let mut fx = fixture(200);
+    let fx = fixture(200);
     for _ in 0..5 {
         fx.cluster
             .query("SELECT COUNT(*) FROM clicks WHERE clicks > 42", &fx.cred)
@@ -117,7 +117,7 @@ fn history_and_personalization_flow() {
 fn task_reuse_only_within_freshness_window() {
     let mut spec = ClusterSpec::small();
     spec.use_smartindex = false;
-    let mut fx = fixture_with(300, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(300, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT COUNT(*) FROM clicks WHERE clicks >= 7";
     fx.cluster.query(sql, &fx.cred).unwrap();
     let hot = fx.cluster.query(sql, &fx.cred).unwrap();
@@ -132,7 +132,7 @@ fn task_reuse_only_within_freshness_window() {
 
 #[test]
 fn scheduling_stats_expose_task_counts() {
-    let mut fx = fixture(500);
+    let fx = fixture(500);
     let r = fx
         .cluster
         .query("SELECT COUNT(*) FROM clicks", &fx.cred)
@@ -214,7 +214,7 @@ fn oversized_results_spill_to_global_storage() {
     spec.task_reuse = false;
     // A tiny threshold forces the §V-C spill path for any real result.
     spec.config.result_spill_threshold = feisu_common::ByteSize::bytes(64);
-    let mut fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
     let small = fx
         .cluster
         .query("SELECT COUNT(*) FROM clicks", &fx.cred)
@@ -236,7 +236,7 @@ fn oversized_results_spill_to_global_storage() {
     // comparable-result query with a huge threshold.
     let mut spec2 = ClusterSpec::small();
     spec2.task_reuse = false;
-    let mut fx2 = fixture_with(400, spec2, "/hdfs/warehouse/clicks");
+    let fx2 = fixture_with(400, spec2, "/hdfs/warehouse/clicks");
     let inband = fx2
         .cluster
         .query(

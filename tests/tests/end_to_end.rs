@@ -66,7 +66,7 @@ fn order_and_limit_agree_with_oracle() {
 
 #[test]
 fn empty_results_are_clean() {
-    let mut fx = fixture(100);
+    let fx = fixture(100);
     let r = fx
         .cluster
         .query("SELECT url FROM clicks WHERE clicks > 100000", &fx.cred)
@@ -86,13 +86,13 @@ fn empty_results_are_clean() {
 
 #[test]
 fn projection_pruning_reduces_io() {
-    let mut fx = fixture(400);
+    let fx = fixture(400);
     let narrow = fx
         .cluster
         .query("SELECT day FROM clicks WHERE day >= 0", &fx.cred)
         .unwrap();
     // Fresh cluster for a fair comparison (index caches would skew it).
-    let mut fx2 = fixture(400);
+    let fx2 = fixture(400);
     let wide = fx2
         .cluster
         .query(
@@ -111,7 +111,7 @@ fn projection_pruning_reduces_io() {
 #[test]
 fn multi_block_tables_concat_correctly() {
     // 500 rows at ≤64 rows/block = ≥8 blocks spread over nodes.
-    let mut fx = fixture(500);
+    let fx = fixture(500);
     let r = fx
         .cluster
         .query("SELECT COUNT(*) FROM clicks", &fx.cred)
@@ -168,8 +168,8 @@ fn join_against_dimension_table() {
 
 #[test]
 fn response_time_is_deterministic() {
-    let mut a = fixture(300);
-    let mut b = fixture(300);
+    let a = fixture(300);
+    let b = fixture(300);
     let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 42";
     let ra = a.cluster.query(sql, &a.cred).unwrap();
     let rb = b.cluster.query(sql, &b.cred).unwrap();

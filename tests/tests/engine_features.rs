@@ -26,7 +26,7 @@ fn explain_shows_optimized_plan() {
 
 #[test]
 fn explain_respects_access_control() {
-    let mut fx = fixture(10);
+    let fx = fixture(10);
     let intern = fx.cluster.register_user("intern");
     let cred = fx.cluster.login(intern).unwrap();
     let err = fx
@@ -38,7 +38,7 @@ fn explain_respects_access_control() {
 
 #[test]
 fn json_ingest_flattens_and_queries() {
-    let mut fx = fixture(10);
+    let fx = fixture(10);
     let docs = [
         r#"{"user": {"id": 1, "city": "beijing"}, "clicks": 10}"#,
         r#"{"user": {"id": 2, "city": "shanghai"}, "clicks": 25}"#,
@@ -66,7 +66,7 @@ fn json_ingest_flattens_and_queries() {
 
 #[test]
 fn json_ingest_rejects_schema_drift() {
-    let mut fx = fixture(10);
+    let fx = fixture(10);
     fx.cluster
         .ingest_json("j", "/hdfs/json/j", &[r#"{"a": 1}"#], &fx.cred)
         .unwrap();
@@ -92,7 +92,7 @@ fn ssd_cache_accelerates_repeat_reads() {
     spec.task_reuse = false;
     spec.use_smartindex = false; // isolate the data cache
     spec.ssd_cache_prefixes = vec!["/hdfs/".to_string()];
-    let mut fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT url FROM clicks WHERE clicks > 10";
     let cold = fx.cluster.query(sql, &fx.cred).unwrap();
     let warm = fx.cluster.query(sql, &fx.cred).unwrap();
@@ -111,7 +111,7 @@ fn ssd_cache_accelerates_repeat_reads() {
 fn smartindex_works_on_dotted_json_columns() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false;
-    let mut fx = fixture_with(10, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(10, spec, "/hdfs/warehouse/clicks");
     let docs: Vec<String> = (0..200)
         .map(|i| {
             format!(

@@ -8,7 +8,7 @@ use feisu_tests::{check_against_oracle, fixture, fixture_with};
 
 #[test]
 fn replica_failover_keeps_answers_correct() {
-    let mut fx = fixture(400);
+    let fx = fixture(400);
     let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 25";
     let before = fx.cluster.query(sql, &fx.cred).unwrap();
     // Kill one node; HDFS keeps 3 replicas, so data stays reachable.
@@ -22,7 +22,7 @@ fn dead_node_triggers_backup_tasks() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false;
     spec.use_smartindex = false;
-    let mut fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT COUNT(*) FROM clicks";
     fx.cluster.query(sql, &fx.cred).unwrap();
     // Fail a node *after* scheduling knowledge is warm: the next query's
@@ -41,7 +41,7 @@ fn dead_node_triggers_backup_tasks() {
 
 #[test]
 fn whole_rack_failure_still_answers_when_replicas_span_racks() {
-    let mut fx = fixture(300);
+    let fx = fixture(300);
     // Small() topology: rack 0 = nodes {0,1}, rack 1 = {2,3}. HDFS places
     // the third replica off-rack, so killing one whole rack is survivable.
     fx.cluster.fail_node(NodeId(0));
@@ -55,7 +55,7 @@ fn whole_rack_failure_still_answers_when_replicas_span_racks() {
 
 #[test]
 fn total_data_loss_is_an_error_not_a_wrong_answer() {
-    let mut fx = fixture(200);
+    let fx = fixture(200);
     for n in 0..fx.cluster.node_count() {
         fx.cluster.fail_node(NodeId(n as u64));
     }
@@ -80,8 +80,8 @@ fn straggler_mitigated_by_backup_task() {
     // Detection delay small relative to the (tiny) test tasks so the
     // backup path is actually cheaper than a 50x straggler.
     spec.config.backup_task_delay = SimDuration::micros(100);
-    let mut fx_slow = fixture_with(400, spec.clone(), "/hdfs/warehouse/clicks");
-    let mut fx_ref = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let fx_slow = fixture_with(400, spec.clone(), "/hdfs/warehouse/clicks");
+    let fx_ref = fixture_with(400, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT COUNT(*) FROM clicks";
     // Make every node a 50× straggler in one cluster.
     for n in 0..fx_slow.cluster.node_count() {
@@ -103,7 +103,7 @@ fn time_limit_with_ratio_returns_partial_results() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false;
     spec.use_smartindex = false;
-    let mut fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT COUNT(*) FROM clicks";
     let full = fx.cluster.query(sql, &fx.cred).unwrap();
     let full_count = full.batch.column(0).value(0).as_i64().unwrap();
@@ -128,7 +128,7 @@ fn unmeetable_ratio_under_time_limit_is_deadline_error() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false;
     spec.use_smartindex = false;
-    let mut fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT COUNT(*) FROM clicks";
     let full = fx.cluster.query(sql, &fx.cred).unwrap();
     let opts = QueryOptions {
@@ -156,7 +156,7 @@ fn resource_agreement_redirects_tasks_from_busy_nodes() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false;
     spec.use_smartindex = false;
-    let mut fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
     // Business-critical services take the whole of node 0: Feisu's share
     // of its slots drops to zero.
     let preempted = fx.cluster.set_business_load(NodeId(0), 1000);

@@ -140,7 +140,7 @@ fn count_stage() -> AggStage {
 #[test]
 fn warm_scan_touches_fewer_columns_than_cold() {
     let r = rig();
-    let mut l = leaf(&r, NodeId(0));
+    let l = leaf(&r, NodeId(0));
     let t = task(&r, "b > 10 AND c <= 3", &["a"], None);
     let cold = l
         .execute(&t, &r.router, &r.cred, SimInstant(0), true)
@@ -168,8 +168,8 @@ fn remote_execution_pays_network() {
         .map(|n| n.id)
         .find(|n| !replicas.contains(n))
         .expect("grid has a non-replica node");
-    let mut local = leaf(&r, replicas[0]);
-    let mut remote = leaf(&r, outsider);
+    let local = leaf(&r, replicas[0]);
+    let remote = leaf(&r, outsider);
     let t = task(&r, "b > 10", &["a"], None);
     let lo = local
         .execute(&t, &r.router, &r.cred, SimInstant(0), false)
@@ -185,7 +185,7 @@ fn remote_execution_pays_network() {
 #[test]
 fn zone_pruning_answers_without_storage() {
     let r = rig();
-    let mut l = leaf(&r, NodeId(0));
+    let l = leaf(&r, NodeId(0));
     // `a` spans 0..=255: a > 1000 is provably empty from the catalog zone.
     let t = task(&r, "a > 1000", &["a"], None);
     let out = l
@@ -200,7 +200,7 @@ fn zone_pruning_answers_without_storage() {
 #[test]
 fn count_only_served_from_cache_after_warmup() {
     let r = rig();
-    let mut l = leaf(&r, NodeId(0));
+    let l = leaf(&r, NodeId(0));
     let t = task(&r, "b > 10", &["a"], Some(count_stage()));
     let cold = l
         .execute(&t, &r.router, &r.cred, SimInstant(0), true)
@@ -222,7 +222,7 @@ fn count_only_served_from_cache_after_warmup() {
 #[test]
 fn partial_agg_transport_counts_match_rows() {
     let r = rig();
-    let mut l = leaf(&r, NodeId(0));
+    let l = leaf(&r, NodeId(0));
     let stage = AggStage {
         group_by: vec![(Expr::col("c"), "c".into(), DataType::Int64)],
         aggregates: vec![AggExpr {
@@ -258,7 +258,7 @@ fn partial_agg_transport_counts_match_rows() {
 #[test]
 fn disabled_index_never_caches() {
     let r = rig();
-    let mut l = leaf(&r, NodeId(0));
+    let l = leaf(&r, NodeId(0));
     let t = task(&r, "b > 10", &["a"], None);
     for i in 0..3 {
         let out = l
@@ -274,7 +274,7 @@ fn disabled_index_never_caches() {
 #[test]
 fn or_clause_and_value_correctness() {
     let r = rig();
-    let mut l = leaf(&r, NodeId(0));
+    let l = leaf(&r, NodeId(0));
     let t = task(&r, "b < 5 OR c = 6", &["a", "b", "c"], None);
     let out = l
         .execute(&t, &r.router, &r.cred, SimInstant(0), true)

@@ -10,7 +10,7 @@ use feisu_storage::auth::Credential;
 fn setup() -> (FeisuCluster, Credential) {
     let mut spec = ClusterSpec::small();
     spec.rows_per_block = 32;
-    let mut cluster = FeisuCluster::new(spec).unwrap();
+    let cluster = FeisuCluster::new(spec).unwrap();
     let admin = cluster.register_user("admin");
     cluster.grant_all(admin);
     let cred = cluster.login(admin).unwrap();
@@ -26,7 +26,7 @@ fn log_schema() -> Schema {
 
 #[test]
 fn tables_on_hdfs_fatman_and_local_coexist() {
-    let (mut cluster, cred) = setup();
+    let (cluster, cred) = setup();
     for (table, location) in [
         ("hot_logs", "/hdfs/logs/hot"),
         ("cold_logs", "/ffs/archive/cold"),
@@ -68,7 +68,7 @@ fn tables_on_hdfs_fatman_and_local_coexist() {
 
 #[test]
 fn cold_storage_reads_cost_more_than_hdfs() {
-    let (mut cluster, cred) = setup();
+    let (cluster, cred) = setup();
     cluster
         .create_table("hot", log_schema(), "/hdfs/t/hot", &cred)
         .unwrap();
@@ -97,7 +97,7 @@ fn cold_storage_reads_cost_more_than_hdfs() {
 #[test]
 fn cross_domain_join_unifies_sources() {
     // Fig. 10's scenario: one query touching data on two storage systems.
-    let (mut cluster, cred) = setup();
+    let (cluster, cred) = setup();
     cluster
         .create_table("recent", log_schema(), "/hdfs/logs/recent", &cred)
         .unwrap();
@@ -137,7 +137,7 @@ fn cross_domain_join_unifies_sources() {
 
 #[test]
 fn per_domain_grants_isolate_sources() {
-    let (mut cluster, cred) = setup();
+    let (cluster, cred) = setup();
     cluster
         .create_table("open", log_schema(), "/hdfs/t/open", &cred)
         .unwrap();
@@ -180,7 +180,7 @@ fn per_domain_grants_isolate_sources() {
 
 #[test]
 fn local_fs_tasks_prefer_the_owning_node() {
-    let (mut cluster, cred) = setup();
+    let (cluster, cred) = setup();
     cluster
         .create_table("node_logs", log_schema(), "/data/nodelogs", &cred)
         .unwrap();

@@ -8,7 +8,7 @@ use feisu_tests::{fixture, fixture_with};
 
 #[test]
 fn profile_renders_master_stem_leaf_tree() {
-    let mut fx = fixture(500);
+    let fx = fixture(500);
     let r = fx
         .cluster
         .query("SELECT url FROM clicks WHERE clicks > 50", &fx.cred)
@@ -41,7 +41,7 @@ fn profile_renders_master_stem_leaf_tree() {
 
 #[test]
 fn registry_counters_mirror_query_stats() {
-    let mut fx = fixture(400);
+    let fx = fixture(400);
     let registry = fx.cluster.metrics().clone();
     let mut expect = QueryStats::default();
     let mut queries = 0u64;
@@ -88,7 +88,7 @@ fn registry_counters_mirror_query_stats() {
 
 #[test]
 fn failed_queries_count_as_errors() {
-    let mut fx = fixture(50);
+    let fx = fixture(50);
     assert!(fx
         .cluster
         .query("SELECT nope FROM clicks", &fx.cred)
@@ -101,7 +101,7 @@ fn abandoned_tasks_mark_spans_and_drive_the_ratio() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false;
     spec.use_smartindex = false;
-    let mut fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT COUNT(*) FROM clicks";
     let full = fx.cluster.query(sql, &fx.cred).unwrap();
     assert!((full.stats.processed_ratio - 1.0).abs() < 1e-12);
@@ -135,7 +135,7 @@ fn cache_served_tasks_show_their_tier() {
     spec.task_reuse = false;
     spec.use_smartindex = false;
     spec.ssd_cache_prefixes = vec!["/hdfs/".to_string()];
-    let mut fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT url FROM clicks WHERE clicks > 10";
     let cold = fx.cluster.query(sql, &fx.cred).unwrap();
     let warm = fx.cluster.query(sql, &fx.cred).unwrap();

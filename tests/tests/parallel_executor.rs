@@ -36,7 +36,7 @@ fn spec_with_threads(threads: usize) -> ClusterSpec {
 /// Plain workload: repeated and varied queries, exercising index
 /// build/hit paths and master-side task reuse.
 fn run_plain_workload(threads: usize) -> Vec<Observed> {
-    let mut fx = fixture_with(600, spec_with_threads(threads), "/hdfs/warehouse/clicks");
+    let fx = fixture_with(600, spec_with_threads(threads), "/hdfs/warehouse/clicks");
     let queries = [
         "SELECT COUNT(*) FROM clicks WHERE clicks > 25",
         "SELECT COUNT(*) FROM clicks WHERE clicks > 25", // index hits + reuse
@@ -76,7 +76,7 @@ fn run_stress_workload(threads: usize) -> Vec<Observed> {
     // Tiny detection delay relative to the (tiny simulated) test tasks so
     // straggler-mitigation backups actually fire.
     spec.config.backup_task_delay = SimDuration::nanos(1_000);
-    let mut fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
     let mut seen = Vec::new();
     let count_sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 25";
 

@@ -7,7 +7,7 @@ use feisu_storage::auth::Grant;
 use feisu_tests::{clicks_rows, clicks_schema, fixture};
 
 fn cluster_with_table() -> (FeisuCluster, UserId) {
-    let mut cluster = FeisuCluster::new(ClusterSpec::small()).unwrap();
+    let cluster = FeisuCluster::new(ClusterSpec::small()).unwrap();
     let admin = cluster.register_user("admin");
     cluster.grant_all(admin);
     let admin_cred = cluster.login(admin).unwrap();
@@ -27,7 +27,7 @@ fn cluster_with_table() -> (FeisuCluster, UserId) {
 
 #[test]
 fn user_without_grant_cannot_read() {
-    let (mut cluster, _) = cluster_with_table();
+    let (cluster, _) = cluster_with_table();
     let intern = cluster.register_user("intern");
     let cred = cluster.login(intern).unwrap();
     let err = cluster
@@ -38,7 +38,7 @@ fn user_without_grant_cannot_read() {
 
 #[test]
 fn read_grant_allows_query_but_not_ingest() {
-    let (mut cluster, _) = cluster_with_table();
+    let (cluster, _) = cluster_with_table();
     let analyst = cluster.register_user("analyst");
     cluster.grant(analyst, "hdfs", Grant::Read).unwrap();
     let cred = cluster.login(analyst).unwrap();
@@ -51,7 +51,7 @@ fn read_grant_allows_query_but_not_ingest() {
 
 #[test]
 fn expired_credential_rejected_mid_session() {
-    let (mut cluster, admin) = cluster_with_table();
+    let (cluster, admin) = cluster_with_table();
     let cred = cluster.login(admin).unwrap();
     assert!(cluster.query("SELECT COUNT(*) FROM clicks", &cred).is_ok());
     cluster.advance_time(SimDuration::hours(9)); // past the 8 h validity
@@ -66,7 +66,7 @@ fn expired_credential_rejected_mid_session() {
 
 #[test]
 fn revoked_user_locked_out_despite_valid_token() {
-    let (mut cluster, _) = cluster_with_table();
+    let (cluster, _) = cluster_with_table();
     let leaver = cluster.register_user("leaver");
     cluster.grant(leaver, "hdfs", Grant::Read).unwrap();
     let cred = cluster.login(leaver).unwrap();
@@ -80,7 +80,7 @@ fn revoked_user_locked_out_despite_valid_token() {
 
 #[test]
 fn syntax_errors_rejected_before_admission() {
-    let mut fx = fixture(50);
+    let fx = fixture(50);
     let err = fx
         .cluster
         .query("SELEKT url FROM clicks", &fx.cred)
@@ -92,7 +92,7 @@ fn syntax_errors_rejected_before_admission() {
 
 #[test]
 fn unknown_table_is_analysis_error() {
-    let mut fx = fixture(50);
+    let fx = fixture(50);
     let err = fx
         .cluster
         .query("SELECT x FROM ghost", &fx.cred)
@@ -102,7 +102,7 @@ fn unknown_table_is_analysis_error() {
 
 #[test]
 fn guard_blocks_oversized_statements() {
-    let mut fx = fixture(50);
+    let fx = fixture(50);
     let huge = format!(
         "SELECT url FROM clicks WHERE url CONTAINS '{}'",
         "x".repeat(100_000)
@@ -113,7 +113,7 @@ fn guard_blocks_oversized_statements() {
 
 #[test]
 fn jobs_are_recorded_per_user() {
-    let mut fx = fixture(60);
+    let fx = fixture(60);
     fx.cluster
         .query("SELECT COUNT(*) FROM clicks", &fx.cred)
         .unwrap();

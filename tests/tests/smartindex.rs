@@ -6,7 +6,7 @@ use feisu_tests::{check_against_oracle, fixture, fixture_with};
 
 #[test]
 fn repeated_query_gets_faster_and_stops_reading() {
-    let mut fx = fixture(600);
+    let fx = fixture(600);
     let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 20 AND clicks <= 70";
     let cold = fx.cluster.query(sql, &fx.cred).unwrap();
     let warm = fx.cluster.query(sql, &fx.cred).unwrap();
@@ -27,7 +27,7 @@ fn repeated_query_gets_faster_and_stops_reading() {
 fn warm_count_runs_fully_in_memory_without_task_reuse() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false; // isolate SmartIndex from job-manager reuse
-    let mut fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(600, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 20 AND clicks <= 70";
     let cold = fx.cluster.query(sql, &fx.cred).unwrap();
     let warm = fx.cluster.query(sql, &fx.cred).unwrap();
@@ -86,7 +86,7 @@ fn baseline_without_smartindex_matches_results_but_keeps_reading() {
 fn ttl_expiry_forces_rebuild() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false;
-    let mut fx = fixture_with(300, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(300, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 10";
     fx.cluster.query(sql, &fx.cred).unwrap();
     let warm = fx.cluster.query(sql, &fx.cred).unwrap();
@@ -122,7 +122,7 @@ fn mixed_predicates_with_residual_still_correct() {
 fn personalization_prewarms_pinned_indices() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false;
-    let mut fx = fixture_with(300, spec, "/hdfs/warehouse/clicks");
+    let fx = fixture_with(300, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 77";
     // Build history without executing against cold caches… actually the
     // query itself builds indices; so use history + personalize on a
@@ -148,7 +148,7 @@ fn personalization_prewarms_pinned_indices() {
 
 #[test]
 fn index_stats_accumulate_across_queries() {
-    let mut fx = fixture(300);
+    let fx = fixture(300);
     let sql = "SELECT COUNT(*) FROM clicks WHERE clicks > 33";
     fx.cluster.query(sql, &fx.cred).unwrap();
     fx.cluster.query(sql, &fx.cred).unwrap();

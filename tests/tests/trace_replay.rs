@@ -17,7 +17,7 @@ fn setup(
 ) -> (FeisuCluster, feisu_storage::auth::Credential, MemProvider) {
     let mut spec = ClusterSpec::small();
     spec.rows_per_block = 256;
-    let mut cluster = FeisuCluster::new(spec).unwrap();
+    let cluster = FeisuCluster::new(spec).unwrap();
     let user = cluster.register_user("replay");
     cluster.grant_all(user);
     let cred = cluster.login(user).unwrap();
@@ -40,7 +40,7 @@ fn setup(
 
 #[test]
 fn replayed_trace_matches_oracle_everywhere() {
-    let (mut cluster, cred, mut oracle) = setup(1024, 70);
+    let (cluster, cred, mut oracle) = setup(1024, 70);
     let trace = generate_trace(&TraceSpec {
         queries: 120,
         span: feisu_common::SimDuration::hours(2),
@@ -76,7 +76,7 @@ fn replay_is_deterministic_across_cluster_instances() {
         ..TraceSpec::default()
     });
     let run = || {
-        let (mut cluster, cred, _) = setup(512, 70);
+        let (cluster, cred, _) = setup(512, 70);
         trace
             .iter()
             .filter(|q| !q.sql.contains("LIMIT"))
