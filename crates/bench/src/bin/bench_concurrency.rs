@@ -126,28 +126,48 @@ fn main() -> feisu_common::Result<()> {
             baseline_qps = qps;
         }
         let speedup = qps / baseline_qps;
+        // Per-query latency percentiles from the cluster's own
+        // `feisu.query.response_ns` histogram. Simulated time, so they
+        // are near-identical across client counts: this workload's hot
+        // predicates race on the shared caches, so hit attribution (and
+        // with it a tail sample or two) may shift with interleaving.
+        let snap = bench.cluster.metrics().snapshot();
+        let h = snap
+            .histograms
+            .get("feisu.query.response_ns")
+            .expect("response histogram populated");
+        let (p50, p95, p99) = (h.p50 as f64 / 1e6, h.p95 as f64 / 1e6, h.p99 as f64 / 1e6);
         entries.push(format!(
             concat!(
                 "    {{\"clients\": {}, \"queries\": {}, \"wall_ms\": {}, ",
-                "\"qps\": {}, \"speedup\": {}}}"
+                "\"qps\": {}, \"speedup\": {}, ",
+                "\"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}"
             ),
             clients,
             query_count,
             json_f(wall_ms),
             json_f(qps),
             json_f(speedup),
+            json_f(p50),
+            json_f(p95),
+            json_f(p99),
         ));
         table.push(vec![
             clients.to_string(),
             format!("{wall_ms:.1}"),
             format!("{qps:.1}"),
             format!("{speedup:.2}x"),
+            format!("{p50:.2}"),
+            format!("{p95:.2}"),
+            format!("{p99:.2}"),
         ]);
     }
 
     feisu_bench::print_series(
         "shared-engine concurrency: wall-clock throughput by client count",
-        &["clients", "wall ms", "qps", "speedup"],
+        &[
+            "clients", "wall ms", "qps", "speedup", "p50 ms", "p95 ms", "p99 ms",
+        ],
         &table,
     );
 

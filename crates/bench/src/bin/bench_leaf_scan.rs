@@ -24,6 +24,7 @@ use feisu_exec::batch::RecordBatch;
 use feisu_exec::expr::eval_predicate;
 use feisu_format::{Block, Column, DataType, Field, Schema, Value};
 use feisu_index::BitVec;
+use feisu_obs::Histogram;
 use feisu_sql::ast::Expr;
 use feisu_sql::parser::parse_expr;
 use std::time::Instant;
@@ -152,15 +153,26 @@ fn scan_optimized(bytes: &[u8], expr: &Expr, projection: &[String]) -> (usize, u
     (bits.count_ones(), checksum(&out))
 }
 
-fn time_ms<F: FnMut() -> (usize, u64)>(iters: usize, mut f: F) -> (f64, (usize, u64)) {
+/// Times `iters` runs: returns the best wall-clock milliseconds, a
+/// [`Histogram`] of every iteration's nanoseconds (for tail
+/// percentiles), and the last result for cross-checking.
+fn time_ms<F: FnMut() -> (usize, u64)>(iters: usize, mut f: F) -> (f64, Histogram, (usize, u64)) {
+    let hist = Histogram::new(Histogram::default_time_boundaries());
     let mut best = f64::INFINITY;
     let mut result = (0, 0);
     for _ in 0..iters {
         let t = Instant::now();
         result = f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        let ns = t.elapsed().as_nanos() as u64;
+        hist.observe(ns);
+        best = best.min(ns as f64 / 1e6);
     }
-    (best, result)
+    (best, hist, result)
+}
+
+/// `Histogram` quantile in milliseconds.
+fn q_ms(hist: &Histogram, q: f64) -> f64 {
+    hist.quantile(q) as f64 / 1e6
 }
 
 fn json_f(v: f64) -> String {
@@ -223,8 +235,10 @@ fn main() {
     for cfg in &configs {
         let cut = cfg.selectivity_pct as i64; // values uniform in [0, 100)
         let expr = parse_expr(&format!("c0 < {cut}")).expect("bench predicate");
-        let (base_ms, base_res) = time_ms(iters, || scan_baseline(&bytes, cut, &cfg.projection));
-        let (opt_ms, opt_res) = time_ms(iters, || scan_optimized(&bytes, &expr, &cfg.projection));
+        let (base_ms, base_hist, base_res) =
+            time_ms(iters, || scan_baseline(&bytes, cut, &cfg.projection));
+        let (opt_ms, opt_hist, opt_res) =
+            time_ms(iters, || scan_optimized(&bytes, &expr, &cfg.projection));
         assert_eq!(
             base_res, opt_res,
             "{}: baseline and optimized scans disagree",
@@ -234,7 +248,9 @@ fn main() {
         entries.push(format!(
             concat!(
                 "    {{\"name\": \"{}\", \"selectivity_pct\": {}, \"touched\": {}, ",
-                "\"baseline_ms\": {}, \"optimized_ms\": {}, \"speedup\": {}}}"
+                "\"baseline_ms\": {}, \"optimized_ms\": {}, \"speedup\": {}, ",
+                "\"baseline_p50_ms\": {}, \"baseline_p95_ms\": {}, \"baseline_p99_ms\": {}, ",
+                "\"optimized_p50_ms\": {}, \"optimized_p95_ms\": {}, \"optimized_p99_ms\": {}}}"
             ),
             cfg.name,
             cfg.selectivity_pct,
@@ -242,6 +258,12 @@ fn main() {
             json_f(base_ms),
             json_f(opt_ms),
             json_f(speedup),
+            json_f(q_ms(&base_hist, 0.50)),
+            json_f(q_ms(&base_hist, 0.95)),
+            json_f(q_ms(&base_hist, 0.99)),
+            json_f(q_ms(&opt_hist, 0.50)),
+            json_f(q_ms(&opt_hist, 0.95)),
+            json_f(q_ms(&opt_hist, 0.99)),
         ));
         rows_out_table.push(vec![
             cfg.name.to_string(),

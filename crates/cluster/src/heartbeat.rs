@@ -111,6 +111,12 @@ impl HeartbeatTable {
         self.records.get(&node).map(|r| r.load)
     }
 
+    /// Last heartbeat instant of a node, if registered (drives the
+    /// `last_seen_ns` column of the `system.nodes` virtual table).
+    pub fn last_seen(&self, node: NodeId) -> Option<SimInstant> {
+        self.records.get(&node).map(|r| r.last_seen)
+    }
+
     /// All nodes alive at `now`.
     pub fn alive_nodes(&self, now: SimInstant) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self
@@ -189,6 +195,8 @@ mod tests {
         );
         assert!(t.is_alive(NodeId(1), late));
         assert_eq!(t.load(NodeId(1)).unwrap().running_tasks, 2);
+        assert_eq!(t.last_seen(NodeId(1)), Some(late));
+        assert_eq!(t.last_seen(NodeId(9)), None);
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct FeisuConfig {
     /// results — it only makes query overlap (or the lack of it)
     /// observable on a wall clock.
     pub leaf_wait_dilation: f64,
+    /// Capacity of the always-on query event log behind
+    /// `system.queries` (a bounded ring buffer; oldest records are
+    /// evicted first). Must be >= 1.
+    pub query_log_capacity: usize,
 }
 
 impl Default for FeisuConfig {
@@ -77,6 +81,7 @@ impl Default for FeisuConfig {
             result_spill_threshold: ByteSize::mib(64),
             execution_threads: 0,
             leaf_wait_dilation: 0.0,
+            query_log_capacity: 1024,
         }
     }
 }
@@ -105,6 +110,9 @@ impl FeisuConfig {
         }
         if !self.leaf_wait_dilation.is_finite() || self.leaf_wait_dilation < 0.0 {
             return Err("leaf_wait_dilation must be finite and >= 0".into());
+        }
+        if self.query_log_capacity == 0 {
+            return Err("query_log_capacity must be >= 1".into());
         }
         Ok(())
     }
@@ -136,6 +144,10 @@ mod tests {
 
         let mut c = FeisuConfig::default();
         c.leaves_per_stem = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = FeisuConfig::default();
+        c.query_log_capacity = 0;
         assert!(c.validate().is_err());
     }
 }

@@ -55,6 +55,11 @@ impl Catalog {
         location: &str,
         rows_per_block: usize,
     ) -> Result<()> {
+        if crate::system::is_system_table(name) {
+            return Err(FeisuError::Analysis(format!(
+                "the `system.` namespace is reserved for virtual tables (`{name}`)"
+            )));
+        }
         let mut tables = self.tables.write();
         if tables.contains_key(name) {
             return Err(FeisuError::Analysis(format!(
@@ -239,7 +244,9 @@ pub struct CatalogView<'a>(pub &'a Catalog);
 
 impl feisu_sql::analyze::Catalog for CatalogView<'_> {
     fn table_schema(&self, name: &str) -> Option<Schema> {
-        self.0.schema(name)
+        // Virtual system tables shadow nothing: the `system.` namespace
+        // is rejected at `create_table`, so checking them first is safe.
+        crate::system::system_table_schema(name).or_else(|| self.0.schema(name))
     }
 }
 

@@ -28,7 +28,9 @@ use feisu_exec::batch::RecordBatch;
 use feisu_exec::physical::lower;
 use feisu_format::{Column, Schema, Value};
 use feisu_index::manager::IndexManager;
-use feisu_obs::{MetricsRegistry, QueryProfile};
+use feisu_obs::{
+    MetricsRegistry, QueryEvent, QueryLog, QueryOutcome, QueryProfile, WindowedMetrics,
+};
 use feisu_sql::analyze::analyze;
 use feisu_sql::optimizer::optimize;
 use feisu_sql::plan::build_plan;
@@ -199,6 +201,14 @@ pub struct QueryResult {
     pub profile: QueryProfile,
 }
 
+impl QueryResult {
+    /// The query's span tree as a `chrome://tracing` / Perfetto JSON
+    /// array (one complete event per span, per-node thread rows).
+    pub fn chrome_trace(&self) -> String {
+        feisu_obs::chrome_trace(&self.profile)
+    }
+}
+
 /// The assembled Feisu deployment.
 ///
 /// The whole public surface is `&self`: a `FeisuCluster` is shared by
@@ -246,6 +256,11 @@ pub struct FeisuCluster {
     pub(crate) system_cred: Credential,
     pub(crate) metrics: Arc<MetricsRegistry>,
     pub(crate) qmetrics: QueryMetrics,
+    /// Always-on bounded query event log (backs `system.queries`).
+    pub(crate) query_log: QueryLog,
+    /// Sliding-window metric views on the simulated clock (backs the
+    /// `window` rows of `system.metrics`).
+    pub(crate) windows: WindowedMetrics,
 }
 
 const SYSTEM_USER: UserId = UserId(0);
@@ -358,6 +373,8 @@ impl FeisuCluster {
         let session_ids = IdGen::new();
         session_ids.next_u64(); // session ids start at 1 (0 = no session)
         let qmetrics = QueryMetrics::new(&metrics);
+        let query_log = QueryLog::new(spec.config.query_log_capacity);
+        let windows = WindowedMetrics::new(SimDuration::secs(60));
         Ok(FeisuCluster {
             spec,
             clock,
@@ -381,6 +398,8 @@ impl FeisuCluster {
             system_cred,
             metrics,
             qmetrics,
+            query_log,
+            windows,
         })
     }
 
@@ -449,6 +468,18 @@ impl FeisuCluster {
     /// The cluster-wide metrics registry (every subsystem feeds it).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The always-on query event log (also queryable via
+    /// `SELECT ... FROM system.queries`).
+    pub fn query_log(&self) -> &QueryLog {
+        &self.query_log
+    }
+
+    /// Sliding-window metric views ("QPS and tail latency right now");
+    /// window rows also surface in `system.metrics`.
+    pub fn windowed_metrics(&self) -> &WindowedMetrics {
+        &self.windows
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -601,6 +632,10 @@ impl FeisuCluster {
     pub fn explain(&self, sql: &str, cred: &Credential) -> Result<String> {
         let query = QueryHistory::syntax_check(sql)?;
         for tref in query.all_tables() {
+            // Virtual system tables live in no storage domain.
+            if crate::system::is_system_table(&tref.name) {
+                continue;
+            }
             let location = self.catalog.location(&tref.name)?;
             let domain = self.router.domain_of(&location);
             self.auth
@@ -679,17 +714,51 @@ impl FeisuCluster {
         let now = self.clock.now();
         self.qmetrics.queries.inc();
 
-        // Client layer: syntax check + history collection.
-        let query = QueryHistory::syntax_check(sql)?;
+        // Client layer: syntax check + history collection. Syntax
+        // failures land in the event log but — as before this log
+        // existed — not in `feisu.query.errors`, which counts failures
+        // of well-formed statements.
+        let query = match QueryHistory::syntax_check(sql) {
+            Ok(q) => q,
+            Err(e) => {
+                self.query_log.push(QueryEvent::terminal(
+                    query_id.0,
+                    cred.user.to_string(),
+                    sql.to_string(),
+                    QueryOutcome::Failed(e.to_string()),
+                    now.as_nanos(),
+                ));
+                return Err(e);
+            }
+        };
         self.history.record(cred.user, sql, &query, now);
 
         // Entry guard: capability protection + quotas. The permit is
         // RAII — errors (or panics) below release the concurrency slot.
         let table_count = query.all_tables().count();
-        let _permit = self.guard.admit(cred.user, sql, table_count, now)?;
+        let _permit = match self.guard.admit(cred.user, sql, table_count, now) {
+            Ok(p) => p,
+            Err(e) => {
+                self.query_log.push(QueryEvent::terminal(
+                    query_id.0,
+                    cred.user.to_string(),
+                    sql.to_string(),
+                    QueryOutcome::Rejected(e.to_string()),
+                    now.as_nanos(),
+                ));
+                return Err(e);
+            }
+        };
         let outcome = self.run_admitted(sql, &query, cred, options, now, query_id);
-        if outcome.is_err() {
+        if let Err(e) = &outcome {
             self.qmetrics.errors.inc();
+            self.query_log.push(QueryEvent::terminal(
+                query_id.0,
+                cred.user.to_string(),
+                sql.to_string(),
+                QueryOutcome::Failed(e.to_string()),
+                now.as_nanos(),
+            ));
         }
         outcome
     }

@@ -41,5 +41,6 @@ pub mod engine;
 pub mod leaf;
 pub mod master;
 pub mod stem;
+pub mod system;
 
 pub use engine::{ClusterSpec, FeisuCluster, QueryResult, QueryStats};

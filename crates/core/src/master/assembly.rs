@@ -5,10 +5,49 @@
 
 use crate::engine::{FeisuCluster, QueryResult};
 use crate::master::pipeline::ExecCtx;
-use feisu_common::{ByteSize, QueryId, Result, SimInstant};
+use feisu_common::{ByteSize, QueryId, Result, SimDuration, SimInstant};
 use feisu_exec::batch::RecordBatch;
-use feisu_obs::{Counter, Histogram, MetricsRegistry, QueryProfile};
+use feisu_obs::{
+    Counter, Histogram, MetricsRegistry, QueryEvent, QueryOutcome, QueryProfile, SpanNode,
+};
 use std::sync::Arc;
+
+/// Operator span names eligible for the event log's `top_operators`
+/// summary (the physical-plan node names, not stem/leaf infrastructure).
+const OPERATOR_NAMES: [&str; 8] = [
+    "DistributedScan",
+    "FinalAggregate",
+    "HashAggregate",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "Sort",
+    "Limit",
+];
+
+/// Top-`k` physical operators by span duration, rendered
+/// `Name=duration` space-joined — ties broken by name so the string is
+/// deterministic.
+fn top_operator_costs(roots: &[SpanNode], k: usize) -> String {
+    fn walk(node: &SpanNode, out: &mut Vec<(String, u64)>) {
+        if OPERATOR_NAMES.contains(&node.name.as_str()) {
+            out.push((node.name.clone(), node.duration().as_nanos()));
+        }
+        for child in &node.children {
+            walk(child, out);
+        }
+    }
+    let mut ops = Vec::new();
+    for root in roots {
+        walk(root, &mut ops);
+    }
+    ops.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ops.truncate(k);
+    ops.iter()
+        .map(|(name, ns)| format!("{name}={}", SimDuration(*ns)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
 
 impl FeisuCluster {
     /// Finalizes one successful query: advances the cluster clock, derives
@@ -77,6 +116,16 @@ impl FeisuCluster {
             let _ = write!(bytes_line, " {backend}={}", ByteSize(*bytes));
         }
         profile.push_summary("bytes read", bytes_line);
+        let wire_total = ctx.wire_leaf_stem + ctx.wire_stem_master;
+        profile.push_summary(
+            "bytes on wire",
+            format!(
+                "{} (leaf→stem {}, stem→master {})",
+                ByteSize(wire_total),
+                ByteSize(ctx.wire_leaf_stem),
+                ByteSize(ctx.wire_stem_master)
+            ),
+        );
         if !ctx.tier_tasks.is_empty() {
             let served = ctx
                 .tier_tasks
@@ -107,6 +156,48 @@ impl FeisuCluster {
         if ctx.partial {
             m.partial.inc();
         }
+
+        // Always-on query event log (backs `system.queries`) plus the
+        // sliding-window views. Absolute instants (admission/completion)
+        // depend on how concurrent clients interleave; every per-query
+        // field (response time, rows, bytes, wire traffic) is as
+        // deterministic as the QueryResult it mirrors.
+        let completed_at = ctx.now + response_time;
+        self.query_log.push(QueryEvent {
+            query_id: query_id.0,
+            user: ctx.cred.user.to_string(),
+            sql: std::mem::take(&mut ctx.sql),
+            outcome: if ctx.partial {
+                QueryOutcome::Partial
+            } else {
+                QueryOutcome::Completed
+            },
+            admitted_ns: ctx.now.as_nanos(),
+            admission_wait_ns: 0, // the guard admits/rejects instantly
+            response_ns: response_time.as_nanos(),
+            tasks: ctx.stats.tasks as u64,
+            rows_returned: batch.rows() as u64,
+            bytes_scanned: ctx.stats.bytes_read.0,
+            bytes_returned: batch.footprint() as u64,
+            wire_leaf_stem_bytes: ctx.wire_leaf_stem,
+            wire_stem_master_bytes: ctx.wire_stem_master,
+            index_hits: ctx.stats.index_hits as u64,
+            cache_hit_tasks: ctx.tier_tasks.get("ssd_cache").copied().unwrap_or(0) as u64,
+            memory_served_tasks: ctx.stats.memory_served_tasks as u64,
+            top_operators: top_operator_costs(&profile.tree.roots, 3),
+        });
+        self.windows.observe(
+            "feisu.query.response_ns",
+            completed_at,
+            response_time.as_nanos(),
+        );
+        self.windows
+            .observe("feisu.query.bytes_on_wire", completed_at, wire_total);
+        self.windows.observe(
+            "feisu.query.bytes_scanned",
+            completed_at,
+            ctx.stats.bytes_read.0,
+        );
 
         Ok(QueryResult {
             query_id,

@@ -38,7 +38,12 @@ impl FeisuCluster {
         query_id: QueryId,
     ) -> Result<QueryResult> {
         // Access verification: read grant on every touched table's domain.
+        // Virtual system tables live in no storage domain; any admitted
+        // user may introspect the cluster through them.
         for tref in query.all_tables() {
+            if crate::system::is_system_table(&tref.name) {
+                continue;
+            }
             let location = self.catalog.location(&tref.name)?;
             let domain = self.router.domain_of(&location);
             self.auth.authorize(cred, domain.id(), Grant::Read, now)?;
@@ -71,6 +76,7 @@ impl FeisuCluster {
         let mut ctx = ExecCtx {
             query_id,
             cred: cred.clone(),
+            sql: sql.to_string(),
             now,
             options: options.clone(),
             stats: QueryStats::default(),
@@ -80,6 +86,8 @@ impl FeisuCluster {
             root_spans: Vec::new(),
             backend_bytes: BTreeMap::new(),
             tier_tasks: BTreeMap::new(),
+            wire_leaf_stem: 0,
+            wire_stem_master: 0,
         };
         // Master overhead: parsing/planning/dispatch RPC.
         ctx.tally.add_cpu(self.spec.cost.rpc_overhead);
@@ -148,6 +156,11 @@ impl FeisuCluster {
         span: SpanId,
     ) -> Result<RecordBatch> {
         match plan {
+            PhysicalPlan::DistributedScan { table, .. }
+                if crate::system::is_system_table(table) =>
+            {
+                self.system_scan(plan, ctx, span)
+            }
             PhysicalPlan::DistributedScan { .. } => self.distributed_scan(plan, ctx, span),
             PhysicalPlan::FinalAggregate {
                 input,
@@ -225,6 +238,8 @@ impl FeisuCluster {
 pub(crate) struct ExecCtx {
     pub(crate) query_id: QueryId,
     pub(crate) cred: Credential,
+    /// Original statement text (recorded in the query event log).
+    pub(crate) sql: String,
     pub(crate) now: SimInstant,
     pub(crate) options: QueryOptions,
     pub(crate) stats: QueryStats,
@@ -239,4 +254,8 @@ pub(crate) struct ExecCtx {
     pub(crate) backend_bytes: BTreeMap<String, u64>,
     /// Executed-task counts per [`crate::leaf::ServedTier`] rendering.
     pub(crate) tier_tasks: BTreeMap<String, usize>,
+    /// Simulated result bytes shipped leaf→stem across all scans.
+    pub(crate) wire_leaf_stem: u64,
+    /// Simulated result bytes shipped stem→master across all scans.
+    pub(crate) wire_stem_master: u64,
 }

@@ -381,6 +381,11 @@ impl FeisuCluster {
                 .fold(SimDuration::ZERO, |a, b| a.max(b));
             let child_spans: Vec<SpanId> = group.iter().map(|r| r.span).collect();
             let task_count = group.len();
+            // Bytes-on-wire, leaf→stem leg: every kept task ships its
+            // result payload to its stem (reused results included — the
+            // cached payload still travels this leg).
+            let leg: u64 = group.iter().map(|r| r.out.batch.footprint() as u64).sum();
+            ctx.wire_leaf_stem += leg;
             let stem_out = stem::merge_leaf_outputs(
                 group.into_iter().map(|r| r.out).collect(),
                 agg_ref,
@@ -399,12 +404,21 @@ impl FeisuCluster {
                 SimInstant(child_max + stem_extra),
             );
             ctx.spans.attr(span, "tasks", task_count);
+            ctx.spans.attr(span, "wire_bytes", ByteSize(leg));
             for child in child_spans {
                 ctx.spans.set_parent(child, Some(span));
             }
             ctx.spans.set_parent(span, Some(op_span));
             stem_outputs.push(stem_out);
         }
+        // Bytes-on-wire, stem→master leg: each stem ships its merged
+        // payload up for finalization.
+        let up: u64 = stem_outputs
+            .iter()
+            .map(|s| s.batch.footprint() as u64)
+            .sum();
+        ctx.wire_stem_master += up;
+        ctx.spans.attr(op_span, "wire_to_master", ByteSize(up));
         let root = stem::merge_stem_outputs(stem_outputs, agg_ref, &self.spec.cost, 4)?;
         // The stem/master merge happens after the slowest leaf: charge its
         // cpu+network on top of the leaf critical path.

@@ -274,7 +274,8 @@ impl MetricsSnapshot {
 }
 
 /// Escapes a string as a JSON string literal (quotes included).
-fn json_string(s: &str) -> String {
+/// Shared with the Chrome-trace exporter (`crate::trace`).
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -458,6 +459,65 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99);
         assert!(p50 >= 250_000 && p50 <= 750_000, "p50 was {p50}");
         assert!(p99 >= 900_000 && p99 <= 1_000_000, "p99 was {p99}");
+    }
+
+    #[test]
+    fn quantile_edges_empty_extremes_and_single_bucket() {
+        // Empty: every quantile is 0 regardless of q.
+        let empty = Histogram::new(vec![10, 100]);
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+        // Out-of-range q clamps into [0, 1] instead of panicking.
+        let h = Histogram::new(vec![10, 100, 1000]);
+        for v in [20u64, 40, 60, 80] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(1.0), 80, "q=1.0 is the observed max");
+        assert_eq!(h.quantile(0.0), h.quantile(f64::EPSILON));
+        // Single-bucket histogram: everything lands in one bucket and the
+        // estimate stays clamped inside [min, max].
+        let one = Histogram::new(vec![1_000_000]);
+        for v in [5u64, 500, 900] {
+            one.observe(v);
+        }
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            let est = one.quantile(q);
+            assert!((5..=900).contains(&est), "q={q} escaped [min,max]: {est}");
+        }
+        assert_eq!(one.quantile(1.0), 900);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::new(Histogram::default_time_boundaries());
+        for v in [3u64, 17, 17, 40_000, 2_000_000, 9_000_000_000] {
+            h.observe(v);
+        }
+        let qs: Vec<u64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    #[test]
+    fn snapshot_is_registration_order_independent() {
+        // Two registries fed the same metrics in different registration
+        // orders must snapshot (and serialize) identically.
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        let names = ["z.last", "a.first", "m.middle", "feisu.query.count"];
+        for n in names {
+            a.counter(n).add(7);
+        }
+        for n in names.iter().rev() {
+            b.counter(n).add(7);
+        }
+        a.gauge("g.depth").set(3);
+        b.gauge("g.depth").set(3);
+        a.histogram_with("h.lat", || vec![10, 100]).observe(42);
+        b.histogram_with("h.lat", || vec![10, 100]).observe(42);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.to_json(), b.to_json());
     }
 
     #[test]

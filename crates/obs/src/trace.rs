@@ -1,0 +1,142 @@
+//! Chrome-trace export: turns a [`QueryProfile`]'s span tree into the
+//! `chrome://tracing` / Perfetto "JSON array" format.
+//!
+//! Every span becomes one complete event (`"ph": "X"`) with
+//! microsecond timestamps on the query-relative simulated timeline.
+//! The process id is the query id, so traces from several queries can
+//! be concatenated and still group correctly; the thread id is derived
+//! from a span's `node` attribute (`node-N` → tid N+1), with tid 0 for
+//! master-side spans, so per-node work lands on separate rows in the
+//! viewer. Span attributes are exported under `args` as strings.
+//!
+//! All inputs are simulated, so the exported text is byte-identical
+//! across runs and safe to golden-test.
+
+use crate::metrics::json_string;
+use crate::profile::QueryProfile;
+use crate::span::SpanNode;
+use std::fmt::Write as _;
+
+/// Renders the profile's span tree as a Chrome-trace JSON array.
+/// The output is loadable as-is in `chrome://tracing` or Perfetto.
+pub fn chrome_trace(profile: &QueryProfile) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for root in &profile.tree.roots {
+        emit(root, profile.query_id, 0, &mut out, &mut first);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn emit(node: &SpanNode, pid: u64, parent_tid: u64, out: &mut String, first: &mut bool) {
+    let tid = node
+        .attr("node")
+        .and_then(|v| tid_of(&v.to_string()))
+        .unwrap_or(parent_tid);
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "\n  {{\"name\": {}, \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": {pid}, \"tid\": {tid}",
+        json_string(&node.name),
+        micros(node.start.as_nanos()),
+        micros(node.duration().as_nanos()),
+    );
+    if !node.attrs.is_empty() {
+        out.push_str(", \"args\": {");
+        for (i, (k, v)) in node.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_string(k), json_string(&v.to_string()));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    for child in &node.children {
+        emit(child, pid, tid, out, first);
+    }
+}
+
+/// `node-N` → tid `N + 1` (tid 0 is reserved for master-side spans).
+fn tid_of(node_attr: &str) -> Option<u64> {
+    node_attr
+        .rsplit('-')
+        .next()
+        .and_then(|n| n.parse::<u64>().ok())
+        .map(|n| n + 1)
+}
+
+/// Nanoseconds → microseconds with 3 decimals (Chrome's `ts` unit is
+/// µs; fractional digits keep full simulated-ns precision).
+fn micros(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRecorder;
+    use feisu_common::SimInstant;
+
+    fn sample_profile() -> QueryProfile {
+        let rec = SpanRecorder::new();
+        let master = rec.record("master", None, SimInstant(0), SimInstant(12_000_000));
+        let stem = rec.record("stem", Some(master), SimInstant(0), SimInstant(9_500_000));
+        let leaf = rec.record(
+            "leaf_task",
+            Some(stem),
+            SimInstant(0),
+            SimInstant(7_250_500),
+        );
+        rec.attr(leaf, "node", "node-3");
+        rec.attr(leaf, "rows", 128u64);
+        let mut profile = QueryProfile::new(42);
+        profile.tree = rec.tree();
+        profile
+    }
+
+    #[test]
+    fn exports_one_complete_event_per_span() {
+        let json = chrome_trace(&sample_profile());
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
+        assert!(json.contains("\"name\": \"master\""));
+        assert!(json.contains("\"name\": \"stem\""));
+        assert!(json.contains("\"name\": \"leaf_task\""));
+        // µs timestamps with ns precision: 12_000_000 ns = 12000.000 µs.
+        assert!(json.contains("\"dur\": 12000.000"), "{json}");
+        assert!(json.contains("\"dur\": 7250.500"), "{json}");
+        assert!(json.contains("\"pid\": 42"));
+    }
+
+    #[test]
+    fn node_attr_maps_to_thread_id() {
+        let json = chrome_trace(&sample_profile());
+        // node-3 → tid 4; master/stem stay on the master row (tid 0).
+        assert!(json.contains("\"tid\": 4"), "{json}");
+        assert!(json.contains("\"tid\": 0"), "{json}");
+        // Attributes ride along as stringified args.
+        assert!(json.contains("\"args\": {\"node\": \"node-3\", \"rows\": \"128\"}"));
+    }
+
+    #[test]
+    fn empty_profile_is_an_empty_array() {
+        let json = chrome_trace(&QueryProfile::new(1));
+        assert_eq!(json, "[\n]\n");
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let rec = SpanRecorder::new();
+        rec.record("weird\"name", None, SimInstant(0), SimInstant(10));
+        let mut profile = QueryProfile::new(9);
+        profile.tree = rec.tree();
+        let json = chrome_trace(&profile);
+        assert!(json.contains("\\\"name\""), "{json}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Sliding-window metric views on the simulated clock.
+//!
+//! The cumulative [`MetricsRegistry`](crate::metrics::MetricsRegistry)
+//! answers "how much, ever"; [`WindowedMetrics`] answers "how much
+//! *right now*": per-series rate and quantiles over the trailing
+//! window of simulated time. Each observation is an `(instant, value)`
+//! sample; snapshots consider only samples whose instant falls inside
+//! `(now - window, now]`.
+//!
+//! Determinism: concurrent clients may insert samples in any order, so
+//! a snapshot never depends on insertion order — membership is decided
+//! purely by each sample's simulated instant, and quantiles are
+//! computed over the *sorted* sample values. A race-free workload
+//! therefore yields the same snapshot serially and concurrently.
+
+use feisu_common::{SimDuration, SimInstant};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Upper bound on retained samples per series; beyond it the oldest
+/// *inserted* sample is dropped (a memory backstop, not a semantic
+/// boundary — size it above the window's expected sample count).
+const MAX_SAMPLES_PER_SERIES: usize = 65_536;
+
+/// Aggregates over one series' in-window samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSnapshot {
+    /// Samples inside the window.
+    pub count: u64,
+    /// `count / window` in events per simulated second.
+    pub rate_per_sec: f64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+/// Named series of `(instant, value)` samples with sliding-window
+/// aggregation. All instants are simulated.
+#[derive(Debug)]
+pub struct WindowedMetrics {
+    window: SimDuration,
+    series: Mutex<BTreeMap<String, VecDeque<(u64, u64)>>>,
+}
+
+impl WindowedMetrics {
+    pub fn new(window: SimDuration) -> WindowedMetrics {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        WindowedMetrics {
+            window,
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records `value` for `name` at simulated instant `at`. Samples
+    /// may arrive out of timestamp order (concurrent clients).
+    pub fn observe(&self, name: &str, at: SimInstant, value: u64) {
+        let mut series = self.series.lock();
+        let samples = series.entry(name.to_string()).or_default();
+        if samples.len() == MAX_SAMPLES_PER_SERIES {
+            samples.pop_front();
+        }
+        samples.push_back((at.as_nanos(), value));
+    }
+
+    /// Window aggregate for one series as of `now`; `None` when the
+    /// series has no in-window samples.
+    pub fn snapshot_one(&self, name: &str, now: SimInstant) -> Option<WindowSnapshot> {
+        let series = self.series.lock();
+        let samples = series.get(name)?;
+        self.aggregate(samples, now)
+    }
+
+    /// All series with in-window samples as of `now`, name-sorted.
+    pub fn snapshot(&self, now: SimInstant) -> Vec<(String, WindowSnapshot)> {
+        let series = self.series.lock();
+        series
+            .iter()
+            .filter_map(|(name, samples)| self.aggregate(samples, now).map(|w| (name.clone(), w)))
+            .collect()
+    }
+
+    fn aggregate(&self, samples: &VecDeque<(u64, u64)>, now: SimInstant) -> Option<WindowSnapshot> {
+        let cutoff = now.as_nanos().saturating_sub(self.window.as_nanos());
+        let mut values: Vec<u64> = samples
+            .iter()
+            .filter(|(at, _)| *at > cutoff && *at <= now.as_nanos())
+            .map(|(_, v)| *v)
+            .collect();
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_unstable();
+        let count = values.len() as u64;
+        let q = |q: f64| -> u64 {
+            // Nearest-rank on the sorted sample set (exact, not
+            // bucket-interpolated: the window holds raw samples).
+            let rank = ((q * count as f64).ceil() as usize).max(1);
+            values[rank.min(values.len()) - 1]
+        };
+        Some(WindowSnapshot {
+            count,
+            rate_per_sec: count as f64 / self.window.as_secs_f64(),
+            min: values[0],
+            max: *values.last().expect("non-empty"),
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ns: u64) -> SimInstant {
+        SimInstant(ns)
+    }
+
+    #[test]
+    fn window_excludes_old_samples() {
+        let w = WindowedMetrics::new(SimDuration::secs(1));
+        w.observe("lat", at(100), 5);
+        w.observe("lat", at(500_000_000), 10);
+        w.observe("lat", at(1_200_000_000), 20);
+        // As of t=1.3s the first sample (t=100ns) is outside the 1s window.
+        let snap = w.snapshot_one("lat", at(1_300_000_000)).unwrap();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.min, 10);
+        assert_eq!(snap.max, 20);
+        assert!((snap.rate_per_sec - 2.0).abs() < 1e-12);
+        // Much later the window is empty again.
+        assert!(w.snapshot_one("lat", at(10_000_000_000)).is_none());
+    }
+
+    #[test]
+    fn snapshot_is_insertion_order_insensitive() {
+        let a = WindowedMetrics::new(SimDuration::secs(60));
+        let b = WindowedMetrics::new(SimDuration::secs(60));
+        let samples = [(10u64, 7u64), (20, 3), (30, 9), (40, 1)];
+        for (t, v) in samples {
+            a.observe("x", at(t), v);
+        }
+        for (t, v) in samples.iter().rev() {
+            b.observe("x", at(*t), *v);
+        }
+        assert_eq!(a.snapshot(at(100)), b.snapshot(at(100)));
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank_on_values() {
+        let w = WindowedMetrics::new(SimDuration::secs(10));
+        for v in 1..=100u64 {
+            w.observe("x", at(v), v);
+        }
+        let snap = w.snapshot_one("x", at(1000)).unwrap();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.p50, 50);
+        assert_eq!(snap.p95, 95);
+        assert_eq!(snap.p99, 99);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 100);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let w = WindowedMetrics::new(SimDuration::secs(1));
+        w.observe("one", at(10), 42);
+        let snap = w.snapshot_one("one", at(20)).unwrap();
+        assert_eq!((snap.p50, snap.p95, snap.p99), (42, 42, 42));
+        assert_eq!((snap.min, snap.max, snap.count), (42, 42, 1));
+    }
+
+    #[test]
+    fn snapshot_lists_series_name_sorted() {
+        let w = WindowedMetrics::new(SimDuration::secs(1));
+        w.observe("zeta", at(5), 1);
+        w.observe("alpha", at(5), 1);
+        w.observe("mid", at(5), 1);
+        let names: Vec<String> = w.snapshot(at(10)).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

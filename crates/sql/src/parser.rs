@@ -238,7 +238,13 @@ impl Parser {
     }
 
     fn parse_table_ref(&mut self) -> Result<TableRef> {
-        let name = self.expect_ident()?;
+        let mut name = self.expect_ident()?;
+        // Qualified table names (`system.queries`): one dotted segment,
+        // kept inside the name — the catalog namespaces virtual tables
+        // by their full `schema.table` string.
+        if self.eat_if(&Token::Dot) {
+            name = format!("{name}.{}", self.expect_ident()?);
+        }
         let alias = if self.eat_keyword(Keyword::As) {
             Some(self.expect_ident()?)
         } else if let Some(Token::Ident(_)) = self.peek_token() {
@@ -428,6 +434,17 @@ mod tests {
         ));
         let w = q.where_clause.unwrap();
         assert_eq!(w.to_string(), "((c2 > 0) AND (c2 <= 5))");
+    }
+
+    #[test]
+    fn parse_qualified_table_name() {
+        let q = parse_query("SELECT sql FROM system.queries WHERE tasks > 0").unwrap();
+        assert_eq!(q.from[0].name, "system.queries");
+        assert_eq!(q.from[0].alias, None);
+        // Alias still parses after a qualified name.
+        let q = parse_query("SELECT q.sql FROM system.queries AS q").unwrap();
+        assert_eq!(q.from[0].name, "system.queries");
+        assert_eq!(q.from[0].alias.as_deref(), Some("q"));
     }
 
     #[test]

@@ -59,7 +59,9 @@ with open("results/BENCH_leaf_scan.json") as f:
 configs = data["configs"]
 assert configs, "no bench configs recorded"
 for c in configs:
-    for k in ("name", "selectivity_pct", "touched", "baseline_ms", "optimized_ms", "speedup"):
+    for k in ("name", "selectivity_pct", "touched", "baseline_ms", "optimized_ms", "speedup",
+              "baseline_p50_ms", "baseline_p95_ms", "baseline_p99_ms",
+              "optimized_p50_ms", "optimized_p95_ms", "optimized_p99_ms"):
         assert k in c, f"config missing {k}: {c}"
 print(f"ci: bench json ok ({len(configs)} configs)")
 EOF
@@ -86,7 +88,8 @@ assert data["bench"] == "concurrency", data
 clients = data["clients"]
 assert clients, "no client configs recorded"
 for c in clients:
-    for k in ("clients", "queries", "wall_ms", "qps", "speedup"):
+    for k in ("clients", "queries", "wall_ms", "qps", "speedup",
+              "p50_ms", "p95_ms", "p99_ms"):
         assert k in c, f"client entry missing {k}: {c}"
 print(f"ci: concurrency json ok ({len(clients)} client counts)")
 EOF
@@ -94,6 +97,32 @@ else
   grep -q '"bench": "concurrency"' results/BENCH_concurrency.json
   grep -q '"qps"' results/BENCH_concurrency.json
   echo "ci: concurrency json ok (grep check)"
+fi
+
+# Observability plane: system tables must answer plain SQL and a real
+# query's Chrome trace must export as parseable, non-empty JSON.
+echo "ci: observability smoke (system tables + trace export)"
+cargo run --release $OFFLINE -p feisu-bench --bin obs_smoke
+if [ ! -s results/TRACE_smoke.json ]; then
+  echo "ci: results/TRACE_smoke.json missing or empty" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("results/TRACE_smoke.json") as f:
+    events = json.load(f)
+assert isinstance(events, list) and events, "trace must be a non-empty JSON array"
+for e in events:
+    for k in ("name", "ph", "ts", "dur", "pid", "tid"):
+        assert k in e, f"trace event missing {k}: {e}"
+assert any(e["name"] == "master" for e in events), "no master span in trace"
+print(f"ci: trace json ok ({len(events)} events)")
+EOF
+else
+  grep -q '"ph": "X"' results/TRACE_smoke.json
+  grep -q '"name": "master"' results/TRACE_smoke.json
+  echo "ci: trace json ok (grep check)"
 fi
 
 echo "ci: all green"
