@@ -1,0 +1,291 @@
+//! Benchmark for footer zone-map block skipping on cold first-touch scans.
+//!
+//! Builds two identical clusters over an `events` table whose `id` column
+//! is ingested in ascending order (so every block's zone covers a
+//! disjoint id range) — one with `FeisuConfig.zone_maps` on, one with it
+//! off. SmartIndex and task reuse are disabled so *every* query is a cold
+//! first-touch scan: the only difference between the clusters is whether
+//! a leaf may disprove a block from its footer before decoding it.
+//!
+//! Configurations sweep selectivity: a 1-block point range, a mid-table
+//! range, a half-table range, and an unselective full-width scan where
+//! zone maps can skip nothing (regression guard — the footer check must
+//! be free when it never fires). Both simulated response time (the cost
+//! model the paper's numbers come from) and wall-clock are reported;
+//! results land in `results/BENCH_zone_skip.json`.
+//!
+//! `--smoke` (or `FEISU_BENCH_SMOKE=1`) shrinks the table for CI.
+
+use feisu_common::rng::DetRng;
+use feisu_core::engine::{ClusterSpec, FeisuCluster, QueryResult};
+use feisu_format::{DataType, Field, Schema, Value};
+use feisu_obs::Histogram;
+use feisu_storage::auth::Credential;
+use std::time::Instant;
+
+struct Config {
+    name: &'static str,
+    sql: String,
+}
+
+fn events_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int64, false),
+        Field::new("val", DataType::Float64, false),
+        Field::new("tag", DataType::Utf8, false),
+        Field::new("payload", DataType::Utf8, false),
+    ])
+}
+
+/// `rows` events starting at `first_id` with ascending ids. `payload` is
+/// `payload_segs` × 16 hex chars of per-row entropy, so blocks carry
+/// enough incompressible bytes that transfer (not seek) dominates a
+/// block read — the regime where skipping a decode matters, and the one
+/// production blocks live in (the paper's blocks are tens of MB).
+fn events_rows(first_id: usize, rows: usize, payload_segs: usize) -> Vec<Vec<Value>> {
+    let mut rng = DetRng::new(0x5eed_20e5 ^ first_id as u64);
+    (first_id..first_id + rows)
+        .map(|i| {
+            let mut payload = String::with_capacity(16 * payload_segs);
+            for _ in 0..payload_segs {
+                payload.push_str(&format!("{:016x}", rng.next_u64()));
+            }
+            vec![
+                Value::Int64(i as i64),
+                Value::Float64(rng.next_f64()),
+                Value::from(["alpha", "beta", "gamma", "delta"][rng.index(4)]),
+                Value::from(payload),
+            ]
+        })
+        .collect()
+}
+
+fn build_cluster(
+    rows: usize,
+    rows_per_block: usize,
+    payload_segs: usize,
+    zone_maps: bool,
+) -> (FeisuCluster, Credential) {
+    let mut spec = ClusterSpec::small();
+    spec.rows_per_block = rows_per_block;
+    spec.config.zone_maps = zone_maps;
+    // Cold first-touch scans on every iteration: no cached index bits, no
+    // identical-task result reuse.
+    spec.use_smartindex = false;
+    spec.task_reuse = false;
+    let cluster = FeisuCluster::new(spec).expect("cluster");
+    let user = cluster.register_user("bencher");
+    cluster.grant_all(user);
+    let cred = cluster.login(user).expect("login");
+    cluster
+        .create_table("events", events_schema(), "/hdfs/bench/events", &cred)
+        .expect("create table");
+    // Ingest in block-aligned chunks to bound peak row-buffer memory.
+    let chunk = rows_per_block * 8;
+    let mut first = 0;
+    while first < rows {
+        let n = chunk.min(rows - first);
+        cluster
+            .ingest_rows("events", events_rows(first, n, payload_segs), &cred)
+            .expect("ingest");
+        first += n;
+    }
+    (cluster, cred)
+}
+
+/// Runs `iters` cold queries: returns the (constant) simulated response
+/// time in ms, best wall-clock ms, a wall-clock histogram, and the last
+/// result.
+fn run(
+    cluster: &FeisuCluster,
+    cred: &Credential,
+    sql: &str,
+    iters: usize,
+) -> (f64, f64, Histogram, QueryResult) {
+    let hist = Histogram::new(Histogram::default_time_boundaries());
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    let mut sim_ms = 0.0;
+    for i in 0..iters {
+        let t = Instant::now();
+        let r = cluster.query(sql, cred).expect("bench query");
+        let ns = t.elapsed().as_nanos() as u64;
+        hist.observe(ns);
+        best = best.min(ns as f64 / 1e6);
+        if i == 0 {
+            sim_ms = r.response_time.as_millis_f64();
+        } else {
+            assert_eq!(
+                sim_ms,
+                r.response_time.as_millis_f64(),
+                "simulated time must be reuse-free and deterministic"
+            );
+        }
+        last = Some(r);
+    }
+    (sim_ms, best, hist, last.expect("at least one iter"))
+}
+
+fn q_ms(hist: &Histogram, q: f64) -> f64 {
+    hist.quantile(q) as f64 / 1e6
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("FEISU_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (rows_per_block, blocks, payload_segs, iters) = if smoke {
+        (256, 8, 4, 2)
+    } else {
+        (8192, 64, 48, 3)
+    };
+    let rows = rows_per_block * blocks;
+
+    let (on, on_cred) = build_cluster(rows, rows_per_block, payload_segs, true);
+    let (off, off_cred) = build_cluster(rows, rows_per_block, payload_segs, false);
+
+    let mid = rows / 2;
+    let configs = vec![
+        Config {
+            // Fetch whole matching rows from a cold table: every column
+            // is touched, so a non-skipped block pays its full bytes.
+            name: "point_1_block",
+            sql: format!("SELECT id, val, tag, payload FROM events WHERE id < {rows_per_block}"),
+        },
+        Config {
+            name: "range_mid_2_blocks",
+            sql: format!(
+                "SELECT id, val, tag FROM events WHERE id >= {mid} AND id < {}",
+                mid + 2 * rows_per_block
+            ),
+        },
+        Config {
+            name: "range_half_table",
+            sql: format!("SELECT id, val FROM events WHERE id >= {mid}"),
+        },
+        Config {
+            // Matches every block: zone maps can skip nothing, so the
+            // footer check must cost exactly nothing in simulated time.
+            name: "unselective_guard",
+            sql: "SELECT id, val, tag FROM events WHERE id >= 0".to_string(),
+        },
+    ];
+
+    let mut entries = Vec::new();
+    let mut table = Vec::new();
+    let mut selective_speedup = 0.0f64;
+    let mut selective_wall_speedup = 0.0f64;
+    let mut unselective_ratio = 0.0f64;
+    for cfg in &configs {
+        let (on_sim, on_wall, on_hist, on_res) = run(&on, &on_cred, &cfg.sql, iters);
+        let (off_sim, off_wall, off_hist, off_res) = run(&off, &off_cred, &cfg.sql, iters);
+        if std::env::var("FEISU_BENCH_DEBUG").is_ok_and(|v| v == "1") {
+            println!(
+                "--- {} (zone maps on) ---\n{}",
+                cfg.name,
+                on_res.profile.render()
+            );
+            println!(
+                "--- {} (zone maps off) ---\n{}",
+                cfg.name,
+                off_res.profile.render()
+            );
+        }
+        assert_eq!(
+            on_res.batch, off_res.batch,
+            "{}: zone skipping changed results",
+            cfg.name
+        );
+        assert_eq!(
+            off_res.stats.blocks_skipped, 0,
+            "{}: kill-switch must disable skipping",
+            cfg.name
+        );
+        let sim_speedup = off_sim / on_sim;
+        let wall_speedup = off_wall / on_wall;
+        if cfg.name == "point_1_block" {
+            // Headline: the simulated response-time ratio (deterministic,
+            // the number the paper-world comparison is about). Skipped
+            // blocks still pay seek latency and footer bytes, so the
+            // ratio depends on blocks being transfer-dominated.
+            selective_speedup = sim_speedup;
+            selective_wall_speedup = wall_speedup;
+        }
+        if cfg.name == "unselective_guard" {
+            // Guard reports the on/off cost ratio: 1.0 means the zone
+            // check is free when nothing can be skipped.
+            unselective_ratio = on_sim / off_sim;
+        }
+        entries.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"rows_out\": {}, ",
+                "\"blocks_skipped\": {}, \"blocks_scanned\": {}, ",
+                "\"zone_on_sim_ms\": {}, \"zone_off_sim_ms\": {}, \"sim_speedup\": {}, ",
+                "\"zone_on_wall_ms\": {}, \"zone_off_wall_ms\": {}, \"wall_speedup\": {}, ",
+                "\"zone_on_wall_p95_ms\": {}, \"zone_off_wall_p95_ms\": {}}}"
+            ),
+            cfg.name,
+            on_res.batch.rows(),
+            on_res.stats.blocks_skipped,
+            on_res.stats.blocks_scanned,
+            json_f(on_sim),
+            json_f(off_sim),
+            json_f(sim_speedup),
+            json_f(on_wall),
+            json_f(off_wall),
+            json_f(wall_speedup),
+            json_f(q_ms(&on_hist, 0.95)),
+            json_f(q_ms(&off_hist, 0.95)),
+        ));
+        table.push(vec![
+            cfg.name.to_string(),
+            format!("{}", on_res.batch.rows()),
+            format!(
+                "{}/{}",
+                on_res.stats.blocks_skipped,
+                on_res.stats.blocks_skipped + on_res.stats.blocks_scanned
+            ),
+            format!("{off_sim:.3}"),
+            format!("{on_sim:.3}"),
+            format!("{sim_speedup:.2}x"),
+            format!("{wall_speedup:.2}x"),
+        ]);
+    }
+
+    feisu_bench::print_series(
+        "zone-map skipping: cold scans, zone maps off vs on",
+        &[
+            "config",
+            "rows out",
+            "skipped",
+            "off sim ms",
+            "on sim ms",
+            "sim speedup",
+            "wall speedup",
+        ],
+        &table,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"zone_skip\",\n  \"rows\": {rows},\n  \
+         \"rows_per_block\": {rows_per_block},\n  \"blocks\": {blocks},\n  \
+         \"iters\": {iters},\n  \"smoke\": {smoke},\n  \
+         \"selective_speedup\": {},\n  \"selective_wall_speedup\": {},\n  \
+         \"unselective_ratio\": {},\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        json_f(selective_speedup),
+        json_f(selective_wall_speedup),
+        json_f(unselective_ratio),
+        entries.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_zone_skip.json", json).expect("write bench json");
+    println!("\nresults -> results/BENCH_zone_skip.json");
+}

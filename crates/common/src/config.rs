@@ -61,6 +61,11 @@ pub struct FeisuConfig {
     /// `system.queries` (a bounded ring buffer; oldest records are
     /// evicted first). Must be >= 1.
     pub query_log_capacity: usize,
+    /// Kill-switch for zone-map block skipping at the leaves. Ingest
+    /// always writes zone maps into block footers; this only controls
+    /// whether leaf scans *evaluate* them to skip provably-dead blocks
+    /// before decoding any column chunk.
+    pub zone_maps: bool,
 }
 
 impl Default for FeisuConfig {
@@ -82,6 +87,7 @@ impl Default for FeisuConfig {
             execution_threads: 0,
             leaf_wait_dilation: 0.0,
             query_log_capacity: 1024,
+            zone_maps: true,
         }
     }
 }

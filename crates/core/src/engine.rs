@@ -136,6 +136,10 @@ pub struct QueryStats {
     /// counted in `index_built`).
     pub index_rejected: usize,
     pub scanned_predicates: usize,
+    /// Blocks skipped by footer zone maps before any column decode.
+    pub blocks_skipped: usize,
+    /// Blocks whose column chunks were actually decoded.
+    pub blocks_scanned: usize,
     pub bytes_read: ByteSize,
     pub memory_served_tasks: usize,
     /// Results too large for the read-data flow, dumped to global storage
@@ -163,6 +167,8 @@ impl QueryStats {
         self.index_built += other.index_built;
         self.index_rejected += other.index_rejected;
         self.scanned_predicates += other.scanned_predicates;
+        self.blocks_skipped += other.blocks_skipped;
+        self.blocks_scanned += other.blocks_scanned;
         self.bytes_read += other.bytes_read;
         self.memory_served_tasks += other.memory_served_tasks;
         self.spilled_results += other.spilled_results;
@@ -176,6 +182,8 @@ impl QueryStats {
             index_built: leaf.index_built,
             index_rejected: leaf.index_rejected,
             scanned_predicates: leaf.scanned_predicates,
+            blocks_skipped: leaf.blocks_skipped,
+            blocks_scanned: leaf.blocks_scanned,
             bytes_read: leaf.bytes_read,
             pruned_blocks: leaf.pruned_by_zone as usize,
             memory_served_tasks: leaf.served_from_memory as usize,
@@ -347,7 +355,13 @@ impl FeisuCluster {
             index.attach_metrics(&metrics);
             leaves.insert(
                 n.id,
-                LeafServer::new(n.id, index, topology.clone(), cost.clone()),
+                LeafServer::new(
+                    n.id,
+                    index,
+                    topology.clone(),
+                    cost.clone(),
+                    spec.config.zone_maps,
+                ),
             );
         }
         heartbeats.attach_metrics(&metrics);

@@ -62,8 +62,9 @@ pub struct ScanTask {
 /// Which tier of the storage hierarchy ultimately served a task's data.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum ServedTier {
-    /// No data was read at all (zone-pruned, or answered from cached
-    /// SmartIndex bits).
+    /// No data was read at all (answered from cached SmartIndex bits).
+    /// Zone-skipped tasks are *not* memory-served: they read the block's
+    /// footer from whatever tier holds it, just never a column chunk.
     #[default]
     Memory,
     /// The per-node SSD data cache (§IV-B).
@@ -95,6 +96,11 @@ pub struct LeafTaskStats {
     pub index_rejected: usize,
     pub scanned_predicates: usize,
     pub pruned_by_zone: bool,
+    /// Blocks skipped by footer zone maps before any column decode (0 or
+    /// 1 per task today; a task covers one block).
+    pub blocks_skipped: usize,
+    /// Blocks whose column chunks were actually decoded.
+    pub blocks_scanned: usize,
     /// Block bytes actually charged to storage.
     pub bytes_read: ByteSize,
     /// Whole task served from memory (no storage touch).
@@ -124,6 +130,9 @@ pub struct LeafServer {
     index: IndexManager,
     topology: Arc<Topology>,
     cost: CostModel,
+    /// Evaluate footer zone maps to skip provably-dead blocks
+    /// (`FeisuConfig.zone_maps`). Off ⇒ every block is scanned.
+    zone_maps: bool,
 }
 
 impl LeafServer {
@@ -132,12 +141,14 @@ impl LeafServer {
         index: IndexManager,
         topology: Arc<Topology>,
         cost: CostModel,
+        zone_maps: bool,
     ) -> Self {
         LeafServer {
             node,
             index,
             topology,
             cost,
+            zone_maps,
         }
     }
 
@@ -166,15 +177,7 @@ impl LeafServer {
         // they match the block's schema.
         let cnf = rename_cnf(&task.cnf, &task.name_map);
 
-        // 1. Zone pruning from catalog metadata — no storage touch.
-        if prune_by_zones(&task.block, &cnf, &task.name_map) {
-            stats.pruned_by_zone = true;
-            stats.served_from_memory = true;
-            tally.add_cpu(self.cost.predicate_eval(cnf.clauses.len().max(1)));
-            return self.empty_output(task, tally, stats);
-        }
-
-        // 2. Pure COUNT(*) with a fully cached CNF: answer from bits.
+        // 1. Pure COUNT(*) with a fully cached CNF: answer from bits.
         let count_only =
             task.agg.as_ref().is_some_and(|a| a.is_count_star_only()) && task.residual.is_empty();
         if use_index && count_only {
@@ -195,7 +198,7 @@ impl LeafServer {
             }
         }
 
-        // 3. Read the block (charged for the touched column fraction).
+        // 2. Read the block (charged for the touched column fraction).
         let read = router.read(&task.block.path, self.node, cred, now)?;
         stats.backend = Some(router.domain_of(&task.block.path).id());
         stats.served_tier = if read.from_cache {
@@ -205,11 +208,41 @@ impl LeafServer {
         } else {
             ServedTier::Remote
         };
+
+        // 3. Zone-map skip: evaluate the CNF against the footer zone maps
+        // before decoding anything. A block whose zones disprove one
+        // conjunct is skipped entirely — no chunk decompression, no
+        // SmartIndex probe; storage is charged only for the metadata
+        // (envelope + footer) bytes the decision needed.
+        let meta = Block::read_meta(&read.data)?;
+        if self.zone_maps {
+            if let Some(zones) = &meta.zones {
+                if zones_disprove(&cnf, &meta.schema, zones, meta.rows) {
+                    stats.pruned_by_zone = true;
+                    stats.blocks_skipped = 1;
+                    let meta_size = ByteSize(meta.meta_bytes as u64);
+                    stats.bytes_read = meta_size;
+                    // Domain-specific fixed penalties still apply: the
+                    // footer read wakes a cold Fatman volume like any
+                    // other read.
+                    let domain_extra = read
+                        .cost
+                        .io
+                        .saturating_sub(self.cost.read(read.medium, task.block.stored_size));
+                    tally.add_io(domain_extra + self.cost.read(read.medium, meta_size));
+                    tally.add_network(self.cost.network(read.hops, meta_size));
+                    tally.add_cpu(self.cost.predicate_eval(cnf.clauses.len().max(1)));
+                    return self.empty_output(task, tally, stats);
+                }
+            }
+        }
+        stats.blocks_scanned = 1;
+
         // Late materialization: decode only the columns this task can
         // touch — projection, predicate columns not servable from cached
         // bits, residual columns — using the format's offset directory.
         // The full stored schema still drives the cost model below.
-        let (_, full_schema, _) = Block::read_header(&read.data)?;
+        let full_schema = meta.schema;
         let needed = self.decode_set(&full_schema, task, &cnf, now, use_index);
         let needed: Vec<&str> = needed.iter().map(|s| s.as_str()).collect();
         let mut block = Block::deserialize_columns(&read.data, &needed)?;
@@ -475,25 +508,41 @@ fn push_unique(names: &mut Vec<String>, name: &str) {
     }
 }
 
-/// Catalog-only zone pruning: true when any single-predicate clause
-/// provably matches nothing in this block.
-fn prune_by_zones(block: &BlockDesc, cnf: &Cnf, _map: &FxHashMap<String, String>) -> bool {
-    for clause in &cnf.clauses {
-        if let Some(p) = clause.as_single_simple() {
-            if let Some(zone) = block.zone(&p.column) {
-                if let (Some(min), Some(max)) = (&zone.min, &zone.max) {
-                    let zm = ZoneMap::new(min.clone(), max.clone());
-                    if !zm.may_match(p.op, &p.value) {
-                        return true;
+/// Footer zone-map disproof: true when some CNF conjunct provably matches
+/// no row of the block, i.e. *every* disjunct of that clause is a simple
+/// predicate the zones rule out. `cnf` is in storage names; `zones` is in
+/// `schema` (stored) order. Conservative throughout: a residual disjunct,
+/// an unknown column, or missing bounds on a not-all-null column all mean
+/// the clause might match and the block must be scanned.
+fn zones_disprove(
+    cnf: &Cnf,
+    schema: &Schema,
+    zones: &[feisu_format::ColumnStats],
+    rows: usize,
+) -> bool {
+    use feisu_sql::cnf::Disjunct;
+    cnf.clauses.iter().any(|clause| {
+        !clause.disjuncts.is_empty()
+            && clause.disjuncts.iter().all(|d| {
+                let Disjunct::Simple(p) = d else {
+                    return false;
+                };
+                let Some(i) = schema.index_of(&p.column) else {
+                    return false;
+                };
+                let Some(zone) = zones.get(i) else {
+                    return false;
+                };
+                match (&zone.min, &zone.max) {
+                    (Some(min), Some(max)) => {
+                        !ZoneMap::new(min.clone(), max.clone()).may_match(p.op, &p.value)
                     }
-                } else if zone.null_count == block.rows {
-                    // All-null column: no comparison can hold.
-                    return true;
+                    // No bounds: disproven only when provably all-null
+                    // (or empty) — a comparison is never true on NULL.
+                    _ => zone.null_count == rows,
                 }
-            }
-        }
-    }
-    false
+            })
+    })
 }
 
 /// Fraction of the block's bytes the scan must touch (by estimated

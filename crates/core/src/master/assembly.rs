@@ -101,6 +101,13 @@ impl FeisuCluster {
             ),
         );
         profile.push_summary(
+            "blocks",
+            format!(
+                "{} scanned, {} skipped by zone maps",
+                ctx.stats.blocks_scanned, ctx.stats.blocks_skipped
+            ),
+        );
+        profile.push_summary(
             "smartindex",
             format!(
                 "hits {}, built {}, rejected {}, scanned predicates {}",
@@ -150,6 +157,8 @@ impl FeisuCluster {
         m.reused.add(ctx.stats.reused_tasks as u64);
         m.backup.add(ctx.stats.backup_tasks as u64);
         m.pruned_by_zone.add(ctx.stats.pruned_blocks as u64);
+        m.blocks_skipped.add(ctx.stats.blocks_skipped as u64);
+        m.blocks_scanned.add(ctx.stats.blocks_scanned as u64);
         m.memory_served.add(ctx.stats.memory_served_tasks as u64);
         m.bytes_read.add(ctx.stats.bytes_read.0);
         m.spilled.add(ctx.stats.spilled_results as u64);
@@ -182,6 +191,8 @@ impl FeisuCluster {
             wire_leaf_stem_bytes: ctx.wire_leaf_stem,
             wire_stem_master_bytes: ctx.wire_stem_master,
             index_hits: ctx.stats.index_hits as u64,
+            blocks_skipped: ctx.stats.blocks_skipped as u64,
+            blocks_scanned: ctx.stats.blocks_scanned as u64,
             cache_hit_tasks: ctx.tier_tasks.get("ssd_cache").copied().unwrap_or(0) as u64,
             memory_served_tasks: ctx.stats.memory_served_tasks as u64,
             top_operators: top_operator_costs(&profile.tree.roots, 3),
@@ -222,6 +233,8 @@ pub(crate) struct QueryMetrics {
     pub(crate) reused: Arc<Counter>,
     pub(crate) backup: Arc<Counter>,
     pub(crate) pruned_by_zone: Arc<Counter>,
+    pub(crate) blocks_skipped: Arc<Counter>,
+    pub(crate) blocks_scanned: Arc<Counter>,
     pub(crate) memory_served: Arc<Counter>,
     pub(crate) bytes_read: Arc<Counter>,
 }
@@ -238,6 +251,8 @@ impl QueryMetrics {
             reused: registry.counter("feisu.task.reused"),
             backup: registry.counter("feisu.task.backup"),
             pruned_by_zone: registry.counter("feisu.task.pruned_by_zone"),
+            blocks_skipped: registry.counter("feisu.task.blocks_skipped"),
+            blocks_scanned: registry.counter("feisu.task.blocks_scanned"),
             memory_served: registry.counter("feisu.task.memory_served"),
             bytes_read: registry.counter("feisu.task.bytes_read"),
         }

@@ -284,6 +284,10 @@ impl FeisuCluster {
             if output.stats.pruned_by_zone {
                 ctx.spans.attr(span, "pruned_by_zone", 1u64);
             }
+            if output.stats.blocks_skipped > 0 {
+                ctx.spans
+                    .attr(span, "blocks_skipped", output.stats.blocks_skipped);
+            }
             ctx.spans
                 .attr(span, "tier", output.stats.served_tier.to_string());
             *ctx.tier_tasks

@@ -49,6 +49,8 @@ pub fn system_table_schema(name: &str) -> Option<Schema> {
             Field::new("wire_leaf_stem_bytes", DataType::Int64, false),
             Field::new("wire_stem_master_bytes", DataType::Int64, false),
             Field::new("index_hits", DataType::Int64, false),
+            Field::new("blocks_skipped", DataType::Int64, false),
+            Field::new("blocks_scanned", DataType::Int64, false),
             Field::new("cache_hit_tasks", DataType::Int64, false),
             Field::new("memory_served_tasks", DataType::Int64, false),
             Field::new("top_operators", DataType::Utf8, false),
@@ -134,6 +136,8 @@ impl FeisuCluster {
                             Value::Int64(e.wire_leaf_stem_bytes as i64),
                             Value::Int64(e.wire_stem_master_bytes as i64),
                             Value::Int64(e.index_hits as i64),
+                            Value::Int64(e.blocks_skipped as i64),
+                            Value::Int64(e.blocks_scanned as i64),
                             Value::Int64(e.cache_hit_tasks as i64),
                             Value::Int64(e.memory_served_tasks as i64),
                             Value::Utf8(e.top_operators),
@@ -363,8 +367,10 @@ mod tests {
         let schema = system_table_schema("system.queries").unwrap();
         // One column per QueryEvent field plus the derived outcome/error
         // pair replacing the enum.
-        assert_eq!(schema.len(), 18);
+        assert_eq!(schema.len(), 20);
         assert!(schema.index_of("wire_leaf_stem_bytes").is_some());
+        assert!(schema.index_of("blocks_skipped").is_some());
+        assert!(schema.index_of("blocks_scanned").is_some());
         assert!(schema.index_of("top_operators").is_some());
     }
 }

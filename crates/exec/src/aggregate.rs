@@ -316,7 +316,14 @@ impl AggTable {
                     fields.push(Field::new(format!("s{i}:count"), DataType::Int64, true))
                 }
                 AggFunc::Sum => {
-                    fields.push(Field::new(format!("s{i}:sum"), DataType::Float64, true));
+                    // Int64 sums ship as Int64: an f64 column would round
+                    // values past 2^53 on the wire.
+                    let sum_dt = if a.output_type == DataType::Int64 {
+                        DataType::Int64
+                    } else {
+                        DataType::Float64
+                    };
+                    fields.push(Field::new(format!("s{i}:sum"), sum_dt, true));
                     fields.push(Field::new(format!("s{i}:seen"), DataType::Bool, true));
                 }
                 AggFunc::Avg => {
@@ -352,7 +359,7 @@ impl AggTable {
                         col += 1;
                     }
                     AggState::SumInt(s, seen) => {
-                        builders[col].push(Value::Float64(*s as f64));
+                        builders[col].push(Value::Int64(*s));
                         builders[col + 1].push(Value::Bool(*seen));
                         col += 2;
                     }
@@ -407,13 +414,14 @@ impl AggTable {
                         AggState::Count(n)
                     }
                     AggFunc::Sum => {
-                        let s = batch.column(col).value(row).as_f64().unwrap_or(0.0);
+                        let v = batch.column(col).value(row);
                         let seen = batch.column(col + 1).value(row).as_bool().unwrap_or(false);
                         col += 2;
                         if a.output_type == DataType::Int64 {
-                            AggState::SumInt(s as i64, seen)
+                            // Exact i64 round-trip — no float detour.
+                            AggState::SumInt(v.as_i64().unwrap_or(0), seen)
                         } else {
-                            AggState::SumFloat(s, seen)
+                            AggState::SumFloat(v.as_f64().unwrap_or(0.0), seen)
                         }
                     }
                     AggFunc::Avg => {
@@ -435,7 +443,11 @@ impl AggTable {
                 };
                 states.push(state);
             }
-            t.groups.insert(key, states);
+            if t.groups.insert(key, states).is_some() {
+                // A well-formed transport batch carries each group key
+                // once; silently overwriting would drop partial states.
+                return Err(FeisuError::Corrupt("transport: duplicate group key".into()));
+            }
         }
         Ok(t)
     }
@@ -617,6 +629,49 @@ mod tests {
             back.finish(&schema).unwrap().value_at(0, "COUNT(*)"),
             Some(Value::Int64(0))
         );
+    }
+
+    #[test]
+    fn int_sum_transport_is_exact_past_2_53() {
+        // 2^53 + 1 is the first integer f64 cannot represent; the old
+        // Float64 transport column rounded it to 2^53.
+        let big = (1i64 << 53) + 1;
+        let schema = Schema::new(vec![Field::new("v", DataType::Int64, false)]);
+        let batch = RecordBatch::new(schema, vec![Column::from_i64(vec![big - 5, 5])]).unwrap();
+        let sum = vec![AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(Expr::col("v")),
+            name: "SUM(v)".into(),
+            output_type: DataType::Int64,
+        }];
+        let mut t = AggTable::new(Vec::new(), sum.clone());
+        t.update(&batch).unwrap();
+        let shipped = t.to_transport().unwrap();
+        assert_eq!(
+            shipped.schema().fields()[0].data_type,
+            DataType::Int64,
+            "Int64 sums must ship as an Int64 column"
+        );
+        let back = AggTable::from_transport(Vec::new(), sum, &shipped).unwrap();
+        let out = Schema::new(vec![Field::new("SUM(v)", DataType::Int64, true)]);
+        assert_eq!(
+            back.finish(&out).unwrap().value_at(0, "SUM(v)"),
+            Some(Value::Int64(big))
+        );
+    }
+
+    #[test]
+    fn duplicate_transport_group_key_rejected() {
+        let mut t = AggTable::new(group_by(), aggs());
+        t.update(&input()).unwrap();
+        let shipped = t.to_transport().unwrap();
+        // Replaying the same group row twice must not silently drop the
+        // first copy's states.
+        let dup = shipped.take(&[0, 0]).unwrap();
+        assert!(matches!(
+            AggTable::from_transport(group_by(), aggs(), &dup),
+            Err(FeisuError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -16,8 +16,16 @@
 //! | chunk[0] … chunk[n-1]           (each compress_adaptive(validity+data))
 //! | footer: ncols(varint) { offset(varint) len(varint) }…   (offsets are
 //!   relative to the first chunk byte)
+//! | zones (optional): ZONE_SECTION_TAG(1) then per column
+//!   { present(1) [min max (type-tagged values)] null_count(varint) }
 //! | footer_start(u64 LE)            (absolute offset of the footer)
 //! ```
+//!
+//! The zone section is optional: a footer that ends right after the chunk
+//! directory (everything written before zone maps existed) parses fine
+//! and simply reports no zones, so readers can never skip on its behalf.
+//! A *present but malformed* zone section is a corruption error, never a
+//! panic.
 
 use crate::column::{Column, ColumnData, Validity};
 use crate::compress;
@@ -141,8 +149,16 @@ impl Block {
         self.columns.iter().map(|c| c.footprint()).sum()
     }
 
-    /// Serializes the block to the Feisu binary format.
+    /// Serializes the block to the Feisu binary format, zone maps included.
     pub fn serialize(&self) -> Vec<u8> {
+        self.serialize_with(true)
+    }
+
+    /// Serializes the block, optionally omitting the footer zone section.
+    /// `serialize_with(false)` reproduces the pre-zone-map layout byte for
+    /// byte — used by tests to pin backward compatibility with blocks
+    /// written before zone maps existed.
+    pub fn serialize_with(&self, zone_maps: bool) -> Vec<u8> {
         let mut header = Vec::with_capacity(self.schema.len() * 16 + 8);
         varint::encode(self.rows as u64, &mut header);
         varint::encode(self.schema.len() as u64, &mut header);
@@ -177,6 +193,21 @@ impl Block {
         for (offset, len) in directory {
             varint::encode(offset as u64, &mut out);
             varint::encode(len as u64, &mut out);
+        }
+        if zone_maps {
+            out.push(ZONE_SECTION_TAG);
+            for i in 0..self.columns.len() {
+                let stats = self.stats(i);
+                match (stats.min, stats.max) {
+                    (Some(min), Some(max)) => {
+                        out.push(1);
+                        encode_zone_value(&min, &mut out);
+                        encode_zone_value(&max, &mut out);
+                    }
+                    _ => out.push(0),
+                }
+                varint::encode(stats.null_count as u64, &mut out);
+            }
         }
         out.extend_from_slice(&footer_start.to_le_bytes());
         out
@@ -226,6 +257,36 @@ impl Block {
         let layout = BlockLayout::parse(buf)?;
         Ok((layout.id, layout.schema, layout.rows))
     }
+
+    /// Reads the block's metadata — id, schema, row count and the footer
+    /// zone maps if present — without decoding any column chunk. This is
+    /// the zone-skip entry point: a leaf calls it first and only decodes
+    /// chunks when the zones fail to disprove the predicate.
+    pub fn read_meta(buf: &[u8]) -> Result<BlockMeta> {
+        let layout = BlockLayout::parse(buf)?;
+        Ok(BlockMeta {
+            id: layout.id,
+            rows: layout.rows,
+            schema: layout.schema,
+            zones: layout.zones,
+            meta_bytes: layout.meta_bytes,
+        })
+    }
+}
+
+/// Metadata read without touching column chunks: envelope + footer only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMeta {
+    pub id: BlockId,
+    pub rows: usize,
+    pub schema: Schema,
+    /// Per-column zone statistics in schema order, `None` when the block
+    /// was written without a zone section (pre-zone-map layout).
+    pub zones: Option<Vec<ColumnStats>>,
+    /// Bytes a reader must touch to obtain this metadata: envelope +
+    /// compressed header + footer (directory, zones, trailer). Column
+    /// chunks are excluded.
+    pub meta_bytes: usize,
 }
 
 /// Parsed v2 envelope: schema header plus the chunk directory, no column
@@ -237,6 +298,10 @@ struct BlockLayout {
     chunks_start: usize,
     /// Per column: (offset relative to `chunks_start`, chunk length).
     directory: Vec<(usize, usize)>,
+    /// Footer zone maps in schema order, absent for pre-zone-map blocks.
+    zones: Option<Vec<ColumnStats>>,
+    /// Envelope + header + footer byte count (everything but the chunks).
+    meta_bytes: usize,
 }
 
 impl BlockLayout {
@@ -333,12 +398,77 @@ impl BlockLayout {
             }
             directory.push((offset, len));
         }
+        // Optional zone section: the directory ending exactly at the
+        // trailer means a pre-zone-map footer (no skipping possible); any
+        // extra bytes must be a well-formed zone section ending exactly at
+        // the trailer.
+        let zones = if fpos == trailer_start {
+            None
+        } else {
+            let tag = footer[fpos];
+            fpos += 1;
+            if tag != ZONE_SECTION_TAG {
+                return Err(FeisuError::Corrupt(format!(
+                    "unknown footer section tag {tag}"
+                )));
+            }
+            let mut stats = Vec::with_capacity(schema.len());
+            for field in schema.fields() {
+                let present = *footer
+                    .get(fpos)
+                    .ok_or_else(|| FeisuError::Corrupt("truncated zone section".into()))?;
+                fpos += 1;
+                let (min, max) = match present {
+                    0 => (None, None),
+                    1 => {
+                        let min = decode_zone_value(footer, &mut fpos, field.data_type)?;
+                        let max = decode_zone_value(footer, &mut fpos, field.data_type)?;
+                        // Provably inverted bounds are corruption. NaN float
+                        // bounds compare as None and pass: min_max() orders
+                        // by total_cmp, so NaN can be a legitimate bound.
+                        if min.sql_cmp(&max) == Some(std::cmp::Ordering::Greater) {
+                            return Err(FeisuError::Corrupt(format!(
+                                "zone min {min} exceeds max {max} for column `{}`",
+                                field.name
+                            )));
+                        }
+                        (Some(min), Some(max))
+                    }
+                    other => {
+                        return Err(FeisuError::Corrupt(format!(
+                            "bad zone presence flag {other}"
+                        )))
+                    }
+                };
+                let null_count = varint::decode(footer, &mut fpos)? as usize;
+                if null_count > rows {
+                    return Err(FeisuError::Corrupt(format!(
+                        "zone null count {null_count} exceeds {rows} rows"
+                    )));
+                }
+                stats.push(ColumnStats {
+                    min,
+                    max,
+                    null_count,
+                });
+            }
+            if fpos != trailer_start {
+                return Err(FeisuError::Corrupt(format!(
+                    "{} trailing bytes after zone section",
+                    trailer_start - fpos
+                )));
+            }
+            Some(stats)
+        };
+        let meta_bytes = chunks_start + (buf.len() - footer_start);
         Ok(BlockLayout {
             id,
             rows,
             schema,
             chunks_start,
             directory,
+            zones,
+            meta_bytes,
         })
     }
 
@@ -361,6 +491,92 @@ impl BlockLayout {
             )));
         }
         Ok(column)
+    }
+}
+
+/// Tag byte opening the optional footer zone section. Distinguishes a
+/// zone-bearing footer from any future footer extension; an unknown tag is
+/// corruption, not silently ignored data.
+const ZONE_SECTION_TAG: u8 = 1;
+
+/// Encodes one zone bound as `type_tag(1) | payload`. The tag is written
+/// even though the schema implies it so a reader can cross-check: a zone
+/// whose tag disagrees with its column's type is corruption.
+fn encode_zone_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Bool(b) => {
+            out.push(type_tag(DataType::Bool));
+            out.push(*b as u8);
+        }
+        Value::Int64(i) => {
+            out.push(type_tag(DataType::Int64));
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float64(f) => {
+            out.push(type_tag(DataType::Float64));
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Utf8(s) => {
+            out.push(type_tag(DataType::Utf8));
+            varint::encode(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        // Column::min_max never yields Null bounds; the presence byte
+        // covers the all-null case.
+        Value::Null => unreachable!("null zone bound"),
+    }
+}
+
+/// Decodes one zone bound, requiring its type tag to match the column's
+/// declared type.
+fn decode_zone_value(buf: &[u8], pos: &mut usize, dt: DataType) -> Result<Value> {
+    let tag = *buf
+        .get(*pos)
+        .ok_or_else(|| FeisuError::Corrupt("truncated zone value".into()))?;
+    *pos += 1;
+    if type_from_tag(tag)? != dt {
+        return Err(FeisuError::Corrupt(format!(
+            "zone value tag {tag} does not match column type {dt}"
+        )));
+    }
+    match dt {
+        DataType::Bool => {
+            let b = *buf
+                .get(*pos)
+                .ok_or_else(|| FeisuError::Corrupt("truncated zone value".into()))?;
+            *pos += 1;
+            Ok(Value::Bool(b != 0))
+        }
+        DataType::Int64 => {
+            let end = pos
+                .checked_add(8)
+                .filter(|&end| end <= buf.len())
+                .ok_or_else(|| FeisuError::Corrupt("truncated zone value".into()))?;
+            let v = i64::from_le_bytes(buf[*pos..end].try_into().unwrap());
+            *pos = end;
+            Ok(Value::Int64(v))
+        }
+        DataType::Float64 => {
+            let end = pos
+                .checked_add(8)
+                .filter(|&end| end <= buf.len())
+                .ok_or_else(|| FeisuError::Corrupt("truncated zone value".into()))?;
+            let v = f64::from_bits(u64::from_le_bytes(buf[*pos..end].try_into().unwrap()));
+            *pos = end;
+            Ok(Value::Float64(v))
+        }
+        DataType::Utf8 => {
+            let len = varint::decode(buf, pos)? as usize;
+            let end = pos
+                .checked_add(len)
+                .filter(|&end| end <= buf.len())
+                .ok_or_else(|| FeisuError::Corrupt("truncated zone value".into()))?;
+            let s = std::str::from_utf8(&buf[*pos..end])
+                .map_err(|_| FeisuError::Corrupt("zone value not utf8".into()))?
+                .to_string();
+            *pos = end;
+            Ok(Value::Utf8(s))
+        }
     }
 }
 
@@ -833,6 +1049,207 @@ mod tests {
         assert_eq!(id, b.id());
         assert_eq!(&schema, b.schema());
         assert_eq!(rows, b.rows());
+    }
+
+    /// Like `assemble_v2` but with caller-supplied raw bytes spliced
+    /// between the chunk directory and the trailer — hostile zone sections.
+    fn assemble_v2_with_zone_bytes(
+        rows: u64,
+        fields: &[(&str, u8, u8)],
+        chunks: &[Vec<u8>],
+        directory: &[(u64, u64)],
+        zone_bytes: &[u8],
+    ) -> Vec<u8> {
+        let mut buf = assemble_v2(rows, fields, chunks, directory);
+        let trailer = buf.split_off(buf.len() - 8);
+        buf.extend_from_slice(zone_bytes);
+        buf.extend_from_slice(&trailer);
+        buf
+    }
+
+    /// One valid int chunk + matching directory entry, shared by the zone
+    /// corruption tests below.
+    fn int_chunk() -> (Vec<u8>, u64) {
+        let mut body = Vec::new();
+        varint::encode(0, &mut body);
+        body.push(ENC_DELTA);
+        delta::encode(&[1, 2, 3, 4], &mut body);
+        let chunk = compress::compress_adaptive(&body);
+        let len = chunk.len() as u64;
+        (chunk, len)
+    }
+
+    #[test]
+    fn read_meta_roundtrips_zone_maps() {
+        let b = sample_block();
+        let bytes = b.serialize();
+        let meta = Block::read_meta(&bytes).unwrap();
+        assert_eq!(meta.id, b.id());
+        assert_eq!(&meta.schema, b.schema());
+        assert_eq!(meta.rows, 100);
+        let zones = meta.zones.expect("serialize writes zone maps");
+        assert_eq!(zones.len(), 4);
+        for (i, z) in zones.iter().enumerate() {
+            assert_eq!(z, &b.stats(i), "zone {i} must match live column stats");
+        }
+        assert_eq!(zones[1].min, Some(Value::Int64(3)));
+        assert_eq!(zones[1].max, Some(Value::Int64(297)));
+        assert_eq!(zones[1].null_count, 10);
+        assert!(meta.meta_bytes > 0 && meta.meta_bytes < bytes.len());
+    }
+
+    #[test]
+    fn all_null_column_gets_absent_zone_bounds() {
+        let schema = Schema::new(vec![Field::new("n", DataType::Int64, true)]);
+        let col =
+            Column::from_values(DataType::Int64, &[Value::Null, Value::Null, Value::Null]).unwrap();
+        let b = Block::new(BlockId(7), schema, vec![col]).unwrap();
+        let meta = Block::read_meta(&b.serialize()).unwrap();
+        let zones = meta.zones.unwrap();
+        assert_eq!(zones[0].min, None);
+        assert_eq!(zones[0].max, None);
+        assert_eq!(zones[0].null_count, 3);
+    }
+
+    #[test]
+    fn zoneless_footer_still_loads_and_reports_no_zones() {
+        let b = sample_block();
+        let legacy = b.serialize_with(false);
+        let zoned = b.serialize();
+        assert!(legacy.len() < zoned.len());
+        let meta = Block::read_meta(&legacy).unwrap();
+        assert_eq!(meta.zones, None);
+        assert_eq!(&meta.schema, b.schema());
+        // Full and subset decode both still work on the legacy layout.
+        assert_eq!(Block::deserialize(&legacy).unwrap(), b);
+        let sub = Block::deserialize_columns(&legacy, &["clicks"]).unwrap();
+        assert_eq!(sub.column_by_name("clicks"), b.column_by_name("clicks"));
+    }
+
+    #[test]
+    fn zoned_block_full_and_subset_decode_unchanged() {
+        let b = sample_block();
+        let bytes = b.serialize();
+        assert_eq!(Block::deserialize(&bytes).unwrap(), b);
+        let sub = Block::deserialize_columns(&bytes, &["ctr", "url"]).unwrap();
+        assert_eq!(sub.column_by_name("url"), b.column_by_name("url"));
+        assert_eq!(sub.column_by_name("ctr"), b.column_by_name("ctr"));
+    }
+
+    #[test]
+    fn unknown_zone_section_tag_rejected() {
+        let (chunk, len) = int_chunk();
+        let fields = [("x", type_tag(DataType::Int64), 0)];
+        let buf = assemble_v2_with_zone_bytes(4, &fields, &[chunk], &[(0, len)], &[9]);
+        assert!(matches!(
+            Block::read_meta(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bad_zone_presence_flag_rejected() {
+        let (chunk, len) = int_chunk();
+        let fields = [("x", type_tag(DataType::Int64), 0)];
+        let buf =
+            assemble_v2_with_zone_bytes(4, &fields, &[chunk], &[(0, len)], &[ZONE_SECTION_TAG, 2]);
+        assert!(matches!(
+            Block::read_meta(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn zone_value_type_mismatch_rejected() {
+        let (chunk, len) = int_chunk();
+        let fields = [("x", type_tag(DataType::Int64), 0)];
+        // min claims to be a Bool on an Int64 column.
+        let mut zone = vec![ZONE_SECTION_TAG, 1, type_tag(DataType::Bool), 1];
+        zone.push(type_tag(DataType::Bool));
+        zone.push(1);
+        zone.push(0); // null_count
+        let buf = assemble_v2_with_zone_bytes(4, &fields, &[chunk], &[(0, len)], &zone);
+        assert!(matches!(
+            Block::read_meta(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_zone_value_rejected_not_panicking() {
+        let (chunk, len) = int_chunk();
+        let fields = [("x", type_tag(DataType::Int64), 0)];
+        // Int64 min with only 3 of its 8 payload bytes.
+        let zone = vec![ZONE_SECTION_TAG, 1, type_tag(DataType::Int64), 1, 2, 3];
+        let buf = assemble_v2_with_zone_bytes(4, &fields, &[chunk], &[(0, len)], &zone);
+        assert!(matches!(
+            Block::read_meta(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn inverted_zone_bounds_rejected() {
+        let (chunk, len) = int_chunk();
+        let fields = [("x", type_tag(DataType::Int64), 0)];
+        let mut zone = vec![ZONE_SECTION_TAG, 1];
+        encode_zone_value(&Value::Int64(10), &mut zone); // min
+        encode_zone_value(&Value::Int64(3), &mut zone); // max < min
+        zone.push(0); // null_count
+        let buf = assemble_v2_with_zone_bytes(4, &fields, &[chunk], &[(0, len)], &zone);
+        assert!(matches!(
+            Block::read_meta(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn zone_null_count_above_rows_rejected() {
+        let (chunk, len) = int_chunk();
+        let fields = [("x", type_tag(DataType::Int64), 0)];
+        let mut zone = vec![ZONE_SECTION_TAG, 0]; // bounds absent
+        varint::encode(5, &mut zone); // null_count > 4 rows
+        let buf = assemble_v2_with_zone_bytes(4, &fields, &[chunk], &[(0, len)], &zone);
+        assert!(matches!(
+            Block::read_meta(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_after_zone_section_rejected() {
+        let (chunk, len) = int_chunk();
+        let fields = [("x", type_tag(DataType::Int64), 0)];
+        let mut zone = vec![ZONE_SECTION_TAG, 1];
+        encode_zone_value(&Value::Int64(1), &mut zone);
+        encode_zone_value(&Value::Int64(4), &mut zone);
+        zone.push(0); // null_count
+        zone.push(0xAB); // garbage after a well-formed section
+        let buf = assemble_v2_with_zone_bytes(4, &fields, &[chunk], &[(0, len)], &zone);
+        assert!(matches!(
+            Block::read_meta(&buf),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_zone_section_mid_column_rejected() {
+        let bytes = sample_block().serialize();
+        let meta_len = Block::read_meta(&bytes).unwrap().meta_bytes;
+        // Re-point the trailer at the original footer while cutting bytes
+        // out of the zone section: every such mutilation must be Corrupt.
+        let footer_start =
+            u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap()) as usize;
+        let zone_len = bytes.len() - 8 - footer_start;
+        assert!(zone_len > 0 && meta_len > zone_len);
+        for cut in 1..zone_len.min(24) {
+            let mut buf = bytes[..bytes.len() - 8 - cut].to_vec();
+            buf.extend_from_slice(&(footer_start as u64).to_le_bytes());
+            assert!(
+                matches!(Block::read_meta(&buf), Err(FeisuError::Corrupt(_))),
+                "zone section cut of {cut} bytes must be Corrupt"
+            );
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use block::Block;
+pub use block::{Block, BlockMeta, ColumnStats};
 pub use column::{Column, ColumnBuilder};
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};

@@ -80,6 +80,10 @@ pub struct QueryEvent {
     /// Simulated bytes shipped stem→master during finalization.
     pub wire_stem_master_bytes: u64,
     pub index_hits: u64,
+    /// Blocks skipped by footer zone maps before any column decode.
+    pub blocks_skipped: u64,
+    /// Blocks whose column chunks were actually decoded.
+    pub blocks_scanned: u64,
     /// Leaf tasks answered from the per-node SSD cache.
     pub cache_hit_tasks: u64,
     /// Leaf tasks answered from memory (task-reuse or memory tier).
@@ -113,6 +117,8 @@ impl QueryEvent {
             wire_leaf_stem_bytes: 0,
             wire_stem_master_bytes: 0,
             index_hits: 0,
+            blocks_skipped: 0,
+            blocks_scanned: 0,
             cache_hit_tasks: 0,
             memory_served_tasks: 0,
             top_operators: String::new(),

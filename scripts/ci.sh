@@ -34,6 +34,12 @@ cargo test -q $OFFLINE
 echo "ci: e2e at execution_threads=8"
 FEISU_EXECUTION_THREADS=8 cargo test -q $OFFLINE -p feisu-tests
 
+# Aggregate transport must be thread-count-independent too: the split /
+# transport / merge property suite (exact i64 sums, zone-skip result
+# transparency) re-runs explicitly at the pinned pool width.
+echo "ci: agg round-trip properties at execution_threads=8"
+FEISU_EXECUTION_THREADS=8 cargo test -q $OFFLINE -p feisu-tests --test agg_roundtrip
+
 # The shared (&self) engine must yield bit-identical results with many
 # client threads driving it at once. Re-run the e2e suites at a pinned
 # client width (tests/tests/concurrency.rs honors FEISU_CLIENT_THREADS).
@@ -97,6 +103,44 @@ else
   grep -q '"bench": "concurrency"' results/BENCH_concurrency.json
   grep -q '"qps"' results/BENCH_concurrency.json
   echo "ci: concurrency json ok (grep check)"
+fi
+
+# Zone-map skipping bench must run end to end, leave a well-formed
+# results file, and show cold selective scans actually got cheaper
+# (deterministic simulated ratio; committed numbers come from a full
+# run). The guard config must stay free when nothing can be skipped.
+echo "ci: zone-skip bench (smoke)"
+cargo run --release $OFFLINE -p feisu-bench --bin bench_zone_skip -- --smoke
+if [ ! -s results/BENCH_zone_skip.json ]; then
+  echo "ci: results/BENCH_zone_skip.json missing or empty" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("results/BENCH_zone_skip.json") as f:
+    data = json.load(f)
+assert data["bench"] == "zone_skip", data
+configs = data["configs"]
+assert configs, "no bench configs recorded"
+for c in configs:
+    for k in ("name", "rows_out", "blocks_skipped", "blocks_scanned",
+              "zone_on_sim_ms", "zone_off_sim_ms", "sim_speedup",
+              "zone_on_wall_ms", "zone_off_wall_ms", "wall_speedup"):
+        assert k in c, f"config missing {k}: {c}"
+by_name = {c["name"]: c for c in configs}
+sel = by_name["point_1_block"]
+assert sel["blocks_skipped"] > 0, f"selective scan skipped nothing: {sel}"
+assert sel["sim_speedup"] > 1.0, f"selective scan not cheaper: {sel}"
+guard = by_name["unselective_guard"]
+assert guard["blocks_skipped"] == 0, f"guard skipped blocks: {guard}"
+assert abs(guard["sim_speedup"] - 1.0) < 1e-9, f"zone check not free: {guard}"
+print(f"ci: zone-skip json ok (selective sim speedup {sel['sim_speedup']}x)")
+EOF
+else
+  grep -q '"bench": "zone_skip"' results/BENCH_zone_skip.json
+  grep -q '"selective_speedup"' results/BENCH_zone_skip.json
+  echo "ci: zone-skip json ok (grep check)"
 fi
 
 # Observability plane: system tables must answer plain SQL and a real

@@ -135,8 +135,13 @@ fn smartindex_works_on_dotted_json_columns() {
         warm.stats.index_hits > 0,
         "dotted columns must be index-keyed"
     );
+    // Every warm task is either answered from cached bits or skipped via
+    // footer zone maps (skipped blocks read only their footer, so they
+    // are not memory-served).
     assert_eq!(
-        warm.stats.memory_served_tasks, warm.stats.tasks,
-        "fully cached dotted-column COUNT"
+        warm.stats.memory_served_tasks + warm.stats.blocks_skipped,
+        warm.stats.tasks,
+        "fully cached or zone-skipped dotted-column COUNT"
     );
+    assert!(warm.stats.blocks_skipped > 0, "id zones prune low blocks");
 }
