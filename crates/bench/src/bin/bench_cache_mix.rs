@@ -1,0 +1,391 @@
+//! Multi-user Zipfian cache-mix benchmark: ghost admission on vs off.
+//!
+//! The trace models the production mix the cache hierarchy is built
+//! for ("one-hit-wonders never evict hot blocks"): a handful of *hot*
+//! multi-block tables drawn Zipf(0.99) carry ~96% of the traffic, and
+//! the rest rotates through a pool of *large* scan-once tables — the
+//! occasional archival report that reads a table bigger than the cache
+//! slack and never returns. The SSD tier is sized to barely hold the
+//! hot working set, so admission policy decides whether those one-shot
+//! scans are allowed to flush it.
+//!
+//! Three identical clusters replay the *same* deterministic trace, four
+//! users round-robin:
+//!
+//! - `admission_on`  — ghost/shadow-LRU admission (`Frequency`): a block
+//!   only enters on its second sighting while its ghost entry is live.
+//!   Hot blocks re-sight within the ghost window; scan-once tables age
+//!   out of the bounded ghost before they ever return, so the hot set
+//!   stays resident.
+//! - `admission_off` — `Always`: every read is admitted, so each tail
+//!   scan evicts hot bytes (LRU pollution) and hot queries keep paying
+//!   HDD re-reads.
+//! - `cache_off`     — no cache at all: the parity baseline.
+//!
+//! A short warm-up (three rounds over the hot tables, all configs
+//! alike) precedes the measured phase; hit rates are measured-phase
+//! deltas and p50/p95/p99 are computed from the measured per-query
+//! simulated response times. The parity flag asserts every config
+//! returned bit-identical answers — the cache is a pure accelerator.
+//! Results land in `results/BENCH_cache_mix.json`.
+//!
+//! `--smoke` (or `FEISU_BENCH_SMOKE=1`) shrinks tables/queries for CI.
+
+use feisu_bench::{as_i64, build_cluster, load_dataset, print_series, Bench};
+use feisu_common::config::CacheAdmission;
+use feisu_common::rng::DetRng;
+use feisu_common::{ByteSize, NodeId, Result};
+use feisu_core::engine::ClusterSpec;
+use feisu_storage::auth::Credential;
+use feisu_storage::{CacheStats, CacheTier};
+use feisu_workload::datasets::DatasetSpec;
+
+const ZIPF_THETA: f64 = 0.99;
+const USERS: usize = 4;
+/// Fraction of measured queries that scan a tail (one-hit-wonder) table.
+/// Kept under 5% so the p95 sample is a *hot* query: under ghost
+/// admission that query is fully cache-served, while under
+/// admit-everything it pays the HDD re-reads the tail flushes caused.
+const TAIL_FRACTION: f64 = 0.04;
+
+struct Shape {
+    hot_tables: usize,
+    tail_tables: usize,
+    rows_hot: usize,
+    /// Tail tables are bigger than a node's whole SSD tier: admitting
+    /// one scan flushes the entire SSD-resident hot set, every time.
+    rows_tail: usize,
+    rows_per_block: usize,
+    queries: usize,
+}
+
+impl Shape {
+    fn new(smoke: bool) -> Shape {
+        if smoke {
+            Shape {
+                hot_tables: 3,
+                tail_tables: 8,
+                rows_hot: 2048,
+                rows_tail: 8192,
+                rows_per_block: 128,
+                queries: 160,
+            }
+        } else {
+            Shape {
+                hot_tables: 6,
+                tail_tables: 24,
+                rows_hot: 4096,
+                rows_tail: 30720,
+                rows_per_block: 128,
+                queries: 1200,
+            }
+        }
+    }
+
+    fn tables(&self) -> usize {
+        self.hot_tables + self.tail_tables
+    }
+
+    fn dataset(&self, i: usize) -> DatasetSpec {
+        let rows = if i < self.hot_tables {
+            self.rows_hot
+        } else {
+            self.rows_tail
+        };
+        // 12 fields keeps blocks compact; `dwell_ms` is the scanned column.
+        let mut d = DatasetSpec::tiny(&format!("t{i}"), rows, 12);
+        d.seed = 0x4A11 + i as u64;
+        d
+    }
+}
+
+/// The deterministic measured trace: (table index, user id). Hot tables
+/// are drawn Zipf; tail visits rotate round-robin through a tail pool
+/// wide enough that a tail table is visited at most a handful of times,
+/// `tail_tables / TAIL_FRACTION` queries apart — dozens of ghost
+/// registrations per node in between, far beyond the ghost window —
+/// making them true one-hit wonders.
+fn trace(shape: &Shape) -> Vec<(usize, usize)> {
+    let mut rng = DetRng::new(0x2177_CACE);
+    let mut tail_rr = 0usize;
+    (0..shape.queries)
+        .map(|_| {
+            let table = if rng.chance(TAIL_FRACTION) {
+                let t = shape.hot_tables + tail_rr % shape.tail_tables;
+                tail_rr += 1;
+                t
+            } else {
+                rng.zipf(shape.hot_tables, ZIPF_THETA)
+            };
+            (table, rng.next_below(USERS as u64) as usize)
+        })
+        .collect()
+}
+
+fn base_spec(shape: &Shape) -> ClusterSpec {
+    let mut spec = ClusterSpec::small();
+    spec.rows_per_block = shape.rows_per_block;
+    // Isolate the data cache: repeats must really re-read their blocks.
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    spec
+}
+
+/// Loads every table; returns (hot working set, total working set) in
+/// stored bytes.
+fn load_tables(bench: &Bench, shape: &Shape) -> Result<(u64, u64)> {
+    let (mut hot, mut total) = (0u64, 0u64);
+    for i in 0..shape.tables() {
+        let d = shape.dataset(i);
+        load_dataset(bench, &d, &format!("/hdfs/mix/t{i}"))?;
+        let desc = bench.cluster.catalog().table(&d.name)?;
+        let bytes: u64 = desc.partitions[0]
+            .blocks
+            .iter()
+            .map(|b| b.stored_size.0)
+            .sum();
+        total += bytes;
+        if i < shape.hot_tables {
+            hot += bytes;
+        }
+    }
+    Ok((hot, total))
+}
+
+/// Leaf scheduling skews reads across nodes, so average shares
+/// undersize the busiest node's tier. Measure real per-node demand on a
+/// probe cluster with an effectively unbounded admit-everything cache:
+/// scan every hot table once and take the hottest node's cached bytes.
+fn max_node_hot_demand(shape: &Shape) -> Result<u64> {
+    let mut spec = base_spec(shape);
+    spec.config.cache.enabled = true;
+    spec.config.cache.admission = CacheAdmission::Always;
+    let bench = build_cluster(spec)?;
+    load_tables(&bench, shape)?;
+    for t in 0..shape.hot_tables {
+        bench
+            .cluster
+            .query(&format!("SELECT SUM(dwell_ms) FROM t{t}"), &bench.cred)?;
+    }
+    let cache = bench.cluster.cache().expect("probe cache enabled");
+    let demand = (0..bench.cluster.node_count() as u64)
+        .map(|n| {
+            cache.used_on(NodeId(n), CacheTier::Memory).0
+                + cache.used_on(NodeId(n), CacheTier::Ssd).0
+        })
+        .max()
+        .unwrap_or(1);
+    Ok(demand.max(1))
+}
+
+/// Sizes the tiers from the measured per-node hot demand: the SSD tier
+/// gets ~1.05x the busiest node's hot-set bytes — the hot set *barely*
+/// fits, so under `Always` every scan-once admission evicts hot bytes —
+/// the memory tier ~0.3x on top, and a ghost large enough to recall a
+/// whole hot-table scan (a few blocks per node) but far smaller than the
+/// tail registrations that pass between two visits to the same tail
+/// table.
+fn sized_spec(shape: &Shape, node_demand: u64, admission: Option<CacheAdmission>) -> ClusterSpec {
+    let mut spec = base_spec(shape);
+    if let Some(admission) = admission {
+        spec.config.cache.enabled = true;
+        spec.config.cache.admission = admission;
+        spec.config.cache.ssd_capacity_per_node = ByteSize(node_demand * 21 / 20);
+        spec.config.cache.mem_capacity_per_node = ByteSize((node_demand * 3 / 10).max(1));
+        spec.config.cache.ghost_capacity = 8;
+    }
+    spec
+}
+
+/// Nearest-rank percentile of simulated response times, in milliseconds.
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e6
+}
+
+/// Measured-phase delta of the counters the report uses.
+fn stats_delta(after: CacheStats, before: CacheStats) -> CacheStats {
+    CacheStats {
+        mem_hits: after.mem_hits - before.mem_hits,
+        ssd_hits: after.ssd_hits - before.ssd_hits,
+        misses: after.misses - before.misses,
+        rejected: after.rejected - before.rejected,
+        ghost_registered: after.ghost_registered - before.ghost_registered,
+        ghost_admissions: after.ghost_admissions - before.ghost_admissions,
+        quota_rejections: after.quota_rejections - before.quota_rejections,
+        mem_evictions: after.mem_evictions - before.mem_evictions,
+        ssd_evictions: after.ssd_evictions - before.ssd_evictions,
+        quota_evictions: after.quota_evictions - before.quota_evictions,
+        ttl_expired: after.ttl_expired - before.ttl_expired,
+        invalidations: after.invalidations - before.invalidations,
+        promotions: after.promotions - before.promotions,
+    }
+}
+
+struct RunOutcome {
+    answers: Vec<i64>,
+    json: String,
+    row: Vec<String>,
+}
+
+fn run_config(
+    name: &str,
+    shape: &Shape,
+    trace: &[(usize, usize)],
+    node_demand: u64,
+    admission: Option<CacheAdmission>,
+) -> Result<RunOutcome> {
+    let bench = build_cluster(sized_spec(shape, node_demand, admission))?;
+    load_tables(&bench, shape)?;
+    let creds: Vec<Credential> = (0..USERS)
+        .map(|u| {
+            let user = bench.cluster.register_user(&format!("mix{u}"));
+            bench.cluster.grant_all(user);
+            bench.cluster.login(user)
+        })
+        .collect::<Result<_>>()?;
+
+    // Warm-up, identical in every config: three *consecutive* scans per
+    // hot table, so under ghost admission each table's first scan
+    // registers, the second recalls and admits while its ghost entries
+    // are still live, and the third promotes.
+    for t in 0..shape.hot_tables {
+        for _ in 0..3 {
+            bench
+                .cluster
+                .query(&format!("SELECT SUM(dwell_ms) FROM t{t}"), &creds[0])?;
+        }
+    }
+    let cache = bench.cluster.cache().cloned();
+    let warm_stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+
+    let mut answers = Vec::with_capacity(trace.len());
+    let mut response_ns = Vec::with_capacity(trace.len());
+    for &(table, user) in trace {
+        let sql = format!("SELECT SUM(dwell_ms) FROM t{table}");
+        let r = bench.cluster.query(&sql, &creds[user])?;
+        answers.push(as_i64(&r.batch.column(0).value(0)));
+        response_ns.push(r.response_time.as_nanos());
+    }
+
+    let stats = stats_delta(
+        cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+        warm_stats,
+    );
+    let lookups = stats.hits() + stats.misses;
+    let rate = |hits: u64| {
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    };
+    response_ns.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile_ms(&response_ns, 0.50),
+        percentile_ms(&response_ns, 0.95),
+        percentile_ms(&response_ns, 0.99),
+    );
+
+    let json = format!(
+        concat!(
+            "    {{\"name\": \"{}\", \"hit_rate\": {:.4}, \"mem_hit_rate\": {:.4}, ",
+            "\"ssd_hit_rate\": {:.4}, \"mem_hits\": {}, \"ssd_hits\": {}, \"misses\": {}, ",
+            "\"ghost_admissions\": {}, \"rejected\": {}, \"evictions\": {}, ",
+            "\"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}"
+        ),
+        name,
+        rate(stats.hits()),
+        rate(stats.mem_hits),
+        rate(stats.ssd_hits),
+        stats.mem_hits,
+        stats.ssd_hits,
+        stats.misses,
+        stats.ghost_admissions,
+        stats.rejected,
+        stats.mem_evictions + stats.ssd_evictions,
+        p50,
+        p95,
+        p99,
+    );
+    let row = vec![
+        name.to_string(),
+        format!("{:.1}%", rate(stats.hits()) * 100.0),
+        format!("{:.1}%", rate(stats.mem_hits) * 100.0),
+        format!("{:.1}%", rate(stats.ssd_hits) * 100.0),
+        stats.ghost_admissions.to_string(),
+        stats.rejected.to_string(),
+        format!("{p50:.2}"),
+        format!("{p95:.2}"),
+        format!("{p99:.2}"),
+    ];
+    Ok(RunOutcome { answers, json, row })
+}
+
+fn main() -> Result<()> {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("FEISU_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let shape = Shape::new(smoke);
+    let trace = trace(&shape);
+
+    // Measure the working set once on a cache-less probe cluster so the
+    // tier capacities are sized relative to the data, not hardcoded.
+    let probe = build_cluster(base_spec(&shape))?;
+    let (hot_set, working_set) = load_tables(&probe, &shape)?;
+    drop(probe);
+    let node_demand = max_node_hot_demand(&shape)?;
+
+    let configs = [
+        ("admission_on", Some(CacheAdmission::Frequency)),
+        ("admission_off", Some(CacheAdmission::Always)),
+        ("cache_off", None),
+    ];
+    let mut outcomes = Vec::new();
+    for (name, admission) in configs {
+        outcomes.push(run_config(name, &shape, &trace, node_demand, admission)?);
+    }
+
+    // Exact result parity: the cache may never change an answer.
+    let parity = outcomes.iter().all(|o| o.answers == outcomes[0].answers);
+    assert!(parity, "configs returned different query answers");
+
+    print_series(
+        "cache mix: ghost admission on vs off (Zipfian multi-user trace)",
+        &[
+            "config",
+            "hit",
+            "mem hit",
+            "ssd hit",
+            "ghost adm",
+            "rejected",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+        ],
+        &outcomes.iter().map(|o| o.row.clone()).collect::<Vec<_>>(),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"cache_mix\",\n  \"smoke\": {smoke},\n  \
+         \"hot_tables\": {},\n  \"tail_tables\": {},\n  \"users\": {USERS},\n  \
+         \"queries\": {},\n  \"zipf_theta\": {ZIPF_THETA},\n  \
+         \"tail_fraction\": {TAIL_FRACTION},\n  \
+         \"hot_set_bytes\": {hot_set},\n  \"working_set_bytes\": {working_set},\n  \
+         \"parity\": {parity},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        shape.hot_tables,
+        shape.tail_tables,
+        shape.queries,
+        outcomes
+            .iter()
+            .map(|o| o.json.clone())
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_cache_mix.json", json).expect("write bench json");
+    println!("\nresults -> results/BENCH_cache_mix.json");
+    Ok(())
+}

@@ -56,6 +56,12 @@ pub struct CostModel {
     pub cpu_ns_per_decompress_byte: f64,
     /// Fixed cost of dispatching one task over RPC.
     pub rpc_overhead: SimDuration,
+    /// Fixed per-request latency of the block cache's DRAM tier. Unlike
+    /// raw `StorageMedium::Memory` streaming (SmartIndex buffers already
+    /// in the process), a memory-tier cache hit pays for a lookup in the
+    /// cache's index and a buffer handoff, so it has a small but nonzero
+    /// access floor.
+    pub mem_cache_seek: SimDuration,
 }
 
 impl Default for CostModel {
@@ -81,6 +87,7 @@ impl Default for CostModel {
             cpu_ns_per_agg_merge_row: 2.0,
             cpu_ns_per_decompress_byte: 0.5,
             rpc_overhead: SimDuration::micros(200),
+            mem_cache_seek: SimDuration::micros(5),
         }
     }
 }
@@ -104,6 +111,14 @@ impl CostModel {
             StorageMedium::Memory => (SimDuration::ZERO, self.mem_ns_per_byte),
         };
         seek + SimDuration::nanos((size.as_u64() as f64 * per_byte) as u64)
+    }
+
+    /// Cost of serving `size` bytes from the block cache's DRAM tier:
+    /// the cache access floor plus memory streaming. Sits strictly
+    /// between a raw memory read and an SSD read for block-sized
+    /// objects.
+    pub fn mem_cache_read(&self, size: ByteSize) -> SimDuration {
+        self.mem_cache_seek + self.read(StorageMedium::Memory, size)
     }
 
     /// Cost of moving `size` bytes across `hops` network hops (0 hops =
@@ -186,6 +201,18 @@ mod tests {
         let t = m.read(StorageMedium::Hdd, ByteSize::mib(100));
         let secs = t.as_secs_f64();
         assert!((1.0..1.1).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn mem_cache_tier_sits_between_memory_and_ssd() {
+        let m = CostModel::default();
+        let size = ByteSize::mib(4);
+        let mem = m.read(StorageMedium::Memory, size);
+        let tier = m.mem_cache_read(size);
+        let ssd = m.read(StorageMedium::Ssd, size);
+        assert!(mem < tier && tier < ssd);
+        // The floor applies even to tiny objects.
+        assert!(m.mem_cache_read(ByteSize::bytes(1)) >= m.mem_cache_seek);
     }
 
     #[test]

@@ -7,6 +7,95 @@
 
 use crate::units::{ByteSize, SimDuration};
 
+/// How the block cache decides whether a missed block is worth caching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAdmission {
+    /// Ghost-LRU frequency filter: a block is admitted on its *second*
+    /// sighting within the ghost's memory, so one-hit-wonders never evict
+    /// hot blocks. Pinned prefixes bypass the filter.
+    Frequency,
+    /// Admit every offered block (the admission-off baseline).
+    Always,
+    /// Only pinned prefixes are admitted — the paper's manual §IV-B
+    /// preference rules, i.e. the legacy single-tier behavior.
+    PinnedOnly,
+}
+
+/// Knobs of the multi-tier block cache (memory + SSD per node, with a
+/// ghost LRU driving admission).
+#[derive(Debug, Clone)]
+pub struct CacheSettings {
+    /// Master switch. The cache is also enabled implicitly when a
+    /// deployment configures pinned path prefixes.
+    pub enabled: bool,
+    /// DRAM tier capacity per node. `0` disables the memory tier
+    /// (entries then live in the SSD tier only).
+    pub mem_capacity_per_node: ByteSize,
+    /// SSD tier capacity per node.
+    pub ssd_capacity_per_node: ByteSize,
+    /// Ghost-LRU capacity in keys per node (recently evicted and
+    /// once-seen keys remembered for frequency-based admission). `0`
+    /// disables the ghost, which makes `Frequency` admission reject all
+    /// unpinned blocks.
+    pub ghost_capacity: usize,
+    pub admission: CacheAdmission,
+    /// Time-to-live for cached entries; expired entries are misses and
+    /// are dropped on probe. `None` = never expire.
+    pub ttl: Option<SimDuration>,
+    /// Default per-node cache byte quota applied to every user without an
+    /// explicit override; `None` = unlimited.
+    pub default_user_quota: Option<ByteSize>,
+    /// Default per-node cache byte quota per table; `None` = unlimited.
+    pub default_table_quota: Option<ByteSize>,
+}
+
+impl Default for CacheSettings {
+    fn default() -> Self {
+        CacheSettings {
+            enabled: false,
+            mem_capacity_per_node: ByteSize::gib(1),
+            ssd_capacity_per_node: ByteSize::gib(16),
+            ghost_capacity: 8192,
+            admission: CacheAdmission::Frequency,
+            ttl: None,
+            default_user_quota: None,
+            default_table_quota: None,
+        }
+    }
+}
+
+impl CacheSettings {
+    /// The pre-hierarchy behavior as a config point: one SSD tier of the
+    /// old default capacity, admission by pinned prefix only, no ghost,
+    /// no TTL, no quotas.
+    pub fn legacy_single_tier() -> Self {
+        CacheSettings {
+            enabled: true,
+            mem_capacity_per_node: ByteSize::ZERO,
+            ssd_capacity_per_node: ByteSize::gib(16),
+            ghost_capacity: 0,
+            admission: CacheAdmission::PinnedOnly,
+            ttl: None,
+            default_user_quota: None,
+            default_table_quota: None,
+        }
+    }
+
+    /// Validates invariants; mirrors [`FeisuConfig::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled
+            && self.mem_capacity_per_node.as_u64() == 0
+            && self.ssd_capacity_per_node.as_u64() == 0
+        {
+            return Err("cache enabled with zero capacity in both tiers".into());
+        }
+        if self.ttl.is_some_and(|t| t == SimDuration::ZERO) {
+            return Err("cache ttl must be > 0 when set".into());
+        }
+        Ok(())
+    }
+}
+
 /// Top-level configuration for a Feisu deployment/simulation.
 #[derive(Debug, Clone)]
 pub struct FeisuConfig {
@@ -33,8 +122,8 @@ pub struct FeisuConfig {
     /// Maximum share of a storage node's resources Feisu may consume
     /// (the resource consumption agreement of §V-A).
     pub resource_agreement_share: f64,
-    /// SSD cache capacity per node.
-    pub ssd_cache_capacity: ByteSize,
+    /// The multi-tier block cache (memory + SSD per node).
+    pub cache: CacheSettings,
     /// Fan-out of the execution tree: leaves per stem server.
     pub leaves_per_stem: usize,
     /// Results larger than this are dumped to global storage and only
@@ -81,7 +170,7 @@ impl Default for FeisuConfig {
             default_processed_ratio: 1.0,
             default_time_limit: None,
             resource_agreement_share: 0.25,
-            ssd_cache_capacity: ByteSize::gib(16),
+            cache: CacheSettings::default(),
             leaves_per_stem: 64,
             result_spill_threshold: ByteSize::mib(64),
             execution_threads: 0,
@@ -120,6 +209,7 @@ impl FeisuConfig {
         if self.query_log_capacity == 0 {
             return Err("query_log_capacity must be >= 1".into());
         }
+        self.cache.validate()?;
         Ok(())
     }
 }
@@ -134,7 +224,45 @@ mod tests {
         assert_eq!(c.index_memory_per_leaf, ByteSize::mib(512));
         assert_eq!(c.index_ttl, SimDuration::hours(72));
         assert_eq!(c.replication_factor, 3);
+        // The cache is opt-in; its SSD tier default keeps the old
+        // single-tier capacity.
+        assert!(!c.cache.enabled);
+        assert_eq!(c.cache.ssd_capacity_per_node, ByteSize::gib(16));
+        assert_eq!(c.cache.admission, CacheAdmission::Frequency);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn legacy_cache_point_matches_old_behavior_shape() {
+        let s = CacheSettings::legacy_single_tier();
+        assert!(s.enabled);
+        assert_eq!(s.mem_capacity_per_node, ByteSize::ZERO);
+        assert_eq!(s.ssd_capacity_per_node, ByteSize::gib(16));
+        assert_eq!(s.ghost_capacity, 0);
+        assert_eq!(s.admission, CacheAdmission::PinnedOnly);
+        assert!(s.ttl.is_none());
+        assert!(s.default_user_quota.is_none() && s.default_table_quota.is_none());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_settings_validation() {
+        let mut s = CacheSettings {
+            enabled: true,
+            mem_capacity_per_node: ByteSize::ZERO,
+            ssd_capacity_per_node: ByteSize::ZERO,
+            ..CacheSettings::default()
+        };
+        assert!(s.validate().is_err(), "both tiers empty");
+        s.ssd_capacity_per_node = ByteSize::mib(1);
+        assert!(s.validate().is_ok());
+        s.ttl = Some(SimDuration::ZERO);
+        assert!(s.validate().is_err(), "zero ttl");
+        let mut c = FeisuConfig::default();
+        c.cache.enabled = true;
+        c.cache.mem_capacity_per_node = ByteSize::ZERO;
+        c.cache.ssd_capacity_per_node = ByteSize::ZERO;
+        assert!(c.validate().is_err(), "config validation covers the cache");
     }
 
     #[test]

@@ -39,8 +39,7 @@ use feisu_storage::fatman::FatmanDomain;
 use feisu_storage::hdfs::HdfsDomain;
 use feisu_storage::kv::KvDomain;
 use feisu_storage::localfs::LocalFsDomain;
-use feisu_storage::ssd_cache::{CachePreference, SsdCache};
-use feisu_storage::{StorageDomain, StorageRouter};
+use feisu_storage::{BlockCache, CachePin, StorageDomain, StorageRouter, TieredCache};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
@@ -59,9 +58,11 @@ pub struct ClusterSpec {
     pub scheduling: Policy,
     /// Rows per ingested block.
     pub rows_per_block: usize,
-    /// SSD-cache admission prefixes (§IV-B manual preferences); empty =
-    /// no SSD data cache.
-    pub ssd_cache_prefixes: Vec<String>,
+    /// Block-cache pin prefixes (the paper's §IV-B manual preferences,
+    /// surviving as admission-filter overrides). Any pin implicitly
+    /// enables the cache even when `config.cache.enabled` is false, for
+    /// which case the legacy single-tier settings are used.
+    pub cache_pins: Vec<String>,
     /// Entry-guard capability limits (quotas, statement size).
     pub guard: GuardLimits,
     pub seed: u64,
@@ -80,7 +81,7 @@ impl ClusterSpec {
             task_reuse: true,
             scheduling: Policy::LocalityAware,
             rows_per_block: 4096,
-            ssd_cache_prefixes: Vec::new(),
+            cache_pins: Vec::new(),
             guard: GuardLimits::default(),
             seed: 0xFE15,
         }
@@ -237,7 +238,8 @@ impl QueryResult {
 /// 6. `failed_nodes` / `slow_nodes` (`RwLock`, read-mostly)
 /// 7. `resources` (per-task slot acquire/release — released before
 ///    `LeafServer::execute` runs)
-/// 8. leaf-internal locks (`IndexManager`, SSD cache LRU)
+/// 8. leaf-internal locks (`IndexManager`, block-cache shard locks —
+///    per-node sharded, a probe only ever holds its own node's shard)
 pub struct FeisuCluster {
     pub(crate) spec: ClusterSpec,
     pub(crate) clock: SimClock,
@@ -321,16 +323,25 @@ impl FeisuCluster {
         }
         let system_cred =
             auth.issue(SYSTEM_USER, clock.now(), SimDuration::hours(24 * 365 * 10))?;
-        let cache = (!spec.ssd_cache_prefixes.is_empty()).then(|| {
-            Arc::new(SsdCache::new(
-                spec.config.ssd_cache_capacity,
-                spec.ssd_cache_prefixes
+        // The cache hierarchy: explicitly enabled via config, or
+        // implicitly by configuring pin prefixes (which alone reproduce
+        // the paper's manual single-tier behavior).
+        let cache_enabled = spec.config.cache.enabled || !spec.cache_pins.is_empty();
+        let cache = cache_enabled.then(|| {
+            let settings = if spec.config.cache.enabled {
+                spec.config.cache.clone()
+            } else {
+                feisu_common::config::CacheSettings::legacy_single_tier()
+            };
+            Arc::new(TieredCache::new(
+                settings,
+                spec.cache_pins
                     .iter()
-                    .map(|p| CachePreference {
+                    .map(|p| CachePin {
                         path_prefix: p.clone(),
                     })
                     .collect(),
-            ))
+            )) as Arc<dyn BlockCache>
         });
         let domains: Vec<Arc<dyn StorageDomain>> = vec![local, hdfs, ffs, kv];
         let router = Arc::new(StorageRouter::new(
@@ -340,7 +351,7 @@ impl FeisuCluster {
             cache,
             cost.clone(),
         ));
-        // Per-domain read/write counters plus the SSD-cache counters.
+        // Per-domain read/write counters plus the block-cache counters.
         router.attach_metrics(&metrics);
         let mut leaves = FxHashMap::default();
         let mut heartbeats = HeartbeatTable::new(
@@ -477,6 +488,27 @@ impl FeisuCluster {
 
     pub fn router(&self) -> &Arc<StorageRouter> {
         &self.router
+    }
+
+    /// The block cache, when one is configured.
+    pub fn cache(&self) -> Option<&Arc<dyn BlockCache>> {
+        self.router.cache()
+    }
+
+    /// Sets (`Some`) or clears (`None`, back to the configured default)
+    /// a user's per-node cache byte quota. No-op without a cache.
+    pub fn set_user_cache_quota(&self, user: UserId, quota: Option<feisu_common::ByteSize>) {
+        if let Some(cache) = self.router.cache() {
+            cache.set_user_quota(user, quota);
+        }
+    }
+
+    /// Sets or clears a table's per-node cache byte quota. No-op without
+    /// a cache.
+    pub fn set_table_cache_quota(&self, table: &str, quota: Option<feisu_common::ByteSize>) {
+        if let Some(cache) = self.router.cache() {
+            cache.set_table_quota(table, quota);
+        }
     }
 
     /// The cluster-wide metrics registry (every subsystem feeds it).

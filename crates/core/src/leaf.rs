@@ -32,7 +32,7 @@ use feisu_sql::cnf::Cnf;
 use feisu_sql::eval::eval_truth;
 use feisu_sql::exprutil::rename_cnf;
 use feisu_storage::auth::Credential;
-use feisu_storage::StorageRouter;
+use feisu_storage::{CacheTier, StorageRouter};
 use std::sync::Arc;
 
 pub use feisu_sql::exprutil::rename_expr;
@@ -67,7 +67,9 @@ pub enum ServedTier {
     /// footer from whatever tier holds it, just never a column chunk.
     #[default]
     Memory,
-    /// The per-node SSD data cache (§IV-B).
+    /// The DRAM tier of the per-node block cache.
+    MemCache,
+    /// The SSD tier of the per-node block cache (§IV-B).
     SsdCache,
     /// A replica on the executing node itself.
     LocalDisk,
@@ -79,6 +81,7 @@ impl std::fmt::Display for ServedTier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             ServedTier::Memory => "memory",
+            ServedTier::MemCache => "mem_cache",
             ServedTier::SsdCache => "ssd_cache",
             ServedTier::LocalDisk => "local_disk",
             ServedTier::Remote => "remote",
@@ -198,15 +201,33 @@ impl LeafServer {
             }
         }
 
-        // 2. Read the block (charged for the touched column fraction).
-        let read = router.read(&task.block.path, self.node, cred, now)?;
+        // 2. Read the block (charged for the touched column fraction),
+        // attributing any cache admission to this task's table.
+        let read =
+            router.read_attributed(&task.block.path, self.node, cred, now, Some(&task.table))?;
         stats.backend = Some(router.domain_of(&task.block.path).id());
-        stats.served_tier = if read.from_cache {
-            ServedTier::SsdCache
-        } else if read.hops == 0 {
-            ServedTier::LocalDisk
+        stats.served_tier = match read.cache_tier {
+            Some(CacheTier::Memory) => ServedTier::MemCache,
+            Some(CacheTier::Ssd) => ServedTier::SsdCache,
+            None if read.hops == 0 => ServedTier::LocalDisk,
+            None => ServedTier::Remote,
+        };
+        // Cost primitives for this read's serving tier: a memory-tier
+        // cache hit pays the cache access floor instead of a device seek,
+        // and streams at memory rates. Every other tier keeps the plain
+        // medium model, so non-cache arithmetic below is unchanged.
+        let mem_tier = read.cache_tier == Some(CacheTier::Memory);
+        let access = if mem_tier {
+            self.cost.mem_cache_seek
         } else {
-            ServedTier::Remote
+            self.cost.seek(read.medium)
+        };
+        let plain_read = |size: ByteSize| {
+            if mem_tier {
+                self.cost.mem_cache_read(size)
+            } else {
+                self.cost.read(read.medium, size)
+            }
         };
 
         // 3. Zone-map skip: evaluate the CNF against the footer zone maps
@@ -228,8 +249,8 @@ impl LeafServer {
                     let domain_extra = read
                         .cost
                         .io
-                        .saturating_sub(self.cost.read(read.medium, task.block.stored_size));
-                    tally.add_io(domain_extra + self.cost.read(read.medium, meta_size));
+                        .saturating_sub(plain_read(task.block.stored_size));
+                    tally.add_io(domain_extra + plain_read(meta_size));
                     tally.add_network(self.cost.network(read.hops, meta_size));
                     tally.add_cpu(self.cost.predicate_eval(cnf.clauses.len().max(1)));
                     return self.empty_output(task, tally, stats);
@@ -283,17 +304,11 @@ impl LeafServer {
         stats.bytes_read = charged;
         // Domain-specific fixed penalties (e.g. Fatman's cold-read wakeup)
         // are whatever the domain charged beyond the plain medium model.
-        let domain_extra = read
-            .cost
-            .io
-            .saturating_sub(self.cost.read(read.medium, size));
+        let domain_extra = read.cost.io.saturating_sub(plain_read(size));
         tally.add_io(
             domain_extra
-                + self.cost.seek(read.medium) * ncols.max(1) as u64
-                + self
-                    .cost
-                    .read(read.medium, charged)
-                    .saturating_sub(self.cost.seek(read.medium)),
+                + access * ncols.max(1) as u64
+                + plain_read(charged).saturating_sub(access),
         );
         // Per-hop switch latency is paid in full; only the per-byte part
         // shrinks with the touched fraction.

@@ -193,7 +193,9 @@ impl FeisuCluster {
             index_hits: ctx.stats.index_hits as u64,
             blocks_skipped: ctx.stats.blocks_skipped as u64,
             blocks_scanned: ctx.stats.blocks_scanned as u64,
-            cache_hit_tasks: ctx.tier_tasks.get("ssd_cache").copied().unwrap_or(0) as u64,
+            cache_hit_tasks: (ctx.tier_tasks.get("ssd_cache").copied().unwrap_or(0)
+                + ctx.tier_tasks.get("mem_cache").copied().unwrap_or(0))
+                as u64,
             memory_served_tasks: ctx.stats.memory_served_tasks as u64,
             top_operators: top_operator_costs(&profile.tree.roots, 3),
         });

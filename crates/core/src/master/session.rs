@@ -78,4 +78,13 @@ impl QuerySession<'_> {
     pub fn explain(&self, sql: &str) -> Result<String> {
         self.cluster.explain(sql, &self.cred)
     }
+
+    /// Sets (`Some`) or clears (`None`, back to the configured default)
+    /// *this* session's user per-node cache byte quota. Blocks admitted
+    /// on behalf of the session's queries are attributed to its user; the
+    /// quota caps those bytes per node. No-op when the cluster runs
+    /// without a cache.
+    pub fn set_cache_quota(&self, quota: Option<feisu_common::ByteSize>) {
+        self.cluster.set_user_cache_quota(self.cred.user, quota);
+    }
 }

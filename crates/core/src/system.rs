@@ -74,14 +74,17 @@ pub fn system_table_schema(name: &str) -> Option<Schema> {
             Field::new("running_tasks", DataType::Int64, false),
             Field::new("feisu_slots", DataType::Int64, false),
         ])),
+        // One row per (node, tier): `mem` and `ssd` data tiers plus the
+        // `ghost` admission shadow (its `hits` are granted admissions;
+        // its capacities are key counts, reported as 0 bytes).
         "system.cache" => Some(Schema::new(vec![
-            Field::new("hits", DataType::Int64, false),
-            Field::new("misses", DataType::Int64, false),
-            Field::new("rejected", DataType::Int64, false),
-            Field::new("evictions", DataType::Int64, false),
+            Field::new("node", DataType::Utf8, false),
+            Field::new("tier", DataType::Utf8, false),
+            Field::new("entries", DataType::Int64, false),
             Field::new("used_bytes", DataType::Int64, false),
-            Field::new("tracked_nodes", DataType::Int64, false),
-            Field::new("miss_ratio", DataType::Float64, false),
+            Field::new("capacity_bytes", DataType::Int64, false),
+            Field::new("hits", DataType::Int64, false),
+            Field::new("evictions", DataType::Int64, false),
         ])),
         _ => None,
     }
@@ -242,38 +245,28 @@ impl FeisuCluster {
                 batch_from_rows(schema, rows)
             }
             "system.cache" => {
-                let row = match self.router.cache() {
-                    Some(cache) => {
-                        let s = cache.stats();
-                        let used: u64 = self
-                            .topology
-                            .nodes()
-                            .iter()
-                            .map(|n| cache.used_on(n.id).0)
-                            .sum();
-                        vec![
-                            Value::Int64(s.hits as i64),
-                            Value::Int64(s.misses as i64),
-                            Value::Int64(s.rejected as i64),
-                            Value::Int64(s.evictions as i64),
-                            Value::Int64(used as i64),
-                            Value::Int64(cache.tracked_nodes() as i64),
-                            Value::Float64(s.miss_ratio()),
-                        ]
+                // Per-node, per-tier rows in node order. Without a cache
+                // the table is empty (but still selectable), mirroring
+                // "no cache state exists" rather than faking zeros.
+                let mut rows = Vec::new();
+                if let Some(cache) = self.router.cache() {
+                    let mut nodes: Vec<_> = self.topology.nodes().to_vec();
+                    nodes.sort_by_key(|n| n.id.0);
+                    for n in &nodes {
+                        for t in cache.node_tier_rows(n.id) {
+                            rows.push(vec![
+                                Value::Utf8(n.id.to_string()),
+                                Value::Utf8(t.tier.to_string()),
+                                Value::Int64(t.entries as i64),
+                                Value::Int64(t.used_bytes as i64),
+                                Value::Int64(t.capacity_bytes as i64),
+                                Value::Int64(t.hits as i64),
+                                Value::Int64(t.evictions as i64),
+                            ]);
+                        }
                     }
-                    // No SSD cache configured: one all-zero row, so the
-                    // table stays selectable on every cluster spec.
-                    None => vec![
-                        Value::Int64(0),
-                        Value::Int64(0),
-                        Value::Int64(0),
-                        Value::Int64(0),
-                        Value::Int64(0),
-                        Value::Int64(0),
-                        Value::Float64(0.0),
-                    ],
-                };
-                batch_from_rows(schema, vec![row])
+                }
+                batch_from_rows(schema, rows)
             }
             _ => unreachable!("schema lookup above rejects unknown names"),
         }

@@ -5,6 +5,7 @@
 //! systems" (§II). Every backend implements [`StorageDomain`]; the router
 //! composes them behind unified paths.
 
+use crate::cache::CacheTier;
 use bytes::Bytes;
 use feisu_cluster::simclock::TimeTally;
 use feisu_cluster::{CostModel, StorageMedium, Topology};
@@ -23,8 +24,9 @@ pub struct ReadResult {
     pub medium: StorageMedium,
     /// Network hops the data crossed to reach the reader (0 = local).
     pub hops: u32,
-    /// Served by the per-node SSD cache rather than the owning domain.
-    pub from_cache: bool,
+    /// Which tier of the per-node block cache served the read, if it was
+    /// a cache hit rather than a domain read.
+    pub cache_tier: Option<CacheTier>,
 }
 
 /// One independent storage system.
@@ -104,7 +106,7 @@ impl ObjectStore {
             served_from,
             medium: self.medium,
             hops,
-            from_cache: false,
+            cache_tier: None,
         })
     }
 

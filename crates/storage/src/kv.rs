@@ -86,7 +86,7 @@ impl StorageDomain for KvDomain {
             served_from: home,
             medium: StorageMedium::Ssd,
             hops,
-            from_cache: false,
+            cache_tier: None,
         })
     }
 

@@ -14,14 +14,18 @@
 //! deterministic cost model.
 
 pub mod auth;
+pub mod cache;
 pub mod domain;
 pub mod fatman;
 pub mod hdfs;
 pub mod kv;
 pub mod localfs;
 pub mod router;
-pub mod ssd_cache;
 
 pub use auth::{AuthService, Credential, Grant};
+pub use bytes::Bytes;
+pub use cache::{
+    BlockCache, CacheAttr, CacheHit, CachePin, CacheStats, CacheTier, CacheTierRow, TieredCache,
+};
 pub use domain::{ReadResult, StorageDomain};
 pub use router::StorageRouter;

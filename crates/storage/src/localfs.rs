@@ -92,7 +92,7 @@ impl StorageDomain for LocalFsDomain {
             served_from: *owner,
             medium: StorageMedium::Hdd,
             hops,
-            from_cache: false,
+            cache_tier: None,
         })
     }
 

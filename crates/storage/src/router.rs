@@ -9,8 +9,8 @@
 //! reads with the per-node SSD cache of §IV-B.
 
 use crate::auth::{AuthService, Credential, Grant};
+use crate::cache::{BlockCache, CacheAttr, CacheTier};
 use crate::domain::{ReadResult, StorageDomain};
-use crate::ssd_cache::SsdCache;
 use bytes::Bytes;
 use feisu_cluster::simclock::TimeTally;
 use feisu_cluster::{CostModel, StorageMedium};
@@ -32,7 +32,7 @@ pub struct StorageRouter {
     /// Index into `domains` used when no prefix matches (the local FS).
     default_domain: usize,
     auth: Arc<AuthService>,
-    cache: Option<Arc<SsdCache>>,
+    cache: Option<Arc<dyn BlockCache>>,
     cost: CostModel,
     // Behind a Mutex because the router is attached after it is shared
     // (`Arc<StorageRouter>` throughout the engine).
@@ -44,7 +44,7 @@ impl StorageRouter {
         domains: Vec<Arc<dyn StorageDomain>>,
         default_domain: usize,
         auth: Arc<AuthService>,
-        cache: Option<Arc<SsdCache>>,
+        cache: Option<Arc<dyn BlockCache>>,
         cost: CostModel,
     ) -> Self {
         assert!(
@@ -62,7 +62,7 @@ impl StorageRouter {
     }
 
     /// Starts publishing `feisu.storage.<prefix>.*` counters, one set per
-    /// domain, plus the SSD cache's counters when a cache is configured.
+    /// domain, plus the block cache's counters when a cache is configured.
     pub fn attach_metrics(&self, registry: &MetricsRegistry) {
         let per_domain = self
             .domains
@@ -122,9 +122,61 @@ impl StorageRouter {
         self.resolve(path).0
     }
 
-    /// Authorized read through the cache hierarchy. On an SSD-cache hit
-    /// the cost is a local SSD access; otherwise the domain read cost,
-    /// and the bytes are offered to the cache.
+    /// Authorized read through the cache hierarchy. A memory-tier hit
+    /// costs a cache access plus memory streaming; an SSD-tier hit costs
+    /// a local SSD access; a miss pays the domain read cost and the bytes
+    /// are offered to the cache, attributed to `table` (for quota
+    /// accounting) and the credential's user.
+    pub fn read_attributed(
+        &self,
+        path: &str,
+        reader: NodeId,
+        cred: &Credential,
+        now: SimInstant,
+        table: Option<&str>,
+    ) -> Result<ReadResult> {
+        let (domain, inner) = self.resolve(path);
+        self.auth.authorize(cred, domain.id(), Grant::Read, now)?;
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(reader, path, now) {
+                let size = ByteSize(hit.data.len() as u64);
+                let mut cost = TimeTally::new();
+                let (io, medium) = match hit.tier {
+                    CacheTier::Memory => (self.cost.mem_cache_read(size), StorageMedium::Memory),
+                    CacheTier::Ssd => {
+                        (self.cost.read(StorageMedium::Ssd, size), StorageMedium::Ssd)
+                    }
+                };
+                cost.add_io(io);
+                return Ok(ReadResult {
+                    data: hit.data,
+                    cost,
+                    served_from: reader,
+                    medium,
+                    hops: 0,
+                    cache_tier: Some(hit.tier),
+                });
+            }
+        }
+        let result = domain.read_from(&inner, reader)?;
+        self.note_read(path, result.data.len() as u64);
+        if let Some(cache) = &self.cache {
+            cache.admit(
+                reader,
+                path,
+                result.data.clone(),
+                CacheAttr {
+                    user: cred.user,
+                    table,
+                },
+                now,
+            );
+        }
+        Ok(result)
+    }
+
+    /// [`Self::read_attributed`] with no table attribution (internal
+    /// reads: spill files, personalization data, ...).
     pub fn read(
         &self,
         path: &str,
@@ -132,34 +184,13 @@ impl StorageRouter {
         cred: &Credential,
         now: SimInstant,
     ) -> Result<ReadResult> {
-        let (domain, inner) = self.resolve(path);
-        self.auth.authorize(cred, domain.id(), Grant::Read, now)?;
-        if let Some(cache) = &self.cache {
-            if let Some(data) = cache.get(reader, path) {
-                let mut cost = TimeTally::new();
-                cost.add_io(
-                    self.cost
-                        .read(StorageMedium::Ssd, ByteSize(data.len() as u64)),
-                );
-                return Ok(ReadResult {
-                    data,
-                    cost,
-                    served_from: reader,
-                    medium: StorageMedium::Ssd,
-                    hops: 0,
-                    from_cache: true,
-                });
-            }
-        }
-        let result = domain.read_from(&inner, reader)?;
-        self.note_read(path, result.data.len() as u64);
-        if let Some(cache) = &self.cache {
-            cache.put(reader, path, result.data.clone(), false);
-        }
-        Ok(result)
+        self.read_attributed(path, reader, cred, now, None)
     }
 
-    /// Authorized write.
+    /// Authorized write. A successful write invalidates any cached copy
+    /// of the path on every node — this is the single choke point every
+    /// ingest path funnels through, so re-ingested data can never be
+    /// served stale from the cache.
     pub fn write(
         &self,
         path: &str,
@@ -174,7 +205,11 @@ impl StorageRouter {
         if let Some(m) = self.metrics.lock().as_ref() {
             m[self.domain_index(path)].writes.inc();
         }
-        domain.put(&inner, data, near)
+        domain.put(&inner, data, near)?;
+        if let Some(cache) = &self.cache {
+            cache.invalidate_path(path);
+        }
+        Ok(())
     }
 
     /// Replica locations in unified-path terms (for the scheduler).
@@ -212,7 +247,7 @@ impl StorageRouter {
         &self.auth
     }
 
-    pub fn cache(&self) -> Option<&Arc<SsdCache>> {
+    pub fn cache(&self) -> Option<&Arc<dyn BlockCache>> {
         self.cache.as_ref()
     }
 
@@ -237,12 +272,13 @@ impl StorageRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::{CachePin, TieredCache};
     use crate::fatman::FatmanDomain;
     use crate::hdfs::HdfsDomain;
     use crate::kv::KvDomain;
     use crate::localfs::LocalFsDomain;
-    use crate::ssd_cache::CachePreference;
     use feisu_cluster::Topology;
+    use feisu_common::config::CacheSettings;
     use feisu_common::{DomainId, SimDuration, UserId};
 
     fn router(with_cache: bool) -> (StorageRouter, Credential) {
@@ -280,14 +316,53 @@ mod tests {
             .issue(UserId(1), SimInstant(0), SimDuration::hours(8))
             .unwrap();
         let cache = with_cache.then(|| {
-            Arc::new(SsdCache::new(
-                ByteSize::mib(4),
-                vec![CachePreference {
+            let mut settings = CacheSettings::legacy_single_tier();
+            settings.ssd_capacity_per_node = ByteSize::mib(4);
+            Arc::new(TieredCache::new(
+                settings,
+                vec![CachePin {
                     path_prefix: "/hdfs/".into(),
                 }],
-            ))
+            )) as Arc<dyn BlockCache>
         });
         let r = StorageRouter::new(vec![local, hdfs, ffs, kv], 0, auth, cache, cost);
+        (r, cred)
+    }
+
+    /// Router with a two-tier (memory + SSD) cache admitting everything.
+    fn router_two_tier() -> (StorageRouter, Credential) {
+        let topo = Arc::new(Topology::grid(1, 2, 2));
+        let cost = CostModel::default();
+        let local = Arc::new(LocalFsDomain::new(
+            DomainId(0),
+            "local",
+            topo.clone(),
+            cost.clone(),
+        ));
+        let hdfs = Arc::new(HdfsDomain::new(
+            DomainId(1),
+            "hdfs",
+            topo.clone(),
+            cost.clone(),
+            2,
+            1,
+        ));
+        let auth = Arc::new(AuthService::new(7));
+        auth.register(UserId(1));
+        auth.grant(UserId(1), DomainId(0), Grant::ReadWrite);
+        auth.grant(UserId(1), DomainId(1), Grant::ReadWrite);
+        let cred = auth
+            .issue(UserId(1), SimInstant(0), SimDuration::hours(8))
+            .unwrap();
+        let settings = CacheSettings {
+            enabled: true,
+            mem_capacity_per_node: ByteSize::mib(4),
+            ssd_capacity_per_node: ByteSize::mib(4),
+            admission: feisu_common::config::CacheAdmission::Always,
+            ..CacheSettings::default()
+        };
+        let cache = Arc::new(TieredCache::new(settings, Vec::new())) as Arc<dyn BlockCache>;
+        let r = StorageRouter::new(vec![local, hdfs], 0, auth, Some(cache), cost);
         (r, cred)
     }
 
@@ -363,9 +438,72 @@ mod tests {
             .read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
             .unwrap();
         assert_eq!(second.medium, StorageMedium::Ssd);
+        assert_eq!(second.cache_tier, Some(CacheTier::Ssd));
         assert!(second.cost.total() < first.cost.total());
         assert_eq!(second.served_from, NodeId(1));
-        assert_eq!(r.cache().unwrap().stats().hits, 1);
+        assert_eq!(r.cache().unwrap().stats().ssd_hits, 1);
+    }
+
+    #[test]
+    fn memory_tier_serves_third_read_cheaper() {
+        let (r, cred) = router_two_tier();
+        let blob = Bytes::from(vec![7u8; 100_000]);
+        r.write("/hdfs/t/b0", blob, Some(NodeId(0)), &cred, SimInstant(0))
+            .unwrap();
+        // Miss → admitted to SSD tier; hit → served from SSD, promoted;
+        // next hit → served from memory, strictly cheaper.
+        r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
+            .unwrap();
+        let ssd = r
+            .read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
+            .unwrap();
+        let mem = r
+            .read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
+            .unwrap();
+        assert_eq!(ssd.cache_tier, Some(CacheTier::Ssd));
+        assert_eq!(mem.cache_tier, Some(CacheTier::Memory));
+        assert_eq!(mem.medium, StorageMedium::Memory);
+        assert!(mem.cost.total() < ssd.cost.total());
+        let stats = r.cache().unwrap().stats();
+        assert_eq!(
+            (stats.ssd_hits, stats.mem_hits, stats.promotions),
+            (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn rewrite_invalidates_cached_bytes() {
+        let (r, cred) = router(true);
+        r.write(
+            "/hdfs/t/b0",
+            Bytes::from_static(b"old-bytes"),
+            Some(NodeId(0)),
+            &cred,
+            SimInstant(0),
+        )
+        .unwrap();
+        // Warm the cache with the old bytes.
+        r.read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
+            .unwrap();
+        let cached = r
+            .read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
+            .unwrap();
+        assert_eq!(cached.cache_tier, Some(CacheTier::Ssd));
+        // Rewriting the path must drop the stale copy everywhere.
+        r.write(
+            "/hdfs/t/b0",
+            Bytes::from_static(b"new-bytes"),
+            Some(NodeId(0)),
+            &cred,
+            SimInstant(0),
+        )
+        .unwrap();
+        let fresh = r
+            .read("/hdfs/t/b0", NodeId(1), &cred, SimInstant(0))
+            .unwrap();
+        assert_eq!(fresh.cache_tier, None, "stale cache entry must be gone");
+        assert_eq!(&fresh.data[..], b"new-bytes");
+        assert_eq!(r.cache().unwrap().stats().invalidations, 1);
     }
 
     #[test]
@@ -389,7 +527,7 @@ mod tests {
         assert_eq!(registry.counter("feisu.storage.hdfs.writes").get(), 1);
         assert_eq!(registry.counter("feisu.storage.hdfs.reads").get(), 1);
         assert_eq!(registry.counter("feisu.storage.hdfs.bytes_read").get(), 100);
-        assert_eq!(registry.counter("feisu.ssd_cache.hits").get(), 1);
+        assert_eq!(registry.counter("feisu.cache.ssd.hits").get(), 1);
         assert_eq!(registry.counter("feisu.storage.local.reads").get(), 0);
     }
 

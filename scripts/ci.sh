@@ -143,6 +143,45 @@ else
   echo "ci: zone-skip json ok (grep check)"
 fi
 
+# Cache-mix bench: ghost admission must actually pay off on the Zipfian
+# multi-user trace — strictly higher hit rate than admit-everything, no
+# worse tail latency, and bit-identical answers across all three cache
+# configs (smoke config; committed numbers come from a full run).
+echo "ci: cache-mix bench (smoke)"
+cargo run --release $OFFLINE -p feisu-bench --bin bench_cache_mix -- --smoke
+if [ ! -s results/BENCH_cache_mix.json ]; then
+  echo "ci: results/BENCH_cache_mix.json missing or empty" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("results/BENCH_cache_mix.json") as f:
+    data = json.load(f)
+assert data["bench"] == "cache_mix", data
+assert data["parity"] is True, "cache configs returned different answers"
+configs = data["configs"]
+assert configs, "no bench configs recorded"
+for c in configs:
+    for k in ("name", "hit_rate", "mem_hit_rate", "ssd_hit_rate",
+              "mem_hits", "ssd_hits", "misses", "ghost_admissions",
+              "rejected", "evictions", "p50_ms", "p95_ms", "p99_ms"):
+        assert k in c, f"config missing {k}: {c}"
+by_name = {c["name"]: c for c in configs}
+on, off = by_name["admission_on"], by_name["admission_off"]
+assert on["hit_rate"] > off["hit_rate"], \
+    f"ghost admission must beat admit-everything: {on['hit_rate']} vs {off['hit_rate']}"
+assert on["p95_ms"] <= off["p95_ms"], \
+    f"ghost admission must not worsen p95: {on['p95_ms']} vs {off['p95_ms']}"
+assert by_name["cache_off"]["hit_rate"] == 0.0, "cache_off must not hit"
+print(f"ci: cache-mix json ok (hit {on['hit_rate']} vs {off['hit_rate']})")
+EOF
+else
+  grep -q '"bench": "cache_mix"' results/BENCH_cache_mix.json
+  grep -q '"parity": true' results/BENCH_cache_mix.json
+  echo "ci: cache-mix json ok (grep check)"
+fi
+
 # Observability plane: system tables must answer plain SQL and a real
 # query's Chrome trace must export as parseable, non-empty JSON.
 echo "ci: observability smoke (system tables + trace export)"

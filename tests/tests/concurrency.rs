@@ -11,11 +11,13 @@
 //! `FEISU_CLIENT_THREADS` (default 4) sets the client-thread count, so
 //! CI can re-run the suite at a pinned width.
 
-use feisu_common::NodeId;
+use feisu_common::config::CacheAdmission;
+use feisu_common::{ByteSize, NodeId, SimInstant, UserId};
 use feisu_core::engine::{ClusterSpec, FeisuCluster, QueryResult};
 use feisu_core::master::QuerySession;
 use feisu_storage::auth::Credential;
-use feisu_tests::fixture_with;
+use feisu_storage::{BlockCache, Bytes, CacheAttr, CacheStats, CacheTier, TieredCache};
+use feisu_tests::{clicks_rows, clicks_schema, fixture_with};
 use std::sync::Barrier;
 
 /// Client-thread count under test (`FEISU_CLIENT_THREADS`, default 4).
@@ -251,6 +253,206 @@ fn fault_injection_under_concurrent_load() {
         .query("SELECT COUNT(*) FROM clicks WHERE clicks > 3", &fx.cred)
         .expect("post-recovery query");
     assert_eq!(after.batch.rows(), 1);
+}
+
+/// Parallel hammer on the sharded block cache: every client thread runs
+/// the miss → admit → SSD hit (promote) → memory hit ladder against the
+/// *same two nodes* with thread-private paths. Per-key state never
+/// races, so every global counter must land on its exact closed-form
+/// total — the per-node shard locks and relaxed atomic stats may not
+/// lose a single event under contention.
+#[test]
+fn parallel_hammer_on_two_nodes_keeps_exact_cache_totals() {
+    let threads = client_threads().max(2) as u64;
+    let ops = 64u64;
+    let payload = 1024u64;
+    let cache = TieredCache::new(
+        feisu_common::config::CacheSettings {
+            enabled: true,
+            admission: CacheAdmission::Always,
+            ..Default::default()
+        },
+        Vec::new(),
+    );
+    let nodes = [NodeId(0), NodeId(1)];
+    let barrier = Barrier::new(threads as usize);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (cache, barrier) = (&cache, &barrier);
+            s.spawn(move || {
+                let user = UserId(100 + t);
+                let now = SimInstant::EPOCH;
+                barrier.wait();
+                for node in nodes {
+                    for i in 0..ops {
+                        let path = format!("/hammer/u{t}/b{i}");
+                        let attr = CacheAttr {
+                            user,
+                            table: Some("hammered"),
+                        };
+                        assert!(cache.get(node, &path, now).is_none(), "fresh key must miss");
+                        cache.admit(
+                            node,
+                            &path,
+                            Bytes::from(vec![t as u8; payload as usize]),
+                            attr,
+                            now,
+                        );
+                        let ssd = cache.get(node, &path, now).expect("admitted key present");
+                        assert_eq!(ssd.tier, CacheTier::Ssd, "entries enter at the SSD tier");
+                        let mem = cache.get(node, &path, now).expect("promoted key present");
+                        assert_eq!(mem.tier, CacheTier::Memory, "SSD hit promotes to memory");
+                        assert_eq!(mem.data.len() as u64, payload);
+                    }
+                }
+            });
+        }
+    });
+
+    // Exact totals: each (thread, node, key) contributed exactly one
+    // miss, one admission, one SSD hit, one promotion and one memory hit.
+    let per_node = threads * ops;
+    let total = per_node * nodes.len() as u64;
+    let stats = cache.stats();
+    assert_eq!(
+        (
+            stats.misses,
+            stats.ssd_hits,
+            stats.mem_hits,
+            stats.promotions
+        ),
+        (total, total, total, total),
+        "lost cache events under contention: {stats:?}"
+    );
+    assert_eq!(stats.rejected + stats.quota_rejections, 0);
+    assert_eq!(
+        stats.mem_evictions + stats.ssd_evictions,
+        0,
+        "capacity never filled"
+    );
+    assert_eq!(cache.tracked_nodes(), nodes.len());
+    for node in nodes {
+        // Single residency: every entry was promoted, so all bytes sit in
+        // the memory tier and each user's attribution is exact.
+        assert_eq!(
+            cache.used_on(node, CacheTier::Memory),
+            ByteSize(per_node * payload)
+        );
+        assert_eq!(cache.used_on(node, CacheTier::Ssd), ByteSize(0));
+        for t in 0..threads {
+            assert_eq!(
+                cache.user_used_on(node, UserId(100 + t)),
+                ByteSize(ops * payload),
+                "thread {t} attribution on {node:?}"
+            );
+        }
+        let rows = cache.node_tier_rows(node);
+        let mem_row = rows.iter().find(|r| r.tier == "mem").expect("mem row");
+        assert_eq!(mem_row.entries as u64, per_node);
+        assert_eq!(mem_row.hits, per_node);
+        let ssd_row = rows.iter().find(|r| r.tier == "ssd").expect("ssd row");
+        assert_eq!(ssd_row.entries, 0);
+        assert_eq!(ssd_row.hits, per_node);
+    }
+}
+
+/// One full cache-hierarchy workload run: per-client *private* tables
+/// (disjoint block paths, so no cross-client cache coupling), ghost
+/// admission on, capacities far above the working set (no evictions).
+/// Each client climbs the full ladder on its own table: miss + ghost
+/// register → ghost recall + SSD admit → SSD hit + promote → memory hit.
+fn run_cache_workload(clients: usize, concurrent: bool) -> (Vec<Vec<QueryResult>>, CacheStats) {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false; // repeats must really re-read their blocks
+    spec.use_smartindex = false;
+    spec.config.cache.enabled = true;
+    spec.config.cache.admission = CacheAdmission::Frequency;
+    let fx = fixture_with(64, spec, "/hdfs/warehouse/clicks");
+    for i in 0..clients {
+        fx.cluster
+            .create_table(
+                &format!("t{i}"),
+                clicks_schema(),
+                &format!("/hdfs/warehouse/t{i}"),
+                &fx.cred,
+            )
+            .expect("private table");
+        fx.cluster
+            .ingest_rows(&format!("t{i}"), clicks_rows(160), &fx.cred)
+            .expect("private ingest");
+    }
+    let sessions = open_sessions(&fx.cluster, clients);
+    let workloads: Vec<Vec<String>> = (0..clients)
+        .map(|i| {
+            let mut list: Vec<String> = (0..4)
+                .map(|_| format!("SELECT SUM(clicks) FROM t{i}"))
+                .collect();
+            list.push(format!("SELECT COUNT(*) FROM t{i}"));
+            list.push(format!("SELECT url FROM t{i} WHERE clicks > {}", 10 + i));
+            list
+        })
+        .collect();
+
+    let mut results: Vec<Vec<QueryResult>> = Vec::with_capacity(clients);
+    if concurrent {
+        let barrier = Barrier::new(clients);
+        let mut slots: Vec<Option<Vec<QueryResult>>> = (0..clients).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (slot, (session, list)) in slots.iter_mut().zip(sessions.iter().zip(&workloads)) {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    *slot = Some(
+                        list.iter()
+                            .map(|sql| session.query(sql).expect("concurrent query"))
+                            .collect(),
+                    );
+                });
+            }
+        });
+        results.extend(slots.into_iter().map(|s| s.expect("client finished")));
+    } else {
+        for (session, list) in sessions.iter().zip(&workloads) {
+            results.push(
+                list.iter()
+                    .map(|sql| session.query(sql).expect("serial query"))
+                    .collect(),
+            );
+        }
+    }
+    let stats = fx.cluster.cache().expect("cache enabled").stats();
+    (results, stats)
+}
+
+/// DESIGN.md §12 with the multi-tier cache in the loop: clients whose
+/// tables (and thus cached block paths) are disjoint get bit-identical
+/// `QueryResult`s serial vs concurrent, and the cache's global counters
+/// land on the same exact totals either way (sums commute).
+#[test]
+fn cache_hierarchy_bit_identical_serial_vs_concurrent() {
+    let clients = client_threads();
+    let (serial, serial_stats) = run_cache_workload(clients, false);
+    let (parallel, parallel_stats) = run_cache_workload(clients, true);
+
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.len(), p.len(), "client {i}: query count");
+        for (j, (a, b)) in s.iter().zip(p).enumerate() {
+            assert_eq!(
+                a, b,
+                "client {i} query {j}: serial and concurrent cache runs diverged"
+            );
+        }
+    }
+    assert_eq!(
+        serial_stats, parallel_stats,
+        "cache counters diverged between run shapes"
+    );
+    // The workload climbed the whole ladder: ghost admissions (second
+    // sighting), SSD hits, promotions and memory hits all happened.
+    assert!(serial_stats.ghost_admissions > 0, "no ghost admissions");
+    assert!(serial_stats.ssd_hits > 0, "no SSD hits");
+    assert!(serial_stats.promotions > 0, "no promotions");
+    assert!(serial_stats.mem_hits > 0, "no memory hits");
 }
 
 /// The guard's admission accounting under the integration surface: a

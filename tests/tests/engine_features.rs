@@ -91,7 +91,7 @@ fn ssd_cache_accelerates_repeat_reads() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false;
     spec.use_smartindex = false; // isolate the data cache
-    spec.ssd_cache_prefixes = vec!["/hdfs/".to_string()];
+    spec.cache_pins = vec!["/hdfs/".to_string()];
     let fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT url FROM clicks WHERE clicks > 10";
     let cold = fx.cluster.query(sql, &fx.cred).unwrap();
@@ -104,7 +104,7 @@ fn ssd_cache_accelerates_repeat_reads() {
         cold.response_time
     );
     let stats = fx.cluster.router().cache().unwrap().stats();
-    assert!(stats.hits > 0, "cache saw hits: {stats:?}");
+    assert!(stats.hits() > 0, "cache saw hits: {stats:?}");
 }
 
 #[test]

@@ -134,7 +134,7 @@ fn cache_served_tasks_show_their_tier() {
     let mut spec = ClusterSpec::small();
     spec.task_reuse = false;
     spec.use_smartindex = false;
-    spec.ssd_cache_prefixes = vec!["/hdfs/".to_string()];
+    spec.cache_pins = vec!["/hdfs/".to_string()];
     let fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
     let sql = "SELECT url FROM clicks WHERE clicks > 10";
     let cold = fx.cluster.query(sql, &fx.cred).unwrap();
@@ -155,8 +155,45 @@ fn cache_served_tasks_show_their_tier() {
     );
     assert_eq!(tier_of(&warm).as_deref(), Some("ssd_cache"));
     assert!(warm.profile.render().contains("ssd_cache="), "summary tier");
-    let hits = fx.cluster.metrics().counter("feisu.ssd_cache.hits").get();
+    let hits = fx.cluster.metrics().counter("feisu.cache.ssd.hits").get();
     assert!(hits > 0, "registry saw the cache hits");
+}
+
+#[test]
+fn memory_tier_hits_show_their_own_tier() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    spec.config.cache.enabled = true;
+    spec.config.cache.admission = feisu_common::config::CacheAdmission::Always;
+    let fx = fixture_with(400, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT url FROM clicks WHERE clicks > 10";
+    let tier_of = |r: &feisu_core::engine::QueryResult| {
+        r.profile
+            .tree
+            .find("leaf_task")
+            .and_then(|l| l.attr("tier"))
+            .map(|v| v.to_string())
+    };
+    // Miss → SSD admission → SSD hit (promotes) → memory hit, each step
+    // strictly faster than the last.
+    let cold = fx.cluster.query(sql, &fx.cred).unwrap();
+    let ssd = fx.cluster.query(sql, &fx.cred).unwrap();
+    let mem = fx.cluster.query(sql, &fx.cred).unwrap();
+    assert_eq!(tier_of(&ssd).as_deref(), Some("ssd_cache"));
+    assert_eq!(tier_of(&mem).as_deref(), Some("mem_cache"));
+    assert!(mem.profile.render().contains("mem_cache="), "summary tier");
+    assert!(ssd.response_time < cold.response_time);
+    assert!(mem.response_time < ssd.response_time);
+    assert!(fx.cluster.metrics().counter("feisu.cache.mem.hits").get() > 0);
+    assert!(fx.cluster.metrics().counter("feisu.cache.promotions").get() > 0);
+    // The events of both cache-served queries count as cache-hit tasks.
+    let log = fx.cluster.query_log().snapshot();
+    let last = log.last().expect("logged");
+    assert!(
+        last.cache_hit_tasks > 0,
+        "mem_cache tasks count as cache hits"
+    );
 }
 
 #[test]

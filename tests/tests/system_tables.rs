@@ -152,14 +152,65 @@ fn metrics_nodes_and_cache_tables_are_selectable() {
         assert_eq!(nodes.batch.value_at(i, "failed"), Some(Value::Bool(false)));
     }
 
+    // No cache configured on this fixture: the table is selectable but
+    // empty (no per-node tier state exists).
     let cache = fx
         .cluster
         .query(
-            "SELECT hits, misses, miss_ratio FROM system.cache",
+            "SELECT node, tier, entries, hits FROM system.cache",
             &fx.cred,
         )
         .expect("system.cache");
-    assert_eq!(cache.batch.rows(), 1, "one cluster-wide cache row");
+    assert_eq!(cache.batch.rows(), 0, "no cache -> no tier rows");
+}
+
+/// `system.cache` reports one row per (node, tier) — `mem`, `ssd` and
+/// the `ghost` admission shadow — with exact per-node counters.
+#[test]
+fn system_cache_reports_per_node_tier_rows() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    spec.config.cache.enabled = true;
+    spec.config.cache.admission = feisu_common::config::CacheAdmission::Always;
+    let fx = fixture_with(200, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT url FROM clicks WHERE clicks > 10";
+    fx.cluster.query(sql, &fx.cred).unwrap(); // miss + admit
+    fx.cluster.query(sql, &fx.cred).unwrap(); // ssd hits + promotion
+    let nodes = fx.cluster.node_count();
+    let rows = fx
+        .cluster
+        .query(
+            "SELECT node, tier, entries, used_bytes, capacity_bytes, hits, evictions \
+             FROM system.cache",
+            &fx.cred,
+        )
+        .expect("system.cache");
+    assert_eq!(rows.batch.rows(), nodes * 3, "three tiers per node");
+    // Tier labels cycle mem/ssd/ghost per node; the SSD tier saw the
+    // warm-read hits somewhere.
+    let mut ssd_hits = 0i64;
+    for i in 0..rows.batch.rows() {
+        let Some(Value::Utf8(tier)) = rows.batch.value_at(i, "tier") else {
+            panic!("tier column");
+        };
+        assert_eq!(["mem", "ssd", "ghost"][i % 3], tier);
+        if tier == "ssd" {
+            if let Some(Value::Int64(h)) = rows.batch.value_at(i, "hits") {
+                ssd_hits += h;
+            }
+        }
+    }
+    assert!(ssd_hits > 0, "warm reads hit the SSD tier");
+    // Aggregation pushdown works over the virtual table.
+    let agg = fx
+        .cluster
+        .query(
+            "SELECT tier, SUM(used_bytes) FROM system.cache GROUP BY tier",
+            &fx.cred,
+        )
+        .expect("grouped");
+    assert_eq!(agg.batch.rows(), 3);
 }
 
 /// The `system.` namespace is reserved: user tables cannot shadow the
