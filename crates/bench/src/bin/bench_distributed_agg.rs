@@ -1,0 +1,219 @@
+//! Benchmark for the topology-aware multi-level exchange aggregation
+//! (DESIGN.md §16) against the legacy two-level merge.
+//!
+//! For each simulated cluster size the same high-cardinality GROUP BY
+//! runs twice over identical data: once with the legacy chunked
+//! two-level merge (`MergeTreeShape::TwoLevel`, one exchange partition)
+//! and once with the topology-derived multi-level tree plus the
+//! hash-partitioned repartition exchange (`MergeTreeShape::Topology`,
+//! eight partitions). SmartIndex and task reuse are off so both runs
+//! are cold scans and the only difference is the merge tree.
+//!
+//! Reported per size: simulated critical-path response time, the three
+//! per-level wire legs (leaf→stem, rack→DC, stem→master), and exact
+//! answer parity — the workload uses only integer aggregates
+//! (COUNT/SUM/MIN/MAX), which the merge contract keeps bit-identical
+//! across tree shapes and partition counts. Results land in
+//! `results/BENCH_distributed_agg.json`.
+//!
+//! `--smoke` (or `FEISU_BENCH_SMOKE=1`) shrinks the node counts for CI.
+
+use feisu_bench::{build_cluster, load_dataset};
+use feisu_common::config::MergeTreeShape;
+use feisu_core::engine::{ClusterSpec, QueryResult};
+use feisu_workload::datasets::DatasetSpec;
+use std::time::Instant;
+
+const EXCHANGE_PARTITIONS: usize = 8;
+
+/// One (cluster size, merge shape) measurement.
+struct Run {
+    sim_ms: f64,
+    wall_ms: f64,
+    wire_leaf_stem: u64,
+    wire_rack_dc: u64,
+    wire_stem_master: u64,
+    result: QueryResult,
+}
+
+fn run_shape(
+    nodes: u32,
+    rows: usize,
+    rows_per_block: usize,
+    leaves_per_stem: usize,
+    shape: MergeTreeShape,
+    parts: usize,
+    sql: &str,
+) -> feisu_common::Result<Run> {
+    let mut spec = ClusterSpec::with_nodes(nodes);
+    spec.rows_per_block = rows_per_block;
+    spec.config.leaves_per_stem = leaves_per_stem;
+    // Cold scans: no cached index bits, no identical-task result reuse —
+    // the merge tree is the only variable between the two shapes.
+    spec.use_smartindex = false;
+    spec.task_reuse = false;
+    spec.config.merge_tree.shape = shape;
+    spec.config.merge_tree.exchange_partitions = parts;
+    let bench = build_cluster(spec)?;
+    let mut t1 = DatasetSpec::t1(rows);
+    // Slim fillers (scans decode real bytes) but a wide URL pool so the
+    // GROUP BY stays high-cardinality — the regime where merge fan-in
+    // dominates and the paper's multi-level aggregation pays off.
+    t1.fields = 8;
+    t1.url_pool = 10_000;
+    load_dataset(&bench, &t1, "/hdfs/bench/t1")?;
+    let wall = Instant::now();
+    let result = bench.cluster.query(sql, &bench.cred)?;
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    Ok(Run {
+        sim_ms: result.response_time.as_millis_f64(),
+        wall_ms,
+        wire_leaf_stem: result.stats.wire_leaf_stem.0,
+        wire_rack_dc: result.stats.wire_rack_dc.0,
+        wire_stem_master: result.stats.wire_stem_master.0,
+        result,
+    })
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() -> feisu_common::Result<()> {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("FEISU_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    // Smoke shrinks the clusters but also the stem fan-in cap, so the
+    // two-level baseline still has real fan-in (at 16 nodes the default
+    // 64-leaf cap would collapse it to a single all-dedup stem, which is
+    // not the regime the paper's clusters run in).
+    let (node_counts, rows_per_block, leaves_per_stem): (&[u32], usize, usize) = if smoke {
+        (&[16, 32], 128, 8)
+    } else {
+        (&[256, 512, 1024], 256, 64)
+    };
+    // Two blocks per node keeps every leaf busy at every size while the
+    // data volume scales linearly with the cluster.
+    let blocks_per_node = 2usize;
+    let sql = "SELECT url, COUNT(*), SUM(clicks), SUM(dwell_ms), MIN(clicks), MAX(clicks) \
+               FROM t1 GROUP BY url";
+
+    let mut entries = Vec::new();
+    let mut table = Vec::new();
+    for &nodes in node_counts {
+        let rows = nodes as usize * blocks_per_node * rows_per_block;
+        let two = run_shape(
+            nodes,
+            rows,
+            rows_per_block,
+            leaves_per_stem,
+            MergeTreeShape::TwoLevel,
+            1,
+            sql,
+        )?;
+        let multi = run_shape(
+            nodes,
+            rows,
+            rows_per_block,
+            leaves_per_stem,
+            MergeTreeShape::Topology,
+            EXCHANGE_PARTITIONS,
+            sql,
+        )?;
+        // Integer aggregates are bit-identical across merge-tree shapes
+        // and partition counts — not merely value-equal.
+        assert_eq!(
+            two.result.batch, multi.result.batch,
+            "{nodes} nodes: merge-tree shape changed the answer"
+        );
+        assert!(
+            multi.wire_stem_master < two.wire_stem_master,
+            "{nodes} nodes: multi-level must ship fewer stem→master bytes \
+             ({} vs {})",
+            multi.wire_stem_master,
+            two.wire_stem_master
+        );
+        // At toy smoke sizes the extra tree level can cost more than its
+        // parallelism recovers; the critical-path win is asserted at the
+        // paper-scale node counts only.
+        if !smoke {
+            assert!(
+                multi.sim_ms < two.sim_ms,
+                "{nodes} nodes: multi-level must shorten the critical path \
+                 ({} vs {} ms)",
+                multi.sim_ms,
+                two.sim_ms
+            );
+        }
+        let speedup = two.sim_ms / multi.sim_ms;
+        let wire_reduction = two.wire_stem_master as f64 / multi.wire_stem_master as f64;
+        entries.push(format!(
+            concat!(
+                "    {{\"nodes\": {}, \"rows\": {}, \"groups_out\": {}, \"parity\": true, ",
+                "\"two_level_sim_ms\": {}, \"multi_level_sim_ms\": {}, \"sim_speedup\": {}, ",
+                "\"two_level_wall_ms\": {}, \"multi_level_wall_ms\": {}, ",
+                "\"two_level_wire_leaf_stem\": {}, \"multi_level_wire_leaf_stem\": {}, ",
+                "\"two_level_wire_rack_dc\": {}, \"multi_level_wire_rack_dc\": {}, ",
+                "\"two_level_wire_stem_master\": {}, \"multi_level_wire_stem_master\": {}, ",
+                "\"stem_master_wire_reduction\": {}}}"
+            ),
+            nodes,
+            rows,
+            multi.result.batch.rows(),
+            json_f(two.sim_ms),
+            json_f(multi.sim_ms),
+            json_f(speedup),
+            json_f(two.wall_ms),
+            json_f(multi.wall_ms),
+            two.wire_leaf_stem,
+            multi.wire_leaf_stem,
+            two.wire_rack_dc,
+            multi.wire_rack_dc,
+            two.wire_stem_master,
+            multi.wire_stem_master,
+            json_f(wire_reduction),
+        ));
+        table.push(vec![
+            nodes.to_string(),
+            format!("{}", multi.result.batch.rows()),
+            format!("{:.3}", two.sim_ms),
+            format!("{:.3}", multi.sim_ms),
+            format!("{speedup:.2}x"),
+            format!("{}", two.wire_stem_master),
+            format!("{}", multi.wire_stem_master),
+            format!("{wire_reduction:.2}x"),
+        ]);
+    }
+
+    feisu_bench::print_series(
+        "multi-level exchange aggregation vs two-level merge (high-cardinality GROUP BY)",
+        &[
+            "nodes",
+            "groups",
+            "2-level sim ms",
+            "multi sim ms",
+            "speedup",
+            "2-level s→m bytes",
+            "multi s→m bytes",
+            "wire cut",
+        ],
+        &table,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"distributed_agg\",\n  \"smoke\": {smoke},\n  \
+         \"query\": \"{}\",\n  \"rows_per_block\": {rows_per_block},\n  \
+         \"blocks_per_node\": {blocks_per_node},\n  \
+         \"exchange_partitions\": {EXCHANGE_PARTITIONS},\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        sql.replace('"', "\\\""),
+        entries.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_distributed_agg.json", json).expect("write bench json");
+    println!("\nresults -> results/BENCH_distributed_agg.json");
+    Ok(())
+}

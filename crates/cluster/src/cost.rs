@@ -170,6 +170,21 @@ impl CostModel {
     pub fn agg_merge(&self, rows: usize) -> SimDuration {
         SimDuration::nanos((rows as f64 * self.cpu_ns_per_agg_merge_row) as u64)
     }
+
+    /// Elapsed CPU time of a hash-partitioned parallel merge on one stem
+    /// server: `part_rows[p]` transport rows are folded by partition
+    /// merger `p`, all mergers running concurrently on a `cores`-core
+    /// node. Elapsed time is bounded below by the largest single
+    /// partition (one merger is one thread) and by total work divided by
+    /// the core count (the node cannot run more mergers than cores at
+    /// once). With one partition this degenerates to `agg_merge`.
+    pub fn parallel_agg_merge(&self, part_rows: &[usize], cores: u32) -> SimDuration {
+        let largest = part_rows.iter().copied().max().unwrap_or(0);
+        let total: usize = part_rows.iter().sum();
+        let cores = cores.max(1) as u64;
+        let by_cores = SimDuration::nanos(self.agg_merge(total).as_nanos().div_ceil(cores));
+        self.agg_merge(largest).max(by_cores)
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +272,32 @@ mod tests {
         assert_eq!(m.sort_cmp(100), SimDuration::nanos(400));
         // Other operators keep their own rates.
         assert_eq!(m.project(100), SimDuration::nanos(200));
+    }
+
+    #[test]
+    fn parallel_agg_merge_bounded_by_largest_partition_and_cores() {
+        let m = CostModel::default();
+        // One partition == the serial merge.
+        assert_eq!(m.parallel_agg_merge(&[1000], 4), m.agg_merge(1000));
+        // Balanced partitions on enough cores: elapsed = one share.
+        assert_eq!(
+            m.parallel_agg_merge(&[250, 250, 250, 250], 4),
+            m.agg_merge(250)
+        );
+        // Skewed partitions: the heavy one dominates.
+        assert_eq!(
+            m.parallel_agg_merge(&[700, 100, 100, 100], 4),
+            m.agg_merge(700)
+        );
+        // More partitions than cores: total/cores is the floor.
+        let eight_way = m.parallel_agg_merge(&[125; 8], 4);
+        assert_eq!(
+            eight_way,
+            SimDuration::nanos(m.agg_merge(1000).as_nanos().div_ceil(4))
+        );
+        // Empty = free; zero cores clamps to one.
+        assert_eq!(m.parallel_agg_merge(&[], 4), SimDuration::ZERO);
+        assert_eq!(m.parallel_agg_merge(&[10], 0), m.agg_merge(10));
     }
 
     #[test]

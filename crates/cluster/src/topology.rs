@@ -100,6 +100,22 @@ impl Topology {
         })
     }
 
+    /// Worst-case hop distance from any of `children` up to the node
+    /// hosting their merge stem. This is the per-level `hops_up` of the
+    /// execution tree: the slowest uplink dominates the parallel shipping
+    /// wave, so a level is billed at the farthest child's distance. An
+    /// empty child set is 0 hops (nothing travels).
+    pub fn uplink_hops<I>(&self, children: I, stem: NodeId) -> Result<u32>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut worst = 0u32;
+        for child in children {
+            worst = worst.max(self.hops(child, stem)?);
+        }
+        Ok(worst)
+    }
+
     /// All node ids in a given rack, used for replica placement.
     pub fn rack_members(&self, rack: u32) -> impl Iterator<Item = NodeId> + '_ {
         self.nodes
@@ -136,6 +152,22 @@ mod tests {
         let t = Topology::grid(1, 1, 1);
         assert!(t.node(NodeId(99)).is_err());
         assert!(t.hops(NodeId(0), NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn uplink_hops_is_the_worst_child_distance() {
+        let t = Topology::grid(2, 2, 2);
+        // Children in the stem's own rack: 2 hops (0 for the stem itself).
+        assert_eq!(t.uplink_hops([NodeId(0), NodeId(1)], NodeId(0)).unwrap(), 2);
+        // A cross-DC child dominates everything nearer.
+        assert_eq!(
+            t.uplink_hops([NodeId(0), NodeId(1), NodeId(4)], NodeId(0))
+                .unwrap(),
+            6
+        );
+        // Empty child sets ship nothing.
+        assert_eq!(t.uplink_hops([], NodeId(0)).unwrap(), 0);
+        assert!(t.uplink_hops([NodeId(99)], NodeId(0)).is_err());
     }
 
     #[test]

@@ -96,6 +96,59 @@ impl CacheSettings {
     }
 }
 
+/// Shape of the merge tree that folds leaf results up to the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeTreeShape {
+    /// Topology-derived multi-level tree for aggregate transports:
+    /// leaf → rack stem → DC stem → master, with hop costs computed from
+    /// real node distances and a hash-partitioned repartition exchange
+    /// between levels. Row scans keep submission-contiguous stem groups
+    /// (result order is part of their contract) but still bill hops from
+    /// real distances.
+    Topology,
+    /// The legacy two-level shape: leaves chunked into stems in
+    /// submission order, one serial root merge at the master, no
+    /// exchange. Kept as the measurable baseline for
+    /// `bench_distributed_agg`.
+    TwoLevel,
+}
+
+/// Knobs of the distributed merge tree and its aggregate exchange.
+#[derive(Debug, Clone)]
+pub struct MergeTreeSettings {
+    pub shape: MergeTreeShape,
+    /// Hash partitions of the repartition exchange for aggregate
+    /// transports: group keys are hashed into this many disjoint
+    /// partitions, each merged by its own stem merger in parallel, so no
+    /// single merger materializes the full group map. `1` disables the
+    /// exchange; global (no GROUP BY) aggregates always bypass it. The
+    /// two-level shape ignores it (it *is* the no-exchange baseline).
+    /// Answers are bit-identical at any partition count.
+    pub exchange_partitions: usize,
+}
+
+impl Default for MergeTreeSettings {
+    fn default() -> Self {
+        MergeTreeSettings {
+            shape: MergeTreeShape::Topology,
+            exchange_partitions: 4,
+        }
+    }
+}
+
+impl MergeTreeSettings {
+    /// Validates invariants; mirrors [`FeisuConfig::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.exchange_partitions == 0 {
+            return Err("merge_tree.exchange_partitions must be >= 1".into());
+        }
+        if self.exchange_partitions > 1024 {
+            return Err("merge_tree.exchange_partitions must be <= 1024".into());
+        }
+        Ok(())
+    }
+}
+
 /// Top-level configuration for a Feisu deployment/simulation.
 #[derive(Debug, Clone)]
 pub struct FeisuConfig {
@@ -126,6 +179,8 @@ pub struct FeisuConfig {
     pub cache: CacheSettings,
     /// Fan-out of the execution tree: leaves per stem server.
     pub leaves_per_stem: usize,
+    /// Shape of the distributed merge tree and its aggregate exchange.
+    pub merge_tree: MergeTreeSettings,
     /// Results larger than this are dumped to global storage and only
     /// their location travels the read-data flow (§V-C: "If the data are
     /// too big, it will be dumped to global storage and only the location
@@ -172,6 +227,7 @@ impl Default for FeisuConfig {
             resource_agreement_share: 0.25,
             cache: CacheSettings::default(),
             leaves_per_stem: 64,
+            merge_tree: MergeTreeSettings::default(),
             result_spill_threshold: ByteSize::mib(64),
             execution_threads: 0,
             leaf_wait_dilation: 0.0,
@@ -210,6 +266,7 @@ impl FeisuConfig {
             return Err("query_log_capacity must be >= 1".into());
         }
         self.cache.validate()?;
+        self.merge_tree.validate()?;
         Ok(())
     }
 }
@@ -283,5 +340,22 @@ mod tests {
         let mut c = FeisuConfig::default();
         c.query_log_capacity = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn merge_tree_defaults_and_validation() {
+        let c = FeisuConfig::default();
+        assert_eq!(c.merge_tree.shape, MergeTreeShape::Topology);
+        assert_eq!(c.merge_tree.exchange_partitions, 4);
+        assert!(c.validate().is_ok());
+
+        let mut c = FeisuConfig::default();
+        c.merge_tree.exchange_partitions = 0;
+        assert!(c.validate().is_err(), "zero partitions");
+        c.merge_tree.exchange_partitions = 4096;
+        assert!(c.validate().is_err(), "absurd partition count");
+        c.merge_tree.exchange_partitions = 1;
+        c.merge_tree.shape = MergeTreeShape::TwoLevel;
+        assert!(c.validate().is_ok(), "legacy baseline is a valid point");
     }
 }

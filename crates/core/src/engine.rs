@@ -142,6 +142,13 @@ pub struct QueryStats {
     /// Blocks whose column chunks were actually decoded.
     pub blocks_scanned: usize,
     pub bytes_read: ByteSize,
+    /// Simulated result bytes shipped leaf→stem across all scans.
+    pub wire_leaf_stem: ByteSize,
+    /// Simulated result bytes shipped rack-stem→DC-stem (zero for
+    /// two-level merge trees and row scans).
+    pub wire_rack_dc: ByteSize,
+    /// Simulated result bytes shipped stem→master.
+    pub wire_stem_master: ByteSize,
     pub memory_served_tasks: usize,
     /// Results too large for the read-data flow, dumped to global storage
     /// with only the location shipped (§V-C).
@@ -171,6 +178,9 @@ impl QueryStats {
         self.blocks_skipped += other.blocks_skipped;
         self.blocks_scanned += other.blocks_scanned;
         self.bytes_read += other.bytes_read;
+        self.wire_leaf_stem += other.wire_leaf_stem;
+        self.wire_rack_dc += other.wire_rack_dc;
+        self.wire_stem_master += other.wire_stem_master;
         self.memory_served_tasks += other.memory_served_tasks;
         self.spilled_results += other.spilled_results;
     }

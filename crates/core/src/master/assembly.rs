@@ -123,16 +123,30 @@ impl FeisuCluster {
             let _ = write!(bytes_line, " {backend}={}", ByteSize(*bytes));
         }
         profile.push_summary("bytes read", bytes_line);
-        let wire_total = ctx.wire_leaf_stem + ctx.wire_stem_master;
-        profile.push_summary(
-            "bytes on wire",
-            format!(
-                "{} (leaf→stem {}, stem→master {})",
-                ByteSize(wire_total),
-                ByteSize(ctx.wire_leaf_stem),
-                ByteSize(ctx.wire_stem_master)
-            ),
+        let wire_total = ctx.wire_leaf_stem + ctx.wire_rack_dc + ctx.wire_stem_master;
+        // Per-level wire accounting: the rack→DC leg only exists when a
+        // topology-shaped merge tree ran three levels deep.
+        let mut wire_line = format!(
+            "{} (leaf→stem {}",
+            ByteSize(wire_total),
+            ByteSize(ctx.wire_leaf_stem)
         );
+        if ctx.wire_rack_dc > 0 {
+            use std::fmt::Write as _;
+            let _ = write!(wire_line, ", rack→dc {}", ByteSize(ctx.wire_rack_dc));
+        }
+        {
+            use std::fmt::Write as _;
+            let _ = write!(
+                wire_line,
+                ", stem→master {})",
+                ByteSize(ctx.wire_stem_master)
+            );
+        }
+        profile.push_summary("bytes on wire", wire_line);
+        ctx.stats.wire_leaf_stem = ByteSize(ctx.wire_leaf_stem);
+        ctx.stats.wire_rack_dc = ByteSize(ctx.wire_rack_dc);
+        ctx.stats.wire_stem_master = ByteSize(ctx.wire_stem_master);
         if !ctx.tier_tasks.is_empty() {
             let served = ctx
                 .tier_tasks
@@ -189,6 +203,7 @@ impl FeisuCluster {
             bytes_scanned: ctx.stats.bytes_read.0,
             bytes_returned: batch.footprint() as u64,
             wire_leaf_stem_bytes: ctx.wire_leaf_stem,
+            wire_rack_dc_bytes: ctx.wire_rack_dc,
             wire_stem_master_bytes: ctx.wire_stem_master,
             index_hits: ctx.stats.index_hits as u64,
             blocks_skipped: ctx.stats.blocks_skipped as u64,

@@ -13,6 +13,7 @@ pub(crate) mod assembly;
 pub mod failover;
 pub mod guard;
 pub mod job_manager;
+pub(crate) mod merge_tree;
 pub(crate) mod pipeline;
 pub(crate) mod scan_exec;
 pub mod scheduler;

@@ -87,6 +87,7 @@ impl FeisuCluster {
             backend_bytes: BTreeMap::new(),
             tier_tasks: BTreeMap::new(),
             wire_leaf_stem: 0,
+            wire_rack_dc: 0,
             wire_stem_master: 0,
         };
         // Master overhead: parsing/planning/dispatch RPC.
@@ -256,6 +257,9 @@ pub(crate) struct ExecCtx {
     pub(crate) tier_tasks: BTreeMap<String, usize>,
     /// Simulated result bytes shipped leaf→stem across all scans.
     pub(crate) wire_leaf_stem: u64,
+    /// Simulated result bytes shipped rack-stem→DC-stem across all scans
+    /// (zero for two-level trees and row scans).
+    pub(crate) wire_rack_dc: u64,
     /// Simulated result bytes shipped stem→master across all scans.
     pub(crate) wire_stem_master: u64,
 }

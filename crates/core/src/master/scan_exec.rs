@@ -18,7 +18,6 @@ use crate::engine::{FeisuCluster, QueryStats};
 use crate::leaf::{AggStage, LeafOutput, LeafTaskStats, ScanTask};
 use crate::master::job_manager::task_signature;
 use crate::master::pipeline::ExecCtx;
-use crate::stem;
 use feisu_cluster::simclock::TimeTally;
 use feisu_common::hash::FxHashMap;
 use feisu_common::{ByteSize, FeisuError, NodeId, Result, SimDuration, SimInstant};
@@ -234,8 +233,8 @@ impl FeisuCluster {
                         done,
                         start_ns: at.as_nanos(),
                         end_ns: at.as_nanos(),
-                        total: SimDuration::ZERO,
                         span,
+                        node: assignments[i].node,
                         out,
                     });
                     continue;
@@ -304,8 +303,8 @@ impl FeisuCluster {
                 done,
                 start_ns,
                 end_ns,
-                total,
                 span,
+                node,
                 out: output,
             });
         }
@@ -349,81 +348,26 @@ impl FeisuCluster {
             return Ok(RecordBatch::empty(output_schema.clone()));
         }
 
-        // Critical path: slowest node, capped by the time limit when
-        // partial results were returned.
+        // Critical path: slowest node. When partial results were
+        // returned, tasks past the limit were abandoned, so the leaf wave
+        // ends exactly at the straggler limit — no node runs longer.
         let mut critical = node_time
             .values()
             .copied()
             .fold(SimDuration::ZERO, |a, b| a.max(b));
         if let Some(limit) = ctx.options.time_limit {
             if ctx.partial {
-                critical = critical.max(limit).min(limit);
+                critical = limit;
             }
         }
         let mut scan_tally = TimeTally::new();
         scan_tally.add_io(critical); // critical path of leaf work
 
-        // Merge bottom-up through the stem tree. Each stem's span starts
-        // with its earliest child and ends after the slowest child plus the
-        // stem's own merge time on top.
+        // Merge bottom-up through the topology-derived stem tree (see
+        // `merge_tree`): per-level wire accounting, stem spans and the
+        // repartition exchange for grouped aggregates all live there.
         let agg_ref = agg_shape.map(|s| (s.group_by.as_slice(), s.aggregates.as_slice()));
-        let per_stem = self.spec.config.leaves_per_stem.max(1);
-        let mut groups: Vec<Vec<TaskRun>> = Vec::new();
-        for run in kept {
-            if groups.last().is_none_or(|g| g.len() == per_stem) {
-                groups.push(Vec::with_capacity(per_stem));
-            }
-            groups.last_mut().expect("just pushed").push(run);
-        }
-        let mut stem_outputs = Vec::new();
-        for group in groups {
-            let child_min = group.iter().map(|r| r.start_ns).min().unwrap_or(scan_base);
-            let child_max = group.iter().map(|r| r.end_ns).max().unwrap_or(scan_base);
-            let slowest_child = group
-                .iter()
-                .map(|r| r.total)
-                .fold(SimDuration::ZERO, |a, b| a.max(b));
-            let child_spans: Vec<SpanId> = group.iter().map(|r| r.span).collect();
-            let task_count = group.len();
-            // Bytes-on-wire, leaf→stem leg: every kept task ships its
-            // result payload to its stem (reused results included — the
-            // cached payload still travels this leg).
-            let leg: u64 = group.iter().map(|r| r.out.batch.footprint() as u64).sum();
-            ctx.wire_leaf_stem += leg;
-            let stem_out = stem::merge_leaf_outputs(
-                group.into_iter().map(|r| r.out).collect(),
-                agg_ref,
-                &self.spec.cost,
-                2,
-            )?;
-            let stem_extra = stem_out
-                .tally
-                .total()
-                .as_nanos()
-                .saturating_sub(slowest_child.as_nanos());
-            let span = ctx.spans.record(
-                "stem",
-                None,
-                SimInstant(child_min),
-                SimInstant(child_max + stem_extra),
-            );
-            ctx.spans.attr(span, "tasks", task_count);
-            ctx.spans.attr(span, "wire_bytes", ByteSize(leg));
-            for child in child_spans {
-                ctx.spans.set_parent(child, Some(span));
-            }
-            ctx.spans.set_parent(span, Some(op_span));
-            stem_outputs.push(stem_out);
-        }
-        // Bytes-on-wire, stem→master leg: each stem ships its merged
-        // payload up for finalization.
-        let up: u64 = stem_outputs
-            .iter()
-            .map(|s| s.batch.footprint() as u64)
-            .sum();
-        ctx.wire_stem_master += up;
-        ctx.spans.attr(op_span, "wire_to_master", ByteSize(up));
-        let root = stem::merge_stem_outputs(stem_outputs, agg_ref, &self.spec.cost, 4)?;
+        let root = self.merge_scan_results(kept, agg_ref, ctx, op_span)?;
         // The stem/master merge happens after the slowest leaf: charge its
         // cpu+network on top of the leaf critical path.
         scan_tally.add_cpu(root.tally.cpu);
@@ -460,9 +404,10 @@ impl FeisuCluster {
         Ok(root.batch)
     }
 
-    /// Worker-thread count for the leaf-task pool: the `execution_threads`
-    /// knob, with `0` meaning "whatever the machine offers".
-    fn effective_threads(&self) -> usize {
+    /// Worker-thread count for the leaf-task and partition-merger pools:
+    /// the `execution_threads` knob, `0` meaning "whatever the machine
+    /// offers".
+    pub(crate) fn effective_threads(&self) -> usize {
         match self.spec.config.execution_threads {
             0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
             n => n,
@@ -618,17 +563,19 @@ struct TaskExec {
 }
 
 /// One leaf task as tracked by `distributed_scan`: its output plus the
-/// span bookkeeping needed for partial-result filtering and stem spans.
-struct TaskRun {
+/// placement and span bookkeeping needed for partial-result filtering
+/// and the topology-derived merge tree.
+pub(crate) struct TaskRun {
     /// Completion offset in the owning node's serialized-time account.
     done: SimDuration,
     /// Span extent on the query-relative timeline.
-    start_ns: u64,
-    end_ns: u64,
-    /// This task's own leaf time (zero for reused results).
-    total: SimDuration,
-    span: SpanId,
-    out: LeafOutput,
+    pub(crate) start_ns: u64,
+    pub(crate) end_ns: u64,
+    pub(crate) span: SpanId,
+    /// Node the task actually ran on (the backup node if one fired) —
+    /// the leaf end of the merge tree's first uplink.
+    pub(crate) node: NodeId,
+    pub(crate) out: LeafOutput,
 }
 
 fn scale_tally(t: &TimeTally, f: f64) -> TimeTally {

@@ -47,6 +47,7 @@ pub fn system_table_schema(name: &str) -> Option<Schema> {
             Field::new("bytes_scanned", DataType::Int64, false),
             Field::new("bytes_returned", DataType::Int64, false),
             Field::new("wire_leaf_stem_bytes", DataType::Int64, false),
+            Field::new("wire_rack_dc_bytes", DataType::Int64, false),
             Field::new("wire_stem_master_bytes", DataType::Int64, false),
             Field::new("index_hits", DataType::Int64, false),
             Field::new("blocks_skipped", DataType::Int64, false),
@@ -137,6 +138,7 @@ impl FeisuCluster {
                             Value::Int64(e.bytes_scanned as i64),
                             Value::Int64(e.bytes_returned as i64),
                             Value::Int64(e.wire_leaf_stem_bytes as i64),
+                            Value::Int64(e.wire_rack_dc_bytes as i64),
                             Value::Int64(e.wire_stem_master_bytes as i64),
                             Value::Int64(e.index_hits as i64),
                             Value::Int64(e.blocks_skipped as i64),
@@ -360,8 +362,9 @@ mod tests {
         let schema = system_table_schema("system.queries").unwrap();
         // One column per QueryEvent field plus the derived outcome/error
         // pair replacing the enum.
-        assert_eq!(schema.len(), 20);
+        assert_eq!(schema.len(), 21);
         assert!(schema.index_of("wire_leaf_stem_bytes").is_some());
+        assert!(schema.index_of("wire_rack_dc_bytes").is_some());
         assert!(schema.index_of("blocks_skipped").is_some());
         assert!(schema.index_of("blocks_scanned").is_some());
         assert!(schema.index_of("top_operators").is_some());

@@ -7,7 +7,7 @@
 
 use crate::batch::{BatchRow, RecordBatch};
 use crate::expr::coerce;
-use feisu_common::hash::FxHashMap;
+use feisu_common::hash::{FxHashMap, FxHashSet, FxHasher};
 use feisu_common::{FeisuError, Result};
 use feisu_format::{Column, ColumnBuilder, DataType, Field, Schema, Value};
 use feisu_sql::ast::AggFunc;
@@ -179,6 +179,24 @@ impl AggState {
             },
         }
     }
+}
+
+/// Stable hash partition of a group key for the repartition exchange.
+///
+/// Uses the deterministic FxHash construction (no per-process seed), so
+/// the same key lands in the same partition on every node, every run and
+/// every platform — the property the exchange's "disjoint partitions"
+/// invariant rests on. `parts <= 1` maps everything to partition 0.
+pub fn partition_of(key: &[Value], parts: usize) -> usize {
+    if parts <= 1 {
+        return 0;
+    }
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    for v in key {
+        v.hash(&mut h);
+    }
+    (h.finish() % parts as u64) as usize
 }
 
 /// Partial aggregation table: group key → per-aggregate states.
@@ -395,16 +413,57 @@ impl AggTable {
         batch: &RecordBatch,
     ) -> Result<AggTable> {
         let mut t = AggTable::new(group_by, aggregates);
-        if t.global && batch.rows() > 0 {
-            // Replace the implicit empty state with shipped states.
-            t.groups.clear();
-        }
-        let ngroup = t.group_by.len();
+        t.fold_transport(batch, None)?;
+        Ok(t)
+    }
+
+    /// Folds a peer's transport batch directly into this table, merging
+    /// states group by group — the shape (group-by exprs, aggregate list)
+    /// is built once on the accumulator instead of being re-cloned into a
+    /// throwaway `AggTable` per child. Returns the number of transport
+    /// rows folded.
+    pub fn merge_transport(&mut self, batch: &RecordBatch) -> Result<usize> {
+        self.fold_transport(batch, None)
+    }
+
+    /// Folds only the rows of `batch` whose group key hashes to `part`
+    /// (of `parts`) — one partition merger's share of the repartition
+    /// exchange. Returns the number of rows folded.
+    pub fn merge_transport_partition(
+        &mut self,
+        batch: &RecordBatch,
+        part: usize,
+        parts: usize,
+    ) -> Result<usize> {
+        self.fold_transport(batch, Some((part, parts)))
+    }
+
+    /// Shared transport fold. A well-formed transport batch carries each
+    /// group key at most once; a duplicate within one batch means partial
+    /// states were split and would be silently double-merged, so it is
+    /// rejected as corruption (duplicates *across* batches are the normal
+    /// merge case).
+    fn fold_transport(
+        &mut self,
+        batch: &RecordBatch,
+        slice: Option<(usize, usize)>,
+    ) -> Result<usize> {
+        let ngroup = self.group_by.len();
+        let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+        let mut folded = 0usize;
         for row in 0..batch.rows() {
             let key: Vec<Value> = (0..ngroup).map(|c| batch.column(c).value(row)).collect();
+            if let Some((part, parts)) = slice {
+                if partition_of(&key, parts) != part {
+                    continue;
+                }
+            }
+            if !seen.insert(key.clone()) {
+                return Err(FeisuError::Corrupt("transport: duplicate group key".into()));
+            }
             let mut col = ngroup;
-            let mut states = Vec::with_capacity(t.aggregates.len());
-            for a in &t.aggregates {
+            let mut states = Vec::with_capacity(self.aggregates.len());
+            for a in &self.aggregates {
                 let state = match a.func {
                     AggFunc::Count => {
                         let n = batch.column(col).value(row).as_i64().ok_or_else(|| {
@@ -443,13 +502,19 @@ impl AggTable {
                 };
                 states.push(state);
             }
-            if t.groups.insert(key, states).is_some() {
-                // A well-formed transport batch carries each group key
-                // once; silently overwriting would drop partial states.
-                return Err(FeisuError::Corrupt("transport: duplicate group key".into()));
+            match self.groups.get_mut(&key) {
+                Some(mine) => {
+                    for (a, b) in mine.iter_mut().zip(&states) {
+                        a.merge(b)?;
+                    }
+                }
+                None => {
+                    self.groups.insert(key, states);
+                }
             }
+            folded += 1;
         }
-        Ok(t)
+        Ok(folded)
     }
 }
 
@@ -670,6 +735,89 @@ mod tests {
         let dup = shipped.take(&[0, 0]).unwrap();
         assert!(matches!(
             AggTable::from_transport(group_by(), aggs(), &dup),
+            Err(FeisuError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn partitioned_fold_union_equals_unpartitioned_merge() {
+        let batch = input();
+        // Two peers ship overlapping group sets.
+        let mut a = AggTable::new(group_by(), aggs());
+        a.update(&batch.take(&[0, 1, 2]).unwrap()).unwrap();
+        let mut b = AggTable::new(group_by(), aggs());
+        b.update(&batch.take(&[3, 4]).unwrap()).unwrap();
+        let transports = [a.to_transport().unwrap(), b.to_transport().unwrap()];
+
+        let mut whole = AggTable::new(group_by(), aggs());
+        for t in &transports {
+            whole.merge_transport(t).unwrap();
+        }
+        let expected = whole.finish(&out_schema()).unwrap();
+
+        for parts in 1..=8usize {
+            // Each partition merger folds only its slice of every peer's
+            // transport; the union of the disjoint slices must equal the
+            // unpartitioned merge, and row counts must add up exactly.
+            let mut union = AggTable::new(group_by(), aggs());
+            let mut folded = 0usize;
+            for part in 0..parts {
+                let mut p = AggTable::new(group_by(), aggs());
+                for t in &transports {
+                    folded += p.merge_transport_partition(t, part, parts).unwrap();
+                }
+                union.merge(&p).unwrap();
+            }
+            assert_eq!(
+                folded,
+                transports.iter().map(|t| t.rows()).sum::<usize>(),
+                "every transport row lands in exactly one partition"
+            );
+            assert_eq!(
+                union.finish(&out_schema()).unwrap(),
+                expected,
+                "parts={parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_of_is_stable_and_in_range() {
+        let keys = [
+            vec![Value::Utf8("a".into())],
+            vec![Value::Int64(42), Value::Utf8("x".into())],
+            vec![Value::Null],
+            vec![],
+        ];
+        for key in &keys {
+            assert_eq!(partition_of(key, 1), 0);
+            for parts in 2..=16usize {
+                let p = partition_of(key, parts);
+                assert!(p < parts);
+                // FxHash is seedless: same key, same partition, always.
+                assert_eq!(p, partition_of(key, parts));
+            }
+        }
+        // Distinct keys should not all collapse onto one partition.
+        let spread: FxHashSet<usize> = (0..64i64)
+            .map(|i| partition_of(&[Value::Int64(i)], 8))
+            .collect();
+        assert!(spread.len() > 1, "64 keys hashed to a single partition");
+    }
+
+    #[test]
+    fn duplicate_key_within_partition_slice_rejected() {
+        let mut t = AggTable::new(group_by(), aggs());
+        t.update(&input()).unwrap();
+        let shipped = t.to_transport().unwrap();
+        let dup = shipped.take(&[0, 0]).unwrap();
+        // Row 0's key lands in exactly one partition p of 4; folding the
+        // duplicated batch for that p must still trip the corruption check.
+        let key: Vec<Value> = vec![dup.column(0).value(0)];
+        let part = partition_of(&key, 4);
+        let mut acc = AggTable::new(group_by(), aggs());
+        assert!(matches!(
+            acc.merge_transport_partition(&dup, part, 4),
             Err(FeisuError::Corrupt(_))
         ));
     }

@@ -77,6 +77,9 @@ pub struct QueryEvent {
     pub bytes_returned: u64,
     /// Simulated bytes shipped leaf→stem during merges.
     pub wire_leaf_stem_bytes: u64,
+    /// Simulated bytes shipped rack-stem→DC-stem (zero unless a
+    /// topology-shaped merge tree ran three levels deep).
+    pub wire_rack_dc_bytes: u64,
     /// Simulated bytes shipped stem→master during finalization.
     pub wire_stem_master_bytes: u64,
     pub index_hits: u64,
@@ -115,6 +118,7 @@ impl QueryEvent {
             bytes_scanned: 0,
             bytes_returned: 0,
             wire_leaf_stem_bytes: 0,
+            wire_rack_dc_bytes: 0,
             wire_stem_master_bytes: 0,
             index_hits: 0,
             blocks_skipped: 0,

@@ -40,6 +40,12 @@ FEISU_EXECUTION_THREADS=8 cargo test -q $OFFLINE -p feisu-tests
 echo "ci: agg round-trip properties at execution_threads=8"
 FEISU_EXECUTION_THREADS=8 cargo test -q $OFFLINE -p feisu-tests --test agg_roundtrip
 
+# The multi-level merge tree and repartition exchange must be
+# thread-count-independent as well: the depth/partition property suite
+# re-runs explicitly at the pinned pool width.
+echo "ci: merge-exchange properties at execution_threads=8"
+FEISU_EXECUTION_THREADS=8 cargo test -q $OFFLINE -p feisu-tests --test merge_exchange
+
 # The shared (&self) engine must yield bit-identical results with many
 # client threads driving it at once. Re-run the e2e suites at a pinned
 # client width (tests/tests/concurrency.rs honors FEISU_CLIENT_THREADS).
@@ -180,6 +186,47 @@ else
   grep -q '"bench": "cache_mix"' results/BENCH_cache_mix.json
   grep -q '"parity": true' results/BENCH_cache_mix.json
   echo "ci: cache-mix json ok (grep check)"
+fi
+
+# Distributed-aggregation bench: the topology-derived multi-level merge
+# tree with the repartition exchange must ship strictly fewer
+# stem→master bytes than the two-level baseline and return bit-identical
+# answers (smoke config; the committed numbers come from a full
+# 256–1024-node run, where the bench additionally asserts the
+# critical-path win).
+echo "ci: distributed-agg bench (smoke)"
+cargo run --release $OFFLINE -p feisu-bench --bin bench_distributed_agg -- --smoke
+if [ ! -s results/BENCH_distributed_agg.json ]; then
+  echo "ci: results/BENCH_distributed_agg.json missing or empty" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("results/BENCH_distributed_agg.json") as f:
+    data = json.load(f)
+assert data["bench"] == "distributed_agg", data
+configs = data["configs"]
+assert configs, "no bench configs recorded"
+for c in configs:
+    for k in ("nodes", "rows", "groups_out", "parity",
+              "two_level_sim_ms", "multi_level_sim_ms", "sim_speedup",
+              "two_level_wire_leaf_stem", "multi_level_wire_leaf_stem",
+              "two_level_wire_rack_dc", "multi_level_wire_rack_dc",
+              "two_level_wire_stem_master", "multi_level_wire_stem_master",
+              "stem_master_wire_reduction"):
+        assert k in c, f"config missing {k}: {c}"
+    assert c["parity"] is True, f"merge-tree shapes disagreed: {c}"
+    assert c["multi_level_wire_stem_master"] < c["two_level_wire_stem_master"], \
+        f"multi-level must ship fewer stem→master bytes: {c}"
+    assert c["multi_level_wire_rack_dc"] > 0, \
+        f"topology shape must record the rack→dc leg: {c}"
+print(f"ci: distributed-agg json ok ({len(configs)} node counts)")
+EOF
+else
+  grep -q '"bench": "distributed_agg"' results/BENCH_distributed_agg.json
+  grep -q '"parity": true' results/BENCH_distributed_agg.json
+  echo "ci: distributed-agg json ok (grep check)"
 fi
 
 # Observability plane: system tables must answer plain SQL and a real

@@ -1,0 +1,269 @@
+//! Topology-aware multi-level merge tree + repartition exchange (PR 9).
+//!
+//! Covers the §12 determinism contract for the new merge shapes:
+//! multi-level partitioned merges must equal single-node aggregation for
+//! random COUNT/SUM/AVG/MIN/MAX workloads at tree depths 2–4 and
+//! partition counts 1–8, integer answers must be bit-identical across
+//! tree shapes and partition counts, serial and concurrent runs must be
+//! bit-identical with the exchange enabled, a 2-DC grid must bill more
+//! network than a single rack for the same query, and the
+//! straggler-limit clamp must pin leaf time exactly at the limit.
+
+use feisu_common::config::MergeTreeShape;
+use feisu_common::SimDuration;
+use feisu_core::engine::{ClusterSpec, FeisuCluster, QueryOptions};
+use feisu_exec::MemProvider;
+use feisu_format::Value;
+use feisu_storage::auth::Credential;
+use feisu_tests::{assert_same_rows, clicks_schema, rows_to_batch};
+use proptest::prelude::*;
+
+/// A cluster with custom grid/merge-tree settings plus its oracle twin.
+struct Fx {
+    cluster: FeisuCluster,
+    oracle: MemProvider,
+    cred: Credential,
+}
+
+fn build(
+    (dcs, racks, npr): (u32, u32, u32),
+    shape: MergeTreeShape,
+    parts: usize,
+    rows: &[Vec<Value>],
+) -> Fx {
+    let mut spec = ClusterSpec::small();
+    spec.datacenters = dcs;
+    spec.racks_per_dc = racks;
+    spec.nodes_per_rack = npr;
+    spec.rows_per_block = 16; // many blocks → many leaf tasks
+    spec.config.merge_tree.shape = shape;
+    spec.config.merge_tree.exchange_partitions = parts;
+    // Mirror `fixture_with`: CI pins the pool width via env to prove
+    // thread-count independence; explicit specs win.
+    if spec.config.execution_threads == 0 {
+        if let Ok(v) = std::env::var("FEISU_EXECUTION_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                spec.config.execution_threads = n;
+            }
+        }
+    }
+    let cluster = FeisuCluster::new(spec).expect("cluster");
+    let user = cluster.register_user("tester");
+    cluster.grant_all(user);
+    let cred = cluster.login(user).expect("login");
+    cluster
+        .create_table("clicks", clicks_schema(), "/hdfs/warehouse/clicks", &cred)
+        .expect("create table");
+    cluster
+        .ingest_rows("clicks", rows.to_vec(), &cred)
+        .expect("ingest");
+    let mut oracle = MemProvider::new();
+    oracle.insert("clicks", rows_to_batch(&clicks_schema(), rows));
+    Fx {
+        cluster,
+        oracle,
+        cred,
+    }
+}
+
+fn arb_clicks_row() -> impl Strategy<Value = Vec<Value>> {
+    ((0..12i64, -50..50i64), 0..10i64, 0..8i64, 0..6i64).prop_map(|((g, v), null_die, s, d)| {
+        vec![
+            Value::from(format!("https://u{g}.example/p{}", g % 3)),
+            Value::from(["map", "music", "news", "stock"][(g % 4) as usize]),
+            // Roughly one null click value in ten.
+            if null_die == 0 {
+                Value::Null
+            } else {
+                Value::from(v)
+            },
+            Value::from(s as f64 / 4.0),
+            Value::from(20160101 + d),
+        ]
+    })
+}
+
+/// Grid shapes giving merge trees of depth 2 (one rack: rack stem →
+/// master), 3 (two racks in one DC) and 4 (two DCs), counting the leaf
+/// level.
+const GRIDS: [(u32, u32, u32); 3] = [(1, 1, 4), (1, 2, 2), (2, 2, 1)];
+
+const QUERIES: [&str; 4] = [
+    "SELECT keyword, COUNT(*), SUM(clicks), AVG(score), MIN(clicks), MAX(clicks) \
+     FROM clicks GROUP BY keyword",
+    "SELECT url, COUNT(*), SUM(clicks) FROM clicks GROUP BY url",
+    "SELECT COUNT(*), SUM(clicks), AVG(clicks), MIN(score), MAX(score) FROM clicks",
+    "SELECT day, MIN(clicks), MAX(clicks), COUNT(*) FROM clicks GROUP BY day",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The multi-level partitioned merge tree computes exactly what a
+    /// single-node executor computes, for every tree depth and
+    /// partition count.
+    #[test]
+    fn partitioned_merge_tree_matches_single_node(
+        rows in proptest::collection::vec(arb_clicks_row(), 1..200),
+        grid_idx in 0..GRIDS.len(),
+        parts in 1..=8usize,
+        query_idx in 0..QUERIES.len(),
+    ) {
+        let sql = QUERIES[query_idx];
+        let mut fx = build(GRIDS[grid_idx], MergeTreeShape::Topology, parts, &rows);
+        let got = fx.cluster.query(sql, &fx.cred).expect("cluster query");
+        let want = feisu_exec::executor::run_sql(sql, &mut fx.oracle).expect("oracle");
+        assert_same_rows(&got.batch, &want, sql);
+    }
+
+    /// Integer aggregates are bit-identical across tree shapes and
+    /// partition counts (float partials may re-associate across shapes;
+    /// integer state merging is exact and order-free).
+    #[test]
+    fn integer_answers_identical_across_shapes_and_partitions(
+        rows in proptest::collection::vec(arb_clicks_row(), 1..150),
+        grid_idx in 0..GRIDS.len(),
+    ) {
+        let sql = "SELECT keyword, COUNT(*), SUM(clicks), MIN(clicks), MAX(clicks) \
+                   FROM clicks GROUP BY keyword";
+        let grid = GRIDS[grid_idx];
+        let baseline = build(grid, MergeTreeShape::TwoLevel, 1, &rows);
+        let want = baseline.cluster.query(sql, &baseline.cred).expect("two-level").batch;
+        for parts in [1usize, 3, 8] {
+            let fx = build(grid, MergeTreeShape::Topology, parts, &rows);
+            let got = fx.cluster.query(sql, &fx.cred).expect("topology").batch;
+            prop_assert_eq!(&got, &want, "parts={}", parts);
+        }
+    }
+}
+
+/// Serial and 8-thread runs are bit-identical — results, stats, wire
+/// bytes and response times — with the exchange enabled.
+#[test]
+fn serial_vs_concurrent_bit_identity_with_exchange() {
+    let rows: Vec<Vec<Value>> = feisu_tests::clicks_rows(500);
+    let sql = "SELECT url, COUNT(*), SUM(clicks), AVG(score) FROM clicks GROUP BY url";
+    let mut results = Vec::new();
+    for threads in [1usize, 8] {
+        let mut spec = ClusterSpec::small();
+        spec.rows_per_block = 16;
+        spec.config.execution_threads = threads;
+        spec.config.merge_tree.shape = MergeTreeShape::Topology;
+        spec.config.merge_tree.exchange_partitions = 4;
+        let fx = {
+            let cluster = FeisuCluster::new(spec).expect("cluster");
+            let user = cluster.register_user("tester");
+            cluster.grant_all(user);
+            let cred = cluster.login(user).expect("login");
+            cluster
+                .create_table("clicks", clicks_schema(), "/hdfs/warehouse/clicks", &cred)
+                .expect("create table");
+            cluster
+                .ingest_rows("clicks", rows.clone(), &cred)
+                .expect("ingest");
+            (cluster, cred)
+        };
+        results.push(fx.0.query(sql, &fx.1).expect("query"));
+    }
+    let (serial, pooled) = (&results[0], &results[1]);
+    assert_eq!(
+        serial, pooled,
+        "serial and 8-thread runs must be bit-identical"
+    );
+    assert!(
+        serial.stats.wire_stem_master.0 > 0,
+        "wire accounting recorded"
+    );
+}
+
+/// Satellite: hop billing comes from the real topology. The same query
+/// over the same data on the same number of nodes must cost strictly
+/// more when the nodes straddle two data centers than when they share a
+/// rack — cross-DC uplinks are 6 hops, intra-rack 2.
+#[test]
+fn two_dc_grid_bills_more_network_than_single_rack() {
+    let rows = feisu_tests::clicks_rows(400);
+    let sql = "SELECT url, COUNT(*), SUM(clicks) FROM clicks GROUP BY url";
+    let mut responses = Vec::new();
+    for (dcs, racks, npr) in [(1u32, 1u32, 4u32), (2, 1, 2)] {
+        let mut spec = ClusterSpec::small();
+        spec.datacenters = dcs;
+        spec.racks_per_dc = racks;
+        spec.nodes_per_rack = npr;
+        spec.rows_per_block = 16;
+        // Every node holds every block, so scheduling (and thus leaf io)
+        // is identical across the two grids; only merge-tree network and
+        // shape differ.
+        spec.config.replication_factor = 4;
+        // Make network dominate any cpu-billing difference between the
+        // two tree shapes.
+        spec.cost.net_hop_latency = SimDuration::nanos(500_000);
+        spec.cost.net_ns_per_byte = 100.0;
+        let cluster = FeisuCluster::new(spec).expect("cluster");
+        let user = cluster.register_user("tester");
+        cluster.grant_all(user);
+        let cred = cluster.login(user).expect("login");
+        cluster
+            .create_table("clicks", clicks_schema(), "/hdfs/warehouse/clicks", &cred)
+            .expect("create table");
+        cluster
+            .ingest_rows("clicks", rows.clone(), &cred)
+            .expect("ingest");
+        let r = cluster.query(sql, &cred).expect("query");
+        responses.push(r);
+    }
+    assert_same_rows(
+        &responses[0].batch,
+        &responses[1].batch,
+        "same answers on both grids",
+    );
+    assert!(
+        responses[1].response_time > responses[0].response_time,
+        "2-DC grid must bill more network than 1 rack: {} vs {}",
+        responses[1].response_time,
+        responses[0].response_time
+    );
+}
+
+/// Satellite: the straggler-limit clamp. When partial results are
+/// returned, leaf time is pinned *exactly* at the limit — raising the
+/// limit by a delta small enough to keep the same kept-task set raises
+/// the response by exactly that delta.
+#[test]
+fn straggler_limit_pins_leaf_time_exactly() {
+    let mut spec = ClusterSpec::small();
+    spec.task_reuse = false;
+    spec.use_smartindex = false;
+    spec.rows_per_block = 16;
+    let fx = feisu_tests::fixture_with(600, spec, "/hdfs/warehouse/clicks");
+    let sql = "SELECT COUNT(*) FROM clicks";
+    let full = fx.cluster.query(sql, &fx.cred).expect("full");
+    let l1 = SimDuration::nanos(full.response_time.as_nanos() / 2);
+    let delta = SimDuration::nanos(1_000);
+    let l2 = l1 + delta;
+    let run = |limit| {
+        fx.cluster
+            .query_with(
+                sql,
+                &fx.cred,
+                &QueryOptions {
+                    processed_ratio: 0.1,
+                    time_limit: Some(limit),
+                },
+            )
+            .expect("limited query")
+    };
+    let r1 = run(l1);
+    let r2 = run(l2);
+    assert!(r1.partial && r2.partial, "both runs must be partial");
+    assert_eq!(
+        r1.stats.processed_ratio, r2.stats.processed_ratio,
+        "delta chosen small enough to keep the same kept-task set"
+    );
+    assert_eq!(r1.batch, r2.batch, "same kept tasks, same answer");
+    assert_eq!(
+        r2.response_time.as_nanos() - r1.response_time.as_nanos(),
+        delta.as_nanos(),
+        "leaf time is clamped to exactly the limit"
+    );
+}
