@@ -149,6 +149,44 @@ impl MergeTreeSettings {
     }
 }
 
+/// Knobs of the logical optimizer and the cost-based join-order search.
+#[derive(Debug, Clone)]
+pub struct OptimizerSettings {
+    /// Master kill-switch. When off, queries execute their unrewritten
+    /// logical plans (no pushdown, no pruning, no reordering) — the
+    /// debugging baseline. Results are identical either way; only the
+    /// work done to produce them changes.
+    pub enabled: bool,
+    /// Cost-based join reordering at lowering time. Requires `enabled`;
+    /// can be switched off separately to pin the syntactic join order
+    /// while keeping the rewrite rules.
+    pub join_reorder: bool,
+    /// Join regions up to this many relations are ordered by exhaustive
+    /// left-deep dynamic programming; larger regions use a greedy
+    /// heuristic. Range 2..=12 (DP is O(2ⁿ·n)).
+    pub dp_limit: usize,
+}
+
+impl Default for OptimizerSettings {
+    fn default() -> Self {
+        OptimizerSettings {
+            enabled: true,
+            join_reorder: true,
+            dp_limit: 6,
+        }
+    }
+}
+
+impl OptimizerSettings {
+    /// Validates invariants; mirrors [`FeisuConfig::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        if !(2..=12).contains(&self.dp_limit) {
+            return Err("optimizer.dp_limit must be in 2..=12".into());
+        }
+        Ok(())
+    }
+}
+
 /// Top-level configuration for a Feisu deployment/simulation.
 #[derive(Debug, Clone)]
 pub struct FeisuConfig {
@@ -210,6 +248,8 @@ pub struct FeisuConfig {
     /// whether leaf scans *evaluate* them to skip provably-dead blocks
     /// before decoding any column chunk.
     pub zone_maps: bool,
+    /// The logical optimizer and cost-based join-order search.
+    pub optimizer: OptimizerSettings,
 }
 
 impl Default for FeisuConfig {
@@ -233,6 +273,7 @@ impl Default for FeisuConfig {
             leaf_wait_dilation: 0.0,
             query_log_capacity: 1024,
             zone_maps: true,
+            optimizer: OptimizerSettings::default(),
         }
     }
 }
@@ -267,6 +308,7 @@ impl FeisuConfig {
         }
         self.cache.validate()?;
         self.merge_tree.validate()?;
+        self.optimizer.validate()?;
         Ok(())
     }
 }
@@ -340,6 +382,24 @@ mod tests {
         let mut c = FeisuConfig::default();
         c.query_log_capacity = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn optimizer_defaults_and_validation() {
+        let c = FeisuConfig::default();
+        assert!(c.optimizer.enabled);
+        assert!(c.optimizer.join_reorder);
+        assert_eq!(c.optimizer.dp_limit, 6);
+        assert!(c.validate().is_ok());
+
+        let mut c = FeisuConfig::default();
+        c.optimizer.dp_limit = 1;
+        assert!(c.validate().is_err(), "dp over a single relation");
+        c.optimizer.dp_limit = 13;
+        assert!(c.validate().is_err(), "exponential blowup guard");
+        c.optimizer.dp_limit = 2;
+        c.optimizer.enabled = false;
+        assert!(c.validate().is_ok(), "kill-switch is a valid point");
     }
 
     #[test]

@@ -13,9 +13,11 @@ use feisu_common::ids::IdGen;
 use feisu_common::{BlockId, ByteSize, FeisuError, NodeId, Result, SimInstant};
 use feisu_format::table::{BlockDesc, BlockZone, PartitionDesc, TableDesc};
 use feisu_format::{Block, Column, Schema, Value};
+use feisu_sql::stats::{ColumnStats, NdvSketch, TableStats};
 use feisu_storage::auth::Credential;
 use feisu_storage::StorageRouter;
 use parking_lot::RwLock;
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Master-side table registry.
@@ -30,6 +32,70 @@ struct TableEntry {
     location: String,
     /// Rows per block used by the ingest splitter.
     rows_per_block: usize,
+    /// Statistics accumulated at ingest, served to cost-based planning.
+    stats: TableStatsBuilder,
+}
+
+/// Running per-table statistics, folded block by block at ingest.
+#[derive(Default)]
+struct TableStatsBuilder {
+    rows: u64,
+    columns: FxHashMap<String, ColumnStatsBuilder>,
+}
+
+#[derive(Default)]
+struct ColumnStatsBuilder {
+    min: Option<Value>,
+    max: Option<Value>,
+    null_count: u64,
+    ndv: NdvSketch,
+}
+
+impl TableStatsBuilder {
+    fn observe_block(&mut self, schema: &Schema, block: &Block) {
+        self.rows += block.rows() as u64;
+        for (i, f) in schema.fields().iter().enumerate() {
+            let cb = self.columns.entry(f.name.clone()).or_default();
+            let stats = block.stats(i);
+            merge_bound(&mut cb.min, stats.min, Ordering::Less);
+            merge_bound(&mut cb.max, stats.max, Ordering::Greater);
+            cb.null_count += stats.null_count as u64;
+            let column = block.column(i);
+            for r in 0..column.len() {
+                cb.ndv.observe(&column.value(r));
+            }
+        }
+    }
+
+    fn snapshot(&self) -> TableStats {
+        let mut columns = FxHashMap::default();
+        for (name, cb) in &self.columns {
+            columns.insert(
+                name.clone(),
+                ColumnStats {
+                    min: cb.min.clone(),
+                    max: cb.max.clone(),
+                    null_count: cb.null_count,
+                    ndv: cb.ndv.estimate(),
+                },
+            );
+        }
+        TableStats {
+            rows: self.rows,
+            columns,
+        }
+    }
+}
+
+/// Folds a block bound into the running bound: `keep_when` is the
+/// ordering under which the current value is retained (Less for min).
+fn merge_bound(cur: &mut Option<Value>, candidate: Option<Value>, keep_when: Ordering) {
+    if let Some(v) = candidate {
+        match cur {
+            Some(c) if c.total_cmp(&v) == keep_when || c.total_cmp(&v) == Ordering::Equal => {}
+            _ => *cur = Some(v),
+        }
+    }
 }
 
 impl Default for Catalog {
@@ -77,6 +143,7 @@ impl Catalog {
                 desc,
                 location: location.trim_end_matches('/').to_string(),
                 rows_per_block: rows_per_block.max(1),
+                stats: TableStatsBuilder::default(),
             },
         );
         Ok(())
@@ -98,6 +165,12 @@ impl Catalog {
 
     pub fn schema(&self, name: &str) -> Option<Schema> {
         self.tables.read().get(name).map(|e| e.desc.schema.clone())
+    }
+
+    /// Statistics snapshot for a table: row count plus per-column
+    /// min/max/null-count and approximate NDV, maintained at ingest.
+    pub fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.tables.read().get(name).map(|e| e.stats.snapshot())
     }
 
     /// The storage location prefix of a table (for domain authorization).
@@ -180,6 +253,7 @@ impl Catalog {
             };
             let mut tables = self.tables.write();
             let entry = tables.get_mut(name).expect("table exists");
+            entry.stats.observe_block(&schema, &block);
             entry.desc.partitions[0].blocks.push(desc);
             created.push(id);
             start = end;
@@ -247,6 +321,10 @@ impl feisu_sql::analyze::Catalog for CatalogView<'_> {
         // Virtual system tables shadow nothing: the `system.` namespace
         // is rejected at `create_table`, so checking them first is safe.
         crate::system::system_table_schema(name).or_else(|| self.0.schema(name))
+    }
+
+    fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.0.table_stats(name)
     }
 }
 
@@ -357,6 +435,28 @@ mod tests {
         assert!(cat
             .ingest_rows("ghost", vec![], &router, &cred, None, SimInstant(0))
             .is_err());
+    }
+
+    #[test]
+    fn ingest_accumulates_table_stats() {
+        let (cat, router, cred) = setup();
+        cat.create_table("t", schema(), "/hdfs/t", 10).unwrap();
+        assert_eq!(cat.table_stats("t").unwrap().rows, 0);
+        // 25 rows across 3 blocks; `a` repeats 0..5, `b` is unique.
+        let rows: Vec<Vec<Value>> = (0..25)
+            .map(|i| vec![Value::from((i % 5) as i64), Value::from(format!("s{i}"))])
+            .collect();
+        cat.ingest_rows("t", rows, &router, &cred, None, SimInstant(0))
+            .unwrap();
+        let stats = cat.table_stats("t").unwrap();
+        assert_eq!(stats.rows, 25);
+        let a = stats.column("a").unwrap();
+        assert_eq!(a.min, Some(Value::Int64(0)));
+        assert_eq!(a.max, Some(Value::Int64(4)));
+        assert_eq!(a.null_count, 0);
+        assert_eq!(a.ndv, 5, "distinct count folds across blocks");
+        assert_eq!(stats.column("b").unwrap().ndv, 25);
+        assert!(cat.table_stats("ghost").is_none());
     }
 
     #[test]

@@ -25,14 +25,14 @@ use feisu_common::{
     ByteSize, FeisuError, NodeId, QueryId, Result, SimDuration, SimInstant, UserId,
 };
 use feisu_exec::batch::RecordBatch;
-use feisu_exec::physical::lower;
+use feisu_exec::reorder::{lower_with, LowerOptions};
 use feisu_format::{Column, Schema, Value};
 use feisu_index::manager::IndexManager;
 use feisu_obs::{
     MetricsRegistry, QueryEvent, QueryLog, QueryOutcome, QueryProfile, WindowedMetrics,
 };
 use feisu_sql::analyze::analyze;
-use feisu_sql::optimizer::optimize;
+use feisu_sql::optimizer::optimize_with_trace;
 use feisu_sql::plan::build_plan;
 use feisu_storage::auth::{AuthService, Credential, Grant};
 use feisu_storage::fatman::FatmanDomain;
@@ -698,9 +698,39 @@ impl FeisuCluster {
                 .authorize(cred, domain.id(), Grant::Read, self.clock.now())?;
         }
         let resolved = analyze(&query, &CatalogView(&self.catalog))?;
-        let logical = optimize(build_plan(&resolved)?)?;
-        let physical = lower(&logical, &CatalogView(&self.catalog))?;
-        Ok(physical.display_indent())
+        let plan = build_plan(&resolved)?;
+        let opt = &self.spec.config.optimizer;
+        let (logical, rule_trace) = if opt.enabled {
+            optimize_with_trace(plan)?
+        } else {
+            (plan, Vec::new())
+        };
+        let lower_opts = LowerOptions {
+            cost: &self.spec.cost,
+            join_reorder: opt.enabled && opt.join_reorder,
+            dp_limit: opt.dp_limit,
+        };
+        let (physical, lower_trace) =
+            lower_with(&logical, &CatalogView(&self.catalog), &lower_opts)?;
+        let mut out = physical.display_indent();
+        // Trailer: which rules rewrote the plan and what each join-order
+        // search decided, so EXPLAIN shows the optimizer's work without
+        // executing anything. Costs are omitted to keep goldens stable.
+        for fire in &rule_trace {
+            use std::fmt::Write as _;
+            let _ = writeln!(out, "Rule: {} x{}", fire.rule, fire.fires);
+        }
+        for jo in &lower_trace.join_orders {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                out,
+                "JoinOrder: {} [{}] -> [{}]",
+                jo.method,
+                jo.syntactic.join(", "),
+                jo.chosen.join(", ")
+            );
+        }
+        Ok(out)
     }
 
     /// Ingests nested JSON documents (paper §III-A: "nested data format

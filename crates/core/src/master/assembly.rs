@@ -88,6 +88,24 @@ impl FeisuCluster {
         for span in std::mem::take(&mut ctx.root_spans) {
             ctx.spans.set_parent(span, Some(master));
         }
+        // Optimizer trace on the master span: which rules rewrote the
+        // plan, and what every join-order search decided.
+        for fire in &ctx.rule_trace {
+            ctx.spans
+                .attr(master, &format!("rule.{}", fire.rule), fire.fires as usize);
+        }
+        for (i, jo) in ctx.join_orders.iter().enumerate() {
+            ctx.spans.attr(
+                master,
+                &format!("join_order.{i}"),
+                format!(
+                    "{} [{}] -> [{}]",
+                    jo.method,
+                    jo.syntactic.join(", "),
+                    jo.chosen.join(", ")
+                ),
+            );
+        }
         let mut profile = QueryProfile::new(query_id.0);
         profile.push_summary("response time", response_time);
         profile.push_summary(
@@ -179,6 +197,13 @@ impl FeisuCluster {
         if ctx.partial {
             m.partial.inc();
         }
+        m.rules_fired
+            .add(ctx.rule_trace.iter().map(|f| f.fires as u64).sum());
+        m.joins_reordered
+            .add(ctx.join_orders.iter().filter(|jo| jo.reordered).count() as u64);
+        if ctx.rule_trace.iter().any(|f| f.rule == "prune_empty") {
+            m.empty_pruned.inc();
+        }
 
         // Always-on query event log (backs `system.queries`) plus the
         // sliding-window views. Absolute instants (admission/completion)
@@ -254,6 +279,9 @@ pub(crate) struct QueryMetrics {
     pub(crate) blocks_scanned: Arc<Counter>,
     pub(crate) memory_served: Arc<Counter>,
     pub(crate) bytes_read: Arc<Counter>,
+    pub(crate) rules_fired: Arc<Counter>,
+    pub(crate) joins_reordered: Arc<Counter>,
+    pub(crate) empty_pruned: Arc<Counter>,
 }
 
 impl QueryMetrics {
@@ -272,6 +300,9 @@ impl QueryMetrics {
             blocks_scanned: registry.counter("feisu.task.blocks_scanned"),
             memory_served: registry.counter("feisu.task.memory_served"),
             bytes_read: registry.counter("feisu.task.bytes_read"),
+            rules_fired: registry.counter("feisu.optimizer.rules_fired"),
+            joins_reordered: registry.counter("feisu.optimizer.joins_reordered"),
+            empty_pruned: registry.counter("feisu.optimizer.empty_pruned"),
         }
     }
 }

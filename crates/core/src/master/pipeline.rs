@@ -19,10 +19,11 @@ use feisu_cluster::simclock::TimeTally;
 use feisu_common::{QueryId, Result, SimInstant};
 use feisu_exec::aggregate::AggTable;
 use feisu_exec::batch::RecordBatch;
-use feisu_exec::physical::{lower, PhysicalPlan};
+use feisu_exec::physical::PhysicalPlan;
+use feisu_exec::reorder::{lower_with, JoinOrderTrace, LowerOptions};
 use feisu_obs::{SpanId, SpanRecorder};
 use feisu_sql::analyze::analyze;
-use feisu_sql::optimizer::optimize;
+use feisu_sql::optimizer::{optimize_with_trace, RuleFire};
 use feisu_sql::plan::build_plan;
 use feisu_storage::auth::{Credential, Grant};
 use std::collections::BTreeMap;
@@ -50,10 +51,24 @@ impl FeisuCluster {
         }
 
         // Analyze, plan, optimize, lower. After this point execution never
-        // looks at the logical plan again.
+        // looks at the logical plan again. Both the rule pipeline and the
+        // join-order search honor the config kill-switches; results are
+        // identical either way (only the work to produce them differs).
+        let opt = &self.spec.config.optimizer;
         let resolved = analyze(query, &CatalogView(&self.catalog))?;
-        let logical = optimize(build_plan(&resolved)?)?;
-        let physical = lower(&logical, &CatalogView(&self.catalog))?;
+        let plan = build_plan(&resolved)?;
+        let (logical, rule_trace) = if opt.enabled {
+            optimize_with_trace(plan)?
+        } else {
+            (plan, Vec::new())
+        };
+        let lower_opts = LowerOptions {
+            cost: &self.spec.cost,
+            join_reorder: opt.enabled && opt.join_reorder,
+            dp_limit: opt.dp_limit,
+        };
+        let (physical, lower_trace) =
+            lower_with(&logical, &CatalogView(&self.catalog), &lower_opts)?;
 
         // Beat the heartbeat table for all live nodes.
         self.tick_heartbeats(now);
@@ -89,6 +104,8 @@ impl FeisuCluster {
             wire_leaf_stem: 0,
             wire_rack_dc: 0,
             wire_stem_master: 0,
+            rule_trace,
+            join_orders: lower_trace.join_orders,
         };
         // Master overhead: parsing/planning/dispatch RPC.
         ctx.tally.add_cpu(self.spec.cost.rpc_overhead);
@@ -230,6 +247,9 @@ impl FeisuCluster {
                 let batch = self.exec_physical(input, ctx, Some(span))?;
                 feisu_exec::ops::limit(&batch, *fetch)
             }
+            // A pruned-empty relation: zero rows, zero leaf tasks, zero
+            // billed time.
+            PhysicalPlan::Empty { output_schema } => Ok(RecordBatch::empty(output_schema.clone())),
         }
     }
 }
@@ -262,4 +282,8 @@ pub(crate) struct ExecCtx {
     pub(crate) wire_rack_dc: u64,
     /// Simulated result bytes shipped stem→master across all scans.
     pub(crate) wire_stem_master: u64,
+    /// Optimizer rules that changed the plan, with per-rule fire counts.
+    pub(crate) rule_trace: Vec<RuleFire>,
+    /// Join-order decisions made by cost-based lowering.
+    pub(crate) join_orders: Vec<JoinOrderTrace>,
 }

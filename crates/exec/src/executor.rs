@@ -160,6 +160,7 @@ pub fn execute(plan: &LogicalPlan, provider: &mut dyn ScanProvider) -> Result<Re
             let batch = execute(input, provider)?;
             limit(&batch, *fetch)
         }
+        LogicalPlan::Empty { output_schema } => Ok(RecordBatch::empty(output_schema.clone())),
     }
 }
 

@@ -22,6 +22,7 @@ pub mod expr;
 pub mod join;
 pub mod ops;
 pub mod physical;
+pub mod reorder;
 pub mod sort;
 
 pub use batch::RecordBatch;

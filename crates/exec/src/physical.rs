@@ -91,6 +91,9 @@ pub enum PhysicalPlan {
         input: Box<PhysicalPlan>,
         fetch: u64,
     },
+    /// A provably-empty relation (e.g. `WHERE FALSE`): produces zero rows
+    /// without touching the cluster or billing any master CPU.
+    Empty { output_schema: Schema },
 }
 
 impl PhysicalPlan {
@@ -105,6 +108,7 @@ impl PhysicalPlan {
             PhysicalPlan::HashJoin { .. } => "HashJoin",
             PhysicalPlan::Sort { .. } => "Sort",
             PhysicalPlan::Limit { .. } => "Limit",
+            PhysicalPlan::Empty { .. } => "Empty",
         }
     }
 
@@ -115,7 +119,8 @@ impl PhysicalPlan {
             | PhysicalPlan::FinalAggregate { output_schema, .. }
             | PhysicalPlan::HashAggregate { output_schema, .. }
             | PhysicalPlan::Project { output_schema, .. }
-            | PhysicalPlan::HashJoin { output_schema, .. } => output_schema.clone(),
+            | PhysicalPlan::HashJoin { output_schema, .. }
+            | PhysicalPlan::Empty { output_schema } => output_schema.clone(),
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Limit { input, .. } => input.schema(),
@@ -129,7 +134,9 @@ impl PhysicalPlan {
     pub fn master_cpu_cost(&self, cost: &CostModel, inputs: &[usize]) -> SimDuration {
         let rows = |i: usize| inputs.get(i).copied().unwrap_or(0);
         match self {
-            PhysicalPlan::DistributedScan { .. } | PhysicalPlan::Limit { .. } => SimDuration::ZERO,
+            PhysicalPlan::DistributedScan { .. }
+            | PhysicalPlan::Limit { .. }
+            | PhysicalPlan::Empty { .. } => SimDuration::ZERO,
             PhysicalPlan::Filter { .. } => cost.predicate_eval(rows(0).max(1)),
             PhysicalPlan::Project { .. } => cost.project(rows(0).max(1)),
             PhysicalPlan::HashAggregate { .. } => cost.agg_update(rows(0).max(1)),
@@ -237,6 +244,9 @@ impl PhysicalPlan {
                 let _ = writeln!(out, "{pad}Limit: {fetch}");
                 input.fmt_indent(out, level + 1);
             }
+            PhysicalPlan::Empty { .. } => {
+                let _ = writeln!(out, "{pad}Empty");
+            }
         }
     }
 }
@@ -338,6 +348,9 @@ pub fn lower(plan: &LogicalPlan, catalog: &dyn Catalog) -> Result<PhysicalPlan> 
         LogicalPlan::Limit { input, fetch } => Ok(PhysicalPlan::Limit {
             input: Box::new(lower(input, catalog)?),
             fetch: *fetch,
+        }),
+        LogicalPlan::Empty { output_schema } => Ok(PhysicalPlan::Empty {
+            output_schema: output_schema.clone(),
         }),
     }
 }
@@ -515,6 +528,7 @@ mod tests {
                 PhysicalPlan::HashJoin { left, right, .. } => {
                     find_scan(left).or_else(|| find_scan(right))
                 }
+                PhysicalPlan::Empty { .. } => None,
             }
         }
         let PhysicalPlan::DistributedScan { cnf, residual, .. } =

@@ -1,0 +1,753 @@
+//! Cost-based join-order selection at lowering time.
+//!
+//! The logical optimizer keeps joins in syntactic order; this module
+//! picks the execution order. Every maximal region of inner/cross joins
+//! is flattened into its base relations and join conditions, cardinality
+//! estimates are derived from the catalog's [`TableStats`] (row counts,
+//! per-column NDV, predicate selectivities), and a left-deep order is
+//! searched — exhaustively by dynamic programming up to
+//! [`LowerOptions::dp_limit`] relations, greedily above. Costs are billed
+//! through the same [`CostModel`] the engine charges at execution time
+//! (`join_build` on the accumulated left side, `join_probe` on the new
+//! right side), so the search optimizes exactly what the simulator
+//! measures. The syntactic order is kept on ties, which makes the whole
+//! pass a no-op for two-relation joins under the default (symmetric)
+//! CPU rates — and fully deterministic everywhere.
+//!
+//! [`TableStats`]: feisu_sql::stats::TableStats
+
+use crate::physical::{lower, PhysicalPlan};
+use feisu_cluster::CostModel;
+use feisu_common::{Result, SimDuration};
+use feisu_sql::analyze::Catalog;
+use feisu_sql::ast::{BinaryOp, Expr, JoinKind};
+use feisu_sql::exprutil::{combine_conjuncts, equi_across};
+use feisu_sql::plan::LogicalPlan;
+use feisu_sql::stats::DEFAULT_SELECTIVITY;
+
+/// Row count assumed for a table the catalog has no statistics for.
+const DEFAULT_TABLE_ROWS: f64 = 1000.0;
+
+/// Knobs for [`lower_with`].
+pub struct LowerOptions<'a> {
+    /// Cost model the join-order search bills against.
+    pub cost: &'a CostModel,
+    /// Master switch for cost-based join reordering.
+    pub join_reorder: bool,
+    /// Regions up to this many relations are ordered by exhaustive
+    /// left-deep DP; larger regions fall back to a greedy heuristic.
+    pub dp_limit: usize,
+}
+
+/// What one join-order search decided, for EXPLAIN and the plan span.
+#[derive(Debug, Clone)]
+pub struct JoinOrderTrace {
+    /// `"dp"` or `"greedy"`.
+    pub method: &'static str,
+    /// Relation labels in syntactic order.
+    pub syntactic: Vec<String>,
+    /// Relation labels in the order actually lowered.
+    pub chosen: Vec<String>,
+    pub syntactic_cost: SimDuration,
+    pub chosen_cost: SimDuration,
+    /// False when the search kept the syntactic order (tie or win).
+    pub reordered: bool,
+}
+
+/// Side output of [`lower_with`].
+#[derive(Debug, Clone, Default)]
+pub struct LowerTrace {
+    /// One entry per join region of three or more relations.
+    pub join_orders: Vec<JoinOrderTrace>,
+}
+
+/// Lowers a logical plan, first reordering inner-join regions cost-based
+/// when `opts.join_reorder` is set. Returns the physical plan plus the
+/// join-order decisions made along the way.
+pub fn lower_with(
+    plan: &LogicalPlan,
+    catalog: &dyn Catalog,
+    opts: &LowerOptions<'_>,
+) -> Result<(PhysicalPlan, LowerTrace)> {
+    let mut trace = LowerTrace::default();
+    if opts.join_reorder {
+        let reordered = reorder_joins(plan.clone(), catalog, opts, &mut trace.join_orders);
+        Ok((lower(&reordered, catalog)?, trace))
+    } else {
+        Ok((lower(plan, catalog)?, trace))
+    }
+}
+
+/// Rewrites every inner/cross join region of the plan into its chosen
+/// left-deep order, recording one [`JoinOrderTrace`] per searched region.
+pub fn reorder_joins(
+    plan: LogicalPlan,
+    catalog: &dyn Catalog,
+    opts: &LowerOptions<'_>,
+    traces: &mut Vec<JoinOrderTrace>,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Join { ref kind, .. } if matches!(kind, JoinKind::Inner | JoinKind::Cross) => {
+            reorder_region(plan, catalog, opts, traces)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } => {
+            let left = reorder_joins(*left, catalog, opts, traces);
+            let right = reorder_joins(*right, catalog, opts, traces);
+            // Children may have changed column order: keep the positional
+            // output-schema invariant (left ++ right).
+            let output_schema = left.schema().join(&right.schema());
+            LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+                output_schema,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(reorder_joins(*input, catalog, opts, traces)),
+            predicate,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            output_schema,
+        } => LogicalPlan::Project {
+            input: Box::new(reorder_joins(*input, catalog, opts, traces)),
+            exprs,
+            output_schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            output_schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(reorder_joins(*input, catalog, opts, traces)),
+            group_by,
+            aggregates,
+            output_schema,
+        },
+        LogicalPlan::Sort { input, keys, fetch } => LogicalPlan::Sort {
+            input: Box::new(reorder_joins(*input, catalog, opts, traces)),
+            keys,
+            fetch,
+        },
+        LogicalPlan::Limit { input, fetch } => LogicalPlan::Limit {
+            input: Box::new(reorder_joins(*input, catalog, opts, traces)),
+            fetch,
+        },
+        leaf => leaf,
+    }
+}
+
+/// One base relation of a flattened join region.
+struct Rel {
+    plan: LogicalPlan,
+    card: f64,
+}
+
+/// One join condition of a flattened region.
+struct CondInfo {
+    expr: Expr,
+    /// Bitmask of the relations the condition references.
+    mask: usize,
+    /// Cardinality factor applied when the condition first becomes
+    /// evaluable: `1 / max(ndv_l, ndv_r)` for cross-relation equalities,
+    /// [`DEFAULT_SELECTIVITY`] otherwise.
+    factor: f64,
+}
+
+fn reorder_region(
+    plan: LogicalPlan,
+    catalog: &dyn Catalog,
+    opts: &LowerOptions<'_>,
+    traces: &mut Vec<JoinOrderTrace>,
+) -> LogicalPlan {
+    // Flatten the maximal inner/cross region into leaves + conditions,
+    // recursing into the leaves (they may contain further regions).
+    let mut leaves = Vec::new();
+    let mut cond_exprs = Vec::new();
+    flatten(plan, &mut leaves, &mut cond_exprs);
+    let rels: Vec<Rel> = leaves
+        .into_iter()
+        .map(|l| {
+            let l = reorder_joins(l, catalog, opts, traces);
+            let card = base_card(&l, catalog);
+            Rel { plan: l, card }
+        })
+        .collect();
+    let n = rels.len();
+    let conds: Vec<CondInfo> = cond_exprs
+        .into_iter()
+        .map(|e| cond_info(e, &rels, catalog))
+        .collect();
+
+    // Two relations cost the same either way under build+probe billing
+    // (the engine bills both sides); keep the syntactic order.
+    let syntactic: Vec<usize> = (0..n).collect();
+    if n <= 2 {
+        return rebuild(&rels, &conds, &syntactic);
+    }
+
+    let (syn_cost, _) = order_cost(&syntactic, &rels, &conds, opts.cost);
+    let (method, chosen, chosen_cost) = if n <= opts.dp_limit {
+        let (o, c) = dp_order(&rels, &conds, opts.cost);
+        ("dp", o, c)
+    } else {
+        let (o, c) = greedy_order(&rels, &conds, opts.cost);
+        ("greedy", o, c)
+    };
+    // Only deviate from the syntactic order for a strict win (epsilon in
+    // nanoseconds); ties keep plans stable across platforms.
+    let reordered = chosen != syntactic && chosen_cost + 1e-6 < syn_cost;
+    let order = if reordered { &chosen } else { &syntactic };
+    traces.push(JoinOrderTrace {
+        method,
+        syntactic: syntactic.iter().map(|&i| label(&rels[i].plan)).collect(),
+        chosen: order.iter().map(|&i| label(&rels[i].plan)).collect(),
+        syntactic_cost: SimDuration::nanos(syn_cost as u64),
+        chosen_cost: SimDuration::nanos(if reordered { chosen_cost } else { syn_cost } as u64),
+        reordered,
+    });
+    rebuild(&rels, &conds, order)
+}
+
+fn flatten(plan: LogicalPlan, leaves: &mut Vec<LogicalPlan>, conds: &mut Vec<Expr>) {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind: JoinKind::Inner | JoinKind::Cross,
+            on,
+            ..
+        } => {
+            flatten(*left, leaves, conds);
+            flatten(*right, leaves, conds);
+            conds.extend(on);
+        }
+        other => leaves.push(other),
+    }
+}
+
+/// Estimated output rows of a region leaf.
+fn base_card(plan: &LogicalPlan, catalog: &dyn Catalog) -> f64 {
+    match plan {
+        LogicalPlan::Scan {
+            table, predicate, ..
+        } => match catalog.table_stats(table) {
+            Some(stats) => {
+                let rows = stats.rows.max(1) as f64;
+                match predicate {
+                    Some(p) => (rows * stats.selectivity(p)).max(1.0),
+                    None => rows,
+                }
+            }
+            None => DEFAULT_TABLE_ROWS,
+        },
+        LogicalPlan::Filter { input, .. } => {
+            (base_card(input, catalog) * DEFAULT_SELECTIVITY).max(1.0)
+        }
+        LogicalPlan::Project { input, .. } | LogicalPlan::Sort { input, .. } => {
+            base_card(input, catalog)
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            if group_by.is_empty() {
+                1.0
+            } else {
+                (base_card(input, catalog) * DEFAULT_SELECTIVITY).max(1.0)
+            }
+        }
+        LogicalPlan::Limit { input, fetch } => base_card(input, catalog).min(*fetch as f64),
+        LogicalPlan::Join { left, right, .. } => {
+            base_card(left, catalog).max(base_card(right, catalog))
+        }
+        LogicalPlan::Empty { .. } => 0.0,
+    }
+}
+
+/// The relation (by index) whose schema resolves `col`, if any.
+fn owner(rels: &[Rel], col: &str) -> Option<usize> {
+    rels.iter()
+        .position(|r| r.plan.schema().index_of(col).is_some())
+}
+
+/// NDV of one column of one relation: catalog stats when the relation
+/// bottoms out in a scan, else its cardinality (key-like assumption).
+fn col_ndv(rel: &Rel, col: &str, catalog: &dyn Catalog) -> f64 {
+    let mut node = &rel.plan;
+    loop {
+        match node {
+            LogicalPlan::Scan { table, .. } => {
+                if let Some(stats) = catalog.table_stats(table) {
+                    return stats.column_ndv(col) as f64;
+                }
+                return rel.card.max(1.0);
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => node = input,
+            _ => return rel.card.max(1.0),
+        }
+    }
+}
+
+fn cond_info(expr: Expr, rels: &[Rel], catalog: &dyn Catalog) -> CondInfo {
+    let mut cols = Vec::new();
+    expr.columns(&mut cols);
+    let mut mask = 0usize;
+    for c in &cols {
+        if let Some(r) = owner(rels, c) {
+            mask |= 1 << r;
+        }
+    }
+    let factor = match &expr {
+        Expr::Binary {
+            op: BinaryOp::Eq,
+            left,
+            right,
+        } => {
+            let mut lc = Vec::new();
+            let mut rc = Vec::new();
+            left.columns(&mut lc);
+            right.columns(&mut rc);
+            let side_ndv = |cols: &[String]| -> Option<f64> {
+                let first = cols.first()?;
+                let o = owner(rels, first)?;
+                if !cols.iter().all(|c| owner(rels, c) == Some(o)) {
+                    return None;
+                }
+                Some(
+                    cols.iter()
+                        .map(|c| col_ndv(&rels[o], c, catalog))
+                        .fold(1.0, f64::max),
+                )
+            };
+            match (side_ndv(&lc), side_ndv(&rc)) {
+                (Some(l), Some(r)) if mask.count_ones() == 2 => 1.0 / l.max(r).max(1.0),
+                _ => DEFAULT_SELECTIVITY,
+            }
+        }
+        _ => DEFAULT_SELECTIVITY,
+    };
+    CondInfo { expr, mask, factor }
+}
+
+/// Cardinality and step cost of joining the accumulated left side (rows
+/// `acc_card`, relations `acc_mask`) with relation `j`: the engine builds
+/// a hash table over the left rows and probes with the right rows, and
+/// every condition that first becomes evaluable scales the output.
+fn join_step(
+    acc_card: f64,
+    acc_mask: usize,
+    j: usize,
+    rels: &[Rel],
+    conds: &[CondInfo],
+    cost: &CostModel,
+) -> (f64, f64) {
+    let new_mask = acc_mask | (1 << j);
+    let mut card = acc_card * rels[j].card;
+    for c in conds {
+        if c.mask & new_mask == c.mask && c.mask & !acc_mask != 0 {
+            card *= c.factor;
+        }
+    }
+    let card = card.max(1.0);
+    let step =
+        acc_card * cost.cpu_ns_per_join_build_row + rels[j].card * cost.cpu_ns_per_join_probe_row;
+    (card, step)
+}
+
+/// Total cost (ns) of executing `order` left-deep, and the final card.
+fn order_cost(order: &[usize], rels: &[Rel], conds: &[CondInfo], cost: &CostModel) -> (f64, f64) {
+    let mut mask = 1usize << order[0];
+    let mut card = rels[order[0]].card;
+    let mut total = 0.0;
+    for &j in &order[1..] {
+        let (c, step) = join_step(card, mask, j, rels, conds, cost);
+        total += step;
+        card = c;
+        mask |= 1 << j;
+    }
+    (total, card)
+}
+
+#[derive(Clone)]
+struct DpEntry {
+    cost: f64,
+    card: f64,
+    order: Vec<usize>,
+}
+
+/// Exhaustive left-deep join-order search over all relation subsets.
+fn dp_order(rels: &[Rel], conds: &[CondInfo], cost: &CostModel) -> (Vec<usize>, f64) {
+    let n = rels.len();
+    let full = (1usize << n) - 1;
+    let mut dp: Vec<Option<DpEntry>> = vec![None; 1 << n];
+    for (i, r) in rels.iter().enumerate() {
+        dp[1 << i] = Some(DpEntry {
+            cost: 0.0,
+            card: r.card,
+            order: vec![i],
+        });
+    }
+    for mask in 1..=full {
+        let Some(cur) = dp[mask].clone() else {
+            continue;
+        };
+        for j in 0..n {
+            if mask & (1 << j) != 0 {
+                continue;
+            }
+            let (card, step) = join_step(cur.card, mask, j, rels, conds, cost);
+            let cand = cur.cost + step;
+            let slot = &mut dp[mask | (1 << j)];
+            // Strict `<` keeps the first (lowest-index) order on ties, so
+            // the search is deterministic.
+            if slot.as_ref().is_none_or(|e| cand < e.cost) {
+                let mut order = cur.order.clone();
+                order.push(j);
+                *slot = Some(DpEntry {
+                    cost: cand,
+                    card,
+                    order,
+                });
+            }
+        }
+    }
+    let best = dp[full].take().expect("full mask reachable");
+    (best.order, best.cost)
+}
+
+/// Greedy order for regions past the DP limit: start from the smallest
+/// relation, repeatedly append the relation minimizing the intermediate
+/// cardinality (ties to the lowest index).
+fn greedy_order(rels: &[Rel], conds: &[CondInfo], cost: &CostModel) -> (Vec<usize>, f64) {
+    let n = rels.len();
+    let start = (0..n)
+        .min_by(|&a, &b| rels[a].card.total_cmp(&rels[b].card))
+        .expect("nonempty region");
+    let mut order = vec![start];
+    let mut mask = 1usize << start;
+    let mut card = rels[start].card;
+    let mut total = 0.0;
+    while order.len() < n {
+        let mut best: Option<(f64, f64, usize)> = None;
+        for j in 0..n {
+            if mask & (1 << j) != 0 {
+                continue;
+            }
+            let (c, step) = join_step(card, mask, j, rels, conds, cost);
+            if best.as_ref().is_none_or(|&(bc, _, _)| c < bc) {
+                best = Some((c, step, j));
+            }
+        }
+        let (c, step, j) = best.expect("relation remaining");
+        order.push(j);
+        mask |= 1 << j;
+        card = c;
+        total += step;
+    }
+    (order, total)
+}
+
+/// Reassembles the region as a left-deep tree in `order`, attaching each
+/// condition at the first join where all its relations are present. A
+/// step with at least one cross-relation equality becomes an inner hash
+/// join (single-side and non-equi conditions ride along as residuals);
+/// a step with none becomes a cross join with any conditions as a filter
+/// above it.
+fn rebuild(rels: &[Rel], conds: &[CondInfo], order: &[usize]) -> LogicalPlan {
+    let mut used = vec![false; conds.len()];
+    let mut acc = rels[order[0]].plan.clone();
+    let mut acc_mask = 1usize << order[0];
+    for &j in &order[1..] {
+        let new_mask = acc_mask | (1 << j);
+        let mut step_conds = Vec::new();
+        for (ci, c) in conds.iter().enumerate() {
+            if !used[ci] && c.mask & new_mask == c.mask {
+                used[ci] = true;
+                step_conds.push(c.expr.clone());
+            }
+        }
+        let right = rels[j].plan.clone();
+        let output_schema = acc.schema().join(&right.schema());
+        let has_equi = step_conds
+            .iter()
+            .any(|c| equi_across(c, &acc.schema(), &right.schema()));
+        acc = if has_equi {
+            LogicalPlan::Join {
+                left: Box::new(acc),
+                right: Box::new(right),
+                kind: JoinKind::Inner,
+                on: step_conds,
+                output_schema,
+            }
+        } else {
+            let cross = LogicalPlan::Join {
+                left: Box::new(acc),
+                right: Box::new(right),
+                kind: JoinKind::Cross,
+                on: Vec::new(),
+                output_schema,
+            };
+            match combine_conjuncts(step_conds) {
+                Some(pred) => LogicalPlan::Filter {
+                    input: Box::new(cross),
+                    predicate: pred,
+                },
+                None => cross,
+            }
+        };
+        acc_mask = new_mask;
+    }
+    // Conditions that never became attachable (no columns at all, or
+    // columns the region does not resolve) stay as a filter on top.
+    let leftovers: Vec<Expr> = conds
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(c, _)| c.expr.clone())
+        .collect();
+    match combine_conjuncts(leftovers) {
+        Some(pred) => LogicalPlan::Filter {
+            input: Box::new(acc),
+            predicate: pred,
+        },
+        None => acc,
+    }
+}
+
+/// Human-readable relation label for traces: the scan binding when the
+/// leaf bottoms out in one, else a placeholder.
+fn label(plan: &LogicalPlan) -> String {
+    let mut node = plan;
+    loop {
+        match node {
+            LogicalPlan::Scan { binding, .. } => return binding.clone(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => node = input,
+            _ => return "<subplan>".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feisu_common::hash::FxHashMap;
+    use feisu_format::{DataType, Field, Schema};
+    use feisu_sql::analyze::analyze;
+    use feisu_sql::optimizer::optimize;
+    use feisu_sql::parser::parse_query;
+    use feisu_sql::plan::build_plan;
+    use feisu_sql::stats::{ColumnStats, TableStats};
+    use std::collections::HashMap;
+
+    /// Catalog with statistics: a small `d1`, a small `d2`, a big fact
+    /// table `f` keyed into both.
+    struct StatsCatalog {
+        schemas: HashMap<String, Schema>,
+        stats: HashMap<String, TableStats>,
+    }
+
+    impl Catalog for StatsCatalog {
+        fn table_schema(&self, name: &str) -> Option<Schema> {
+            self.schemas.get(name).cloned()
+        }
+        fn table_stats(&self, name: &str) -> Option<TableStats> {
+            self.stats.get(name).cloned()
+        }
+    }
+
+    fn star_catalog() -> StatsCatalog {
+        let mut schemas = HashMap::new();
+        schemas.insert(
+            "d1".to_string(),
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, false),
+                Field::new("name", DataType::Utf8, false),
+            ]),
+        );
+        schemas.insert(
+            "d2".to_string(),
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, false),
+                Field::new("name", DataType::Utf8, false),
+            ]),
+        );
+        schemas.insert(
+            "f".to_string(),
+            Schema::new(vec![
+                Field::new("k1", DataType::Int64, false),
+                Field::new("k2", DataType::Int64, false),
+                Field::new("v", DataType::Int64, false),
+            ]),
+        );
+        let dim = |rows: u64| {
+            let mut columns = FxHashMap::default();
+            columns.insert(
+                "k".to_string(),
+                ColumnStats {
+                    ndv: rows,
+                    ..ColumnStats::default()
+                },
+            );
+            TableStats { rows, columns }
+        };
+        let mut fact_cols = FxHashMap::default();
+        for c in ["k1", "k2"] {
+            fact_cols.insert(
+                c.to_string(),
+                ColumnStats {
+                    ndv: 2000,
+                    ..ColumnStats::default()
+                },
+            );
+        }
+        let mut stats = HashMap::new();
+        stats.insert("d1".to_string(), dim(2000));
+        stats.insert("d2".to_string(), dim(2000));
+        stats.insert(
+            "f".to_string(),
+            TableStats {
+                rows: 100_000,
+                columns: fact_cols,
+            },
+        );
+        StatsCatalog { schemas, stats }
+    }
+
+    fn planned(sql: &str, cat: &StatsCatalog) -> LogicalPlan {
+        let q = parse_query(sql).unwrap();
+        let r = analyze(&q, cat).unwrap();
+        optimize(build_plan(&r).unwrap()).unwrap()
+    }
+
+    const STAR: &str = "SELECT SUM(f.v) AS s FROM d1, d2, f \
+                        WHERE f.k1 = d1.k AND f.k2 = d2.k";
+
+    #[test]
+    fn star_join_reordered_away_from_cross_product() {
+        let cat = star_catalog();
+        let plan = planned(STAR, &cat);
+        let cost = CostModel::default();
+        let opts = LowerOptions {
+            cost: &cost,
+            join_reorder: true,
+            dp_limit: 6,
+        };
+        let (physical, trace) = lower_with(&plan, &cat, &opts).unwrap();
+        assert_eq!(trace.join_orders.len(), 1);
+        let t = &trace.join_orders[0];
+        assert_eq!(t.method, "dp");
+        assert!(t.reordered, "{t:?}");
+        assert_eq!(t.syntactic, vec!["d1", "d2", "f"]);
+        // The chosen order joins the fact table before the cross product
+        // of the two dimensions can form.
+        assert_ne!(t.chosen[1], "d2", "chosen {:?}", t.chosen);
+        assert!(t.chosen_cost < t.syntactic_cost, "{t:?}");
+        // Both joins lowered as inner hash joins, no cross product left.
+        let s = physical.display_indent();
+        assert_eq!(s.matches("HashJoin: Inner").count(), 2, "{s}");
+        assert!(!s.contains("Cross"), "{s}");
+    }
+
+    #[test]
+    fn reorder_disabled_keeps_syntactic_order() {
+        let cat = star_catalog();
+        let plan = planned(STAR, &cat);
+        let cost = CostModel::default();
+        let opts = LowerOptions {
+            cost: &cost,
+            join_reorder: false,
+            dp_limit: 6,
+        };
+        let (physical, trace) = lower_with(&plan, &cat, &opts).unwrap();
+        assert!(trace.join_orders.is_empty());
+        // Syntactic shape: (d1 ⋈ d2) ⋈ f — the d1/d2 join has no usable
+        // key, so it stays a cross join.
+        let s = physical.display_indent();
+        assert!(s.contains("Cross"), "{s}");
+    }
+
+    #[test]
+    fn two_relation_join_keeps_syntactic_order() {
+        let cat = star_catalog();
+        let plan = planned("SELECT d1.name FROM d1, f WHERE f.k1 = d1.k", &cat);
+        let cost = CostModel::default();
+        let opts = LowerOptions {
+            cost: &cost,
+            join_reorder: true,
+            dp_limit: 6,
+        };
+        let (physical, trace) = lower_with(&plan, &cat, &opts).unwrap();
+        // Two-relation regions are never searched (cost is symmetric).
+        assert!(trace.join_orders.is_empty());
+        let s = physical.display_indent();
+        let d1_at = s.find("DistributedScan: d1").expect(&s);
+        let f_at = s.find("DistributedScan: f").expect(&s);
+        assert!(d1_at < f_at, "{s}");
+    }
+
+    #[test]
+    fn greedy_used_past_dp_limit() {
+        let cat = star_catalog();
+        let plan = planned(STAR, &cat);
+        let cost = CostModel::default();
+        let opts = LowerOptions {
+            cost: &cost,
+            join_reorder: true,
+            dp_limit: 2,
+        };
+        let (_, trace) = lower_with(&plan, &cat, &opts).unwrap();
+        assert_eq!(trace.join_orders.len(), 1);
+        let t = &trace.join_orders[0];
+        assert_eq!(t.method, "greedy");
+        assert!(t.reordered, "{t:?}");
+    }
+
+    #[test]
+    fn no_stats_three_way_ties_to_syntactic() {
+        // Without statistics all cards default equal, so the DP result
+        // ties and the syntactic order must win.
+        let mut schemas: HashMap<String, Schema> = HashMap::new();
+        for t in ["a", "b", "c"] {
+            schemas.insert(
+                t.to_string(),
+                Schema::new(vec![Field::new("k", DataType::Int64, false)]),
+            );
+        }
+        let cat = StatsCatalog {
+            schemas,
+            stats: HashMap::new(),
+        };
+        let plan = planned(
+            "SELECT a.k FROM a, b, c WHERE a.k = b.k AND b.k = c.k",
+            &cat,
+        );
+        let cost = CostModel::default();
+        let opts = LowerOptions {
+            cost: &cost,
+            join_reorder: true,
+            dp_limit: 6,
+        };
+        let (_, trace) = lower_with(&plan, &cat, &opts).unwrap();
+        assert_eq!(trace.join_orders.len(), 1);
+        let t = &trace.join_orders[0];
+        assert!(!t.reordered, "{t:?}");
+        assert_eq!(t.chosen, t.syntactic);
+    }
+}

@@ -17,6 +17,13 @@ use feisu_format::{DataType, Schema};
 pub trait Catalog {
     /// Schema of a table by its *storage* name.
     fn table_schema(&self, name: &str) -> Option<Schema>;
+
+    /// Statistics snapshot for a table (row count, per-column
+    /// min/max/NDV), when the implementation maintains them. Used by
+    /// cost-based lowering; `None` falls back to uniform defaults.
+    fn table_stats(&self, _name: &str) -> Option<crate::stats::TableStats> {
+        None
+    }
 }
 
 impl Catalog for FxHashMap<String, Schema> {

@@ -17,7 +17,7 @@
 //! [`SimplePredicate`]s and/or opaque residual expressions. SmartIndex
 //! keys on simple predicates (`column OP literal`).
 
-use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::ast::{BinaryOp, Expr};
 use feisu_format::Value;
 use std::fmt;
 
@@ -125,60 +125,13 @@ impl Cnf {
 /// converter bails out and keeps the subtree opaque.
 const EXPANSION_BUDGET: usize = 64;
 
-/// Converts a boolean expression into conjunctive form.
+/// Converts a boolean expression into conjunctive form. NOT-handling
+/// (negation-normal form) is shared with the optimizer via
+/// [`crate::exprutil::push_not`].
 pub fn to_cnf(expr: &Expr) -> Cnf {
-    let nnf = push_not(expr, false);
+    let nnf = crate::exprutil::push_not(expr, false);
     let clauses = distribute(&nnf);
     Cnf { clauses }
-}
-
-/// Pushes negation down to the leaves (negation-normal form). Comparisons
-/// absorb the negation via `BinaryOp::negate`; anything else keeps an
-/// explicit NOT.
-fn push_not(expr: &Expr, negated: bool) -> Expr {
-    match expr {
-        Expr::Unary {
-            op: UnaryOp::Not,
-            operand,
-        } => push_not(operand, !negated),
-        Expr::Binary {
-            op: BinaryOp::And,
-            left,
-            right,
-        } => {
-            let (l, r) = (push_not(left, negated), push_not(right, negated));
-            if negated {
-                Expr::or(l, r)
-            } else {
-                Expr::and(l, r)
-            }
-        }
-        Expr::Binary {
-            op: BinaryOp::Or,
-            left,
-            right,
-        } => {
-            let (l, r) = (push_not(left, negated), push_not(right, negated));
-            if negated {
-                Expr::and(l, r)
-            } else {
-                Expr::or(l, r)
-            }
-        }
-        Expr::Binary { op, left, right } if negated && op.is_comparison() => match op.negate() {
-            Some(neg) => Expr::binary(neg, (**left).clone(), (**right).clone()),
-            None => Expr::not(expr.clone()),
-        },
-        Expr::IsNull {
-            operand,
-            negated: n,
-        } if negated => Expr::IsNull {
-            operand: operand.clone(),
-            negated: !n,
-        },
-        _ if negated => Expr::not(expr.clone()),
-        _ => expr.clone(),
-    }
 }
 
 /// Distributes OR over AND. Returns the clause list; a subtree whose

@@ -56,6 +56,7 @@ pub mod lexer;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
+pub mod stats;
 
 pub use ast::{BinaryOp, Expr, Query, UnaryOp};
 pub use parser::parse_query;

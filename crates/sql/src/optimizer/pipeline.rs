@@ -1,0 +1,86 @@
+//! Fixpoint driver for the optimizer's rule pipeline.
+//!
+//! Rules are ordinary values implementing [`PlanRewriter`]; the pipeline
+//! applies them in order, repeatedly, until a full pass changes nothing
+//! (or a safety cap is hit). Every rule application that changed the plan
+//! is recorded in the returned trace, so EXPLAIN and the observability
+//! plane can show exactly which rewrites produced the final plan.
+
+use super::rules;
+use crate::plan::LogicalPlan;
+use feisu_common::Result;
+
+/// One rewrite rule over logical plans. Implementations must be
+/// *monotone*: repeated application reaches a fixpoint (a rewrite that
+/// undoes another rule's work would make the pipeline oscillate until
+/// the pass cap).
+pub trait PlanRewriter {
+    /// Stable rule name, surfaced in EXPLAIN and metrics.
+    fn name(&self) -> &'static str;
+    /// One full rewrite pass over the plan.
+    fn rewrite(&self, plan: LogicalPlan) -> Result<LogicalPlan>;
+}
+
+/// Trace entry: how many passes a rule changed the plan in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleFire {
+    pub rule: &'static str,
+    pub fires: u32,
+}
+
+/// Safety cap on fixpoint passes. Well-behaved rules converge in 2–3
+/// passes; the cap only guards against a future non-monotone rule.
+const MAX_PASSES: usize = 10;
+
+/// The standard rule pipeline, in application order.
+pub fn default_rules() -> Vec<Box<dyn PlanRewriter>> {
+    vec![
+        Box::new(rules::ConstantFold),
+        Box::new(rules::SimplifyExprs),
+        Box::new(rules::PruneEmpty),
+        Box::new(rules::PushDownPredicates),
+        Box::new(rules::PruneProjections),
+        Box::new(rules::LimitIntoSort),
+    ]
+}
+
+/// Runs a rule list to fixpoint, returning the rewritten plan and the
+/// per-rule fire counts (rules that never changed the plan are omitted).
+pub fn run_rules(
+    mut plan: LogicalPlan,
+    rules: &[Box<dyn PlanRewriter>],
+) -> Result<(LogicalPlan, Vec<RuleFire>)> {
+    let mut trace: Vec<RuleFire> = rules
+        .iter()
+        .map(|r| RuleFire {
+            rule: r.name(),
+            fires: 0,
+        })
+        .collect();
+    for _ in 0..MAX_PASSES {
+        let mut changed = false;
+        for (fire, rule) in trace.iter_mut().zip(rules) {
+            let before = plan.clone();
+            plan = rule.rewrite(plan)?;
+            if plan != before {
+                fire.fires += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    trace.retain(|f| f.fires > 0);
+    Ok((plan, trace))
+}
+
+/// Applies the standard pipeline and returns the plan plus its rule trace.
+pub fn optimize_with_trace(plan: LogicalPlan) -> Result<(LogicalPlan, Vec<RuleFire>)> {
+    run_rules(plan, &default_rules())
+}
+
+/// Applies all rules and returns the optimized plan.
+pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
+    optimize_with_trace(plan).map(|(p, _)| p)
+}

@@ -1,47 +1,55 @@
-//! Logical plan optimizer.
+//! The individual plan-rewrite rules.
 //!
-//! A small, rule-based optimizer in the cost-based spirit of the paper's
-//! master ("generates optimized query execution plans using a cost-based
-//! approach", §III-B). Rules, applied in order:
-//!
-//! 1. **Constant folding** — literal-only subtrees are evaluated once.
-//! 2. **Predicate pushdown** — WHERE conjuncts that reference a single
-//!    scan's columns move into that scan, where SmartIndex can serve them.
-//! 3. **Projection pruning** — scans read only the columns the rest of
-//!    the plan actually needs (the core of the columnar I/O saving).
-//! 4. **Limit-into-sort** — `Limit(Sort)` becomes a top-N sort.
+//! Each rule is one self-contained rewrite; the pipeline in
+//! [`super::pipeline`] runs them in order to fixpoint. Boolean helpers
+//! (`predicate_is_true/false`, `simplify_expr`, `refs_within`,
+//! `equi_across`) live in [`crate::exprutil`] and are shared with the
+//! CNF converter and the leaf-side index rewriter.
 
-use crate::ast::{Expr, UnaryOp};
+use super::pipeline::PlanRewriter;
+use crate::ast::{Expr, JoinKind};
 use crate::cnf::to_cnf;
 use crate::eval::eval;
+use crate::exprutil::{
+    combine_conjuncts, equi_across, predicate_is_false, predicate_is_true, refs_within,
+    simplify_expr,
+};
 use crate::plan::LogicalPlan;
 use feisu_common::Result;
 use feisu_format::{Schema, Value};
 
-/// Applies all rules and returns the optimized plan.
-pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
-    let plan = fold_constants_plan(plan)?;
-    let plan = push_down_predicates(plan)?;
-    let plan = prune_projections(plan)?;
-    let plan = limit_into_sort(plan);
-    Ok(plan)
-}
+// ---------------------------------------------------------- expr mapping
 
-// ---------------------------------------------------------------- folding
-
-fn fold_constants_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
-    Ok(match plan {
+/// Rewrites every predicate/projection/join-condition expression in the
+/// plan through `f`, recursing into inputs. Aggregate arguments, group
+/// expressions and sort keys are left alone: their display forms double
+/// as output column names, so rewriting them would rename columns.
+fn map_exprs(plan: LogicalPlan, f: &impl Fn(Expr) -> Expr) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            binding,
+            projection,
+            predicate,
+            output_schema,
+        } => LogicalPlan::Scan {
+            table,
+            binding,
+            projection,
+            predicate: predicate.map(f),
+            output_schema,
+        },
         LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
-            input: Box::new(fold_constants_plan(*input)?),
-            predicate: fold_expr(predicate),
+            input: Box::new(map_exprs(*input, f)),
+            predicate: f(predicate),
         },
         LogicalPlan::Project {
             input,
             exprs,
             output_schema,
         } => LogicalPlan::Project {
-            input: Box::new(fold_constants_plan(*input)?),
-            exprs: exprs.into_iter().map(|(e, n)| (fold_expr(e), n)).collect(),
+            input: Box::new(map_exprs(*input, f)),
+            exprs: exprs.into_iter().map(|(e, n)| (f(e), n)).collect(),
             output_schema,
         },
         LogicalPlan::Join {
@@ -51,10 +59,10 @@ fn fold_constants_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
             on,
             output_schema,
         } => LogicalPlan::Join {
-            left: Box::new(fold_constants_plan(*left)?),
-            right: Box::new(fold_constants_plan(*right)?),
+            left: Box::new(map_exprs(*left, f)),
+            right: Box::new(map_exprs(*right, f)),
             kind,
-            on: on.into_iter().map(fold_expr).collect(),
+            on: on.into_iter().map(f).collect(),
             output_schema,
         },
         LogicalPlan::Aggregate {
@@ -63,22 +71,36 @@ fn fold_constants_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
             aggregates,
             output_schema,
         } => LogicalPlan::Aggregate {
-            input: Box::new(fold_constants_plan(*input)?),
+            input: Box::new(map_exprs(*input, f)),
             group_by,
             aggregates,
             output_schema,
         },
         LogicalPlan::Sort { input, keys, fetch } => LogicalPlan::Sort {
-            input: Box::new(fold_constants_plan(*input)?),
+            input: Box::new(map_exprs(*input, f)),
             keys,
             fetch,
         },
         LogicalPlan::Limit { input, fetch } => LogicalPlan::Limit {
-            input: Box::new(fold_constants_plan(*input)?),
+            input: Box::new(map_exprs(*input, f)),
             fetch,
         },
-        scan @ LogicalPlan::Scan { .. } => scan,
-    })
+        e @ LogicalPlan::Empty { .. } => e,
+    }
+}
+
+// ---------------------------------------------------------------- folding
+
+/// Rule `constant_fold`: literal-only subtrees are evaluated once.
+pub struct ConstantFold;
+
+impl PlanRewriter for ConstantFold {
+    fn name(&self) -> &'static str {
+        "constant_fold"
+    }
+    fn rewrite(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
+        Ok(map_exprs(plan, &fold_expr))
+    }
 }
 
 /// Folds literal-only subtrees bottom-up. Errors (e.g. division by zero)
@@ -128,7 +150,181 @@ fn literal_only(e: &Expr) -> bool {
     }
 }
 
+// ----------------------------------------------------------- simplifying
+
+/// Rule `simplify_exprs`: 3VL-safe boolean and arithmetic identities
+/// (`x AND TRUE → x`, `NOT NOT x → x`, `x + 0 → x`, …) via
+/// [`crate::exprutil::simplify_expr`].
+pub struct SimplifyExprs;
+
+impl PlanRewriter for SimplifyExprs {
+    fn name(&self) -> &'static str {
+        "simplify_exprs"
+    }
+    fn rewrite(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
+        Ok(map_exprs(plan, &|e| simplify_expr(&e)))
+    }
+}
+
+// -------------------------------------------------------- empty pruning
+
+/// Rule `prune_empty`: a provably-false filter (or `LIMIT 0`) becomes an
+/// [`LogicalPlan::Empty`] relation, and emptiness propagates upward
+/// through operators that cannot produce rows from an empty input. The
+/// engine then returns without scheduling a single leaf task.
+pub struct PruneEmpty;
+
+impl PlanRewriter for PruneEmpty {
+    fn name(&self) -> &'static str {
+        "prune_empty"
+    }
+    fn rewrite(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
+        Ok(prune_empty(plan))
+    }
+}
+
+fn empty(output_schema: Schema) -> LogicalPlan {
+    LogicalPlan::Empty { output_schema }
+}
+
+fn is_empty(p: &LogicalPlan) -> bool {
+    matches!(p, LogicalPlan::Empty { .. })
+}
+
+fn prune_empty(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = prune_empty(*input);
+            if is_empty(&input) || predicate_is_false(&predicate) {
+                return empty(input.schema());
+            }
+            if predicate_is_true(&predicate) {
+                return input;
+            }
+            LogicalPlan::Filter {
+                input: Box::new(input),
+                predicate,
+            }
+        }
+        scan @ LogicalPlan::Scan { .. } => {
+            if let LogicalPlan::Scan {
+                predicate: Some(p),
+                output_schema,
+                ..
+            } = &scan
+            {
+                if predicate_is_false(p) {
+                    return empty(output_schema.clone());
+                }
+            }
+            scan
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            output_schema,
+        } => {
+            let left = prune_empty(*left);
+            let right = prune_empty(*right);
+            // An empty null-supplying side still lets an outer join pass
+            // the other side through (null-extended); an empty preserved
+            // side kills the join.
+            let dead = match kind {
+                JoinKind::Inner | JoinKind::Cross => is_empty(&left) || is_empty(&right),
+                JoinKind::LeftOuter => is_empty(&left),
+                JoinKind::RightOuter => is_empty(&right),
+            };
+            if dead {
+                return empty(output_schema);
+            }
+            LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+                output_schema,
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            output_schema,
+        } => {
+            let input = prune_empty(*input);
+            if is_empty(&input) {
+                return empty(output_schema);
+            }
+            LogicalPlan::Project {
+                input: Box::new(input),
+                exprs,
+                output_schema,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            output_schema,
+        } => {
+            let input = prune_empty(*input);
+            // A *grouped* aggregate over no rows yields no groups; a
+            // global one still yields its single row (COUNT(*) = 0), so
+            // it must execute.
+            if is_empty(&input) && !group_by.is_empty() {
+                return empty(output_schema);
+            }
+            LogicalPlan::Aggregate {
+                input: Box::new(input),
+                group_by,
+                aggregates,
+                output_schema,
+            }
+        }
+        LogicalPlan::Sort { input, keys, fetch } => {
+            let input = prune_empty(*input);
+            if is_empty(&input) {
+                return empty(input.schema());
+            }
+            LogicalPlan::Sort {
+                input: Box::new(input),
+                keys,
+                fetch,
+            }
+        }
+        LogicalPlan::Limit { input, fetch } => {
+            let input = prune_empty(*input);
+            if is_empty(&input) || fetch == 0 {
+                return empty(input.schema());
+            }
+            LogicalPlan::Limit {
+                input: Box::new(input),
+                fetch,
+            }
+        }
+        e @ LogicalPlan::Empty { .. } => e,
+    }
+}
+
 // --------------------------------------------------------------- pushdown
+
+/// Rule `predicate_pushdown`: WHERE conjuncts move as close to storage as
+/// their column references allow — into a scan (where SmartIndex and zone
+/// maps serve them), through join sides, or as a residual filter directly
+/// above the deepest subtree that covers them. Equality conjuncts whose
+/// sides straddle an inner/cross join become join keys (a cross join
+/// gaining a key becomes an inner hash join).
+pub struct PushDownPredicates;
+
+impl PlanRewriter for PushDownPredicates {
+    fn name(&self) -> &'static str {
+        "predicate_pushdown"
+    }
+    fn rewrite(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
+        push_down_predicates(plan)
+    }
+}
 
 fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
     Ok(match plan {
@@ -148,7 +344,7 @@ fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
                     }
                 }
             }
-            match combine(remaining) {
+            match combine_conjuncts(remaining) {
                 Some(pred) => LogicalPlan::Filter {
                     input: Box::new(target),
                     predicate: pred,
@@ -199,6 +395,7 @@ fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
             fetch,
         },
         scan @ LogicalPlan::Scan { .. } => scan,
+        e @ LogicalPlan::Empty { .. } => e,
     })
 }
 
@@ -245,10 +442,9 @@ fn sink(plan: LogicalPlan, conjunct: &Expr) -> (LogicalPlan, bool) {
             left,
             right,
             kind,
-            on,
+            mut on,
             output_schema,
         } => {
-            use crate::ast::JoinKind;
             // Only inner/cross joins accept pushdown on both sides; outer
             // joins would change null-extension semantics.
             let (push_left, push_right) = match kind {
@@ -256,12 +452,33 @@ fn sink(plan: LogicalPlan, conjunct: &Expr) -> (LogicalPlan, bool) {
                 JoinKind::LeftOuter => (true, false),
                 JoinKind::RightOuter => (false, true),
             };
+            // 1. An equality straddling an inner/cross join becomes a
+            //    join key; a cross join gaining one becomes inner.
+            if matches!(kind, JoinKind::Inner | JoinKind::Cross)
+                && equi_across(conjunct, &left.schema(), &right.schema())
+            {
+                on.push(conjunct.clone());
+                return (
+                    LogicalPlan::Join {
+                        left,
+                        right,
+                        kind: JoinKind::Inner,
+                        on,
+                        output_schema,
+                    },
+                    true,
+                );
+            }
+            // 2. Recurse: a scan inside either eligible side may absorb.
+            let mut left = left;
+            let mut right = right;
             if push_left {
                 let (l, absorbed) = sink(*left, conjunct);
+                left = Box::new(l);
                 if absorbed {
                     return (
                         LogicalPlan::Join {
-                            left: Box::new(l),
+                            left,
                             right,
                             kind,
                             on,
@@ -270,33 +487,56 @@ fn sink(plan: LogicalPlan, conjunct: &Expr) -> (LogicalPlan, bool) {
                         true,
                     );
                 }
-                let (r, absorbed) = if push_right {
-                    sink(*right, conjunct)
-                } else {
-                    (*right, false)
-                };
-                return (
-                    LogicalPlan::Join {
-                        left: Box::new(l),
-                        right: Box::new(r),
-                        kind,
-                        on,
-                        output_schema,
-                    },
-                    absorbed,
-                );
             }
             if push_right {
                 let (r, absorbed) = sink(*right, conjunct);
+                right = Box::new(r);
+                if absorbed {
+                    return (
+                        LogicalPlan::Join {
+                            left,
+                            right,
+                            kind,
+                            on,
+                            output_schema,
+                        },
+                        true,
+                    );
+                }
+            }
+            // 3. No scan absorbed it, but one side covers every column:
+            //    park it as a filter directly below the join, above that
+            //    side (pushdown *through* the join).
+            if push_left && refs_within(conjunct, &left.schema()) {
+                left = Box::new(LogicalPlan::Filter {
+                    input: left,
+                    predicate: conjunct.clone(),
+                });
                 return (
                     LogicalPlan::Join {
                         left,
-                        right: Box::new(r),
+                        right,
                         kind,
                         on,
                         output_schema,
                     },
-                    absorbed,
+                    true,
+                );
+            }
+            if push_right && refs_within(conjunct, &right.schema()) {
+                right = Box::new(LogicalPlan::Filter {
+                    input: right,
+                    predicate: conjunct.clone(),
+                });
+                return (
+                    LogicalPlan::Join {
+                        left,
+                        right,
+                        kind,
+                        on,
+                        output_schema,
+                    },
+                    true,
                 );
             }
             (
@@ -325,24 +565,21 @@ fn sink(plan: LogicalPlan, conjunct: &Expr) -> (LogicalPlan, bool) {
     }
 }
 
-fn refs_within(e: &Expr, schema: &Schema) -> bool {
-    let mut cols = Vec::new();
-    e.columns(&mut cols);
-    !cols.is_empty() && cols.iter().all(|c| schema.index_of(c).is_some())
-}
-
-fn combine(conjuncts: Vec<Expr>) -> Option<Expr> {
-    let mut it = conjuncts.into_iter();
-    let first = it.next()?;
-    Some(it.fold(first, Expr::and))
-}
-
 // ---------------------------------------------------------------- pruning
 
-fn prune_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
-    // Top-down: compute the set of columns each operator requires of its
-    // input, then rebuild scans with minimal projections.
-    Ok(prune(plan, None))
+/// Rule `projection_prune`: scans read only the columns the rest of the
+/// plan actually needs (the core of the columnar I/O saving).
+pub struct PruneProjections;
+
+impl PlanRewriter for PruneProjections {
+    fn name(&self) -> &'static str {
+        "projection_prune"
+    }
+    fn rewrite(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
+        // Top-down: compute the set of columns each operator requires of
+        // its input, then rebuild scans with minimal projections.
+        Ok(prune(plan, None))
+    }
 }
 
 /// `needed`: columns the parent requires, `None` = everything.
@@ -521,6 +758,7 @@ fn prune(plan: LogicalPlan, needed: Option<Vec<String>>) -> LogicalPlan {
                 output_schema,
             }
         }
+        e @ LogicalPlan::Empty { .. } => e,
     }
 }
 
@@ -530,6 +768,18 @@ fn dedup(v: &mut Vec<String>) {
 }
 
 // ----------------------------------------------------------- limit + sort
+
+/// Rule `limit_into_sort`: `Limit(Sort)` becomes a top-N sort.
+pub struct LimitIntoSort;
+
+impl PlanRewriter for LimitIntoSort {
+    fn name(&self) -> &'static str {
+        "limit_into_sort"
+    }
+    fn rewrite(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
+        Ok(limit_into_sort(plan))
+    }
+}
 
 fn limit_into_sort(plan: LogicalPlan) -> LogicalPlan {
     match plan {
@@ -628,183 +878,6 @@ fn limit_into_sort(plan: LogicalPlan) -> LogicalPlan {
             fetch,
         },
         scan @ LogicalPlan::Scan { .. } => scan,
-    }
-}
-
-/// Detects trivially-false predicates (`literal false`), letting the
-/// engine skip whole scans. Conservative: only a literal `false`.
-pub fn predicate_is_false(e: &Expr) -> bool {
-    matches!(e, Expr::Literal(Value::Bool(false)))
-}
-
-/// Detects trivially-true predicates so filters can be dropped.
-pub fn predicate_is_true(e: &Expr) -> bool {
-    matches!(e, Expr::Literal(Value::Bool(true)))
-}
-
-/// Strips double negation (`NOT NOT x` → `x`); cheap clean-up used by the
-/// index rewriter.
-pub fn simplify_not(e: &Expr) -> Expr {
-    match e {
-        Expr::Unary {
-            op: UnaryOp::Not,
-            operand,
-        } => match operand.as_ref() {
-            Expr::Unary {
-                op: UnaryOp::Not,
-                operand: inner,
-            } => simplify_not(inner),
-            _ => Expr::not(simplify_not(operand)),
-        },
-        Expr::Binary { op, left, right } => {
-            Expr::binary(*op, simplify_not(left), simplify_not(right))
-        }
-        other => other.clone(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::analyze::analyze;
-    use crate::parser::{parse_expr, parse_query};
-    use crate::plan::build_plan;
-    use feisu_format::{DataType, Field};
-    use std::collections::HashMap;
-
-    fn catalog() -> HashMap<String, Schema> {
-        let mut m = HashMap::new();
-        m.insert(
-            "t1".to_string(),
-            Schema::new(vec![
-                Field::new("url", DataType::Utf8, false),
-                Field::new("clicks", DataType::Int64, true),
-                Field::new("score", DataType::Float64, false),
-                Field::new("day", DataType::Int64, false),
-            ]),
-        );
-        m.insert(
-            "t2".to_string(),
-            Schema::new(vec![
-                Field::new("url", DataType::Utf8, false),
-                Field::new("rank", DataType::Int64, false),
-            ]),
-        );
-        m
-    }
-
-    fn optimized(sql: &str) -> LogicalPlan {
-        let q = parse_query(sql).unwrap();
-        let r = analyze(&q, &catalog()).unwrap();
-        optimize(build_plan(&r).unwrap()).unwrap()
-    }
-
-    #[test]
-    fn constant_folding() {
-        assert_eq!(
-            fold_expr(parse_expr("1 + 2 * 3").unwrap()),
-            Expr::Literal(Value::Int64(7))
-        );
-        assert_eq!(
-            fold_expr(parse_expr("x + (1 + 2)").unwrap()).to_string(),
-            "(x + 3)"
-        );
-        // Errors stay unfolded.
-        assert_eq!(
-            fold_expr(parse_expr("1 / 0").unwrap()).to_string(),
-            "(1 / 0)"
-        );
-    }
-
-    #[test]
-    fn predicate_pushes_into_scan() {
-        let p = optimized("SELECT url FROM t1 WHERE clicks > 5 AND score < 0.5");
-        let s = p.display_indent();
-        // No residual filter; both conjuncts inside the scan.
-        assert!(!s.contains("Filter"), "{s}");
-        assert!(s.contains("Scan: t1"), "{s}");
-        assert!(s.contains("clicks > 5"), "{s}");
-        assert!(s.contains("score < 0.5"), "{s}");
-    }
-
-    #[test]
-    fn pushdown_splits_across_join_sides() {
-        let p = optimized(
-            "SELECT clicks, rank FROM t1 JOIN t2 ON t1.url = t2.url \
-             WHERE t1.clicks > 5 AND t2.rank < 10",
-        );
-        let s = p.display_indent();
-        assert!(!s.contains("Filter"), "{s}");
-        // Each side's scan carries its own conjunct.
-        assert!(s.contains("filter=(t1.clicks > 5)"), "{s}");
-        assert!(s.contains("filter=(t2.rank < 10)"), "{s}");
-    }
-
-    #[test]
-    fn cross_table_conjunct_stays_in_filter() {
-        let p = optimized(
-            "SELECT clicks, rank FROM t1 JOIN t2 ON t1.url = t2.url \
-             WHERE t1.clicks > t2.rank",
-        );
-        let s = p.display_indent();
-        assert!(s.contains("Filter: (t1.clicks > t2.rank)"), "{s}");
-    }
-
-    #[test]
-    fn outer_join_blocks_null_side_pushdown() {
-        let p = optimized(
-            "SELECT t1.clicks FROM t1 LEFT JOIN t2 ON t1.url = t2.url \
-             WHERE t2.rank > 0",
-        );
-        let s = p.display_indent();
-        // Pushing into the right side of a LEFT JOIN would be wrong.
-        assert!(s.contains("Filter: (t2.rank > 0)"), "{s}");
-    }
-
-    #[test]
-    fn projection_pruned_to_needed_columns() {
-        let p = optimized("SELECT url FROM t1 WHERE clicks > 5");
-        fn find_scan(p: &LogicalPlan) -> Option<&LogicalPlan> {
-            match p {
-                s @ LogicalPlan::Scan { .. } => Some(s),
-                LogicalPlan::Filter { input, .. }
-                | LogicalPlan::Project { input, .. }
-                | LogicalPlan::Sort { input, .. }
-                | LogicalPlan::Aggregate { input, .. }
-                | LogicalPlan::Limit { input, .. } => find_scan(input),
-                LogicalPlan::Join { left, .. } => find_scan(left),
-            }
-        }
-        match find_scan(&p).unwrap() {
-            LogicalPlan::Scan { projection, .. } => {
-                // Only url (selected) survives: the scan evaluates its own
-                // predicate, so `clicks` is not projected, and day/score
-                // are pruned away.
-                assert_eq!(projection, &vec!["url".to_string()]);
-            }
-            _ => unreachable!(),
-        }
-    }
-
-    #[test]
-    fn limit_pushes_fetch_into_sort() {
-        let p = optimized("SELECT url FROM t1 ORDER BY clicks DESC LIMIT 7");
-        let s = p.display_indent();
-        assert!(s.contains("fetch=Some(7)"), "{s}");
-    }
-
-    #[test]
-    fn trivial_predicates_detected() {
-        assert!(predicate_is_false(&fold_expr(parse_expr("1 > 2").unwrap())));
-        assert!(predicate_is_true(&fold_expr(parse_expr("2 > 1").unwrap())));
-        assert!(!predicate_is_false(&parse_expr("x > 2").unwrap()));
-    }
-
-    #[test]
-    fn double_negation_stripped() {
-        let e = parse_expr("NOT NOT (x > 1)").unwrap();
-        assert_eq!(simplify_not(&e).to_string(), "(x > 1)");
-        let e = parse_expr("NOT NOT NOT (x > 1)").unwrap();
-        assert_eq!(simplify_not(&e).to_string(), "(NOT (x > 1))");
+        e @ LogicalPlan::Empty { .. } => e,
     }
 }

@@ -91,6 +91,11 @@ pub enum LogicalPlan {
         input: Box<LogicalPlan>,
         fetch: u64,
     },
+    /// A relation that is provably empty (e.g. a `WHERE FALSE` filter
+    /// pruned by the optimizer). Executes without touching storage.
+    Empty {
+        output_schema: Schema,
+    },
 }
 
 impl LogicalPlan {
@@ -100,7 +105,8 @@ impl LogicalPlan {
             LogicalPlan::Scan { output_schema, .. }
             | LogicalPlan::Join { output_schema, .. }
             | LogicalPlan::Aggregate { output_schema, .. }
-            | LogicalPlan::Project { output_schema, .. } => output_schema.clone(),
+            | LogicalPlan::Project { output_schema, .. }
+            | LogicalPlan::Empty { output_schema } => output_schema.clone(),
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. } => input.schema(),
@@ -173,6 +179,9 @@ impl LogicalPlan {
             LogicalPlan::Limit { input, fetch } => {
                 out.push_str(&format!("{pad}Limit: {fetch}\n"));
                 input.fmt_indent(out, level + 1);
+            }
+            LogicalPlan::Empty { .. } => {
+                out.push_str(&format!("{pad}Empty\n"));
             }
         }
     }

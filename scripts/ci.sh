@@ -229,6 +229,41 @@ else
   echo "ci: distributed-agg json ok (grep check)"
 fi
 
+# Join-order bench: the cost-based search must actually reorder the
+# Zipfian star join, answer exactly the same as the syntactic order, and
+# never be slower (smoke config; the committed numbers come from a full
+# run, which shows the >1.5x simulated win).
+echo "ci: join-order bench (smoke)"
+cargo run --release $OFFLINE -p feisu-bench --bin bench_join_order -- --smoke
+if [ ! -s results/BENCH_join_order.json ]; then
+  echo "ci: results/BENCH_join_order.json missing or empty" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("results/BENCH_join_order.json") as f:
+    data = json.load(f)
+assert data["bench"] == "join_order", data
+configs = data["configs"]
+assert configs, "no bench configs recorded"
+for c in configs:
+    for k in ("name", "rows_out", "results_match", "joins_reordered", "join_order",
+              "syntactic_sim_ms", "reordered_sim_ms", "sim_speedup",
+              "syntactic_wall_ms", "reordered_wall_ms", "wall_speedup"):
+        assert k in c, f"config missing {k}: {c}"
+    assert c["results_match"] is True, f"reordering changed the answer: {c}"
+    assert c["joins_reordered"] > 0, f"cost-based search never reordered: {c}"
+    assert c["sim_speedup"] >= 1.0, f"reordered plan must not be slower: {c}"
+star = configs[0]
+print(f"ci: join-order json ok (sim speedup {star['sim_speedup']}x, {star['join_order']})")
+EOF
+else
+  grep -q '"bench": "join_order"' results/BENCH_join_order.json
+  grep -q '"results_match": true' results/BENCH_join_order.json
+  echo "ci: join-order json ok (grep check)"
+fi
+
 # Observability plane: system tables must answer plain SQL and a real
 # query's Chrome trace must export as parseable, non-empty JSON.
 echo "ci: observability smoke (system tables + trace export)"

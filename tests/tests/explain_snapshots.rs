@@ -16,7 +16,9 @@ fn plain_scan_with_pushed_filter() {
     assert_eq!(
         explain(&fx, "SELECT url FROM clicks WHERE clicks > 5"),
         "Project: [url AS url]\n\
-         \x20 DistributedScan: clicks cols=[\"url\"] filter=(clicks > 5)\n"
+         \x20 DistributedScan: clicks cols=[\"url\"] filter=(clicks > 5)\n\
+         Rule: predicate_pushdown x1\n\
+         Rule: projection_prune x1\n"
     );
 }
 
@@ -34,7 +36,10 @@ fn grouped_aggregate_is_pushed_to_leaves() {
          \x20   Sort: [COUNT(*) DESC] fetch=Some(2)\n\
          \x20     FinalAggregate: group=[\"keyword\"] aggs=[\"COUNT(*)\", \"SUM(clicks)\"]\n\
          \x20       DistributedScan: clicks cols=[\"keyword\", \"clicks\"] filter=(clicks > 10) \
-         [agg pushed: COUNT(*), SUM(clicks) group by keyword]\n"
+         [agg pushed: COUNT(*), SUM(clicks) group by keyword]\n\
+         Rule: predicate_pushdown x1\n\
+         Rule: projection_prune x1\n\
+         Rule: limit_into_sort x1\n"
     );
 }
 
@@ -52,7 +57,10 @@ fn complex_filter_stays_on_scan_line() {
          \x20 Project: [url AS url, clicks AS clicks]\n\
          \x20   Sort: [clicks DESC] fetch=Some(3)\n\
          \x20     DistributedScan: clicks cols=[\"url\", \"clicks\"] \
-         filter=(((clicks > 5) OR (score < 0.5)) AND (keyword = 'map'))\n"
+         filter=(((clicks > 5) OR (score < 0.5)) AND (keyword = 'map'))\n\
+         Rule: predicate_pushdown x1\n\
+         Rule: projection_prune x1\n\
+         Rule: limit_into_sort x1\n"
     );
 }
 
@@ -89,6 +97,69 @@ fn aggregate_over_join_stays_on_master() {
          \x20 HashAggregate: group=[\"dims.rank\"] aggs=[\"COUNT(*)\"]\n\
          \x20   HashJoin: Inner on [(clicks.url = dims.url)]\n\
          \x20     DistributedScan: clicks cols=[\"url\"]\n\
-         \x20     DistributedScan: dims cols=[\"url\", \"rank\"]\n"
+         \x20     DistributedScan: dims cols=[\"url\", \"rank\"]\n\
+         Rule: projection_prune x1\n"
+    );
+}
+
+#[test]
+fn star_join_is_reordered_fact_first() {
+    let fx = fixture(100);
+    // Two dimensions and a large fact, listed dims-first so the
+    // syntactic left-deep order starts with a d1 x d2 cross product
+    // (100 x 100 = 10k rows). Ingest-time stats let the cost model put
+    // the fact on the build side first and join each dimension through
+    // its extracted equi-key instead.
+    for dim in ["d1", "d2"] {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64, false)]);
+        fx.cluster
+            .create_table(dim, schema, &format!("/hdfs/warehouse/{dim}"), &fx.cred)
+            .unwrap();
+        fx.cluster
+            .ingest_rows(
+                dim,
+                (0..100i64).map(|i| vec![Value::from(i)]).collect(),
+                &fx.cred,
+            )
+            .unwrap();
+    }
+    let fact = Schema::new(vec![
+        Field::new("k1", DataType::Int64, false),
+        Field::new("k2", DataType::Int64, false),
+        Field::new("v", DataType::Int64, false),
+    ]);
+    fx.cluster
+        .create_table("f", fact, "/hdfs/warehouse/f", &fx.cred)
+        .unwrap();
+    fx.cluster
+        .ingest_rows(
+            "f",
+            (0..2000i64)
+                .map(|i| {
+                    vec![
+                        Value::from(i % 100),
+                        Value::from((i / 7) % 100),
+                        Value::from(i),
+                    ]
+                })
+                .collect(),
+            &fx.cred,
+        )
+        .unwrap();
+    assert_eq!(
+        explain(
+            &fx,
+            "SELECT SUM(f.v) AS s FROM d1, d2, f \
+             WHERE f.k1 = d1.k AND f.k2 = d2.k",
+        ),
+        "Project: [SUM(f.v) AS s]\n\
+         \x20 HashAggregate: group=[] aggs=[\"SUM(f.v)\"]\n\
+         \x20   HashJoin: Inner on [(f.k2 = d2.k)]\n\
+         \x20     HashJoin: Inner on [(f.k1 = d1.k)]\n\
+         \x20       DistributedScan: d1 cols=[\"k\"]\n\
+         \x20       DistributedScan: f cols=[\"k1\", \"k2\", \"v\"]\n\
+         \x20     DistributedScan: d2 cols=[\"k\"]\n\
+         Rule: predicate_pushdown x1\n\
+         JoinOrder: dp [d1, d2, f] -> [d1, f, d2]\n"
     );
 }
